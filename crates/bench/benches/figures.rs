@@ -1,0 +1,115 @@
+//! Criterion benches of the experiment harness itself: one bench per
+//! table/figure pipeline, so regressions in simulator or storage-model
+//! performance are caught.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mime_systolic::{
+    normalized_throughput, simulate_network, storage_curve, vgg16_geometry, Approach,
+    ArrayConfig, DramStorageModel, Scenario, TaskMode,
+};
+use std::hint::black_box;
+
+fn bench_fig4_storage(c: &mut Criterion) {
+    let geoms = vgg16_geometry(224);
+    c.bench_function("fig4_storage_curve", |b| {
+        b.iter(|| {
+            let pts = storage_curve(black_box(&geoms), 8);
+            black_box(DramStorageModel::from_geometry(&geoms).savings(3));
+            black_box(pts)
+        })
+    });
+}
+
+fn bench_fig5_singular(c: &mut Criterion) {
+    let geoms = vgg16_geometry(224);
+    let cfg = ArrayConfig::eyeriss_65nm();
+    c.bench_function("fig5_singular_three_cases", |b| {
+        b.iter(|| {
+            for approach in [Approach::Case1, Approach::Case2, Approach::Mime] {
+                black_box(simulate_network(
+                    &geoms,
+                    &cfg,
+                    &Scenario { mode: TaskMode::paper_singular(), approach },
+                ));
+            }
+        })
+    });
+}
+
+fn bench_fig6_pipelined(c: &mut Criterion) {
+    let geoms = vgg16_geometry(224);
+    let cfg = ArrayConfig::eyeriss_65nm();
+    c.bench_function("fig6_pipelined_three_cases", |b| {
+        b.iter(|| {
+            for approach in [Approach::Case1, Approach::Case2, Approach::Mime] {
+                black_box(simulate_network(
+                    &geoms,
+                    &cfg,
+                    &Scenario { mode: TaskMode::paper_pipelined(), approach },
+                ));
+            }
+        })
+    });
+}
+
+fn bench_fig7_throughput(c: &mut Criterion) {
+    let geoms = vgg16_geometry(224);
+    let cfg = ArrayConfig::eyeriss_65nm();
+    let base = simulate_network(
+        &geoms,
+        &cfg,
+        &Scenario { mode: TaskMode::paper_pipelined(), approach: Approach::Case1 },
+    );
+    let mime = simulate_network(
+        &geoms,
+        &cfg,
+        &Scenario { mode: TaskMode::paper_pipelined(), approach: Approach::Mime },
+    );
+    c.bench_function("fig7_throughput_normalization", |b| {
+        b.iter(|| black_box(normalized_throughput(&base, &mime)))
+    });
+}
+
+fn bench_fig8_pruned(c: &mut Criterion) {
+    let geoms = vgg16_geometry(224);
+    let cfg = ArrayConfig::eyeriss_65nm();
+    c.bench_function("fig8_pruned_comparison", |b| {
+        b.iter(|| {
+            black_box(simulate_network(
+                &geoms,
+                &cfg,
+                &Scenario {
+                    mode: TaskMode::paper_pipelined(),
+                    approach: Approach::Pruned { weight_density: 0.1 },
+                },
+            ))
+        })
+    });
+}
+
+fn bench_fig9_ablation(c: &mut Criterion) {
+    let geoms = vgg16_geometry(224);
+    let scen = Scenario { mode: TaskMode::paper_pipelined(), approach: Approach::Mime };
+    c.bench_function("fig9_three_configs", |b| {
+        b.iter(|| {
+            for cfg in [
+                ArrayConfig::eyeriss_65nm(),
+                ArrayConfig::reduced_pe(),
+                ArrayConfig::reduced_cache(),
+            ] {
+                black_box(simulate_network(&geoms, &cfg, &scen));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    figures,
+    bench_fig4_storage,
+    bench_fig5_singular,
+    bench_fig6_pipelined,
+    bench_fig7_throughput,
+    bench_fig8_pruned,
+    bench_fig9_ablation
+);
+criterion_main!(figures);

@@ -1,0 +1,61 @@
+//! Criterion benches of the functional array and the hardware-in-the-loop
+//! executor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mime_core::MimeNetwork;
+use mime_nn::{build_network, vgg16_arch};
+use mime_runtime::{BoundNetwork, HardwareExecutor};
+use mime_systolic::{ArrayConfig, FunctionalArray, LayerGeometry, Mapper};
+use mime_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_functional_layer(c: &mut Criterion) {
+    let geom = LayerGeometry::conv("b", 16, 32, 16);
+    let cfg = ArrayConfig::eyeriss_65nm();
+    let mapping = Mapper::new(cfg).best_mapping(&geom, 0.5, 1.0);
+    let weights = Tensor::from_fn(&[32, 16, 3, 3], |i| ((i % 13) as f32 - 6.0) * 0.05);
+    let bias = Tensor::zeros(&[32]);
+    let input = Tensor::from_fn(&[16, 16, 16], |i| {
+        if i % 3 == 0 {
+            0.0
+        } else {
+            ((i % 7) as f32 - 3.0) * 0.1
+        }
+    });
+    let thresholds = Tensor::full(&[32 * 256], 0.1);
+    c.bench_function("functional_conv_16x32x16_masked", |b| {
+        b.iter(|| {
+            let mut array = FunctionalArray::new(cfg);
+            black_box(
+                array
+                    .run_layer(&geom, &mapping, &weights, &bias, &input, Some(&thresholds), true)
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_executor_image(c: &mut Criterion) {
+    let arch = vgg16_arch(0.0625, 32, 3, 4, 16);
+    let mut rng = StdRng::seed_from_u64(0);
+    let parent = build_network(&arch, &mut rng);
+    let net = MimeNetwork::from_trained(&arch, &parent, 0.05).unwrap();
+    let plan = BoundNetwork::from_mime(&net).unwrap();
+    let image = Tensor::from_fn(&[3, 32, 32], |i| ((i % 9) as f32 - 4.0) * 0.1);
+    c.bench_function("executor_mini_vgg_image", |b| {
+        b.iter_batched(
+            || HardwareExecutor::new(ArrayConfig::eyeriss_65nm()),
+            |mut exec| black_box(exec.run_image(&plan, &image, true).unwrap()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!{
+    name = functional;
+    config = Criterion::default().sample_size(10);
+    targets = bench_functional_layer, bench_executor_image
+}
+criterion_main!(functional);

@@ -1,0 +1,53 @@
+//! Criterion benches of the numerical kernels underlying the table
+//! experiments (matmul, convolution, threshold masking).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mime_core::ThresholdMask;
+use mime_nn::Layer;
+use mime_tensor::{conv2d, conv2d_backward, ConvSpec, Tensor};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [32usize, 64, 128] {
+        let a = Tensor::from_fn(&[n, n], |i| (i % 13) as f32 * 0.1);
+        let b = Tensor::from_fn(&[n, n], |i| (i % 7) as f32 * 0.1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul(&b).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let spec = ConvSpec::vgg3x3();
+    let input = Tensor::from_fn(&[1, 16, 32, 32], |i| ((i % 11) as f32 - 5.0) * 0.1);
+    let weight = Tensor::from_fn(&[16, 16, 3, 3], |i| ((i % 9) as f32 - 4.0) * 0.05);
+    let bias = Tensor::zeros(&[16]);
+    c.bench_function("conv2d_fwd_16x32x32", |b| {
+        b.iter(|| black_box(conv2d(&input, &weight, &bias, &spec).unwrap()))
+    });
+    let out = conv2d(&input, &weight, &bias, &spec).unwrap();
+    let gout = Tensor::ones(out.dims());
+    c.bench_function("conv2d_bwd_16x32x32", |b| {
+        b.iter(|| black_box(conv2d_backward(&input, &weight, &gout, &spec).unwrap()))
+    });
+}
+
+fn bench_threshold_mask(c: &mut Criterion) {
+    let mut mask = ThresholdMask::new("bench", &[64, 16, 16], 0.1);
+    let x = Tensor::from_fn(&[4, 64, 16, 16], |i| ((i % 17) as f32 - 8.0) * 0.1);
+    c.bench_function("threshold_mask_fwd", |b| {
+        b.iter(|| black_box(mask.forward(&x).unwrap()))
+    });
+    c.bench_function("threshold_mask_fwd_bwd", |b| {
+        b.iter(|| {
+            let y = mask.forward(&x).unwrap();
+            let g = Tensor::ones(y.dims());
+            black_box(mask.backward(&g).unwrap())
+        })
+    });
+}
+
+criterion_group!(kernels, bench_matmul, bench_conv, bench_threshold_mask);
+criterion_main!(kernels);

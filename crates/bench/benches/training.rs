@@ -1,0 +1,62 @@
+//! Criterion benches of the table-experiment training pipelines
+//! (Table II threshold training, Table III baseline training) at a tiny
+//! scale, so the end-to-end experiment cost is tracked.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mime_core::{MimeNetwork, MimeTrainer, MimeTrainerConfig};
+use mime_datasets::{TaskFamily, TaskSpec};
+use mime_nn::{build_network, train_epoch, vgg16_arch, Adam};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn tiny_batches() -> Vec<(mime_tensor::Tensor, Vec<usize>)> {
+    let fam = TaskFamily::new(9, 3, 32);
+    let task = fam.generate(&TaskSpec::cifar10_like().with_samples(2, 1));
+    task.train.batches(10)
+}
+
+fn bench_table3_baseline_epoch(c: &mut Criterion) {
+    let arch = vgg16_arch(0.0625, 32, 3, 10, 32);
+    let batches = tiny_batches();
+    c.bench_function("table3_baseline_train_epoch", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = StdRng::seed_from_u64(0);
+                (build_network(&arch, &mut rng), Adam::with_lr(1e-3))
+            },
+            |(mut net, mut opt)| {
+                black_box(train_epoch(&mut net, &batches, &mut opt).unwrap())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_table2_threshold_epoch(c: &mut Criterion) {
+    let arch = vgg16_arch(0.0625, 32, 3, 10, 32);
+    let mut rng = StdRng::seed_from_u64(0);
+    let parent = build_network(&arch, &mut rng);
+    let batches = tiny_batches();
+    c.bench_function("table2_threshold_train_epoch", |b| {
+        b.iter_batched(
+            || {
+                (
+                    MimeNetwork::from_trained(&arch, &parent, 0.01).unwrap(),
+                    MimeTrainer::new(MimeTrainerConfig::default()),
+                )
+            },
+            |(mut net, mut trainer)| {
+                black_box(trainer.train_epoch(&mut net, &batches, 0).unwrap())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!{
+    name = training;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table3_baseline_epoch, bench_table2_threshold_epoch
+}
+criterion_main!(training);

@@ -1,0 +1,68 @@
+//! Ablation: the threshold regularizer weight β (paper eq. 3–4).
+//!
+//! The paper sets β = 1e-6 and motivates `L_t = Σ exp(t_i)` as preventing
+//! thresholds from "assuming arbitrarily large positive values, which
+//! would otherwise result in convergence issues". This harness sweeps β
+//! and reports what actually happens to the learned threshold
+//! distribution, the dynamic sparsity, and the accuracy.
+//!
+//! ```text
+//! cargo run --release -p mime-bench --bin ablation_beta
+//! ```
+
+use mime_bench::{child_specs, eval_mime, train_parent, ExperimentScale};
+use mime_core::stats::threshold_summary;
+use mime_core::{
+    calibrate_thresholds, measure_sparsity, MimeNetwork, MimeTrainer, MimeTrainerConfig,
+};
+use mime_nn::vgg16_arch;
+
+fn main() {
+    println!("== Ablation: threshold-regularizer weight β (eq. 3-4) ==\n");
+    let scale = ExperimentScale::from_env();
+    let setup = train_parent(&scale, 42).expect("parent training");
+    let spec = &child_specs()[0];
+    let arch = vgg16_arch(scale.width, scale.hw, 3, spec.classes, scale.fc);
+    let task = setup.family.generate(spec);
+    let train = task.train.batches(scale.batch);
+    let test = task.test.batches(scale.batch);
+
+    println!(
+        "{:>10} {:>10} {:>12} {:>10} {:>10} {:>10}",
+        "beta", "accuracy", "sparsity", "mean t", "max t", "reg loss"
+    );
+    for beta in [0.0f32, 1e-6, 1e-4, 1e-2, 1e-1] {
+        let mut net =
+            MimeNetwork::from_trained_with_head(&arch, &setup.parent, 0.01, true)
+                .expect("network construction");
+        if let Some((images, _)) = train.first() {
+            calibrate_thresholds(&mut net, images, 0.6).expect("calibration");
+        }
+        let mut trainer = MimeTrainer::new(MimeTrainerConfig {
+            epochs: scale.child_epochs,
+            threshold_lr: 3e-2,
+            lr: 3e-3,
+            beta,
+            ..MimeTrainerConfig::default()
+        });
+        let reports = trainer.train(&mut net, &train).expect("threshold training");
+        let acc = eval_mime(&mut net, &test).expect("evaluation");
+        let sp = measure_sparsity(&mut net, &test).expect("sparsity");
+        let (mean_t, max_t) = threshold_summary(&net);
+        println!(
+            "{:>10.0e} {:>9.2}% {:>12.3} {:>10.4} {:>10.4} {:>10.3e}",
+            beta,
+            acc * 100.0,
+            sp.mean(),
+            mean_t,
+            max_t,
+            reports.last().map(|r| r.reg_loss).unwrap_or(0.0)
+        );
+    }
+    println!(
+        "\nshape to check: β = 1e-6 (the paper's choice) barely perturbs\n\
+         training — the regularizer is a safety rail, not a sparsity\n\
+         driver; large β (1e-2+) visibly pushes thresholds down, costing\n\
+         sparsity, and extreme β collapses masking toward ReLU."
+    );
+}

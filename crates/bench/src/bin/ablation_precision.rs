@@ -1,0 +1,80 @@
+//! Ablation: threshold-bank storage precision.
+//!
+//! The paper stores thresholds at 16 bits (Table IV). Because threshold
+//! banks are the *entire* per-task storage cost, their precision directly
+//! scales Fig. 4's savings. This harness trains one child task, then
+//! fake-quantizes its threshold banks at decreasing bit widths and
+//! reports accuracy, dynamic sparsity, and the effect on the storage
+//! model.
+//!
+//! ```text
+//! cargo run --release -p mime-bench --bin ablation_precision
+//! ```
+
+use mime_bench::{child_specs, eval_mime, train_parent, ExperimentScale};
+use mime_core::{calibrate_thresholds, measure_sparsity, MimeNetwork, MimeTrainer, MimeTrainerConfig};
+use mime_nn::quant::{fake_quantize, payload_bytes_at};
+use mime_nn::vgg16_arch;
+use mime_systolic::{vgg16_geometry, DramStorageModel};
+
+fn main() {
+    println!("== Ablation: threshold storage precision ==\n");
+    let scale = ExperimentScale::from_env();
+    let setup = train_parent(&scale, 42).expect("parent training");
+    let spec = &child_specs()[0];
+    let arch = vgg16_arch(scale.width, scale.hw, 3, spec.classes, scale.fc);
+    let task = setup.family.generate(spec);
+    let train = task.train.batches(scale.batch);
+    let test = task.test.batches(scale.batch);
+
+    // train once at full precision
+    let mut net = MimeNetwork::from_trained_with_head(&arch, &setup.parent, 0.01, true)
+        .expect("network construction");
+    if let Some((images, _)) = train.first() {
+        calibrate_thresholds(&mut net, images, 0.6).expect("calibration");
+    }
+    let mut trainer = MimeTrainer::new(MimeTrainerConfig {
+        epochs: scale.child_epochs,
+        threshold_lr: 3e-2,
+        lr: 3e-3,
+        ..MimeTrainerConfig::default()
+    });
+    trainer.train(&mut net, &train).expect("threshold training");
+    let fp_banks = net.export_thresholds();
+    let bank_len: usize = fp_banks.iter().map(|b| b.len()).sum();
+
+    // full-geometry storage model for the Fig. 4 consequence
+    let geoms = vgg16_geometry(224);
+    let full = DramStorageModel::from_geometry(&geoms);
+
+    println!(
+        "{:>6} {:>10} {:>10} {:>14} {:>18}",
+        "bits", "accuracy", "sparsity", "bank bytes", "Fig.4 savings@3"
+    );
+    for bits in [16u32, 12, 8, 6, 4, 2] {
+        let banks: Vec<_> = fp_banks.iter().map(|b| fake_quantize(b, bits)).collect();
+        net.import_thresholds(&banks).expect("bank install");
+        let acc = eval_mime(&mut net, &test).expect("evaluation");
+        let sp = measure_sparsity(&mut net, &test).expect("sparsity");
+        // the storage model counts words; express reduced precision as a
+        // proportionally smaller effective threshold-word count
+        let scaled = DramStorageModel {
+            threshold_words: full.threshold_words * bits as usize / 16,
+            ..full
+        };
+        println!(
+            "{:>6} {:>9.2}% {:>10.3} {:>14} {:>17.2}x",
+            bits,
+            acc * 100.0,
+            sp.mean(),
+            payload_bytes_at(bank_len, bits),
+            scaled.savings(3)
+        );
+    }
+    println!(
+        "\nshape to check: thresholds tolerate aggressive quantization (they\n\
+         only gate comparisons), so 8-bit banks keep accuracy while pushing\n\
+         the 3-child storage savings from ~3.1x toward ~3.5x — the paper's\n\
+         16-bit choice is conservative."
+    );
+}

@@ -1,0 +1,61 @@
+//! Regenerates **Fig. 8**: layerwise energy of MIME versus conventional
+//! multi-task inference with highly pruned per-task models (90 %
+//! layerwise weight sparsity, Pipelined task mode).
+//!
+//! Paper shape: the pruned models win in the earliest conv layers (no
+//! per-task threshold traffic, and thresholds outnumber weights there);
+//! MIME wins from the early-mid layers onward (1.36-2.0×) because it
+//! never re-fetches weights when the task switches.
+//!
+//! ```text
+//! cargo run --release -p mime-bench --bin fig8_pruned
+//! ```
+
+use mime_systolic::{
+    simulate_network, vgg16_geometry, Approach, ArrayConfig, Scenario, TaskMode,
+};
+
+fn main() {
+    println!("== Fig. 8: MIME vs 90%-pruned conventional multi-task models (Pipelined) ==\n");
+    let geoms = vgg16_geometry(224);
+    let cfg = ArrayConfig::eyeriss_65nm();
+    let mime = simulate_network(
+        &geoms,
+        &cfg,
+        &Scenario { mode: TaskMode::paper_pipelined(), approach: Approach::Mime },
+    );
+    let pruned = simulate_network(
+        &geoms,
+        &cfg,
+        &Scenario {
+            mode: TaskMode::paper_pipelined(),
+            approach: Approach::Pruned { weight_density: 0.1 },
+        },
+    );
+    println!(
+        "{:<8} {:>14} {:>14} {:>16}",
+        "layer", "MIME total", "pruned total", "pruned/MIME"
+    );
+    let shown = [1usize, 3, 5, 7, 9, 11, 12, 13, 14];
+    for &i in &shown {
+        println!(
+            "{:<8} {:>14.3e} {:>14.3e} {:>15.2}x {}",
+            mime[i].name,
+            mime[i].total_energy(),
+            pruned[i].total_energy(),
+            pruned[i].total_energy() / mime[i].total_energy(),
+            if pruned[i].total_energy() > mime[i].total_energy() {
+                "MIME wins"
+            } else {
+                "pruned wins"
+            }
+        );
+    }
+    println!(
+        "\npaper shape: pruned wins the first plotted layers (conv2, conv4);\n\
+         MIME wins from the early-mid conv layers on (paper: 1.36-2.0x; here the\n\
+         crossover sits one layer earlier — see EXPERIMENTS.md).\n\
+         Driver: per-task threshold DRAM traffic dominates where thresholds\n\
+         outnumber weights; shared-weight reuse dominates where weights do."
+    );
+}

@@ -1,0 +1,51 @@
+//! Regenerates **Table II**: test accuracy and average layerwise neuronal
+//! sparsity of the VGG16 DNN for the child tasks under MIME.
+//!
+//! Trains the parent task, then learns per-task thresholds over the
+//! frozen backbone (10 epochs, Adam 1e-3, β = 1e-6), then measures
+//! accuracy and per-layer sparsity on the held-out split.
+//!
+//! ```text
+//! cargo run --release -p mime-bench --bin table2
+//! ```
+
+use mime_bench::{
+    child_specs, print_sparsity_row, train_mime_child, train_parent, ExperimentScale,
+    PAPER_TABLE2, PUBLISHED_LAYERS,
+};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("== Table II: MIME child-task accuracy & layerwise neuronal sparsity ==");
+    println!("(mini-scale reproduction on the synthetic task family; set MIME_SCALE=full for a larger run)\n");
+    let setup = train_parent(&scale, 42).expect("parent training");
+    println!(
+        "parent (imagenet-like stand-in) test accuracy: {:.2}%  [paper parent: ImageNet 73.36%]\n",
+        setup.parent_accuracy * 100.0
+    );
+    println!("-- measured (this reproduction) --");
+    let mut mean_sparsities = Vec::new();
+    for spec in child_specs() {
+        let (result, _thresholds) =
+            train_mime_child(&setup, &scale, &spec).expect("threshold training");
+        print_sparsity_row(&result.name, result.accuracy, &result.sparsity);
+        mean_sparsities.push((result.name.clone(), result.sparsity.mean()));
+    }
+    println!("\n-- paper (Table II) --");
+    for (task, acc, row) in PAPER_TABLE2 {
+        print!("{task:<14} acc {acc:>6.2}% |");
+        for (layer, v) in PUBLISHED_LAYERS.iter().zip(row) {
+            print!(" {layer}={v:.3}");
+        }
+        println!();
+    }
+    println!("\n-- comparison --");
+    println!("paper mean layerwise MIME sparsity: ~0.60-0.66 across tasks");
+    for (name, s) in mean_sparsities {
+        println!("measured mean sparsity {name:<14}: {s:.3}");
+    }
+    println!(
+        "\nShape to check: MIME sparsity exceeds the ReLU baseline of Table III\n\
+         at every layer, at a small accuracy cost (paper: −0.7 to −1.8 points)."
+    );
+}

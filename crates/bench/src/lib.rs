@@ -1,0 +1,453 @@
+//! # mime-bench
+//!
+//! Shared experiment drivers for the regeneration binaries — one binary
+//! per table/figure of the paper (see `src/bin/`):
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table2` | Table II — MIME child accuracy + layerwise sparsity |
+//! | `table3` | Table III — baseline accuracy + ReLU sparsity |
+//! | `fig4_storage` | Figs. 1/4 — DRAM storage vs number of tasks |
+//! | `fig5_singular` | Fig. 5 — singular-mode layerwise energy |
+//! | `fig6_pipelined` | Fig. 6 — pipelined-mode layerwise energy |
+//! | `fig7_throughput` | Fig. 7 — pipelined-mode layerwise throughput |
+//! | `fig8_pruned` | Fig. 8 — MIME vs 90 %-pruned conventional models |
+//! | `fig9_ablation` | Fig. 9 — PE-array / cache-size ablation |
+//!
+//! The table experiments train real (mini-scale) networks on the
+//! synthetic task family; the figure experiments drive the systolic
+//! simulator at full VGG16 geometry. `MIME_SCALE=full` enlarges the
+//! training runs (slower, closer accuracies).
+
+use mime_core::{
+    measure_sparsity, measure_sparsity_baseline, MimeNetwork, MimeTrainer,
+    MimeTrainerConfig, SparsityReport,
+};
+use mime_datasets::{TaskFamily, TaskSpec};
+use mime_nn::{
+    build_network, evaluate, train_epoch, vgg16_arch, Adam, Sequential, VggArch,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Scale of the trained experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentScale {
+    /// VGG width multiplier.
+    pub width: f64,
+    /// Image spatial extent.
+    pub hw: usize,
+    /// FC hidden width.
+    pub fc: usize,
+    /// Parent-task class count.
+    pub parent_classes: usize,
+    /// Parent training samples per class.
+    pub parent_per_class: usize,
+    /// Parent training epochs.
+    pub parent_epochs: usize,
+    /// Child threshold-training epochs (paper: 10).
+    pub child_epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+}
+
+impl ExperimentScale {
+    /// The default laptop-scale configuration (≈2 minutes for both
+    /// tables).
+    pub fn small() -> Self {
+        ExperimentScale {
+            width: 0.125,
+            hw: 32,
+            fc: 64,
+            parent_classes: 12,
+            parent_per_class: 24,
+            parent_epochs: 8,
+            child_epochs: 10,
+            batch: 24,
+        }
+    }
+
+    /// A heavier configuration for closer accuracies (`MIME_SCALE=full`).
+    pub fn full() -> Self {
+        ExperimentScale {
+            width: 0.25,
+            hw: 32,
+            fc: 128,
+            parent_classes: 16,
+            parent_per_class: 40,
+            parent_epochs: 12,
+            child_epochs: 10,
+            batch: 25,
+        }
+    }
+
+    /// Reads `MIME_SCALE` from the environment (`full` →
+    /// [`ExperimentScale::full`], anything else →
+    /// [`ExperimentScale::small`]).
+    pub fn from_env() -> Self {
+        match std::env::var("MIME_SCALE").as_deref() {
+            Ok("full") => Self::full(),
+            _ => Self::small(),
+        }
+    }
+}
+
+/// The three child-task specs used throughout the experiments
+/// (stand-ins for CIFAR10, CIFAR100 and F-MNIST).
+pub fn child_specs() -> Vec<TaskSpec> {
+    let mut cifar100 = TaskSpec::cifar100_like();
+    // scale the 100-class task to laptop size while keeping it the
+    // hardest of the three
+    cifar100.classes = 25;
+    cifar100.train_per_class = 10;
+    cifar100.test_per_class = 4;
+    vec![
+        TaskSpec::cifar10_like().with_samples(24, 8),
+        cifar100,
+        TaskSpec::fmnist_like().with_samples(24, 8),
+    ]
+}
+
+/// A trained parent model plus its architecture and task family.
+pub struct ParentSetup {
+    /// The architecture shared by parent and children.
+    pub arch: VggArch,
+    /// The trained parent network (`W_parent`).
+    pub parent: Sequential,
+    /// The task family all tasks are drawn from.
+    pub family: TaskFamily,
+    /// Parent test accuracy.
+    pub parent_accuracy: f64,
+}
+
+/// Trains the parent task (the ImageNet stand-in) from scratch.
+///
+/// # Errors
+///
+/// Propagates tensor errors from training.
+pub fn train_parent(scale: &ExperimentScale, seed: u64) -> mime_nn::Result<ParentSetup> {
+    let family = TaskFamily::new(seed, 3, scale.hw);
+    let spec = TaskSpec::imagenet_like()
+        .with_samples(scale.parent_per_class, scale.parent_per_class / 4);
+    let spec = TaskSpec { classes: scale.parent_classes, ..spec };
+    let task = family.generate(&spec);
+    let arch = vgg16_arch(scale.width, scale.hw, 3, scale.parent_classes, scale.fc);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+    let mut parent = build_network(&arch, &mut rng);
+    let train = task.train.batches(scale.batch);
+    let test = task.test.batches(scale.batch);
+    let mut opt = Adam::with_lr(1e-3);
+    for _ in 0..scale.parent_epochs {
+        train_epoch(&mut parent, &train, &mut opt)?;
+    }
+    let parent_accuracy = evaluate(&mut parent, &test)?;
+    Ok(ParentSetup { arch, parent, family, parent_accuracy })
+}
+
+/// Result of one child-task experiment (either MIME or baseline).
+pub struct ChildResult {
+    /// Task name.
+    pub name: String,
+    /// Test accuracy.
+    pub accuracy: f64,
+    /// Layerwise activation sparsity.
+    pub sparsity: SparsityReport,
+}
+
+/// Builds a child architecture whose classifier width matches the task.
+fn child_arch(base: &VggArch, scale: &ExperimentScale, classes: usize) -> VggArch {
+    let _ = base;
+    vgg16_arch(scale.width, scale.hw, 3, classes, scale.fc)
+}
+
+/// MIME path: learn task-specific thresholds over the frozen parent
+/// backbone (paper Section III-A; Table II measurement).
+///
+/// The classifier head is the only layer whose width depends on the task,
+/// so it is re-initialized (and trained jointly with the thresholds) —
+/// the convolutional and hidden-FC weights are the frozen `W_parent`.
+///
+/// # Errors
+///
+/// Propagates tensor errors from training.
+pub fn train_mime_child(
+    setup: &ParentSetup,
+    scale: &ExperimentScale,
+    spec: &TaskSpec,
+) -> mime_nn::Result<(ChildResult, Vec<mime_tensor::Tensor>)> {
+    let task = setup.family.generate(spec);
+    let arch = child_arch(&setup.arch, scale, spec.classes);
+    // frozen W_parent below a fresh task-specific classifier head
+    let mut net = MimeNetwork::from_trained_with_head(&arch, &setup.parent, 0.01, true)?;
+    let train = task.train.batches(scale.batch);
+    // start the banks at the paper's Table-II operating point (~0.6
+    // dynamic sparsity); training refines which neurons carry it
+    if let Some((images, _)) = train.first() {
+        mime_core::calibrate_thresholds(&mut net, images, 0.6)?;
+    }
+    let test = task.test.batches(scale.batch);
+    let mut trainer = MimeTrainer::new(MimeTrainerConfig {
+        epochs: scale.child_epochs,
+        // paper schedule: Adam 1e-3 over 50k-image datasets; the synthetic
+        // tasks see ~40x fewer steps, so thresholds get a faster rate to
+        // cover the same distance in the same 10 epochs
+        threshold_lr: 3e-2,
+        lr: 3e-3,
+        ..MimeTrainerConfig::default()
+    });
+    trainer.train(&mut net, &train)?;
+    let accuracy = eval_mime(&mut net, &test)?;
+    let sparsity = measure_sparsity(&mut net, &test)?;
+    let thresholds = net.export_thresholds();
+    Ok((
+        ChildResult { name: spec.name.clone(), accuracy, sparsity },
+        thresholds,
+    ))
+}
+
+/// Baseline path: train a fresh VGG on the child task (paper Table III).
+///
+/// # Errors
+///
+/// Propagates tensor errors from training.
+pub fn train_baseline_child(
+    setup: &ParentSetup,
+    scale: &ExperimentScale,
+    spec: &TaskSpec,
+) -> mime_nn::Result<(ChildResult, Sequential)> {
+    let task = setup.family.generate(spec);
+    let arch = child_arch(&setup.arch, scale, spec.classes);
+    let mut rng = StdRng::seed_from_u64(0xBA5E ^ u64::from(spec.id.0));
+    let mut net = build_network(&arch, &mut rng);
+    let train = task.train.batches(scale.batch);
+    let test = task.test.batches(scale.batch);
+    let mut opt = Adam::with_lr(1e-3);
+    for _ in 0..scale.child_epochs {
+        train_epoch(&mut net, &train, &mut opt)?;
+    }
+    let accuracy = evaluate(&mut net, &test)?;
+    let sparsity = measure_sparsity_baseline(&mut net, &test)?;
+    Ok((ChildResult { name: spec.name.clone(), accuracy, sparsity }, net))
+}
+
+/// Copies every parameter except the final classifier from `src` into
+/// `dst` (matched by name).
+pub fn graft_backbone(src: &Sequential, dst: &mut Sequential) {
+    let last_fc = src
+        .parameters()
+        .iter()
+        .filter(|p| p.name().starts_with("fc"))
+        .map(|p| p.name().split('.').next().unwrap_or_default().to_string())
+        .max()
+        .unwrap_or_default();
+    let source: std::collections::HashMap<String, mime_tensor::Tensor> = src
+        .parameters()
+        .into_iter()
+        .map(|p| (p.name().to_string(), p.value.clone()))
+        .collect();
+    for p in dst.parameters_mut() {
+        if p.name().starts_with(&last_fc) {
+            continue; // task-specific head keeps its fresh init
+        }
+        if let Some(v) = source.get(p.name()) {
+            if v.dims() == p.value.dims() {
+                p.value = v.clone();
+            }
+        }
+    }
+}
+
+/// Evaluates a MIME network's accuracy over test batches.
+///
+/// # Errors
+///
+/// Propagates tensor errors from the forward pass.
+pub fn eval_mime(
+    net: &mut MimeNetwork,
+    batches: &[(mime_tensor::Tensor, Vec<usize>)],
+) -> mime_nn::Result<f64> {
+    let mut hits = 0.0f64;
+    let mut count = 0usize;
+    for (images, labels) in batches {
+        let logits = net.forward(images)?;
+        hits += mime_nn::accuracy(&logits, labels)? * labels.len() as f64;
+        count += labels.len();
+    }
+    Ok(hits / count.max(1) as f64)
+}
+
+/// Pretty-prints a sparsity report next to the paper's published row.
+pub fn print_sparsity_row(name: &str, accuracy: f64, report: &SparsityReport) {
+    print!("{name:<14} acc {:>6.2}% |", accuracy * 100.0);
+    for l in &report.layers {
+        print!(" {}={:.3}", l.name, l.sparsity);
+    }
+    println!();
+}
+
+/// Converts a measured [`SparsityReport`] (layer names `conv1..conv13`,
+/// `fc14`, `fc15`) into the 16-entry [`mime_systolic::SparsityProfile`]
+/// the hardware model consumes — the "measured profiles" pathway of the
+/// figure binaries (`MIME_MEASURED=1`).
+pub fn profile_from_report(report: &SparsityReport) -> mime_systolic::SparsityProfile {
+    let order = [
+        "conv1", "conv2", "conv3", "conv4", "conv5", "conv6", "conv7", "conv8", "conv9",
+        "conv10", "conv11", "conv12", "conv13", "fc14", "fc15",
+    ];
+    let mut values: Vec<f64> =
+        order.iter().map(|n| report.get(n).unwrap_or(0.0)).collect();
+    values.push(0.0); // fc16 (classifier) is unmasked
+    mime_systolic::SparsityProfile::new(values)
+}
+
+/// Builds a [`mime_systolic::ProfileSet`] from this repo's own trained
+/// models: trains the three child tasks under both MIME and the baseline
+/// and installs their measured sparsity profiles. Slow (~2 min at the
+/// small scale); the figure binaries call it only under `MIME_MEASURED=1`.
+///
+/// # Errors
+///
+/// Propagates training errors.
+pub fn measured_profile_set(
+    scale: &ExperimentScale,
+    seed: u64,
+) -> mime_nn::Result<mime_systolic::ProfileSet> {
+    use mime_systolic::ChildTask;
+    let setup = train_parent(scale, seed)?;
+    let mut set = mime_systolic::ProfileSet::paper();
+    let tasks = [ChildTask::Cifar10, ChildTask::Cifar100, ChildTask::Fmnist];
+    for (spec, task) in child_specs().iter().zip(tasks) {
+        let (mime_result, _) = train_mime_child(&setup, scale, spec)?;
+        set = set.with_mime(task, profile_from_report(&mime_result.sparsity));
+        let (base_result, _) = train_baseline_child(&setup, scale, spec)?;
+        set = set.with_relu(task, profile_from_report(&base_result.sparsity));
+    }
+    Ok(set)
+}
+
+/// The paper's published rows for Table II (accuracy %, then the 11
+/// published layer sparsities).
+pub const PAPER_TABLE2: [(&str, f64, [f64; 11]); 3] = [
+    (
+        "CIFAR10",
+        83.57,
+        [0.6493, 0.6081, 0.6587, 0.6203, 0.6233, 0.6449, 0.6679, 0.6477, 0.6553, 0.6855, 0.657],
+    ),
+    (
+        "CIFAR100",
+        59.42,
+        [0.6522, 0.5951, 0.6373, 0.6100, 0.6121, 0.6279, 0.6580, 0.6374, 0.6388, 0.6703, 0.6571],
+    ),
+    (
+        "F-MNIST",
+        88.36,
+        [0.6075, 0.5634, 0.6138, 0.5991, 0.5959, 0.6017, 0.6204, 0.6014, 0.6125, 0.6138, 0.6287],
+    ),
+];
+
+/// The paper's published rows for Table III.
+pub const PAPER_TABLE3: [(&str, f64, [f64; 11]); 3] = [
+    (
+        "CIFAR10",
+        84.25,
+        [0.4983, 0.4506, 0.5390, 0.5015, 0.5097, 0.5341, 0.5635, 0.5358, 0.5420, 0.5627, 0.5608],
+    ),
+    (
+        "CIFAR100",
+        60.55,
+        [0.5030, 0.4586, 0.5399, 0.5069, 0.5129, 0.5333, 0.5633, 0.5345, 0.5449, 0.5842, 0.6002],
+    ),
+    (
+        "F-MNIST",
+        90.12,
+        [0.5114, 0.4796, 0.5488, 0.5230, 0.5260, 0.5329, 0.5503, 0.5280, 0.5343, 0.5507, 0.5820],
+    ),
+];
+
+/// Layer labels of the 11 published columns in Tables II/III.
+pub const PUBLISHED_LAYERS: [&str; 11] = [
+    "conv2", "conv4", "conv5", "conv7", "conv8", "conv9", "conv10", "conv12", "conv13",
+    "conv14", "conv15",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_presets() {
+        let s = ExperimentScale::small();
+        let f = ExperimentScale::full();
+        assert!(f.width > s.width);
+        assert_eq!(s.child_epochs, 10, "paper: 10 threshold epochs");
+    }
+
+    #[test]
+    fn child_specs_cover_three_tasks() {
+        let specs = child_specs();
+        assert_eq!(specs.len(), 3);
+        assert!(specs[1].classes > specs[0].classes, "cifar100-like is hardest");
+        assert!(specs[2].grayscale);
+    }
+
+    #[test]
+    fn paper_constants_have_11_columns() {
+        assert_eq!(PUBLISHED_LAYERS.len(), 11);
+        for (_, _, row) in PAPER_TABLE2.iter().chain(PAPER_TABLE3.iter()) {
+            assert_eq!(row.len(), 11);
+            assert!(row.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn profile_from_report_places_layers_in_order() {
+        use mime_core::{LayerSparsity, SparsityReport};
+        let report = SparsityReport {
+            layers: vec![
+                LayerSparsity { name: "conv1".into(), sparsity: 0.1 },
+                LayerSparsity { name: "conv2".into(), sparsity: 0.2 },
+                LayerSparsity { name: "fc14".into(), sparsity: 0.7 },
+                LayerSparsity { name: "fc15".into(), sparsity: 0.8 },
+            ],
+        };
+        let profile = profile_from_report(&report);
+        assert_eq!(profile.len(), 16);
+        assert_eq!(profile.output_sparsity(0), 0.1);
+        assert_eq!(profile.output_sparsity(1), 0.2);
+        // unreported layers default to dense (0 sparsity)
+        assert_eq!(profile.output_sparsity(5), 0.0);
+        assert_eq!(profile.output_sparsity(13), 0.7);
+        assert_eq!(profile.output_sparsity(14), 0.8);
+        assert_eq!(profile.output_sparsity(15), 0.0);
+    }
+
+    #[test]
+    fn graft_preserves_backbone_not_head() {
+        let scale = ExperimentScale { parent_epochs: 1, ..ExperimentScale::small() };
+        let arch = vgg16_arch(scale.width, scale.hw, 3, 4, scale.fc);
+        let mut rng = StdRng::seed_from_u64(1);
+        let src = build_network(&arch, &mut rng);
+        let arch2 = vgg16_arch(scale.width, scale.hw, 3, 7, scale.fc);
+        let mut rng2 = StdRng::seed_from_u64(2);
+        let mut dst = build_network(&arch2, &mut rng2);
+        let dst_head_before: Vec<f32> = dst
+            .parameters()
+            .iter()
+            .filter(|p| p.name() == "fc16.weight")
+            .flat_map(|p| p.value.as_slice().to_vec())
+            .collect();
+        graft_backbone(&src, &mut dst);
+        // conv1 copied
+        let sv = src.parameters().into_iter().find(|p| p.name() == "conv1.weight").unwrap().value.clone();
+        let dv = dst.parameters().into_iter().find(|p| p.name() == "conv1.weight").unwrap().value.clone();
+        assert_eq!(sv.as_slice(), dv.as_slice());
+        // head untouched
+        let head_after: Vec<f32> = dst
+            .parameters()
+            .iter()
+            .filter(|p| p.name() == "fc16.weight")
+            .flat_map(|p| p.value.as_slice().to_vec())
+            .collect();
+        assert_eq!(dst_head_before, head_after);
+    }
+}

@@ -1,0 +1,129 @@
+//! Golden regression tests: every figure's headline numbers, asserted.
+//!
+//! These lock the reproduction claims recorded in EXPERIMENTS.md — if a
+//! model change moves a figure out of its published band, this suite
+//! fails before the claim silently drifts.
+
+use mime_systolic::{
+    normalized_throughput, simulate_network, storage_curve, vgg16_geometry, Approach,
+    ArrayConfig, DramStorageModel, LayerResult, Scenario, TaskMode,
+};
+
+fn run(approach: Approach, mode: TaskMode) -> Vec<LayerResult> {
+    let geoms = vgg16_geometry(224);
+    simulate_network(&geoms, &ArrayConfig::eyeriss_65nm(), &Scenario { mode, approach })
+}
+
+fn savings(base: &[LayerResult], mime: &[LayerResult], idx: &[usize]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = 0.0f64;
+    for &i in idx {
+        let s = base[i].total_energy() / mime[i].total_energy();
+        lo = lo.min(s);
+        hi = hi.max(s);
+    }
+    (lo, hi)
+}
+
+const EVEN_CONVS: [usize; 6] = [1, 3, 5, 7, 9, 11];
+
+#[test]
+fn fig4_storage_savings_band() {
+    // paper: ~3.48x at 3 children, >n x behaviour
+    let model = DramStorageModel::from_geometry(&vgg16_geometry(224));
+    let s3 = model.savings(3);
+    assert!((3.0..3.5).contains(&s3), "3-children savings {s3}");
+    let curve = storage_curve(&vgg16_geometry(224), 8);
+    assert!(curve.windows(2).all(|w| w[1].savings > w[0].savings));
+}
+
+#[test]
+fn fig5_singular_bands() {
+    // paper: 1.8-2.5x vs Case-1; 1.07-1.30x vs Case-2 (even conv layers)
+    let c1 = run(Approach::Case1, TaskMode::paper_singular());
+    let c2 = run(Approach::Case2, TaskMode::paper_singular());
+    let mime = run(Approach::Mime, TaskMode::paper_singular());
+    let (lo1, hi1) = savings(&c1, &mime, &EVEN_CONVS);
+    let (lo2, hi2) = savings(&c2, &mime, &EVEN_CONVS);
+    assert!(lo1 > 1.8 && hi1 < 3.2, "vs Case-1: {lo1}-{hi1}");
+    assert!(lo2 > 1.05 && hi2 < 1.45, "vs Case-2: {lo2}-{hi2}");
+    // E_DRAM(MIME) ≥ E_DRAM(Case-2): thresholds ride along
+    for &i in &EVEN_CONVS {
+        assert!(mime[i].energy.e_dram >= c2[i].energy.e_dram * 0.999, "{}", mime[i].name);
+    }
+}
+
+#[test]
+fn fig6_pipelined_bands() {
+    // paper: 2.4-3.1x vs Case-1; 1.3-2.4x vs Case-2
+    let c1 = run(Approach::Case1, TaskMode::paper_pipelined());
+    let c2 = run(Approach::Case2, TaskMode::paper_pipelined());
+    let mime = run(Approach::Mime, TaskMode::paper_pipelined());
+    let (lo1, hi1) = savings(&c1, &mime, &EVEN_CONVS);
+    assert!(lo1 > 2.2 && hi1 < 3.2, "vs Case-1: {lo1}-{hi1}");
+    let (lo2, _) = savings(&c2, &mime, &EVEN_CONVS);
+    assert!(lo2 > 1.1, "vs Case-2 min: {lo2}");
+    // fc14 (the paper's conv14) shows the largest Case-2 gap
+    let s_fc = c2[13].total_energy() / mime[13].total_energy();
+    assert!(s_fc > 2.0, "conv14 vs Case-2: {s_fc}");
+}
+
+#[test]
+fn fig7_throughput_band() {
+    // paper: ~2.8-3.0x layerwise over Case-1
+    let c1 = run(Approach::Case1, TaskMode::paper_pipelined());
+    let mime = run(Approach::Mime, TaskMode::paper_pipelined());
+    let t = normalized_throughput(&c1, &mime);
+    for &i in &EVEN_CONVS {
+        assert!(
+            (2.3..3.3).contains(&t[i].speedup),
+            "{}: {}",
+            t[i].name,
+            t[i].speedup
+        );
+    }
+}
+
+#[test]
+fn fig8_crossover_and_late_wins() {
+    let mime = run(Approach::Mime, TaskMode::paper_pipelined());
+    let pruned = run(Approach::Pruned { weight_density: 0.1 }, TaskMode::paper_pipelined());
+    let ratio =
+        |i: usize| pruned[i].total_energy() / mime[i].total_energy();
+    // pruned wins the first layer decisively
+    assert!(ratio(0) < 0.9, "conv1 ratio {}", ratio(0));
+    // MIME wins from the early-mid layers, growing toward the FCs
+    assert!(ratio(6) > 1.05, "conv7 ratio {}", ratio(6));
+    assert!(ratio(12) > 1.2, "conv13 ratio {}", ratio(12));
+    assert!(ratio(13) > 2.0, "conv14 ratio {}", ratio(13));
+}
+
+#[test]
+fn fig9_ablation_bands() {
+    let geoms = vgg16_geometry(224);
+    let scen = Scenario { mode: TaskMode::paper_pipelined(), approach: Approach::Mime };
+    let a = simulate_network(&geoms, &ArrayConfig::eyeriss_65nm(), &scen);
+    let b = simulate_network(&geoms, &ArrayConfig::reduced_pe(), &scen);
+    let c = simulate_network(&geoms, &ArrayConfig::reduced_cache(), &scen);
+    // Case-B penalty concentrated in conv5..conv10 (paper: 1.26-1.41x;
+    // our band sits slightly lower — see EXPERIMENTS.md)
+    for i in 4..10 {
+        let r = b[i].total_energy() / a[i].total_energy();
+        assert!((1.05..1.5).contains(&r), "{}: {r}", a[i].name);
+    }
+    // Case-C is mild at network level
+    let t = |r: &[LayerResult]| r.iter().map(LayerResult::total_energy).sum::<f64>();
+    let rc = t(&c) / t(&a);
+    assert!(rc < 1.1, "cache penalty {rc}");
+    assert!(t(&b) / t(&a) > rc, "PE cut must hurt more than cache cut");
+}
+
+#[test]
+fn table4_constants_locked() {
+    let cfg = ArrayConfig::eyeriss_65nm();
+    assert_eq!(
+        (cfg.pe_count, cfg.weight_cache_bytes, cfg.spad_bytes, cfg.bytes_per_word),
+        (1024, 156 * 1024, 512, 2)
+    );
+    assert_eq!((cfg.e_dram, cfg.e_cache, cfg.e_reg, cfg.e_mac), (200.0, 6.0, 2.0, 1.0));
+}

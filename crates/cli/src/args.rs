@@ -1,0 +1,391 @@
+//! Hand-rolled argument parsing (the workspace's dependency policy keeps
+//! third-party crates to the approved offline set, which has no argv
+//! parser — and the surface is small enough not to need one).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `mime storage`: Fig. 4-style DRAM storage table.
+    Storage {
+        /// VGG16 input resolution (default 224).
+        input_hw: usize,
+        /// Maximum child-task count (default 8).
+        children: usize,
+    },
+    /// `mime simulate`: layerwise energy/throughput on the analytical
+    /// model.
+    Simulate {
+        /// `pipelined` (default) or `singular`.
+        pipelined: bool,
+        /// Inference approach.
+        approach: SimApproach,
+        /// PE-array size (default 1024).
+        pe: usize,
+        /// Cache capacity in KB (default 156).
+        cache_kb: usize,
+        /// VGG16 input resolution (default 224).
+        input_hw: usize,
+        /// Emit CSV instead of the aligned table.
+        csv: bool,
+    },
+    /// `mime train`: mini-scale threshold training on one child task.
+    Train {
+        /// Child task name.
+        task: String,
+        /// Threshold-training epochs (default 10).
+        epochs: usize,
+        /// RNG seed (default 42).
+        seed: u64,
+    },
+    /// `mime pack`: train a small multi-task model and write its
+    /// deployment image.
+    Pack {
+        /// Output path.
+        out: String,
+        /// Number of child tasks to pack (default 2).
+        tasks: usize,
+        /// RNG seed (default 42).
+        seed: u64,
+    },
+    /// `mime inspect`: summarize a deployment image.
+    Inspect {
+        /// Image path.
+        path: String,
+    },
+    /// `mime sweep`: batch-depth and task-mix energy scaling sweeps.
+    Sweep {
+        /// VGG16 input resolution (default 224).
+        input_hw: usize,
+        /// Maximum round-robin rounds for the batch-depth sweep
+        /// (default 6 → batches of 3..=18).
+        rounds: usize,
+    },
+    /// `mime validate`: analytical-vs-functional cross check.
+    Validate {
+        /// VGG16 input resolution (default 32; functional execution is
+        /// per-MAC, so keep it small).
+        input_hw: usize,
+    },
+    /// `mime help`.
+    Help,
+}
+
+/// Approach selector for `mime simulate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimApproach {
+    /// MIME.
+    Mime,
+    /// Baseline without zero-skipping.
+    Case1,
+    /// Baseline with zero-skipping.
+    Case2,
+    /// 90 %-pruned conventional models.
+    Pruned,
+}
+
+/// Error produced by [`parse_args`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+fn err(msg: impl Into<String>) -> ArgError {
+    ArgError(msg.into())
+}
+
+/// Splits `--key value` pairs and positionals from raw args.
+fn split_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), ArgError> {
+    let mut flags = HashMap::new();
+    let mut positional = Vec::new();
+    let mut i = 0usize;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(key) = a.strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| err(format!("flag --{key} needs a value")))?;
+            if flags.insert(key.to_string(), value.clone()).is_some() {
+                return Err(err(format!("flag --{key} given twice")));
+            }
+            i += 2;
+        } else {
+            positional.push(a.clone());
+            i += 1;
+        }
+    }
+    Ok((flags, positional))
+}
+
+fn get_num<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, ArgError> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| err(format!("flag --{key}: invalid value '{v}'"))),
+    }
+}
+
+fn reject_unknown(
+    flags: &HashMap<String, String>,
+    allowed: &[&str],
+) -> Result<(), ArgError> {
+    for key in flags.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(err(format!("unknown flag --{key}")));
+        }
+    }
+    Ok(())
+}
+
+/// Parses a full argv (excluding the program name) into a [`Command`].
+///
+/// # Errors
+///
+/// Returns [`ArgError`] with a user-facing message for unknown commands,
+/// unknown flags, missing values or out-of-range numbers.
+pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "storage" => {
+            let (flags, pos) = split_flags(rest)?;
+            reject_unknown(&flags, &["input-hw", "children"])?;
+            if !pos.is_empty() {
+                return Err(err(format!("unexpected argument '{}'", pos[0])));
+            }
+            let input_hw: usize = get_num(&flags, "input-hw", 224)?;
+            if !input_hw.is_multiple_of(32) {
+                return Err(err("--input-hw must be divisible by 32"));
+            }
+            Ok(Command::Storage { input_hw, children: get_num(&flags, "children", 8)? })
+        }
+        "simulate" => {
+            let (flags, pos) = split_flags(rest)?;
+            reject_unknown(&flags, &["mode", "approach", "pe", "cache-kb", "input-hw", "format"])?;
+            if !pos.is_empty() {
+                return Err(err(format!("unexpected argument '{}'", pos[0])));
+            }
+            let pipelined = match flags.get("mode").map(String::as_str) {
+                None | Some("pipelined") => true,
+                Some("singular") => false,
+                Some(m) => return Err(err(format!("unknown mode '{m}'"))),
+            };
+            let approach = match flags.get("approach").map(String::as_str) {
+                None | Some("mime") => SimApproach::Mime,
+                Some("case1") => SimApproach::Case1,
+                Some("case2") => SimApproach::Case2,
+                Some("pruned") => SimApproach::Pruned,
+                Some(a) => return Err(err(format!("unknown approach '{a}'"))),
+            };
+            let input_hw: usize = get_num(&flags, "input-hw", 224)?;
+            if !input_hw.is_multiple_of(32) {
+                return Err(err("--input-hw must be divisible by 32"));
+            }
+            let csv = match flags.get("format").map(String::as_str) {
+                None | Some("table") => false,
+                Some("csv") => true,
+                Some(f) => return Err(err(format!("unknown format '{f}'"))),
+            };
+            Ok(Command::Simulate {
+                pipelined,
+                approach,
+                pe: get_num(&flags, "pe", 1024)?,
+                cache_kb: get_num(&flags, "cache-kb", 156)?,
+                input_hw,
+                csv,
+            })
+        }
+        "train" => {
+            let (flags, pos) = split_flags(rest)?;
+            reject_unknown(&flags, &["task", "epochs", "seed"])?;
+            if !pos.is_empty() {
+                return Err(err(format!("unexpected argument '{}'", pos[0])));
+            }
+            let task = flags.get("task").cloned().unwrap_or_else(|| "cifar10".into());
+            if !["cifar10", "cifar100", "fmnist"].contains(&task.as_str()) {
+                return Err(err(format!(
+                    "unknown task '{task}' (expected cifar10|cifar100|fmnist)"
+                )));
+            }
+            Ok(Command::Train {
+                task,
+                epochs: get_num(&flags, "epochs", 10)?,
+                seed: get_num(&flags, "seed", 42)?,
+            })
+        }
+        "pack" => {
+            let (flags, pos) = split_flags(rest)?;
+            reject_unknown(&flags, &["out", "tasks", "seed"])?;
+            if !pos.is_empty() {
+                return Err(err(format!("unexpected argument '{}'", pos[0])));
+            }
+            let out = flags
+                .get("out")
+                .cloned()
+                .ok_or_else(|| err("pack requires --out <file>"))?;
+            let tasks: usize = get_num(&flags, "tasks", 2)?;
+            if tasks == 0 {
+                return Err(err("--tasks must be at least 1"));
+            }
+            Ok(Command::Pack { out, tasks, seed: get_num(&flags, "seed", 42)? })
+        }
+        "inspect" => {
+            let (flags, pos) = split_flags(rest)?;
+            reject_unknown(&flags, &[])?;
+            let path = pos
+                .first()
+                .cloned()
+                .ok_or_else(|| err("inspect requires a file path"))?;
+            Ok(Command::Inspect { path })
+        }
+        "sweep" => {
+            let (flags, pos) = split_flags(rest)?;
+            reject_unknown(&flags, &["input-hw", "rounds"])?;
+            if !pos.is_empty() {
+                return Err(err(format!("unexpected argument '{}'", pos[0])));
+            }
+            let input_hw: usize = get_num(&flags, "input-hw", 224)?;
+            if !input_hw.is_multiple_of(32) {
+                return Err(err("--input-hw must be divisible by 32"));
+            }
+            let rounds: usize = get_num(&flags, "rounds", 6)?;
+            if rounds == 0 {
+                return Err(err("--rounds must be at least 1"));
+            }
+            Ok(Command::Sweep { input_hw, rounds })
+        }
+        "validate" => {
+            let (flags, pos) = split_flags(rest)?;
+            reject_unknown(&flags, &["input-hw"])?;
+            if !pos.is_empty() {
+                return Err(err(format!("unexpected argument '{}'", pos[0])));
+            }
+            let input_hw: usize = get_num(&flags, "input-hw", 32)?;
+            if !input_hw.is_multiple_of(32) {
+                return Err(err("--input-hw must be divisible by 32"));
+            }
+            Ok(Command::Validate { input_hw })
+        }
+        other => Err(err(format!("unknown command '{other}' (try 'mime help')"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Command, ArgError> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_args(&v)
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(p(&[]).unwrap(), Command::Help);
+        assert_eq!(p(&["help"]).unwrap(), Command::Help);
+        assert_eq!(p(&["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn storage_defaults_and_flags() {
+        assert_eq!(
+            p(&["storage"]).unwrap(),
+            Command::Storage { input_hw: 224, children: 8 }
+        );
+        assert_eq!(
+            p(&["storage", "--children", "3", "--input-hw", "64"]).unwrap(),
+            Command::Storage { input_hw: 64, children: 3 }
+        );
+    }
+
+    #[test]
+    fn simulate_variants() {
+        match p(&["simulate"]).unwrap() {
+            Command::Simulate { pipelined, approach, pe, cache_kb, input_hw, csv } => {
+                assert!(pipelined);
+                assert_eq!(approach, SimApproach::Mime);
+                assert_eq!(pe, 1024);
+                assert_eq!(cache_kb, 156);
+                assert_eq!(input_hw, 224);
+                assert!(!csv);
+            }
+            other => panic!("{other:?}"),
+        }
+        match p(&["simulate", "--mode", "singular", "--approach", "pruned", "--pe", "256"])
+            .unwrap()
+        {
+            Command::Simulate { pipelined, approach, pe, .. } => {
+                assert!(!pipelined);
+                assert_eq!(approach, SimApproach::Pruned);
+                assert_eq!(pe, 256);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(p(&["bogus"]).is_err());
+        assert!(p(&["storage", "--bad", "1"]).is_err());
+        assert!(p(&["storage", "--children"]).is_err());
+        assert!(p(&["storage", "--children", "x"]).is_err());
+        assert!(p(&["storage", "--input-hw", "100"]).is_err());
+        assert!(p(&["simulate", "--mode", "warp"]).is_err());
+        assert!(p(&["simulate", "--approach", "magic"]).is_err());
+        assert!(p(&["simulate", "--format", "xml"]).is_err());
+        assert!(p(&["train", "--task", "imagenet"]).is_err());
+        assert!(p(&["pack"]).is_err());
+        assert!(p(&["pack", "--out", "f", "--tasks", "0"]).is_err());
+        assert!(p(&["inspect"]).is_err());
+        assert!(p(&["storage", "extra"]).is_err());
+        assert!(p(&["storage", "--children", "1", "--children", "2"]).is_err());
+    }
+
+    #[test]
+    fn train_pack_inspect_validate() {
+        assert_eq!(
+            p(&["train", "--task", "fmnist", "--epochs", "3", "--seed", "7"]).unwrap(),
+            Command::Train { task: "fmnist".into(), epochs: 3, seed: 7 }
+        );
+        assert_eq!(
+            p(&["pack", "--out", "model.mime"]).unwrap(),
+            Command::Pack { out: "model.mime".into(), tasks: 2, seed: 42 }
+        );
+        assert_eq!(
+            p(&["inspect", "model.mime"]).unwrap(),
+            Command::Inspect { path: "model.mime".into() }
+        );
+        assert_eq!(p(&["validate"]).unwrap(), Command::Validate { input_hw: 32 });
+        assert_eq!(
+            p(&["sweep", "--rounds", "2"]).unwrap(),
+            Command::Sweep { input_hw: 224, rounds: 2 }
+        );
+        assert!(p(&["sweep", "--rounds", "0"]).is_err());
+        match p(&["simulate", "--format", "csv"]).unwrap() {
+            Command::Simulate { csv, .. } => assert!(csv),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display_is_meaningful() {
+        let e = p(&["bogus"]).unwrap_err();
+        assert!(e.to_string().contains("bogus"));
+    }
+}

@@ -1,0 +1,420 @@
+//! Command implementations. Each writes human-readable output to the
+//! given writer, so tests can capture it.
+
+use crate::{Command, SimApproach};
+use bytes::Bytes;
+use mime_core::deploy::{pack_model, unpack_model};
+use mime_core::{
+    calibrate_thresholds, measure_sparsity, MimeNetwork, MimeTrainer, MimeTrainerConfig,
+    MultiTaskModel,
+};
+use mime_datasets::{TaskFamily, TaskSpec};
+use mime_nn::{build_network, evaluate, train_epoch, vgg16_arch, Adam};
+use mime_systolic::{
+    analytic_image_counts, simulate_network, storage_curve, vgg16_geometry_with, Approach,
+    ArrayConfig, FunctionalArray, Mapper, Scenario, TaskMode,
+};
+use mime_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::Write;
+
+/// Executes a parsed command, writing its report to `out`.
+///
+/// # Errors
+///
+/// Returns an error string suitable for printing to stderr (exit code 1).
+pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), String> {
+    match cmd {
+        Command::Help => {
+            write_help(out);
+            Ok(())
+        }
+        Command::Storage { input_hw, children } => storage(out, input_hw, children),
+        Command::Simulate { pipelined, approach, pe, cache_kb, input_hw, csv } => {
+            simulate(out, pipelined, approach, pe, cache_kb, input_hw, csv)
+        }
+        Command::Train { task, epochs, seed } => train(out, &task, epochs, seed),
+        Command::Pack { out: path, tasks, seed } => pack(out, &path, tasks, seed),
+        Command::Inspect { path } => inspect(out, &path),
+        Command::Sweep { input_hw, rounds } => sweep(out, input_hw, rounds),
+        Command::Validate { input_hw } => validate(out, input_hw),
+    }
+}
+
+fn write_help(out: &mut dyn Write) {
+    let _ = writeln!(
+        out,
+        "mime — multi-task inference with memory-efficient dynamic pruning\n\n\
+         commands:\n\
+         \x20 storage   [--input-hw 224] [--children 8]        DRAM storage vs task count (Fig. 4)\n\
+         \x20 simulate  [--mode pipelined|singular] [--approach mime|case1|case2|pruned]\n\
+         \x20           [--pe 1024] [--cache-kb 156] [--input-hw 224]   layerwise energy\n\
+         \x20 train     [--task cifar10|cifar100|fmnist] [--epochs 10] [--seed 42]\n\
+         \x20           mini-scale threshold training on a synthetic child task\n\
+         \x20 pack      --out <file> [--tasks 2] [--seed 42]   write a deployment image\n\
+         \x20 inspect   <file>                                 summarize a deployment image\n\
+         \x20 sweep     [--input-hw 224] [--rounds 6]          batch/task scaling sweeps\n\
+         \x20 validate  [--input-hw 32]                        analytical vs functional counters\n\
+         \x20 help                                             this message"
+    );
+}
+
+fn io_err(e: impl std::fmt::Display) -> String {
+    format!("error: {e}")
+}
+
+fn storage(out: &mut dyn Write, input_hw: usize, children: usize) -> Result<(), String> {
+    let geoms = vgg16_geometry_with(input_hw, 4096, 1000);
+    let _ = writeln!(
+        out,
+        "{:>9} {:>18} {:>12} {:>10}",
+        "children", "conventional (MB)", "MIME (MB)", "savings"
+    );
+    for p in storage_curve(&geoms, children) {
+        let _ = writeln!(
+            out,
+            "{:>9} {:>18.1} {:>12.1} {:>9.2}x",
+            p.n_children, p.conventional_mb, p.mime_mb, p.savings
+        );
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simulate(
+    out: &mut dyn Write,
+    pipelined: bool,
+    approach: SimApproach,
+    pe: usize,
+    cache_kb: usize,
+    input_hw: usize,
+    csv: bool,
+) -> Result<(), String> {
+    let cfg = ArrayConfig {
+        pe_count: pe,
+        act_cache_bytes: cache_kb * 1024,
+        weight_cache_bytes: cache_kb * 1024,
+        threshold_cache_bytes: cache_kb * 1024,
+        ..ArrayConfig::eyeriss_65nm()
+    };
+    let approach = match approach {
+        SimApproach::Mime => Approach::Mime,
+        SimApproach::Case1 => Approach::Case1,
+        SimApproach::Case2 => Approach::Case2,
+        SimApproach::Pruned => Approach::Pruned { weight_density: 0.1 },
+    };
+    let mode = if pipelined {
+        TaskMode::paper_pipelined()
+    } else {
+        TaskMode::paper_singular()
+    };
+    let geoms = vgg16_geometry_with(input_hw, 4096, 1000);
+    let results = simulate_network(&geoms, &cfg, &Scenario { mode, approach });
+    if csv {
+        let _ = write!(out, "{}", mime_systolic::report::render_csv(&results));
+    } else {
+        let _ = write!(out, "{}", mime_systolic::report::render_table(&results));
+    }
+    Ok(())
+}
+
+fn train(out: &mut dyn Write, task: &str, epochs: usize, seed: u64) -> Result<(), String> {
+    let family = TaskFamily::new(seed, 3, 32);
+    let parent_spec =
+        TaskSpec { classes: 10, ..TaskSpec::imagenet_like().with_samples(16, 4) };
+    let parent_task = family.generate(&parent_spec);
+    let arch = vgg16_arch(0.125, 32, 3, 10, 64);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+    let mut parent = build_network(&arch, &mut rng);
+    let mut opt = Adam::with_lr(1e-3);
+    let _ = writeln!(out, "training parent (imagenet-like stand-in)...");
+    for _ in 0..6 {
+        train_epoch(&mut parent, &parent_task.train.batches(16), &mut opt).map_err(io_err)?;
+    }
+    let pacc = evaluate(&mut parent, &parent_task.test.batches(16)).map_err(io_err)?;
+    let _ = writeln!(out, "parent accuracy: {:.2}%", pacc * 100.0);
+
+    let spec = match task {
+        "cifar100" => {
+            let mut s = TaskSpec::cifar100_like();
+            s.classes = 25;
+            s.train_per_class = 10;
+            s.test_per_class = 4;
+            s
+        }
+        "fmnist" => TaskSpec::fmnist_like().with_samples(16, 8),
+        _ => TaskSpec::cifar10_like().with_samples(16, 8),
+    };
+    let child = family.generate(&spec);
+    let child_arch = vgg16_arch(0.125, 32, 3, spec.classes, 64);
+    let mut net = MimeNetwork::from_trained_with_head(&child_arch, &parent, 0.01, true)
+        .map_err(io_err)?;
+    let train_batches = child.train.batches(16);
+    if let Some((images, _)) = train_batches.first() {
+        calibrate_thresholds(&mut net, images, 0.6).map_err(io_err)?;
+    }
+    let mut trainer = MimeTrainer::new(MimeTrainerConfig {
+        epochs,
+        threshold_lr: 3e-2,
+        lr: 3e-3,
+        ..MimeTrainerConfig::default()
+    });
+    let reports = trainer.train(&mut net, &train_batches).map_err(io_err)?;
+    for r in &reports {
+        let _ = writeln!(
+            out,
+            "epoch {:>2}: CE {:.3}  train-acc {:.2}%  sparsity {:.3}",
+            r.epoch,
+            r.ce_loss,
+            r.accuracy * 100.0,
+            r.mean_sparsity
+        );
+    }
+    let test = child.test.batches(16);
+    let mut hits = 0.0;
+    let mut n = 0usize;
+    for (images, labels) in &test {
+        let logits = net.forward(images).map_err(io_err)?;
+        hits += mime_nn::accuracy(&logits, labels).map_err(io_err)? * labels.len() as f64;
+        n += labels.len();
+    }
+    let sp = measure_sparsity(&mut net, &test).map_err(io_err)?;
+    let _ = writeln!(
+        out,
+        "{task}: test accuracy {:.2}%, mean dynamic sparsity {:.3}",
+        100.0 * hits / n.max(1) as f64,
+        sp.mean()
+    );
+    Ok(())
+}
+
+fn small_multitask_model(seed: u64, tasks: usize) -> Result<MultiTaskModel, String> {
+    let arch = vgg16_arch(0.0625, 32, 3, 8, 16);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let parent = build_network(&arch, &mut rng);
+    let net = MimeNetwork::from_trained(&arch, &parent, 0.01).map_err(io_err)?;
+    let mut model = MultiTaskModel::new(net);
+    for i in 0..tasks {
+        let banks = model
+            .network()
+            .export_thresholds()
+            .into_iter()
+            .map(|t| t.map(|_| 0.02 + 0.05 * i as f32))
+            .collect();
+        model.register_task(format!("task{i}"), banks).map_err(io_err)?;
+    }
+    Ok(model)
+}
+
+fn pack(out: &mut dyn Write, path: &str, tasks: usize, seed: u64) -> Result<(), String> {
+    let model = small_multitask_model(seed, tasks)?;
+    let image = pack_model(&model);
+    std::fs::write(path, &image).map_err(io_err)?;
+    let (w, t, n) = model.storage_profile();
+    let _ = writeln!(
+        out,
+        "wrote {path}: {} bytes ({} backbone params, {} thresholds/task x {n} tasks)",
+        image.len(),
+        w,
+        t
+    );
+    Ok(())
+}
+
+fn inspect(out: &mut dyn Write, path: &str) -> Result<(), String> {
+    let raw = std::fs::read(path).map_err(io_err)?;
+    let bytes = Bytes::from(raw);
+    // Rebuild a compatible receiver at the pack() architecture; a wrong
+    // architecture is reported as a readable error.
+    let mut model = small_multitask_model(0, 0)?;
+    unpack_model(&bytes, &mut model)
+        .map_err(|e| format!("error: not a compatible deployment image: {e}"))?;
+    let (w, t, n) = model.storage_profile();
+    let _ = writeln!(out, "{path}: valid MIME deployment image");
+    let _ = writeln!(out, "  backbone parameters: {w}");
+    let _ = writeln!(out, "  thresholds per task: {t}");
+    let _ = writeln!(out, "  registered tasks:    {n}");
+    for task in model.tasks() {
+        let _ = writeln!(out, "    - {}", task.name);
+    }
+    Ok(())
+}
+
+fn sweep(out: &mut dyn Write, input_hw: usize, rounds: usize) -> Result<(), String> {
+    let geoms = vgg16_geometry_with(input_hw, 4096, 1000);
+    let cfg = ArrayConfig::eyeriss_65nm();
+    let _ = writeln!(out, "batch-depth sweep (3 tasks, round-robin):");
+    let _ = writeln!(out, "{:>7} {:>16} {:>16} {:>10}", "batch", "conventional", "MIME", "savings");
+    for p in mime_systolic::sweep_batch_depth(&geoms, &cfg, rounds) {
+        let _ = writeln!(
+            out,
+            "{:>7} {:>16.4e} {:>16.4e} {:>9.2}x",
+            p.x, p.conventional, p.mime, p.savings
+        );
+    }
+    let _ = writeln!(out, "\ntask-mix sweep (fixed batch of 6):");
+    let _ = writeln!(out, "{:>7} {:>16} {:>16} {:>10}", "tasks", "conventional", "MIME", "savings");
+    for p in mime_systolic::sweep_task_mix(&geoms, &cfg) {
+        let _ = writeln!(
+            out,
+            "{:>7} {:>16.4e} {:>16.4e} {:>9.2}x",
+            p.x, p.conventional, p.mime, p.savings
+        );
+    }
+    Ok(())
+}
+
+fn validate(out: &mut dyn Write, input_hw: usize) -> Result<(), String> {
+    let geoms = vgg16_geometry_with(input_hw, 256, 10);
+    let cfg = ArrayConfig::eyeriss_65nm();
+    let mapper = Mapper::new(cfg);
+    let mut rng = StdRng::seed_from_u64(7);
+    let density = 0.35f64;
+    let _ = writeln!(out, "{:<8} {:>8} {:>8} {:>8}", "layer", "macs", "dram", "energy");
+    let mut worst: f64 = 1.0;
+    for geom in &geoms {
+        let mapping = mapper.best_mapping(geom, 0.5, 1.0);
+        let weights = Tensor::from_fn(&[geom.k, geom.c, geom.r, geom.r], |i| {
+            (((i * 13) % 11) as f32 - 5.0) * 0.03
+        });
+        let bias = Tensor::zeros(&[geom.k]);
+        let input = Tensor::from_fn(&[geom.c, geom.in_hw, geom.in_hw], |_| {
+            if rng.gen_bool(density) {
+                rng.gen_range(0.05f32..1.0)
+            } else {
+                0.0
+            }
+        });
+        let thresholds = Tensor::full(&[geom.k * geom.sites()], 0.1);
+        let mut array = FunctionalArray::new(cfg);
+        let result = array
+            .run_layer(geom, &mapping, &weights, &bias, &input, Some(&thresholds), true)
+            .map_err(io_err)?;
+        let c = array.counters();
+        let doo = 1.0 - result.sparsity();
+        let ana = analytic_image_counts(geom, &cfg, &mapping, density, doo, 1.0, true);
+        let e_fn = c.energy(&cfg);
+        let e_ana = mime_systolic::EnergyModel::from_breakdown(&ana, &cfg).total();
+        let er = e_fn / e_ana.max(1.0);
+        worst = worst.max(er.max(1.0 / er));
+        let _ = writeln!(
+            out,
+            "{:<8} {:>8.2} {:>8.2} {:>8.2}",
+            geom.name,
+            c.macs as f64 / ana.macs.max(1.0),
+            (c.dram_reads + c.dram_writes) as f64 / ana.dram_words().max(1.0),
+            er
+        );
+    }
+    let _ = writeln!(out, "worst-case energy ratio: {worst:.2}x");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn capture(cmd: Command) -> String {
+        let mut buf = Vec::new();
+        run(cmd, &mut buf).expect("command runs");
+        String::from_utf8(buf).expect("utf8 output")
+    }
+
+    #[test]
+    fn help_lists_all_commands() {
+        let s = capture(Command::Help);
+        for cmd in ["storage", "simulate", "train", "pack", "inspect", "sweep", "validate"] {
+            assert!(s.contains(cmd), "{cmd} missing from help");
+        }
+    }
+
+    #[test]
+    fn storage_prints_curve() {
+        let s = capture(Command::Storage { input_hw: 64, children: 3 });
+        assert!(s.contains("children"));
+        assert_eq!(s.lines().count(), 1 + 4); // header + 0..=3
+        assert!(s.contains('x'));
+    }
+
+    #[test]
+    fn simulate_prints_all_layers() {
+        let s = capture(Command::Simulate {
+            pipelined: true,
+            approach: SimApproach::Mime,
+            pe: 1024,
+            cache_kb: 156,
+            input_hw: 64,
+            csv: false,
+        });
+        assert!(s.contains("conv16"));
+        assert!(s.contains("TOTAL"));
+    }
+
+    #[test]
+    fn simulate_csv_output() {
+        let s = capture(Command::Simulate {
+            pipelined: true,
+            approach: SimApproach::Case2,
+            pe: 1024,
+            cache_kb: 156,
+            input_hw: 64,
+            csv: true,
+        });
+        assert!(s.starts_with("layer,e_dram"));
+        assert_eq!(s.lines().count(), 17);
+    }
+
+    #[test]
+    fn pack_and_inspect_round_trip() {
+        let dir = std::env::temp_dir().join("mime_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.mime");
+        let path_str = path.to_str().unwrap().to_string();
+        let s = capture(Command::Pack { out: path_str.clone(), tasks: 2, seed: 1 });
+        assert!(s.contains("wrote"));
+        let s = capture(Command::Inspect { path: path_str });
+        assert!(s.contains("valid MIME deployment image"));
+        assert!(s.contains("task0"));
+        assert!(s.contains("task1"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn inspect_rejects_garbage() {
+        let dir = std::env::temp_dir().join("mime_cli_test_garbage");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("junk.bin");
+        std::fs::write(&path, b"not an image").unwrap();
+        let mut buf = Vec::new();
+        let err = run(
+            Command::Inspect { path: path.to_str().unwrap().into() },
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.contains("not a compatible"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn inspect_missing_file_errors() {
+        let mut buf = Vec::new();
+        assert!(run(Command::Inspect { path: "/nonexistent/x.mime".into() }, &mut buf)
+            .is_err());
+    }
+
+    #[test]
+    fn sweep_prints_both_tables() {
+        let s = capture(Command::Sweep { input_hw: 64, rounds: 2 });
+        assert!(s.contains("batch-depth sweep"));
+        assert!(s.contains("task-mix sweep"));
+        assert!(s.matches('x').count() >= 5);
+    }
+
+    #[test]
+    fn validate_small_geometry() {
+        let s = capture(Command::Validate { input_hw: 32 });
+        assert!(s.contains("worst-case energy ratio"));
+        assert!(s.contains("conv1"));
+    }
+}

@@ -1,0 +1,24 @@
+//! # mime-cli
+//!
+//! Command-line front end to the MIME reproduction. The `mime` binary
+//! exposes the library's main workflows without writing Rust:
+//!
+//! ```text
+//! mime storage   [--input-hw 224] [--children 8]
+//! mime simulate  [--mode pipelined|singular] [--approach mime|case1|case2|pruned]
+//!                [--pe 1024] [--cache-kb 156] [--input-hw 224]
+//! mime train     [--task cifar10|cifar100|fmnist] [--epochs 10] [--seed 42]
+//! mime pack      --out <file> [--tasks 2] [--seed 42]
+//! mime inspect   <file>
+//! mime validate  [--input-hw 32]
+//! mime help
+//! ```
+//!
+//! This crate keeps all command logic in the library (`run` +
+//! `parse_args`) so it is unit-testable; `src/main.rs` is a thin shim.
+
+mod args;
+mod commands;
+
+pub use args::{parse_args, ArgError, Command, SimApproach};
+pub use commands::run;

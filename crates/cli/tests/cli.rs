@@ -1,0 +1,83 @@
+//! Integration tests driving the compiled `mime` binary.
+
+use std::process::Command;
+
+fn mime() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mime"))
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = mime().arg("help").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("storage"));
+    assert!(text.contains("simulate"));
+}
+
+#[test]
+fn no_args_shows_help() {
+    let out = mime().output().expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("commands:"));
+}
+
+#[test]
+fn storage_table() {
+    let out = mime()
+        .args(["storage", "--children", "3", "--input-hw", "224"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("conventional"));
+    // 3 children + header + zero row
+    assert!(text.lines().count() >= 5);
+}
+
+#[test]
+fn simulate_small() {
+    let out = mime()
+        .args(["simulate", "--input-hw", "64", "--approach", "case2"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("TOTAL"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = mime().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("frobnicate"));
+}
+
+#[test]
+fn bad_flag_fails() {
+    let out = mime()
+        .args(["storage", "--children", "many"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("children"));
+}
+
+#[test]
+fn pack_writes_file_and_inspect_reads_it() {
+    let dir = std::env::temp_dir().join("mime_cli_bin_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("m.mime");
+    let out = mime()
+        .args(["pack", "--out", path.to_str().unwrap(), "--tasks", "1"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(path.exists());
+    let out = mime()
+        .args(["inspect", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("registered tasks"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,287 @@
+//! Deployment packing: the on-DRAM image MIME actually stores.
+//!
+//! The paper's memory-efficiency claim is about what sits in off-chip
+//! DRAM: one 16-bit `W_parent` plus one 16-bit threshold bank per child
+//! task. This module serializes exactly that artifact —
+//! `{W_parent, T_child-1..n}` — into a length-framed binary image (using
+//! the 16-bit quantizer from [`mime_nn::quant`]) and restores it into a
+//! [`MultiTaskModel`]. The byte counts it produces are the ground truth
+//! the Fig. 4 storage model predicts.
+//!
+//! ## Wire format
+//!
+//! ```text
+//! magic "MIME" | version u16 | backbone-count u32 |
+//!   { name-len u16, name, rank u16, dims u32…, scale f32, len u32, i16… }…
+//! task-count u32 |
+//!   { name-len u16, name, bank-count u32, { rank, dims…, scale, len, i16… }… }…
+//! ```
+
+use crate::{MultiTaskModel, TaskEntry};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mime_nn::quant::QuantizedTensor;
+use mime_tensor::{Tensor, TensorError};
+use std::collections::HashMap;
+
+const MAGIC: &[u8; 4] = b"MIME";
+const VERSION: u16 = 1;
+
+fn err(msg: impl Into<String>) -> TensorError {
+    TensorError::InvalidGeometry(msg.into())
+}
+
+fn put_tensor(buf: &mut BytesMut, t: &Tensor) {
+    let q = QuantizedTensor::quantize(t);
+    buf.put_u16(q.dims().len() as u16);
+    for &d in q.dims() {
+        buf.put_u32(d as u32);
+    }
+    buf.put_f32(q.scale());
+    buf.put_u32(q.values().len() as u32);
+    for &v in q.values() {
+        buf.put_i16(v);
+    }
+}
+
+fn get_tensor(buf: &mut Bytes) -> crate::Result<Tensor> {
+    if buf.remaining() < 2 {
+        return Err(err("truncated image: tensor header"));
+    }
+    let rank = buf.get_u16() as usize;
+    if buf.remaining() < rank * 4 + 8 {
+        return Err(err("truncated image: tensor dims"));
+    }
+    let dims: Vec<usize> = (0..rank).map(|_| buf.get_u32() as usize).collect();
+    let scale = buf.get_f32();
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len * 2 {
+        return Err(err("truncated image: tensor payload"));
+    }
+    let values: Vec<i16> = (0..len).map(|_| buf.get_i16()).collect();
+    Ok(QuantizedTensor::from_parts(dims, scale, values)?.dequantize())
+}
+
+fn put_name(buf: &mut BytesMut, name: &str) {
+    buf.put_u16(name.len() as u16);
+    buf.put_slice(name.as_bytes());
+}
+
+fn get_name(buf: &mut Bytes) -> crate::Result<String> {
+    if buf.remaining() < 2 {
+        return Err(err("truncated image: name length"));
+    }
+    let len = buf.get_u16() as usize;
+    if buf.remaining() < len {
+        return Err(err("truncated image: name bytes"));
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| err("invalid utf-8 in name"))
+}
+
+/// Serializes a multi-task model's DRAM-resident parameters
+/// (`W_parent` + every registered task's threshold banks) at 16-bit
+/// precision.
+pub fn pack_model(model: &MultiTaskModel) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u16(VERSION);
+    let backbone = model.network().backbone_params();
+    buf.put_u32(backbone.len() as u32);
+    for p in backbone {
+        put_name(&mut buf, p.name());
+        put_tensor(&mut buf, &p.value);
+    }
+    buf.put_u32(model.tasks().len() as u32);
+    for TaskEntry { name, thresholds } in model.tasks() {
+        put_name(&mut buf, name);
+        buf.put_u32(thresholds.len() as u32);
+        for bank in thresholds {
+            put_tensor(&mut buf, bank);
+        }
+    }
+    buf.freeze()
+}
+
+/// Restores a packed image into a model built over the **same
+/// architecture**: backbone values are overwritten and every packed task
+/// is registered.
+///
+/// The receiver should carry no task whose name collides with a packed
+/// task — collisions abort the restore partway (backbone already
+/// replaced, earlier tasks already registered).
+///
+/// # Errors
+///
+/// Returns an error for a bad magic/version, a truncated image, a shape
+/// mismatch against the receiving model, or a task-name collision.
+pub fn unpack_model(bytes: &Bytes, model: &mut MultiTaskModel) -> crate::Result<()> {
+    let mut buf = bytes.clone();
+    if buf.remaining() < 6 {
+        return Err(err("truncated image: header"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(err("bad magic: not a MIME deployment image"));
+    }
+    let version = buf.get_u16();
+    if version != VERSION {
+        return Err(err(format!("unsupported image version {version}")));
+    }
+    if buf.remaining() < 4 {
+        return Err(err("truncated image: backbone count"));
+    }
+    let n_backbone = buf.get_u32() as usize;
+    let mut backbone = HashMap::with_capacity(n_backbone);
+    for _ in 0..n_backbone {
+        let name = get_name(&mut buf)?;
+        let tensor = get_tensor(&mut buf)?;
+        backbone.insert(name, tensor);
+    }
+    model.network_mut().import_backbone(&backbone)?;
+    if buf.remaining() < 4 {
+        return Err(err("truncated image: task count"));
+    }
+    let n_tasks = buf.get_u32() as usize;
+    for _ in 0..n_tasks {
+        let name = get_name(&mut buf)?;
+        if buf.remaining() < 4 {
+            return Err(err("truncated image: bank count"));
+        }
+        let n_banks = buf.get_u32() as usize;
+        let mut banks = Vec::with_capacity(n_banks);
+        for _ in 0..n_banks {
+            banks.push(get_tensor(&mut buf)?);
+        }
+        model.register_task(name, banks)?;
+    }
+    Ok(())
+}
+
+/// Parameter-payload bytes of a packed model (16-bit values only,
+/// excluding names and framing) — directly comparable to the Fig. 4
+/// storage model.
+pub fn payload_bytes(model: &MultiTaskModel) -> usize {
+    let (w, t, n) = model.storage_profile();
+    (w + t * n) * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MimeNetwork;
+    use mime_nn::{build_network, vgg16_arch};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model_with_tasks(seed: u64, n_tasks: usize) -> MultiTaskModel {
+        let arch = vgg16_arch(0.0625, 32, 3, 4, 8);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let parent = build_network(&arch, &mut rng);
+        let net = MimeNetwork::from_trained(&arch, &parent, 0.01).unwrap();
+        let mut model = MultiTaskModel::new(net);
+        for i in 0..n_tasks {
+            let banks = model
+                .network()
+                .export_thresholds()
+                .into_iter()
+                .map(|t| t.map(|_| 0.05 + 0.1 * i as f32))
+                .collect();
+            model.register_task(format!("task{i}"), banks).unwrap();
+        }
+        model
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let model = model_with_tasks(1, 2);
+        let image = pack_model(&model);
+        // receiver: same arch, different weights, no tasks
+        let mut receiver = model_with_tasks(99, 0);
+        unpack_model(&image, &mut receiver).unwrap();
+        assert_eq!(receiver.tasks().len(), 2);
+        // thresholds restored within quantization error
+        receiver.activate("task1").unwrap();
+        let bank = receiver.network().masks()[0].thresholds();
+        for &t in bank.as_slice() {
+            assert!((t - 0.15).abs() < 1e-3, "{t}");
+        }
+        // backbone restored: forward outputs match the source closely
+        let probe =
+            mime_tensor::Tensor::from_fn(&[1, 3, 32, 32], |i| ((i % 11) as f32) * 0.05);
+        let mut src = model_with_tasks(1, 2);
+        src.activate("task1").unwrap();
+        let want = src.network_mut().forward(&probe).unwrap();
+        let got = receiver.network_mut().forward(&probe).unwrap();
+        for (a, b) in want.as_slice().iter().zip(got.as_slice()) {
+            assert!((a - b).abs() < 0.05 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let model = model_with_tasks(2, 1);
+        let image = pack_model(&model);
+        let mut receiver = model_with_tasks(3, 0);
+
+        let mut bad = image.to_vec();
+        bad[0] = b'X';
+        assert!(unpack_model(&Bytes::from(bad), &mut receiver).is_err());
+
+        let truncated = image.slice(0..image.len() / 2);
+        assert!(unpack_model(&truncated, &mut receiver).is_err());
+
+        assert!(unpack_model(&Bytes::from_static(b"MI"), &mut receiver).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let model = model_with_tasks(4, 0);
+        let mut image = pack_model(&model).to_vec();
+        image[4] = 0xFF;
+        let mut receiver = model_with_tasks(5, 0);
+        assert!(unpack_model(&Bytes::from(image), &mut receiver).is_err());
+    }
+
+    #[test]
+    fn image_size_tracks_storage_model() {
+        let model1 = model_with_tasks(6, 1);
+        let model3 = model_with_tasks(6, 3);
+        let img1 = pack_model(&model1).len();
+        let img3 = pack_model(&model3).len();
+        // marginal cost of two more tasks ≈ 2 threshold banks at 16-bit
+        let expected_delta = 2 * model1.network().num_thresholds() * 2;
+        let delta = img3 - img1;
+        assert!(
+            (delta as i64 - expected_delta as i64).unsigned_abs() < 2048,
+            "delta {delta} vs expected {expected_delta}"
+        );
+        // framing overhead is small against the payload
+        assert!(img1 as f64 <= payload_bytes(&model1) as f64 * 1.05 + 4096.0);
+    }
+
+    #[test]
+    fn double_unpack_rejects_duplicate_tasks() {
+        let model = model_with_tasks(10, 1);
+        let image = pack_model(&model);
+        let mut receiver = model_with_tasks(11, 0);
+        unpack_model(&image, &mut receiver).unwrap();
+        assert_eq!(receiver.tasks().len(), 1);
+        // a second restore collides on the task name
+        assert!(unpack_model(&image, &mut receiver).is_err());
+        assert_eq!(receiver.tasks().len(), 1, "no partial duplicate registration");
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        // pack from one arch, unpack into a different width → shape error
+        let model = model_with_tasks(7, 1);
+        let image = pack_model(&model);
+        let arch = vgg16_arch(0.125, 32, 3, 4, 8);
+        let mut rng = StdRng::seed_from_u64(8);
+        let parent = build_network(&arch, &mut rng);
+        let net = MimeNetwork::from_trained(&arch, &parent, 0.01).unwrap();
+        let mut receiver = MultiTaskModel::new(net);
+        assert!(unpack_model(&image, &mut receiver).is_err());
+    }
+}

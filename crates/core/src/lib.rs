@@ -1,0 +1,48 @@
+//! # mime-core
+//!
+//! The paper's primary contribution: **task-specific threshold learning
+//! for multi-task inference over a single frozen backbone**.
+//!
+//! A MIME model consists of the parent task's weights `W_parent` (frozen)
+//! plus, for every child task, one learned threshold per output neuron
+//! (`T_child`). At inference the pre-activation `y_i` of neuron `i` is
+//! compared against its threshold `t_i` (paper eq. 1):
+//!
+//! ```text
+//! m_i = 1 if y_i − t_i ≥ 0 else 0        (binary mask)
+//! a_i = y_i · m_i                         (eq. 2, dynamic pruning)
+//! ```
+//!
+//! Thresholds are trained with the straight-through piecewise-linear
+//! estimator of Liu et al. (Dynamic Sparse Training) and the loss
+//! `L = L_CE + β · Σ exp(t_i)` (eqs. 3–4, β = 1e-6).
+//!
+//! ## Crate layout
+//!
+//! * [`ThresholdMask`] — the masking layer (implements `mime_nn::Layer`).
+//! * [`MimeNetwork`] — a frozen backbone with threshold masks spliced in.
+//! * [`MimeTrainer`] — Adam over thresholds only, with the regularizer.
+//! * [`MultiTaskModel`] — `{W_parent, T_child-1..n}` with task switching.
+//! * [`SparsityReport`] / [`measure_sparsity`] — the Tables II/III
+//!   measurement.
+//! * [`params`] — parameter/storage accounting (feeds the Fig. 4 model).
+
+mod calibrate;
+pub mod deploy;
+mod multitask;
+mod network;
+pub mod params;
+mod sparsity;
+pub mod stats;
+mod threshold;
+mod trainer;
+
+pub use calibrate::calibrate_thresholds;
+pub use multitask::{MultiTaskModel, TaskEntry};
+pub use network::MimeNetwork;
+pub use sparsity::{measure_sparsity, measure_sparsity_baseline, LayerSparsity, SparsityReport};
+pub use threshold::{surrogate_gradient, ThresholdGranularity, ThresholdMask};
+pub use trainer::{MimeTrainer, MimeTrainerConfig, ThresholdEpochReport};
+
+/// Result alias shared with the tensor/nn crates.
+pub type Result<T> = mime_tensor::Result<T>;

@@ -1,0 +1,330 @@
+//! The deployable multi-task model: `{W_parent, T_child-1, …, T_child-n}`.
+
+use crate::MimeNetwork;
+use mime_tensor::{Tensor, TensorError};
+
+/// One registered child task: its name and threshold banks.
+#[derive(Debug, Clone)]
+pub struct TaskEntry {
+    /// Task name (e.g. `"cifar10-like"`).
+    pub name: String,
+    /// Threshold banks in network order (one per masked layer).
+    pub thresholds: Vec<Tensor>,
+}
+
+impl TaskEntry {
+    /// Total threshold parameter count of this task.
+    pub fn num_thresholds(&self) -> usize {
+        self.thresholds.iter().map(Tensor::len).sum()
+    }
+}
+
+/// A single frozen backbone serving any number of child tasks by swapping
+/// threshold banks — the artifact MIME stores in DRAM.
+///
+/// ```
+/// # use mime_core::{MimeNetwork, MultiTaskModel};
+/// # use mime_nn::{build_network, vgg16_arch};
+/// # use rand::{rngs::StdRng, SeedableRng};
+/// # fn main() -> Result<(), mime_tensor::TensorError> {
+/// let arch = vgg16_arch(0.0625, 32, 3, 4, 16);
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let parent = build_network(&arch, &mut rng);
+/// let net = MimeNetwork::from_trained(&arch, &parent, 0.01)?;
+/// let mut model = MultiTaskModel::new(net);
+/// model.adopt_current("child-a")?;
+/// assert_eq!(model.tasks().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MultiTaskModel {
+    net: MimeNetwork,
+    tasks: Vec<TaskEntry>,
+    active: Option<usize>,
+    /// Number of threshold-bank swaps performed (hardware: threshold
+    /// reloads from DRAM).
+    switches: usize,
+}
+
+impl MultiTaskModel {
+    /// Wraps a MIME network with an empty task registry.
+    pub fn new(net: MimeNetwork) -> Self {
+        MultiTaskModel { net, tasks: Vec::new(), active: None, switches: 0 }
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &MimeNetwork {
+        &self.net
+    }
+
+    /// Mutable access to the underlying network (e.g. for training a new
+    /// task's thresholds in place before [`adopt_current`](Self::adopt_current)).
+    pub fn network_mut(&mut self) -> &mut MimeNetwork {
+        &mut self.net
+    }
+
+    /// Registered tasks in registration order.
+    pub fn tasks(&self) -> &[TaskEntry] {
+        &self.tasks
+    }
+
+    /// Name of the currently active task, if any.
+    pub fn active_task(&self) -> Option<&str> {
+        self.active.map(|i| self.tasks[i].name.as_str())
+    }
+
+    /// Number of threshold swaps performed so far (pipelined-mode
+    /// instrumentation).
+    pub fn switch_count(&self) -> usize {
+        self.switches
+    }
+
+    /// Registers explicit threshold banks under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the banks do not fit the network, or the
+    /// name is already registered.
+    pub fn register_task(&mut self, name: impl Into<String>, thresholds: Vec<Tensor>) -> crate::Result<()> {
+        let name = name.into();
+        if self.tasks.iter().any(|t| t.name == name) {
+            return Err(TensorError::InvalidGeometry(format!(
+                "task '{name}' already registered"
+            )));
+        }
+        // validate by installing then restoring
+        let current = self.net.export_thresholds();
+        self.net.import_thresholds(&thresholds)?;
+        self.net
+            .import_thresholds(&current)
+            .expect("restoring previously exported thresholds cannot fail");
+        self.tasks.push(TaskEntry { name, thresholds });
+        Ok(())
+    }
+
+    /// Registers the network's *current* thresholds as task `name` —
+    /// typically called right after training that task.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the name is already registered.
+    pub fn adopt_current(&mut self, name: impl Into<String>) -> crate::Result<()> {
+        let banks = self.net.export_thresholds();
+        self.register_task(name, banks)
+    }
+
+    /// Makes `name` the active task (installs its thresholds). A no-op
+    /// when it is already active — mirroring the hardware, which only
+    /// reloads threshold caches on a task switch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the task is unknown.
+    pub fn activate(&mut self, name: &str) -> crate::Result<()> {
+        let idx = self
+            .tasks
+            .iter()
+            .position(|t| t.name == name)
+            .ok_or_else(|| TensorError::InvalidGeometry(format!("unknown task '{name}'")))?;
+        if self.active == Some(idx) {
+            return Ok(());
+        }
+        let banks = self.tasks[idx].thresholds.clone();
+        self.net.import_thresholds(&banks)?;
+        self.active = Some(idx);
+        self.switches += 1;
+        Ok(())
+    }
+
+    /// Runs inference for one task on a batch of its images.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown task or an incompatible batch.
+    pub fn infer(&mut self, task: &str, images: &Tensor) -> crate::Result<Tensor> {
+        self.activate(task)?;
+        self.net.forward(images)
+    }
+
+    /// Pipelined inference: processes `(task, image)` pairs in order,
+    /// switching thresholds only when the task changes (the paper's
+    /// *Pipelined task mode*). Returns per-image logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown task or an incompatible image.
+    pub fn infer_pipelined(
+        &mut self,
+        items: &[(String, Tensor)],
+    ) -> crate::Result<Vec<Tensor>> {
+        let mut out = Vec::with_capacity(items.len());
+        for (task, image) in items {
+            out.push(self.infer(task, image)?);
+        }
+        Ok(out)
+    }
+
+    /// Names of the registered tasks, in registration order.
+    pub fn task_names(&self) -> Vec<&str> {
+        self.tasks.iter().map(|t| t.name.as_str()).collect()
+    }
+
+    /// Removes a registered task, returning its entry. Deactivates it if
+    /// it was active (the installed thresholds remain in the network
+    /// until the next [`activate`](Self::activate)).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the task is unknown.
+    pub fn remove_task(&mut self, name: &str) -> crate::Result<TaskEntry> {
+        let idx = self
+            .tasks
+            .iter()
+            .position(|t| t.name == name)
+            .ok_or_else(|| TensorError::InvalidGeometry(format!("unknown task '{name}'")))?;
+        match self.active {
+            Some(a) if a == idx => self.active = None,
+            Some(a) if a > idx => self.active = Some(a - 1),
+            _ => {}
+        }
+        Ok(self.tasks.remove(idx))
+    }
+
+    /// Storage accounting of this model: `(backbone_params,
+    /// thresholds_per_task, n_tasks)` — the inputs of the paper's Fig. 4
+    /// DRAM-storage comparison.
+    pub fn storage_profile(&self) -> (usize, usize, usize) {
+        (
+            self.net.num_backbone_params(),
+            self.net.num_thresholds(),
+            self.tasks.len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mime_nn::{build_network, vgg16_arch};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> MultiTaskModel {
+        let arch = vgg16_arch(0.0625, 32, 3, 4, 16);
+        let mut rng = StdRng::seed_from_u64(0);
+        let parent = build_network(&arch, &mut rng);
+        let net = MimeNetwork::from_trained(&arch, &parent, 0.01).unwrap();
+        MultiTaskModel::new(net)
+    }
+
+    fn banks_scaled(m: &MultiTaskModel, v: f32) -> Vec<Tensor> {
+        m.network()
+            .export_thresholds()
+            .into_iter()
+            .map(|t| t.map(|_| v))
+            .collect()
+    }
+
+    #[test]
+    fn register_activate_switch() {
+        let mut m = model();
+        let a = banks_scaled(&m, 0.1);
+        let b = banks_scaled(&m, 0.9);
+        m.register_task("a", a).unwrap();
+        m.register_task("b", b).unwrap();
+        assert_eq!(m.switch_count(), 0);
+        m.activate("a").unwrap();
+        assert_eq!(m.active_task(), Some("a"));
+        assert_eq!(m.switch_count(), 1);
+        // re-activating the same task is free
+        m.activate("a").unwrap();
+        assert_eq!(m.switch_count(), 1);
+        m.activate("b").unwrap();
+        assert_eq!(m.switch_count(), 2);
+        assert_eq!(m.network().masks()[0].thresholds().as_slice()[0], 0.9);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut m = model();
+        m.adopt_current("x").unwrap();
+        assert!(m.adopt_current("x").is_err());
+    }
+
+    #[test]
+    fn unknown_task_rejected() {
+        let mut m = model();
+        assert!(m.activate("nope").is_err());
+        let img = Tensor::zeros(&[1, 3, 32, 32]);
+        assert!(m.infer("nope", &img).is_err());
+    }
+
+    #[test]
+    fn invalid_banks_rejected_and_state_preserved() {
+        let mut m = model();
+        let before = m.network().export_thresholds();
+        assert!(m.register_task("bad", vec![Tensor::zeros(&[1])]).is_err());
+        let after = m.network().export_thresholds();
+        assert_eq!(before.len(), after.len());
+        for (a, b) in before.iter().zip(&after) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        assert!(m.tasks().is_empty());
+    }
+
+    #[test]
+    fn pipelined_inference_switches_minimally() {
+        let mut m = model();
+        let a = banks_scaled(&m, 0.05);
+        let b = banks_scaled(&m, 0.5);
+        m.register_task("a", a).unwrap();
+        m.register_task("b", b).unwrap();
+        let img = Tensor::from_fn(&[1, 3, 32, 32], |i| (i % 9) as f32 * 0.1);
+        // a, a, b, a → 3 switches (a, b, a; second a is free)
+        let items = vec![
+            ("a".to_string(), img.clone()),
+            ("a".to_string(), img.clone()),
+            ("b".to_string(), img.clone()),
+            ("a".to_string(), img.clone()),
+        ];
+        let logits = m.infer_pipelined(&items).unwrap();
+        assert_eq!(logits.len(), 4);
+        assert_eq!(m.switch_count(), 3);
+        // different thresholds can change the logits
+        assert_eq!(logits[0].dims(), &[1, 4]);
+    }
+
+    #[test]
+    fn remove_task_updates_registry_and_active_index() {
+        let mut m = model();
+        m.register_task("a", banks_scaled(&m, 0.1)).unwrap();
+        m.register_task("b", banks_scaled(&m, 0.2)).unwrap();
+        m.register_task("c", banks_scaled(&m, 0.3)).unwrap();
+        assert_eq!(m.task_names(), vec!["a", "b", "c"]);
+        m.activate("c").unwrap();
+        // removing an earlier task keeps "c" active with a shifted index
+        let removed = m.remove_task("a").unwrap();
+        assert_eq!(removed.name, "a");
+        assert_eq!(m.active_task(), Some("c"));
+        // removing the active task deactivates
+        m.remove_task("c").unwrap();
+        assert_eq!(m.active_task(), None);
+        assert_eq!(m.task_names(), vec!["b"]);
+        assert!(m.remove_task("a").is_err());
+        // re-activating after removal still works
+        m.activate("b").unwrap();
+        assert_eq!(m.active_task(), Some("b"));
+    }
+
+    #[test]
+    fn storage_profile_reports_counts() {
+        let mut m = model();
+        m.adopt_current("a").unwrap();
+        m.register_task("b", banks_scaled(&m, 0.2)).unwrap();
+        let (w, t, n) = m.storage_profile();
+        assert!(w > 0);
+        assert_eq!(t, m.network().num_thresholds());
+        assert_eq!(n, 2);
+    }
+}

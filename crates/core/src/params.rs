@@ -1,0 +1,87 @@
+//! Parameter-storage accounting (algorithm side of the paper's Fig. 1 and
+//! Fig. 4).
+//!
+//! Conventional multi-task inference stores one full weight set per task
+//! (parent + every child); MIME stores one weight set plus one small
+//! threshold set per child. All parameters are 16-bit on the paper's
+//! hardware (Table IV).
+
+/// Bytes per parameter at the paper's 16-bit precision.
+pub const BYTES_PER_PARAM: usize = 2;
+
+/// DRAM bytes for conventional multi-task inference: the parent plus
+/// `n_children` fine-tuned child models, each a full weight set.
+pub fn conventional_storage_bytes(weights_per_model: usize, n_children: usize) -> usize {
+    weights_per_model * (n_children + 1) * BYTES_PER_PARAM
+}
+
+/// DRAM bytes for MIME: one shared weight set plus one threshold set per
+/// child task.
+pub fn mime_storage_bytes(
+    weights_per_model: usize,
+    thresholds_per_task: usize,
+    n_children: usize,
+) -> usize {
+    (weights_per_model + thresholds_per_task * n_children) * BYTES_PER_PARAM
+}
+
+/// Storage-savings factor of MIME over conventional multi-task inference
+/// (the paper reports ~3.48× for VGG16 with 3 child tasks, and notes the
+/// factor exceeds `n` for `n` children whenever the threshold sets are
+/// small relative to the weights).
+pub fn storage_savings(
+    weights_per_model: usize,
+    thresholds_per_task: usize,
+    n_children: usize,
+) -> f64 {
+    let conv = conventional_storage_bytes(weights_per_model, n_children);
+    let mime = mime_storage_bytes(weights_per_model, thresholds_per_task, n_children);
+    if mime == 0 {
+        return f64::INFINITY;
+    }
+    conv as f64 / mime as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conventional_grows_linearly() {
+        let one = conventional_storage_bytes(100, 1);
+        let three = conventional_storage_bytes(100, 3);
+        assert_eq!(one, 100 * 2 * 2);
+        assert_eq!(three, 100 * 4 * 2);
+    }
+
+    #[test]
+    fn mime_grows_by_thresholds_only() {
+        let base = mime_storage_bytes(100, 10, 0);
+        let with3 = mime_storage_bytes(100, 10, 3);
+        assert_eq!(base, 200);
+        assert_eq!(with3, (100 + 30) * 2);
+    }
+
+    #[test]
+    fn savings_exceed_n_for_small_thresholds() {
+        // paper's Fig. 4 annotation: savings > n× for n children when
+        // thresholds are much smaller than weights
+        for n in 1..=8usize {
+            let s = storage_savings(1_000_000, 1_000, n);
+            assert!(s > n as f64, "n={n}: savings {s}");
+            assert!(s < (n + 1) as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn equal_sized_thresholds_remove_savings() {
+        // if |T| == |W|, MIME stores as much as conventional
+        let s = storage_savings(100, 100, 3);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_everything_is_infinite_savings() {
+        assert!(storage_savings(0, 0, 3).is_infinite());
+    }
+}

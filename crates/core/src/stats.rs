@@ -1,0 +1,119 @@
+//! Threshold-distribution statistics.
+//!
+//! The paper's eq. (4) regularizer exists because thresholds "assume
+//! arbitrarily large positive values, which would otherwise result in
+//! convergence issues" — i.e. the learned distribution matters. This
+//! module summarizes each layer's bank so the ablation harnesses (see the
+//! `ablation_beta` bench binary) can report what β actually does to the
+//! learned thresholds.
+
+use crate::MimeNetwork;
+use serde::{Deserialize, Serialize};
+
+/// Distribution summary of one layer's threshold bank.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdStats {
+    /// Layer name (`conv1..conv13`, `fc14`, `fc15`).
+    pub layer: String,
+    /// Stored threshold count.
+    pub count: usize,
+    /// Minimum threshold.
+    pub min: f32,
+    /// Mean threshold.
+    pub mean: f32,
+    /// Maximum threshold.
+    pub max: f32,
+    /// Standard deviation.
+    pub std: f32,
+}
+
+/// Summarizes every threshold bank of a network.
+pub fn threshold_stats(net: &MimeNetwork) -> Vec<ThresholdStats> {
+    net.mask_layer_names()
+        .into_iter()
+        .zip(net.masks())
+        .map(|(layer, mask)| {
+            let t = mask.thresholds();
+            let count = t.len();
+            let mean = t.mean();
+            let var = if count == 0 {
+                0.0
+            } else {
+                t.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+                    / count as f32
+            };
+            ThresholdStats {
+                layer,
+                count,
+                min: t.min(),
+                mean,
+                max: t.max(),
+                std: var.sqrt(),
+            }
+        })
+        .collect()
+}
+
+/// Network-wide summary: `(mean, max)` across all banks — the quantities
+/// the regularizer is supposed to keep bounded.
+pub fn threshold_summary(net: &MimeNetwork) -> (f32, f32) {
+    let stats = threshold_stats(net);
+    if stats.is_empty() {
+        return (0.0, 0.0);
+    }
+    let total: usize = stats.iter().map(|s| s.count).sum();
+    let mean = stats
+        .iter()
+        .map(|s| s.mean * s.count as f32)
+        .sum::<f32>()
+        / total.max(1) as f32;
+    let max = stats.iter().map(|s| s.max).fold(f32::NEG_INFINITY, f32::max);
+    (mean, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mime_nn::{build_network, vgg16_arch};
+    use mime_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(init: f32) -> MimeNetwork {
+        let arch = vgg16_arch(0.0625, 32, 3, 2, 8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let parent = build_network(&arch, &mut rng);
+        MimeNetwork::from_trained(&arch, &parent, init).unwrap()
+    }
+
+    #[test]
+    fn constant_banks_have_zero_std() {
+        let n = net(0.25);
+        let stats = threshold_stats(&n);
+        assert_eq!(stats.len(), 15);
+        for s in &stats {
+            assert_eq!(s.min, 0.25);
+            assert_eq!(s.max, 0.25);
+            assert!((s.mean - 0.25).abs() < 1e-6);
+            assert!(s.std < 1e-6);
+            assert!(s.count > 0);
+        }
+        let (mean, max) = threshold_summary(&n);
+        assert!((mean - 0.25).abs() < 1e-5);
+        assert_eq!(max, 0.25);
+    }
+
+    #[test]
+    fn stats_track_installed_banks() {
+        let mut n = net(0.1);
+        let mut banks = n.export_thresholds();
+        banks[0] = Tensor::from_fn(banks[0].dims(), |i| if i == 0 { 5.0 } else { 0.1 });
+        n.import_thresholds(&banks).unwrap();
+        let stats = threshold_stats(&n);
+        assert_eq!(stats[0].max, 5.0);
+        assert_eq!(stats[0].min, 0.1);
+        assert!(stats[0].std > 0.0);
+        let (_, max) = threshold_summary(&n);
+        assert_eq!(max, 5.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based invariants of the MIME threshold machinery.
+
+use mime_core::{surrogate_gradient, MimeNetwork, ThresholdMask};
+use mime_nn::{build_network, vgg16_arch, Layer};
+use mime_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn vec_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-4.0f32..4.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mask_output_is_input_or_zero(x in vec_strategy(12), t in 0.0f32..2.0) {
+        let mut m = ThresholdMask::new("m", &[12], t);
+        let input = Tensor::from_vec(x.clone(), &[1, 12]).unwrap();
+        let y = m.forward(&input).unwrap();
+        for (&xi, &yi) in x.iter().zip(y.as_slice()) {
+            if xi >= t {
+                prop_assert_eq!(yi, xi);
+            } else {
+                prop_assert_eq!(yi, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn raising_threshold_never_reduces_sparsity(x in vec_strategy(16),
+                                                t1 in 0.0f32..1.0, dt in 0.0f32..2.0) {
+        let input = Tensor::from_vec(x, &[1, 16]).unwrap();
+        let mut low = ThresholdMask::new("lo", &[16], t1);
+        let mut high = ThresholdMask::new("hi", &[16], t1 + dt);
+        low.forward(&input).unwrap();
+        high.forward(&input).unwrap();
+        prop_assert!(high.last_sparsity() >= low.last_sparsity());
+    }
+
+    #[test]
+    fn masking_is_idempotent(x in vec_strategy(10), t in 0.0f32..1.5) {
+        // applying the same mask twice equals applying it once (kept
+        // values pass the threshold again by construction... except
+        // values in [0, t): they become 0, and 0 < t stays 0)
+        let mut m = ThresholdMask::new("m", &[10], t);
+        let input = Tensor::from_vec(x, &[1, 10]).unwrap();
+        let once = m.forward(&input).unwrap();
+        let twice = m.forward(&once).unwrap();
+        for (a, b) in once.as_slice().iter().zip(twice.as_slice()) {
+            if *a >= t {
+                prop_assert_eq!(a, b);
+            } else {
+                prop_assert_eq!(*b, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn surrogate_is_even_bounded_and_compact(x in -3.0f32..3.0) {
+        let g = surrogate_gradient(x);
+        prop_assert!((surrogate_gradient(-x) - g).abs() < 1e-6, "even function");
+        prop_assert!((0.0..=2.0).contains(&g), "bounded by surrogate peak");
+        if x.abs() > 1.0 {
+            prop_assert_eq!(g, 0.0, "compact support");
+        }
+    }
+
+    #[test]
+    fn zero_upstream_gradient_leaves_thresholds_alone(x in vec_strategy(8), t in 0.0f32..1.0) {
+        let mut m = ThresholdMask::new("m", &[8], t);
+        let input = Tensor::from_vec(x, &[1, 8]).unwrap();
+        m.forward(&input).unwrap();
+        let gi = m.backward(&Tensor::zeros(&[1, 8])).unwrap();
+        prop_assert!(m.parameters()[0].grad.as_slice().iter().all(|&g| g == 0.0));
+        prop_assert!(gi.as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn import_export_round_trips(vals in vec_strategy(8)) {
+        let arch = vgg16_arch(0.0625, 32, 3, 2, 8);
+        let mut rng = StdRng::seed_from_u64(7);
+        let parent = build_network(&arch, &mut rng);
+        let mut net = MimeNetwork::from_trained(&arch, &parent, 0.01).unwrap();
+        let mut banks = net.export_thresholds();
+        // scramble the first bank with arbitrary values
+        let n = banks[0].len();
+        banks[0] = Tensor::from_fn(banks[0].dims(), |i| vals[i % vals.len()].abs());
+        net.import_thresholds(&banks).unwrap();
+        let exported = net.export_thresholds();
+        prop_assert_eq!(exported[0].as_slice(), banks[0].as_slice());
+        prop_assert_eq!(exported[0].len(), n);
+    }
+}
+
+#[test]
+fn threshold_zero_is_at_least_as_dense_as_relu() {
+    // with t = 0 the mask keeps y ≥ 0 (ReLU keeps y > 0): sparsity(mask)
+    // ≤ sparsity(relu) on any input, equality when no exact zeros
+    let x = Tensor::from_fn(&[1, 64], |i| ((i as f32) - 32.0) * 0.1);
+    let mut m = ThresholdMask::new("m", &[64], 0.0);
+    let y_mask = m.forward(&x).unwrap();
+    let y_relu = x.relu();
+    assert_eq!(y_mask.as_slice(), y_relu.as_slice());
+}
+
+#[test]
+fn gradient_pushes_threshold_toward_pruning_harmful_neurons() {
+    // construct a neuron whose activation strictly increases the loss
+    // (positive upstream gradient): after a few steps the threshold must
+    // rise above the activation, pruning it
+    use mime_nn::{Adam, Optimizer};
+    let mut m = ThresholdMask::new("m", &[1], 0.05);
+    let mut opt = Adam::with_lr(0.05);
+    let x = Tensor::from_vec(vec![0.5], &[1, 1]).unwrap();
+    for _ in 0..200 {
+        m.parameters_mut()[0].zero_grad();
+        let y = m.forward(&x).unwrap();
+        if y.as_slice()[0] == 0.0 {
+            break; // pruned — done
+        }
+        // dL/da = +1: the neuron hurts
+        m.backward(&Tensor::ones(&[1, 1])).unwrap();
+        let mut params = m.parameters_mut();
+        opt.step(&mut params).unwrap();
+    }
+    let y = m.forward(&x).unwrap();
+    assert_eq!(y.as_slice()[0], 0.0, "harmful neuron should end up pruned");
+    assert!(m.thresholds().as_slice()[0] > 0.5);
+}

@@ -1,0 +1,144 @@
+//! Training-time data augmentation.
+//!
+//! The paper trains on CIFAR-format natural images, where flips and small
+//! shifts are standard; the synthetic stand-ins accept the same
+//! augmentations so training pipelines exercise identical code paths.
+
+use crate::Dataset;
+use mime_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Augmentation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AugmentOptions {
+    /// Probability of a horizontal flip per image.
+    pub flip_probability: f64,
+    /// Maximum shift (pixels) in each spatial direction; vacated pixels
+    /// are zero-filled.
+    pub max_shift: usize,
+    /// Additive uniform pixel noise amplitude.
+    pub noise: f32,
+}
+
+impl Default for AugmentOptions {
+    fn default() -> Self {
+        AugmentOptions { flip_probability: 0.5, max_shift: 2, noise: 0.02 }
+    }
+}
+
+/// Produces an augmented copy of a dataset (labels preserved, one
+/// augmented image per source image), deterministic in `seed`.
+pub fn augment(dataset: &Dataset, options: &AugmentOptions, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xAA66_0001);
+    let (c, hw) = (dataset.channels(), dataset.hw());
+    let plane = hw * hw;
+    let img_len = c * plane;
+    let src = dataset.images().as_slice();
+    let mut data = vec![0.0f32; src.len()];
+    for n in 0..dataset.len() {
+        let flip = rng.gen_bool(options.flip_probability.clamp(0.0, 1.0));
+        let sx = rng.gen_range(-(options.max_shift as isize)..=(options.max_shift as isize));
+        let sy = rng.gen_range(-(options.max_shift as isize)..=(options.max_shift as isize));
+        for ci in 0..c {
+            for y in 0..hw {
+                for x in 0..hw {
+                    // inverse transform: find the source pixel that lands here
+                    let ux = if flip { hw - 1 - x } else { x } as isize - sx;
+                    let uy = y as isize - sy;
+                    let dst_idx = n * img_len + ci * plane + y * hw + x;
+                    if ux >= 0 && ux < hw as isize && uy >= 0 && uy < hw as isize {
+                        let src_idx =
+                            n * img_len + ci * plane + uy as usize * hw + ux as usize;
+                        let noise = if options.noise > 0.0 {
+                            rng.gen_range(-options.noise..=options.noise)
+                        } else {
+                            0.0
+                        };
+                        data[dst_idx] = src[src_idx] + noise;
+                    }
+                }
+            }
+        }
+    }
+    Dataset::from_parts(
+        Tensor::from_vec(data, dataset.images().dims())
+            .expect("augmentation preserves the buffer shape"),
+        dataset.labels().to_vec(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TaskFamily, TaskSpec};
+
+    fn small() -> Dataset {
+        TaskFamily::new(5, 3, 8)
+            .generate(&TaskSpec::cifar10_like().with_samples(2, 1))
+            .train
+    }
+
+    #[test]
+    fn shapes_and_labels_preserved() {
+        let d = small();
+        let a = augment(&d, &AugmentOptions::default(), 1);
+        assert_eq!(a.images().dims(), d.images().dims());
+        assert_eq!(a.labels(), d.labels());
+        assert_eq!(a.channels(), d.channels());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let d = small();
+        let a = augment(&d, &AugmentOptions::default(), 9);
+        let b = augment(&d, &AugmentOptions::default(), 9);
+        assert_eq!(a.images().as_slice(), b.images().as_slice());
+        let c = augment(&d, &AugmentOptions::default(), 10);
+        assert_ne!(a.images().as_slice(), c.images().as_slice());
+    }
+
+    #[test]
+    fn identity_options_are_identity() {
+        let d = small();
+        let opts = AugmentOptions { flip_probability: 0.0, max_shift: 0, noise: 0.0 };
+        let a = augment(&d, &opts, 3);
+        assert_eq!(a.images().as_slice(), d.images().as_slice());
+    }
+
+    #[test]
+    fn guaranteed_flip_mirrors_rows() {
+        let d = small();
+        let opts = AugmentOptions { flip_probability: 1.0, max_shift: 0, noise: 0.0 };
+        let a = augment(&d, &opts, 3);
+        let hw = d.hw();
+        let src = d.images().as_slice();
+        let dst = a.images().as_slice();
+        // first row of the first channel is reversed
+        for x in 0..hw {
+            assert_eq!(dst[x], src[hw - 1 - x]);
+        }
+    }
+
+    #[test]
+    fn shift_zero_fills_border() {
+        let d = small();
+        // force a dataset of all-ones to observe the zero border
+        let ones = Dataset::from_parts(
+            Tensor::ones(d.images().dims()),
+            d.labels().to_vec(),
+        );
+        let opts = AugmentOptions { flip_probability: 0.0, max_shift: 3, noise: 0.0 };
+        let a = augment(&ones, &opts, 12345);
+        // with max_shift 3 over an 8x8 image, some zero padding must appear
+        assert!(a.images().sparsity() > 0.0);
+        // and the interior stays ones
+        assert!(a.images().as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per image")]
+    fn from_parts_validates_labels() {
+        let _ = Dataset::from_parts(Tensor::zeros(&[2, 3, 8, 8]), vec![0]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Pipelined (task-interleaved) batch construction.
+//!
+//! The paper's *Pipelined task mode* feeds the accelerator a batch whose
+//! consecutive images belong to **different tasks** (its evaluation uses a
+//! batch of three images from CIFAR10, CIFAR100 and F-MNIST in
+//! succession). [`pipelined_batches`] builds exactly that interleaving
+//! from any number of datasets.
+
+use crate::{Dataset, TaskId};
+use mime_tensor::Tensor;
+
+/// A batch whose images carry per-image task identities.
+#[derive(Debug, Clone)]
+pub struct PipelinedBatch {
+    /// Images, `[N, C, H, W]`, task-interleaved in order.
+    pub images: Tensor,
+    /// Per-image class label.
+    pub labels: Vec<usize>,
+    /// Per-image task identity (same length as `labels`).
+    pub tasks: Vec<TaskId>,
+}
+
+impl PipelinedBatch {
+    /// Number of images in the batch.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of task switches a hardware pipeline sees when processing
+    /// the batch in order (the quantity that drives conventional
+    /// multi-task weight re-fetches).
+    pub fn task_switches(&self) -> usize {
+        self.tasks.windows(2).filter(|w| w[0] != w[1]).count()
+    }
+}
+
+/// Interleaves images from several datasets round-robin into pipelined
+/// batches of `per_task_per_batch` images **per task** (so a batch holds
+/// `tasks.len() × per_task_per_batch` images; the paper uses 1 image per
+/// task → batch of 3).
+///
+/// Produces as many full batches as the smallest dataset allows.
+///
+/// # Panics
+///
+/// Panics if `datasets` is empty, `per_task_per_batch` is zero, or the
+/// datasets disagree on image geometry.
+pub fn pipelined_batches(
+    datasets: &[(&Dataset, TaskId)],
+    per_task_per_batch: usize,
+) -> Vec<PipelinedBatch> {
+    assert!(!datasets.is_empty(), "need at least one dataset");
+    assert!(per_task_per_batch > 0, "per_task_per_batch must be non-zero");
+    let (first, _) = datasets[0];
+    let (c, hw) = (first.channels(), first.hw());
+    for (d, _) in datasets {
+        assert!(
+            d.channels() == c && d.hw() == hw,
+            "pipelined datasets must share image geometry"
+        );
+    }
+    let img_len = c * hw * hw;
+    let n_batches = datasets
+        .iter()
+        .map(|(d, _)| d.len() / per_task_per_batch)
+        .min()
+        .unwrap_or(0);
+    let mut out = Vec::with_capacity(n_batches);
+    for b in 0..n_batches {
+        let n = datasets.len() * per_task_per_batch;
+        let mut data = Vec::with_capacity(n * img_len);
+        let mut labels = Vec::with_capacity(n);
+        let mut tasks = Vec::with_capacity(n);
+        for slot in 0..per_task_per_batch {
+            for (d, id) in datasets {
+                let idx = b * per_task_per_batch + slot;
+                let (img, label) = d.sample(idx);
+                data.extend_from_slice(img.as_slice());
+                labels.push(label);
+                tasks.push(*id);
+            }
+        }
+        out.push(PipelinedBatch {
+            images: Tensor::from_vec(data, &[n, c, hw, hw])
+                .expect("interleaving preserves buffer lengths"),
+            labels,
+            tasks,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TaskFamily, TaskSpec};
+
+    fn three_tasks() -> (crate::GeneratedTask, crate::GeneratedTask, crate::GeneratedTask) {
+        let fam = TaskFamily::new(3, 3, 8);
+        (
+            fam.generate(&TaskSpec::cifar10_like().with_samples(2, 2)),
+            fam.generate(&TaskSpec::cifar100_like().with_samples(1, 1)),
+            fam.generate(&TaskSpec::fmnist_like().with_samples(2, 2)),
+        )
+    }
+
+    #[test]
+    fn paper_batch_of_three() {
+        let (a, b, c) = three_tasks();
+        let batches = pipelined_batches(
+            &[
+                (&a.test, a.spec.id),
+                (&b.test, b.spec.id),
+                (&c.test, c.spec.id),
+            ],
+            1,
+        );
+        assert!(!batches.is_empty());
+        let batch = &batches[0];
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.tasks, vec![a.spec.id, b.spec.id, c.spec.id]);
+        // every consecutive pair is a different task → 2 switches
+        assert_eq!(batch.task_switches(), 2);
+    }
+
+    #[test]
+    fn batch_count_limited_by_smallest_dataset() {
+        let (a, b, c) = three_tasks();
+        // cifar100-like test split has 100 samples (1/class · 100 classes);
+        // the limiting split is cifar10's 20.
+        let batches = pipelined_batches(
+            &[
+                (&a.test, a.spec.id),
+                (&b.test, b.spec.id),
+                (&c.test, c.spec.id),
+            ],
+            1,
+        );
+        let min_len = a.test.len().min(b.test.len()).min(c.test.len());
+        assert_eq!(batches.len(), min_len);
+    }
+
+    #[test]
+    fn single_task_has_no_switches() {
+        let (a, _, _) = three_tasks();
+        let batches = pipelined_batches(&[(&a.test, a.spec.id)], 3);
+        assert!(batches.iter().all(|b| b.task_switches() == 0));
+        assert_eq!(batches[0].len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one dataset")]
+    fn empty_dataset_list_panics() {
+        let _ = pipelined_batches(&[], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "share image geometry")]
+    fn mismatched_geometry_panics() {
+        let fam8 = TaskFamily::new(1, 3, 8);
+        let fam16 = TaskFamily::new(1, 3, 16);
+        let a = fam8.generate(&TaskSpec::cifar10_like().with_samples(1, 1));
+        let b = fam16.generate(&TaskSpec::fmnist_like().with_samples(1, 1));
+        let _ = pipelined_batches(&[(&a.test, a.spec.id), (&b.test, b.spec.id)], 1);
+    }
+
+    #[test]
+    fn interleaving_carries_correct_labels() {
+        let (a, b, c) = three_tasks();
+        let batches = pipelined_batches(
+            &[
+                (&a.test, a.spec.id),
+                (&b.test, b.spec.id),
+                (&c.test, c.spec.id),
+            ],
+            1,
+        );
+        for (i, batch) in batches.iter().enumerate() {
+            assert_eq!(batch.labels[0], a.test.labels()[i]);
+            assert_eq!(batch.labels[1], b.test.labels()[i]);
+            assert_eq!(batch.labels[2], c.test.labels()[i]);
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! The shared-basis task generator.
+
+use crate::{TaskId, TaskSpec};
+use mime_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of shared basis vectors ("latent features") in a family.
+const BASIS_DIM: usize = 24;
+
+/// A labelled image set: one flat images tensor `[N, C, H, W]` plus the
+/// label of each image.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    channels: usize,
+    hw: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset from a raw `[N, C, H, W]` image tensor and its
+    /// labels (one per image).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `images` is not rank 4, not square, or `labels` does
+    /// not match the image count.
+    pub fn from_parts(images: mime_tensor::Tensor, labels: Vec<usize>) -> Self {
+        assert_eq!(images.rank(), 4, "images must be [N, C, H, W]");
+        let dims = images.dims().to_vec();
+        assert_eq!(dims[2], dims[3], "images must be square");
+        assert_eq!(dims[0], labels.len(), "one label per image");
+        Dataset { images, labels, channels: dims[1], hw: dims[2] }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The full images tensor, `[N, C, H, W]`.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// The labels, one per sample.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Image channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Image spatial extent (square).
+    pub fn hw(&self) -> usize {
+        self.hw
+    }
+
+    /// Splits into `(images, labels)` mini-batches of at most
+    /// `batch_size` samples (the last batch may be smaller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn batches(&self, batch_size: usize) -> Vec<(Tensor, Vec<usize>)> {
+        assert!(batch_size > 0, "batch_size must be non-zero");
+        let img_len = self.channels * self.hw * self.hw;
+        let data = self.images.as_slice();
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        while start < self.len() {
+            let end = (start + batch_size).min(self.len());
+            let n = end - start;
+            let images = Tensor::from_vec(
+                data[start * img_len..end * img_len].to_vec(),
+                &[n, self.channels, self.hw, self.hw],
+            )
+            .expect("batch slicing is internally consistent");
+            out.push((images, self.labels[start..end].to_vec()));
+            start = end;
+        }
+        out
+    }
+
+    /// Extracts a single image as a `[1, C, H, W]` tensor with its label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn sample(&self, index: usize) -> (Tensor, usize) {
+        let img_len = self.channels * self.hw * self.hw;
+        let data =
+            self.images.as_slice()[index * img_len..(index + 1) * img_len].to_vec();
+        (
+            Tensor::from_vec(data, &[1, self.channels, self.hw, self.hw])
+                .expect("sample slicing is internally consistent"),
+            self.labels[index],
+        )
+    }
+}
+
+/// One generated task: its spec plus train and test splits.
+#[derive(Debug, Clone)]
+pub struct GeneratedTask {
+    /// The spec the task was generated from.
+    pub spec: TaskSpec,
+    /// Training split.
+    pub train: Dataset,
+    /// Held-out test split.
+    pub test: Dataset,
+}
+
+/// A family of tasks sharing one random feature basis.
+///
+/// The family seed pins the basis; each task's [`TaskId`] pins its class
+/// templates. Two calls with identical seeds produce identical data.
+#[derive(Debug, Clone)]
+pub struct TaskFamily {
+    seed: u64,
+    channels: usize,
+    hw: usize,
+    basis: Vec<Vec<f32>>, // BASIS_DIM rows of C*H*W pixels
+}
+
+impl TaskFamily {
+    /// Creates a family with `channels`×`hw`×`hw` images and a basis drawn
+    /// from `seed`.
+    pub fn new(seed: u64, channels: usize, hw: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let pix = channels * hw * hw;
+        // Smooth low-frequency basis vectors: random sinusoid mixtures, so
+        // images have spatial structure rather than white noise.
+        let basis = (0..BASIS_DIM)
+            .map(|_| {
+                let fx = rng.gen_range(0.5f32..3.0);
+                let fy = rng.gen_range(0.5f32..3.0);
+                let px = rng.gen_range(0.0f32..std::f32::consts::TAU);
+                let py = rng.gen_range(0.0f32..std::f32::consts::TAU);
+                let chan_gain: Vec<f32> =
+                    (0..channels).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                let mut v = vec![0.0f32; pix];
+                for c in 0..channels {
+                    for y in 0..hw {
+                        for x in 0..hw {
+                            let arg_x = fx * (x as f32 / hw as f32) * std::f32::consts::TAU + px;
+                            let arg_y = fy * (y as f32 / hw as f32) * std::f32::consts::TAU + py;
+                            v[(c * hw + y) * hw + x] =
+                                chan_gain[c] * (arg_x.sin() + arg_y.cos()) * 0.5;
+                        }
+                    }
+                }
+                v
+            })
+            .collect();
+        TaskFamily { seed, channels, hw, basis }
+    }
+
+    /// The family seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Image channels produced by this family.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Image spatial extent produced by this family.
+    pub fn hw(&self) -> usize {
+        self.hw
+    }
+
+    fn class_templates(
+        &self,
+        id: TaskId,
+        classes: usize,
+        basis_fraction: f64,
+    ) -> Vec<Vec<f32>> {
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (u64::from(id.0) << 32) ^ 0xD1B5_4A32);
+        // task-level feature subset: the parent spans the full basis, a
+        // child task only excites a fraction of it — the rest of the
+        // parent's features are task-irrelevant noise MIME can prune
+        let n_active = ((BASIS_DIM as f64 * basis_fraction).round() as usize)
+            .clamp(1, BASIS_DIM);
+        let mut order: Vec<usize> = (0..BASIS_DIM).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        let active = &order[..n_active];
+        (0..classes)
+            .map(|_| {
+                let mut t = vec![0.0f32; BASIS_DIM];
+                for &d in active {
+                    t[d] = rng.gen_range(-1.5f32..1.5);
+                }
+                t
+            })
+            .collect()
+    }
+
+    fn render(&self, alpha: &[f32]) -> Vec<f32> {
+        let pix = self.channels * self.hw * self.hw;
+        let mut img = vec![0.0f32; pix];
+        for (a, b) in alpha.iter().zip(&self.basis) {
+            if *a == 0.0 {
+                continue;
+            }
+            for (o, &v) in img.iter_mut().zip(b) {
+                *o += a * v;
+            }
+        }
+        img
+    }
+
+    fn generate_split(
+        &self,
+        spec: &TaskSpec,
+        templates: &[Vec<f32>],
+        per_class: usize,
+        rng: &mut StdRng,
+    ) -> Dataset {
+        let pix = self.channels * self.hw * self.hw;
+        let n = per_class * spec.classes;
+        let mut data = Vec::with_capacity(n * pix);
+        let mut labels = Vec::with_capacity(n);
+        for s in 0..per_class {
+            for (class, template) in templates.iter().enumerate() {
+                let alpha: Vec<f32> = template
+                    .iter()
+                    .map(|&t| t + rng.gen_range(-spec.jitter_std..=spec.jitter_std))
+                    .collect();
+                let mut img = self.render(&alpha);
+                for p in img.iter_mut() {
+                    *p += rng.gen_range(-spec.noise_std..=spec.noise_std);
+                }
+                if spec.grayscale && self.channels > 1 {
+                    // replicate channel 0 into all channels
+                    let plane = self.hw * self.hw;
+                    let (first, rest) = img.split_at_mut(plane);
+                    for chunk in rest.chunks_mut(plane) {
+                        chunk.copy_from_slice(first);
+                    }
+                }
+                data.extend_from_slice(&img);
+                labels.push(class);
+            }
+            let _ = s;
+        }
+        Dataset {
+            images: Tensor::from_vec(data, &[n, self.channels, self.hw, self.hw])
+                .expect("generator produces consistent buffers"),
+            labels,
+            channels: self.channels,
+            hw: self.hw,
+        }
+    }
+
+    /// Generates a task's train and test splits from its spec.
+    pub fn generate(&self, spec: &TaskSpec) -> GeneratedTask {
+        let templates =
+            self.class_templates(spec.id, spec.classes, spec.basis_fraction);
+        let mut train_rng =
+            StdRng::seed_from_u64(self.seed ^ (u64::from(spec.id.0) << 16) ^ 0xA5A5);
+        let mut test_rng =
+            StdRng::seed_from_u64(self.seed ^ (u64::from(spec.id.0) << 16) ^ 0x5A5A_0001);
+        let train = self.generate_split(spec, &templates, spec.train_per_class, &mut train_rng);
+        let test = self.generate_split(spec, &templates, spec.test_per_class, &mut test_rng);
+        GeneratedTask { spec: spec.clone(), train, test }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_family() -> TaskFamily {
+        TaskFamily::new(7, 3, 8)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = TaskSpec::cifar10_like().with_samples(2, 1);
+        let a = small_family().generate(&spec);
+        let b = small_family().generate(&spec);
+        assert_eq!(a.train.images().as_slice(), b.train.images().as_slice());
+        assert_eq!(a.test.labels(), b.test.labels());
+    }
+
+    #[test]
+    fn different_tasks_differ() {
+        let fam = small_family();
+        let a = fam.generate(&TaskSpec::cifar10_like().with_samples(1, 1));
+        let b = fam.generate(&TaskSpec::fmnist_like().with_samples(1, 1));
+        assert_ne!(a.train.images().as_slice(), b.train.images().as_slice());
+    }
+
+    #[test]
+    fn sizes_match_spec() {
+        let spec = TaskSpec::new("t", TaskId(9), 4).with_samples(3, 2);
+        let task = small_family().generate(&spec);
+        assert_eq!(task.train.len(), 12);
+        assert_eq!(task.test.len(), 8);
+        assert_eq!(task.train.images().dims(), &[12, 3, 8, 8]);
+        // every class appears the requested number of times
+        for c in 0..4 {
+            assert_eq!(task.train.labels().iter().filter(|&&l| l == c).count(), 3);
+        }
+    }
+
+    #[test]
+    fn grayscale_channels_identical() {
+        let spec = TaskSpec::fmnist_like().with_samples(1, 1);
+        let task = small_family().generate(&spec);
+        let (img, _) = task.train.sample(0);
+        let plane = 8 * 8;
+        let v = img.as_slice();
+        assert_eq!(&v[0..plane], &v[plane..2 * plane]);
+        assert_eq!(&v[0..plane], &v[2 * plane..3 * plane]);
+    }
+
+    #[test]
+    fn train_and_test_are_disjoint_draws() {
+        let spec = TaskSpec::cifar10_like().with_samples(2, 2);
+        let task = small_family().generate(&spec);
+        assert_ne!(
+            task.train.images().as_slice()[..64],
+            task.test.images().as_slice()[..64]
+        );
+    }
+
+    #[test]
+    fn batching_covers_all_samples() {
+        let spec = TaskSpec::new("t", TaskId(4), 3).with_samples(3, 1);
+        let task = small_family().generate(&spec);
+        let batches = task.train.batches(4);
+        let total: usize = batches.iter().map(|(_, l)| l.len()).sum();
+        assert_eq!(total, 9);
+        assert_eq!(batches.len(), 3); // 4 + 4 + 1
+        assert_eq!(batches[2].1.len(), 1);
+        assert_eq!(batches[0].0.dims(), &[4, 3, 8, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size must be non-zero")]
+    fn zero_batch_size_panics() {
+        let spec = TaskSpec::new("t", TaskId(4), 2).with_samples(1, 1);
+        let task = small_family().generate(&spec);
+        let _ = task.train.batches(0);
+    }
+
+    #[test]
+    fn images_have_structure_not_just_noise() {
+        // signal variance should dominate the noise floor
+        let spec = TaskSpec::cifar10_like().with_samples(2, 1).with_noise(0.05);
+        let task = small_family().generate(&spec);
+        let img = task.train.images();
+        let mean = img.mean();
+        let var = img.map(|x| (x - mean) * (x - mean)).mean();
+        assert!(var > 0.05, "variance {var} too small — images look empty");
+    }
+
+    #[test]
+    fn sample_extraction() {
+        let spec = TaskSpec::new("t", TaskId(5), 2).with_samples(2, 1);
+        let task = small_family().generate(&spec);
+        let (img, label) = task.train.sample(1);
+        assert_eq!(img.dims(), &[1, 3, 8, 8]);
+        assert_eq!(label, task.train.labels()[1]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # mime-datasets
+//!
+//! Synthetic, procedurally-generated image-classification tasks standing
+//! in for the paper's datasets (ImageNet parent; CIFAR10, CIFAR100 and
+//! Fashion-MNIST children).
+//!
+//! ## Why synthetic data preserves the paper's behaviour
+//!
+//! MIME's algorithm needs (a) a parent task rich enough that a frozen
+//! backbone extracts transferable features and (b) child tasks whose
+//! classes are separable in that feature space. The generator plants
+//! per-class templates in a **shared random feature basis**: every task in
+//! a [`TaskFamily`] mixes the same basis vectors with task-specific class
+//! coefficients, so features learned on the parent transfer to the
+//! children exactly the way natural-image features do — which is all the
+//! threshold-learning experiment requires.
+//!
+//! ## Example
+//!
+//! ```
+//! # use mime_datasets::{TaskFamily, TaskSpec};
+//! let family = TaskFamily::new(42, 3, 32);
+//! let task = family.generate(&TaskSpec::cifar10_like().with_samples(8, 4));
+//! assert_eq!(task.train.len(), 8 * 10);
+//! assert_eq!(task.test.len(), 4 * 10);
+//! ```
+
+mod augment;
+mod batch;
+mod family;
+mod spec;
+
+pub use augment::{augment, AugmentOptions};
+pub use batch::{pipelined_batches, PipelinedBatch};
+pub use family::{Dataset, GeneratedTask, TaskFamily};
+pub use spec::{TaskId, TaskSpec};

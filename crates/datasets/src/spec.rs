@@ -1,0 +1,153 @@
+//! Task identities and generation parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one task within a [`crate::TaskFamily`].
+///
+/// The id doubles as the seed offset for that task's class templates, so
+/// tasks are fully reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+/// Parameters of one synthetic classification task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Human-readable name (e.g. `"cifar10-like"`).
+    pub name: String,
+    /// Task id within its family (also the class-template seed offset).
+    pub id: TaskId,
+    /// Number of classes.
+    pub classes: usize,
+    /// When `true`, all channels carry the same values (the F-MNIST
+    /// stand-in: grayscale content presented in RGB format).
+    pub grayscale: bool,
+    /// Pixel-noise standard deviation (higher = harder task).
+    pub noise_std: f32,
+    /// Per-sample template-jitter standard deviation.
+    pub jitter_std: f32,
+    /// Training samples per class.
+    pub train_per_class: usize,
+    /// Test samples per class.
+    pub test_per_class: usize,
+    /// Fraction of the family's shared feature basis this task's classes
+    /// actually use (the parent spans the full basis; child tasks use a
+    /// subset, which is what gives MIME's thresholds something to prune).
+    pub basis_fraction: f64,
+}
+
+impl TaskSpec {
+    /// A generic spec with sensible defaults.
+    pub fn new(name: impl Into<String>, id: TaskId, classes: usize) -> Self {
+        TaskSpec {
+            name: name.into(),
+            id,
+            classes,
+            grayscale: false,
+            noise_std: 0.25,
+            jitter_std: 0.3,
+            train_per_class: 32,
+            test_per_class: 8,
+            basis_fraction: 0.5,
+        }
+    }
+
+    /// The parent task: many classes spanning the **full** feature basis,
+    /// standing in for ImageNet.
+    pub fn imagenet_like() -> Self {
+        let mut s = TaskSpec::new("imagenet-like", TaskId(0), 20);
+        s.basis_fraction = 1.0;
+        s
+    }
+
+    /// The CIFAR10 stand-in: 10 RGB classes.
+    pub fn cifar10_like() -> Self {
+        TaskSpec::new("cifar10-like", TaskId(1), 10)
+    }
+
+    /// The CIFAR100 stand-in: many RGB classes (harder, like the paper's
+    /// 59 % vs 84 % accuracy gap between CIFAR100 and CIFAR10).
+    pub fn cifar100_like() -> Self {
+        let mut s = TaskSpec::new("cifar100-like", TaskId(2), 100);
+        s.train_per_class = 8;
+        s.test_per_class = 2;
+        s
+    }
+
+    /// The Fashion-MNIST stand-in: 10 grayscale classes.
+    pub fn fmnist_like() -> Self {
+        let mut s = TaskSpec::new("fmnist-like", TaskId(3), 10);
+        s.grayscale = true;
+        s
+    }
+
+    /// Overrides the per-class sample counts (builder style).
+    pub fn with_samples(mut self, train: usize, test: usize) -> Self {
+        self.train_per_class = train;
+        self.test_per_class = test;
+        self
+    }
+
+    /// Overrides the noise level (builder style).
+    pub fn with_noise(mut self, noise_std: f32) -> Self {
+        self.noise_std = noise_std;
+        self
+    }
+
+    /// Overrides the basis fraction (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `(0, 1]`.
+    pub fn with_basis_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "basis fraction must be in (0, 1]"
+        );
+        self.basis_fraction = fraction;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_distinct_ids() {
+        let ids = [
+            TaskSpec::imagenet_like().id,
+            TaskSpec::cifar10_like().id,
+            TaskSpec::cifar100_like().id,
+            TaskSpec::fmnist_like().id,
+        ];
+        let mut dedup = ids.to_vec();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4);
+    }
+
+    #[test]
+    fn fmnist_is_grayscale() {
+        assert!(TaskSpec::fmnist_like().grayscale);
+        assert!(!TaskSpec::cifar10_like().grayscale);
+    }
+
+    #[test]
+    fn builders_override() {
+        let s = TaskSpec::cifar10_like().with_samples(5, 2).with_noise(0.1);
+        assert_eq!(s.train_per_class, 5);
+        assert_eq!(s.test_per_class, 2);
+        assert_eq!(s.noise_std, 0.1);
+    }
+
+    #[test]
+    fn task_id_displays() {
+        assert_eq!(TaskId(3).to_string(), "task3");
+    }
+}

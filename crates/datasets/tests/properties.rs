@@ -1,0 +1,107 @@
+//! Property-based invariants of the synthetic task generator.
+
+use mime_datasets::{pipelined_batches, TaskFamily, TaskId, TaskSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn labels_always_in_range(seed in 0u64..1000, classes in 2usize..12,
+                              per_class in 1usize..4) {
+        let fam = TaskFamily::new(seed, 3, 8);
+        let spec = TaskSpec::new("t", TaskId(9), classes).with_samples(per_class, 1);
+        let task = fam.generate(&spec);
+        prop_assert!(task.train.labels().iter().all(|&l| l < classes));
+        prop_assert!(task.test.labels().iter().all(|&l| l < classes));
+        prop_assert_eq!(task.train.len(), classes * per_class);
+    }
+
+    #[test]
+    fn all_pixels_finite(seed in 0u64..1000, noise in 0.0f32..1.0) {
+        let fam = TaskFamily::new(seed, 3, 8);
+        let spec = TaskSpec::new("t", TaskId(2), 3)
+            .with_samples(2, 1)
+            .with_noise(noise);
+        let task = fam.generate(&spec);
+        prop_assert!(task.train.images().as_slice().iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn same_seed_same_data(seed in 0u64..500) {
+        let spec = TaskSpec::cifar10_like().with_samples(1, 1);
+        let a = TaskFamily::new(seed, 3, 8).generate(&spec);
+        let b = TaskFamily::new(seed, 3, 8).generate(&spec);
+        prop_assert_eq!(a.train.images().as_slice(), b.train.images().as_slice());
+    }
+
+    #[test]
+    fn different_seeds_different_data(seed in 0u64..500) {
+        let spec = TaskSpec::cifar10_like().with_samples(1, 1);
+        let a = TaskFamily::new(seed, 3, 8).generate(&spec);
+        let b = TaskFamily::new(seed + 1, 3, 8).generate(&spec);
+        prop_assert_ne!(a.train.images().as_slice(), b.train.images().as_slice());
+    }
+
+    #[test]
+    fn batches_partition_dataset(batch_size in 1usize..20) {
+        let fam = TaskFamily::new(3, 3, 8);
+        let task = fam.generate(&TaskSpec::cifar10_like().with_samples(3, 1));
+        let batches = task.train.batches(batch_size);
+        let total: usize = batches.iter().map(|(_, l)| l.len()).sum();
+        prop_assert_eq!(total, task.train.len());
+        // concatenated labels equal original labels
+        let labels: Vec<usize> = batches.iter().flat_map(|(_, l)| l.clone()).collect();
+        prop_assert_eq!(labels.as_slice(), task.train.labels());
+    }
+
+    #[test]
+    fn pipelined_batches_alternate_tasks(per in 1usize..3) {
+        let fam = TaskFamily::new(4, 3, 8);
+        let a = fam.generate(&TaskSpec::cifar10_like().with_samples(2, 2));
+        let b = fam.generate(&TaskSpec::fmnist_like().with_samples(2, 2));
+        let batches = pipelined_batches(
+            &[(&a.test, a.spec.id), (&b.test, b.spec.id)],
+            per,
+        );
+        for batch in &batches {
+            prop_assert_eq!(batch.len(), 2 * per);
+            // round-robin: tasks alternate within each slot group
+            for slot in 0..per {
+                prop_assert_eq!(batch.tasks[slot * 2], a.spec.id);
+                prop_assert_eq!(batch.tasks[slot * 2 + 1], b.spec.id);
+            }
+        }
+    }
+
+    #[test]
+    fn basis_fraction_reduces_image_energy(seed in 0u64..200) {
+        // a task that uses half the basis should produce lower-variance
+        // images than one spanning all of it (less signal mixed in)
+        let fam = TaskFamily::new(seed, 3, 8);
+        let full = fam.generate(
+            &TaskSpec::new("f", TaskId(5), 4).with_samples(4, 1).with_noise(0.0)
+                .with_basis_fraction(1.0),
+        );
+        let half = fam.generate(
+            &TaskSpec::new("h", TaskId(5), 4).with_samples(4, 1).with_noise(0.0)
+                .with_basis_fraction(0.3),
+        );
+        let energy = |t: &mime_datasets::GeneratedTask| {
+            t.train.images().norm_sq() / t.train.images().len() as f32
+        };
+        prop_assert!(energy(&half) <= energy(&full) * 1.2);
+    }
+}
+
+#[test]
+fn grayscale_invariant_holds_for_all_samples() {
+    let fam = TaskFamily::new(11, 3, 8);
+    let task = fam.generate(&TaskSpec::fmnist_like().with_samples(3, 2));
+    let plane = 8 * 8;
+    for i in 0..task.train.len() {
+        let (img, _) = task.train.sample(i);
+        let v = img.as_slice();
+        assert_eq!(&v[0..plane], &v[plane..2 * plane], "sample {i}");
+    }
+}

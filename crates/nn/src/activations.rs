@@ -1,0 +1,187 @@
+//! Stateless layers: ReLU and flatten.
+
+use crate::{Layer, LayerKind, Parameter};
+use mime_tensor::{Tensor, TensorError};
+
+/// Rectified linear activation, caching the firing mask for backprop.
+///
+/// In the conventional baselines (paper Table III) this is what produces
+/// activation sparsity; MIME replaces it with a learned threshold mask.
+#[derive(Debug, Clone, Default)]
+pub struct ReluLayer {
+    name: String,
+    mask: Option<Vec<bool>>,
+}
+
+impl ReluLayer {
+    /// Creates a named ReLU layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        ReluLayer { name: name.into(), mask: None }
+    }
+}
+
+impl Layer for ReluLayer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Relu
+    }
+
+    fn forward(&mut self, input: &Tensor) -> crate::Result<Tensor> {
+        self.mask = Some(input.as_slice().iter().map(|&x| x > 0.0).collect());
+        Ok(input.relu())
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> crate::Result<Tensor> {
+        let mask = self.mask.take().ok_or_else(|| {
+            TensorError::InvalidGeometry(format!(
+                "{}: backward called before forward",
+                self.name
+            ))
+        })?;
+        if mask.len() != grad_output.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: mask.len(),
+                actual: grad_output.len(),
+            });
+        }
+        let mut g = grad_output.clone();
+        for (x, &m) in g.as_mut_slice().iter_mut().zip(&mask) {
+            if !m {
+                *x = 0.0;
+            }
+        }
+        Ok(g)
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
+        Vec::new()
+    }
+
+    fn parameters(&self) -> Vec<&Parameter> {
+        Vec::new()
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Flattens `[N, C, H, W]` to `[N, C·H·W]` (and reverses in backward).
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    name: String,
+    input_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a named flatten layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Flatten { name: name.into(), input_dims: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Flatten
+    }
+
+    fn forward(&mut self, input: &Tensor) -> crate::Result<Tensor> {
+        if input.rank() < 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: input.rank(),
+                op: "flatten",
+            });
+        }
+        let n = input.dims()[0];
+        let rest: usize = input.dims()[1..].iter().product();
+        self.input_dims = Some(input.dims().to_vec());
+        input.reshape(&[n, rest])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> crate::Result<Tensor> {
+        let dims = self.input_dims.take().ok_or_else(|| {
+            TensorError::InvalidGeometry(format!(
+                "{}: backward called before forward",
+                self.name
+            ))
+        })?;
+        grad_output.reshape(&dims)
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
+        Vec::new()
+    }
+
+    fn parameters(&self) -> Vec<&Parameter> {
+        Vec::new()
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut relu = ReluLayer::new("r");
+        let x = Tensor::from_slice(&[-1.0, 2.0, -3.0, 4.0]);
+        let y = relu.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 2.0, 0.0, 4.0]);
+        let g = relu.backward(&Tensor::ones(&[4])).unwrap();
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn relu_zero_input_blocks_gradient() {
+        // exactly-zero pre-activations do not fire and pass no gradient
+        let mut relu = ReluLayer::new("r");
+        relu.forward(&Tensor::zeros(&[3])).unwrap();
+        let g = relu.backward(&Tensor::ones(&[3])).unwrap();
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_backward_without_forward_errors() {
+        let mut relu = ReluLayer::new("r");
+        assert!(relu.backward(&Tensor::ones(&[1])).is_err());
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut fl = Flatten::new("f");
+        let x = Tensor::from_fn(&[2, 3, 2, 2], |i| i as f32);
+        let y = fl.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[2, 12]);
+        let g = fl.backward(&y).unwrap();
+        assert_eq!(g.dims(), x.dims());
+        assert_eq!(g.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn flatten_rejects_vectors() {
+        let mut fl = Flatten::new("f");
+        assert!(fl.forward(&Tensor::zeros(&[4])).is_err());
+    }
+
+    #[test]
+    fn stateless_layers_have_no_params() {
+        let mut relu = ReluLayer::new("r");
+        let mut fl = Flatten::new("f");
+        assert!(relu.parameters_mut().is_empty());
+        assert!(fl.parameters_mut().is_empty());
+        assert_eq!(relu.kind(), LayerKind::Relu);
+        assert_eq!(fl.kind(), LayerKind::Flatten);
+    }
+}

@@ -1,0 +1,143 @@
+//! Softmax cross-entropy loss and accuracy.
+
+use mime_tensor::{Tensor, TensorError};
+
+/// Output of [`softmax_cross_entropy`]: the mean loss and the gradient
+/// w.r.t. the logits (already divided by the batch size).
+#[derive(Debug, Clone)]
+pub struct CrossEntropyOut {
+    /// Mean cross-entropy over the batch.
+    pub loss: f32,
+    /// `∂loss/∂logits`, shape `[N, classes]`.
+    pub grad: Tensor,
+}
+
+/// Numerically-stable softmax cross-entropy with integer labels.
+///
+/// `logits: [N, classes]`, `labels.len() == N`.
+///
+/// # Errors
+///
+/// Returns shape errors when ranks/lengths disagree or a label is out of
+/// range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> crate::Result<CrossEntropyOut> {
+    if logits.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: logits.rank(),
+            op: "softmax_cross_entropy",
+        });
+    }
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    if labels.len() != n {
+        return Err(TensorError::LengthMismatch { expected: n, actual: labels.len() });
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= c) {
+        return Err(TensorError::IndexOutOfBounds {
+            index: vec![bad],
+            shape: vec![c],
+        });
+    }
+    let probs = logits.softmax_rows()?;
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    let gv = grad.as_mut_slice();
+    let pv = probs.as_slice();
+    for (i, &label) in labels.iter().enumerate() {
+        let p = pv[i * c + label].max(1e-12);
+        loss -= p.ln();
+        gv[i * c + label] -= 1.0;
+    }
+    let inv_n = 1.0 / n as f32;
+    for g in gv.iter_mut() {
+        *g *= inv_n;
+    }
+    Ok(CrossEntropyOut { loss: loss * inv_n, grad })
+}
+
+/// Top-1 accuracy of `logits` against integer `labels`, in `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns shape errors when ranks/lengths disagree.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> crate::Result<f64> {
+    let preds = logits.argmax_rows()?;
+    if preds.len() != labels.len() {
+        return Err(TensorError::LengthMismatch {
+            expected: preds.len(),
+            actual: labels.len(),
+        });
+    }
+    if preds.is_empty() {
+        return Ok(0.0);
+    }
+    let hits = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    Ok(hits as f64 / labels.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_low_loss() {
+        let logits =
+            Tensor::from_vec(vec![10.0, -10.0, -10.0, 10.0], &[2, 2]).unwrap();
+        let out = softmax_cross_entropy(&logits, &[0, 1]).unwrap();
+        assert!(out.loss < 1e-3);
+    }
+
+    #[test]
+    fn uniform_logits_loss_is_ln_c() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let out = softmax_cross_entropy(&logits, &[0, 1, 2, 3]).unwrap();
+        assert!((out.loss - 10f32.ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let out = softmax_cross_entropy(&logits, &[2, 0]).unwrap();
+        for i in 0..2 {
+            let row: f32 = out.grad.as_slice()[i * 3..(i + 1) * 3].iter().sum();
+            assert!(row.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits =
+            Tensor::from_vec(vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0], &[2, 3]).unwrap();
+        let labels = [1usize, 2];
+        let out = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for idx in 0..6 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[idx] -= eps;
+            let fp = softmax_cross_entropy(&lp, &labels).unwrap().loss;
+            let fm = softmax_cross_entropy(&lm, &labels).unwrap().loss;
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - out.grad.as_slice()[idx]).abs() < 1e-3, "g[{idx}]");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(softmax_cross_entropy(&logits, &[0]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 3]).is_err());
+        assert!(softmax_cross_entropy(&Tensor::zeros(&[3]), &[0]).is_err());
+    }
+
+    #[test]
+    fn accuracy_counts_hits() {
+        let logits =
+            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], &[3, 2]).unwrap();
+        let acc = accuracy(&logits, &[0, 1, 1]).unwrap();
+        assert!((acc - 2.0 / 3.0).abs() < 1e-9);
+        assert!(accuracy(&logits, &[0]).is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! First-order optimizers: [`Sgd`] and [`Adam`].
+//!
+//! Optimizers receive the parameter list anew on every step (the list
+//! order must be stable — [`crate::Sequential::parameters_mut`] guarantees
+//! it) and skip parameters whose `frozen` flag is set. That skip is the
+//! mechanism by which MIME trains thresholds while `W_parent` stays
+//! untouched.
+
+use crate::Parameter;
+use mime_tensor::Tensor;
+
+/// A first-order optimizer over a stable parameter list.
+pub trait Optimizer {
+    /// Applies one update step using each parameter's accumulated
+    /// gradient. Frozen parameters are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error if a parameter's gradient shape drifted from
+    /// its value shape (which indicates a layer bug).
+    fn step(&mut self, params: &mut [&mut Parameter]) -> crate::Result<()>;
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with learning rate `lr` and momentum
+    /// coefficient `momentum` (0 disables momentum).
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+
+    /// The current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Parameter]) -> crate::Result<()> {
+        if self.velocity.len() != params.len() {
+            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.dims())).collect();
+        }
+        for (p, v) in params.iter_mut().zip(&mut self.velocity) {
+            if p.frozen {
+                continue;
+            }
+            if self.momentum != 0.0 {
+                // v = momentum·v + grad; value -= lr·v
+                let scaled = v.scale(self.momentum);
+                *v = scaled;
+                v.add_assign(&p.grad)?;
+                p.value.axpy(-self.lr, v)?;
+            } else {
+                p.value.axpy(-self.lr, &p.grad)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of the [`Adam`] optimizer.
+#[derive(Debug, Clone, Copy)]
+pub struct AdamConfig {
+    /// Learning rate (paper: 1e-3 for threshold training).
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+    }
+}
+
+/// The ADAM optimizer (Kingma & Ba), as used by the paper for threshold
+/// training (lr = 1e-3, 10 epochs).
+#[derive(Debug)]
+pub struct Adam {
+    config: AdamConfig,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer from a config.
+    pub fn new(config: AdamConfig) -> Self {
+        Adam { config, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Creates an Adam optimizer with the given learning rate and default
+    /// betas.
+    pub fn with_lr(lr: f32) -> Self {
+        Adam::new(AdamConfig { lr, ..AdamConfig::default() })
+    }
+
+    /// The optimizer configuration.
+    pub fn config(&self) -> &AdamConfig {
+        &self.config
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Parameter]) -> crate::Result<()> {
+        if self.m.len() != params.len() {
+            self.m = params.iter().map(|p| Tensor::zeros(p.value.dims())).collect();
+            self.v = params.iter().map(|p| Tensor::zeros(p.value.dims())).collect();
+            self.t = 0;
+        }
+        self.t += 1;
+        let AdamConfig { lr, beta1, beta2, eps } = self.config;
+        let bc1 = 1.0 - beta1.powi(self.t as i32);
+        let bc2 = 1.0 - beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
+            if p.frozen {
+                continue;
+            }
+            let g = p.grad.as_slice();
+            let mv = m.as_mut_slice();
+            let vv = v.as_mut_slice();
+            let pv = p.value.as_mut_slice();
+            for i in 0..g.len() {
+                mv[i] = beta1 * mv[i] + (1.0 - beta1) * g[i];
+                vv[i] = beta2 * vv[i] + (1.0 - beta2) * g[i] * g[i];
+                let m_hat = mv[i] / bc1;
+                let v_hat = vv[i] / bc2;
+                pv[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_param(x0: f32) -> Parameter {
+        Parameter::new("x", Tensor::from_slice(&[x0]))
+    }
+
+    /// Minimize f(x) = x² with an optimizer; grad = 2x.
+    fn run<O: Optimizer>(opt: &mut O, steps: usize, x0: f32) -> f32 {
+        let mut p = quadratic_param(x0);
+        for _ in 0..steps {
+            let x = p.value.as_slice()[0];
+            p.grad = Tensor::from_slice(&[2.0 * x]);
+            opt.step(&mut [&mut p]).unwrap();
+        }
+        p.value.as_slice()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let x = run(&mut Sgd::new(0.1, 0.0), 100, 5.0);
+        assert!(x.abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let x = run(&mut Sgd::new(0.05, 0.9), 200, 5.0);
+        assert!(x.abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let x = run(&mut Adam::with_lr(0.1), 300, 5.0);
+        assert!(x.abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn frozen_parameters_do_not_move() {
+        let mut p = quadratic_param(3.0);
+        p.frozen = true;
+        p.grad = Tensor::from_slice(&[100.0]);
+        let mut adam = Adam::with_lr(1.0);
+        adam.step(&mut [&mut p]).unwrap();
+        assert_eq!(p.value.as_slice(), &[3.0]);
+        let mut sgd = Sgd::new(1.0, 0.9);
+        sgd.step(&mut [&mut p]).unwrap();
+        assert_eq!(p.value.as_slice(), &[3.0]);
+    }
+
+    #[test]
+    fn adam_step_counter_advances() {
+        let mut adam = Adam::new(AdamConfig::default());
+        let mut p = quadratic_param(1.0);
+        assert_eq!(adam.steps(), 0);
+        adam.step(&mut [&mut p]).unwrap();
+        adam.step(&mut [&mut p]).unwrap();
+        assert_eq!(adam.steps(), 2);
+    }
+
+    #[test]
+    fn mixed_frozen_and_live() {
+        let mut frozen = quadratic_param(1.0);
+        frozen.frozen = true;
+        frozen.grad = Tensor::from_slice(&[10.0]);
+        let mut live = quadratic_param(1.0);
+        live.grad = Tensor::from_slice(&[10.0]);
+        let mut sgd = Sgd::new(0.1, 0.0);
+        sgd.step(&mut [&mut frozen, &mut live]).unwrap();
+        assert_eq!(frozen.value.as_slice(), &[1.0]);
+        assert!((live.value.as_slice()[0] - 0.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,227 @@
+//! Data-parallel training: synchronous gradient computation across
+//! threads.
+//!
+//! Each worker owns a replica of the network (layers are clonable through
+//! [`crate::Layer::clone_box`]), computes gradients over its share of the
+//! mini-batches, and the summed gradients drive a single optimizer step —
+//! synchronous data parallelism, equivalent to training with the combined
+//! batch. Used to speed up the table experiments on multi-core machines.
+
+use crate::{accuracy, softmax_cross_entropy, Optimizer, Sequential, TrainReport};
+use mime_tensor::{Tensor, TensorError};
+
+/// Computes the summed parameter gradients of `net` over `batches`,
+/// splitting the work across `threads` replicas. Returns
+/// `(mean_loss, mean_accuracy, gradients_in_parameter_order)`.
+///
+/// The network itself is not mutated (its own gradient buffers stay
+/// untouched); combine with an optimizer via [`parallel_train_step`].
+///
+/// # Errors
+///
+/// Propagates tensor errors from any worker.
+pub fn parallel_gradients(
+    net: &Sequential,
+    batches: &[(Tensor, Vec<usize>)],
+    threads: usize,
+) -> crate::Result<(f64, f64, Vec<Tensor>)> {
+    let threads = threads.max(1).min(batches.len().max(1));
+    let chunk = batches.len().div_ceil(threads);
+    type WorkerOut = crate::Result<(f64, f64, Vec<Tensor>, usize)>;
+    let results: Vec<WorkerOut> = crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for work in batches.chunks(chunk.max(1)) {
+            let mut replica = net.clone();
+            handles.push(scope.spawn(move |_| -> WorkerOut {
+                let mut loss = 0.0f64;
+                let mut acc = 0.0f64;
+                for (images, labels) in work {
+                    let logits = replica.forward(images)?;
+                    let ce = softmax_cross_entropy(&logits, labels)?;
+                    loss += ce.loss as f64;
+                    acc += accuracy(&logits, labels)?;
+                    replica.backward(&ce.grad)?;
+                }
+                let grads =
+                    replica.parameters().iter().map(|p| p.grad.clone()).collect();
+                Ok((loss, acc, grads, work.len()))
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("thread scope");
+
+    let mut total_loss = 0.0;
+    let mut total_acc = 0.0;
+    let mut summed: Option<Vec<Tensor>> = None;
+    let mut n_batches = 0usize;
+    for r in results {
+        let (loss, acc, grads, n) = r?;
+        total_loss += loss;
+        total_acc += acc;
+        n_batches += n;
+        summed = Some(match summed {
+            None => grads,
+            Some(mut acc_grads) => {
+                for (a, g) in acc_grads.iter_mut().zip(&grads) {
+                    a.add_assign(g)?;
+                }
+                acc_grads
+            }
+        });
+    }
+    let grads = summed.ok_or_else(|| {
+        TensorError::InvalidGeometry("parallel_gradients needs at least one batch".into())
+    })?;
+    let n = n_batches.max(1) as f64;
+    Ok((total_loss / n, total_acc / n, grads))
+}
+
+/// One synchronous data-parallel step: gradients from all `batches`
+/// (averaged over the batch count so the step matches sequential
+/// semantics at the same effective batch size), then a single optimizer
+/// update on `net`.
+///
+/// # Errors
+///
+/// Propagates tensor errors from the workers or the optimizer.
+pub fn parallel_train_step<O: Optimizer>(
+    net: &mut Sequential,
+    batches: &[(Tensor, Vec<usize>)],
+    opt: &mut O,
+    threads: usize,
+) -> crate::Result<TrainReport> {
+    let (loss, acc, grads) = parallel_gradients(net, batches, threads)?;
+    let scale = 1.0 / batches.len().max(1) as f32;
+    {
+        let mut params = net.parameters_mut();
+        for (p, g) in params.iter_mut().zip(&grads) {
+            p.grad = g.scale(scale);
+        }
+        opt.step(&mut params)?;
+    }
+    Ok(TrainReport { mean_loss: loss, mean_accuracy: acc, batches: batches.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{train_epoch, Adam, Flatten, Linear, ReluLayer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_net(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new("toy");
+        net.push(Box::new(Flatten::new("flat")));
+        net.push(Box::new(Linear::new("fc1", 4, 12, &mut rng)));
+        net.push(Box::new(ReluLayer::new("r")));
+        net.push(Box::new(Linear::new("fc2", 12, 2, &mut rng)));
+        net
+    }
+
+    fn toy_batches(n: usize) -> Vec<(Tensor, Vec<usize>)> {
+        (0..n)
+            .map(|b| {
+                let mut data = Vec::new();
+                let mut labels = Vec::new();
+                for i in 0..6 {
+                    let class = (b + i) % 2;
+                    let v = if class == 0 { 1.0 } else { -1.0 };
+                    data.extend_from_slice(&[v, 0.5 * v, -v, 0.25 * v]);
+                    labels.push(class);
+                }
+                (Tensor::from_vec(data, &[6, 1, 2, 2]).unwrap(), labels)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_gradients_match_sequential_sum() {
+        let net = toy_net(1);
+        let batches = toy_batches(4);
+        let (_, _, par) = parallel_gradients(&net, &batches, 4).unwrap();
+        // sequential reference: accumulate grads over the same batches
+        let mut seq_net = net.clone();
+        seq_net.zero_grad();
+        for (images, labels) in &batches {
+            let logits = seq_net.forward(images).unwrap();
+            let ce = softmax_cross_entropy(&logits, labels).unwrap();
+            seq_net.backward(&ce.grad).unwrap();
+        }
+        for (p, g) in seq_net.parameters().iter().zip(&par) {
+            for (a, b) in p.grad.as_slice().iter().zip(g.as_slice()) {
+                assert!((a - b).abs() < 1e-4, "{} vs {}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_gradients() {
+        let net = toy_net(2);
+        let batches = toy_batches(5);
+        let (_, _, one) = parallel_gradients(&net, &batches, 1).unwrap();
+        let (_, _, four) = parallel_gradients(&net, &batches, 4).unwrap();
+        let (_, _, many) = parallel_gradients(&net, &batches, 64).unwrap();
+        for ((a, b), c) in one.iter().zip(&four).zip(&many) {
+            for ((x, y), z) in a.as_slice().iter().zip(b.as_slice()).zip(c.as_slice()) {
+                assert!((x - y).abs() < 1e-4);
+                assert!((x - z).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_steps_learn_the_toy_task() {
+        let mut net = toy_net(3);
+        let batches = toy_batches(4);
+        let mut opt = Adam::with_lr(1e-2);
+        let mut last = TrainReport::default();
+        for _ in 0..60 {
+            last = parallel_train_step(&mut net, &batches, &mut opt, 4).unwrap();
+        }
+        assert!(last.mean_accuracy > 0.95, "{}", last.mean_accuracy);
+    }
+
+    #[test]
+    fn parallel_and_sequential_reach_similar_loss() {
+        // not bit-identical (different step granularity), but both must fit
+        let batches = toy_batches(4);
+        let mut seq = toy_net(4);
+        let mut opt1 = Adam::with_lr(1e-2);
+        for _ in 0..40 {
+            train_epoch(&mut seq, &batches, &mut opt1).unwrap();
+        }
+        let mut par = toy_net(4);
+        let mut opt2 = Adam::with_lr(1e-2);
+        for _ in 0..160 {
+            parallel_train_step(&mut par, &batches, &mut opt2, 2).unwrap();
+        }
+        let seq_acc = crate::evaluate(&mut seq, &batches).unwrap();
+        let par_acc = crate::evaluate(&mut par, &batches).unwrap();
+        assert!(seq_acc > 0.9 && par_acc > 0.9, "{seq_acc} vs {par_acc}");
+    }
+
+    #[test]
+    fn empty_batches_error() {
+        let net = toy_net(5);
+        assert!(parallel_gradients(&net, &[], 2).is_err());
+    }
+
+    #[test]
+    fn network_grad_buffers_untouched_by_parallel_gradients() {
+        let net = toy_net(6);
+        let before: Vec<f32> = net
+            .parameters()
+            .iter()
+            .flat_map(|p| p.grad.as_slice().to_vec())
+            .collect();
+        parallel_gradients(&net, &toy_batches(2), 2).unwrap();
+        let after: Vec<f32> = net
+            .parameters()
+            .iter()
+            .flat_map(|p| p.grad.as_slice().to_vec())
+            .collect();
+        assert_eq!(before, after);
+    }
+}

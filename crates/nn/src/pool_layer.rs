@@ -1,0 +1,85 @@
+//! The [`MaxPool2d`] layer.
+
+use crate::{Layer, LayerKind, Parameter};
+use mime_tensor::{max_pool2d, max_pool2d_backward, PoolSpec, Tensor, TensorError};
+
+/// 2-D max pooling layer.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    name: String,
+    spec: PoolSpec,
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (argmax, input dims)
+}
+
+impl MaxPool2d {
+    /// Creates a named pooling layer.
+    pub fn new(name: impl Into<String>, spec: PoolSpec) -> Self {
+        MaxPool2d { name: name.into(), spec, cache: None }
+    }
+
+    /// The pooling geometry.
+    pub fn spec(&self) -> &PoolSpec {
+        &self.spec
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Pool
+    }
+
+    fn forward(&mut self, input: &Tensor) -> crate::Result<Tensor> {
+        let out = max_pool2d(input, &self.spec)?;
+        self.cache = Some((out.argmax, input.dims().to_vec()));
+        Ok(out.output)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> crate::Result<Tensor> {
+        let (argmax, dims) = self.cache.take().ok_or_else(|| {
+            TensorError::InvalidGeometry(format!(
+                "{}: backward called before forward",
+                self.name
+            ))
+        })?;
+        max_pool2d_backward(grad_output, &argmax, &dims)
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
+        Vec::new()
+    }
+
+    fn parameters(&self) -> Vec<&Parameter> {
+        Vec::new()
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_layer_forward_backward() {
+        let mut pool = MaxPool2d::new("p", PoolSpec::vgg2x2());
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 9.0], &[1, 1, 2, 2]).unwrap();
+        let y = pool.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[9.0]);
+        let g = pool
+            .backward(&Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]).unwrap())
+            .unwrap();
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut pool = MaxPool2d::new("p", PoolSpec::vgg2x2());
+        assert!(pool.backward(&Tensor::zeros(&[1, 1, 1, 1])).is_err());
+    }
+}

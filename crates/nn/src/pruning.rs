@@ -1,0 +1,337 @@
+//! Static pruning-at-initialization, the comparator of the paper's Fig. 8.
+//!
+//! The paper compares MIME in pipelined mode against conventional
+//! multi-task inference with *highly pruned* per-task models: "90 %
+//! layerwise weight-sparsity … generated via pruning at initialization
+//! \[32, 33\] followed by training to near iso-accuracy". This module
+//! provides magnitude and SNIP-style saliency criteria, per-layer masks,
+//! and a masked training loop that keeps pruned weights at exactly zero.
+
+use crate::{softmax_cross_entropy, LayerKind, Optimizer, Sequential, TrainReport};
+use mime_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Criterion used to select which weights survive pruning-at-init.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneMethod {
+    /// Keep the largest-magnitude weights per layer.
+    Magnitude,
+    /// SNIP-style connection saliency `|w · ∂L/∂w|` measured on one batch.
+    Snip,
+}
+
+/// Per-parameter binary keep-masks, keyed by parameter name.
+///
+/// Only weight parameters of conv/linear layers are masked; biases are
+/// left dense (their storage is negligible and the paper counts weights).
+#[derive(Debug, Clone, Default)]
+pub struct WeightMasks {
+    masks: HashMap<String, Vec<bool>>,
+}
+
+impl WeightMasks {
+    /// Returns the mask for a parameter name, if that parameter is pruned.
+    pub fn get(&self, name: &str) -> Option<&[bool]> {
+        self.masks.get(name).map(|m| m.as_slice())
+    }
+
+    /// Number of masked parameters.
+    pub fn len(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Whether no parameter is masked.
+    pub fn is_empty(&self) -> bool {
+        self.masks.is_empty()
+    }
+
+    /// Fraction of weights kept across all masked parameters.
+    pub fn density(&self) -> f64 {
+        let total: usize = self.masks.values().map(|m| m.len()).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let kept: usize = self
+            .masks
+            .values()
+            .map(|m| m.iter().filter(|&&b| b).count())
+            .sum();
+        kept as f64 / total as f64
+    }
+
+    /// Per-layer weight sparsity (fraction pruned), in insertion-agnostic
+    /// sorted-by-name order.
+    pub fn layer_sparsities(&self) -> Vec<(String, f64)> {
+        let mut out: Vec<(String, f64)> = self
+            .masks
+            .iter()
+            .map(|(k, m)| {
+                let pruned = m.iter().filter(|&&b| !b).count();
+                (k.clone(), pruned as f64 / m.len().max(1) as f64)
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+fn is_prunable(kind: LayerKind) -> bool {
+    matches!(kind, LayerKind::Conv | LayerKind::Linear)
+}
+
+fn keep_mask_from_scores(scores: &[f32], sparsity: f64) -> Vec<bool> {
+    let n = scores.len();
+    let n_prune = ((n as f64) * sparsity).round() as usize;
+    let n_prune = n_prune.min(n);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut mask = vec![true; n];
+    for &i in order.iter().take(n_prune) {
+        mask[i] = false;
+    }
+    mask
+}
+
+/// Builds per-layer keep-masks at the requested *layerwise* sparsity.
+///
+/// For [`PruneMethod::Snip`] a calibration batch must be supplied; the
+/// saliency `|w · g|` is measured from one forward/backward pass on it.
+///
+/// # Errors
+///
+/// Propagates tensor errors; SNIP without a calibration batch is an
+/// invalid-geometry error.
+///
+/// # Panics
+///
+/// Panics if `sparsity` is outside `[0, 1]`.
+pub fn prune_at_init(
+    net: &mut Sequential,
+    sparsity: f64,
+    method: PruneMethod,
+    calibration: Option<(&Tensor, &[usize])>,
+) -> crate::Result<WeightMasks> {
+    assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0,1]");
+    if method == PruneMethod::Snip {
+        let (images, labels) = calibration.ok_or_else(|| {
+            mime_tensor::TensorError::InvalidGeometry(
+                "SNIP pruning requires a calibration batch".into(),
+            )
+        })?;
+        net.zero_grad();
+        let logits = net.forward(images)?;
+        let ce = softmax_cross_entropy(&logits, labels)?;
+        net.backward(&ce.grad)?;
+    }
+    let mut masks = HashMap::new();
+    for layer in net.iter_mut() {
+        if !is_prunable(layer.kind()) {
+            continue;
+        }
+        // The weight is by convention the first parameter of conv/linear.
+        let params = layer.parameters_mut();
+        let weight = match params.into_iter().next() {
+            Some(p) => p,
+            None => continue,
+        };
+        let scores: Vec<f32> = match method {
+            PruneMethod::Magnitude => {
+                weight.value.as_slice().iter().map(|w| w.abs()).collect()
+            }
+            PruneMethod::Snip => weight
+                .value
+                .as_slice()
+                .iter()
+                .zip(weight.grad.as_slice())
+                .map(|(w, g)| (w * g).abs())
+                .collect(),
+        };
+        let mask = keep_mask_from_scores(&scores, sparsity);
+        masks.insert(weight.name().to_string(), mask);
+    }
+    let masks = WeightMasks { masks };
+    apply_masks(net, &masks)?;
+    Ok(masks)
+}
+
+/// Zeroes every pruned weight in `net` according to `masks`.
+///
+/// # Errors
+///
+/// Returns a length-mismatch error when a mask and its parameter have
+/// drifted apart.
+pub fn apply_masks(net: &mut Sequential, masks: &WeightMasks) -> crate::Result<()> {
+    for layer in net.iter_mut() {
+        for p in layer.parameters_mut() {
+            if let Some(mask) = masks.get(p.name()) {
+                if mask.len() != p.value.len() {
+                    return Err(mime_tensor::TensorError::LengthMismatch {
+                        expected: mask.len(),
+                        actual: p.value.len(),
+                    });
+                }
+                for (w, &keep) in p.value.as_mut_slice().iter_mut().zip(mask) {
+                    if !keep {
+                        *w = 0.0;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One epoch of training that re-applies the keep-masks after every
+/// optimizer step, keeping pruned weights at exactly zero throughout.
+///
+/// # Errors
+///
+/// Propagates tensor errors from the passes or from mask application.
+pub fn masked_train_epoch<O: Optimizer>(
+    net: &mut Sequential,
+    batches: &[(Tensor, Vec<usize>)],
+    opt: &mut O,
+    masks: &WeightMasks,
+) -> crate::Result<TrainReport> {
+    let mut total_loss = 0.0f64;
+    let mut total_acc = 0.0f64;
+    for (images, labels) in batches {
+        net.zero_grad();
+        let logits = net.forward(images)?;
+        let ce = softmax_cross_entropy(&logits, labels)?;
+        total_loss += ce.loss as f64;
+        total_acc += crate::accuracy(&logits, labels)?;
+        net.backward(&ce.grad)?;
+        let mut params = net.parameters_mut();
+        opt.step(&mut params)?;
+        apply_masks(net, masks)?;
+    }
+    let n = batches.len().max(1);
+    Ok(TrainReport {
+        mean_loss: total_loss / n as f64,
+        mean_accuracy: total_acc / n as f64,
+        batches: batches.len(),
+    })
+}
+
+/// Measured weight sparsity of every conv/linear layer of `net`.
+pub fn weight_sparsity_report(net: &Sequential) -> Vec<(String, f64)> {
+    net.iter()
+        .filter(|l| is_prunable(l.kind()))
+        .filter_map(|l| {
+            l.parameters().into_iter().next().map(|w| {
+                (l.name().to_string(), w.value.sparsity())
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Adam, Flatten, Linear, ReluLayer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut n = Sequential::new("p");
+        n.push(Box::new(Flatten::new("flat")));
+        n.push(Box::new(Linear::new("fc1", 4, 20, &mut rng)));
+        n.push(Box::new(ReluLayer::new("r")));
+        n.push(Box::new(Linear::new("fc2", 20, 2, &mut rng)));
+        n
+    }
+
+    #[test]
+    fn magnitude_pruning_hits_target_sparsity() {
+        let mut n = net(0);
+        let masks = prune_at_init(&mut n, 0.9, PruneMethod::Magnitude, None).unwrap();
+        for (name, s) in masks.layer_sparsities() {
+            assert!((s - 0.9).abs() < 0.02, "{name}: {s}");
+        }
+        let report = weight_sparsity_report(&n);
+        assert_eq!(report.len(), 2);
+        for (name, s) in report {
+            assert!(s >= 0.88, "{name}: {s}");
+        }
+        assert!((masks.density() - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn magnitude_keeps_largest_weights() {
+        let mut n = net(1);
+        // force a known weight pattern in fc1
+        {
+            let mut params = n.parameters_mut();
+            let w = &mut params[0];
+            assert_eq!(w.name(), "fc1.weight");
+            for (i, x) in w.value.as_mut_slice().iter_mut().enumerate() {
+                *x = i as f32; // monotone magnitudes
+            }
+        }
+        let masks = prune_at_init(&mut n, 0.5, PruneMethod::Magnitude, None).unwrap();
+        let mask = masks.get("fc1.weight").unwrap();
+        let n_total = mask.len();
+        // smallest half pruned, largest half kept
+        assert!(mask[..n_total / 2].iter().all(|&b| !b));
+        assert!(mask[n_total / 2..].iter().all(|&b| b));
+    }
+
+    #[test]
+    fn snip_requires_calibration_batch() {
+        let mut n = net(2);
+        assert!(prune_at_init(&mut n, 0.5, PruneMethod::Snip, None).is_err());
+    }
+
+    #[test]
+    fn snip_prunes_with_calibration() {
+        let mut n = net(3);
+        let images = Tensor::from_fn(&[4, 1, 2, 2], |i| (i as f32) * 0.1 - 0.5);
+        let labels = vec![0usize, 1, 0, 1];
+        let masks =
+            prune_at_init(&mut n, 0.8, PruneMethod::Snip, Some((&images, &labels))).unwrap();
+        assert_eq!(masks.len(), 2);
+        assert!((masks.density() - 0.2).abs() < 0.03);
+    }
+
+    #[test]
+    fn masked_training_preserves_zeros() {
+        let mut n = net(4);
+        let masks = prune_at_init(&mut n, 0.9, PruneMethod::Magnitude, None).unwrap();
+        let images = Tensor::from_fn(&[8, 1, 2, 2], |i| ((i % 7) as f32) - 3.0);
+        let labels: Vec<usize> = (0..8).map(|i| i % 2).collect();
+        let batches = vec![(images, labels)];
+        let mut opt = Adam::with_lr(1e-2);
+        for _ in 0..5 {
+            masked_train_epoch(&mut n, &batches, &mut opt, &masks).unwrap();
+        }
+        for (name, s) in weight_sparsity_report(&n) {
+            assert!(s >= 0.88, "{name} lost sparsity: {s}");
+        }
+    }
+
+    #[test]
+    fn zero_sparsity_prunes_nothing() {
+        let mut n = net(5);
+        let masks = prune_at_init(&mut n, 0.0, PruneMethod::Magnitude, None).unwrap();
+        assert!((masks.density() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_sparsity_prunes_everything() {
+        let mut n = net(6);
+        let masks = prune_at_init(&mut n, 1.0, PruneMethod::Magnitude, None).unwrap();
+        assert!(masks.density() < 1e-9);
+        for (_, s) in weight_sparsity_report(&n) {
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity must be in [0,1]")]
+    fn rejects_out_of_range_sparsity() {
+        let mut n = net(7);
+        let _ = prune_at_init(&mut n, 1.5, PruneMethod::Magnitude, None);
+    }
+}

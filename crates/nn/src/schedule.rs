@@ -1,0 +1,156 @@
+//! Learning-rate schedules, early stopping and divergence detection —
+//! the training-loop utilities the longer `MIME_SCALE=full` runs use.
+
+use crate::TrainReport;
+
+/// A learning-rate schedule evaluated per epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant {
+        /// The rate.
+        lr: f32,
+    },
+    /// Multiply by `gamma` every `every` epochs.
+    StepDecay {
+        /// Initial rate.
+        lr: f32,
+        /// Decay factor per step.
+        gamma: f32,
+        /// Epochs between decays (must be non-zero).
+        every: usize,
+    },
+    /// Cosine annealing from `lr` down to `min_lr` over `total` epochs.
+    Cosine {
+        /// Initial rate.
+        lr: f32,
+        /// Final rate.
+        min_lr: f32,
+        /// Schedule length in epochs (must be non-zero).
+        total: usize,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate for 0-based `epoch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `StepDecay`/`Cosine` schedule was built with a zero
+    /// period.
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::StepDecay { lr, gamma, every } => {
+                assert!(every > 0, "StepDecay period must be non-zero");
+                lr * gamma.powi((epoch / every) as i32)
+            }
+            LrSchedule::Cosine { lr, min_lr, total } => {
+                assert!(total > 0, "Cosine length must be non-zero");
+                let t = (epoch.min(total) as f32) / total as f32;
+                min_lr + 0.5 * (lr - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+        }
+    }
+}
+
+/// Early-stopping tracker over validation metrics (higher is better).
+#[derive(Debug, Clone)]
+pub struct EarlyStopping {
+    patience: usize,
+    best: f64,
+    since_best: usize,
+}
+
+impl EarlyStopping {
+    /// Creates a tracker that stops after `patience` epochs without
+    /// improvement.
+    pub fn new(patience: usize) -> Self {
+        EarlyStopping { patience, best: f64::NEG_INFINITY, since_best: 0 }
+    }
+
+    /// Records an epoch's metric; returns `true` when training should
+    /// stop.
+    pub fn update(&mut self, metric: f64) -> bool {
+        if metric > self.best {
+            self.best = metric;
+            self.since_best = 0;
+        } else {
+            self.since_best += 1;
+        }
+        self.since_best > self.patience
+    }
+
+    /// Best metric observed so far.
+    pub fn best(&self) -> f64 {
+        self.best
+    }
+}
+
+/// Returns `true` when a training report shows divergence (NaN or
+/// infinite loss) — callers should abort and report instead of training
+/// on garbage.
+pub fn diverged(report: &TrainReport) -> bool {
+    !report.mean_loss.is_finite()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 0.1 };
+        assert_eq!(s.lr_at(0), 0.1);
+        assert_eq!(s.lr_at(100), 0.1);
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = LrSchedule::StepDecay { lr: 1.0, gamma: 0.5, every: 3 };
+        assert_eq!(s.lr_at(0), 1.0);
+        assert_eq!(s.lr_at(2), 1.0);
+        assert_eq!(s.lr_at(3), 0.5);
+        assert_eq!(s.lr_at(6), 0.25);
+    }
+
+    #[test]
+    fn cosine_endpoints_and_monotonicity() {
+        let s = LrSchedule::Cosine { lr: 1.0, min_lr: 0.1, total: 10 };
+        assert!((s.lr_at(0) - 1.0).abs() < 1e-6);
+        assert!((s.lr_at(10) - 0.1).abs() < 1e-6);
+        assert!((s.lr_at(20) - 0.1).abs() < 1e-6, "clamped past the end");
+        for e in 0..10 {
+            assert!(s.lr_at(e + 1) <= s.lr_at(e) + 1e-6);
+        }
+        // midpoint is the arithmetic mean
+        assert!((s.lr_at(5) - 0.55).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be non-zero")]
+    fn zero_period_panics() {
+        let _ = LrSchedule::StepDecay { lr: 1.0, gamma: 0.5, every: 0 }.lr_at(1);
+    }
+
+    #[test]
+    fn early_stopping_waits_for_patience() {
+        let mut es = EarlyStopping::new(2);
+        assert!(!es.update(0.5));
+        assert!(!es.update(0.6)); // improvement resets
+        assert!(!es.update(0.55));
+        assert!(!es.update(0.55));
+        assert!(es.update(0.55)); // third epoch without improvement
+        assert_eq!(es.best(), 0.6);
+    }
+
+    #[test]
+    fn divergence_detection() {
+        let ok = TrainReport { mean_loss: 1.0, mean_accuracy: 0.5, batches: 1 };
+        let bad = TrainReport { mean_loss: f64::NAN, ..ok };
+        let inf = TrainReport { mean_loss: f64::INFINITY, ..ok };
+        assert!(!diverged(&ok));
+        assert!(diverged(&bad));
+        assert!(diverged(&inf));
+    }
+}

@@ -1,0 +1,259 @@
+//! The [`Sequential`] network container.
+
+use crate::{Layer, Parameter};
+use mime_tensor::Tensor;
+
+/// An ordered stack of [`Layer`]s executed front to back.
+///
+/// `Sequential` is the network type used for both the conventional
+/// baselines and (with threshold-mask layers spliced in by `mime-core`)
+/// the MIME networks.
+#[derive(Clone)]
+pub struct Sequential {
+    name: String,
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sequential")
+            .field("name", &self.name)
+            .field(
+                "layers",
+                &self.layers.iter().map(|l| l.name().to_string()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl Sequential {
+    /// Creates an empty network.
+    pub fn new(name: impl Into<String>) -> Self {
+        Sequential { name: name.into(), layers: Vec::new() }
+    }
+
+    /// The network's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(&mut self, layer: Box<dyn Layer>) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Iterates over the layers.
+    pub fn iter(&self) -> std::slice::Iter<'_, Box<dyn Layer>> {
+        self.layers.iter()
+    }
+
+    /// Iterates mutably over the layers.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, Box<dyn Layer>> {
+        self.layers.iter_mut()
+    }
+
+    /// Full forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer error.
+    pub fn forward(&mut self, input: &Tensor) -> crate::Result<Tensor> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x)?;
+        }
+        Ok(x)
+    }
+
+    /// Forward pass that also records every layer's output (used for
+    /// sparsity measurement). Returns `(final_output, per_layer_outputs)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer error.
+    pub fn forward_trace(&mut self, input: &Tensor) -> crate::Result<(Tensor, Vec<Tensor>)> {
+        let mut x = input.clone();
+        let mut trace = Vec::with_capacity(self.layers.len());
+        for layer in &mut self.layers {
+            x = layer.forward(&x)?;
+            trace.push(x.clone());
+        }
+        Ok((x, trace))
+    }
+
+    /// Full backward pass; returns the gradient w.r.t. the network input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer error (including "backward before
+    /// forward").
+    pub fn backward(&mut self, grad_output: &Tensor) -> crate::Result<Tensor> {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    /// Mutable access to every parameter in layer order.
+    pub fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
+        self.layers.iter_mut().flat_map(|l| l.parameters_mut()).collect()
+    }
+
+    /// Immutable access to every parameter in layer order.
+    pub fn parameters(&self) -> Vec<&Parameter> {
+        self.layers.iter().flat_map(|l| l.parameters()).collect()
+    }
+
+    /// Zeroes every parameter gradient.
+    pub fn zero_grad(&mut self) {
+        for p in self.parameters_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.parameters().iter().map(|p| p.len()).sum()
+    }
+
+    /// Freezes (or unfreezes) every parameter — MIME freezes the whole
+    /// parent backbone this way before attaching trainable thresholds.
+    pub fn set_frozen(&mut self, frozen: bool) {
+        for p in self.parameters_mut() {
+            p.frozen = frozen;
+        }
+    }
+
+    /// Renders a human-readable layer table: name, kind and parameter
+    /// count per layer, plus the total.
+    pub fn summary(&self) -> String {
+        let mut out = format!("{:<16} {:<10} {:>12}\n", "layer", "kind", "params");
+        for layer in &self.layers {
+            let params: usize = layer.parameters().iter().map(|p| p.len()).sum();
+            out.push_str(&format!(
+                "{:<16} {:<10} {:>12}\n",
+                layer.name(),
+                format!("{:?}", layer.kind()),
+                params
+            ));
+        }
+        out.push_str(&format!(
+            "{:<16} {:<10} {:>12}\n",
+            "TOTAL",
+            "",
+            self.num_parameters()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Flatten, Linear, ReluLayer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_net() -> Sequential {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = Sequential::new("tiny");
+        net.push(Box::new(Flatten::new("flat")));
+        net.push(Box::new(Linear::new("fc1", 4, 8, &mut rng)));
+        net.push(Box::new(ReluLayer::new("relu1")));
+        net.push(Box::new(Linear::new("fc2", 8, 3, &mut rng)));
+        net
+    }
+
+    #[test]
+    fn forward_backward_shapes() {
+        let mut net = tiny_net();
+        let x = Tensor::ones(&[2, 1, 2, 2]);
+        let y = net.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[2, 3]);
+        let gx = net.backward(&Tensor::ones(&[2, 3])).unwrap();
+        assert_eq!(gx.dims(), x.dims());
+    }
+
+    #[test]
+    fn trace_records_every_layer() {
+        let mut net = tiny_net();
+        let (_, trace) = net.forward_trace(&Tensor::ones(&[1, 1, 2, 2])).unwrap();
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace[0].dims(), &[1, 4]);
+        assert_eq!(trace[3].dims(), &[1, 3]);
+    }
+
+    #[test]
+    fn parameter_count() {
+        let net = tiny_net();
+        // fc1: 4*8+8, fc2: 8*3+3
+        assert_eq!(net.num_parameters(), 32 + 8 + 24 + 3);
+    }
+
+    #[test]
+    fn freeze_flags_all_params() {
+        let mut net = tiny_net();
+        net.set_frozen(true);
+        assert!(net.parameters().iter().all(|p| p.frozen));
+        net.set_frozen(false);
+        assert!(net.parameters().iter().all(|p| !p.frozen));
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut net = tiny_net();
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let y = net.forward(&x).unwrap();
+        net.backward(&Tensor::ones(y.dims())).unwrap();
+        assert!(net.parameters().iter().any(|p| p.grad.norm_sq() > 0.0));
+        net.zero_grad();
+        assert!(net.parameters().iter().all(|p| p.grad.norm_sq() == 0.0));
+    }
+
+    #[test]
+    fn summary_lists_layers_and_total() {
+        let net = tiny_net();
+        let s = net.summary();
+        assert!(s.contains("fc1"));
+        assert!(s.contains("Linear"));
+        assert!(s.contains("TOTAL"));
+        assert!(s.contains("67"), "total param count 67 missing:\n{s}");
+        assert_eq!(s.lines().count(), 1 + 4 + 1);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut net = tiny_net();
+        let mut copy = net.clone();
+        // mutate the copy's first weight; the original must not move
+        copy.parameters_mut()[0].value.map_inplace(|_| 9.0);
+        assert_ne!(
+            net.parameters()[0].value.as_slice(),
+            copy.parameters()[0].value.as_slice()
+        );
+        // both still run
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        net.forward(&x).unwrap();
+        copy.forward(&x).unwrap();
+    }
+
+    #[test]
+    fn debug_lists_layer_names() {
+        let net = tiny_net();
+        let dbg = format!("{net:?}");
+        assert!(dbg.contains("fc1"));
+        assert!(dbg.contains("relu1"));
+    }
+}

@@ -1,0 +1,170 @@
+//! A minimal supervised training loop over `(images, labels)` batches.
+
+use crate::{accuracy, softmax_cross_entropy, Optimizer, Sequential};
+use mime_tensor::Tensor;
+
+/// Configuration of a training run.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Number of passes over the batch list per call to
+    /// [`train_epoch`]-style helpers (kept at 1 there; used by callers'
+    /// outer loops).
+    pub epochs: usize,
+    /// Whether to print per-epoch progress to stdout.
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { epochs: 1, verbose: false }
+    }
+}
+
+/// Metrics from one epoch of training.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TrainReport {
+    /// Mean loss across all batches.
+    pub mean_loss: f64,
+    /// Mean top-1 accuracy across all batches.
+    pub mean_accuracy: f64,
+    /// Batches processed.
+    pub batches: usize,
+}
+
+/// Trains `net` for one epoch over `batches` with `opt`, returning loss
+/// and accuracy means.
+///
+/// Each batch is `(images, labels)` with `images: [N, C, H, W]`.
+///
+/// # Errors
+///
+/// Propagates tensor errors from the forward/backward passes.
+pub fn train_epoch<O: Optimizer>(
+    net: &mut Sequential,
+    batches: &[(Tensor, Vec<usize>)],
+    opt: &mut O,
+) -> crate::Result<TrainReport> {
+    let mut total_loss = 0.0f64;
+    let mut total_acc = 0.0f64;
+    for (images, labels) in batches {
+        net.zero_grad();
+        let logits = net.forward(images)?;
+        let ce = softmax_cross_entropy(&logits, labels)?;
+        total_loss += ce.loss as f64;
+        total_acc += accuracy(&logits, labels)?;
+        net.backward(&ce.grad)?;
+        let mut params = net.parameters_mut();
+        opt.step(&mut params)?;
+    }
+    let n = batches.len().max(1);
+    Ok(TrainReport {
+        mean_loss: total_loss / n as f64,
+        mean_accuracy: total_acc / n as f64,
+        batches: batches.len(),
+    })
+}
+
+/// Evaluates `net` on `batches`, returning mean top-1 accuracy.
+///
+/// # Errors
+///
+/// Propagates tensor errors from the forward pass.
+pub fn evaluate(
+    net: &mut Sequential,
+    batches: &[(Tensor, Vec<usize>)],
+) -> crate::Result<f64> {
+    if batches.is_empty() {
+        return Ok(0.0);
+    }
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for (images, labels) in batches {
+        let logits = net.forward(images)?;
+        let hits = accuracy(&logits, labels)? * labels.len() as f64;
+        total += hits;
+        count += labels.len();
+    }
+    Ok(total / count.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Adam, Flatten, Linear, ReluLayer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A linearly-separable two-class toy problem the net must fit.
+    fn toy_batches() -> Vec<(Tensor, Vec<usize>)> {
+        let mut batches = Vec::new();
+        for b in 0..4 {
+            let mut data = Vec::new();
+            let mut labels = Vec::new();
+            for i in 0..8 {
+                let class = (b + i) % 2;
+                let base = if class == 0 { 1.0 } else { -1.0 };
+                data.extend_from_slice(&[base, base * 0.5, -base, base * 0.25]);
+                labels.push(class);
+            }
+            batches.push((
+                Tensor::from_vec(data, &[8, 1, 2, 2]).unwrap(),
+                labels,
+            ));
+        }
+        batches
+    }
+
+    fn toy_net(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new("toy");
+        net.push(Box::new(Flatten::new("flat")));
+        net.push(Box::new(Linear::new("fc1", 4, 16, &mut rng)));
+        net.push(Box::new(ReluLayer::new("relu")));
+        net.push(Box::new(Linear::new("fc2", 16, 2, &mut rng)));
+        net
+    }
+
+    #[test]
+    fn training_reduces_loss_and_reaches_full_accuracy() {
+        let mut net = toy_net(0);
+        let batches = toy_batches();
+        let mut opt = Adam::with_lr(1e-2);
+        let first = train_epoch(&mut net, &batches, &mut opt).unwrap();
+        let mut last = first;
+        for _ in 0..30 {
+            last = train_epoch(&mut net, &batches, &mut opt).unwrap();
+        }
+        assert!(last.mean_loss < first.mean_loss);
+        assert!(last.mean_accuracy > 0.95, "acc = {}", last.mean_accuracy);
+        let eval = evaluate(&mut net, &batches).unwrap();
+        assert!(eval > 0.95);
+    }
+
+    #[test]
+    fn empty_batch_list_is_benign() {
+        let mut net = toy_net(1);
+        let mut opt = Adam::with_lr(1e-3);
+        let rep = train_epoch(&mut net, &[], &mut opt).unwrap();
+        assert_eq!(rep.batches, 0);
+        assert_eq!(evaluate(&mut net, &[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn frozen_network_does_not_learn() {
+        let mut net = toy_net(2);
+        net.set_frozen(true);
+        let before: Vec<f32> = net
+            .parameters()
+            .iter()
+            .flat_map(|p| p.value.as_slice().to_vec())
+            .collect();
+        let mut opt = Adam::with_lr(1e-1);
+        train_epoch(&mut net, &toy_batches(), &mut opt).unwrap();
+        let after: Vec<f32> = net
+            .parameters()
+            .iter()
+            .flat_map(|p| p.value.as_slice().to_vec())
+            .collect();
+        assert_eq!(before, after);
+    }
+}

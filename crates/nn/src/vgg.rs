@@ -1,0 +1,264 @@
+//! The VGG16 topology used throughout the paper, expressed as an
+//! architecture description ([`VggArch`]) plus a builder producing a
+//! conventional ReLU network. `mime-core` consumes the same description to
+//! build threshold-masked MIME networks over identical weights.
+
+use crate::{Conv2d, Flatten, Linear, MaxPool2d, ReluLayer, Sequential};
+use mime_tensor::{ConvSpec, PoolSpec};
+use rand::Rng;
+
+/// One block of a VGG-style architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VggBlock {
+    /// A 3×3/s1/p1 convolution followed by an activation slot.
+    Conv {
+        /// Input channels.
+        in_ch: usize,
+        /// Output channels.
+        out_ch: usize,
+    },
+    /// 2×2/s2 max pooling.
+    Pool,
+    /// NCHW → NF flattening before the classifier head.
+    Flatten,
+    /// A fully-connected layer; `activation` is false only for the final
+    /// classifier (which emits raw logits).
+    Linear {
+        /// Input features.
+        in_f: usize,
+        /// Output features.
+        out_f: usize,
+        /// Whether an activation (ReLU or threshold mask) follows.
+        activation: bool,
+    },
+}
+
+/// A concrete VGG-style architecture: the block list plus input geometry.
+///
+/// The canonical 13-conv + 3-FC VGG16 is produced by [`vgg16_arch`]; the
+/// width multiplier lets experiments run at laptop scale while keeping the
+/// exact layer structure of the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VggArch {
+    /// Ordered block list.
+    pub blocks: Vec<VggBlock>,
+    /// Input spatial extent (square inputs).
+    pub input_hw: usize,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Number of classes (final FC width).
+    pub classes: usize,
+}
+
+impl VggArch {
+    /// Output spatial extent of each conv block, in order (pooling halves
+    /// the extent).
+    pub fn conv_spatial_extents(&self) -> Vec<usize> {
+        let mut hw = self.input_hw;
+        let mut out = Vec::new();
+        for b in &self.blocks {
+            match b {
+                VggBlock::Conv { .. } => out.push(hw),
+                VggBlock::Pool => hw /= 2,
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Total weight-parameter count (weights only, excluding biases),
+    /// which is what the paper's DRAM-storage accounting uses.
+    pub fn weight_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| match b {
+                VggBlock::Conv { in_ch, out_ch } => in_ch * out_ch * 9,
+                VggBlock::Linear { in_f, out_f, .. } => in_f * out_f,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total activation-neuron count across all masked layers (one
+    /// threshold per output neuron, per the paper). The final classifier
+    /// layer carries no mask and is excluded.
+    pub fn neuron_count(&self) -> usize {
+        let extents = self.conv_spatial_extents();
+        let mut conv_i = 0;
+        self.blocks
+            .iter()
+            .map(|b| match b {
+                VggBlock::Conv { out_ch, .. } => {
+                    let hw = extents[conv_i];
+                    conv_i += 1;
+                    out_ch * hw * hw
+                }
+                VggBlock::Linear { out_f, activation, .. }
+                    if *activation => {
+                        *out_f
+                    }
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+fn scaled(ch: usize, width_mult: f64) -> usize {
+    ((ch as f64 * width_mult).round() as usize).max(1)
+}
+
+/// Builds the VGG16 architecture (13 conv + 3 FC) at a given width.
+///
+/// * `width_mult` — channel scaling (1.0 = paper-size VGG16).
+/// * `input_hw` — input spatial extent (paper: 224 for ImageNet, 32 for
+///   the CIFAR-format child tasks; must be divisible by 32 so that the five
+///   pools land on an integer extent).
+/// * `in_channels` — input channels (3 for RGB).
+/// * `classes` — classifier width.
+/// * `fc_width` — hidden width of the two FC layers (paper: 4096).
+///
+/// # Panics
+///
+/// Panics if `input_hw` is not divisible by 32.
+pub fn vgg16_arch(
+    width_mult: f64,
+    input_hw: usize,
+    in_channels: usize,
+    classes: usize,
+    fc_width: usize,
+) -> VggArch {
+    assert!(input_hw.is_multiple_of(32), "VGG16 needs input_hw divisible by 32, got {input_hw}");
+    let stage_channels = [64usize, 128, 256, 512, 512];
+    let stage_convs = [2usize, 2, 3, 3, 3];
+    let mut blocks = Vec::new();
+    let mut prev = in_channels;
+    for (stage, (&ch, &n)) in stage_channels.iter().zip(&stage_convs).enumerate() {
+        let ch = scaled(ch, width_mult);
+        for _ in 0..n {
+            blocks.push(VggBlock::Conv { in_ch: prev, out_ch: ch });
+            prev = ch;
+        }
+        blocks.push(VggBlock::Pool);
+        let _ = stage;
+    }
+    let final_hw = input_hw / 32;
+    let feat = prev * final_hw * final_hw;
+    blocks.push(VggBlock::Flatten);
+    blocks.push(VggBlock::Linear { in_f: feat, out_f: fc_width, activation: true });
+    blocks.push(VggBlock::Linear { in_f: fc_width, out_f: fc_width, activation: true });
+    blocks.push(VggBlock::Linear { in_f: fc_width, out_f: classes, activation: false });
+    VggArch { blocks, input_hw, in_channels, classes }
+}
+
+/// Builds a conventional (ReLU-activated) network from an architecture.
+///
+/// Layer names follow the paper's numbering: weighted layers are
+/// `conv1..conv13`, `fc14..fc16`; activations are named after the layer
+/// they follow.
+pub fn build_network<R: Rng>(arch: &VggArch, rng: &mut R) -> Sequential {
+    let mut net = Sequential::new("vgg16");
+    let mut weighted = 0usize;
+    let mut pool_i = 0usize;
+    for block in &arch.blocks {
+        match *block {
+            VggBlock::Conv { in_ch, out_ch } => {
+                weighted += 1;
+                let name = format!("conv{weighted}");
+                net.push(Box::new(Conv2d::new(&name, in_ch, out_ch, ConvSpec::vgg3x3(), rng)));
+                net.push(Box::new(ReluLayer::new(format!("{name}.relu"))));
+            }
+            VggBlock::Pool => {
+                pool_i += 1;
+                net.push(Box::new(MaxPool2d::new(format!("pool{pool_i}"), PoolSpec::vgg2x2())));
+            }
+            VggBlock::Flatten => {
+                net.push(Box::new(Flatten::new("flatten")));
+            }
+            VggBlock::Linear { in_f, out_f, activation } => {
+                weighted += 1;
+                let name = format!("fc{weighted}");
+                net.push(Box::new(Linear::new(&name, in_f, out_f, rng)));
+                if activation {
+                    net.push(Box::new(ReluLayer::new(format!("{name}.relu"))));
+                }
+            }
+        }
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mime_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_size_vgg16_structure() {
+        let arch = vgg16_arch(1.0, 224, 3, 1000, 4096);
+        let convs = arch
+            .blocks
+            .iter()
+            .filter(|b| matches!(b, VggBlock::Conv { .. }))
+            .count();
+        let fcs = arch
+            .blocks
+            .iter()
+            .filter(|b| matches!(b, VggBlock::Linear { .. }))
+            .count();
+        assert_eq!(convs, 13);
+        assert_eq!(fcs, 3);
+        // the famous ~138M parameter count (weights only ≈ 138.3M incl. biases;
+        // weight-only count is ~138.34M - small bias terms)
+        let w = arch.weight_count();
+        assert!((130_000_000..145_000_000).contains(&w), "weights = {w}");
+    }
+
+    #[test]
+    fn conv_extents_halve_after_pools() {
+        let arch = vgg16_arch(1.0, 32, 3, 10, 512);
+        let ext = arch.conv_spatial_extents();
+        assert_eq!(ext, vec![32, 32, 16, 16, 8, 8, 8, 4, 4, 4, 2, 2, 2]);
+    }
+
+    #[test]
+    fn neuron_count_counts_masked_layers_only() {
+        let arch = vgg16_arch(1.0, 32, 3, 10, 512);
+        let expected_conv: usize = arch
+            .conv_spatial_extents()
+            .iter()
+            .zip(arch.blocks.iter().filter_map(|b| match b {
+                VggBlock::Conv { out_ch, .. } => Some(*out_ch),
+                _ => None,
+            }))
+            .map(|(hw, ch)| hw * hw * ch)
+            .sum();
+        // + two hidden FC layers, final classifier unmasked
+        assert_eq!(arch.neuron_count(), expected_conv + 512 + 512);
+    }
+
+    #[test]
+    fn mini_network_forward_shape() {
+        let arch = vgg16_arch(0.125, 32, 3, 10, 64);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = build_network(&arch, &mut rng);
+        let y = net.forward(&Tensor::zeros(&[2, 3, 32, 32])).unwrap();
+        assert_eq!(y.dims(), &[2, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 32")]
+    fn rejects_bad_input_size() {
+        vgg16_arch(1.0, 30, 3, 10, 4096);
+    }
+
+    #[test]
+    fn width_multiplier_scales_channels() {
+        let arch = vgg16_arch(0.5, 32, 3, 10, 128);
+        match arch.blocks[0] {
+            VggBlock::Conv { out_ch, .. } => assert_eq!(out_ch, 32),
+            _ => panic!("first block must be conv"),
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Property-based invariants of the layer and optimizer machinery.
+
+use mime_nn::{
+    softmax_cross_entropy, Adam, Conv2d, Flatten, Layer, Linear, MaxPool2d, Optimizer,
+    Parameter, ReluLayer, Sequential, Sgd,
+};
+use mime_tensor::{ConvSpec, PoolSpec, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn vec_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-3.0f32..3.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn relu_backward_masks_exactly_nonpositive(v in vec_strategy(16), g in vec_strategy(16)) {
+        let mut relu = ReluLayer::new("r");
+        let x = Tensor::from_vec(v.clone(), &[16]).unwrap();
+        relu.forward(&x).unwrap();
+        let gi = relu.backward(&Tensor::from_vec(g.clone(), &[16]).unwrap()).unwrap();
+        for i in 0..16 {
+            if v[i] > 0.0 {
+                prop_assert_eq!(gi.as_slice()[i], g[i]);
+            } else {
+                prop_assert_eq!(gi.as_slice()[i], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn linear_is_affine(v in vec_strategy(8), w in vec_strategy(8)) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lin = Linear::new("l", 4, 3, &mut rng);
+        let a = Tensor::from_vec(v[..4].to_vec(), &[1, 4]).unwrap();
+        let b = Tensor::from_vec(w[..4].to_vec(), &[1, 4]).unwrap();
+        // f(a) + f(b) - f(0) == f(a + b)  for affine f
+        let fa = lin.forward(&a).unwrap();
+        let fb = lin.forward(&b).unwrap();
+        let f0 = lin.forward(&Tensor::zeros(&[1, 4])).unwrap();
+        let fab = lin.forward(&a.add(&b).unwrap()).unwrap();
+        for i in 0..3 {
+            let lhs = fa.as_slice()[i] + fb.as_slice()[i] - f0.as_slice()[i];
+            prop_assert!((lhs - fab.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn conv_gradient_accumulates_linearly(scale in 1.0f32..4.0) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut conv = Conv2d::new("c", 1, 2, ConvSpec::vgg3x3(), &mut rng);
+        let x = Tensor::from_fn(&[1, 1, 4, 4], |i| (i as f32) * 0.1);
+        let y = conv.forward(&x).unwrap();
+        conv.backward(&Tensor::full(y.dims(), scale)).unwrap();
+        let g1: Vec<f32> = conv.parameters()[0].grad.as_slice().to_vec();
+        // gradient of a scaled upstream must be the scaled gradient
+        let mut conv2 = Conv2d::new("c", 1, 2, ConvSpec::vgg3x3(), &mut StdRng::seed_from_u64(5));
+        let y2 = conv2.forward(&x).unwrap();
+        conv2.backward(&Tensor::full(y2.dims(), 1.0)).unwrap();
+        for (a, b) in g1.iter().zip(conv2.parameters()[0].grad.as_slice()) {
+            prop_assert!((a - b * scale).abs() < 1e-2 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn optimizers_never_touch_frozen(lr in 0.001f32..1.0, grad in -10.0f32..10.0) {
+        let mut p = Parameter::new("p", Tensor::from_slice(&[1.0, 2.0]));
+        p.frozen = true;
+        p.grad = Tensor::from_slice(&[grad, -grad]);
+        Adam::with_lr(lr).step(&mut [&mut p]).unwrap();
+        Sgd::new(lr, 0.9).step(&mut [&mut p]).unwrap();
+        prop_assert_eq!(p.value.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn sgd_step_direction_opposes_gradient(x0 in -5.0f32..5.0) {
+        prop_assume!(x0.abs() > 1e-3);
+        let mut p = Parameter::new("p", Tensor::from_slice(&[x0]));
+        p.grad = Tensor::from_slice(&[2.0 * x0]); // grad of x²
+        Sgd::new(0.01, 0.0).step(&mut [&mut p]).unwrap();
+        let x1 = p.value.as_slice()[0];
+        prop_assert!(x1.abs() < x0.abs());
+        prop_assert_eq!(x1.signum(), x0.signum());
+    }
+
+    #[test]
+    fn cross_entropy_nonnegative_and_grad_bounded(v in vec_strategy(6)) {
+        let logits = Tensor::from_vec(v, &[2, 3]).unwrap();
+        let out = softmax_cross_entropy(&logits, &[0, 2]).unwrap();
+        prop_assert!(out.loss >= 0.0);
+        // each grad entry is (p - y)/N with p ∈ [0,1] → |g| ≤ 1/N
+        prop_assert!(out.grad.as_slice().iter().all(|g| g.abs() <= 0.5 + 1e-6));
+    }
+
+    #[test]
+    fn pool_then_relu_commutes_with_relu_then_pool(v in vec_strategy(16)) {
+        // max-pool and ReLU commute (both monotone); a classic sanity law
+        let x = Tensor::from_vec(v, &[1, 1, 4, 4]).unwrap();
+        let mut pool_a = MaxPool2d::new("p", PoolSpec::vgg2x2());
+        let mut relu_a = ReluLayer::new("r");
+        let a = relu_a.forward(&pool_a.forward(&x).unwrap()).unwrap();
+        let mut pool_b = MaxPool2d::new("p", PoolSpec::vgg2x2());
+        let mut relu_b = ReluLayer::new("r");
+        let b = pool_b.forward(&relu_b.forward(&x).unwrap()).unwrap();
+        prop_assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn flatten_backward_inverts_forward(v in vec_strategy(24)) {
+        let mut fl = Flatten::new("f");
+        let x = Tensor::from_vec(v, &[2, 3, 2, 2]).unwrap();
+        let y = fl.forward(&x).unwrap();
+        let back = fl.backward(&y).unwrap();
+        prop_assert_eq!(back.as_slice(), x.as_slice());
+        prop_assert_eq!(back.dims(), x.dims());
+    }
+}
+
+#[test]
+fn full_network_gradcheck_on_random_net() {
+    // end-to-end finite-difference check through conv+pool+relu+fc
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut net = Sequential::new("gc");
+    net.push(Box::new(Conv2d::new("c1", 1, 2, ConvSpec::vgg3x3(), &mut rng)));
+    net.push(Box::new(ReluLayer::new("r1")));
+    net.push(Box::new(MaxPool2d::new("p1", PoolSpec::vgg2x2())));
+    net.push(Box::new(Flatten::new("f")));
+    net.push(Box::new(Linear::new("fc", 2 * 2 * 2, 3, &mut rng)));
+    let x = Tensor::from_fn(&[2, 1, 4, 4], |i| ((i * 13) % 7) as f32 * 0.2 - 0.5);
+    let labels = [0usize, 2];
+
+    net.zero_grad();
+    let logits = net.forward(&x).unwrap();
+    let ce = softmax_cross_entropy(&logits, &labels).unwrap();
+    net.backward(&ce.grad).unwrap();
+    let grads: Vec<Vec<f32>> =
+        net.parameters().iter().map(|p| p.grad.as_slice().to_vec()).collect();
+
+    let eps = 1e-2f32;
+    let loss_of = |net: &mut Sequential| {
+        let logits = net.forward(&x).unwrap();
+        softmax_cross_entropy(&logits, &labels).unwrap().loss
+    };
+    for (pi, g) in grads.iter().enumerate() {
+        // probe a few coordinates per parameter
+        for idx in [0usize, g.len() / 2, g.len() - 1] {
+            let orig = {
+                let mut params = net.parameters_mut();
+                let v = params[pi].value.as_mut_slice();
+                let o = v[idx];
+                v[idx] = o + eps;
+                o
+            };
+            let lp = loss_of(&mut net);
+            {
+                let mut params = net.parameters_mut();
+                params[pi].value.as_mut_slice()[idx] = orig - eps;
+            }
+            let lm = loss_of(&mut net);
+            {
+                let mut params = net.parameters_mut();
+                params[pi].value.as_mut_slice()[idx] = orig;
+            }
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - g[idx]).abs() < 0.02,
+                "param {pi} idx {idx}: numeric {num} vs analytic {}",
+                g[idx]
+            );
+        }
+    }
+}
+
+#[test]
+fn adam_beats_sgd_on_ill_conditioned_quadratic() {
+    // loss = 100·x² + y²; Adam's per-coordinate scaling should dominate
+    let run = |opt: &mut dyn Optimizer, steps: usize| -> f32 {
+        let mut p = Parameter::new("p", Tensor::from_slice(&[1.0, 1.0]));
+        for _ in 0..steps {
+            let v = p.value.as_slice().to_vec();
+            p.grad = Tensor::from_slice(&[200.0 * v[0], 2.0 * v[1]]);
+            opt.step(&mut [&mut p]).unwrap();
+        }
+        p.value.norm_sq()
+    };
+    let adam = run(&mut Adam::with_lr(0.05), 200);
+    let sgd = run(&mut Sgd::new(0.005, 0.0), 200);
+    assert!(adam < sgd, "adam {adam} vs sgd {sgd}");
+}

@@ -1,0 +1,343 @@
+//! Extraction of hardware execution plans from trained networks.
+
+use mime_core::MimeNetwork;
+use mime_nn::{Sequential, VggArch, VggBlock};
+use mime_systolic::LayerGeometry;
+use mime_tensor::{Tensor, TensorError};
+use std::collections::HashMap;
+
+/// One step of a hardware execution plan.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // Array is the dominant variant; plans hold ~35 entries
+pub enum BoundLayer {
+    /// A weighted layer executed on the PE array (convolutions and FC
+    /// layers, the latter as 1×1-spatial convolutions).
+    Array {
+        /// Hardware-visible geometry.
+        geom: LayerGeometry,
+        /// Weights `[K, C, R, R]`.
+        weight: Tensor,
+        /// Bias `[K]`.
+        bias: Tensor,
+        /// Per-neuron threshold bank (`K·sites` values) for MIME plans;
+        /// `None` makes the executor apply ReLU on the host instead.
+        thresholds: Option<Tensor>,
+    },
+    /// 2×2/s2 max pooling, performed by the on-chip pooling unit (host
+    /// arithmetic, negligible energy at this model's granularity).
+    Pool,
+    /// NCHW → flat feature reshaping before the classifier head.
+    Flatten,
+}
+
+/// A hardware execution plan: the ordered [`BoundLayer`] steps of one
+/// network.
+#[derive(Debug, Clone)]
+pub struct BoundNetwork {
+    steps: Vec<BoundLayer>,
+    classes: usize,
+    input_hw: usize,
+    in_channels: usize,
+}
+
+impl BoundNetwork {
+    /// The plan's steps in execution order.
+    pub fn steps(&self) -> &[BoundLayer] {
+        &self.steps
+    }
+
+    /// Classifier width.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Expected input spatial extent.
+    pub fn input_hw(&self) -> usize {
+        self.input_hw
+    }
+
+    /// Expected input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Total weight words across array steps.
+    pub fn weight_words(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                BoundLayer::Array { geom, .. } => geom.weight_count(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Binds a MIME network: frozen backbone weights plus the currently
+    /// installed threshold banks. Per-channel banks are broadcast to
+    /// per-neuron form for the PE comparators.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the network's parameters are inconsistent
+    /// with its architecture (should not happen for well-formed networks).
+    pub fn from_mime(net: &MimeNetwork) -> crate::Result<Self> {
+        let params: HashMap<String, Tensor> = net
+            .backbone_params()
+            .into_iter()
+            .map(|p| (p.name().to_string(), p.value.clone()))
+            .collect();
+        let banks = net.export_thresholds();
+        Self::build(net.arch(), &params, Some(&banks))
+    }
+
+    /// Binds a conventional baseline network (ReLU activations applied by
+    /// the executor on the host).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the network's parameters do not match
+    /// `arch`.
+    pub fn from_baseline(arch: &VggArch, net: &Sequential) -> crate::Result<Self> {
+        let params: HashMap<String, Tensor> = net
+            .parameters()
+            .into_iter()
+            .map(|p| (p.name().to_string(), p.value.clone()))
+            .collect();
+        Self::build(arch, &params, None)
+    }
+
+    fn build(
+        arch: &VggArch,
+        params: &HashMap<String, Tensor>,
+        banks: Option<&[Tensor]>,
+    ) -> crate::Result<Self> {
+        let missing = |name: &str| {
+            TensorError::InvalidGeometry(format!("bound network: missing parameter {name}"))
+        };
+        let extents = arch.conv_spatial_extents();
+        let mut steps = Vec::new();
+        let mut weighted = 0usize;
+        let mut conv_i = 0usize;
+        let mut mask_i = 0usize;
+        for block in &arch.blocks {
+            match *block {
+                VggBlock::Conv { in_ch, out_ch } => {
+                    weighted += 1;
+                    let name = format!("conv{weighted}");
+                    let hw = extents[conv_i];
+                    conv_i += 1;
+                    let geom = LayerGeometry::conv(&name, in_ch, out_ch, hw);
+                    let thresholds =
+                        take_bank(banks, &mut mask_i, out_ch, hw * hw)?;
+                    steps.push(BoundLayer::Array {
+                        weight: params
+                            .get(&format!("{name}.weight"))
+                            .ok_or_else(|| missing(&name))?
+                            .clone(),
+                        bias: params
+                            .get(&format!("{name}.bias"))
+                            .ok_or_else(|| missing(&name))?
+                            .clone(),
+                        geom,
+                        thresholds,
+                    });
+                }
+                VggBlock::Pool => steps.push(BoundLayer::Pool),
+                VggBlock::Flatten => steps.push(BoundLayer::Flatten),
+                VggBlock::Linear { in_f, out_f, activation } => {
+                    weighted += 1;
+                    let name = format!("fc{weighted}");
+                    let geom = LayerGeometry::fc(&name, in_f, out_f, activation);
+                    let weight = params
+                        .get(&format!("{name}.weight"))
+                        .ok_or_else(|| missing(&name))?
+                        .reshape(&[out_f, in_f, 1, 1])?;
+                    let thresholds = if activation {
+                        take_bank(banks, &mut mask_i, out_f, 1)?
+                    } else {
+                        None
+                    };
+                    steps.push(BoundLayer::Array {
+                        weight,
+                        bias: params
+                            .get(&format!("{name}.bias"))
+                            .ok_or_else(|| missing(&name))?
+                            .clone(),
+                        geom,
+                        thresholds,
+                    });
+                }
+            }
+        }
+        Ok(BoundNetwork {
+            steps,
+            classes: arch.classes,
+            input_hw: arch.input_hw,
+            in_channels: arch.in_channels,
+        })
+    }
+}
+
+/// Extracts the hardware-visible [`LayerGeometry`] list of an
+/// architecture (conv layers plus FC layers as 1×1 convs) — the bridge
+/// from `mime-nn` architectures to `mime-systolic` analytical runs at
+/// matching (mini) scale.
+pub fn geometry_from_arch(arch: &VggArch) -> Vec<LayerGeometry> {
+    let extents = arch.conv_spatial_extents();
+    let mut out = Vec::new();
+    let mut weighted = 0usize;
+    let mut conv_i = 0usize;
+    for block in &arch.blocks {
+        match *block {
+            VggBlock::Conv { in_ch, out_ch } => {
+                weighted += 1;
+                out.push(LayerGeometry::conv(
+                    format!("conv{weighted}"),
+                    in_ch,
+                    out_ch,
+                    extents[conv_i],
+                ));
+                conv_i += 1;
+            }
+            VggBlock::Linear { in_f, out_f, activation } => {
+                weighted += 1;
+                out.push(LayerGeometry::fc(format!("fc{weighted}"), in_f, out_f, activation));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Pulls the next threshold bank (if plans are MIME-bound) and normalizes
+/// it to per-neuron form: a `[K]` bank is broadcast across `sites`.
+fn take_bank(
+    banks: Option<&[Tensor]>,
+    mask_i: &mut usize,
+    k: usize,
+    sites: usize,
+) -> crate::Result<Option<Tensor>> {
+    let Some(banks) = banks else {
+        return Ok(None);
+    };
+    let bank = banks.get(*mask_i).ok_or_else(|| {
+        TensorError::InvalidGeometry("bound network: threshold bank missing".into())
+    })?;
+    *mask_i += 1;
+    let flat = if bank.len() == k * sites {
+        bank.reshape(&[k * sites])?
+    } else if bank.len() == k {
+        // per-channel granularity: broadcast across the channel's sites
+        let mut v = Vec::with_capacity(k * sites);
+        for &t in bank.as_slice() {
+            v.extend(std::iter::repeat_n(t, sites));
+        }
+        Tensor::from_vec(v, &[k * sites])?
+    } else {
+        return Err(TensorError::LengthMismatch {
+            expected: k * sites,
+            actual: bank.len(),
+        });
+    };
+    Ok(Some(flat))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mime_core::ThresholdGranularity;
+    use mime_nn::{build_network, vgg16_arch};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mini() -> (VggArch, Sequential) {
+        let arch = vgg16_arch(0.0625, 32, 3, 4, 16);
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = build_network(&arch, &mut rng);
+        (arch, net)
+    }
+
+    #[test]
+    fn baseline_plan_structure() {
+        let (arch, net) = mini();
+        let plan = BoundNetwork::from_baseline(&arch, &net).unwrap();
+        let arrays = plan
+            .steps()
+            .iter()
+            .filter(|s| matches!(s, BoundLayer::Array { .. }))
+            .count();
+        assert_eq!(arrays, 16, "13 convs + 3 FC");
+        let pools = plan.steps().iter().filter(|s| matches!(s, BoundLayer::Pool)).count();
+        assert_eq!(pools, 5);
+        assert_eq!(plan.classes(), 4);
+        assert_eq!(plan.input_hw(), 32);
+        assert_eq!(plan.in_channels(), 3);
+        assert!(plan.weight_words() > 0);
+        // baseline plans carry no thresholds
+        assert!(plan.steps().iter().all(|s| match s {
+            BoundLayer::Array { thresholds, .. } => thresholds.is_none(),
+            _ => true,
+        }));
+    }
+
+    #[test]
+    fn mime_plan_carries_thresholds() {
+        let (arch, parent) = mini();
+        let net = MimeNetwork::from_trained(&arch, &parent, 0.07).unwrap();
+        let plan = BoundNetwork::from_mime(&net).unwrap();
+        let with_t = plan
+            .steps()
+            .iter()
+            .filter(|s| matches!(s, BoundLayer::Array { thresholds: Some(_), .. }))
+            .count();
+        // 13 convs + 2 hidden FCs masked; the classifier is not
+        assert_eq!(with_t, 15);
+        for s in plan.steps() {
+            if let BoundLayer::Array { geom, thresholds: Some(t), .. } = s {
+                assert_eq!(t.len(), geom.k * geom.sites());
+                assert!(t.as_slice().iter().all(|&x| (x - 0.07).abs() < 1e-6));
+            }
+        }
+    }
+
+    #[test]
+    fn geometry_matches_plan_structure() {
+        let (arch, net) = mini();
+        let geoms = geometry_from_arch(&arch);
+        let plan = BoundNetwork::from_baseline(&arch, &net).unwrap();
+        let plan_geoms: Vec<&LayerGeometry> = plan
+            .steps()
+            .iter()
+            .filter_map(|s| match s {
+                BoundLayer::Array { geom, .. } => Some(geom),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(geoms.len(), plan_geoms.len());
+        for (a, b) in geoms.iter().zip(plan_geoms) {
+            assert_eq!(a, b);
+        }
+        // total weights consistent with the trained network's weight params
+        let w: usize = geoms.iter().map(|g| g.weight_count()).sum();
+        assert_eq!(w, plan.weight_words());
+    }
+
+    #[test]
+    fn per_channel_banks_broadcast() {
+        let (arch, parent) = mini();
+        let net = MimeNetwork::from_trained_with_options(
+            &arch,
+            &parent,
+            0.3,
+            false,
+            ThresholdGranularity::PerChannel,
+        )
+        .unwrap();
+        let plan = BoundNetwork::from_mime(&net).unwrap();
+        if let BoundLayer::Array { geom, thresholds: Some(t), .. } = &plan.steps()[0] {
+            assert_eq!(t.len(), geom.k * geom.sites());
+        } else {
+            panic!("first step must be a masked conv");
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! The hardware executor: images through a [`BoundNetwork`] on a
+//! [`FunctionalArray`], with batch-level parameter residency.
+
+use crate::{BoundLayer, BoundNetwork};
+use mime_systolic::{AccessCounters, ArrayConfig, FunctionalArray, Mapper};
+use mime_tensor::{max_pool2d, PoolSpec, Tensor, TensorError};
+
+/// Per-batch execution report.
+#[derive(Debug, Clone, Default)]
+pub struct BatchReport {
+    /// Accumulated access counters across the whole batch.
+    pub counters: AccessCounters,
+    /// Extra DRAM words spent reloading weights on task switches
+    /// (conventional multi-task execution only).
+    pub weight_reload_words: u64,
+    /// Extra DRAM words spent reloading threshold banks on task switches
+    /// (MIME only).
+    pub threshold_reload_words: u64,
+    /// Number of task switches observed.
+    pub task_switches: usize,
+    /// Per-image logits.
+    pub logits: Vec<Vec<f32>>,
+}
+
+impl BatchReport {
+    /// Total energy in MAC units (counters plus the reload traffic).
+    pub fn total_energy(&self, cfg: &ArrayConfig) -> f64 {
+        self.counters.energy(cfg)
+            + cfg.e_dram * (self.weight_reload_words + self.threshold_reload_words) as f64
+    }
+}
+
+/// Runs bound networks on the functional array.
+#[derive(Debug)]
+pub struct HardwareExecutor {
+    cfg: ArrayConfig,
+    array: FunctionalArray,
+}
+
+impl HardwareExecutor {
+    /// Creates an executor for a hardware configuration.
+    pub fn new(cfg: ArrayConfig) -> Self {
+        HardwareExecutor { cfg, array: FunctionalArray::new(cfg) }
+    }
+
+    /// The hardware configuration.
+    pub fn config(&self) -> &ArrayConfig {
+        &self.cfg
+    }
+
+    /// Executes one image `[C, H, W]` through the plan; returns logits.
+    /// Counters accumulate on the internal array (see
+    /// [`run_pipelined`](Self::run_pipelined) for batch accounting).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the image does not match the plan or a step
+    /// fails on the array.
+    pub fn run_image(
+        &mut self,
+        plan: &BoundNetwork,
+        image: &Tensor,
+        zero_skip: bool,
+    ) -> crate::Result<Vec<f32>> {
+        if image.dims() != [plan.in_channels(), plan.input_hw(), plan.input_hw()] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: image.dims().to_vec(),
+                rhs: vec![plan.in_channels(), plan.input_hw(), plan.input_hw()],
+                op: "executor run_image",
+            });
+        }
+        let mapper = Mapper::new(self.cfg);
+        let mut x = image.clone();
+        for step in plan.steps() {
+            match step {
+                BoundLayer::Array { geom, weight, bias, thresholds } => {
+                    // FC steps expect a flat [C,1,1] activation
+                    let staged = if geom.r == 1 {
+                        x.reshape(&[geom.c, 1, 1])?
+                    } else {
+                        x.clone()
+                    };
+                    let mapping = mapper.best_mapping(geom, 0.5, 1.0);
+                    let mut out = self.array.run_layer(
+                        geom,
+                        &mapping,
+                        weight,
+                        bias,
+                        &staged,
+                        thresholds.as_ref(),
+                        zero_skip,
+                    )?;
+                    if thresholds.is_none() && geom.masked {
+                        // baseline activation: host-side ReLU
+                        out = out.relu();
+                    }
+                    x = out;
+                }
+                BoundLayer::Pool => {
+                    let (c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+                    let x4 = x.reshape(&[1, c, h, w])?;
+                    let pooled = max_pool2d(&x4, &PoolSpec::vgg2x2())?;
+                    let dims = pooled.output.dims().to_vec();
+                    x = pooled.output.reshape(&dims[1..])?;
+                }
+                BoundLayer::Flatten => {
+                    let len = x.len();
+                    x = x.reshape(&[len])?;
+                }
+            }
+        }
+        Ok(x.as_slice().to_vec())
+    }
+
+    /// Executes a pipelined batch of `(plan_index, image)` pairs over a
+    /// set of per-task plans, modelling parameter residency:
+    ///
+    /// * `shared_weights = true` (MIME): weights stream once for the whole
+    ///   batch; each task switch re-streams only that task's threshold
+    ///   banks. All plans must then share identical weights.
+    /// * `shared_weights = false` (conventional): every task switch
+    ///   re-streams the incoming task's full weight set.
+    ///
+    /// The per-image array counters already include one weight +
+    /// threshold stream per image, so the report *rebates* the traffic
+    /// residency avoids and *charges* the switch traffic explicitly —
+    /// keeping the functional counters exact while exposing the
+    /// batch-level accounting separately.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range plan index or a failing step.
+    pub fn run_pipelined(
+        &mut self,
+        plans: &[BoundNetwork],
+        batch: &[(usize, Tensor)],
+        shared_weights: bool,
+        zero_skip: bool,
+    ) -> crate::Result<BatchReport> {
+        let mut report = BatchReport::default();
+        self.array.reset();
+        let mut prev_task: Option<usize> = None;
+        let mut weight_rebate = 0u64;
+        let mut threshold_rebate = 0u64;
+        for (task, image) in batch {
+            let plan = plans.get(*task).ok_or_else(|| {
+                TensorError::InvalidGeometry(format!("unknown plan index {task}"))
+            })?;
+            let switched = prev_task != Some(*task);
+            if switched {
+                report.task_switches += 1;
+            }
+            // residency rebates: the per-image run always streams weights
+            // and thresholds once; hoist what stays resident
+            let w_words = plan.weight_words() as u64;
+            let t_words = plan_threshold_words(plan);
+            if shared_weights {
+                if prev_task.is_some() {
+                    weight_rebate += w_words; // W_parent already loaded
+                }
+                if !switched {
+                    threshold_rebate += t_words; // same task's banks reused
+                }
+            } else if !switched {
+                weight_rebate += w_words; // same task back to back
+                threshold_rebate += t_words;
+            }
+            prev_task = Some(*task);
+            let logits = self.run_image(plan, image, zero_skip)?;
+            report.logits.push(logits);
+        }
+        let mut counters = *self.array.counters();
+        let rebate = weight_rebate + threshold_rebate;
+        counters.dram_reads = counters.dram_reads.saturating_sub(rebate);
+        report.counters = counters;
+        // switch traffic is what remains charged: expose it for reporting
+        report.weight_reload_words = if shared_weights {
+            plans.first().map(|p| p.weight_words() as u64).unwrap_or(0)
+        } else {
+            batch
+                .iter()
+                .scan(None, |prev, (task, _)| {
+                    let switched = *prev != Some(*task);
+                    *prev = Some(*task);
+                    Some(if switched {
+                        plans.get(*task).map(|p| p.weight_words() as u64).unwrap_or(0)
+                    } else {
+                        0
+                    })
+                })
+                .sum()
+        };
+        report.threshold_reload_words = batch
+            .iter()
+            .scan(None, |prev, (task, _)| {
+                let switched = *prev != Some(*task);
+                *prev = Some(*task);
+                Some(if switched {
+                    plans.get(*task).map(plan_threshold_words).unwrap_or(0)
+                } else {
+                    0
+                })
+            })
+            .sum();
+        // the reload words are already inside the (rebated) counters; the
+        // split fields are informational, so subtract them from the
+        // counters to avoid double counting in total_energy
+        report.counters.dram_reads = report
+            .counters
+            .dram_reads
+            .saturating_sub(report.weight_reload_words + report.threshold_reload_words);
+        Ok(report)
+    }
+}
+
+fn plan_threshold_words(plan: &BoundNetwork) -> u64 {
+    plan.steps()
+        .iter()
+        .map(|s| match s {
+            BoundLayer::Array { thresholds: Some(t), .. } => t.len() as u64,
+            _ => 0,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mime_core::MimeNetwork;
+    use mime_nn::{build_network, vgg16_arch, Sequential, VggArch};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mini() -> (VggArch, Sequential) {
+        let arch = vgg16_arch(0.0625, 32, 3, 4, 16);
+        let mut rng = StdRng::seed_from_u64(6);
+        let net = build_network(&arch, &mut rng);
+        (arch, net)
+    }
+
+    fn probe() -> Tensor {
+        Tensor::from_fn(&[3, 32, 32], |i| ((i * 29) % 13) as f32 * 0.05 - 0.3)
+    }
+
+    #[test]
+    fn hardware_logits_match_software_forward_baseline() {
+        let (arch, mut net) = mini();
+        let plan = BoundNetwork::from_baseline(&arch, &net).unwrap();
+        let mut exec = HardwareExecutor::new(ArrayConfig::eyeriss_65nm());
+        let hw = exec.run_image(&plan, &probe(), true).unwrap();
+        let sw = net
+            .forward(&probe().reshape(&[1, 3, 32, 32]).unwrap())
+            .unwrap();
+        for (a, b) in hw.iter().zip(sw.as_slice()) {
+            assert!((a - b).abs() < 1e-2 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn hardware_logits_match_software_forward_mime() {
+        let (arch, parent) = mini();
+        let mut net = MimeNetwork::from_trained(&arch, &parent, 0.05).unwrap();
+        let plan = BoundNetwork::from_mime(&net).unwrap();
+        let mut exec = HardwareExecutor::new(ArrayConfig::eyeriss_65nm());
+        let hw = exec.run_image(&plan, &probe(), true).unwrap();
+        let sw = net
+            .forward(&probe().reshape(&[1, 3, 32, 32]).unwrap())
+            .unwrap();
+        for (a, b) in hw.iter().zip(sw.as_slice()) {
+            assert!((a - b).abs() < 1e-2 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn zero_skip_does_not_change_results() {
+        let (arch, net) = mini();
+        let plan = BoundNetwork::from_baseline(&arch, &net).unwrap();
+        let mut exec = HardwareExecutor::new(ArrayConfig::eyeriss_65nm());
+        let a = exec.run_image(&plan, &probe(), true).unwrap();
+        let b = exec.run_image(&plan, &probe(), false).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn mime_pipelined_cheaper_than_conventional() {
+        let (arch, parent) = mini();
+        let cfg = ArrayConfig::eyeriss_65nm();
+        // MIME: two tasks over one backbone (different thresholds)
+        let mime_a = MimeNetwork::from_trained(&arch, &parent, 0.03).unwrap();
+        let mime_b = MimeNetwork::from_trained(&arch, &parent, 0.30).unwrap();
+        let mime_plans = vec![
+            BoundNetwork::from_mime(&mime_a).unwrap(),
+            BoundNetwork::from_mime(&mime_b).unwrap(),
+        ];
+        // conventional: two separately trained weight sets
+        let mut rng = StdRng::seed_from_u64(77);
+        let conv_plans = vec![
+            BoundNetwork::from_baseline(&arch, &build_network(&arch, &mut rng)).unwrap(),
+            BoundNetwork::from_baseline(&arch, &build_network(&arch, &mut rng)).unwrap(),
+        ];
+        let batch: Vec<(usize, Tensor)> =
+            (0..4).map(|i| (i % 2, probe())).collect();
+        let mut exec = HardwareExecutor::new(cfg);
+        let mime_report = exec
+            .run_pipelined(&mime_plans, &batch, true, true)
+            .unwrap();
+        let conv_report = exec
+            .run_pipelined(&conv_plans, &batch, false, true)
+            .unwrap();
+        assert_eq!(mime_report.task_switches, 4);
+        assert!(
+            mime_report.weight_reload_words < conv_report.weight_reload_words,
+            "MIME must reload fewer weight words: {} vs {}",
+            mime_report.weight_reload_words,
+            conv_report.weight_reload_words
+        );
+        assert!(mime_report.threshold_reload_words > 0);
+        assert_eq!(conv_report.logits.len(), 4);
+    }
+
+    #[test]
+    fn rejects_wrong_image_shape_and_plan_index() {
+        let (arch, net) = mini();
+        let plan = BoundNetwork::from_baseline(&arch, &net).unwrap();
+        let mut exec = HardwareExecutor::new(ArrayConfig::eyeriss_65nm());
+        assert!(exec.run_image(&plan, &Tensor::zeros(&[3, 16, 16]), true).is_err());
+        let batch = vec![(5usize, probe())];
+        assert!(exec
+            .run_pipelined(&[plan], &batch, true, true)
+            .is_err());
+    }
+}

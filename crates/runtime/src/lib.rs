@@ -1,0 +1,50 @@
+//! # mime-runtime
+//!
+//! Hardware-in-the-loop execution: runs a *trained* network — MIME or
+//! conventional baseline — layer by layer on the functional systolic
+//! array from [`mime_systolic`], so the algorithm's real activations
+//! drive real access counters. This closes the co-design loop: the same
+//! weights/thresholds that produce Table II's accuracies produce the
+//! energy numbers, instead of going through a sparsity-profile
+//! abstraction.
+//!
+//! * [`BoundNetwork`] extracts an execution plan (per-layer geometry +
+//!   parameter tensors) from a [`mime_core::MimeNetwork`] or a baseline
+//!   [`mime_nn::Sequential`].
+//! * [`HardwareExecutor`] runs images through the plan on a
+//!   [`mime_systolic::FunctionalArray`], modelling parameter residency across a batch:
+//!   MIME keeps `W_parent` loaded across task switches and re-streams only
+//!   threshold banks; conventional execution reloads weights whenever the
+//!   task changes.
+//!
+//! ## Example
+//!
+//! ```
+//! # use mime_core::MimeNetwork;
+//! # use mime_nn::{build_network, vgg16_arch};
+//! # use mime_runtime::{BoundNetwork, HardwareExecutor};
+//! # use mime_systolic::ArrayConfig;
+//! # use mime_tensor::Tensor;
+//! # use rand::{rngs::StdRng, SeedableRng};
+//! # fn main() -> Result<(), mime_tensor::TensorError> {
+//! let arch = vgg16_arch(0.0625, 32, 3, 4, 16);
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let parent = build_network(&arch, &mut rng);
+//! let net = MimeNetwork::from_trained(&arch, &parent, 0.01)?;
+//! let bound = BoundNetwork::from_mime(&net)?;
+//! let mut exec = HardwareExecutor::new(ArrayConfig::eyeriss_65nm());
+//! let image = Tensor::zeros(&[3, 32, 32]);
+//! let logits = exec.run_image(&bound, &image, true)?;
+//! assert_eq!(logits.len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+mod bind;
+mod executor;
+
+pub use bind::{geometry_from_arch, BoundLayer, BoundNetwork};
+pub use executor::{BatchReport, HardwareExecutor};
+
+/// Result alias shared with the rest of the workspace.
+pub type Result<T> = mime_tensor::Result<T>;

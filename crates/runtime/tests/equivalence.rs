@@ -1,0 +1,88 @@
+//! Property: hardware execution is functionally equivalent to the
+//! software forward pass, across random networks, thresholds and inputs.
+
+use mime_core::{MimeNetwork, ThresholdGranularity};
+use mime_nn::{build_network, vgg16_arch};
+use mime_runtime::{BoundNetwork, HardwareExecutor};
+use mime_systolic::ArrayConfig;
+use mime_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn check_equivalence(seed: u64, init_threshold: f32, granularity: ThresholdGranularity) {
+    let arch = vgg16_arch(0.0625, 32, 3, 3, 8);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let parent = build_network(&arch, &mut rng);
+    let mut net =
+        MimeNetwork::from_trained_with_options(&arch, &parent, init_threshold, false, granularity)
+            .unwrap();
+    let plan = BoundNetwork::from_mime(&net).unwrap();
+    let mut exec = HardwareExecutor::new(ArrayConfig::eyeriss_65nm());
+    let image = Tensor::from_fn(&[3, 32, 32], |i| {
+        (((i.wrapping_mul(seed as usize + 13)) % 19) as f32 - 9.0) * 0.07
+    });
+    let hw = exec.run_image(&plan, &image, true).unwrap();
+    let sw = net.forward(&image.reshape(&[1, 3, 32, 32]).unwrap()).unwrap();
+    for (a, b) in hw.iter().zip(sw.as_slice()) {
+        assert!(
+            (a - b).abs() < 5e-3 * (1.0 + b.abs()),
+            "seed {seed}: hw {a} vs sw {b}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn per_neuron_networks_equivalent(seed in 0u64..1000, t in 0.0f32..0.3) {
+        check_equivalence(seed, t, ThresholdGranularity::PerNeuron);
+    }
+
+    #[test]
+    fn per_channel_networks_equivalent(seed in 0u64..1000, t in 0.0f32..0.3) {
+        check_equivalence(seed, t, ThresholdGranularity::PerChannel);
+    }
+}
+
+#[test]
+fn zero_skip_equivalent_to_dense_execution() {
+    let arch = vgg16_arch(0.0625, 32, 3, 3, 8);
+    let mut rng = StdRng::seed_from_u64(5);
+    let parent = build_network(&arch, &mut rng);
+    let net = MimeNetwork::from_trained(&arch, &parent, 0.1).unwrap();
+    let plan = BoundNetwork::from_mime(&net).unwrap();
+    let mut exec = HardwareExecutor::new(ArrayConfig::eyeriss_65nm());
+    let image = Tensor::from_fn(&[3, 32, 32], |i| ((i % 11) as f32 - 5.0) * 0.1);
+    let skipped = exec.run_image(&plan, &image, true).unwrap();
+    let dense = exec.run_image(&plan, &image, false).unwrap();
+    for (a, b) in skipped.iter().zip(&dense) {
+        assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn tiny_cache_configs_stay_equivalent() {
+    // residency decisions change traffic, never results
+    let arch = vgg16_arch(0.0625, 32, 3, 3, 8);
+    let mut rng = StdRng::seed_from_u64(9);
+    let parent = build_network(&arch, &mut rng);
+    let net = MimeNetwork::from_trained(&arch, &parent, 0.1).unwrap();
+    let plan = BoundNetwork::from_mime(&net).unwrap();
+    let image = Tensor::from_fn(&[3, 32, 32], |i| ((i % 7) as f32 - 3.0) * 0.1);
+    let big = HardwareExecutor::new(ArrayConfig::eyeriss_65nm())
+        .run_image(&plan, &image, true)
+        .unwrap();
+    let tiny_cfg = ArrayConfig {
+        pe_count: 64,
+        act_cache_bytes: 2048,
+        weight_cache_bytes: 2048,
+        threshold_cache_bytes: 2048,
+        ..ArrayConfig::eyeriss_65nm()
+    };
+    let small = HardwareExecutor::new(tiny_cfg).run_image(&plan, &image, true).unwrap();
+    for (a, b) in big.iter().zip(&small) {
+        assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Accelerator configuration (paper Table IV).
+
+use serde::{Deserialize, Serialize};
+
+/// Systolic-array hardware parameters.
+///
+/// Defaults come straight from the paper's Table IV via
+/// [`ArrayConfig::eyeriss_65nm`]; the Fig. 9 ablation varies
+/// [`pe_count`](ArrayConfig::pe_count) and the cache sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrayConfig {
+    /// Number of processing elements (Table IV: 1024).
+    pub pe_count: usize,
+    /// Activation cache capacity in bytes (Table IV: 156 KB).
+    pub act_cache_bytes: usize,
+    /// Weight cache capacity in bytes (Table IV: 156 KB).
+    pub weight_cache_bytes: usize,
+    /// Threshold cache capacity in bytes (Table IV: 156 KB).
+    pub threshold_cache_bytes: usize,
+    /// Per-PE scratchpad capacity in bytes (Table IV: 512 B).
+    pub spad_bytes: usize,
+    /// Operand width in bytes (Table IV: 16-bit → 2).
+    pub bytes_per_word: usize,
+    /// Energy of one DRAM word access, in MAC units (Table IV: 200×).
+    pub e_dram: f64,
+    /// Energy of one cache word access, in MAC units (Table IV: 6×).
+    pub e_cache: f64,
+    /// Energy of one scratchpad word access, in MAC units (Table IV: 2×).
+    pub e_reg: f64,
+    /// Energy of one MAC operation (normalization unit, 1×).
+    pub e_mac: f64,
+}
+
+impl ArrayConfig {
+    /// The paper's Table IV configuration: 65 nm Eyeriss-style array.
+    pub fn eyeriss_65nm() -> Self {
+        ArrayConfig {
+            pe_count: 1024,
+            act_cache_bytes: 156 * 1024,
+            weight_cache_bytes: 156 * 1024,
+            threshold_cache_bytes: 156 * 1024,
+            spad_bytes: 512,
+            bytes_per_word: 2,
+            e_dram: 200.0,
+            e_cache: 6.0,
+            e_reg: 2.0,
+            e_mac: 1.0,
+        }
+    }
+
+    /// Fig. 9 Case-B: PE array reduced to 256, caches unchanged.
+    pub fn reduced_pe() -> Self {
+        ArrayConfig { pe_count: 256, ..Self::eyeriss_65nm() }
+    }
+
+    /// Fig. 9 Case-C: caches reduced to 128 KB, PE array unchanged.
+    pub fn reduced_cache() -> Self {
+        let kb = 128 * 1024;
+        ArrayConfig {
+            act_cache_bytes: kb,
+            weight_cache_bytes: kb,
+            threshold_cache_bytes: kb,
+            ..Self::eyeriss_65nm()
+        }
+    }
+
+    /// Cache capacity in words for the given byte capacity.
+    pub fn words(&self, bytes: usize) -> usize {
+        bytes / self.bytes_per_word
+    }
+
+    /// Weight-cache capacity in words.
+    pub fn weight_cache_words(&self) -> usize {
+        self.words(self.weight_cache_bytes)
+    }
+
+    /// Activation-cache capacity in words.
+    pub fn act_cache_words(&self) -> usize {
+        self.words(self.act_cache_bytes)
+    }
+
+    /// Threshold-cache capacity in words.
+    pub fn threshold_cache_words(&self) -> usize {
+        self.words(self.threshold_cache_bytes)
+    }
+}
+
+impl Default for ArrayConfig {
+    fn default() -> Self {
+        Self::eyeriss_65nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_constants() {
+        // Table IV regression: these numbers ARE the experiment config.
+        let c = ArrayConfig::eyeriss_65nm();
+        assert_eq!(c.pe_count, 1024);
+        assert_eq!(c.act_cache_bytes, 156 * 1024);
+        assert_eq!(c.weight_cache_bytes, 156 * 1024);
+        assert_eq!(c.threshold_cache_bytes, 156 * 1024);
+        assert_eq!(c.spad_bytes, 512);
+        assert_eq!(c.bytes_per_word, 2);
+        assert_eq!(c.e_dram, 200.0);
+        assert_eq!(c.e_cache, 6.0);
+        assert_eq!(c.e_reg, 2.0);
+        assert_eq!(c.e_mac, 1.0);
+    }
+
+    #[test]
+    fn ablation_configs() {
+        assert_eq!(ArrayConfig::reduced_pe().pe_count, 256);
+        assert_eq!(ArrayConfig::reduced_pe().weight_cache_bytes, 156 * 1024);
+        assert_eq!(ArrayConfig::reduced_cache().weight_cache_bytes, 128 * 1024);
+        assert_eq!(ArrayConfig::reduced_cache().pe_count, 1024);
+    }
+
+    #[test]
+    fn word_capacities() {
+        let c = ArrayConfig::eyeriss_65nm();
+        assert_eq!(c.weight_cache_words(), 156 * 1024 / 2);
+        assert_eq!(c.act_cache_words(), 79872);
+    }
+}

@@ -1,0 +1,102 @@
+//! Energy accounting (Table IV units: everything normalized to one MAC).
+
+use crate::ArrayConfig;
+use serde::{Deserialize, Serialize};
+
+/// Word-level access counts of one simulated layer, by hierarchy level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// DRAM words moved for weights.
+    pub dram_weights: f64,
+    /// DRAM words moved for input/output activations.
+    pub dram_acts: f64,
+    /// DRAM words moved for thresholds (MIME only).
+    pub dram_thresholds: f64,
+    /// Cache word accesses (weights + activations + thresholds + output
+    /// writes).
+    pub cache_accesses: f64,
+    /// Scratchpad word accesses.
+    pub reg_accesses: f64,
+    /// Executed MAC operations.
+    pub macs: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total DRAM words.
+    pub fn dram_words(&self) -> f64 {
+        self.dram_weights + self.dram_acts + self.dram_thresholds
+    }
+
+    /// Adds another breakdown (e.g. accumulating over images).
+    pub fn accumulate(&mut self, other: &EnergyBreakdown) {
+        self.dram_weights += other.dram_weights;
+        self.dram_acts += other.dram_acts;
+        self.dram_thresholds += other.dram_thresholds;
+        self.cache_accesses += other.cache_accesses;
+        self.reg_accesses += other.reg_accesses;
+        self.macs += other.macs;
+    }
+}
+
+/// Converts access counts into the paper's four energy components.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// `E_DRAM` in MAC units.
+    pub e_dram: f64,
+    /// `E_cache` in MAC units.
+    pub e_cache: f64,
+    /// `E_reg` in MAC units.
+    pub e_reg: f64,
+    /// `E_MAC` in MAC units.
+    pub e_mac: f64,
+}
+
+impl EnergyModel {
+    /// Applies Table IV access energies to a breakdown.
+    pub fn from_breakdown(b: &EnergyBreakdown, cfg: &ArrayConfig) -> Self {
+        EnergyModel {
+            e_dram: cfg.e_dram * b.dram_words(),
+            e_cache: cfg.e_cache * b.cache_accesses,
+            e_reg: cfg.e_reg * b.reg_accesses,
+            e_mac: cfg.e_mac * b.macs,
+        }
+    }
+
+    /// Total energy across all four components.
+    pub fn total(&self) -> f64 {
+        self.e_dram + self.e_cache + self.e_reg + self.e_mac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_weighting() {
+        let b = EnergyBreakdown {
+            dram_weights: 1.0,
+            dram_acts: 2.0,
+            dram_thresholds: 3.0,
+            cache_accesses: 10.0,
+            reg_accesses: 100.0,
+            macs: 1000.0,
+        };
+        let e = EnergyModel::from_breakdown(&b, &ArrayConfig::eyeriss_65nm());
+        assert_eq!(e.e_dram, 200.0 * 6.0);
+        assert_eq!(e.e_cache, 60.0);
+        assert_eq!(e.e_reg, 200.0);
+        assert_eq!(e.e_mac, 1000.0);
+        assert_eq!(e.total(), 1200.0 + 60.0 + 200.0 + 1000.0);
+    }
+
+    #[test]
+    fn accumulate_sums_fields() {
+        let mut a = EnergyBreakdown { macs: 1.0, ..Default::default() };
+        let b = EnergyBreakdown { macs: 2.0, dram_acts: 5.0, ..Default::default() };
+        a.accumulate(&b);
+        assert_eq!(a.macs, 3.0);
+        assert_eq!(a.dram_acts, 5.0);
+        assert_eq!(a.dram_words(), 5.0);
+    }
+}

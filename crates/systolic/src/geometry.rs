@@ -1,0 +1,221 @@
+//! Layer geometry of the evaluated network (VGG16; FC layers modeled as
+//! 1×1-spatial convolutions, matching the paper's `conv14`/`conv15`
+//! naming for the hidden FC layers).
+
+use serde::{Deserialize, Serialize};
+
+/// Shape of one weighted layer as seen by the accelerator.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LayerGeometry {
+    /// Layer name in the paper's numbering (`conv1`…`conv16`; 14–16 are
+    /// the FC layers).
+    pub name: String,
+    /// Output channels `K`.
+    pub k: usize,
+    /// Input channels `C` (for FC layers: input features).
+    pub c: usize,
+    /// Square kernel extent `R` (1 for FC layers).
+    pub r: usize,
+    /// Input spatial extent (square; 1 for FC).
+    pub in_hw: usize,
+    /// Output spatial extent (square; 1 for FC).
+    pub out_hw: usize,
+    /// Whether the layer output is masked (threshold/ReLU). The final
+    /// classifier is not.
+    pub masked: bool,
+}
+
+impl LayerGeometry {
+    /// A 3×3/s1/p1 convolution layer.
+    pub fn conv(name: impl Into<String>, c: usize, k: usize, hw: usize) -> Self {
+        LayerGeometry { name: name.into(), k, c, r: 3, in_hw: hw, out_hw: hw, masked: true }
+    }
+
+    /// A fully-connected layer (1×1 spatial).
+    pub fn fc(name: impl Into<String>, c: usize, k: usize, masked: bool) -> Self {
+        LayerGeometry { name: name.into(), k, c, r: 1, in_hw: 1, out_hw: 1, masked }
+    }
+
+    /// Number of output spatial sites.
+    pub fn sites(&self) -> usize {
+        self.out_hw * self.out_hw
+    }
+
+    /// Dot-product depth per output neuron: `C·R·R`.
+    pub fn taps(&self) -> usize {
+        self.c * self.r * self.r
+    }
+
+    /// Weight parameter count `K·C·R·R`.
+    pub fn weight_count(&self) -> usize {
+        self.k * self.taps()
+    }
+
+    /// Threshold count = output neurons `K·H·W` (0 for unmasked layers).
+    pub fn threshold_count(&self) -> usize {
+        if self.masked {
+            self.k * self.sites()
+        } else {
+            0
+        }
+    }
+
+    /// Output activation count per image.
+    pub fn output_count(&self) -> usize {
+        self.k * self.sites()
+    }
+
+    /// Input activation count per image.
+    pub fn input_count(&self) -> usize {
+        self.c * self.in_hw * self.in_hw
+    }
+
+    /// Dense MAC count per image.
+    pub fn dense_macs(&self) -> u64 {
+        self.output_count() as u64 * self.taps() as u64
+    }
+
+    /// Fraction of kernel taps that land inside the (zero-padded) input —
+    /// border outputs skip their out-of-bounds taps, which matters for
+    /// small feature maps (e.g. `(4/6)² ≈ 0.44` on a 2×2 map with a 3×3
+    /// kernel) and is negligible at 224².
+    pub fn valid_tap_fraction(&self) -> f64 {
+        if self.r == 1 {
+            return 1.0;
+        }
+        let pad = (self.r - 1) / 2;
+        let hw = self.out_hw;
+        // 1-D valid-tap count summed over output positions
+        let mut valid_1d = 0usize;
+        for o in 0..hw {
+            for t in 0..self.r {
+                let i = (o + t) as isize - pad as isize;
+                if i >= 0 && i < self.in_hw as isize {
+                    valid_1d += 1;
+                }
+            }
+        }
+        let frac_1d = valid_1d as f64 / (hw * self.r) as f64;
+        frac_1d * frac_1d
+    }
+}
+
+/// Full-size VGG16 geometry at the paper's child-task scale.
+///
+/// Child images are presented at `input_hw × input_hw` (the benches use
+/// 64: CIFAR-format images upscaled 2×, which places the
+/// thresholds-vs-weights crossover at the early conv layers exactly as the
+/// paper describes for Fig. 8). FC layers follow VGG16 (hidden width
+/// 4096).
+///
+/// # Panics
+///
+/// Panics if `input_hw` is not divisible by 32.
+pub fn vgg16_geometry(input_hw: usize) -> Vec<LayerGeometry> {
+    vgg16_geometry_with(input_hw, 4096, 1000)
+}
+
+/// [`vgg16_geometry`] with explicit FC hidden width and class count.
+///
+/// # Panics
+///
+/// Panics if `input_hw` is not divisible by 32.
+pub fn vgg16_geometry_with(
+    input_hw: usize,
+    fc_width: usize,
+    classes: usize,
+) -> Vec<LayerGeometry> {
+    assert!(input_hw.is_multiple_of(32), "VGG16 needs input divisible by 32");
+    let stages: [(usize, usize); 5] =
+        [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
+    let mut out = Vec::with_capacity(16);
+    let mut hw = input_hw;
+    let mut c = 3usize;
+    let mut idx = 0usize;
+    for (ch, n) in stages {
+        for _ in 0..n {
+            idx += 1;
+            out.push(LayerGeometry::conv(format!("conv{idx}"), c, ch, hw));
+            c = ch;
+        }
+        hw /= 2;
+    }
+    let feat = c * hw * hw;
+    out.push(LayerGeometry::fc("conv14", feat, fc_width, true));
+    out.push(LayerGeometry::fc("conv15", fc_width, fc_width, true));
+    out.push(LayerGeometry::fc("conv16", fc_width, classes, false));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_has_16_layers() {
+        let g = vgg16_geometry(64);
+        assert_eq!(g.len(), 16);
+        assert_eq!(g[0].name, "conv1");
+        assert_eq!(g[12].name, "conv13");
+        assert_eq!(g[13].name, "conv14");
+        assert_eq!(g[15].name, "conv16");
+        assert!(!g[15].masked);
+        assert!(g[14].masked);
+    }
+
+    #[test]
+    fn spatial_extents_follow_pools() {
+        let g = vgg16_geometry(64);
+        let extents: Vec<usize> = g[..13].iter().map(|l| l.out_hw).collect();
+        assert_eq!(extents, vec![64, 64, 32, 32, 16, 16, 16, 8, 8, 8, 4, 4, 4]);
+        assert_eq!(g[13].c, 512 * 2 * 2);
+    }
+
+    #[test]
+    fn conv_counts() {
+        let g = vgg16_geometry(64);
+        let conv2 = &g[1];
+        assert_eq!(conv2.weight_count(), 64 * 64 * 9);
+        assert_eq!(conv2.threshold_count(), 64 * 64 * 64);
+        assert_eq!(conv2.taps(), 64 * 9);
+        assert_eq!(conv2.dense_macs(), (64 * 64 * 64) as u64 * (64 * 9) as u64);
+    }
+
+    #[test]
+    fn paper_crossover_thresholds_vs_weights() {
+        // The Fig. 8 discussion: thresholds outnumber weights in the early
+        // conv layers; weights outnumber from the early-mid layers on.
+        let g = vgg16_geometry(64);
+        assert!(g[1].threshold_count() > g[1].weight_count(), "conv2: T > W");
+        assert!(g[2].threshold_count() > g[2].weight_count(), "conv3: T > W");
+        assert!(g[4].threshold_count() < g[4].weight_count(), "conv5: W > T");
+        assert!(g[9].threshold_count() < g[9].weight_count(), "conv10: W > T");
+    }
+
+    #[test]
+    fn fc_modeled_as_1x1() {
+        let g = vgg16_geometry_with(32, 4096, 10);
+        let fc14 = &g[13];
+        assert_eq!(fc14.sites(), 1);
+        assert_eq!(fc14.c, 512);
+        assert_eq!(fc14.weight_count(), 512 * 4096);
+        assert_eq!(fc14.threshold_count(), 4096);
+        let fc16 = &g[15];
+        assert_eq!(fc16.k, 10);
+        assert_eq!(fc16.threshold_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 32")]
+    fn rejects_bad_input() {
+        vgg16_geometry(50);
+    }
+
+    #[test]
+    fn full_vgg16_weight_total_at_224() {
+        let g = vgg16_geometry(224);
+        let w: usize = g.iter().map(|l| l.weight_count()).sum();
+        // the canonical ~138M parameters
+        assert!((130_000_000..145_000_000).contains(&w), "{w}");
+    }
+}

@@ -1,0 +1,323 @@
+//! Output-stationary tiling and the mapping search.
+//!
+//! A mapping assigns the PE array a tile of `To` output channels × `St`
+//! output sites per pass (`To·St ≤ #PE`). The loop nest is
+//! spatial-outer / channel-group-inner:
+//!
+//! ```text
+//! for sp in 0..n_sp:            # spatial tiles of St sites
+//!     load activation tile (with halo) into the activation cache
+//!     for cg in 0..n_cg:        # channel groups of To channels
+//!         stream cg's weights into the weight cache (unless the whole
+//!         layer's weights are cache-resident)
+//!         compute To × St output neurons
+//! ```
+//!
+//! Consequences the simulator builds on:
+//! * a layer whose full weight set fits the weight cache pays its weight
+//!   DRAM traffic **once**; otherwise weights are re-streamed once per
+//!   spatial tile (`n_sp` times) — this is what makes a smaller PE array
+//!   (smaller `St`, larger `n_sp`) cost extra DRAM energy in the paper's
+//!   Fig. 9 Case-B;
+//! * the activation tile is re-read from the cache once per channel
+//!   group, so a larger `To` reduces cache traffic;
+//! * the [`Mapper`] searches power-of-two tile candidates and keeps the
+//!   cheapest under a per-image energy estimate.
+
+use crate::{ArrayConfig, LayerGeometry};
+use serde::{Deserialize, Serialize};
+
+/// A concrete OS tile choice for one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mapping {
+    /// Output channels per pass.
+    pub to: usize,
+    /// Output sites per pass.
+    pub st: usize,
+}
+
+impl Mapping {
+    /// Number of channel groups `⌈K / To⌉`.
+    pub fn n_cg(&self, geom: &LayerGeometry) -> usize {
+        geom.k.div_ceil(self.to)
+    }
+
+    /// Number of spatial tiles `⌈sites / St⌉`.
+    pub fn n_sp(&self, geom: &LayerGeometry) -> usize {
+        geom.sites().div_ceil(self.st)
+    }
+
+    /// Unique input words one spatial tile touches (halo included),
+    /// clamped to the full input feature map.
+    pub fn act_per_pass(&self, geom: &LayerGeometry) -> usize {
+        if geom.r == 1 && geom.out_hw == 1 {
+            // FC layer: every site (there is one) reads the full input
+            return geom.input_count();
+        }
+        let side = (self.st as f64).sqrt().ceil() as usize;
+        let in_side = side + geom.r - 1;
+        (geom.c * in_side * in_side).min(geom.input_count())
+    }
+
+    /// Whether the whole layer's weights are weight-cache resident.
+    pub fn weights_resident(geom: &LayerGeometry, cfg: &ArrayConfig) -> bool {
+        geom.weight_count() <= cfg.weight_cache_words()
+    }
+
+    /// Whether the whole input feature map is activation-cache resident.
+    pub fn input_resident(geom: &LayerGeometry, cfg: &ArrayConfig) -> bool {
+        geom.input_count() <= cfg.act_cache_words()
+    }
+
+    /// Whether a full threshold bank is threshold-cache resident.
+    pub fn thresholds_resident(geom: &LayerGeometry, cfg: &ArrayConfig) -> bool {
+        geom.threshold_count() <= cfg.threshold_cache_words()
+    }
+
+    /// DRAM weight words streamed for **one** load event of this layer's
+    /// weights (a residency-aware stream: once if resident, once per
+    /// spatial tile otherwise).
+    pub fn weight_stream_words(&self, geom: &LayerGeometry, cfg: &ArrayConfig) -> u64 {
+        let w = geom.weight_count() as u64;
+        if Mapping::weights_resident(geom, cfg) {
+            w
+        } else {
+            w * self.n_sp(geom) as u64
+        }
+    }
+
+    /// DRAM activation words fetched for one image at input density `di`
+    /// (compressed: zero activations are not stored or moved).
+    pub fn act_dram_words(&self, geom: &LayerGeometry, cfg: &ArrayConfig, di: f64) -> f64 {
+        if Mapping::input_resident(geom, cfg) {
+            geom.input_count() as f64 * di
+        } else {
+            (self.n_sp(geom) * self.act_per_pass(geom)) as f64 * di
+        }
+    }
+}
+
+/// Searches OS tile candidates for the cheapest mapping of a layer.
+#[derive(Debug, Clone, Copy)]
+pub struct Mapper {
+    cfg: ArrayConfig,
+}
+
+impl Mapper {
+    /// Creates a mapper for a hardware configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration has no PEs — no mapping can exist.
+    pub fn new(cfg: ArrayConfig) -> Self {
+        assert!(cfg.pe_count > 0, "mapper needs at least one PE");
+        Mapper { cfg }
+    }
+
+    /// The hardware configuration the mapper targets.
+    pub fn config(&self) -> &ArrayConfig {
+        &self.cfg
+    }
+
+    fn candidates(&self, geom: &LayerGeometry) -> Vec<Mapping> {
+        let pe = self.cfg.pe_count;
+        let sites = geom.sites();
+        let mut st_opts: Vec<usize> = Vec::new();
+        let mut v = 1usize;
+        while v <= sites.min(pe) {
+            st_opts.push(v);
+            v *= 2;
+        }
+        if sites <= pe && !st_opts.contains(&sites) {
+            st_opts.push(sites);
+        }
+        let mut out = Vec::new();
+        for &st in &st_opts {
+            let max_to = (pe / st).min(geom.k).max(1);
+            let mut to = 1usize;
+            while to <= max_to {
+                out.push(Mapping { to, st });
+                to *= 2;
+            }
+            if !out.iter().any(|m| m.st == st && m.to == max_to) {
+                out.push(Mapping { to: max_to, st });
+            }
+        }
+        out
+    }
+
+    /// Estimated per-image energy (MAC units) of a mapping at input
+    /// density `di` and weight density `dw` — the cost the search
+    /// minimizes. Mirrors the simulator's per-level counting.
+    pub fn estimate_energy(
+        &self,
+        geom: &LayerGeometry,
+        m: &Mapping,
+        di: f64,
+        dw: f64,
+    ) -> f64 {
+        let cfg = &self.cfg;
+        let outs = geom.output_count() as f64;
+        let taps = geom.taps() as f64;
+        // zero activations are skipped end-to-end; zero *weights* (pruned
+        // models, stored dense) are only clock-gated at the multiplier, so
+        // operand movement scales with di alone and only E_MAC sees dw
+        let mac_slots = outs * taps * di;
+        let macs = mac_slots * dw;
+        let n_sp = m.n_sp(geom) as f64;
+        let n_cg = m.n_cg(geom) as f64;
+        let dram_w = m.weight_stream_words(geom, cfg) as f64;
+        let dram_a = m.act_dram_words(geom, cfg, di);
+        let cache_w = geom.weight_count() as f64 * n_sp * di;
+        let cache_a = n_sp * n_cg * m.act_per_pass(geom) as f64 * di;
+        let reg = 2.0 * mac_slots + outs;
+        cfg.e_dram * (dram_w + dram_a)
+            + cfg.e_cache * (cache_w + cache_a + outs)
+            + cfg.e_reg * reg
+            + cfg.e_mac * macs
+    }
+
+    /// The cheapest mapping for a layer at the given densities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer has zero outputs (malformed geometry).
+    pub fn best_mapping(&self, geom: &LayerGeometry, di: f64, dw: f64) -> Mapping {
+        let mut best: Option<(f64, Mapping)> = None;
+        for m in self.candidates(geom) {
+            let e = self.estimate_energy(geom, &m, di, dw);
+            let better = match &best {
+                None => true,
+                Some((be, bm)) => {
+                    e < *be - 1e-9 || ((e - *be).abs() <= 1e-9 && m.st > bm.st)
+                }
+            };
+            if better {
+                best = Some((e, m));
+            }
+        }
+        best.expect("layer must have at least one mapping candidate").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vgg16_geometry;
+
+    fn cfg() -> ArrayConfig {
+        ArrayConfig::eyeriss_65nm()
+    }
+
+    #[test]
+    fn tile_fits_pe_array() {
+        let mapper = Mapper::new(cfg());
+        for geom in vgg16_geometry(224) {
+            let m = mapper.best_mapping(&geom, 0.5, 1.0);
+            assert!(m.to * m.st <= cfg().pe_count, "{}: {m:?}", geom.name);
+            assert!(m.to <= geom.k);
+            assert!(m.st <= geom.sites());
+        }
+    }
+
+    #[test]
+    fn tile_counts() {
+        let geom = LayerGeometry::conv("c", 64, 128, 16); // sites=256
+        let m = Mapping { to: 8, st: 64 };
+        assert_eq!(m.n_cg(&geom), 16);
+        assert_eq!(m.n_sp(&geom), 4);
+        // 64-site tile → 8×8 outputs → 10×10 input halo per channel
+        assert_eq!(m.act_per_pass(&geom), 64 * 10 * 10);
+    }
+
+    #[test]
+    fn act_per_pass_clamped_to_input() {
+        let geom = LayerGeometry::conv("c", 4, 8, 2); // tiny input
+        let m = Mapping { to: 1, st: 4 };
+        assert_eq!(m.act_per_pass(&geom), geom.input_count());
+    }
+
+    #[test]
+    fn fc_reads_full_input_per_pass() {
+        let geom = LayerGeometry::fc("f", 4096, 4096, true);
+        let m = Mapping { to: 1024, st: 1 };
+        assert_eq!(m.act_per_pass(&geom), 4096);
+        assert_eq!(m.n_sp(&geom), 1);
+        assert_eq!(m.n_cg(&geom), 4);
+    }
+
+    #[test]
+    fn residency_rules() {
+        let c = cfg();
+        let g = vgg16_geometry(224);
+        // conv2 weights (36864 words = 72 KB) fit the 156 KB cache
+        assert!(Mapping::weights_resident(&g[1], &c));
+        // conv5 weights (294912 words = 576 KB) do not
+        assert!(!Mapping::weights_resident(&g[4], &c));
+        // conv13 input (512·14·14 = 100352 words = 196 KB) does not fit
+        assert!(!Mapping::input_resident(&g[12], &c));
+        // conv14 (FC) input of 25088 words fits
+        assert!(Mapping::input_resident(&g[13], &c));
+    }
+
+    #[test]
+    fn weight_streaming_scales_with_spatial_tiles() {
+        let c = cfg();
+        let g = &vgg16_geometry(224)[4]; // conv5: big weights, 3136 sites
+        let m_big = Mapping { to: 1, st: 1024 };
+        let m_small = Mapping { to: 4, st: 64 };
+        assert!(
+            m_small.weight_stream_words(g, &c) > m_big.weight_stream_words(g, &c),
+            "fewer sites per pass must stream more weight words"
+        );
+    }
+
+    #[test]
+    fn smaller_pe_array_cannot_beat_larger() {
+        // the optimum over a subset of candidates can't be better
+        let big = Mapper::new(ArrayConfig::eyeriss_65nm());
+        let small = Mapper::new(ArrayConfig::reduced_pe());
+        for geom in vgg16_geometry(224) {
+            let mb = big.best_mapping(&geom, 0.4, 1.0);
+            let ms = small.best_mapping(&geom, 0.4, 1.0);
+            let eb = big.estimate_energy(&geom, &mb, 0.4, 1.0);
+            let es = small.estimate_energy(&geom, &ms, 0.4, 1.0);
+            assert!(es >= eb - 1e-6, "{}: {es} < {eb}", geom.name);
+        }
+    }
+
+    #[test]
+    fn mid_layers_pay_for_reduced_pe() {
+        // The Fig. 9 Case-B mechanism: conv5..conv10 at 224 input see
+        // higher estimated energy at 256 PEs.
+        let big = Mapper::new(ArrayConfig::eyeriss_65nm());
+        let small = Mapper::new(ArrayConfig::reduced_pe());
+        let g = vgg16_geometry(224);
+        for layer in &g[4..10] {
+            let eb = big.estimate_energy(layer, &big.best_mapping(layer, 0.4, 1.0), 0.4, 1.0);
+            let es =
+                small.estimate_energy(layer, &small.best_mapping(layer, 0.4, 1.0), 0.4, 1.0);
+            assert!(
+                es > eb * 1.02,
+                "{}: expected visible penalty, got {} vs {}",
+                layer.name,
+                es,
+                eb
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PE")]
+    fn zero_pe_config_rejected() {
+        let _ = Mapper::new(ArrayConfig { pe_count: 0, ..ArrayConfig::eyeriss_65nm() });
+    }
+
+    #[test]
+    fn candidates_cover_max_to() {
+        let mapper = Mapper::new(cfg());
+        let geom = LayerGeometry::conv("c", 3, 5, 32); // non-power-of-two K
+        let cands = mapper.candidates(&geom);
+        assert!(cands.iter().any(|m| m.to == 5));
+    }
+}

@@ -1,0 +1,227 @@
+//! Per-layer activation-sparsity profiles.
+//!
+//! The simulator consumes one output-sparsity value per weighted layer.
+//! The default source is the paper's own measurements (Tables II and III),
+//! so the regenerated figures are directly comparable; profiles measured
+//! from the repo's trained mini-models can be substituted through the same
+//! type.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's three child tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ChildTask {
+    /// CIFAR10 (the paper's `T_child-1`).
+    Cifar10,
+    /// CIFAR100 (`T_child-2`).
+    Cifar100,
+    /// Fashion-MNIST (`T_child-3`).
+    Fmnist,
+}
+
+impl ChildTask {
+    /// All three child tasks, in the paper's pipelined-batch order.
+    pub fn all() -> [ChildTask; 3] {
+        [ChildTask::Cifar10, ChildTask::Cifar100, ChildTask::Fmnist]
+    }
+}
+
+impl std::fmt::Display for ChildTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ChildTask::Cifar10 => "CIFAR10",
+            ChildTask::Cifar100 => "CIFAR100",
+            ChildTask::Fmnist => "F-MNIST",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Output-activation sparsity of every weighted layer (16 entries for
+/// VGG16; the final classifier's entry is unused and kept at 0).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparsityProfile {
+    values: Vec<f64>,
+}
+
+impl SparsityProfile {
+    /// Creates a profile from per-layer sparsities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is outside `[0, 1]`.
+    pub fn new(values: Vec<f64>) -> Self {
+        assert!(
+            values.iter().all(|v| (0.0..=1.0).contains(v)),
+            "sparsities must be in [0, 1]"
+        );
+        SparsityProfile { values }
+    }
+
+    /// A profile with the same sparsity at every layer.
+    pub fn uniform(sparsity: f64, layers: usize) -> Self {
+        SparsityProfile::new(vec![sparsity; layers])
+    }
+
+    /// Number of layers covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the profile is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Output sparsity of layer `i` (0 when out of range — conservative:
+    /// dense).
+    pub fn output_sparsity(&self, i: usize) -> f64 {
+        self.values.get(i).copied().unwrap_or(0.0)
+    }
+
+    /// Input *density* of layer `i`: 1 for the first layer (the image),
+    /// otherwise `1 − sparsity(i−1)`.
+    pub fn input_density(&self, i: usize) -> f64 {
+        if i == 0 {
+            1.0
+        } else {
+            1.0 - self.output_sparsity(i - 1)
+        }
+    }
+
+    /// Mean sparsity across all layers.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// The raw per-layer values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// Expands the 11 published per-layer values (conv2, conv4, conv5, conv7,
+/// conv8, conv9, conv10, conv12, conv13, conv14, conv15) to all 16 VGG16
+/// layers, filling the unpublished layers (conv1, conv3, conv6, conv11)
+/// with the mean of their published neighbours and the unmasked conv16
+/// with 0.
+fn expand_published(v: [f64; 11]) -> SparsityProfile {
+    let [c2, c4, c5, c7, c8, c9, c10, c12, c13, c14, c15] = v;
+    let c1 = c2; // nearest published neighbour
+    let c3 = (c2 + c4) / 2.0;
+    let c6 = (c5 + c7) / 2.0;
+    let c11 = (c10 + c12) / 2.0;
+    SparsityProfile::new(vec![
+        c1, c2, c3, c4, c5, c6, c7, c8, c9, c10, c11, c12, c13, c14, c15, 0.0,
+    ])
+}
+
+/// Table II: average layerwise neuronal sparsity of the VGG16 DNN under
+/// MIME, per child task.
+pub fn paper_sparsity_mime(task: ChildTask) -> SparsityProfile {
+    match task {
+        ChildTask::Cifar10 => expand_published([
+            0.6493, 0.6081, 0.6587, 0.6203, 0.6233, 0.6449, 0.6679, 0.6477, 0.6553,
+            0.6855, 0.657,
+        ]),
+        ChildTask::Cifar100 => expand_published([
+            0.6522, 0.5951, 0.6373, 0.6100, 0.6121, 0.6279, 0.6580, 0.6374, 0.6388,
+            0.6703, 0.6571,
+        ]),
+        ChildTask::Fmnist => expand_published([
+            0.6075, 0.5634, 0.6138, 0.5991, 0.5959, 0.6017, 0.6204, 0.6014, 0.6125,
+            0.6138, 0.6287,
+        ]),
+    }
+}
+
+/// Table III: average layerwise ReLU sparsity of the conventionally
+/// trained baseline VGG16 models, per child task.
+pub fn paper_sparsity_relu(task: ChildTask) -> SparsityProfile {
+    match task {
+        ChildTask::Cifar10 => expand_published([
+            0.4983, 0.4506, 0.5390, 0.5015, 0.5097, 0.5341, 0.5635, 0.5358, 0.5420,
+            0.5627, 0.5608,
+        ]),
+        ChildTask::Cifar100 => expand_published([
+            0.5030, 0.4586, 0.5399, 0.5069, 0.5129, 0.5333, 0.5633, 0.5345, 0.5449,
+            0.5842, 0.6002,
+        ]),
+        ChildTask::Fmnist => expand_published([
+            0.5114, 0.4796, 0.5488, 0.5230, 0.5260, 0.5329, 0.5503, 0.5280, 0.5343,
+            0.5507, 0.5820,
+        ]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_have_16_layers() {
+        for t in ChildTask::all() {
+            assert_eq!(paper_sparsity_mime(t).len(), 16);
+            assert_eq!(paper_sparsity_relu(t).len(), 16);
+        }
+    }
+
+    #[test]
+    fn published_values_land_on_their_layers() {
+        let p = paper_sparsity_mime(ChildTask::Cifar10);
+        // conv2 is index 1, conv14 is index 13 (paper numbering)
+        assert_eq!(p.output_sparsity(1), 0.6493);
+        assert_eq!(p.output_sparsity(3), 0.6081);
+        assert_eq!(p.output_sparsity(13), 0.6855);
+        assert_eq!(p.output_sparsity(15), 0.0);
+        let r = paper_sparsity_relu(ChildTask::Fmnist);
+        assert_eq!(r.output_sparsity(1), 0.5114);
+        assert_eq!(r.output_sparsity(14), 0.5820);
+    }
+
+    #[test]
+    fn mime_sparser_than_relu_everywhere() {
+        // the paper's headline observation: threshold masking prunes more
+        // than ReLU on every published layer
+        for t in ChildTask::all() {
+            let m = paper_sparsity_mime(t);
+            let r = paper_sparsity_relu(t);
+            for i in 0..15 {
+                assert!(
+                    m.output_sparsity(i) > r.output_sparsity(i),
+                    "{t}: layer {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn input_density_chains_from_previous_layer() {
+        let p = paper_sparsity_mime(ChildTask::Cifar10);
+        assert_eq!(p.input_density(0), 1.0);
+        assert!((p.input_density(2) - (1.0 - 0.6493)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_profile() {
+        let p = SparsityProfile::uniform(0.5, 4);
+        assert_eq!(p.mean(), 0.5);
+        assert_eq!(p.input_density(3), 0.5);
+        assert_eq!(p.output_sparsity(99), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsities must be in [0, 1]")]
+    fn rejects_out_of_range() {
+        SparsityProfile::new(vec![1.5]);
+    }
+
+    #[test]
+    fn task_display() {
+        assert_eq!(ChildTask::Cifar10.to_string(), "CIFAR10");
+        assert_eq!(ChildTask::all().len(), 3);
+    }
+}

@@ -1,0 +1,134 @@
+//! Rendering of simulation results: aligned text tables and CSV, so the
+//! figure binaries and downstream plotting scripts share one formatter.
+
+use crate::LayerResult;
+
+/// Renders layer results as an aligned text table (one row per layer,
+/// the paper's four energy components plus the total).
+pub fn render_table(results: &[LayerResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12} {:>14}\n",
+        "layer", "E_DRAM", "E_cache", "E_reg", "E_MAC", "total"
+    ));
+    for r in results {
+        out.push_str(&format!(
+            "{:<8} {:>12.4e} {:>12.4e} {:>12.4e} {:>12.4e} {:>14.4e}\n",
+            r.name, r.energy.e_dram, r.energy.e_cache, r.energy.e_reg, r.energy.e_mac,
+            r.total_energy()
+        ));
+    }
+    let total: f64 = results.iter().map(LayerResult::total_energy).sum();
+    out.push_str(&format!("{:<8} {:>68.4e}\n", "TOTAL", total));
+    out
+}
+
+/// Renders layer results as CSV with a header row — ready for external
+/// plotting. Columns: layer, e_dram, e_cache, e_reg, e_mac, total,
+/// cycles, dram_words, macs.
+pub fn render_csv(results: &[LayerResult]) -> String {
+    let mut out =
+        String::from("layer,e_dram,e_cache,e_reg,e_mac,total,cycles,dram_words,macs\n");
+    for r in results {
+        out.push_str(&format!(
+            "{},{:.6e},{:.6e},{:.6e},{:.6e},{:.6e},{:.6e},{:.6e},{:.6e}\n",
+            r.name,
+            r.energy.e_dram,
+            r.energy.e_cache,
+            r.energy.e_reg,
+            r.energy.e_mac,
+            r.total_energy(),
+            r.cycles,
+            r.breakdown.dram_words(),
+            r.breakdown.macs,
+        ));
+    }
+    out
+}
+
+/// Renders a side-by-side savings table of a baseline run against a
+/// candidate run (`baseline_total / candidate_total` per layer).
+///
+/// # Panics
+///
+/// Panics when the result lists differ in length or layer order.
+pub fn render_savings(
+    baseline_name: &str,
+    baseline: &[LayerResult],
+    candidate_name: &str,
+    candidate: &[LayerResult],
+) -> String {
+    assert_eq!(baseline.len(), candidate.len(), "layer lists must align");
+    let mut out = format!(
+        "{:<8} {:>14} {:>14} {:>10}\n",
+        "layer", baseline_name, candidate_name, "savings"
+    );
+    for (b, c) in baseline.iter().zip(candidate) {
+        assert_eq!(b.name, c.name, "layer order must match");
+        out.push_str(&format!(
+            "{:<8} {:>14.4e} {:>14.4e} {:>9.2}x\n",
+            b.name,
+            b.total_energy(),
+            c.total_energy(),
+            b.total_energy() / c.total_energy()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate_network, vgg16_geometry, Approach, ArrayConfig, Scenario, TaskMode};
+
+    fn results() -> Vec<LayerResult> {
+        simulate_network(
+            &vgg16_geometry(64),
+            &ArrayConfig::eyeriss_65nm(),
+            &Scenario { mode: TaskMode::paper_pipelined(), approach: Approach::Mime },
+        )
+    }
+
+    #[test]
+    fn table_has_all_layers_and_total() {
+        let s = render_table(&results());
+        assert!(s.contains("conv1 "));
+        assert!(s.contains("conv16"));
+        assert!(s.contains("TOTAL"));
+        assert_eq!(s.lines().count(), 1 + 16 + 1);
+    }
+
+    #[test]
+    fn csv_is_parseable() {
+        let s = render_csv(&results());
+        let mut lines = s.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(header.split(',').count(), 9);
+        for line in lines {
+            let fields: Vec<&str> = line.split(',').collect();
+            assert_eq!(fields.len(), 9, "{line}");
+            for f in &fields[1..] {
+                assert!(f.parse::<f64>().is_ok(), "{f}");
+            }
+        }
+    }
+
+    #[test]
+    fn savings_table_ratios() {
+        let base = simulate_network(
+            &vgg16_geometry(64),
+            &ArrayConfig::eyeriss_65nm(),
+            &Scenario { mode: TaskMode::paper_pipelined(), approach: Approach::Case1 },
+        );
+        let s = render_savings("case1", &base, "mime", &results());
+        assert!(s.contains('x'));
+        assert!(s.lines().count() == 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "layer lists must align")]
+    fn savings_rejects_mismatched() {
+        let r = results();
+        let _ = render_savings("a", &r, "b", &r[1..]);
+    }
+}

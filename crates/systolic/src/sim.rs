@@ -1,0 +1,699 @@
+//! The layer/network simulator: turns geometry + mapping + sparsity into
+//! access counts, energies and cycles for each inference approach and
+//! task mode.
+
+use crate::{
+    paper_sparsity_mime, paper_sparsity_relu, ArrayConfig, ChildTask, EnergyBreakdown,
+    EnergyModel, LayerGeometry, Mapper, Mapping, SparsityProfile,
+};
+use serde::{Deserialize, Serialize};
+
+/// How a batch is composed (paper Section IV).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TaskMode {
+    /// All images in the batch belong to one task (the paper uses a batch
+    /// of 3 CIFAR10 images).
+    Singular {
+        /// The single task.
+        task: ChildTask,
+        /// Batch size (paper: 3).
+        batch: usize,
+    },
+    /// Consecutive images belong to different tasks (the paper interleaves
+    /// CIFAR10, CIFAR100 and F-MNIST).
+    Pipelined {
+        /// Per-image task sequence.
+        tasks: Vec<ChildTask>,
+    },
+}
+
+impl TaskMode {
+    /// The paper's singular-mode batch: three CIFAR10 images.
+    pub fn paper_singular() -> Self {
+        TaskMode::Singular { task: ChildTask::Cifar10, batch: 3 }
+    }
+
+    /// The paper's pipelined-mode batch: one image from each child task.
+    pub fn paper_pipelined() -> Self {
+        TaskMode::Pipelined { tasks: ChildTask::all().to_vec() }
+    }
+
+    /// The per-image task sequence.
+    pub fn image_tasks(&self) -> Vec<ChildTask> {
+        match self {
+            TaskMode::Singular { task, batch } => vec![*task; *batch],
+            TaskMode::Pipelined { tasks } => tasks.clone(),
+        }
+    }
+}
+
+/// The inference approach being simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Approach {
+    /// Baseline per-task models, **no** zero-skipping (paper Case-1).
+    Case1,
+    /// Baseline per-task models with zero-skipping of activations
+    /// (paper Case-2).
+    Case2,
+    /// MIME: shared `W_parent`, per-task thresholds, dynamic neuronal
+    /// pruning.
+    Mime,
+    /// Conventional multi-task inference with statically pruned per-task
+    /// models (paper Fig. 8; the paper's comparator keeps weights stored
+    /// dense in DRAM and skips zero-weight compute after decode).
+    Pruned {
+        /// Fraction of weights remaining (paper: 0.1 at 90 % sparsity).
+        weight_density: f64,
+    },
+    /// MIME's parameter sharing **without** zero-skipping: isolates the
+    /// weight-reuse component of MIME's gain from the dynamic-sparsity
+    /// component (see the `attribution` bench binary). Not a paper case.
+    MimeNoSkip,
+}
+
+impl Approach {
+    /// Weight density used in compute (1 except for pruned models).
+    pub fn weight_density(&self) -> f64 {
+        match self {
+            Approach::Pruned { weight_density } => *weight_density,
+            _ => 1.0,
+        }
+    }
+
+    /// Whether zero activations are skipped/compressed.
+    pub fn zero_skipping(&self) -> bool {
+        !matches!(self, Approach::Case1 | Approach::MimeNoSkip)
+    }
+
+    /// Whether all tasks share one weight set (the MIME variants).
+    pub fn weights_shared(&self) -> bool {
+        matches!(self, Approach::Mime | Approach::MimeNoSkip)
+    }
+
+    /// Whether per-task threshold parameters are fetched (the MIME
+    /// variants).
+    pub fn uses_thresholds(&self) -> bool {
+        matches!(self, Approach::Mime | Approach::MimeNoSkip)
+    }
+}
+
+/// A full simulation scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Batch composition.
+    pub mode: TaskMode,
+    /// Inference approach.
+    pub approach: Approach,
+}
+
+/// Result of simulating one layer over the whole batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerResult {
+    /// Layer name (`conv1`…`conv16`).
+    pub name: String,
+    /// The mapping the layer ran under.
+    pub mapping: Mapping,
+    /// Access counts over the whole batch.
+    pub breakdown: EnergyBreakdown,
+    /// Energy components (MAC units) over the whole batch.
+    pub energy: EnergyModel,
+    /// Compute cycles over the whole batch.
+    pub cycles: f64,
+    /// Output neurons produced over the whole batch.
+    pub outputs: f64,
+}
+
+impl LayerResult {
+    /// Total layer energy in MAC units.
+    pub fn total_energy(&self) -> f64 {
+        self.energy.total()
+    }
+
+    /// Layer throughput in output neurons per cycle.
+    pub fn throughput(&self) -> f64 {
+        if self.cycles <= 0.0 {
+            0.0
+        } else {
+            self.outputs / self.cycles
+        }
+    }
+
+    /// Energy-delay product (MAC-units × cycles), the joint metric for
+    /// design-space comparisons where neither energy nor latency alone
+    /// decides.
+    pub fn energy_delay_product(&self) -> f64 {
+        self.total_energy() * self.cycles
+    }
+}
+
+/// A per-task source of sparsity profiles: the paper's published tables
+/// by default, overridable with profiles **measured from this repo's own
+/// trained models** (the `--measured` pathway of the figure binaries).
+#[derive(Debug, Clone, Default)]
+pub struct ProfileSet {
+    mime: std::collections::BTreeMap<ChildTask, SparsityProfile>,
+    relu: std::collections::BTreeMap<ChildTask, SparsityProfile>,
+}
+
+impl ProfileSet {
+    /// The paper's Tables II/III (used when a task has no override).
+    pub fn paper() -> Self {
+        ProfileSet::default()
+    }
+
+    /// Overrides a task's MIME profile (builder style).
+    pub fn with_mime(mut self, task: ChildTask, profile: SparsityProfile) -> Self {
+        self.mime.insert(task, profile);
+        self
+    }
+
+    /// Overrides a task's baseline-ReLU profile (builder style).
+    pub fn with_relu(mut self, task: ChildTask, profile: SparsityProfile) -> Self {
+        self.relu.insert(task, profile);
+        self
+    }
+
+    /// The profile used for `task` under `approach`.
+    pub fn profile_for(&self, task: ChildTask, approach: Approach) -> SparsityProfile {
+        match approach {
+            Approach::Mime | Approach::MimeNoSkip => self
+                .mime
+                .get(&task)
+                .cloned()
+                .unwrap_or_else(|| paper_sparsity_mime(task)),
+            _ => self
+                .relu
+                .get(&task)
+                .cloned()
+                .unwrap_or_else(|| paper_sparsity_relu(task)),
+        }
+    }
+}
+
+/// Per-image densities at one layer.
+#[derive(Debug, Clone, Copy)]
+struct ImageCtx {
+    task: ChildTask,
+    in_density: f64,
+    out_density: f64,
+}
+
+/// Simulates one layer for a batch described by `scenario`, using the
+/// paper's sparsity profiles. `layer_index` selects the row of each
+/// task's profile.
+///
+/// Exposed mainly for tests and ablations; [`simulate_network`] drives it
+/// across a full geometry.
+pub fn simulate_layer(
+    geom: &LayerGeometry,
+    cfg: &ArrayConfig,
+    scenario: &Scenario,
+    layer_index: usize,
+) -> LayerResult {
+    simulate_layer_profiled(geom, cfg, scenario, layer_index, &ProfileSet::paper())
+}
+
+/// [`simulate_layer`] with an explicit [`ProfileSet`] (measured-profile
+/// pathway).
+pub fn simulate_layer_profiled(
+    geom: &LayerGeometry,
+    cfg: &ArrayConfig,
+    scenario: &Scenario,
+    layer_index: usize,
+    profiles: &ProfileSet,
+) -> LayerResult {
+    let tasks = scenario.mode.image_tasks();
+    let images: Vec<ImageCtx> = tasks
+        .iter()
+        .map(|&task| {
+            let p = profiles.profile_for(task, scenario.approach);
+            let (di, doo) = if scenario.approach.zero_skipping() {
+                (p.input_density(layer_index), 1.0 - p.output_sparsity(layer_index))
+            } else {
+                (1.0, 1.0)
+            };
+            ImageCtx { task, in_density: di, out_density: doo }
+        })
+        .collect();
+    simulate_layer_with(geom, cfg, scenario.approach, &images)
+}
+
+fn simulate_layer_with(
+    geom: &LayerGeometry,
+    cfg: &ArrayConfig,
+    approach: Approach,
+    images: &[ImageCtx],
+) -> LayerResult {
+    let dw = approach.weight_density();
+    // The mapping is a compile-time decision: chosen once per layer at a
+    // nominal 50 % activation density so every approach/mode runs the
+    // same schedule and results stay comparable.
+    let mapper = Mapper::new(*cfg);
+    let mapping = mapper.best_mapping(geom, 0.5, 1.0);
+    let n_sp = mapping.n_sp(geom) as f64;
+    let n_cg = mapping.n_cg(geom) as f64;
+    let outs = geom.output_count() as f64;
+    // padding-aware dot-product depth: border outputs skip their
+    // out-of-bounds taps
+    let taps = geom.taps() as f64 * geom.valid_tap_fraction();
+    let w_words = geom.weight_count() as f64;
+    let t_words = geom.threshold_count() as f64;
+    let stream = mapping.weight_stream_words(geom, cfg) as f64;
+    let th_resident = Mapping::thresholds_resident(geom, cfg);
+
+    let mut b = EnergyBreakdown::default();
+    let mut cycles = 0.0f64;
+
+    // --- weight DRAM traffic: one stream per weight "run" -------------
+    // MIME shares W_parent across every image; conventional approaches
+    // reload whenever the task changes between consecutive images.
+    let weight_runs = if approach.weights_shared() {
+        1.0f64.min(images.len() as f64)
+    } else {
+        let mut runs = 0usize;
+        let mut prev: Option<ChildTask> = None;
+        for img in images {
+            if prev != Some(img.task) {
+                runs += 1;
+            }
+            prev = Some(img.task);
+        }
+        runs as f64
+    };
+    b.dram_weights = weight_runs * stream;
+
+    // --- per-image traffic ---------------------------------------------
+    let mut prev_task: Option<ChildTask> = None;
+    for img in images {
+        let di = img.in_density;
+        let doo = img.out_density;
+        // operand slots surviving activation zero-skipping; zero weights
+        // (pruned models, stored dense) are clock-gated at the multiplier
+        // only, so movement scales with di and E_MAC alone sees dw
+        let mac_slots = outs * taps * di;
+        let macs = mac_slots * dw;
+
+        // input activations (compressed when zero-skipping)
+        b.dram_acts += if approach.zero_skipping() {
+            mapping.act_dram_words(geom, cfg, di)
+        } else {
+            mapping.act_dram_words(geom, cfg, 1.0)
+        };
+        // output activations written back (compressed when skipping)
+        b.dram_acts += outs * doo;
+
+        // thresholds: fetched at every task switch; within a same-task run
+        // they are re-fetched per image unless the bank is cache-resident
+        if approach.uses_thresholds() {
+            let switch = prev_task != Some(img.task);
+            if switch || !th_resident {
+                b.dram_thresholds += t_words;
+            }
+            b.cache_accesses += outs; // threshold cache → PE, one per neuron
+        }
+        prev_task = Some(img.task);
+
+        // cache traffic: weights move cache → spad per spatial pass,
+        // skipping words that only meet zero activations
+        b.cache_accesses += w_words * n_sp * di;
+        // activation tile re-read once per channel group
+        b.cache_accesses += n_sp * n_cg * mapping.act_per_pass(geom) as f64 * di;
+        // output write-back through the cache
+        b.cache_accesses += outs;
+
+        // scratchpad: two operand reads per MAC slot + one access per
+        // output (psum drain / CMP result)
+        b.reg_accesses += 2.0 * mac_slots + outs;
+        if approach.uses_thresholds() {
+            b.reg_accesses += outs; // CMP reads its threshold operand
+        }
+
+        b.macs += macs;
+
+        // compute cycles: each pass streams its activation-skipped dot
+        // product (zero weights are gated, not compressed out of the
+        // schedule)
+        cycles += n_sp * n_cg * (taps * di).max(1.0);
+    }
+
+    let energy = EnergyModel::from_breakdown(&b, cfg);
+    LayerResult {
+        name: geom.name.clone(),
+        mapping,
+        breakdown: b,
+        energy,
+        cycles,
+        outputs: outs * images.len() as f64,
+    }
+}
+
+/// Analytical access counts for **one image** of one layer at explicit
+/// densities — the single-image core of the batch model, exposed so the
+/// functional simulator ([`crate::FunctionalArray`]) can be validated
+/// against it (see the `validate_model` bench binary).
+///
+/// `di`/`doo` are the input/output activation densities, `dw` the weight
+/// density, `mime` adds the threshold traffic. Weight DRAM traffic counts
+/// one residency-aware stream.
+pub fn analytic_image_counts(
+    geom: &LayerGeometry,
+    cfg: &ArrayConfig,
+    mapping: &Mapping,
+    di: f64,
+    doo: f64,
+    dw: f64,
+    mime: bool,
+) -> EnergyBreakdown {
+    let outs = geom.output_count() as f64;
+    let taps = geom.taps() as f64 * geom.valid_tap_fraction();
+    let mac_slots = outs * taps * di;
+    let n_sp = mapping.n_sp(geom) as f64;
+    let n_cg = mapping.n_cg(geom) as f64;
+    let mut b = EnergyBreakdown {
+        dram_weights: mapping.weight_stream_words(geom, cfg) as f64,
+        dram_acts: mapping.act_dram_words(geom, cfg, di) + outs * doo,
+        dram_thresholds: 0.0,
+        cache_accesses: geom.weight_count() as f64 * n_sp * di
+            + n_sp * n_cg * mapping.act_per_pass(geom) as f64 * di
+            + outs,
+        reg_accesses: 2.0 * mac_slots + outs,
+        macs: mac_slots * dw,
+    };
+    if mime {
+        b.dram_thresholds = geom.threshold_count() as f64;
+        b.cache_accesses += outs;
+        b.reg_accesses += outs;
+    }
+    b
+}
+
+/// Simulates every layer of a network for a scenario, chaining each
+/// image's per-layer densities from its task's sparsity profile.
+pub fn simulate_network(
+    geoms: &[LayerGeometry],
+    cfg: &ArrayConfig,
+    scenario: &Scenario,
+) -> Vec<LayerResult> {
+    simulate_network_profiled(geoms, cfg, scenario, &ProfileSet::paper())
+}
+
+/// [`simulate_network`] with an explicit [`ProfileSet`]: the pathway for
+/// driving the hardware model with sparsity measured from this repo's own
+/// trained models instead of the paper's published tables.
+pub fn simulate_network_profiled(
+    geoms: &[LayerGeometry],
+    cfg: &ArrayConfig,
+    scenario: &Scenario,
+    profiles: &ProfileSet,
+) -> Vec<LayerResult> {
+    geoms
+        .iter()
+        .enumerate()
+        .map(|(i, g)| simulate_layer_profiled(g, cfg, scenario, i, profiles))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vgg16_geometry;
+
+    fn cfg() -> ArrayConfig {
+        ArrayConfig::eyeriss_65nm()
+    }
+
+    fn run(approach: Approach, mode: TaskMode) -> Vec<LayerResult> {
+        let geoms = vgg16_geometry(224);
+        simulate_network(&geoms, &cfg(), &Scenario { mode, approach })
+    }
+
+    #[test]
+    fn case1_consumes_most_compute() {
+        let c1 = run(Approach::Case1, TaskMode::paper_singular());
+        let c2 = run(Approach::Case2, TaskMode::paper_singular());
+        let mime = run(Approach::Mime, TaskMode::paper_singular());
+        for ((a, b), m) in c1.iter().zip(&c2).zip(&mime) {
+            assert!(a.breakdown.macs >= b.breakdown.macs, "{}", a.name);
+            assert!(b.breakdown.macs >= m.breakdown.macs, "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn singular_mime_dram_slightly_above_case2() {
+        // Fig. 5 narrative: in singular mode E_DRAM(MIME) ≥ E_DRAM(Case-2)
+        // because thresholds ride along with the weights.
+        let c2 = run(Approach::Case2, TaskMode::paper_singular());
+        let mime = run(Approach::Mime, TaskMode::paper_singular());
+        for (b, m) in c2.iter().zip(&mime).take(15) {
+            assert!(
+                m.energy.e_dram >= b.energy.e_dram * 0.95,
+                "{}: MIME {} vs Case-2 {}",
+                b.name,
+                m.energy.e_dram,
+                b.energy.e_dram
+            );
+        }
+    }
+
+    #[test]
+    fn singular_mime_total_savings_in_paper_band() {
+        // paper: ~1.8–2.5× vs Case-1, ~1.07–1.30× vs Case-2 (even layers)
+        let c1 = run(Approach::Case1, TaskMode::paper_singular());
+        let c2 = run(Approach::Case2, TaskMode::paper_singular());
+        let mime = run(Approach::Mime, TaskMode::paper_singular());
+        // the plotted even conv layers (FC layers are weight-fetch bound
+        // in singular mode and sit near 1× by construction)
+        for i in [1usize, 3, 5, 7, 9, 11] {
+            let s1 = c1[i].total_energy() / mime[i].total_energy();
+            let s2 = c2[i].total_energy() / mime[i].total_energy();
+            assert!(s1 > 1.3 && s1 < 3.5, "{}: vs Case-1 {s1}", c1[i].name);
+            assert!(s2 > 1.0 && s2 < 1.8, "{}: vs Case-2 {s2}", c2[i].name);
+        }
+    }
+
+    #[test]
+    fn pipelined_conventional_reloads_weights_per_task() {
+        let c2s = run(Approach::Case2, TaskMode::paper_singular());
+        let c2p = run(Approach::Case2, TaskMode::paper_pipelined());
+        let mimes = run(Approach::Mime, TaskMode::paper_singular());
+        let mimep = run(Approach::Mime, TaskMode::paper_pipelined());
+        for i in 0..16 {
+            // conventional: 3 distinct tasks → 3 weight streams vs 1
+            // (identical mappings across modes make the ratio exact)
+            let ratio = c2p[i].breakdown.dram_weights / c2s[i].breakdown.dram_weights;
+            assert!((ratio - 3.0).abs() < 1e-6, "{}: ratio {ratio}", c2p[i].name);
+            // MIME: weights shared in both modes
+            assert!(
+                (mimep[i].breakdown.dram_weights - mimes[i].breakdown.dram_weights).abs()
+                    < 1e-6
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_mime_savings_in_paper_band() {
+        // paper: ~2.4–3.1× vs Case-1, ~1.3–2.4× vs Case-2
+        let c1 = run(Approach::Case1, TaskMode::paper_pipelined());
+        let c2 = run(Approach::Case2, TaskMode::paper_pipelined());
+        let mime = run(Approach::Mime, TaskMode::paper_pipelined());
+        let mut s1_sum = 0.0;
+        let mut s2_sum = 0.0;
+        let mut n = 0.0;
+        for i in [1usize, 3, 5, 7, 9, 11, 13] {
+            let s1 = c1[i].total_energy() / mime[i].total_energy();
+            let s2 = c2[i].total_energy() / mime[i].total_energy();
+            assert!(s1 > 1.5, "{}: vs Case-1 only {s1}", c1[i].name);
+            assert!(s2 > 1.0, "{}: vs Case-2 only {s2}", c2[i].name);
+            s1_sum += s1;
+            s2_sum += s2;
+            n += 1.0;
+        }
+        let m1 = s1_sum / n;
+        let m2 = s2_sum / n;
+        assert!(m1 > 1.8 && m1 < 4.0, "mean vs Case-1 {m1}");
+        assert!(m2 > 1.1 && m2 < 3.0, "mean vs Case-2 {m2}");
+    }
+
+    #[test]
+    fn mime_throughput_gain_near_three() {
+        // paper Fig. 7: ~2.8–3.0× layerwise throughput vs Case-1
+        let c1 = run(Approach::Case1, TaskMode::paper_pipelined());
+        let mime = run(Approach::Mime, TaskMode::paper_pipelined());
+        for i in [1usize, 3, 5, 7, 9, 11] {
+            let gain = c1[i].cycles / mime[i].cycles;
+            assert!(
+                gain > 2.3 && gain < 3.5,
+                "{}: throughput gain {gain}",
+                c1[i].name
+            );
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // indices map to paper layer numbers
+    fn pruned_wins_early_layers_mime_wins_late() {
+        // Fig. 8: pruned models beat MIME at conv2/conv4 (threshold
+        // traffic dominates); MIME wins in the later conv layers (weight
+        // re-fetch dominates).
+        let mime = run(Approach::Mime, TaskMode::paper_pipelined());
+        let pruned = run(
+            Approach::Pruned { weight_density: 0.1 },
+            TaskMode::paper_pipelined(),
+        );
+        let ratio = |i: usize| pruned[i].total_energy() / mime[i].total_energy();
+        // early layers: threshold traffic makes MIME lose or at best tie
+        // (paper: pruned wins conv2 and conv4; our crossover sits one
+        // layer earlier — see EXPERIMENTS.md)
+        assert!(ratio(0) < 1.0, "conv1: pruned should win, ratio {}", ratio(0));
+        assert!(ratio(1) < 1.05, "conv2: near-tie or pruned win, ratio {}", ratio(1));
+        // mid/late conv layers: MIME wins with growing margin
+        for i in 4..13 {
+            assert!(ratio(i) > 1.05, "{}: MIME should win, ratio {}", mime[i].name, ratio(i));
+        }
+        assert!(ratio(12) > ratio(4), "margin should grow toward late layers");
+        // FC layers (the paper's conv14/conv15): big MIME wins
+        for i in 13..15 {
+            assert!(ratio(i) > 2.0, "{}: ratio {}", mime[i].name, ratio(i));
+        }
+    }
+
+    #[test]
+    fn reduced_pe_costs_extra_dram_in_mid_layers() {
+        // Fig. 9 Case-B: conv5..conv10 pay 1.1–1.6× total energy, driven
+        // by extra weight/threshold DRAM streams.
+        let geoms = vgg16_geometry(224);
+        let scen = Scenario { mode: TaskMode::paper_pipelined(), approach: Approach::Mime };
+        let a = simulate_network(&geoms, &ArrayConfig::eyeriss_65nm(), &scen);
+        let b = simulate_network(&geoms, &ArrayConfig::reduced_pe(), &scen);
+        for i in 4..10 {
+            let ratio = b[i].total_energy() / a[i].total_energy();
+            assert!(ratio > 1.05, "{}: ratio {ratio}", a[i].name);
+            assert!(
+                b[i].breakdown.dram_weights >= a[i].breakdown.dram_weights,
+                "{}",
+                a[i].name
+            );
+        }
+        // early layers (resident weights) barely move
+        let r0 = b[1].total_energy() / a[1].total_energy();
+        assert!(r0 < 1.6, "conv2 ratio {r0}");
+    }
+
+    #[test]
+    fn reduced_cache_is_mild() {
+        // Fig. 9 Case-C: cutting caches 156→128 KB costs far less than
+        // cutting the PE array.
+        let geoms = vgg16_geometry(224);
+        let scen = Scenario { mode: TaskMode::paper_pipelined(), approach: Approach::Mime };
+        let a = simulate_network(&geoms, &ArrayConfig::eyeriss_65nm(), &scen);
+        let c = simulate_network(&geoms, &ArrayConfig::reduced_cache(), &scen);
+        let b = simulate_network(&geoms, &ArrayConfig::reduced_pe(), &scen);
+        let total = |r: &[LayerResult]| r.iter().map(|l| l.total_energy()).sum::<f64>();
+        let cache_penalty = total(&c) / total(&a);
+        let pe_penalty = total(&b) / total(&a);
+        assert!(cache_penalty < pe_penalty, "{cache_penalty} vs {pe_penalty}");
+        assert!(cache_penalty < 1.25, "cache penalty {cache_penalty}");
+    }
+
+    #[test]
+    fn image_tasks_expansion() {
+        assert_eq!(TaskMode::paper_singular().image_tasks().len(), 3);
+        assert_eq!(
+            TaskMode::paper_pipelined().image_tasks(),
+            vec![ChildTask::Cifar10, ChildTask::Cifar100, ChildTask::Fmnist]
+        );
+    }
+
+    #[test]
+    fn approach_flags() {
+        assert!(!Approach::Case1.zero_skipping());
+        assert!(Approach::Case2.zero_skipping());
+        assert!(Approach::Mime.weights_shared());
+        assert!(!Approach::Case2.weights_shared());
+        assert!(Approach::Mime.uses_thresholds());
+        assert_eq!(Approach::Pruned { weight_density: 0.1 }.weight_density(), 0.1);
+    }
+
+    #[test]
+    fn mime_no_skip_isolates_weight_reuse() {
+        // sharing weights without zero-skipping must land between Case-1
+        // and full MIME, with the same weight traffic as MIME
+        let c1 = run(Approach::Case1, TaskMode::paper_pipelined());
+        let ns = run(Approach::MimeNoSkip, TaskMode::paper_pipelined());
+        let mime = run(Approach::Mime, TaskMode::paper_pipelined());
+        for i in 0..15 {
+            // zero-skipping only ever helps
+            assert!(
+                mime[i].total_energy() <= ns[i].total_energy() + 1e-6,
+                "{}",
+                ns[i].name
+            );
+            // the MIME variants share one weight stream
+            assert!(
+                (ns[i].breakdown.dram_weights - mime[i].breakdown.dram_weights).abs()
+                    < 1e-6
+            );
+            // weight-reuse alone beats Case-1 wherever weights outweigh the
+            // threshold banks (conv5 onward — the Fig. 8 crossover); in the
+            // earliest layers the added threshold traffic can exceed the
+            // reuse benefit, exactly as Fig. 8 shows for pruned models
+            if i >= 4 {
+                assert!(
+                    ns[i].total_energy() <= c1[i].total_energy() + 1e-6,
+                    "{}",
+                    ns[i].name
+                );
+            }
+        }
+        // and at network level, reuse alone is already a win
+        let t = |r: &[LayerResult]| r.iter().map(LayerResult::total_energy).sum::<f64>();
+        assert!(t(&ns) < t(&c1));
+        assert!(t(&mime) < t(&ns));
+    }
+
+    #[test]
+    fn edp_favors_mime_even_more_than_energy() {
+        // MIME cuts cycles AND energy, so its EDP advantage compounds
+        let c2 = run(Approach::Case2, TaskMode::paper_pipelined());
+        let mime = run(Approach::Mime, TaskMode::paper_pipelined());
+        for i in [1usize, 5, 9] {
+            let e_ratio = c2[i].total_energy() / mime[i].total_energy();
+            let edp_ratio = c2[i].energy_delay_product() / mime[i].energy_delay_product();
+            assert!(edp_ratio > e_ratio, "{}: {edp_ratio} vs {e_ratio}", c2[i].name);
+        }
+    }
+
+    #[test]
+    fn profile_overrides_change_results() {
+        let geoms = vgg16_geometry(224);
+        let cfg = ArrayConfig::eyeriss_65nm();
+        let scen = Scenario { mode: TaskMode::paper_pipelined(), approach: Approach::Mime };
+        let base = simulate_network(&geoms, &cfg, &scen);
+        // a much denser measured profile must cost more energy
+        let dense = crate::SparsityProfile::uniform(0.1, 16);
+        let profiles = ProfileSet::paper()
+            .with_mime(ChildTask::Cifar10, dense.clone())
+            .with_mime(ChildTask::Cifar100, dense.clone())
+            .with_mime(ChildTask::Fmnist, dense);
+        let measured = simulate_network_profiled(&geoms, &cfg, &scen, &profiles);
+        let t = |r: &[LayerResult]| r.iter().map(|l| l.total_energy()).sum::<f64>();
+        assert!(t(&measured) > t(&base) * 1.2);
+        // relu overrides do not affect a MIME run
+        let relu_only = ProfileSet::paper()
+            .with_relu(ChildTask::Cifar10, crate::SparsityProfile::uniform(0.1, 16));
+        let same = simulate_network_profiled(&geoms, &cfg, &scen, &relu_only);
+        assert!((t(&same) - t(&base)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_pipeline_is_benign() {
+        let geoms = vgg16_geometry(224);
+        let scen = Scenario {
+            mode: TaskMode::Pipelined { tasks: vec![] },
+            approach: Approach::Mime,
+        };
+        let r = simulate_layer(&geoms[0], &cfg(), &scen, 0);
+        assert_eq!(r.outputs, 0.0);
+        assert_eq!(r.breakdown.macs, 0.0);
+    }
+}

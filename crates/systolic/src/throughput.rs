@@ -1,0 +1,86 @@
+//! Throughput normalization (paper Fig. 7).
+
+use crate::LayerResult;
+use serde::{Deserialize, Serialize};
+
+/// One layer's throughput relative to the Case-1 baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputPoint {
+    /// Layer name.
+    pub name: String,
+    /// Speedup factor over the baseline (baseline cycles / these cycles).
+    pub speedup: f64,
+}
+
+/// Layerwise throughput of `results` normalized against `baseline`
+/// (the paper normalizes against Case-1).
+///
+/// # Panics
+///
+/// Panics if the two result lists have different lengths or layer order.
+pub fn normalized_throughput(
+    baseline: &[LayerResult],
+    results: &[LayerResult],
+) -> Vec<ThroughputPoint> {
+    assert_eq!(baseline.len(), results.len(), "layer lists must align");
+    baseline
+        .iter()
+        .zip(results)
+        .map(|(b, r)| {
+            assert_eq!(b.name, r.name, "layer order must match");
+            ThroughputPoint {
+                name: r.name.clone(),
+                speedup: if r.cycles > 0.0 { b.cycles / r.cycles } else { 0.0 },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        simulate_network, vgg16_geometry, Approach, ArrayConfig, Scenario, TaskMode,
+    };
+
+    #[test]
+    fn baseline_normalizes_to_one() {
+        let geoms = vgg16_geometry(224);
+        let cfg = ArrayConfig::eyeriss_65nm();
+        let scen = Scenario { mode: TaskMode::paper_pipelined(), approach: Approach::Case1 };
+        let base = simulate_network(&geoms, &cfg, &scen);
+        let t = normalized_throughput(&base, &base);
+        assert!(t.iter().all(|p| (p.speedup - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn mime_speedup_in_paper_band() {
+        let geoms = vgg16_geometry(224);
+        let cfg = ArrayConfig::eyeriss_65nm();
+        let base = simulate_network(
+            &geoms,
+            &cfg,
+            &Scenario { mode: TaskMode::paper_pipelined(), approach: Approach::Case1 },
+        );
+        let mime = simulate_network(
+            &geoms,
+            &cfg,
+            &Scenario { mode: TaskMode::paper_pipelined(), approach: Approach::Mime },
+        );
+        let t = normalized_throughput(&base, &mime);
+        // paper: ~2.8–3.0× on the plotted conv layers
+        let mean: f64 =
+            t[1..13].iter().map(|p| p.speedup).sum::<f64>() / 12.0;
+        assert!(mean > 2.3 && mean < 3.3, "mean speedup {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "layer lists must align")]
+    fn mismatched_lengths_panic() {
+        let geoms = vgg16_geometry(224);
+        let cfg = ArrayConfig::eyeriss_65nm();
+        let scen = Scenario { mode: TaskMode::paper_pipelined(), approach: Approach::Case1 };
+        let base = simulate_network(&geoms, &cfg, &scen);
+        let _ = normalized_throughput(&base, &base[1..]);
+    }
+}

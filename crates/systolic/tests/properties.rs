@@ -1,0 +1,148 @@
+//! Property-based invariants of the systolic-array model.
+
+use mime_systolic::{
+    simulate_network, vgg16_geometry_with, Approach, ArrayConfig, LayerGeometry, Mapper,
+    Mapping, Scenario, SparsityProfile, TaskMode,
+};
+use proptest::prelude::*;
+
+fn arbitrary_geom() -> impl Strategy<Value = LayerGeometry> {
+    (1usize..=64, 1usize..=64, prop::sample::select(vec![1usize, 2, 4, 8, 16]))
+        .prop_map(|(c, k, hw)| LayerGeometry::conv("g", c, k, hw))
+}
+
+fn arbitrary_cfg() -> impl Strategy<Value = ArrayConfig> {
+    (
+        prop::sample::select(vec![64usize, 256, 1024]),
+        prop::sample::select(vec![32usize, 64, 156]),
+    )
+        .prop_map(|(pe, kb)| ArrayConfig {
+            pe_count: pe,
+            act_cache_bytes: kb * 1024,
+            weight_cache_bytes: kb * 1024,
+            threshold_cache_bytes: kb * 1024,
+            ..ArrayConfig::eyeriss_65nm()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn best_mapping_respects_pe_budget(geom in arbitrary_geom(), cfg in arbitrary_cfg(),
+                                       di in 0.05f64..1.0) {
+        let m = Mapper::new(cfg).best_mapping(&geom, di, 1.0);
+        prop_assert!(m.to * m.st <= cfg.pe_count);
+        prop_assert!(m.to >= 1 && m.st >= 1);
+        prop_assert!(m.to <= geom.k);
+        prop_assert!(m.st <= geom.sites());
+    }
+
+    #[test]
+    fn tile_counts_cover_layer(geom in arbitrary_geom(), cfg in arbitrary_cfg()) {
+        let m = Mapper::new(cfg).best_mapping(&geom, 0.5, 1.0);
+        prop_assert!(m.n_cg(&geom) * m.to >= geom.k);
+        prop_assert!(m.n_sp(&geom) * m.st >= geom.sites());
+        prop_assert!((m.n_cg(&geom) - 1) * m.to < geom.k);
+        prop_assert!((m.n_sp(&geom) - 1) * m.st < geom.sites());
+    }
+
+    #[test]
+    fn act_per_pass_never_exceeds_input(geom in arbitrary_geom(), cfg in arbitrary_cfg()) {
+        let m = Mapper::new(cfg).best_mapping(&geom, 0.5, 1.0);
+        prop_assert!(m.act_per_pass(&geom) <= geom.input_count());
+        prop_assert!(m.act_per_pass(&geom) >= 1);
+    }
+
+    #[test]
+    fn energy_estimate_monotone_in_density(geom in arbitrary_geom(),
+                                           lo in 0.05f64..0.5, hi in 0.5f64..1.0) {
+        let cfg = ArrayConfig::eyeriss_65nm();
+        let mapper = Mapper::new(cfg);
+        let m = mapper.best_mapping(&geom, 0.5, 1.0);
+        // fixing the mapping, more surviving activations cannot cost less
+        prop_assert!(mapper.estimate_energy(&geom, &m, lo, 1.0)
+                     <= mapper.estimate_energy(&geom, &m, hi, 1.0) + 1e-9);
+    }
+
+    #[test]
+    fn weight_streaming_at_least_layer_size(geom in arbitrary_geom(), cfg in arbitrary_cfg()) {
+        let m = Mapper::new(cfg).best_mapping(&geom, 0.5, 1.0);
+        prop_assert!(m.weight_stream_words(&geom, &cfg) >= geom.weight_count() as u64);
+    }
+
+    #[test]
+    fn sparsity_profile_density_complements(s in 0.0f64..1.0) {
+        let p = SparsityProfile::uniform(s, 8);
+        for i in 1..8 {
+            prop_assert!((p.input_density(i) + p.output_sparsity(i - 1) - 1.0).abs() < 1e-12);
+        }
+        prop_assert_eq!(p.input_density(0), 1.0);
+    }
+}
+
+#[test]
+fn network_energy_is_additive_over_batches() {
+    // simulating a 6-image pipelined batch equals two 3-image batches for
+    // per-image terms; weight streams amortize, so 6-image MIME must cost
+    // strictly less than 2 × 3-image MIME
+    use mime_systolic::ChildTask;
+    let geoms = vgg16_geometry_with(64, 512, 10);
+    let cfg = ArrayConfig::eyeriss_65nm();
+    let three = Scenario { mode: TaskMode::paper_pipelined(), approach: Approach::Mime };
+    let six = Scenario {
+        mode: TaskMode::Pipelined {
+            tasks: [ChildTask::all(), ChildTask::all()].concat(),
+        },
+        approach: Approach::Mime,
+    };
+    let e3: f64 = simulate_network(&geoms, &cfg, &three).iter().map(|l| l.total_energy()).sum();
+    let e6: f64 = simulate_network(&geoms, &cfg, &six).iter().map(|l| l.total_energy()).sum();
+    assert!(e6 < 2.0 * e3, "6-image batch {e6} vs 2x3-image {e3}");
+    assert!(e6 > 1.5 * e3, "per-image terms must still dominate");
+}
+
+#[test]
+fn case1_dominates_every_component() {
+    let geoms = vgg16_geometry_with(64, 512, 10);
+    let cfg = ArrayConfig::eyeriss_65nm();
+    let run = |approach| {
+        simulate_network(
+            &geoms,
+            &cfg,
+            &Scenario { mode: TaskMode::paper_pipelined(), approach },
+        )
+    };
+    let c1 = run(Approach::Case1);
+    let c2 = run(Approach::Case2);
+    for (a, b) in c1.iter().zip(&c2) {
+        assert!(a.energy.e_mac >= b.energy.e_mac, "{}", a.name);
+        assert!(a.energy.e_reg >= b.energy.e_reg, "{}", a.name);
+        assert!(a.energy.e_cache >= b.energy.e_cache, "{}", a.name);
+        assert!(a.energy.e_dram >= b.energy.e_dram, "{}", a.name);
+        assert!(a.cycles >= b.cycles, "{}", a.name);
+    }
+}
+
+#[test]
+fn mapping_is_deterministic() {
+    let geoms = vgg16_geometry_with(224, 4096, 1000);
+    let cfg = ArrayConfig::eyeriss_65nm();
+    let scen = Scenario { mode: TaskMode::paper_pipelined(), approach: Approach::Mime };
+    let a = simulate_network(&geoms, &cfg, &scen);
+    let b = simulate_network(&geoms, &cfg, &scen);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.mapping, y.mapping);
+        assert_eq!(x.total_energy(), y.total_energy());
+    }
+}
+
+#[test]
+fn fc_layer_mapping_single_site() {
+    let geom = LayerGeometry::fc("f", 4096, 4096, true);
+    let cfg = ArrayConfig::eyeriss_65nm();
+    let m = Mapper::new(cfg).best_mapping(&geom, 0.5, 1.0);
+    assert_eq!(m.st, 1);
+    assert!(m.to <= cfg.pe_count);
+    assert_eq!(Mapping { to: m.to, st: 1 }.n_sp(&geom), 1);
+}

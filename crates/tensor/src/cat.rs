@@ -1,0 +1,127 @@
+//! Axis-0 slicing and concatenation (batch manipulation).
+
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    /// Returns the sub-tensor of `len` outermost entries starting at
+    /// `start` (a batch slice: `[N, …] → [len, …]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] when the range exceeds
+    /// the outermost dimension, or a rank error on scalars.
+    pub fn narrow(&self, start: usize, len: usize) -> Result<Tensor> {
+        if self.rank() == 0 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: 0,
+                op: "narrow",
+            });
+        }
+        let n = self.dims()[0];
+        if start + len > n {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![start + len],
+                shape: self.dims().to_vec(),
+            });
+        }
+        let inner: usize = self.dims()[1..].iter().product();
+        let mut dims = self.dims().to_vec();
+        dims[0] = len;
+        Tensor::from_vec(
+            self.as_slice()[start * inner..(start + len) * inner].to_vec(),
+            &dims,
+        )
+    }
+
+    /// Concatenates tensors along axis 0; all inner dimensions must
+    /// match.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error for mismatched inner dimensions or an empty
+    /// input list.
+    pub fn concat(parts: &[&Tensor]) -> Result<Tensor> {
+        let first = parts.first().ok_or(TensorError::LengthMismatch {
+            expected: 1,
+            actual: 0,
+        })?;
+        if first.rank() == 0 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: 0,
+                op: "concat",
+            });
+        }
+        let inner_dims = &first.dims()[1..];
+        let mut total = 0usize;
+        for p in parts {
+            if p.rank() != first.rank() || &p.dims()[1..] != inner_dims {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: first.dims().to_vec(),
+                    rhs: p.dims().to_vec(),
+                    op: "concat",
+                });
+            }
+            total += p.dims()[0];
+        }
+        let mut data = Vec::with_capacity(parts.iter().map(|p| p.len()).sum());
+        for p in parts {
+            data.extend_from_slice(p.as_slice());
+        }
+        let mut dims = first.dims().to_vec();
+        dims[0] = total;
+        Tensor::from_vec(data, &dims)
+    }
+
+    /// Whether every element is finite (no NaN/∞) — the divergence guard
+    /// used by training loops.
+    pub fn all_finite(&self) -> bool {
+        self.as_slice().iter().all(|x| x.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrow_extracts_batch_rows() {
+        let t = Tensor::from_fn(&[4, 2, 2], |i| i as f32);
+        let mid = t.narrow(1, 2).unwrap();
+        assert_eq!(mid.dims(), &[2, 2, 2]);
+        assert_eq!(mid.as_slice(), &[4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0]);
+        assert!(t.narrow(3, 2).is_err());
+        assert!(Tensor::scalar(1.0).narrow(0, 1).is_err());
+        // zero-length narrow is legal
+        assert_eq!(t.narrow(2, 0).unwrap().dims(), &[0, 2, 2]);
+    }
+
+    #[test]
+    fn concat_round_trips_narrow() {
+        let t = Tensor::from_fn(&[5, 3], |i| (i as f32) * 0.5);
+        let a = t.narrow(0, 2).unwrap();
+        let b = t.narrow(2, 3).unwrap();
+        let back = Tensor::concat(&[&a, &b]).unwrap();
+        assert_eq!(back.as_slice(), t.as_slice());
+        assert_eq!(back.dims(), t.dims());
+    }
+
+    #[test]
+    fn concat_rejects_mismatches() {
+        let a = Tensor::zeros(&[1, 3]);
+        let b = Tensor::zeros(&[1, 4]);
+        assert!(Tensor::concat(&[&a, &b]).is_err());
+        assert!(Tensor::concat(&[]).is_err());
+        let s = Tensor::scalar(1.0);
+        assert!(Tensor::concat(&[&s]).is_err());
+    }
+
+    #[test]
+    fn all_finite_detects_poison() {
+        assert!(Tensor::from_slice(&[1.0, -2.0]).all_finite());
+        assert!(!Tensor::from_slice(&[1.0, f32::NAN]).all_finite());
+        assert!(!Tensor::from_slice(&[f32::INFINITY]).all_finite());
+        assert!(Tensor::zeros(&[0]).all_finite());
+    }
+}

@@ -1,0 +1,461 @@
+//! `im2col`-based 2-D convolution (forward and backward).
+//!
+//! Layouts: inputs `[N, C, H, W]`, weights `[K, C, R, S]`, outputs
+//! `[N, K, Ho, Wo]`. The convolution is lowered to a GEMM per image:
+//! `out[n] = W_mat · im2col(x[n])` with `W_mat: [K, C·R·S]` and
+//! `cols: [C·R·S, Ho·Wo]`.
+
+use crate::{matmul_into, matmul_nt, matmul_tn, Result, Tensor, TensorError};
+
+/// Geometry of a 2-D convolution: kernel size, stride and zero padding
+/// (symmetric, same on both spatial axes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvSpec {
+    /// Kernel height/width (square kernels).
+    pub kernel: usize,
+    /// Spatial stride.
+    pub stride: usize,
+    /// Zero padding added on every spatial border.
+    pub padding: usize,
+}
+
+impl ConvSpec {
+    /// Creates a spec; `stride` must be non-zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] for a zero stride or zero
+    /// kernel.
+    pub fn new(kernel: usize, stride: usize, padding: usize) -> Result<Self> {
+        if stride == 0 || kernel == 0 {
+            return Err(TensorError::InvalidGeometry(format!(
+                "kernel {kernel} and stride {stride} must be non-zero"
+            )));
+        }
+        Ok(ConvSpec { kernel, stride, padding })
+    }
+
+    /// The canonical 3×3 / stride 1 / pad 1 ("same") VGG convolution.
+    pub fn vgg3x3() -> Self {
+        ConvSpec { kernel: 3, stride: 1, padding: 1 }
+    }
+
+    /// Output spatial extent for an input extent of `h`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] when the padded input is
+    /// smaller than the kernel.
+    pub fn out_extent(&self, h: usize) -> Result<usize> {
+        let padded = h + 2 * self.padding;
+        if padded < self.kernel {
+            return Err(TensorError::InvalidGeometry(format!(
+                "kernel {} exceeds padded input extent {padded}",
+                self.kernel
+            )));
+        }
+        Ok((padded - self.kernel) / self.stride + 1)
+    }
+}
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct Conv2dGrads {
+    /// Gradient w.r.t. the input, `[N, C, H, W]`.
+    pub grad_input: Tensor,
+    /// Gradient w.r.t. the weights, `[K, C, R, S]`.
+    pub grad_weight: Tensor,
+    /// Gradient w.r.t. the bias, `[K]`.
+    pub grad_bias: Tensor,
+}
+
+/// Lowers one image `[C, H, W]` into a column matrix `[C·R·S, Ho·Wo]`.
+///
+/// Out-of-bounds (padding) taps contribute zeros.
+///
+/// # Errors
+///
+/// Returns a geometry error when the kernel does not fit the padded input,
+/// or a rank error for a non-rank-3 input.
+pub fn im2col(image: &Tensor, spec: &ConvSpec) -> Result<Tensor> {
+    if image.rank() != 3 {
+        return Err(TensorError::RankMismatch {
+            expected: 3,
+            actual: image.rank(),
+            op: "im2col",
+        });
+    }
+    let (c, h, w) = (image.dims()[0], image.dims()[1], image.dims()[2]);
+    let ho = spec.out_extent(h)?;
+    let wo = spec.out_extent(w)?;
+    let k = spec.kernel;
+    let mut cols = Tensor::zeros(&[c * k * k, ho * wo]);
+    let src = image.as_slice();
+    let dst = cols.as_mut_slice();
+    let n_sites = ho * wo;
+    for ci in 0..c {
+        for r in 0..k {
+            for s in 0..k {
+                let row = (ci * k + r) * k + s;
+                let dst_row = &mut dst[row * n_sites..(row + 1) * n_sites];
+                for oy in 0..ho {
+                    let iy = (oy * spec.stride + r) as isize - spec.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue; // padding region stays zero
+                    }
+                    for ox in 0..wo {
+                        let ix = (ox * spec.stride + s) as isize - spec.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        dst_row[oy * wo + ox] =
+                            src[(ci * h + iy as usize) * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Ok(cols)
+}
+
+/// Inverse of [`im2col`]: scatters a column matrix back into an image,
+/// **accumulating** overlapping contributions (as required by the input
+/// gradient of a convolution).
+///
+/// # Errors
+///
+/// Returns shape/geometry errors for inconsistent arguments.
+pub fn col2im(
+    cols: &Tensor,
+    channels: usize,
+    height: usize,
+    width: usize,
+    spec: &ConvSpec,
+) -> Result<Tensor> {
+    let ho = spec.out_extent(height)?;
+    let wo = spec.out_extent(width)?;
+    let k = spec.kernel;
+    if cols.dims() != [channels * k * k, ho * wo] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: cols.dims().to_vec(),
+            rhs: vec![channels * k * k, ho * wo],
+            op: "col2im",
+        });
+    }
+    let mut image = Tensor::zeros(&[channels, height, width]);
+    let dst = image.as_mut_slice();
+    let src = cols.as_slice();
+    let n_sites = ho * wo;
+    for ci in 0..channels {
+        for r in 0..k {
+            for s in 0..k {
+                let row = (ci * k + r) * k + s;
+                let src_row = &src[row * n_sites..(row + 1) * n_sites];
+                for oy in 0..ho {
+                    let iy = (oy * spec.stride + r) as isize - spec.padding as isize;
+                    if iy < 0 || iy >= height as isize {
+                        continue;
+                    }
+                    for ox in 0..wo {
+                        let ix = (ox * spec.stride + s) as isize - spec.padding as isize;
+                        if ix < 0 || ix >= width as isize {
+                            continue;
+                        }
+                        dst[(ci * height + iy as usize) * width + ix as usize] +=
+                            src_row[oy * wo + ox];
+                    }
+                }
+            }
+        }
+    }
+    Ok(image)
+}
+
+fn check_conv_args(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+) -> Result<(usize, usize, usize, usize, usize, usize)> {
+    if input.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: input.rank(),
+            op: "conv2d",
+        });
+    }
+    if weight.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: weight.rank(),
+            op: "conv2d",
+        });
+    }
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let (kout, cin) = (weight.dims()[0], weight.dims()[1]);
+    if cin != c || bias.dims() != [kout] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: input.dims().to_vec(),
+            rhs: weight.dims().to_vec(),
+            op: "conv2d",
+        });
+    }
+    Ok((n, c, h, w, kout, weight.dims()[2]))
+}
+
+/// 2-D convolution forward pass.
+///
+/// `input: [N, C, H, W]`, `weight: [K, C, R, R]`, `bias: [K]` →
+/// `[N, K, Ho, Wo]`.
+///
+/// # Errors
+///
+/// Returns shape/rank/geometry errors for inconsistent arguments.
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    spec: &ConvSpec,
+) -> Result<Tensor> {
+    let (n, c, h, w, kout, kr) = check_conv_args(input, weight, bias)?;
+    if kr != spec.kernel {
+        return Err(TensorError::InvalidGeometry(format!(
+            "weight kernel {kr} does not match spec kernel {}",
+            spec.kernel
+        )));
+    }
+    let ho = spec.out_extent(h)?;
+    let wo = spec.out_extent(w)?;
+    let w_mat = weight.reshape(&[kout, c * spec.kernel * spec.kernel])?;
+    let mut out = Tensor::zeros(&[n, kout, ho, wo]);
+    let img_len = c * h * w;
+    let out_img_len = kout * ho * wo;
+    let mut gemm_out = Tensor::zeros(&[kout, ho * wo]);
+    for ni in 0..n {
+        let image = Tensor::from_vec(
+            input.as_slice()[ni * img_len..(ni + 1) * img_len].to_vec(),
+            &[c, h, w],
+        )?;
+        let cols = im2col(&image, spec)?;
+        matmul_into(&w_mat, &cols, &mut gemm_out)?;
+        let dst = &mut out.as_mut_slice()[ni * out_img_len..(ni + 1) * out_img_len];
+        let src = gemm_out.as_slice();
+        let bias_v = bias.as_slice();
+        let sites = ho * wo;
+        for ki in 0..kout {
+            let b = bias_v[ki];
+            for site in 0..sites {
+                dst[ki * sites + site] = src[ki * sites + site] + b;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// 2-D convolution backward pass.
+///
+/// Given the forward inputs and `grad_output: [N, K, Ho, Wo]`, produces
+/// gradients w.r.t. input, weight, and bias.
+///
+/// # Errors
+///
+/// Returns shape/rank/geometry errors for inconsistent arguments.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    spec: &ConvSpec,
+) -> Result<Conv2dGrads> {
+    let bias_dummy = Tensor::zeros(&[weight.dims()[0]]);
+    let (n, c, h, w, kout, _) = check_conv_args(input, weight, &bias_dummy)?;
+    let ho = spec.out_extent(h)?;
+    let wo = spec.out_extent(w)?;
+    if grad_output.dims() != [n, kout, ho, wo] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: grad_output.dims().to_vec(),
+            rhs: vec![n, kout, ho, wo],
+            op: "conv2d_backward",
+        });
+    }
+    let taps = c * spec.kernel * spec.kernel;
+    let w_mat = weight.reshape(&[kout, taps])?;
+    let mut grad_w_mat = Tensor::zeros(&[kout, taps]);
+    let mut grad_bias = Tensor::zeros(&[kout]);
+    let mut grad_input = Tensor::zeros(&[n, c, h, w]);
+    let img_len = c * h * w;
+    let out_img_len = kout * ho * wo;
+    let sites = ho * wo;
+    for ni in 0..n {
+        let image = Tensor::from_vec(
+            input.as_slice()[ni * img_len..(ni + 1) * img_len].to_vec(),
+            &[c, h, w],
+        )?;
+        let cols = im2col(&image, spec)?;
+        let gout = Tensor::from_vec(
+            grad_output.as_slice()[ni * out_img_len..(ni + 1) * out_img_len].to_vec(),
+            &[kout, sites],
+        )?;
+        // dW += gout · colsᵀ   ([K, sites] · [sites, taps])
+        let gw = matmul_nt(&gout, &cols)?;
+        grad_w_mat.add_assign(&gw)?;
+        // db += rowwise sum of gout
+        for ki in 0..kout {
+            let row = &gout.as_slice()[ki * sites..(ki + 1) * sites];
+            grad_bias.as_mut_slice()[ki] += row.iter().sum::<f32>();
+        }
+        // dcols = Wᵀ · gout ([taps, K] · [K, sites])
+        let dcols = matmul_tn(&w_mat, &gout)?;
+        let gimg = col2im(&dcols, c, h, w, spec)?;
+        grad_input.as_mut_slice()[ni * img_len..(ni + 1) * img_len]
+            .copy_from_slice(gimg.as_slice());
+    }
+    Ok(Conv2dGrads {
+        grad_input,
+        grad_weight: grad_w_mat.reshape(weight.dims())?,
+        grad_bias,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_extent_same_padding() {
+        let s = ConvSpec::vgg3x3();
+        assert_eq!(s.out_extent(32).unwrap(), 32);
+        assert_eq!(s.out_extent(8).unwrap(), 8);
+    }
+
+    #[test]
+    fn out_extent_rejects_oversized_kernel() {
+        let s = ConvSpec::new(5, 1, 0).unwrap();
+        assert!(s.out_extent(3).is_err());
+    }
+
+    #[test]
+    fn spec_rejects_zero_stride() {
+        assert!(ConvSpec::new(3, 0, 1).is_err());
+        assert!(ConvSpec::new(0, 1, 1).is_err());
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // 1x1 kernel with weight 1 is the identity on a single channel.
+        let input = Tensor::from_fn(&[1, 1, 4, 4], |i| i as f32);
+        let weight = Tensor::ones(&[1, 1, 1, 1]);
+        let bias = Tensor::zeros(&[1]);
+        let spec = ConvSpec::new(1, 1, 0).unwrap();
+        let out = conv2d(&input, &weight, &bias, &spec).unwrap();
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        // 3x3 all-ones kernel over a 3x3 all-ones image, pad 1: center = 9,
+        // edges = 6, corners = 4.
+        let input = Tensor::ones(&[1, 1, 3, 3]);
+        let weight = Tensor::ones(&[1, 1, 3, 3]);
+        let bias = Tensor::zeros(&[1]);
+        let out = conv2d(&input, &weight, &bias, &ConvSpec::vgg3x3()).unwrap();
+        assert_eq!(
+            out.as_slice(),
+            &[4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn bias_is_added_per_channel() {
+        let input = Tensor::zeros(&[1, 1, 2, 2]);
+        let weight = Tensor::zeros(&[2, 1, 1, 1]);
+        let bias = Tensor::from_slice(&[1.0, -2.0]);
+        let spec = ConvSpec::new(1, 1, 0).unwrap();
+        let out = conv2d(&input, &weight, &bias, &spec).unwrap();
+        assert_eq!(out.as_slice(), &[1.0, 1.0, 1.0, 1.0, -2.0, -2.0, -2.0, -2.0]);
+    }
+
+    #[test]
+    fn stride_two_downsamples() {
+        let input = Tensor::from_fn(&[1, 1, 4, 4], |i| i as f32);
+        let weight = Tensor::ones(&[1, 1, 1, 1]);
+        let bias = Tensor::zeros(&[1]);
+        let spec = ConvSpec::new(1, 2, 0).unwrap();
+        let out = conv2d(&input, &weight, &bias, &spec).unwrap();
+        assert_eq!(out.dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.as_slice(), &[0.0, 2.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for all x, y (adjointness), which
+        // is exactly the property backprop relies on.
+        let spec = ConvSpec::vgg3x3();
+        let x = Tensor::from_fn(&[2, 5, 5], |i| ((i * 31) % 17) as f32 - 8.0);
+        let cols_shape = [2 * 9, 25];
+        let y = Tensor::from_fn(&cols_shape, |i| ((i * 13) % 7) as f32 - 3.0);
+        let ix = im2col(&x, &spec).unwrap();
+        let cy = col2im(&y, 2, 5, 5, &spec).unwrap();
+        let lhs: f32 = ix.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.as_slice().iter().zip(cy.as_slice()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let spec = ConvSpec::vgg3x3();
+        let input = Tensor::from_fn(&[1, 2, 4, 4], |i| ((i * 7) % 5) as f32 * 0.1 - 0.2);
+        let weight = Tensor::from_fn(&[3, 2, 3, 3], |i| ((i * 11) % 9) as f32 * 0.05 - 0.2);
+        let bias = Tensor::from_slice(&[0.1, -0.1, 0.0]);
+        let out = conv2d(&input, &weight, &bias, &spec).unwrap();
+        // loss = sum(out); grad_output = ones
+        let gout = Tensor::ones(out.dims());
+        let grads = conv2d_backward(&input, &weight, &gout, &spec).unwrap();
+
+        let eps = 1e-2f32;
+        let loss = |inp: &Tensor, w: &Tensor, b: &Tensor| -> f32 {
+            conv2d(inp, w, b, &spec).unwrap().as_slice().iter().sum()
+        };
+        // spot-check a few weight coordinates
+        for &idx in &[0usize, 10, 25, 53] {
+            let mut wp = weight.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = weight.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let num = (loss(&input, &wp, &bias) - loss(&input, &wm, &bias)) / (2.0 * eps);
+            let ana = grads.grad_weight.as_slice()[idx];
+            assert!((num - ana).abs() < 0.05, "dW[{idx}]: {num} vs {ana}");
+        }
+        // spot-check input gradient
+        for &idx in &[0usize, 7, 20, 31] {
+            let mut ip = input.clone();
+            ip.as_mut_slice()[idx] += eps;
+            let mut im = input.clone();
+            im.as_mut_slice()[idx] -= eps;
+            let num = (loss(&ip, &weight, &bias) - loss(&im, &weight, &bias)) / (2.0 * eps);
+            let ana = grads.grad_input.as_slice()[idx];
+            assert!((num - ana).abs() < 0.05, "dX[{idx}]: {num} vs {ana}");
+        }
+        // bias gradient of sum-loss is the number of output sites
+        let sites = (out.len() / 3) as f32;
+        for &g in grads.grad_bias.as_slice() {
+            assert!((g - sites).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let spec = ConvSpec::vgg3x3();
+        let x = Tensor::zeros(&[1, 3, 8, 8]);
+        let w_bad_cin = Tensor::zeros(&[4, 2, 3, 3]);
+        let b = Tensor::zeros(&[4]);
+        assert!(conv2d(&x, &w_bad_cin, &b, &spec).is_err());
+        let w = Tensor::zeros(&[4, 3, 3, 3]);
+        let b_bad = Tensor::zeros(&[5]);
+        assert!(conv2d(&x, &w, &b_bad, &spec).is_err());
+        assert!(conv2d(&Tensor::zeros(&[3, 8, 8]), &w, &b, &spec).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! Random weight initializers.
+//!
+//! All initializers take an explicit RNG so every experiment in the repo is
+//! reproducible from a seed.
+
+use crate::Tensor;
+use rand::Rng;
+
+/// Kaiming (He) uniform initialization: `U(−b, b)` with
+/// `b = sqrt(6 / fan_in)`. The standard initializer for ReLU networks.
+pub fn kaiming_uniform<R: Rng>(rng: &mut R, dims: &[usize], fan_in: usize) -> Tensor {
+    let bound = (6.0 / fan_in.max(1) as f32).sqrt();
+    Tensor::from_fn(dims, |_| rng.gen_range(-bound..bound))
+}
+
+/// Kaiming (He) normal initialization: `N(0, sqrt(2 / fan_in))`.
+pub fn kaiming_normal<R: Rng>(rng: &mut R, dims: &[usize], fan_in: usize) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    Tensor::from_fn(dims, |_| {
+        // Box–Muller transform from two uniforms.
+        let u1: f32 = rng.gen_range(1e-7f32..1.0);
+        let u2: f32 = rng.gen_range(0.0f32..1.0);
+        std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    })
+}
+
+/// Xavier/Glorot uniform initialization: `U(−b, b)` with
+/// `b = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng>(
+    rng: &mut R,
+    dims: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    Tensor::from_fn(dims, |_| rng.gen_range(-bound..bound))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_uniform_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = kaiming_uniform(&mut rng, &[64, 64], 64);
+        let bound = (6.0f32 / 64.0).sqrt();
+        assert!(t.as_slice().iter().all(|&x| x.abs() <= bound));
+        assert!(t.as_slice().iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn kaiming_normal_std() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = kaiming_normal(&mut rng, &[10_000], 100);
+        let mean = t.mean();
+        let var = t.map(|x| (x - mean) * (x - mean)).mean();
+        let expected = 2.0 / 100.0;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - expected).abs() < expected * 0.2, "var {var}");
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = xavier_uniform(&mut rng, &[32, 16], 16, 32);
+        let bound = (6.0f32 / 48.0).sqrt();
+        assert!(t.as_slice().iter().all(|&x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let ta = kaiming_uniform(&mut a, &[8, 8], 8);
+        let tb = kaiming_uniform(&mut b, &[8, 8], 8);
+        assert_eq!(ta.as_slice(), tb.as_slice());
+    }
+
+    #[test]
+    fn zero_fan_in_does_not_divide_by_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = kaiming_uniform(&mut rng, &[4], 0);
+        assert!(t.as_slice().iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,45 @@
+//! # mime-tensor
+//!
+//! Dense `f32` tensor kernels used throughout the MIME reproduction: shape
+//! arithmetic, broadcasting elementwise operations, a blocked matrix
+//! multiply, `im2col`-based 2-D convolution, and max pooling with argmax
+//! tracking for backpropagation.
+//!
+//! The crate is deliberately small and dependency-light: it implements
+//! exactly the kernels a VGG-style network needs, nothing more. Layouts are
+//! always contiguous row-major (`NCHW` for image tensors).
+//!
+//! ## Example
+//!
+//! ```
+//! # use mime_tensor::{Tensor, TensorError};
+//! # fn main() -> Result<(), TensorError> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+mod cat;
+mod conv;
+mod error;
+mod init;
+mod matmul;
+mod ops;
+mod pool;
+mod reduce;
+mod shape;
+mod tensor;
+
+pub use conv::{col2im, conv2d, conv2d_backward, im2col, Conv2dGrads, ConvSpec};
+pub use error::TensorError;
+pub use init::{kaiming_normal, kaiming_uniform, xavier_uniform};
+pub use matmul::{matmul_into, matmul_tn, matmul_nt};
+pub use pool::{max_pool2d, max_pool2d_backward, MaxPoolOut, PoolSpec};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Result alias used by all fallible tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;

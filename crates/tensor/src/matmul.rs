@@ -1,0 +1,244 @@
+//! Blocked matrix multiplication.
+//!
+//! A straightforward cache-blocked `f32` GEMM plus the two transposed
+//! variants the backward passes need (`AᵀB` and `ABᵀ`). Not trying to beat
+//! BLAS — trying to make mini-VGG training tractable on a laptop CPU.
+
+use crate::{Result, Tensor, TensorError};
+
+const BLOCK: usize = 64;
+
+fn check_matrix(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
+    if t.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: t.rank(),
+            op,
+        });
+    }
+    Ok((t.dims()[0], t.dims()[1]))
+}
+
+/// `C = A·B` written into a caller-provided output buffer.
+///
+/// Shapes: `A: [m, k]`, `B: [k, n]`, `out: [m, n]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] / [`TensorError::RankMismatch`]
+/// on inconsistent operands.
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
+    let (m, k) = check_matrix(a, "matmul")?;
+    let (k2, n) = check_matrix(b, "matmul")?;
+    if k != k2 || out.dims() != [m, n] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "matmul",
+        });
+    }
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let cv = out.as_mut_slice();
+    cv.fill(0.0);
+    // i-k-j loop order with blocking: unit-stride inner loop over both B and C.
+    for ib in (0..m).step_by(BLOCK) {
+        for kb in (0..k).step_by(BLOCK) {
+            let i_end = (ib + BLOCK).min(m);
+            let k_end = (kb + BLOCK).min(k);
+            for i in ib..i_end {
+                let c_row = &mut cv[i * n..(i + 1) * n];
+                for p in kb..k_end {
+                    let aval = av[i * k + p];
+                    if aval == 0.0 {
+                        continue; // zero-skipping: sparse activations are common here
+                    }
+                    let b_row = &bv[p * n..(p + 1) * n];
+                    for (c, &bv_) in c_row.iter_mut().zip(b_row) {
+                        *c += aval * bv_;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+impl Tensor {
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape/rank error when operands are not conforming
+    /// matrices.
+    ///
+    /// ```
+    /// # use mime_tensor::Tensor;
+    /// # fn main() -> Result<(), mime_tensor::TensorError> {
+    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+    /// let b = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2])?;
+    /// assert_eq!(a.matmul(&b)?.as_slice(), a.as_slice());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        let (m, _) = check_matrix(self, "matmul")?;
+        let (_, n) = check_matrix(rhs, "matmul")?;
+        let mut out = Tensor::zeros(&[m, n]);
+        matmul_into(self, rhs, &mut out)?;
+        Ok(out)
+    }
+}
+
+/// `C = Aᵀ·B` without materializing the transpose.
+///
+/// Shapes: `A: [k, m]`, `B: [k, n]` → `C: [m, n]`. Used by weight-gradient
+/// computations.
+///
+/// # Errors
+///
+/// Returns a shape/rank error when operands are not conforming matrices.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (k, m) = check_matrix(a, "matmul_tn")?;
+    let (k2, n) = check_matrix(b, "matmul_tn")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "matmul_tn",
+        });
+    }
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let mut out = Tensor::zeros(&[m, n]);
+    let cv = out.as_mut_slice();
+    for p in 0..k {
+        let a_row = &av[p * m..(p + 1) * m];
+        let b_row = &bv[p * n..(p + 1) * n];
+        for (i, &aval) in a_row.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let c_row = &mut cv[i * n..(i + 1) * n];
+            for (c, &bv_) in c_row.iter_mut().zip(b_row) {
+                *c += aval * bv_;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `C = A·Bᵀ` without materializing the transpose.
+///
+/// Shapes: `A: [m, k]`, `B: [n, k]` → `C: [m, n]`. Used by input-gradient
+/// computations.
+///
+/// # Errors
+///
+/// Returns a shape/rank error when operands are not conforming matrices.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = check_matrix(a, "matmul_nt")?;
+    let (n, k2) = check_matrix(b, "matmul_nt")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "matmul_nt",
+        });
+    }
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let mut out = Tensor::zeros(&[m, n]);
+    let cv = out.as_mut_slice();
+    for i in 0..m {
+        let a_row = &av[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &bv[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            cv[i * n + j] = acc;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut c = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += a.as_slice()[i * k + p] * b.as_slice()[p * n + j];
+                }
+                c.as_mut_slice()[i * n + j] = s;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Tensor::from_fn(&[3, 3], |i| i as f32);
+        let c = a.matmul(&Tensor::eye(3)).unwrap();
+        assert_eq!(c.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn matches_naive_on_awkward_sizes() {
+        // sizes straddling the 64-element block boundary
+        for &(m, k, n) in &[(1, 1, 1), (3, 70, 5), (65, 64, 66), (7, 129, 3)] {
+            let a = Tensor::from_fn(&[m, k], |i| ((i * 7919) % 13) as f32 - 6.0);
+            let b = Tensor::from_fn(&[k, n], |i| ((i * 104729) % 11) as f32 - 5.0);
+            let c = a.matmul(&b).unwrap();
+            let r = naive(&a, &b);
+            for (x, y) in c.as_slice().iter().zip(r.as_slice()) {
+                assert!((x - y).abs() < 1e-3, "mismatch at {m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_variants_agree_with_explicit_transpose() {
+        let a = Tensor::from_fn(&[4, 3], |i| (i as f32) * 0.5 - 2.0);
+        let b = Tensor::from_fn(&[4, 5], |i| (i as f32) * 0.25 - 1.0);
+        let tn = matmul_tn(&a, &b).unwrap();
+        let explicit = a.transpose().unwrap().matmul(&b).unwrap();
+        for (x, y) in tn.as_slice().iter().zip(explicit.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+
+        let c = Tensor::from_fn(&[2, 3], |i| i as f32);
+        let d = Tensor::from_fn(&[4, 3], |i| (i as f32) - 5.0);
+        let nt = matmul_nt(&c, &d).unwrap();
+        let explicit = c.matmul(&d.transpose().unwrap()).unwrap();
+        for (x, y) in nt.as_slice().iter().zip(explicit.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn shape_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 5]);
+        assert!(a.matmul(&b).is_err());
+        assert!(matmul_tn(&a, &b).is_err());
+        assert!(matmul_nt(&a, &b).is_err());
+        assert!(Tensor::zeros(&[3]).matmul(&a).is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! Reductions and row-wise statistics.
+
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Maximum element (−∞ for an empty tensor).
+    pub fn max(&self) -> f32 {
+        self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (+∞ for an empty tensor).
+    pub fn min(&self) -> f32 {
+        self.as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Flat index of the maximum element of a rank-1 tensor, or of the
+    /// whole storage for higher ranks. Returns `None` when empty.
+    pub fn argmax(&self) -> Option<usize> {
+        self.as_slice()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+    }
+
+    /// Row-wise argmax of a rank-2 tensor: one winning column per row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless `self` is a matrix.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "argmax_rows",
+            });
+        }
+        let (r, c) = (self.dims()[0], self.dims()[1]);
+        let v = self.as_slice();
+        Ok((0..r)
+            .map(|i| {
+                let row = &v[i * c..(i + 1) * c];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(j, _)| j)
+                    .unwrap_or(0)
+            })
+            .collect())
+    }
+
+    /// Numerically-stable row-wise softmax of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless `self` is a matrix.
+    pub fn softmax_rows(&self) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "softmax_rows",
+            });
+        }
+        let (r, c) = (self.dims()[0], self.dims()[1]);
+        let mut out = self.clone();
+        let v = out.as_mut_slice();
+        for i in 0..r {
+            let row = &mut v[i * c..(i + 1) * c];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut z = 0.0f32;
+            for x in row.iter_mut() {
+                *x = (*x - m).exp();
+                z += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= z;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sum along axis 0 of a rank-2 tensor (column sums).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless `self` is a matrix.
+    pub fn sum_axis0(&self) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "sum_axis0",
+            });
+        }
+        let (r, c) = (self.dims()[0], self.dims()[1]);
+        let mut out = Tensor::zeros(&[c]);
+        let v = self.as_slice();
+        let o = out.as_mut_slice();
+        for i in 0..r {
+            for j in 0..c {
+                o[j] += v[i * c + j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn norm_sq(&self) -> f32 {
+        self.as_slice().iter().map(|&x| x * x).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_reductions() {
+        let t = Tensor::from_slice(&[1.0, -2.0, 3.0]);
+        assert_eq!(t.sum(), 2.0);
+        assert!((t.mean() - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.min(), -2.0);
+        assert_eq!(t.argmax(), Some(2));
+        assert_eq!(t.norm_sq(), 14.0);
+    }
+
+    #[test]
+    fn empty_tensor_reductions() {
+        let t = Tensor::zeros(&[0]);
+        assert_eq!(t.sum(), 0.0);
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.argmax(), None);
+    }
+
+    #[test]
+    fn argmax_rows_picks_column() {
+        let t = Tensor::from_vec(vec![1.0, 5.0, 2.0, 9.0, 0.0, 3.0], &[2, 3]).unwrap();
+        assert_eq!(t.argmax_rows().unwrap(), vec![1, 0]);
+        assert!(Tensor::zeros(&[3]).argmax_rows().is_err());
+    }
+
+    #[test]
+    fn softmax_rows_normalizes() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0], &[2, 3])
+            .unwrap();
+        let s = t.softmax_rows().unwrap();
+        for i in 0..2 {
+            let row_sum: f32 = s.as_slice()[i * 3..(i + 1) * 3].iter().sum();
+            assert!((row_sum - 1.0).abs() < 1e-5);
+        }
+        // large logits must not overflow
+        assert!(s.as_slice().iter().all(|x| x.is_finite()));
+        // uniform logits → uniform probabilities
+        assert!((s.as_slice()[3] - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sum_axis0_column_sums() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(t.sum_axis0().unwrap().as_slice(), &[4.0, 6.0]);
+    }
+}

@@ -1,0 +1,201 @@
+use crate::{Result, TensorError};
+
+/// An owned tensor shape: the extent of each dimension, row-major.
+///
+/// `Shape` is a thin, validated wrapper over `Vec<usize>` providing the
+/// stride/index arithmetic the rest of the crate builds on.
+///
+/// ```
+/// # use mime_tensor::Shape;
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Returns the scalar shape (rank 0).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Total number of elements (product of extents; 1 for a scalar).
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Returns `true` when the shape holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The dimension extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Extent of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.rank()];
+        for i in (0..self.rank().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index to a flat row-major offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if the index rank differs
+    /// from the shape rank or any coordinate exceeds its extent.
+    pub fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.rank()
+            || index.iter().zip(&self.0).any(|(&i, &d)| i >= d)
+        {
+            return Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                shape: self.0.clone(),
+            });
+        }
+        Ok(index
+            .iter()
+            .zip(self.strides())
+            .map(|(&i, s)| i * s)
+            .sum())
+    }
+
+    /// Whether two shapes can be combined elementwise with numpy-style
+    /// right-aligned broadcasting.
+    pub fn broadcast_compatible(&self, other: &Shape) -> bool {
+        self.0
+            .iter()
+            .rev()
+            .zip(other.0.iter().rev())
+            .all(|(&a, &b)| a == b || a == 1 || b == 1)
+    }
+
+    /// The broadcast result shape of `self` and `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes are not
+    /// broadcast-compatible.
+    pub fn broadcast(&self, other: &Shape) -> Result<Shape> {
+        if !self.broadcast_compatible(other) {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.0.clone(),
+                rhs: other.0.clone(),
+                op: "broadcast",
+            });
+        }
+        let rank = self.rank().max(other.rank());
+        let mut dims = vec![0usize; rank];
+        for i in 0..rank {
+            let a = if i < self.rank() { self.0[self.rank() - 1 - i] } else { 1 };
+            let b = if i < other.rank() { other.0[other.rank() - 1 - i] } else { 1 };
+            dims[rank - 1 - i] = a.max(b);
+        }
+        Ok(Shape(dims))
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+        assert!(Shape::scalar().strides().is_empty());
+    }
+
+    #[test]
+    fn offset_round_trip() {
+        let s = Shape::new(&[2, 3, 4]);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    let off = s.offset(&[i, j, k]).unwrap();
+                    assert!(off < s.len());
+                    assert!(seen.insert(off), "offsets must be unique");
+                }
+            }
+        }
+        assert_eq!(seen.len(), 24);
+    }
+
+    #[test]
+    fn offset_rejects_out_of_bounds() {
+        let s = Shape::new(&[2, 2]);
+        assert!(s.offset(&[2, 0]).is_err());
+        assert!(s.offset(&[0]).is_err());
+        assert!(s.offset(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn broadcast_shapes() {
+        let a = Shape::new(&[4, 1, 3]);
+        let b = Shape::new(&[2, 3]);
+        assert_eq!(a.broadcast(&b).unwrap(), Shape::new(&[4, 2, 3]));
+        // middle dim 1 broadcasts against 5
+        assert_eq!(a.broadcast(&Shape::new(&[5, 3])).unwrap(), Shape::new(&[4, 5, 3]));
+        // mismatched trailing dims do not
+        let c = Shape::new(&[5, 2]);
+        assert!(a.broadcast(&c).is_err());
+    }
+
+    #[test]
+    fn scalar_broadcasts_with_anything() {
+        let s = Shape::scalar();
+        let t = Shape::new(&[7, 2]);
+        assert_eq!(s.broadcast(&t).unwrap(), t);
+    }
+
+    #[test]
+    fn zero_sized_shape() {
+        let s = Shape::new(&[0, 3]);
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,303 @@
+use crate::{Result, Shape, TensorError};
+
+/// A dense, contiguous, row-major `f32` tensor.
+///
+/// `Tensor` is the single data container used by every crate in this
+/// workspace: network weights, activations, gradients, threshold banks and
+/// dataset batches are all `Tensor`s. Storage is always contiguous, so
+/// views never alias and kernels can assume unit inner stride.
+///
+/// ```
+/// # use mime_tensor::Tensor;
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.shape().dims(), &[2, 3]);
+/// assert_eq!(t.len(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        Tensor { shape, data: vec![0.0; len] }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Tensor::full(dims, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        Tensor { shape, data: vec![value; len] }
+    }
+
+    /// Creates a rank-0 (scalar) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { shape: Shape::scalar(), data: vec![value] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a tensor from a flat buffer and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when `data.len()` does not
+    /// equal the product of `dims`.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if data.len() != shape.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.len(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a rank-1 tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor { shape: Shape::new(&[data.len()]), data: data.to_vec() }
+    }
+
+    /// Builds a tensor by evaluating `f` at every flat index.
+    pub fn from_fn(dims: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.len()).map(&mut f).collect();
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The dimension extents as a slice (shorthand for `shape().dims()`).
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Immutable view of the flat storage.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its flat storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] for an invalid index.
+    pub fn at(&self, index: &[usize]) -> Result<f32> {
+        Ok(self.data[self.shape.offset(index)?])
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] for an invalid index.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let off = self.shape.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// Reinterprets the tensor with a new shape of identical element count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when the element counts
+    /// differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Tensor> {
+        let shape = Shape::new(dims);
+        if shape.len() != self.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.len(),
+                actual: self.len(),
+            });
+        }
+        Ok(Tensor { shape, data: self.data.clone() })
+    }
+
+    /// Transposes a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless `self` is a matrix.
+    pub fn transpose(&self) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+                op: "transpose",
+            });
+        }
+        let (r, c) = (self.dims()[0], self.dims()[1]);
+        let mut out = Tensor::zeros(&[c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fraction of elements equal to zero — the *sparsity* of the tensor.
+    ///
+    /// This is the quantity reported throughout the paper's Tables II and
+    /// III (neuronal sparsity of activation maps). Returns 0 for an empty
+    /// tensor.
+    pub fn sparsity(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let zeros = self.data.iter().filter(|&&x| x == 0.0).count();
+        zeros as f64 / self.data.len() as f64
+    }
+
+    /// Count of non-zero elements.
+    pub fn count_nonzero(&self) -> usize {
+        self.data.iter().filter(|&&x| x != 0.0).count()
+    }
+
+    /// Applies `f` elementwise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` elementwise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::scalar(0.0)
+    }
+}
+
+impl std::fmt::Display for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor{}", self.shape)?;
+        if self.len() <= 16 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(f, " [{} elements]", self.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Tensor::zeros(&[2, 2]).as_slice(), &[0.0; 4]);
+        assert_eq!(Tensor::ones(&[3]).as_slice(), &[1.0; 3]);
+        assert_eq!(Tensor::full(&[2], 7.5).as_slice(), &[7.5, 7.5]);
+        assert_eq!(Tensor::scalar(3.0).rank(), 0);
+        assert_eq!(Tensor::eye(2).as_slice(), &[1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).is_ok());
+    }
+
+    #[test]
+    fn indexing() {
+        let mut t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        assert_eq!(t.at(&[1, 2]).unwrap(), 6.0);
+        t.set(&[0, 1], 9.0).unwrap();
+        assert_eq!(t.at(&[0, 1]).unwrap(), 9.0);
+        assert!(t.at(&[2, 0]).is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let r = t.reshape(&[2, 2]).unwrap();
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape(&[3]).is_err());
+    }
+
+    #[test]
+    fn transpose_matrix() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let tt = t.transpose().unwrap();
+        assert_eq!(tt.dims(), &[3, 2]);
+        assert_eq!(tt.as_slice(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert!(Tensor::from_slice(&[1.0]).transpose().is_err());
+    }
+
+    #[test]
+    fn sparsity_counts_zeros() {
+        let t = Tensor::from_slice(&[0.0, 1.0, 0.0, 2.0]);
+        assert!((t.sparsity() - 0.5).abs() < 1e-9);
+        assert_eq!(t.count_nonzero(), 2);
+        assert_eq!(Tensor::zeros(&[0]).sparsity(), 0.0);
+    }
+
+    #[test]
+    fn map_applies_elementwise() {
+        let t = Tensor::from_slice(&[1.0, -2.0]);
+        assert_eq!(t.map(|x| x * 2.0).as_slice(), &[2.0, -4.0]);
+        let mut m = t.clone();
+        m.map_inplace(f32::abs);
+        assert_eq!(m.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!format!("{}", Tensor::zeros(&[2])).is_empty());
+        assert!(!format!("{}", Tensor::zeros(&[100])).is_empty());
+    }
+}

@@ -1,0 +1,203 @@
+//! Property-based tests for the tensor kernels.
+
+use mime_tensor::{
+    col2im, conv2d, conv2d_backward, im2col, matmul_nt, matmul_tn, max_pool2d,
+    max_pool2d_backward, ConvSpec, PoolSpec, Tensor,
+};
+use proptest::prelude::*;
+
+fn tensor_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, len)
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(v in tensor_strategy(24)) {
+        let a = Tensor::from_vec(v[..12].to_vec(), &[3, 4]).unwrap();
+        let b = Tensor::from_vec(v[12..].to_vec(), &[3, 4]).unwrap();
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        prop_assert_eq!(ab.as_slice(), ba.as_slice());
+    }
+
+    #[test]
+    fn add_associates_approximately(v in tensor_strategy(30)) {
+        let a = Tensor::from_vec(v[..10].to_vec(), &[10]).unwrap();
+        let b = Tensor::from_vec(v[10..20].to_vec(), &[10]).unwrap();
+        let c = Tensor::from_vec(v[20..].to_vec(), &[10]).unwrap();
+        let l = a.add(&b).unwrap().add(&c).unwrap();
+        let r = a.add(&b.add(&c).unwrap()).unwrap();
+        for (x, y) in l.as_slice().iter().zip(r.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn mul_by_zero_is_zero(v in tensor_strategy(16)) {
+        let a = Tensor::from_vec(v, &[4, 4]).unwrap();
+        let z = Tensor::zeros(&[4, 4]);
+        let prod = a.mul(&z).unwrap();
+        prop_assert_eq!(prod.as_slice(), z.as_slice());
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(v in tensor_strategy(3 * 12)) {
+        let a = Tensor::from_vec(v[..12].to_vec(), &[3, 4]).unwrap();
+        let b = Tensor::from_vec(v[12..24].to_vec(), &[4, 3]).unwrap();
+        let c = Tensor::from_vec(v[24..].to_vec(), &[4, 3]).unwrap();
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn matmul_identity_neutral(v in tensor_strategy(25)) {
+        let a = Tensor::from_vec(v, &[5, 5]).unwrap();
+        let c = a.matmul(&Tensor::eye(5)).unwrap();
+        for (x, y) in c.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transposed_gemms_agree(v in tensor_strategy(4*3 + 4*5)) {
+        let a = Tensor::from_vec(v[..12].to_vec(), &[4, 3]).unwrap();
+        let b = Tensor::from_vec(v[12..].to_vec(), &[4, 5]).unwrap();
+        let tn = matmul_tn(&a, &b).unwrap();
+        let exp = a.transpose().unwrap().matmul(&b).unwrap();
+        for (x, y) in tn.as_slice().iter().zip(exp.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+        let nt = matmul_nt(&b, &a.transpose().unwrap().reshape(&[3, 4]).unwrap())
+            .err()
+            .is_some();
+        // shape check: b is [4,5], a^T reshaped [3,4] has k=4 vs 5 → must error
+        prop_assert!(nt);
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(v in tensor_strategy(2 * 6 * 6 + 2 * 9 * 36)) {
+        let spec = ConvSpec::vgg3x3();
+        let x = Tensor::from_vec(v[..72].to_vec(), &[2, 6, 6]).unwrap();
+        let y = Tensor::from_vec(v[72..].to_vec(), &[18, 36]).unwrap();
+        let ix = im2col(&x, &spec).unwrap();
+        let cy = col2im(&y, 2, 6, 6, &spec).unwrap();
+        let lhs: f32 = ix.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.as_slice().iter().zip(cy.as_slice()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 0.5 + 1e-3 * lhs.abs().max(rhs.abs()));
+    }
+
+    #[test]
+    fn conv_is_linear_in_input(v in tensor_strategy(2 * 16 + 9)) {
+        let spec = ConvSpec::vgg3x3();
+        let x1 = Tensor::from_vec(v[..16].to_vec(), &[1, 1, 4, 4]).unwrap();
+        let x2 = Tensor::from_vec(v[16..32].to_vec(), &[1, 1, 4, 4]).unwrap();
+        let w = Tensor::from_vec(v[32..].to_vec(), &[1, 1, 3, 3]).unwrap();
+        let b = Tensor::zeros(&[1]);
+        let y_sum = conv2d(&x1.add(&x2).unwrap(), &w, &b, &spec).unwrap();
+        let sum_y = conv2d(&x1, &w, &b, &spec)
+            .unwrap()
+            .add(&conv2d(&x2, &w, &b, &spec).unwrap())
+            .unwrap();
+        for (a, c) in y_sum.as_slice().iter().zip(sum_y.as_slice()) {
+            prop_assert!((a - c).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn conv_grad_bias_equals_grad_output_sum(v in tensor_strategy(2 * 4 * 4 + 2 * 2 * 9 + 32)) {
+        let spec = ConvSpec::vgg3x3();
+        let x = Tensor::from_vec(v[..32].to_vec(), &[1, 2, 4, 4]).unwrap();
+        let w = Tensor::from_vec(v[32..68].to_vec(), &[2, 2, 3, 3]).unwrap();
+        let g = Tensor::from_vec(v[68..].to_vec(), &[1, 2, 4, 4]).unwrap();
+        let grads = conv2d_backward(&x, &w, &g, &spec).unwrap();
+        for k in 0..2 {
+            let expect: f32 = g.as_slice()[k * 16..(k + 1) * 16].iter().sum();
+            prop_assert!((grads.grad_bias.as_slice()[k] - expect).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn pool_output_bounded_by_input(v in tensor_strategy(4 * 4)) {
+        let x = Tensor::from_vec(v, &[1, 1, 4, 4]).unwrap();
+        let out = max_pool2d(&x, &PoolSpec::vgg2x2()).unwrap();
+        let max_in = x.max();
+        prop_assert!(out.output.max() <= max_in + 1e-6);
+        // each pooled value must exist in the input
+        for &p in out.output.as_slice() {
+            prop_assert!(x.as_slice().iter().any(|&q| (q - p).abs() < 1e-9));
+        }
+    }
+
+    #[test]
+    fn pool_backward_conserves_gradient_mass(v in tensor_strategy(16 + 4)) {
+        let x = Tensor::from_vec(v[..16].to_vec(), &[1, 1, 4, 4]).unwrap();
+        let fwd = max_pool2d(&x, &PoolSpec::vgg2x2()).unwrap();
+        let g = Tensor::from_vec(v[16..].to_vec(), &[1, 1, 2, 2]).unwrap();
+        let gi = max_pool2d_backward(&g, &fwd.argmax, &[1, 1, 4, 4]).unwrap();
+        prop_assert!((gi.sum() - g.sum()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn softmax_rows_is_probability(v in tensor_strategy(12)) {
+        let t = Tensor::from_vec(v, &[3, 4]).unwrap();
+        let s = t.softmax_rows().unwrap();
+        for i in 0..3 {
+            let row: f32 = s.as_slice()[i * 4..(i + 1) * 4].iter().sum();
+            prop_assert!((row - 1.0).abs() < 1e-4);
+        }
+        prop_assert!(s.as_slice().iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn sparsity_in_unit_interval(v in tensor_strategy(32)) {
+        let t = Tensor::from_vec(v, &[32]).unwrap();
+        let s = t.sparsity();
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert_eq!(t.count_nonzero(), 32 - (s * 32.0).round() as usize);
+    }
+
+    #[test]
+    fn relu_output_nonnegative_and_idempotent(v in tensor_strategy(16)) {
+        let t = Tensor::from_vec(v, &[16]).unwrap();
+        let r = t.relu();
+        prop_assert!(r.as_slice().iter().all(|&x| x >= 0.0));
+        let rr = r.relu();
+        prop_assert_eq!(rr.as_slice(), r.as_slice());
+    }
+
+    #[test]
+    fn reshape_round_trips(v in tensor_strategy(24)) {
+        let t = Tensor::from_vec(v, &[2, 3, 4]).unwrap();
+        let r = t.reshape(&[6, 4]).unwrap().reshape(&[2, 3, 4]).unwrap();
+        prop_assert_eq!(r.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn narrow_concat_partition(v in tensor_strategy(24), split in 1usize..5) {
+        let t = Tensor::from_vec(v, &[6, 4]).unwrap();
+        let a = t.narrow(0, split).unwrap();
+        let b = t.narrow(split, 6 - split).unwrap();
+        let joined = Tensor::concat(&[&a, &b]).unwrap();
+        prop_assert_eq!(joined.as_slice(), t.as_slice());
+        prop_assert_eq!(a.dims()[0] + b.dims()[0], 6);
+    }
+
+    #[test]
+    fn all_finite_closed_under_ops(v in tensor_strategy(9)) {
+        let a = Tensor::from_vec(v[..4].to_vec(), &[2, 2]).unwrap();
+        let b = Tensor::from_vec(v[4..8].to_vec(), &[2, 2]).unwrap();
+        prop_assert!(a.add(&b).unwrap().all_finite());
+        prop_assert!(a.matmul(&b).unwrap().all_finite());
+        prop_assert!(a.relu().all_finite());
+    }
+
+    #[test]
+    fn transpose_involution(v in tensor_strategy(15)) {
+        let t = Tensor::from_vec(v, &[3, 5]).unwrap();
+        let tt = t.transpose().unwrap().transpose().unwrap();
+        prop_assert_eq!(tt.as_slice(), t.as_slice());
+    }
+}

@@ -1,0 +1,88 @@
+//! Deployment packing: produce and restore the on-DRAM artifact MIME
+//! stores — one 16-bit `W_parent` plus per-task threshold banks.
+//!
+//! Trains two child tasks' thresholds, packs `{W_parent, T_child…}` into
+//! a binary image, restores it into a fresh model, and verifies the
+//! restored model predicts identically (up to 16-bit quantization). Also
+//! compares the measured image size against the Fig. 4 storage model.
+//!
+//! ```text
+//! cargo run --release --example deploy_image
+//! ```
+
+use mime::core::deploy::{pack_model, payload_bytes, unpack_model};
+use mime::core::{MimeNetwork, MimeTrainer, MimeTrainerConfig, MultiTaskModel};
+use mime::datasets::{TaskFamily, TaskSpec};
+use mime::nn::{build_network, train_epoch, vgg16_arch, Adam};
+use mime::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let classes = 8usize;
+    let family = TaskFamily::new(31, 3, 32);
+    let arch = vgg16_arch(0.125, 32, 3, classes, 64);
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut parent = build_network(&arch, &mut rng);
+    let parent_task = family.generate(
+        &TaskSpec { classes, ..TaskSpec::imagenet_like().with_samples(12, 4) },
+    );
+    let mut opt = Adam::with_lr(1e-3);
+    for _ in 0..4 {
+        train_epoch(&mut parent, &parent_task.train.batches(16), &mut opt)?;
+    }
+
+    // train thresholds for two child tasks on the shared backbone
+    let mut model = MultiTaskModel::new(MimeNetwork::from_trained(&arch, &parent, 0.01)?);
+    for spec in [
+        TaskSpec { classes, ..TaskSpec::cifar10_like().with_samples(10, 4) },
+        TaskSpec { classes, ..TaskSpec::fmnist_like().with_samples(10, 4) },
+    ] {
+        let task = family.generate(&spec);
+        let mut trainer = MimeTrainer::new(MimeTrainerConfig {
+            epochs: 4,
+            threshold_lr: 1e-2,
+            ..MimeTrainerConfig::default()
+        });
+        trainer.train(model.network_mut(), &task.train.batches(16))?;
+        model.adopt_current(&spec.name)?;
+        println!("trained + registered thresholds for {}", spec.name);
+    }
+
+    // pack → unpack round trip
+    let image = pack_model(&model);
+    println!(
+        "\npacked deployment image: {} bytes total, {} bytes of 16-bit parameters",
+        image.len(),
+        payload_bytes(&model)
+    );
+    let (w, t, n) = model.storage_profile();
+    println!(
+        "storage profile: |W_parent| = {w} params, |T| = {t} per task x {n} tasks"
+    );
+    println!(
+        "conventional multi-task would store {} params ({:.2}x more)",
+        w * (n + 1),
+        (w * (n + 1)) as f64 / (w + t * n) as f64
+    );
+
+    let fresh_parent = build_network(&arch, &mut StdRng::seed_from_u64(999));
+    let mut restored =
+        MultiTaskModel::new(MimeNetwork::from_trained(&arch, &fresh_parent, 0.01)?);
+    unpack_model(&image, &mut restored)?;
+    println!("\nrestored model has {} tasks", restored.tasks().len());
+
+    // verify prediction agreement on a probe batch
+    let probe = Tensor::from_fn(&[4, 3, 32, 32], |i| ((i % 23) as f32 - 11.0) * 0.08);
+    let a = model.infer("cifar10-like", &probe)?;
+    let b = restored.infer("cifar10-like", &probe)?;
+    let agree = a
+        .argmax_rows()?
+        .iter()
+        .zip(b.argmax_rows()?)
+        .filter(|(x, y)| **x == *y)
+        .count();
+    println!("prediction agreement after 16-bit round trip: {agree}/4");
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Quickstart: the full MIME pipeline at laptop scale, end to end.
+//!
+//! 1. Train a parent network on the ImageNet stand-in task.
+//! 2. Freeze `W_parent` and learn per-neuron thresholds for a child task
+//!    (paper eqs. 1–4: binary masking, STE gradient, `Σ exp(t)`
+//!    regularizer).
+//! 3. Report accuracy, per-layer dynamic sparsity, and the DRAM-storage
+//!    savings of shipping thresholds instead of a second weight set.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mime::core::{measure_sparsity, MimeNetwork, MimeTrainer, MimeTrainerConfig};
+use mime::core::params::storage_savings;
+use mime::datasets::{TaskFamily, TaskSpec};
+use mime::nn::{accuracy, build_network, evaluate, train_epoch, vgg16_arch, Adam};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // --- 1. parent task -------------------------------------------------
+    let family = TaskFamily::new(2024, 3, 32);
+    let parent_spec = TaskSpec::imagenet_like().with_samples(16, 4);
+    let parent_task = family.generate(&parent_spec);
+    let arch = vgg16_arch(0.125, 32, 3, parent_spec.classes, 64);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut parent = build_network(&arch, &mut rng);
+    let mut opt = Adam::with_lr(1e-3);
+    let train = parent_task.train.batches(16);
+    println!("training parent (imagenet-like, {} images)...", parent_task.train.len());
+    for epoch in 0..6 {
+        let rep = train_epoch(&mut parent, &train, &mut opt)?;
+        println!("  epoch {epoch}: loss {:.3} acc {:.2}%", rep.mean_loss, rep.mean_accuracy * 100.0);
+    }
+    let parent_acc = evaluate(&mut parent, &parent_task.test.batches(16))?;
+    println!("parent test accuracy: {:.2}%\n", parent_acc * 100.0);
+
+    // --- 2. MIME thresholds for a child task ----------------------------
+    let child_spec = TaskSpec::cifar10_like().with_samples(16, 8);
+    let child = family.generate(&child_spec);
+    // child arch: same frozen backbone, task-specific (trainable) head
+    let child_arch = vgg16_arch(0.125, 32, 3, child_spec.classes, 64);
+    let mut net = MimeNetwork::from_trained_with_head(&child_arch, &parent, 0.01, true)?;
+    println!(
+        "MIME network: {} frozen backbone params, {} trainable thresholds",
+        net.num_backbone_params(),
+        net.num_thresholds()
+    );
+    let mut trainer = MimeTrainer::new(MimeTrainerConfig::default()); // paper: Adam 1e-3, β=1e-6, 10 epochs
+    let reports = trainer.train(&mut net, &child.train.batches(16))?;
+    for r in &reports {
+        println!(
+            "  threshold epoch {}: CE {:.3} acc {:.2}% mean-sparsity {:.3}",
+            r.epoch,
+            r.ce_loss,
+            r.accuracy * 100.0,
+            r.mean_sparsity
+        );
+    }
+
+    // --- 3. evaluation + storage story ----------------------------------
+    let test_batches = child.test.batches(16);
+    let mut hits = 0.0;
+    let mut count = 0usize;
+    for (images, labels) in &test_batches {
+        let logits = net.forward(images)?;
+        hits += accuracy(&logits, labels)? * labels.len() as f64;
+        count += labels.len();
+    }
+    println!("\nchild test accuracy with frozen W_parent + thresholds: {:.2}%", 100.0 * hits / count as f64);
+    let sparsity = measure_sparsity(&mut net, &test_batches)?;
+    println!("dynamic neuronal sparsity per layer:\n{sparsity}");
+    let savings = storage_savings(net.num_backbone_params(), net.num_thresholds(), 1);
+    println!("DRAM storage savings vs a fine-tuned copy (1 child): {savings:.2}x");
+    Ok(())
+}

@@ -1,0 +1,235 @@
+//! Cross-crate integration tests: the full MIME pipeline from synthetic
+//! data through threshold training to multi-task deployment and the
+//! hardware model.
+
+use mime::core::{
+    measure_sparsity, measure_sparsity_baseline, MimeNetwork, MimeTrainer,
+    MimeTrainerConfig, MultiTaskModel,
+};
+use mime::datasets::{pipelined_batches, TaskFamily, TaskSpec};
+use mime::nn::{build_network, evaluate, train_epoch, vgg16_arch, Adam};
+use mime::systolic::{
+    simulate_network, vgg16_geometry, Approach, ArrayConfig, Scenario, TaskMode,
+};
+use mime::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const WIDTH: f64 = 0.0625;
+const HW: usize = 32;
+const FC: usize = 16;
+
+fn trained_parent() -> (mime::nn::VggArch, mime::nn::Sequential, TaskFamily) {
+    let family = TaskFamily::new(555, 3, HW);
+    let spec = TaskSpec { classes: 6, ..TaskSpec::imagenet_like().with_samples(8, 4) };
+    let task = family.generate(&spec);
+    let arch = vgg16_arch(WIDTH, HW, 3, 6, FC);
+    let mut rng = StdRng::seed_from_u64(10);
+    let mut parent = build_network(&arch, &mut rng);
+    let mut opt = Adam::with_lr(2e-3);
+    for _ in 0..4 {
+        train_epoch(&mut parent, &task.train.batches(12), &mut opt).unwrap();
+    }
+    (arch, parent, family)
+}
+
+#[test]
+fn parent_learns_above_chance() {
+    let (_, mut parent, family) = trained_parent();
+    let spec = TaskSpec { classes: 6, ..TaskSpec::imagenet_like().with_samples(8, 4) };
+    let task = family.generate(&spec);
+    let acc = evaluate(&mut parent, &task.test.batches(12)).unwrap();
+    assert!(acc > 1.0 / 6.0 + 0.1, "parent accuracy {acc} too close to chance");
+}
+
+#[test]
+fn mime_child_learns_with_frozen_backbone() {
+    let (_, parent, family) = trained_parent();
+    let spec = TaskSpec { classes: 6, ..TaskSpec::cifar10_like().with_samples(16, 6) };
+    let child = family.generate(&spec);
+    let child_arch = vgg16_arch(WIDTH, HW, 3, 6, FC);
+    let mut net =
+        MimeNetwork::from_trained_with_head(&child_arch, &parent, 0.01, true).unwrap();
+    let probe = Tensor::from_fn(&[1, 3, HW, HW], |i| ((i * 13) % 7) as f32 * 0.1);
+    let thresholds_before = net.export_thresholds();
+    let before = net.forward(&probe).unwrap();
+
+    let mut trainer = MimeTrainer::new(MimeTrainerConfig {
+        epochs: 14,
+        lr: 4e-3,
+        ..MimeTrainerConfig::default()
+    });
+    let reports = trainer.train(&mut net, &child.train.batches(12)).unwrap();
+    let last = reports.last().unwrap();
+    assert!(
+        last.accuracy > 1.0 / 6.0 + 0.15,
+        "threshold training should beat chance, got {}",
+        last.accuracy
+    );
+
+    // frozen-backbone invariant: restoring thresholds does NOT restore the
+    // logits (head trained), but conv activations must be identical —
+    // verify through sparsity of the first conv mask on the probe with
+    // original thresholds restored
+    let head_trained_out = net.forward(&probe).unwrap();
+    assert_ne!(before.as_slice(), head_trained_out.as_slice());
+    net.import_thresholds(&thresholds_before).unwrap();
+    net.forward(&probe).unwrap();
+    // first mask's sparsity depends only on conv1 weights + thresholds,
+    // both restored → backbone unchanged if sparsity identical
+    let s_restored = net.masks()[0].last_sparsity();
+    let mut fresh =
+        MimeNetwork::from_trained_with_head(&child_arch, &parent, 0.01, true).unwrap();
+    fresh.forward(&probe).unwrap();
+    assert!((fresh.masks()[0].last_sparsity() - s_restored).abs() < 1e-12);
+}
+
+#[test]
+fn mime_produces_more_sparsity_than_baseline_relu_when_thresholds_rise() {
+    let (arch, parent, family) = trained_parent();
+    let spec = TaskSpec { classes: 6, ..TaskSpec::cifar10_like().with_samples(4, 4) };
+    let child = family.generate(&spec);
+    let batches = child.test.batches(12);
+    // baseline ReLU sparsity of the parent network on the child data
+    let mut baseline = build_network(&arch, &mut StdRng::seed_from_u64(10));
+    // (same init seed as parent pre-training start; re-train quickly)
+    let mut opt = Adam::with_lr(2e-3);
+    for _ in 0..2 {
+        train_epoch(&mut baseline, &child.train.batches(12), &mut opt).unwrap();
+    }
+    let relu_report = measure_sparsity_baseline(&mut baseline, &batches).unwrap();
+
+    // MIME with deliberately raised thresholds must exceed ReLU sparsity
+    let mut net = MimeNetwork::from_trained(&arch, &parent, 0.35).unwrap();
+    let mime_report = measure_sparsity(&mut net, &batches).unwrap();
+    assert!(
+        mime_report.mean() > relu_report.mean(),
+        "MIME {} vs ReLU {}",
+        mime_report.mean(),
+        relu_report.mean()
+    );
+}
+
+#[test]
+fn multitask_pipeline_runs_all_tasks_with_one_backbone() {
+    let (arch, parent, family) = trained_parent();
+    let specs = [
+        TaskSpec { classes: 6, ..TaskSpec::cifar10_like().with_samples(4, 3) },
+        TaskSpec { classes: 6, ..TaskSpec::fmnist_like().with_samples(4, 3) },
+    ];
+    let net = MimeNetwork::from_trained(&arch, &parent, 0.01).unwrap();
+    let mut model = MultiTaskModel::new(net);
+    for (i, spec) in specs.iter().enumerate() {
+        let banks = model
+            .network()
+            .export_thresholds()
+            .into_iter()
+            .map(|t| t.map(|_| 0.01 + 0.1 * i as f32))
+            .collect();
+        model.register_task(&spec.name, banks).unwrap();
+    }
+    let tasks: Vec<_> = specs.iter().map(|s| family.generate(s)).collect();
+    let datasets: Vec<_> = tasks.iter().map(|t| (&t.test, t.spec.id)).collect();
+    let batches = pipelined_batches(&datasets, 1);
+    assert!(!batches.is_empty());
+    let mut items = Vec::new();
+    for b in batches.iter().take(4) {
+        let per = b.images.len() / b.len();
+        for i in 0..b.len() {
+            let img = Tensor::from_vec(
+                b.images.as_slice()[i * per..(i + 1) * per].to_vec(),
+                &[1, 3, HW, HW],
+            )
+            .unwrap();
+            items.push((specs[i % 2].name.clone(), img));
+        }
+    }
+    let logits = model.infer_pipelined(&items).unwrap();
+    assert_eq!(logits.len(), items.len());
+    // 2 tasks alternating per batch: a switch between every image
+    assert!(model.switch_count() >= items.len() - 1);
+    assert!(logits.iter().all(|l| l.dims() == [1, 6]));
+}
+
+#[test]
+fn measured_sparsity_feeds_hardware_model_consistently() {
+    // the full co-design loop: algorithm sparsity → hardware energy
+    let geoms = vgg16_geometry(224);
+    let cfg = ArrayConfig::eyeriss_65nm();
+    let conv = simulate_network(
+        &geoms,
+        &cfg,
+        &Scenario { mode: TaskMode::paper_pipelined(), approach: Approach::Case2 },
+    );
+    let mime = simulate_network(
+        &geoms,
+        &cfg,
+        &Scenario { mode: TaskMode::paper_pipelined(), approach: Approach::Mime },
+    );
+    let tc: f64 = conv.iter().map(|l| l.total_energy()).sum();
+    let tm: f64 = mime.iter().map(|l| l.total_energy()).sum();
+    assert!(tc / tm > 1.2, "network-level pipelined savings {:.2}", tc / tm);
+    // every layer produced positive energy and a valid mapping
+    for l in mime {
+        assert!(l.total_energy() > 0.0, "{}", l.name);
+        assert!(l.mapping.to * l.mapping.st <= cfg.pe_count);
+    }
+}
+
+#[test]
+fn trained_network_runs_on_functional_hardware() {
+    // the full co-design loop with real training in it: train thresholds,
+    // bind to the functional array, and check the hardware produces the
+    // same predictions as the software forward pass
+    use mime::runtime::{BoundNetwork, HardwareExecutor};
+    let (arch, parent, family) = trained_parent();
+    let spec = TaskSpec { classes: 6, ..TaskSpec::cifar10_like().with_samples(8, 4) };
+    let child = family.generate(&spec);
+    let mut net = MimeNetwork::from_trained(&arch, &parent, 0.05).unwrap();
+    let mut trainer = MimeTrainer::new(MimeTrainerConfig {
+        epochs: 3,
+        threshold_lr: 1e-2,
+        ..MimeTrainerConfig::default()
+    });
+    trainer.train(&mut net, &child.train.batches(12)).unwrap();
+
+    let plan = BoundNetwork::from_mime(&net).unwrap();
+    let mut exec = HardwareExecutor::new(ArrayConfig::eyeriss_65nm());
+    let mut agree = 0usize;
+    let total = 6usize;
+    for i in 0..total {
+        let (img, _) = child.test.sample(i);
+        let flat = img.reshape(&[3, HW, HW]).unwrap();
+        let hw_logits = exec.run_image(&plan, &flat, true).unwrap();
+        let sw_logits = net.forward(&img).unwrap();
+        let hw_pred = hw_logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i);
+        let sw_pred = sw_logits.argmax_rows().unwrap()[0];
+        if hw_pred == Some(sw_pred) {
+            agree += 1;
+        }
+    }
+    assert_eq!(agree, total, "hardware and software predictions must agree");
+    // the batch path also exposes measured counters
+    let batch: Vec<(usize, mime::tensor::Tensor)> = (0..2)
+        .map(|i| {
+            let (img, _) = child.test.sample(i);
+            (0usize, img.reshape(&[3, HW, HW]).unwrap())
+        })
+        .collect();
+    let report = exec.run_pipelined(&[plan], &batch, true, true).unwrap();
+    assert!(report.counters.macs > 0);
+    assert_eq!(report.logits.len(), 2);
+}
+
+#[test]
+fn umbrella_reexports_are_wired() {
+    // every sub-crate is reachable through the façade
+    let _ = mime::tensor::Tensor::zeros(&[1]);
+    let _ = mime::nn::vgg16_arch(0.0625, 32, 3, 2, 8);
+    let _ = mime::datasets::TaskSpec::cifar10_like();
+    let _ = mime::systolic::ArrayConfig::eyeriss_65nm();
+}

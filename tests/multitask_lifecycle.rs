@@ -1,0 +1,94 @@
+//! Full lifecycle integration: train → register → pack → ship → restore →
+//! execute on hardware. One test walks a multi-task model through every
+//! stage a deployment would.
+
+use mime::core::deploy::{pack_model, unpack_model};
+use mime::core::{
+    calibrate_thresholds, MimeNetwork, MimeTrainer, MimeTrainerConfig, MultiTaskModel,
+};
+use mime::datasets::{TaskFamily, TaskSpec};
+use mime::nn::{build_network, train_epoch, vgg16_arch, Adam};
+use mime::runtime::{BoundNetwork, HardwareExecutor};
+use mime::systolic::ArrayConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn full_deployment_lifecycle() {
+    let classes = 5usize;
+    let family = TaskFamily::new(3030, 3, 32);
+    let arch = vgg16_arch(0.0625, 32, 3, classes, 16);
+
+    // 1. train the parent
+    let mut rng = StdRng::seed_from_u64(14);
+    let mut parent = build_network(&arch, &mut rng);
+    let parent_task = family.generate(
+        &TaskSpec { classes, ..TaskSpec::imagenet_like().with_samples(8, 2) },
+    );
+    let mut opt = Adam::with_lr(2e-3);
+    for _ in 0..3 {
+        train_epoch(&mut parent, &parent_task.train.batches(10), &mut opt).unwrap();
+    }
+
+    // 2. train and register two child tasks' thresholds
+    let specs = [
+        TaskSpec { classes, ..TaskSpec::cifar10_like().with_samples(6, 2) },
+        TaskSpec { classes, ..TaskSpec::fmnist_like().with_samples(6, 2) },
+    ];
+    let mut model =
+        MultiTaskModel::new(MimeNetwork::from_trained(&arch, &parent, 0.01).unwrap());
+    for spec in &specs {
+        let task = family.generate(spec);
+        let batches = task.train.batches(10);
+        if let Some((images, _)) = batches.first() {
+            calibrate_thresholds(model.network_mut(), images, 0.5).unwrap();
+        }
+        let mut trainer = MimeTrainer::new(MimeTrainerConfig {
+            epochs: 2,
+            threshold_lr: 1e-2,
+            ..MimeTrainerConfig::default()
+        });
+        trainer.train(model.network_mut(), &batches).unwrap();
+        model.adopt_current(&spec.name).unwrap();
+    }
+    assert_eq!(model.tasks().len(), 2);
+
+    // 3. pack the DRAM image and restore it into a fresh device model
+    let image = pack_model(&model);
+    assert!(image.len() > 1000);
+    let fresh = build_network(&arch, &mut StdRng::seed_from_u64(999));
+    let mut device =
+        MultiTaskModel::new(MimeNetwork::from_trained(&arch, &fresh, 0.01).unwrap());
+    unpack_model(&image, &mut device).unwrap();
+    assert_eq!(device.task_names(), model.task_names());
+
+    // 4. pipelined inference on the restored model, checked against the
+    //    source model's predictions
+    let eval_task = family.generate(&specs[0]);
+    let (img, _) = eval_task.test.sample(0);
+    let a = model.infer(&specs[0].name, &img).unwrap();
+    let b = device.infer(&specs[0].name, &img).unwrap();
+    assert_eq!(a.argmax_rows().unwrap(), b.argmax_rows().unwrap());
+
+    // 5. bind the restored device model to the functional hardware and
+    //    confirm the silicon-level execution agrees too
+    device.activate(&specs[1].name).unwrap();
+    let plan = BoundNetwork::from_mime(device.network()).unwrap();
+    let mut exec = HardwareExecutor::new(ArrayConfig::eyeriss_65nm());
+    let flat = img.reshape(&[3, 32, 32]).unwrap();
+    let hw = exec.run_image(&plan, &flat, true).unwrap();
+    let sw = device.network_mut().forward(&img).unwrap();
+    let hw_pred = hw
+        .iter()
+        .enumerate()
+        .max_by(|x, y| x.1.total_cmp(y.1))
+        .map(|(i, _)| i)
+        .unwrap();
+    assert_eq!(hw_pred, sw.argmax_rows().unwrap()[0]);
+
+    // 6. task management: drop one task, model keeps serving the other
+    device.remove_task(&specs[1].name).unwrap();
+    assert_eq!(device.tasks().len(), 1);
+    assert!(device.infer(&specs[0].name, &img).is_ok());
+    assert!(device.infer(&specs[1].name, &img).is_err());
+}

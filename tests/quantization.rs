@@ -1,0 +1,112 @@
+//! Integration test: the Table-IV 16-bit storage assumption holds — a
+//! trained model survives quantize→pack→unpack with its behaviour intact.
+
+use mime::core::deploy::{pack_model, unpack_model};
+use mime::core::{MimeNetwork, MimeTrainer, MimeTrainerConfig, MultiTaskModel};
+use mime::datasets::{TaskFamily, TaskSpec};
+use mime::nn::quant::{fake_quantize, quantize_network};
+use mime::nn::{build_network, evaluate, train_epoch, vgg16_arch, Adam};
+use mime::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn trained_baseline_survives_16bit_quantization() {
+    let family = TaskFamily::new(88, 3, 32);
+    let spec = TaskSpec { classes: 4, ..TaskSpec::cifar10_like().with_samples(10, 6) };
+    let task = family.generate(&spec);
+    let arch = vgg16_arch(0.0625, 32, 3, 4, 16);
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut net = build_network(&arch, &mut rng);
+    let mut opt = Adam::with_lr(2e-3);
+    for _ in 0..6 {
+        train_epoch(&mut net, &task.train.batches(10), &mut opt).unwrap();
+    }
+    let test = task.test.batches(10);
+    let fp_acc = evaluate(&mut net, &test).unwrap();
+    assert!(fp_acc > 0.4, "baseline must learn, got {fp_acc}");
+    quantize_network(&mut net);
+    let q_acc = evaluate(&mut net, &test).unwrap();
+    assert!(
+        (fp_acc - q_acc).abs() < 0.15,
+        "16-bit quantization must not change accuracy materially: {fp_acc} vs {q_acc}"
+    );
+}
+
+#[test]
+fn trained_mime_model_round_trips_through_deployment_image() {
+    let family = TaskFamily::new(21, 3, 32);
+    let classes = 5usize;
+    let arch = vgg16_arch(0.0625, 32, 3, classes, 16);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut parent = build_network(&arch, &mut rng);
+    let parent_task = family.generate(
+        &TaskSpec { classes, ..TaskSpec::imagenet_like().with_samples(8, 2) },
+    );
+    let mut opt = Adam::with_lr(2e-3);
+    for _ in 0..3 {
+        train_epoch(&mut parent, &parent_task.train.batches(10), &mut opt).unwrap();
+    }
+    // train thresholds for one child on the shared backbone
+    let child = family
+        .generate(&TaskSpec { classes, ..TaskSpec::fmnist_like().with_samples(8, 4) });
+    let mut model = MultiTaskModel::new(MimeNetwork::from_trained(&arch, &parent, 0.01).unwrap());
+    let mut trainer = MimeTrainer::new(MimeTrainerConfig {
+        epochs: 3,
+        threshold_lr: 1e-2,
+        ..MimeTrainerConfig::default()
+    });
+    trainer
+        .train(model.network_mut(), &child.train.batches(10))
+        .unwrap();
+    model.adopt_current("fmnist-like").unwrap();
+
+    // pack → unpack into a fresh model with different random weights
+    let image = pack_model(&model);
+    let fresh = build_network(&arch, &mut StdRng::seed_from_u64(404));
+    let mut restored =
+        MultiTaskModel::new(MimeNetwork::from_trained(&arch, &fresh, 0.01).unwrap());
+    unpack_model(&image, &mut restored).unwrap();
+
+    // prediction agreement over the test set
+    let probe = child.test.batches(10);
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for (images, _) in &probe {
+        let a = model.infer("fmnist-like", images).unwrap();
+        let b = restored.infer("fmnist-like", images).unwrap();
+        for (x, y) in a.argmax_rows().unwrap().iter().zip(b.argmax_rows().unwrap()) {
+            total += 1;
+            if *x == y {
+                agree += 1;
+            }
+        }
+    }
+    assert!(
+        agree as f64 / total as f64 > 0.9,
+        "deployment round trip must preserve predictions: {agree}/{total}"
+    );
+}
+
+#[test]
+fn aggressive_threshold_quantization_preserves_masking_behaviour() {
+    // thresholds only gate comparisons: even 6-bit banks barely move the
+    // mask decisions of a calibrated network
+    let arch = vgg16_arch(0.0625, 32, 3, 4, 16);
+    let mut rng = StdRng::seed_from_u64(7);
+    let parent = build_network(&arch, &mut rng);
+    let mut net = MimeNetwork::from_trained(&arch, &parent, 0.2).unwrap();
+    let x = Tensor::from_fn(&[2, 3, 32, 32], |i| ((i % 13) as f32 - 6.0) * 0.1);
+    net.forward(&x).unwrap();
+    let fp_sparsities: Vec<f64> = net.layer_sparsities().iter().map(|(_, s)| *s).collect();
+    let banks: Vec<_> = net
+        .export_thresholds()
+        .iter()
+        .map(|b| fake_quantize(b, 6))
+        .collect();
+    net.import_thresholds(&banks).unwrap();
+    net.forward(&x).unwrap();
+    for ((_, q), fp) in net.layer_sparsities().iter().zip(&fp_sparsities) {
+        assert!((q - fp).abs() < 0.05, "{q} vs {fp}");
+    }
+}
