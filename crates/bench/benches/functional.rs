@@ -30,7 +30,15 @@ fn bench_functional_layer(c: &mut Criterion) {
             let mut array = FunctionalArray::new(cfg);
             black_box(
                 array
-                    .run_layer(&geom, &mapping, &weights, &bias, &input, Some(&thresholds), true)
+                    .run_layer(
+                        &geom,
+                        &mapping,
+                        &weights,
+                        &bias,
+                        &input,
+                        Some(&thresholds),
+                        true,
+                    )
                     .unwrap(),
             )
         })
@@ -53,7 +61,7 @@ fn bench_executor_image(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = functional;
     config = Criterion::default().sample_size(10);
     targets = bench_functional_layer, bench_executor_image

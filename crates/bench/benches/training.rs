@@ -54,7 +54,7 @@ fn bench_table2_threshold_epoch(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = training;
     config = Criterion::default().sample_size(10);
     targets = bench_table3_baseline_epoch, bench_table2_threshold_epoch

@@ -32,9 +32,8 @@ fn main() {
         "beta", "accuracy", "sparsity", "mean t", "max t", "reg loss"
     );
     for beta in [0.0f32, 1e-6, 1e-4, 1e-2, 1e-1] {
-        let mut net =
-            MimeNetwork::from_trained_with_head(&arch, &setup.parent, 0.01, true)
-                .expect("network construction");
+        let mut net = MimeNetwork::from_trained_with_head(&arch, &setup.parent, 0.01, true)
+            .expect("network construction");
         if let Some((images, _)) = train.first() {
             calibrate_thresholds(&mut net, images, 0.6).expect("calibration");
         }

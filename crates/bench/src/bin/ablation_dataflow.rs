@@ -20,10 +20,7 @@ fn main() {
     let cfg = ArrayConfig::eyeriss_65nm();
     let scen = Scenario { mode: TaskMode::paper_pipelined(), approach: Approach::Mime };
     let os = simulate_network(&geoms, &cfg, &scen);
-    println!(
-        "{:<8} {:>14} {:>14} {:>10}",
-        "layer", "OS total", "WS total", "WS/OS"
-    );
+    println!("{:<8} {:>14} {:>14} {:>10}", "layer", "OS total", "WS total", "WS/OS");
     let mut total_os = 0.0;
     let mut total_ws = 0.0;
     for (r, g) in os.iter().zip(&geoms) {

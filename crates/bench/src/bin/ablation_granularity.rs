@@ -32,10 +32,7 @@ fn main() {
         .filter(|g| g.masked)
         .map(|g| g.k) // one threshold per channel
         .sum();
-    let per_channel = DramStorageModel {
-        threshold_words: per_channel_words,
-        ..per_neuron
-    };
+    let per_channel = DramStorageModel { threshold_words: per_channel_words, ..per_neuron };
     const MB: f64 = 1024.0 * 1024.0;
     println!(
         "per-task bank: per-neuron {:.2} MB vs per-channel {:.4} MB ({}x smaller)",

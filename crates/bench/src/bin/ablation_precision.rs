@@ -12,7 +12,9 @@
 //! ```
 
 use mime_bench::{child_specs, eval_mime, train_parent, ExperimentScale};
-use mime_core::{calibrate_thresholds, measure_sparsity, MimeNetwork, MimeTrainer, MimeTrainerConfig};
+use mime_core::{
+    calibrate_thresholds, measure_sparsity, MimeNetwork, MimeTrainer, MimeTrainerConfig,
+};
 use mime_nn::quant::{fake_quantize, payload_bytes_at};
 use mime_nn::vgg16_arch;
 use mime_systolic::{vgg16_geometry, DramStorageModel};

@@ -17,7 +17,10 @@ fn main() {
         (model.weight_words * 2) as f64 / (1024.0 * 1024.0),
         (model.threshold_words * 2) as f64 / (1024.0 * 1024.0),
     );
-    println!("{:>9} {:>18} {:>12} {:>10}", "children", "conventional (MB)", "MIME (MB)", "savings");
+    println!(
+        "{:>9} {:>18} {:>12} {:>10}",
+        "children", "conventional (MB)", "MIME (MB)", "savings"
+    );
     for p in storage_curve(&geoms, 8) {
         println!(
             "{:>9} {:>18.1} {:>12.1} {:>9.2}x",

@@ -12,7 +12,9 @@ use mime_systolic::{
 
 fn main() {
     println!("== Fig. 5: layerwise energy, Singular task mode (3x CIFAR10) ==");
-    println!("(energies in MAC-normalized units; even conv layers shown, as in the paper)\n");
+    println!(
+        "(energies in MAC-normalized units; even conv layers shown, as in the paper)\n"
+    );
     let geoms = vgg16_geometry(224);
     let cfg = ArrayConfig::eyeriss_65nm();
     let run = |approach| {
@@ -27,7 +29,10 @@ fn main() {
     let mime = run(Approach::Mime);
     println!(
         "{:<8} {:>32} {:>32} {:>32}",
-        "layer", "Case-1 [dram/cache/reg/mac]", "Case-2 [dram/cache/reg/mac]", "MIME [dram/cache/reg/mac]"
+        "layer",
+        "Case-1 [dram/cache/reg/mac]",
+        "Case-2 [dram/cache/reg/mac]",
+        "MIME [dram/cache/reg/mac]"
     );
     let shown = [1usize, 3, 5, 7, 9, 11, 13];
     for &i in &shown {
@@ -37,7 +42,13 @@ fn main() {
                 r.energy.e_dram, r.energy.e_cache, r.energy.e_reg, r.energy.e_mac
             )
         };
-        println!("{:<8} {:>32} {:>32} {:>32}", c1[i].name, f(&c1[i]), f(&c2[i]), f(&mime[i]));
+        println!(
+            "{:<8} {:>32} {:>32} {:>32}",
+            c1[i].name,
+            f(&c1[i]),
+            f(&c2[i]),
+            f(&mime[i])
+        );
     }
     println!();
     let mut s1 = Vec::new();

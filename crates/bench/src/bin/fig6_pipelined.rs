@@ -7,12 +7,14 @@
 //! ```
 
 use mime_systolic::{
-    simulate_network_profiled, vgg16_geometry, Approach, ArrayConfig, ProfileSet,
-    Scenario, TaskMode,
+    simulate_network_profiled, vgg16_geometry, Approach, ArrayConfig, ProfileSet, Scenario,
+    TaskMode,
 };
 
 fn main() {
-    println!("== Fig. 6: layerwise energy, Pipelined task mode (CIFAR10+CIFAR100+F-MNIST) ==\n");
+    println!(
+        "== Fig. 6: layerwise energy, Pipelined task mode (CIFAR10+CIFAR100+F-MNIST) ==\n"
+    );
     let geoms = vgg16_geometry(224);
     let cfg = ArrayConfig::eyeriss_65nm();
     // MIME_MEASURED=1 drives the hardware model with sparsity measured

@@ -11,7 +11,9 @@ use mime_systolic::{
 };
 
 fn main() {
-    println!("== Fig. 7: layerwise throughput, Pipelined task mode (normalized to Case-1) ==\n");
+    println!(
+        "== Fig. 7: layerwise throughput, Pipelined task mode (normalized to Case-1) ==\n"
+    );
     let geoms = vgg16_geometry(224);
     let cfg = ArrayConfig::eyeriss_65nm();
     let run = |approach| {

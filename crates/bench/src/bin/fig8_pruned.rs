@@ -16,7 +16,9 @@ use mime_systolic::{
 };
 
 fn main() {
-    println!("== Fig. 8: MIME vs 90%-pruned conventional multi-task models (Pipelined) ==\n");
+    println!(
+        "== Fig. 8: MIME vs 90%-pruned conventional multi-task models (Pipelined) ==\n"
+    );
     let geoms = vgg16_geometry(224);
     let cfg = ArrayConfig::eyeriss_65nm();
     let mime = simulate_network(

@@ -44,15 +44,10 @@ fn main() {
     }
     let lo = mid_ratios.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = mid_ratios.iter().cloned().fold(0.0f64, f64::max);
-    println!(
-        "\nCase-B penalty on conv5..conv10: {lo:.2}-{hi:.2}x   [paper: ~1.26-1.41x]"
-    );
+    println!("\nCase-B penalty on conv5..conv10: {lo:.2}-{hi:.2}x   [paper: ~1.26-1.41x]");
     let ta: f64 = a.iter().map(|l| l.total_energy()).sum();
     let tc: f64 = c.iter().map(|l| l.total_energy()).sum();
-    println!(
-        "Case-C network-level penalty: {:.2}x   [paper: 'not significant']",
-        tc / ta
-    );
+    println!("Case-C network-level penalty: {:.2}x   [paper: 'not significant']", tc / ta);
     println!(
         "\ndesign takeaway (paper): prefer a larger PE array over a larger\n\
          cache — extra DRAM fetches of weights/thresholds dominate when the\n\

@@ -17,10 +17,7 @@ fn main() {
     let cfg = ArrayConfig::eyeriss_65nm();
 
     println!("== Sweep 1: pipelined batch depth (3 tasks, round-robin) ==\n");
-    println!(
-        "{:>7} {:>16} {:>16} {:>10}",
-        "batch", "conventional", "MIME", "savings"
-    );
+    println!("{:>7} {:>16} {:>16} {:>10}", "batch", "conventional", "MIME", "savings");
     for p in sweep_batch_depth(&geoms, &cfg, 6) {
         println!(
             "{:>7} {:>16.4e} {:>16.4e} {:>9.2}x",
@@ -29,10 +26,7 @@ fn main() {
     }
 
     println!("\n== Sweep 2: task-mix diversity (fixed batch of 6) ==\n");
-    println!(
-        "{:>7} {:>16} {:>16} {:>10}",
-        "tasks", "conventional", "MIME", "savings"
-    );
+    println!("{:>7} {:>16} {:>16} {:>10}", "tasks", "conventional", "MIME", "savings");
     for p in sweep_task_mix(&geoms, &cfg) {
         println!(
             "{:>7} {:>16.4e} {:>16.4e} {:>9.2}x",

@@ -21,7 +21,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    println!("== Validation: analytical model vs functional execution (per layer, 1 image) ==\n");
+    println!(
+        "== Validation: analytical model vs functional execution (per layer, 1 image) ==\n"
+    );
     let geoms = vgg16_geometry_with(32, 256, 10);
     let cfg = ArrayConfig::eyeriss_65nm();
     let mapper = Mapper::new(cfg);
@@ -29,7 +31,14 @@ fn main() {
     let target_density = 0.35f64; // ≈ MIME's ~65 % sparsity
     println!(
         "{:<8} {:>12} {:>12} {:>7} | {:>12} {:>12} {:>7} | {:>8}",
-        "layer", "macs (ana)", "macs (fn)", "ratio", "dram (ana)", "dram (fn)", "ratio", "E ratio"
+        "layer",
+        "macs (ana)",
+        "macs (fn)",
+        "ratio",
+        "dram (ana)",
+        "dram (fn)",
+        "ratio",
+        "E ratio"
     );
     let mut worst: f64 = 1.0;
     for geom in &geoms {
@@ -48,11 +57,20 @@ fn main() {
         let thresholds = Tensor::full(&[geom.k * geom.sites()], 0.1);
         let mut array = FunctionalArray::new(cfg);
         let out = array
-            .run_layer(&geom.clone(), &mapping, &weights, &bias, &input, Some(&thresholds), true)
+            .run_layer(
+                &geom.clone(),
+                &mapping,
+                &weights,
+                &bias,
+                &input,
+                Some(&thresholds),
+                true,
+            )
             .expect("functional run");
         let c = array.counters();
         let doo = 1.0 - out.sparsity();
-        let ana = analytic_image_counts(geom, &cfg, &mapping, target_density, doo, 1.0, true);
+        let ana =
+            analytic_image_counts(geom, &cfg, &mapping, target_density, doo, 1.0, true);
         let fn_dram = (c.dram_reads + c.dram_writes) as f64;
         let ana_dram = ana.dram_words();
         let fn_energy = c.energy(&cfg);
@@ -63,7 +81,14 @@ fn main() {
         worst = worst.max(e_ratio.max(1.0 / e_ratio));
         println!(
             "{:<8} {:>12.3e} {:>12.3e} {:>7.2} | {:>12.3e} {:>12.3e} {:>7.2} | {:>8.2}",
-            geom.name, ana.macs, c.macs as f64, mac_ratio, ana_dram, fn_dram, dram_ratio, e_ratio
+            geom.name,
+            ana.macs,
+            c.macs as f64,
+            mac_ratio,
+            ana_dram,
+            fn_dram,
+            dram_ratio,
+            e_ratio
         );
     }
     println!(

@@ -174,7 +174,7 @@ pub fn train_mime_child(
     setup: &ParentSetup,
     scale: &ExperimentScale,
     spec: &TaskSpec,
-) -> mime_nn::Result<(ChildResult, Vec<mime_tensor::Tensor>)> {
+) -> mime_core::Result<(ChildResult, Vec<mime_tensor::Tensor>)> {
     let task = setup.family.generate(spec);
     let arch = child_arch(&setup.arch, scale, spec.classes);
     // frozen W_parent below a fresh task-specific classifier head
@@ -199,10 +199,7 @@ pub fn train_mime_child(
     let accuracy = eval_mime(&mut net, &test)?;
     let sparsity = measure_sparsity(&mut net, &test)?;
     let thresholds = net.export_thresholds();
-    Ok((
-        ChildResult { name: spec.name.clone(), accuracy, sparsity },
-        thresholds,
-    ))
+    Ok((ChildResult { name: spec.name.clone(), accuracy, sparsity }, thresholds))
 }
 
 /// Baseline path: train a fresh VGG on the child task (paper Table III).
@@ -214,7 +211,7 @@ pub fn train_baseline_child(
     setup: &ParentSetup,
     scale: &ExperimentScale,
     spec: &TaskSpec,
-) -> mime_nn::Result<(ChildResult, Sequential)> {
+) -> mime_core::Result<(ChildResult, Sequential)> {
     let task = setup.family.generate(spec);
     let arch = child_arch(&setup.arch, scale, spec.classes);
     let mut rng = StdRng::seed_from_u64(0xBA5E ^ u64::from(spec.id.0));
@@ -265,7 +262,7 @@ pub fn graft_backbone(src: &Sequential, dst: &mut Sequential) {
 pub fn eval_mime(
     net: &mut MimeNetwork,
     batches: &[(mime_tensor::Tensor, Vec<usize>)],
-) -> mime_nn::Result<f64> {
+) -> mime_core::Result<f64> {
     let mut hits = 0.0f64;
     let mut count = 0usize;
     for (images, labels) in batches {
@@ -294,8 +291,7 @@ pub fn profile_from_report(report: &SparsityReport) -> mime_systolic::SparsityPr
         "conv1", "conv2", "conv3", "conv4", "conv5", "conv6", "conv7", "conv8", "conv9",
         "conv10", "conv11", "conv12", "conv13", "fc14", "fc15",
     ];
-    let mut values: Vec<f64> =
-        order.iter().map(|n| report.get(n).unwrap_or(0.0)).collect();
+    let mut values: Vec<f64> = order.iter().map(|n| report.get(n).unwrap_or(0.0)).collect();
     values.push(0.0); // fc16 (classifier) is unmasked
     mime_systolic::SparsityProfile::new(values)
 }
@@ -311,7 +307,7 @@ pub fn profile_from_report(report: &SparsityReport) -> mime_systolic::SparsityPr
 pub fn measured_profile_set(
     scale: &ExperimentScale,
     seed: u64,
-) -> mime_nn::Result<mime_systolic::ProfileSet> {
+) -> mime_core::Result<mime_systolic::ProfileSet> {
     use mime_systolic::ChildTask;
     let setup = train_parent(scale, seed)?;
     let mut set = mime_systolic::ProfileSet::paper();
@@ -331,17 +327,26 @@ pub const PAPER_TABLE2: [(&str, f64, [f64; 11]); 3] = [
     (
         "CIFAR10",
         83.57,
-        [0.6493, 0.6081, 0.6587, 0.6203, 0.6233, 0.6449, 0.6679, 0.6477, 0.6553, 0.6855, 0.657],
+        [
+            0.6493, 0.6081, 0.6587, 0.6203, 0.6233, 0.6449, 0.6679, 0.6477, 0.6553, 0.6855,
+            0.657,
+        ],
     ),
     (
         "CIFAR100",
         59.42,
-        [0.6522, 0.5951, 0.6373, 0.6100, 0.6121, 0.6279, 0.6580, 0.6374, 0.6388, 0.6703, 0.6571],
+        [
+            0.6522, 0.5951, 0.6373, 0.6100, 0.6121, 0.6279, 0.6580, 0.6374, 0.6388, 0.6703,
+            0.6571,
+        ],
     ),
     (
         "F-MNIST",
         88.36,
-        [0.6075, 0.5634, 0.6138, 0.5991, 0.5959, 0.6017, 0.6204, 0.6014, 0.6125, 0.6138, 0.6287],
+        [
+            0.6075, 0.5634, 0.6138, 0.5991, 0.5959, 0.6017, 0.6204, 0.6014, 0.6125, 0.6138,
+            0.6287,
+        ],
     ),
 ];
 
@@ -350,17 +355,26 @@ pub const PAPER_TABLE3: [(&str, f64, [f64; 11]); 3] = [
     (
         "CIFAR10",
         84.25,
-        [0.4983, 0.4506, 0.5390, 0.5015, 0.5097, 0.5341, 0.5635, 0.5358, 0.5420, 0.5627, 0.5608],
+        [
+            0.4983, 0.4506, 0.5390, 0.5015, 0.5097, 0.5341, 0.5635, 0.5358, 0.5420, 0.5627,
+            0.5608,
+        ],
     ),
     (
         "CIFAR100",
         60.55,
-        [0.5030, 0.4586, 0.5399, 0.5069, 0.5129, 0.5333, 0.5633, 0.5345, 0.5449, 0.5842, 0.6002],
+        [
+            0.5030, 0.4586, 0.5399, 0.5069, 0.5129, 0.5333, 0.5633, 0.5345, 0.5449, 0.5842,
+            0.6002,
+        ],
     ),
     (
         "F-MNIST",
         90.12,
-        [0.5114, 0.4796, 0.5488, 0.5230, 0.5260, 0.5329, 0.5503, 0.5280, 0.5343, 0.5507, 0.5820],
+        [
+            0.5114, 0.4796, 0.5488, 0.5230, 0.5260, 0.5329, 0.5503, 0.5280, 0.5343, 0.5507,
+            0.5820,
+        ],
     ),
 ];
 
@@ -438,8 +452,20 @@ mod tests {
             .collect();
         graft_backbone(&src, &mut dst);
         // conv1 copied
-        let sv = src.parameters().into_iter().find(|p| p.name() == "conv1.weight").unwrap().value.clone();
-        let dv = dst.parameters().into_iter().find(|p| p.name() == "conv1.weight").unwrap().value.clone();
+        let sv = src
+            .parameters()
+            .into_iter()
+            .find(|p| p.name() == "conv1.weight")
+            .unwrap()
+            .value
+            .clone();
+        let dv = dst
+            .parameters()
+            .into_iter()
+            .find(|p| p.name() == "conv1.weight")
+            .unwrap()
+            .value
+            .clone();
         assert_eq!(sv.as_slice(), dv.as_slice());
         // head untouched
         let head_after: Vec<f32> = dst

@@ -75,12 +75,7 @@ fn fig7_throughput_band() {
     let mime = run(Approach::Mime, TaskMode::paper_pipelined());
     let t = normalized_throughput(&c1, &mime);
     for &i in &EVEN_CONVS {
-        assert!(
-            (2.3..3.3).contains(&t[i].speedup),
-            "{}: {}",
-            t[i].name,
-            t[i].speedup
-        );
+        assert!((2.3..3.3).contains(&t[i].speedup), "{}: {}", t[i].name, t[i].speedup);
     }
 }
 
@@ -88,8 +83,7 @@ fn fig7_throughput_band() {
 fn fig8_crossover_and_late_wins() {
     let mime = run(Approach::Mime, TaskMode::paper_pipelined());
     let pruned = run(Approach::Pruned { weight_density: 0.1 }, TaskMode::paper_pipelined());
-    let ratio =
-        |i: usize| pruned[i].total_energy() / mime[i].total_energy();
+    let ratio = |i: usize| pruned[i].total_energy() / mime[i].total_energy();
     // pruned wins the first layer decisively
     assert!(ratio(0) < 0.9, "conv1 ratio {}", ratio(0));
     // MIME wins from the early-mid layers, growing toward the FCs

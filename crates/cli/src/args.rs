@@ -55,6 +55,27 @@ pub enum Command {
         /// Image path.
         path: String,
     },
+    /// `mime verify-image`: integrity-check a deployment image without
+    /// loading it into a model (per-section checksum walk).
+    VerifyImage {
+        /// Image path.
+        path: String,
+    },
+    /// `mime inject-faults`: deterministically corrupt a deployment
+    /// image (test/fault-drill tooling).
+    InjectFaults {
+        /// Input image path.
+        path: String,
+        /// Output path for the corrupted image.
+        out: String,
+        /// RNG seed driving fault placement (default 42).
+        seed: u64,
+        /// Fault model to apply.
+        mode: FaultMode,
+        /// Bit-flip count, or maximum garble run length (default 1 /
+        /// 16 respectively; ignored by `truncate`).
+        count: usize,
+    },
     /// `mime sweep`: batch-depth and task-mix energy scaling sweeps.
     Sweep {
         /// VGG16 input resolution (default 224).
@@ -71,6 +92,17 @@ pub enum Command {
     },
     /// `mime help`.
     Help,
+}
+
+/// Fault model selector for `mime inject-faults`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Flip `count` random bits.
+    BitFlip,
+    /// Truncate the image at a random offset.
+    Truncate,
+    /// Overwrite a random run of bytes (length ≤ `count`).
+    Garble,
 }
 
 /// Approach selector for `mime simulate`.
@@ -103,7 +135,9 @@ fn err(msg: impl Into<String>) -> ArgError {
 }
 
 /// Splits `--key value` pairs and positionals from raw args.
-fn split_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), ArgError> {
+fn split_flags(
+    args: &[String],
+) -> Result<(HashMap<String, String>, Vec<String>), ArgError> {
     let mut flags = HashMap::new();
     let mut positional = Vec::new();
     let mut i = 0usize;
@@ -132,9 +166,7 @@ fn get_num<T: std::str::FromStr>(
 ) -> Result<T, ArgError> {
     match flags.get(key) {
         None => Ok(default),
-        Some(v) => v
-            .parse()
-            .map_err(|_| err(format!("flag --{key}: invalid value '{v}'"))),
+        Some(v) => v.parse().map_err(|_| err(format!("flag --{key}: invalid value '{v}'"))),
     }
 }
 
@@ -177,7 +209,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
         }
         "simulate" => {
             let (flags, pos) = split_flags(rest)?;
-            reject_unknown(&flags, &["mode", "approach", "pe", "cache-kb", "input-hw", "format"])?;
+            reject_unknown(
+                &flags,
+                &["mode", "approach", "pe", "cache-kb", "input-hw", "format"],
+            )?;
             if !pos.is_empty() {
                 return Err(err(format!("unexpected argument '{}'", pos[0])));
             }
@@ -248,11 +283,55 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
         "inspect" => {
             let (flags, pos) = split_flags(rest)?;
             reject_unknown(&flags, &[])?;
+            let path =
+                pos.first().cloned().ok_or_else(|| err("inspect requires a file path"))?;
+            Ok(Command::Inspect { path })
+        }
+        "verify-image" => {
+            let (flags, pos) = split_flags(rest)?;
+            reject_unknown(&flags, &[])?;
             let path = pos
                 .first()
                 .cloned()
-                .ok_or_else(|| err("inspect requires a file path"))?;
-            Ok(Command::Inspect { path })
+                .ok_or_else(|| err("verify-image requires a file path"))?;
+            Ok(Command::VerifyImage { path })
+        }
+        "inject-faults" => {
+            let (flags, pos) = split_flags(rest)?;
+            reject_unknown(&flags, &["out", "seed", "mode", "count"])?;
+            let path = pos
+                .first()
+                .cloned()
+                .ok_or_else(|| err("inject-faults requires a file path"))?;
+            let out = flags
+                .get("out")
+                .cloned()
+                .ok_or_else(|| err("inject-faults requires --out <file>"))?;
+            let mode = match flags.get("mode").map(String::as_str) {
+                None | Some("bitflip") => FaultMode::BitFlip,
+                Some("truncate") => FaultMode::Truncate,
+                Some("garble") => FaultMode::Garble,
+                Some(m) => {
+                    return Err(err(format!(
+                        "unknown fault mode '{m}' (expected bitflip|truncate|garble)"
+                    )))
+                }
+            };
+            let default_count = match mode {
+                FaultMode::Garble => 16,
+                _ => 1,
+            };
+            let count: usize = get_num(&flags, "count", default_count)?;
+            if count == 0 {
+                return Err(err("--count must be at least 1"));
+            }
+            Ok(Command::InjectFaults {
+                path,
+                out,
+                seed: get_num(&flags, "seed", 42)?,
+                mode,
+                count,
+            })
         }
         "sweep" => {
             let (flags, pos) = split_flags(rest)?;
@@ -381,6 +460,56 @@ mod tests {
             Command::Simulate { csv, .. } => assert!(csv),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn verify_image_and_inject_faults() {
+        assert_eq!(
+            p(&["verify-image", "model.mime"]).unwrap(),
+            Command::VerifyImage { path: "model.mime".into() }
+        );
+        assert!(p(&["verify-image"]).is_err());
+        assert_eq!(
+            p(&["inject-faults", "a.mime", "--out", "b.mime"]).unwrap(),
+            Command::InjectFaults {
+                path: "a.mime".into(),
+                out: "b.mime".into(),
+                seed: 42,
+                mode: FaultMode::BitFlip,
+                count: 1,
+            }
+        );
+        assert_eq!(
+            p(&[
+                "inject-faults",
+                "a.mime",
+                "--out",
+                "b.mime",
+                "--mode",
+                "garble",
+                "--seed",
+                "7",
+                "--count",
+                "4",
+            ])
+            .unwrap(),
+            Command::InjectFaults {
+                path: "a.mime".into(),
+                out: "b.mime".into(),
+                seed: 7,
+                mode: FaultMode::Garble,
+                count: 4,
+            }
+        );
+        match p(&["inject-faults", "a.mime", "--out", "b.mime", "--mode", "garble"])
+            .unwrap()
+        {
+            Command::InjectFaults { mode: FaultMode::Garble, count: 16, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        assert!(p(&["inject-faults", "a.mime"]).is_err(), "--out is required");
+        assert!(p(&["inject-faults", "a.mime", "--out", "b", "--mode", "zap"]).is_err());
+        assert!(p(&["inject-faults", "a.mime", "--out", "b", "--count", "0"]).is_err());
     }
 
     #[test]

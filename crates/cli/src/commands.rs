@@ -1,9 +1,10 @@
 //! Command implementations. Each writes human-readable output to the
 //! given writer, so tests can capture it.
 
-use crate::{Command, SimApproach};
+use crate::{Command, FaultMode, SimApproach};
 use bytes::Bytes;
-use mime_core::deploy::{pack_model, unpack_model};
+use mime_core::deploy::{pack_model, unpack_model, verify_image};
+use mime_core::faults::FaultInjector;
 use mime_core::{
     calibrate_thresholds, measure_sparsity, MimeNetwork, MimeTrainer, MimeTrainerConfig,
     MultiTaskModel,
@@ -37,6 +38,10 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), String> {
         Command::Train { task, epochs, seed } => train(out, &task, epochs, seed),
         Command::Pack { out: path, tasks, seed } => pack(out, &path, tasks, seed),
         Command::Inspect { path } => inspect(out, &path),
+        Command::VerifyImage { path } => verify_image_cmd(out, &path),
+        Command::InjectFaults { path, out: dest, seed, mode, count } => {
+            inject_faults(out, &path, &dest, seed, mode, count)
+        }
         Command::Sweep { input_hw, rounds } => sweep(out, input_hw, rounds),
         Command::Validate { input_hw } => validate(out, input_hw),
     }
@@ -54,6 +59,9 @@ fn write_help(out: &mut dyn Write) {
          \x20           mini-scale threshold training on a synthetic child task\n\
          \x20 pack      --out <file> [--tasks 2] [--seed 42]   write a deployment image\n\
          \x20 inspect   <file>                                 summarize a deployment image\n\
+         \x20 verify-image <file>                              per-section checksum walk\n\
+         \x20 inject-faults <file> --out <file> [--seed 42] [--mode bitflip|truncate|garble]\n\
+         \x20           [--count N]                            corrupt an image for fault drills\n\
          \x20 sweep     [--input-hw 224] [--rounds 6]          batch/task scaling sweeps\n\
          \x20 validate  [--input-hw 32]                        analytical vs functional counters\n\
          \x20 help                                             this message"
@@ -104,11 +112,8 @@ fn simulate(
         SimApproach::Case2 => Approach::Case2,
         SimApproach::Pruned => Approach::Pruned { weight_density: 0.1 },
     };
-    let mode = if pipelined {
-        TaskMode::paper_pipelined()
-    } else {
-        TaskMode::paper_singular()
-    };
+    let mode =
+        if pipelined { TaskMode::paper_pipelined() } else { TaskMode::paper_singular() };
     let geoms = vgg16_geometry_with(input_hw, 4096, 1000);
     let results = simulate_network(&geoms, &cfg, &Scenario { mode, approach });
     if csv {
@@ -130,7 +135,8 @@ fn train(out: &mut dyn Write, task: &str, epochs: usize, seed: u64) -> Result<()
     let mut opt = Adam::with_lr(1e-3);
     let _ = writeln!(out, "training parent (imagenet-like stand-in)...");
     for _ in 0..6 {
-        train_epoch(&mut parent, &parent_task.train.batches(16), &mut opt).map_err(io_err)?;
+        train_epoch(&mut parent, &parent_task.train.batches(16), &mut opt)
+            .map_err(io_err)?;
     }
     let pacc = evaluate(&mut parent, &parent_task.test.batches(16)).map_err(io_err)?;
     let _ = writeln!(out, "parent accuracy: {:.2}%", pacc * 100.0);
@@ -209,7 +215,7 @@ fn small_multitask_model(seed: u64, tasks: usize) -> Result<MultiTaskModel, Stri
 
 fn pack(out: &mut dyn Write, path: &str, tasks: usize, seed: u64) -> Result<(), String> {
     let model = small_multitask_model(seed, tasks)?;
-    let image = pack_model(&model);
+    let image = pack_model(&model).map_err(io_err)?;
     std::fs::write(path, &image).map_err(io_err)?;
     let (w, t, n) = model.storage_profile();
     let _ = writeln!(
@@ -228,16 +234,102 @@ fn inspect(out: &mut dyn Write, path: &str) -> Result<(), String> {
     // Rebuild a compatible receiver at the pack() architecture; a wrong
     // architecture is reported as a readable error.
     let mut model = small_multitask_model(0, 0)?;
-    unpack_model(&bytes, &mut model)
+    let report = unpack_model(&bytes, &mut model)
         .map_err(|e| format!("error: not a compatible deployment image: {e}"))?;
     let (w, t, n) = model.storage_profile();
-    let _ = writeln!(out, "{path}: valid MIME deployment image");
+    if report.is_clean() {
+        let _ = writeln!(out, "{path}: valid MIME deployment image (v{})", report.version);
+    } else {
+        let _ = writeln!(
+            out,
+            "{path}: damaged MIME deployment image (v{}): {} task section(s) rejected",
+            report.version,
+            report.rejected.len()
+        );
+    }
     let _ = writeln!(out, "  backbone parameters: {w}");
     let _ = writeln!(out, "  thresholds per task: {t}");
     let _ = writeln!(out, "  registered tasks:    {n}");
     for task in model.tasks() {
         let _ = writeln!(out, "    - {}", task.name);
     }
+    for r in &report.rejected {
+        let name = r.name.as_deref().unwrap_or("?");
+        let _ = writeln!(out, "    ! task #{} ({name}) rejected: {}", r.index, r.error);
+    }
+    Ok(())
+}
+
+fn verify_image_cmd(out: &mut dyn Write, path: &str) -> Result<(), String> {
+    let raw = std::fs::read(path).map_err(io_err)?;
+    let summary =
+        verify_image(&raw).map_err(|e| format!("error: unreadable image header: {e}"))?;
+    let _ = writeln!(
+        out,
+        "{path}: format v{}, {} bytes, {} section(s)",
+        summary.version,
+        summary.total_bytes,
+        summary.sections.len()
+    );
+    let mut damaged = 0usize;
+    for s in &summary.sections {
+        match &s.error {
+            None => {
+                let _ =
+                    writeln!(out, "  ok      {} ({} bytes)", s.section, s.payload_bytes);
+            }
+            Some(e) => {
+                damaged += 1;
+                let _ = writeln!(out, "  DAMAGED {}: {e}", s.section);
+            }
+        }
+    }
+    if damaged == 0 {
+        let _ = writeln!(out, "image is clean");
+        Ok(())
+    } else {
+        Err(format!("error: {damaged} damaged section(s) in {path}"))
+    }
+}
+
+fn inject_faults(
+    out: &mut dyn Write,
+    path: &str,
+    dest: &str,
+    seed: u64,
+    mode: FaultMode,
+    count: usize,
+) -> Result<(), String> {
+    let mut raw = std::fs::read(path).map_err(io_err)?;
+    if raw.is_empty() {
+        return Err(format!("error: {path} is empty; nothing to corrupt"));
+    }
+    let mut injector = FaultInjector::new(seed);
+    match mode {
+        FaultMode::BitFlip => {
+            let flips = injector.flip_bits(&mut raw, count);
+            let _ = writeln!(out, "flipped {} bit(s) (seed {seed}):", flips.len());
+            for f in &flips {
+                let _ = writeln!(out, "  byte {:>8}, bit {}", f.offset, f.bit);
+            }
+        }
+        FaultMode::Truncate => {
+            let before = raw.len();
+            let after = injector.truncate(&mut raw);
+            let _ = writeln!(out, "truncated {before} -> {after} bytes (seed {seed})");
+        }
+        FaultMode::Garble => match injector.garble(&mut raw, count) {
+            Some((offset, len)) => {
+                let _ =
+                    writeln!(out, "garbled {len} byte(s) at offset {offset} (seed {seed})");
+            }
+            None => {
+                let _ = writeln!(out, "image too small to garble; left unchanged");
+            }
+        },
+    }
+    std::fs::write(dest, &raw).map_err(io_err)?;
+    let _ = writeln!(out, "wrote {dest}: {} bytes", raw.len());
     Ok(())
 }
 
@@ -245,7 +337,11 @@ fn sweep(out: &mut dyn Write, input_hw: usize, rounds: usize) -> Result<(), Stri
     let geoms = vgg16_geometry_with(input_hw, 4096, 1000);
     let cfg = ArrayConfig::eyeriss_65nm();
     let _ = writeln!(out, "batch-depth sweep (3 tasks, round-robin):");
-    let _ = writeln!(out, "{:>7} {:>16} {:>16} {:>10}", "batch", "conventional", "MIME", "savings");
+    let _ = writeln!(
+        out,
+        "{:>7} {:>16} {:>16} {:>10}",
+        "batch", "conventional", "MIME", "savings"
+    );
     for p in mime_systolic::sweep_batch_depth(&geoms, &cfg, rounds) {
         let _ = writeln!(
             out,
@@ -254,7 +350,11 @@ fn sweep(out: &mut dyn Write, input_hw: usize, rounds: usize) -> Result<(), Stri
         );
     }
     let _ = writeln!(out, "\ntask-mix sweep (fixed batch of 6):");
-    let _ = writeln!(out, "{:>7} {:>16} {:>16} {:>10}", "tasks", "conventional", "MIME", "savings");
+    let _ = writeln!(
+        out,
+        "{:>7} {:>16} {:>16} {:>10}",
+        "tasks", "conventional", "MIME", "savings"
+    );
     for p in mime_systolic::sweep_task_mix(&geoms, &cfg) {
         let _ = writeln!(
             out,
@@ -324,7 +424,17 @@ mod tests {
     #[test]
     fn help_lists_all_commands() {
         let s = capture(Command::Help);
-        for cmd in ["storage", "simulate", "train", "pack", "inspect", "sweep", "validate"] {
+        for cmd in [
+            "storage",
+            "simulate",
+            "train",
+            "pack",
+            "inspect",
+            "verify-image",
+            "inject-faults",
+            "sweep",
+            "validate",
+        ] {
             assert!(s.contains(cmd), "{cmd} missing from help");
         }
     }
@@ -381,17 +491,79 @@ mod tests {
     }
 
     #[test]
+    fn verify_clean_image() {
+        let dir = std::env::temp_dir().join("mime_cli_test_verify");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.mime");
+        let path_str = path.to_str().unwrap().to_string();
+        capture(Command::Pack { out: path_str.clone(), tasks: 2, seed: 1 });
+        let s = capture(Command::VerifyImage { path: path_str });
+        assert!(s.contains("image is clean"), "{s}");
+        assert!(s.contains("backbone"), "{s}");
+        assert!(s.contains("task1"), "{s}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn inject_then_verify_flags_damage() {
+        let dir = std::env::temp_dir().join("mime_cli_test_inject");
+        std::fs::create_dir_all(&dir).unwrap();
+        let clean = dir.join("clean.mime").to_str().unwrap().to_string();
+        let bad = dir.join("bad.mime").to_str().unwrap().to_string();
+        capture(Command::Pack { out: clean.clone(), tasks: 2, seed: 1 });
+        let s = capture(Command::InjectFaults {
+            path: clean.clone(),
+            out: bad.clone(),
+            seed: 9,
+            mode: FaultMode::BitFlip,
+            count: 3,
+        });
+        assert!(s.contains("flipped 3 bit(s)"), "{s}");
+        // Same seed, same file → identical corruption (determinism).
+        let s2 = capture(Command::InjectFaults {
+            path: clean,
+            out: bad.clone(),
+            seed: 9,
+            mode: FaultMode::BitFlip,
+            count: 3,
+        });
+        assert_eq!(s.lines().nth(1), s2.lines().nth(1));
+        let mut buf = Vec::new();
+        let err = run(Command::VerifyImage { path: bad }, &mut buf).unwrap_err();
+        assert!(err.contains("damaged section"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn inject_truncate_mode() {
+        let dir = std::env::temp_dir().join("mime_cli_test_trunc");
+        std::fs::create_dir_all(&dir).unwrap();
+        let clean = dir.join("clean.mime").to_str().unwrap().to_string();
+        let bad = dir.join("bad.mime").to_str().unwrap().to_string();
+        capture(Command::Pack { out: clean.clone(), tasks: 1, seed: 2 });
+        let s = capture(Command::InjectFaults {
+            path: clean.clone(),
+            out: bad.clone(),
+            seed: 3,
+            mode: FaultMode::Truncate,
+            count: 1,
+        });
+        assert!(s.contains("truncated"), "{s}");
+        let clean_len = std::fs::metadata(&clean).unwrap().len();
+        let bad_len = std::fs::metadata(&bad).unwrap().len();
+        assert!(bad_len < clean_len, "{bad_len} vs {clean_len}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn inspect_rejects_garbage() {
         let dir = std::env::temp_dir().join("mime_cli_test_garbage");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("junk.bin");
         std::fs::write(&path, b"not an image").unwrap();
         let mut buf = Vec::new();
-        let err = run(
-            Command::Inspect { path: path.to_str().unwrap().into() },
-            &mut buf,
-        )
-        .unwrap_err();
+        let err = run(Command::Inspect { path: path.to_str().unwrap().into() }, &mut buf)
+            .unwrap_err();
         assert!(err.contains("not a compatible"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -399,8 +571,9 @@ mod tests {
     #[test]
     fn inspect_missing_file_errors() {
         let mut buf = Vec::new();
-        assert!(run(Command::Inspect { path: "/nonexistent/x.mime".into() }, &mut buf)
-            .is_err());
+        assert!(
+            run(Command::Inspect { path: "/nonexistent/x.mime".into() }, &mut buf).is_err()
+        );
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! mime train     [--task cifar10|cifar100|fmnist] [--epochs 10] [--seed 42]
 //! mime pack      --out <file> [--tasks 2] [--seed 42]
 //! mime inspect   <file>
+//! mime verify-image  <file>
+//! mime inject-faults <file> --out <file> [--seed 42] [--mode bitflip|truncate|garble] [--count N]
 //! mime validate  [--input-hw 32]
 //! mime help
 //! ```
@@ -20,5 +22,5 @@
 mod args;
 mod commands;
 
-pub use args::{parse_args, ArgError, Command, SimApproach};
+pub use args::{parse_args, ArgError, Command, FaultMode, SimApproach};
 pub use commands::run;

@@ -54,10 +54,7 @@ fn unknown_command_fails_with_message() {
 
 #[test]
 fn bad_flag_fails() {
-    let out = mime()
-        .args(["storage", "--children", "many"])
-        .output()
-        .expect("binary runs");
+    let out = mime().args(["storage", "--children", "many"]).output().expect("binary runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("children"));
 }
@@ -73,10 +70,8 @@ fn pack_writes_file_and_inspect_reads_it() {
         .expect("binary runs");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     assert!(path.exists());
-    let out = mime()
-        .args(["inspect", path.to_str().unwrap()])
-        .output()
-        .expect("binary runs");
+    let out =
+        mime().args(["inspect", path.to_str().unwrap()]).output().expect("binary runs");
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("registered tasks"));
     std::fs::remove_dir_all(&dir).ok();

@@ -8,152 +8,723 @@
 //! [`MultiTaskModel`]. The byte counts it produces are the ground truth
 //! the Fig. 4 storage model predicts.
 //!
-//! ## Wire format
+//! ## Wire format v2 (written by [`pack_model`])
 //!
 //! ```text
-//! magic "MIME" | version u16 | backbone-count u32 |
-//!   { name-len u16, name, rank u16, dims u32…, scale f32, len u32, i16… }…
+//! magic "MIME" | version u16 (=2) | total-len u32 |
+//! backbone section:
+//!   sec-len u32 | crc32 u32 | payload {
+//!     count u32, { name-len u16, name, tensor }…
+//!   }
 //! task-count u32 |
-//!   { name-len u16, name, bank-count u32, { rank, dims…, scale, len, i16… }… }…
+//! per-task section:
+//!   sec-len u32 | crc32 u32 | payload {
+//!     name-len u16, name, bank-count u32, { tensor }…
+//!   }
 //! ```
+//!
+//! where `tensor` is `rank u16, dims u32…, scale f32, len u32, i16…`,
+//! all integers big-endian. `total-len` is the byte length of the whole
+//! image; each `sec-len` is its section's payload length, and each
+//! `crc32` is the CRC32 (IEEE, reflected, as in zip/zlib) of exactly
+//! those payload bytes.
+//!
+//! ### Integrity and fault containment
+//!
+//! The backbone and **every task bank are checksummed independently**, so
+//! corruption is attributable to one section: a damaged child task is
+//! rejected (reported in [`UnpackReport::rejected`]) while the backbone
+//! and sibling tasks load cleanly. Backbone corruption is a hard error —
+//! without `W_parent` no task can run. The length framing makes a
+//! corrupted section skippable; the one non-recoverable fault is a
+//! corrupted `sec-len`/`total-len` field itself, which makes the tail of
+//! the image unframeable — the damaged section and everything after it
+//! are then rejected (never silently mis-parsed, because the CRC over a
+//! mis-framed range fails).
+//!
+//! ## Wire format v1 (legacy, read-only)
+//!
+//! ```text
+//! magic "MIME" | version u16 (=1) | backbone-count u32 |
+//!   { name-len u16, name, tensor }…
+//! task-count u32 |
+//!   { name-len u16, name, bank-count u32, { tensor }… }…
+//! ```
+//!
+//! v1 images carry no checksums and no section framing: [`unpack_model`]
+//! still reads them, but any parse failure beyond a task-registration
+//! collision is a hard error, and corruption that happens to decode
+//! cannot be detected. [`verify_image`] reports v1 sections as
+//! unverifiable.
 
-use crate::{MultiTaskModel, TaskEntry};
+use crate::{ImageSection, MimeError, MultiTaskModel, TaskEntry};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mime_nn::quant::QuantizedTensor;
-use mime_tensor::{Tensor, TensorError};
+use mime_tensor::Tensor;
 use std::collections::HashMap;
 
 const MAGIC: &[u8; 4] = b"MIME";
-const VERSION: u16 = 1;
+/// Oldest image version [`unpack_model`] accepts.
+pub const VERSION_MIN: u16 = 1;
+/// Version written by [`pack_model`] (and newest accepted).
+pub const VERSION: u16 = 2;
 
-fn err(msg: impl Into<String>) -> TensorError {
-    TensorError::InvalidGeometry(msg.into())
+// ---------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected — the zip/zlib polynomial)
+// ---------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
 }
 
-fn put_tensor(buf: &mut BytesMut, t: &Tensor) {
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE) of `data` — the checksum stored in v2 section headers.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------
+// Field writers (checked: every narrowing cast can fail loudly)
+// ---------------------------------------------------------------------
+
+fn check_u16(field: &'static str, value: usize) -> crate::Result<u16> {
+    u16::try_from(value).map_err(|_| MimeError::FieldOverflow {
+        field,
+        value: value as u64,
+        max: u16::MAX as u64,
+    })
+}
+
+fn check_u32(field: &'static str, value: usize) -> crate::Result<u32> {
+    u32::try_from(value).map_err(|_| MimeError::FieldOverflow {
+        field,
+        value: value as u64,
+        max: u32::MAX as u64,
+    })
+}
+
+fn put_tensor(buf: &mut BytesMut, t: &Tensor) -> crate::Result<()> {
     let q = QuantizedTensor::quantize(t);
-    buf.put_u16(q.dims().len() as u16);
+    buf.put_u16(check_u16("tensor rank", q.dims().len())?);
     for &d in q.dims() {
-        buf.put_u32(d as u32);
+        buf.put_u32(check_u32("tensor dim", d)?);
     }
     buf.put_f32(q.scale());
-    buf.put_u32(q.values().len() as u32);
+    buf.put_u32(check_u32("tensor len", q.values().len())?);
     for &v in q.values() {
         buf.put_i16(v);
     }
+    Ok(())
 }
 
-fn get_tensor(buf: &mut Bytes) -> crate::Result<Tensor> {
+fn put_name(buf: &mut BytesMut, name: &str) -> crate::Result<()> {
+    buf.put_u16(check_u16("name-len", name.len())?);
+    buf.put_slice(name.as_bytes());
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Field readers (every failure attributed to the section being read)
+// ---------------------------------------------------------------------
+
+fn truncated(section: &ImageSection, what: &'static str) -> MimeError {
+    MimeError::Truncated { section: section.clone(), what }
+}
+
+fn get_tensor(buf: &mut Bytes, section: &ImageSection) -> crate::Result<Tensor> {
     if buf.remaining() < 2 {
-        return Err(err("truncated image: tensor header"));
+        return Err(truncated(section, "tensor header"));
     }
     let rank = buf.get_u16() as usize;
     if buf.remaining() < rank * 4 + 8 {
-        return Err(err("truncated image: tensor dims"));
+        return Err(truncated(section, "tensor dims"));
     }
     let dims: Vec<usize> = (0..rank).map(|_| buf.get_u32() as usize).collect();
     let scale = buf.get_f32();
     let len = buf.get_u32() as usize;
     if buf.remaining() < len * 2 {
-        return Err(err("truncated image: tensor payload"));
+        return Err(truncated(section, "tensor payload"));
     }
     let values: Vec<i16> = (0..len).map(|_| buf.get_i16()).collect();
+    if !scale.is_finite() {
+        return Err(MimeError::MalformedImage {
+            section: section.clone(),
+            reason: format!("non-finite quantization scale {scale}"),
+        });
+    }
     Ok(QuantizedTensor::from_parts(dims, scale, values)?.dequantize())
 }
 
-fn put_name(buf: &mut BytesMut, name: &str) {
-    buf.put_u16(name.len() as u16);
-    buf.put_slice(name.as_bytes());
-}
-
-fn get_name(buf: &mut Bytes) -> crate::Result<String> {
+fn get_name(buf: &mut Bytes, section: &ImageSection) -> crate::Result<String> {
     if buf.remaining() < 2 {
-        return Err(err("truncated image: name length"));
+        return Err(truncated(section, "name length"));
     }
     let len = buf.get_u16() as usize;
     if buf.remaining() < len {
-        return Err(err("truncated image: name bytes"));
+        return Err(truncated(section, "name bytes"));
     }
     let raw = buf.copy_to_bytes(len);
-    String::from_utf8(raw.to_vec()).map_err(|_| err("invalid utf-8 in name"))
+    String::from_utf8(raw.to_vec()).map_err(|_| MimeError::MalformedImage {
+        section: section.clone(),
+        reason: "invalid utf-8 in name".into(),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Packing (v2 writer)
+// ---------------------------------------------------------------------
+
+fn backbone_payload(model: &MultiTaskModel) -> crate::Result<BytesMut> {
+    let mut buf = BytesMut::new();
+    let backbone = model.network().backbone_params();
+    buf.put_u32(check_u32("backbone count", backbone.len())?);
+    for p in backbone {
+        put_name(&mut buf, p.name())?;
+        put_tensor(&mut buf, &p.value)?;
+    }
+    Ok(buf)
+}
+
+fn task_payload(entry: &TaskEntry) -> crate::Result<BytesMut> {
+    let mut buf = BytesMut::new();
+    put_name(&mut buf, &entry.name)?;
+    buf.put_u32(check_u32("bank count", entry.thresholds.len())?);
+    for bank in &entry.thresholds {
+        put_tensor(&mut buf, bank)?;
+    }
+    Ok(buf)
+}
+
+fn put_section(buf: &mut BytesMut, payload: &BytesMut) -> crate::Result<()> {
+    buf.put_u32(check_u32("sec-len", payload.len())?);
+    buf.put_u32(crc32(payload));
+    buf.put_slice(payload);
+    Ok(())
 }
 
 /// Serializes a multi-task model's DRAM-resident parameters
 /// (`W_parent` + every registered task's threshold banks) at 16-bit
-/// precision.
-pub fn pack_model(model: &MultiTaskModel) -> Bytes {
-    let mut buf = BytesMut::new();
-    buf.put_slice(MAGIC);
-    buf.put_u16(VERSION);
-    let backbone = model.network().backbone_params();
-    buf.put_u32(backbone.len() as u32);
-    for p in backbone {
-        put_name(&mut buf, p.name());
-        put_tensor(&mut buf, &p.value);
-    }
-    buf.put_u32(model.tasks().len() as u32);
-    for TaskEntry { name, thresholds } in model.tasks() {
-        put_name(&mut buf, name);
-        buf.put_u32(thresholds.len() as u32);
-        for bank in thresholds {
-            put_tensor(&mut buf, bank);
-        }
-    }
-    buf.freeze()
-}
-
-/// Restores a packed image into a model built over the **same
-/// architecture**: backbone values are overwritten and every packed task
-/// is registered.
-///
-/// The receiver should carry no task whose name collides with a packed
-/// task — collisions abort the restore partway (backbone already
-/// replaced, earlier tasks already registered).
+/// precision, as a v2 image with per-section CRC32 checksums.
 ///
 /// # Errors
 ///
-/// Returns an error for a bad magic/version, a truncated image, a shape
-/// mismatch against the receiving model, or a task-name collision.
-pub fn unpack_model(bytes: &Bytes, model: &mut MultiTaskModel) -> crate::Result<()> {
-    let mut buf = bytes.clone();
+/// Returns [`MimeError::FieldOverflow`] when a count, name, or tensor
+/// dimension exceeds its wire-format field.
+pub fn pack_model(model: &MultiTaskModel) -> crate::Result<Bytes> {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u16(VERSION);
+    buf.put_u32(0); // total-len placeholder, patched below
+    put_section(&mut buf, &backbone_payload(model)?)?;
+    buf.put_u32(check_u32("task count", model.tasks().len())?);
+    for entry in model.tasks() {
+        put_section(&mut buf, &task_payload(entry)?)?;
+    }
+    let total = check_u32("total-len", buf.len())?;
+    buf.as_mut_slice()[6..10].copy_from_slice(&total.to_be_bytes());
+    Ok(buf.freeze())
+}
+
+// ---------------------------------------------------------------------
+// Unpacking (v1 + v2 reader)
+// ---------------------------------------------------------------------
+
+/// One task section that failed to load, with the reason.
+#[derive(Debug, Clone)]
+pub struct RejectedTask {
+    /// Zero-based position of the task section in the image.
+    pub index: usize,
+    /// Task name, when it could be recovered from the section.
+    pub name: Option<String>,
+    /// Why the task was rejected.
+    pub error: MimeError,
+}
+
+/// Outcome of a resilient [`unpack_model`]: which tasks loaded and which
+/// were rejected (with per-section attribution).
+#[derive(Debug, Clone, Default)]
+pub struct UnpackReport {
+    /// Image version that was read.
+    pub version: u16,
+    /// Names of the tasks registered into the receiving model, in image
+    /// order.
+    pub loaded: Vec<String>,
+    /// Task sections that failed their checksum, failed to parse, or
+    /// failed registration — skipped without affecting siblings.
+    pub rejected: Vec<RejectedTask>,
+}
+
+impl UnpackReport {
+    /// `true` when every task section loaded.
+    pub fn is_clean(&self) -> bool {
+        self.rejected.is_empty()
+    }
+}
+
+struct SectionHeader {
+    len: usize,
+    crc: u32,
+}
+
+/// Reads a `sec-len | crc32` section header, bounds-checking `sec-len`
+/// against the remaining bytes.
+fn get_section_header(
+    buf: &mut Bytes,
+    section: &ImageSection,
+) -> crate::Result<SectionHeader> {
+    if buf.remaining() < 8 {
+        return Err(truncated(section, "section header"));
+    }
+    let len = buf.get_u32() as usize;
+    let crc = buf.get_u32();
+    if buf.remaining() < len {
+        return Err(truncated(section, "section payload"));
+    }
+    Ok(SectionHeader { len, crc })
+}
+
+/// Splits off and CRC-verifies one section payload.
+fn get_section_payload(buf: &mut Bytes, section: &ImageSection) -> crate::Result<Bytes> {
+    let header = get_section_header(buf, section)?;
+    let payload = buf.copy_to_bytes(header.len);
+    let actual = crc32(&payload);
+    if actual != header.crc {
+        return Err(MimeError::ChecksumMismatch {
+            section: section.clone(),
+            expected: header.crc,
+            actual,
+        });
+    }
+    Ok(payload)
+}
+
+/// Reads the v2 task count, rejecting values the remaining bytes could
+/// not possibly frame (each task section needs at least an 8-byte
+/// header). Without this plausibility check a corrupted count drives
+/// the per-task rejection walk through billions of phantom sections.
+fn checked_task_count(buf: &mut Bytes) -> crate::Result<usize> {
+    if buf.remaining() < 4 {
+        return Err(truncated(&ImageSection::Header, "task count"));
+    }
+    let n_tasks = buf.get_u32() as usize;
+    let max = buf.remaining() / 8;
+    if n_tasks > max {
+        return Err(MimeError::MalformedImage {
+            section: ImageSection::Header,
+            reason: format!(
+                "task count {n_tasks} exceeds the {max} sections the remaining {} bytes could frame",
+                buf.remaining()
+            ),
+        });
+    }
+    Ok(n_tasks)
+}
+
+/// Reads `magic | version`, returning the version.
+fn get_header(buf: &mut Bytes) -> crate::Result<u16> {
+    let section = ImageSection::Header;
     if buf.remaining() < 6 {
-        return Err(err("truncated image: header"));
+        return Err(truncated(&section, "magic/version"));
     }
     let mut magic = [0u8; 4];
     buf.copy_to_slice(&mut magic);
     if &magic != MAGIC {
-        return Err(err("bad magic: not a MIME deployment image"));
+        return Err(MimeError::BadMagic);
     }
     let version = buf.get_u16();
-    if version != VERSION {
-        return Err(err(format!("unsupported image version {version}")));
+    if !(VERSION_MIN..=VERSION).contains(&version) {
+        return Err(MimeError::VersionSkew {
+            found: version,
+            min_supported: VERSION_MIN,
+            max_supported: VERSION,
+        });
+    }
+    Ok(version)
+}
+
+fn parse_backbone(payload: &mut Bytes) -> crate::Result<HashMap<String, Tensor>> {
+    let section = ImageSection::Backbone;
+    if payload.remaining() < 4 {
+        return Err(truncated(&section, "backbone count"));
+    }
+    let n = payload.get_u32() as usize;
+    let mut backbone = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let name = get_name(payload, &section)?;
+        let tensor = get_tensor(payload, &section)?;
+        backbone.insert(name, tensor);
+    }
+    Ok(backbone)
+}
+
+/// Parses one v2 task payload into `(name, banks)`, checking every bank
+/// for non-finite values (a corrupted-but-CRC-valid bank cannot occur,
+/// but a bank poisoned *before* packing can).
+fn parse_task(payload: &mut Bytes, index: usize) -> crate::Result<(String, Vec<Tensor>)> {
+    let unnamed = ImageSection::task_unnamed(index);
+    let name = get_name(payload, &unnamed)?;
+    let section = ImageSection::task(index, name.clone());
+    if payload.remaining() < 4 {
+        return Err(truncated(&section, "bank count"));
+    }
+    let n_banks = payload.get_u32() as usize;
+    let mut banks = Vec::with_capacity(n_banks);
+    for layer in 0..n_banks {
+        let bank = get_tensor(payload, &section)?;
+        if let Some(idx) = crate::faults::first_non_finite(bank.as_slice()) {
+            return Err(MimeError::NonFinite {
+                stage: "threshold bank",
+                layer,
+                index: idx,
+            });
+        }
+        banks.push(bank);
+    }
+    Ok((name, banks))
+}
+
+/// Restores a packed image (v1 or v2) into a model built over the
+/// **same architecture**: backbone values are overwritten and every
+/// intact packed task is registered.
+///
+/// v2 images load resiliently: a task section that fails its checksum,
+/// fails to parse, or fails registration (shape mismatch, name
+/// collision) is skipped and reported in [`UnpackReport::rejected`];
+/// the backbone and the remaining tasks still load. Backbone corruption
+/// is always a hard error.
+///
+/// # Errors
+///
+/// Returns an error for a bad magic, an unsupported version, a
+/// truncated or checksum-failing header/backbone, or (v1 only) any
+/// parse failure.
+pub fn unpack_model(
+    bytes: &Bytes,
+    model: &mut MultiTaskModel,
+) -> crate::Result<UnpackReport> {
+    let mut buf = bytes.clone();
+    let version = get_header(&mut buf)?;
+    if version == 1 {
+        return unpack_v1(&mut buf, model);
     }
     if buf.remaining() < 4 {
-        return Err(err("truncated image: backbone count"));
+        return Err(truncated(&ImageSection::Header, "total length"));
+    }
+    let total = buf.get_u32() as usize;
+    if total != bytes.len() {
+        return Err(MimeError::MalformedImage {
+            section: ImageSection::Header,
+            reason: format!("total-len {total} but image is {} bytes", bytes.len()),
+        });
+    }
+    let mut backbone_payload = get_section_payload(&mut buf, &ImageSection::Backbone)?;
+    let backbone = parse_backbone(&mut backbone_payload)?;
+    model.network_mut().import_backbone(&backbone)?;
+    let n_tasks = checked_task_count(&mut buf)?;
+    let mut report = UnpackReport { version, ..Default::default() };
+    let mut framing_lost = false;
+    for index in 0..n_tasks {
+        let unnamed = ImageSection::task_unnamed(index);
+        let mut payload = match get_section_payload(&mut buf, &unnamed) {
+            Ok(p) => p,
+            Err(e) => {
+                // Framing is unrecoverable past a truncated/overlong
+                // section: reject this task and everything after it.
+                let fatal = matches!(e, MimeError::Truncated { .. });
+                report.rejected.push(RejectedTask { index, name: None, error: e });
+                if fatal {
+                    framing_lost = true;
+                    for rest in index + 1..n_tasks {
+                        report.rejected.push(RejectedTask {
+                            index: rest,
+                            name: None,
+                            error: truncated(
+                                &ImageSection::task_unnamed(rest),
+                                "section lost after framing damage",
+                            ),
+                        });
+                    }
+                    break;
+                }
+                continue;
+            }
+        };
+        match parse_task(&mut payload, index) {
+            Ok((name, banks)) => match model.register_task(name.clone(), banks) {
+                Ok(()) => report.loaded.push(name),
+                Err(e) => {
+                    report.rejected.push(RejectedTask { index, name: Some(name), error: e })
+                }
+            },
+            Err(e) => report.rejected.push(RejectedTask { index, name: None, error: e }),
+        }
+    }
+    // Trailing bytes mean the task count under-reports the sections
+    // actually present (e.g. a flipped task-count byte) — a silently
+    // shrunken model would otherwise look clean.
+    if !framing_lost && buf.remaining() > 0 {
+        return Err(MimeError::MalformedImage {
+            section: ImageSection::Header,
+            reason: format!(
+                "{} trailing bytes after the last task section",
+                buf.remaining()
+            ),
+        });
+    }
+    Ok(report)
+}
+
+/// Legacy v1 reader: no checksums, no framing — parse errors are hard,
+/// registration failures (collisions, shape mismatches) are contained.
+fn unpack_v1(buf: &mut Bytes, model: &mut MultiTaskModel) -> crate::Result<UnpackReport> {
+    if buf.remaining() < 4 {
+        return Err(truncated(&ImageSection::Backbone, "backbone count"));
     }
     let n_backbone = buf.get_u32() as usize;
+    let section = ImageSection::Backbone;
     let mut backbone = HashMap::with_capacity(n_backbone);
     for _ in 0..n_backbone {
-        let name = get_name(&mut buf)?;
-        let tensor = get_tensor(&mut buf)?;
+        let name = get_name(buf, &section)?;
+        let tensor = get_tensor(buf, &section)?;
         backbone.insert(name, tensor);
     }
     model.network_mut().import_backbone(&backbone)?;
     if buf.remaining() < 4 {
-        return Err(err("truncated image: task count"));
+        return Err(truncated(&ImageSection::Header, "task count"));
     }
     let n_tasks = buf.get_u32() as usize;
-    for _ in 0..n_tasks {
-        let name = get_name(&mut buf)?;
-        if buf.remaining() < 4 {
-            return Err(err("truncated image: bank count"));
+    let mut report = UnpackReport { version: 1, ..Default::default() };
+    for index in 0..n_tasks {
+        let (name, banks) = parse_task(buf, index)?;
+        match model.register_task(name.clone(), banks) {
+            Ok(()) => report.loaded.push(name),
+            Err(e) => {
+                report.rejected.push(RejectedTask { index, name: Some(name), error: e })
+            }
         }
-        let n_banks = buf.get_u32() as usize;
-        let mut banks = Vec::with_capacity(n_banks);
-        for _ in 0..n_banks {
-            banks.push(get_tensor(&mut buf)?);
+    }
+    if buf.remaining() > 0 {
+        return Err(MimeError::MalformedImage {
+            section: ImageSection::Header,
+            reason: format!(
+                "{} trailing bytes after the last task section",
+                buf.remaining()
+            ),
+        });
+    }
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------
+// Receiver-less verification
+// ---------------------------------------------------------------------
+
+/// Integrity status of one image section, as reported by
+/// [`verify_image`].
+#[derive(Debug, Clone)]
+pub struct SectionStatus {
+    /// Which section this is.
+    pub section: ImageSection,
+    /// Payload byte length (0 when the section could not be framed).
+    pub payload_bytes: usize,
+    /// `None` when the section verified clean; otherwise the defect.
+    pub error: Option<MimeError>,
+}
+
+/// Receiver-less summary of a deployment image's integrity.
+#[derive(Debug, Clone)]
+pub struct ImageSummary {
+    /// Image version.
+    pub version: u16,
+    /// Total image bytes.
+    pub total_bytes: usize,
+    /// Per-section status: backbone first, then each task section.
+    pub sections: Vec<SectionStatus>,
+}
+
+impl ImageSummary {
+    /// `true` when every section verified clean.
+    pub fn is_clean(&self) -> bool {
+        self.sections.iter().all(|s| s.error.is_none())
+    }
+}
+
+/// Verifies an image's framing and per-section checksums without a
+/// receiving model — the cheap integrity walk behind the `verify-image`
+/// CLI subcommand.
+///
+/// v2 sections are CRC-checked and parsed structurally (names, tensor
+/// framing); v1 images carry no checksums, so their sections are parsed
+/// structurally only.
+///
+/// # Errors
+///
+/// Returns an error only when the header itself is unreadable (bad
+/// magic, version skew, truncation, total-length mismatch) — all
+/// section-level damage, including a corrupt backbone, is reported per
+/// section in the summary. (This differs from [`unpack_model`], where a
+/// damaged backbone is a hard error because nothing can execute without
+/// it; `verify_image` is a diagnostic and keeps walking.)
+pub fn verify_image(bytes: &[u8]) -> crate::Result<ImageSummary> {
+    let image = Bytes::from(bytes.to_vec());
+    let mut buf = image.clone();
+    let version = get_header(&mut buf)?;
+    let mut summary =
+        ImageSummary { version, total_bytes: bytes.len(), sections: Vec::new() };
+    if version == 1 {
+        verify_v1(&mut buf, &mut summary)?;
+        return Ok(summary);
+    }
+    if buf.remaining() < 4 {
+        return Err(truncated(&ImageSection::Header, "total length"));
+    }
+    let total = buf.get_u32() as usize;
+    if total != bytes.len() {
+        return Err(MimeError::MalformedImage {
+            section: ImageSection::Header,
+            reason: format!("total-len {total} but image is {} bytes", bytes.len()),
+        });
+    }
+    match get_section_payload(&mut buf, &ImageSection::Backbone) {
+        Ok(mut payload) => {
+            let backbone_bytes = payload.remaining();
+            let error = parse_backbone(&mut payload).err();
+            summary.sections.push(SectionStatus {
+                section: ImageSection::Backbone,
+                payload_bytes: backbone_bytes,
+                error,
+            });
         }
-        model.register_task(name, banks)?;
+        Err(e) => {
+            // A CRC mismatch still consumed the (correctly framed)
+            // payload, so the task walk below stays aligned; truncation
+            // means framing itself is gone and nothing after the
+            // backbone can be attributed.
+            let fatal = matches!(e, MimeError::Truncated { .. });
+            summary.sections.push(SectionStatus {
+                section: ImageSection::Backbone,
+                payload_bytes: 0,
+                error: Some(e),
+            });
+            if fatal {
+                return Ok(summary);
+            }
+        }
+    }
+    let n_tasks = checked_task_count(&mut buf)?;
+    let mut framing_lost = false;
+    for index in 0..n_tasks {
+        let unnamed = ImageSection::task_unnamed(index);
+        match get_section_payload(&mut buf, &unnamed) {
+            Ok(mut payload) => {
+                let payload_bytes = payload.remaining();
+                let (section, error) = match parse_task(&mut payload, index) {
+                    Ok((name, _)) => (ImageSection::task(index, name), None),
+                    Err(e) => (unnamed, Some(e)),
+                };
+                summary.sections.push(SectionStatus { section, payload_bytes, error });
+            }
+            Err(e) => {
+                let fatal = matches!(e, MimeError::Truncated { .. });
+                summary.sections.push(SectionStatus {
+                    section: unnamed,
+                    payload_bytes: 0,
+                    error: Some(e),
+                });
+                if fatal {
+                    framing_lost = true;
+                    for rest in index + 1..n_tasks {
+                        summary.sections.push(SectionStatus {
+                            section: ImageSection::task_unnamed(rest),
+                            payload_bytes: 0,
+                            error: Some(truncated(
+                                &ImageSection::task_unnamed(rest),
+                                "section lost after framing damage",
+                            )),
+                        });
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    if !framing_lost {
+        if let Some(rest) = trailing_bytes_error(&buf) {
+            summary.sections.push(rest);
+        }
+    }
+    Ok(summary)
+}
+
+/// A [`SectionStatus`] flagging unaccounted trailing bytes (a shrunken
+/// task count would otherwise verify clean), or `None` when the buffer
+/// was fully consumed.
+fn trailing_bytes_error(buf: &Bytes) -> Option<SectionStatus> {
+    if buf.remaining() == 0 {
+        return None;
+    }
+    Some(SectionStatus {
+        section: ImageSection::Header,
+        payload_bytes: 0,
+        error: Some(MimeError::MalformedImage {
+            section: ImageSection::Header,
+            reason: format!(
+                "{} trailing bytes after the last task section",
+                buf.remaining()
+            ),
+        }),
+    })
+}
+
+/// Structural walk of a v1 image (no checksums to check).
+fn verify_v1(buf: &mut Bytes, summary: &mut ImageSummary) -> crate::Result<()> {
+    let before = buf.remaining();
+    if buf.remaining() < 4 {
+        return Err(truncated(&ImageSection::Backbone, "backbone count"));
+    }
+    let n_backbone = buf.get_u32() as usize;
+    let section = ImageSection::Backbone;
+    for _ in 0..n_backbone {
+        get_name(buf, &section)?;
+        get_tensor(buf, &section)?;
+    }
+    summary.sections.push(SectionStatus {
+        section: ImageSection::Backbone,
+        payload_bytes: before - buf.remaining(),
+        error: None,
+    });
+    if buf.remaining() < 4 {
+        return Err(truncated(&ImageSection::Header, "task count"));
+    }
+    let n_tasks = buf.get_u32() as usize;
+    for index in 0..n_tasks {
+        let before = buf.remaining();
+        let (name, _) = parse_task(buf, index)?;
+        summary.sections.push(SectionStatus {
+            section: ImageSection::task(index, name),
+            payload_bytes: before - buf.remaining(),
+            error: None,
+        });
+    }
+    if let Some(rest) = trailing_bytes_error(buf) {
+        summary.sections.push(rest);
     }
     Ok(())
 }
@@ -192,13 +763,45 @@ mod tests {
         model
     }
 
+    /// Writes the legacy v1 format, for reader-compat tests.
+    fn pack_model_v1(model: &MultiTaskModel) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u16(1);
+        let backbone = model.network().backbone_params();
+        buf.put_u32(backbone.len() as u32);
+        for p in backbone {
+            put_name(&mut buf, p.name()).unwrap();
+            put_tensor(&mut buf, &p.value).unwrap();
+        }
+        buf.put_u32(model.tasks().len() as u32);
+        for TaskEntry { name, thresholds } in model.tasks() {
+            put_name(&mut buf, name).unwrap();
+            buf.put_u32(thresholds.len() as u32);
+            for bank in thresholds {
+                put_tensor(&mut buf, bank).unwrap();
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Byte offset where the first task's section begins (after magic,
+    /// version, total-len, backbone section, task count).
+    fn first_task_section_offset(image: &[u8]) -> usize {
+        let backbone_len = u32::from_be_bytes(image[10..14].try_into().unwrap()) as usize;
+        10 + 8 + backbone_len + 4
+    }
+
     #[test]
     fn pack_unpack_round_trip() {
         let model = model_with_tasks(1, 2);
-        let image = pack_model(&model);
+        let image = pack_model(&model).unwrap();
         // receiver: same arch, different weights, no tasks
         let mut receiver = model_with_tasks(99, 0);
-        unpack_model(&image, &mut receiver).unwrap();
+        let report = unpack_model(&image, &mut receiver).unwrap();
+        assert_eq!(report.version, VERSION);
+        assert!(report.is_clean());
+        assert_eq!(report.loaded, vec!["task0", "task1"]);
         assert_eq!(receiver.tasks().len(), 2);
         // thresholds restored within quantization error
         receiver.activate("task1").unwrap();
@@ -219,14 +822,32 @@ mod tests {
     }
 
     #[test]
+    fn reads_legacy_v1_images() {
+        let model = model_with_tasks(1, 2);
+        let image = pack_model_v1(&model);
+        let mut receiver = model_with_tasks(98, 0);
+        let report = unpack_model(&image, &mut receiver).unwrap();
+        assert_eq!(report.version, 1);
+        assert!(report.is_clean());
+        assert_eq!(receiver.tasks().len(), 2);
+        let summary = verify_image(&image).unwrap();
+        assert_eq!(summary.version, 1);
+        assert!(summary.is_clean());
+        assert_eq!(summary.sections.len(), 3);
+    }
+
+    #[test]
     fn rejects_bad_magic_and_truncation() {
         let model = model_with_tasks(2, 1);
-        let image = pack_model(&model);
+        let image = pack_model(&model).unwrap();
         let mut receiver = model_with_tasks(3, 0);
 
         let mut bad = image.to_vec();
         bad[0] = b'X';
-        assert!(unpack_model(&Bytes::from(bad), &mut receiver).is_err());
+        assert!(matches!(
+            unpack_model(&Bytes::from(bad), &mut receiver),
+            Err(MimeError::BadMagic)
+        ));
 
         let truncated = image.slice(0..image.len() / 2);
         assert!(unpack_model(&truncated, &mut receiver).is_err());
@@ -237,18 +858,101 @@ mod tests {
     #[test]
     fn rejects_wrong_version() {
         let model = model_with_tasks(4, 0);
-        let mut image = pack_model(&model).to_vec();
+        let mut image = pack_model(&model).unwrap().to_vec();
         image[4] = 0xFF;
         let mut receiver = model_with_tasks(5, 0);
-        assert!(unpack_model(&Bytes::from(image), &mut receiver).is_err());
+        assert!(matches!(
+            unpack_model(&Bytes::from(image), &mut receiver),
+            Err(MimeError::VersionSkew { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_backbone_is_a_hard_checksum_error() {
+        let model = model_with_tasks(12, 1);
+        let mut image = pack_model(&model).unwrap().to_vec();
+        // flip one payload bit well inside the backbone section
+        image[200] ^= 0x10;
+        let mut receiver = model_with_tasks(13, 0);
+        match unpack_model(&Bytes::from(image.clone()), &mut receiver) {
+            Err(MimeError::ChecksumMismatch {
+                section: ImageSection::Backbone, ..
+            }) => {}
+            other => panic!("expected backbone checksum error, got {other:?}"),
+        }
+        assert!(receiver.tasks().is_empty(), "nothing registered from a bad backbone");
+
+        // verify_image, by contrast, records the damage and keeps
+        // walking: the task section after the bad backbone still
+        // verifies clean.
+        let summary = verify_image(&image).unwrap();
+        assert!(!summary.is_clean());
+        assert_eq!(summary.sections.len(), 2);
+        assert!(matches!(
+            summary.sections[0].error,
+            Some(MimeError::ChecksumMismatch { .. })
+        ));
+        assert!(summary.sections[1].error.is_none(), "task section unaffected");
+    }
+
+    #[test]
+    fn corrupt_task_rejected_siblings_survive() {
+        let model = model_with_tasks(14, 3);
+        let image = pack_model(&model).unwrap();
+        let mut bytes = image.to_vec();
+        // flip a bit inside task0's payload (past its 8-byte section
+        // header and 7-byte name field, inside the bank values)
+        let t0 = first_task_section_offset(&bytes);
+        bytes[t0 + 8 + 9 + 40] ^= 0x04;
+        let mut receiver = model_with_tasks(15, 0);
+        let report = unpack_model(&Bytes::from(bytes.clone()), &mut receiver).unwrap();
+        assert_eq!(report.loaded, vec!["task1", "task2"]);
+        assert_eq!(report.rejected.len(), 1);
+        let rej = &report.rejected[0];
+        assert_eq!(rej.index, 0);
+        assert!(matches!(
+            rej.error,
+            MimeError::ChecksumMismatch {
+                section: ImageSection::Task { index: 0, .. },
+                ..
+            }
+        ));
+        // siblings are fully usable
+        receiver.activate("task2").unwrap();
+        assert!(receiver.activate("task0").is_err());
+
+        // verify_image attributes the same fault without a receiver
+        let summary = verify_image(&bytes).unwrap();
+        assert!(!summary.is_clean());
+        let bad: Vec<_> = summary.sections.iter().filter(|s| s.error.is_some()).collect();
+        assert_eq!(bad.len(), 1);
+        assert!(matches!(bad[0].section, ImageSection::Task { index: 0, .. }));
+    }
+
+    #[test]
+    fn corrupt_section_length_loses_tail_but_never_misparses() {
+        let model = model_with_tasks(16, 2);
+        let image = pack_model(&model).unwrap();
+        let mut bytes = image.to_vec();
+        // corrupt task0's sec-len field itself (first 4 bytes of its
+        // section header): framing past this point is unrecoverable
+        let t0 = first_task_section_offset(&bytes);
+        bytes[t0 + 2] ^= 0xFF;
+        let mut receiver = model_with_tasks(17, 0);
+        let report = unpack_model(&Bytes::from(bytes), &mut receiver).unwrap();
+        // both tasks rejected (task0 damaged, task1 unframeable) — but
+        // backbone loaded and nothing was silently mis-parsed
+        assert!(report.loaded.is_empty());
+        assert_eq!(report.rejected.len(), 2);
+        assert!(receiver.tasks().is_empty());
     }
 
     #[test]
     fn image_size_tracks_storage_model() {
         let model1 = model_with_tasks(6, 1);
         let model3 = model_with_tasks(6, 3);
-        let img1 = pack_model(&model1).len();
-        let img3 = pack_model(&model3).len();
+        let img1 = pack_model(&model1).unwrap().len();
+        let img3 = pack_model(&model3).unwrap().len();
         // marginal cost of two more tasks ≈ 2 threshold banks at 16-bit
         let expected_delta = 2 * model1.network().num_thresholds() * 2;
         let delta = img3 - img1;
@@ -261,27 +965,96 @@ mod tests {
     }
 
     #[test]
-    fn double_unpack_rejects_duplicate_tasks() {
+    fn double_unpack_contains_duplicate_tasks() {
         let model = model_with_tasks(10, 1);
-        let image = pack_model(&model);
+        let image = pack_model(&model).unwrap();
         let mut receiver = model_with_tasks(11, 0);
-        unpack_model(&image, &mut receiver).unwrap();
+        assert!(unpack_model(&image, &mut receiver).unwrap().is_clean());
         assert_eq!(receiver.tasks().len(), 1);
-        // a second restore collides on the task name
-        assert!(unpack_model(&image, &mut receiver).is_err());
+        // a second restore collides on the task name — contained, not
+        // fatal, and no duplicate registration happens
+        let report = unpack_model(&image, &mut receiver).unwrap();
+        assert!(report.loaded.is_empty());
+        assert_eq!(report.rejected.len(), 1);
+        assert!(matches!(report.rejected[0].error, MimeError::DuplicateTask { .. }));
         assert_eq!(receiver.tasks().len(), 1, "no partial duplicate registration");
     }
 
     #[test]
     fn shape_mismatch_rejected() {
-        // pack from one arch, unpack into a different width → shape error
+        // pack from one arch, unpack into a different width → the
+        // backbone import fails hard (wrong-architecture receiver)
         let model = model_with_tasks(7, 1);
-        let image = pack_model(&model);
+        let image = pack_model(&model).unwrap();
         let arch = vgg16_arch(0.125, 32, 3, 4, 8);
         let mut rng = StdRng::seed_from_u64(8);
         let parent = build_network(&arch, &mut rng);
         let net = MimeNetwork::from_trained(&arch, &parent, 0.01).unwrap();
         let mut receiver = MultiTaskModel::new(net);
         assert!(unpack_model(&image, &mut receiver).is_err());
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // standard check values for CRC-32/ISO-HDLC
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn implausible_task_count_is_rejected_cheaply() {
+        // A flipped high byte can turn task-count 2 into ~4 billion; the
+        // reader must reject that outright instead of enumerating
+        // phantom sections.
+        let model = model_with_tasks(40, 2);
+        let mut image = pack_model(&model).unwrap().to_vec();
+        let offset = first_task_section_offset(&image) - 4; // task-count u32
+        image[offset] ^= 0xFF;
+        let mut receiver = model_with_tasks(41, 0);
+        let started = std::time::Instant::now();
+        assert!(matches!(
+            unpack_model(&Bytes::from(image.clone()), &mut receiver),
+            Err(MimeError::MalformedImage { .. })
+        ));
+        assert!(matches!(verify_image(&image), Err(MimeError::MalformedImage { .. })));
+        assert!(started.elapsed().as_secs() < 5, "rejection must not enumerate");
+    }
+
+    #[test]
+    fn shrunken_task_count_leaves_trailing_bytes_error() {
+        // task-count lowered from 2 to 1: one whole section dangles. A
+        // silently shrunken model must not pass as clean.
+        let model = model_with_tasks(42, 2);
+        let mut image = pack_model(&model).unwrap().to_vec();
+        let offset = first_task_section_offset(&image) - 1; // count low byte
+        assert_eq!(image[offset], 2);
+        image[offset] = 1;
+        let mut receiver = model_with_tasks(43, 0);
+        match unpack_model(&Bytes::from(image.clone()), &mut receiver) {
+            Err(MimeError::MalformedImage { reason, .. }) => {
+                assert!(reason.contains("trailing"), "{reason}");
+            }
+            other => panic!("expected trailing-bytes error, got {other:?}"),
+        }
+        let summary = verify_image(&image).unwrap();
+        assert!(!summary.is_clean());
+    }
+
+    #[test]
+    fn verify_image_rejects_header_damage() {
+        let model = model_with_tasks(20, 1);
+        let image = pack_model(&model).unwrap().to_vec();
+        assert!(verify_image(&image).unwrap().is_clean());
+        let mut bad = image.clone();
+        bad[0] = b'Z';
+        assert!(matches!(verify_image(&bad), Err(MimeError::BadMagic)));
+        let mut skew = image.clone();
+        skew[5] = 9;
+        assert!(matches!(verify_image(&skew), Err(MimeError::VersionSkew { .. })));
+        // total-len disagreeing with the byte count
+        let mut short = image;
+        short.pop();
+        assert!(matches!(verify_image(&short), Err(MimeError::MalformedImage { .. })));
     }
 }

@@ -1,0 +1,274 @@
+//! Structured errors for the MIME stack.
+//!
+//! [`MimeError`] is the workspace-level error type: it wraps the
+//! tensor-kernel [`TensorError`] and adds the failure modes that only
+//! exist above the kernel layer — deployment-image integrity (checksums,
+//! truncation, version skew), task-registry misuse, and runtime guards
+//! (non-finite activations, plan/image shape mismatches). Every variant
+//! carries enough context (section, task, layer) to attribute a fault to
+//! the exact part of the artifact that produced it, which is what lets
+//! the loader reject one damaged child task while keeping the backbone
+//! and its siblings serviceable.
+
+use mime_tensor::TensorError;
+use std::fmt;
+
+/// Which part of a deployment image an integrity error refers to.
+///
+/// The v2 wire format checksums the backbone and every task bank
+/// independently, so corruption is always attributable to one section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageSection {
+    /// The fixed-size image header (magic, version, framing lengths).
+    Header,
+    /// The backbone (`W_parent`) section.
+    Backbone,
+    /// One child task's section. `name` is `None` when the section was
+    /// too damaged to recover the task name.
+    Task {
+        /// Zero-based position of the task section in the image.
+        index: usize,
+        /// Task name, when readable.
+        name: Option<String>,
+    },
+}
+
+impl ImageSection {
+    /// Section for task `index` with a known `name`.
+    pub fn task(index: usize, name: impl Into<String>) -> Self {
+        ImageSection::Task { index, name: Some(name.into()) }
+    }
+
+    /// Section for task `index` whose name could not be recovered.
+    pub fn task_unnamed(index: usize) -> Self {
+        ImageSection::Task { index, name: None }
+    }
+}
+
+impl fmt::Display for ImageSection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageSection::Header => write!(f, "header"),
+            ImageSection::Backbone => write!(f, "backbone"),
+            ImageSection::Task { index, name: Some(name) } => {
+                write!(f, "task #{index} ('{name}')")
+            }
+            ImageSection::Task { index, name: None } => write!(f, "task #{index}"),
+        }
+    }
+}
+
+/// Workspace-level error: tensor-kernel failures plus deployment,
+/// task-registry, and runtime-guard failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MimeError {
+    /// A section's stored CRC32 does not match its payload.
+    ChecksumMismatch {
+        /// The damaged section.
+        section: ImageSection,
+        /// CRC32 recorded in the image.
+        expected: u32,
+        /// CRC32 computed over the received payload.
+        actual: u32,
+    },
+    /// The image ended before a section or field was complete.
+    Truncated {
+        /// The section being read when bytes ran out.
+        section: ImageSection,
+        /// The field that could not be read (e.g. `"tensor payload"`).
+        what: &'static str,
+    },
+    /// The image's version is outside the supported range.
+    VersionSkew {
+        /// Version recorded in the image.
+        found: u16,
+        /// Oldest version this reader accepts.
+        min_supported: u16,
+        /// Newest version this reader accepts.
+        max_supported: u16,
+    },
+    /// The image does not start with the `MIME` magic.
+    BadMagic,
+    /// A section decoded but its contents are invalid (bad UTF-8 name,
+    /// framing length disagreeing with content, …).
+    MalformedImage {
+        /// The offending section.
+        section: ImageSection,
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+    /// A value does not fit the wire-format field that must carry it
+    /// (e.g. a task name longer than `u16::MAX` bytes).
+    FieldOverflow {
+        /// Wire-format field name.
+        field: &'static str,
+        /// The value that overflowed.
+        value: u64,
+        /// The field's maximum.
+        max: u64,
+    },
+    /// A task name is already registered.
+    DuplicateTask {
+        /// The colliding name.
+        name: String,
+    },
+    /// A task name is not registered.
+    UnknownTask {
+        /// The unknown name.
+        name: String,
+    },
+    /// A pipelined batch referenced a plan index that does not exist.
+    UnknownPlanIndex {
+        /// The out-of-range index.
+        index: usize,
+        /// Number of plans available.
+        plans: usize,
+    },
+    /// A NaN or ±Inf was observed where finite values are required.
+    NonFinite {
+        /// Where the value appeared (e.g. `"logits"`, `"threshold bank"`).
+        stage: &'static str,
+        /// Zero-based layer (or bank) index the value was found in.
+        layer: usize,
+        /// Flat index of the first offending element.
+        index: usize,
+    },
+    /// An execution plan and its input (or its parameter tensors)
+    /// disagree on shape; caught before any hardware step runs.
+    PlanMismatch {
+        /// What was being matched (e.g. `"input image"`).
+        what: &'static str,
+        /// Shape the plan requires.
+        expected: Vec<usize>,
+        /// Shape actually supplied.
+        actual: Vec<usize>,
+    },
+    /// A tensor-kernel error from the layers below.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for MimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MimeError::ChecksumMismatch { section, expected, actual } => write!(
+                f,
+                "checksum mismatch in {section}: stored {expected:#010x}, computed {actual:#010x}"
+            ),
+            MimeError::Truncated { section, what } => {
+                write!(f, "truncated image in {section}: {what}")
+            }
+            MimeError::VersionSkew { found, min_supported, max_supported } => write!(
+                f,
+                "unsupported image version {found} (supported: {min_supported}..={max_supported})"
+            ),
+            MimeError::BadMagic => write!(f, "bad magic: not a MIME deployment image"),
+            MimeError::MalformedImage { section, reason } => {
+                write!(f, "malformed {section}: {reason}")
+            }
+            MimeError::FieldOverflow { field, value, max } => {
+                write!(f, "value {value} does not fit wire field '{field}' (max {max})")
+            }
+            MimeError::DuplicateTask { name } => {
+                write!(f, "task '{name}' already registered")
+            }
+            MimeError::UnknownTask { name } => write!(f, "unknown task '{name}'"),
+            MimeError::UnknownPlanIndex { index, plans } => {
+                write!(f, "unknown plan index {index} ({plans} plans)")
+            }
+            MimeError::NonFinite { stage, layer, index } => {
+                write!(f, "non-finite value in {stage} (layer {layer}, element {index})")
+            }
+            MimeError::PlanMismatch { what, expected, actual } => write!(
+                f,
+                "plan mismatch on {what}: expected {expected:?}, got {actual:?}"
+            ),
+            MimeError::Tensor(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MimeError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for MimeError {
+    fn from(e: TensorError) -> Self {
+        MimeError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let cases: Vec<(MimeError, &[&str])> = vec![
+            (
+                MimeError::ChecksumMismatch {
+                    section: ImageSection::task(2, "cifar"),
+                    expected: 0xDEAD_BEEF,
+                    actual: 0x1234_5678,
+                },
+                &["task #2", "cifar", "0xdeadbeef", "0x12345678"],
+            ),
+            (
+                MimeError::Truncated {
+                    section: ImageSection::Backbone,
+                    what: "tensor payload",
+                },
+                &["backbone", "tensor payload"],
+            ),
+            (
+                MimeError::VersionSkew { found: 9, min_supported: 1, max_supported: 2 },
+                &["version 9", "1..=2"],
+            ),
+            (MimeError::BadMagic, &["magic"]),
+            (
+                MimeError::FieldOverflow { field: "name-len", value: 70_000, max: 65_535 },
+                &["name-len", "70000", "65535"],
+            ),
+            (MimeError::DuplicateTask { name: "a".into() }, &["'a'", "already"]),
+            (MimeError::UnknownTask { name: "b".into() }, &["unknown", "'b'"]),
+            (MimeError::UnknownPlanIndex { index: 5, plans: 2 }, &["5", "2 plans"]),
+            (
+                MimeError::NonFinite { stage: "logits", layer: 14, index: 3 },
+                &["non-finite", "logits", "layer 14", "element 3"],
+            ),
+            (
+                MimeError::PlanMismatch {
+                    what: "input image",
+                    expected: vec![3, 32, 32],
+                    actual: vec![3, 16, 16],
+                },
+                &["input image", "[3, 32, 32]", "[3, 16, 16]"],
+            ),
+        ];
+        for (e, needles) in cases {
+            let s = e.to_string().to_lowercase();
+            for n in needles {
+                assert!(s.contains(&n.to_lowercase()), "{s:?} missing {n:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn wraps_tensor_error_with_source() {
+        use std::error::Error;
+        let e: MimeError = TensorError::LengthMismatch { expected: 4, actual: 3 }.into();
+        assert!(matches!(e, MimeError::Tensor(_)));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("length"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MimeError>();
+    }
+}

@@ -1,0 +1,189 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! Deployment images live in off-chip DRAM and cross storage/transport
+//! boundaries, so the failure modes worth hardening against are bit
+//! flips, truncation, and garbled byte ranges — plus non-finite values
+//! appearing in activations when an upstream component misbehaves. This
+//! module provides seed-driven injectors for all of them, shared by the
+//! test suite and the `inject-faults` CLI subcommand.
+//!
+//! Every injector is a pure function of `(seed, input)`: the same seed
+//! over the same bytes always produces the same faults, so a failing
+//! case reported by the harness can be replayed exactly.
+
+use mime_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One injected bit flip, for reporting and replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitFlip {
+    /// Byte offset of the flipped bit.
+    pub offset: usize,
+    /// Bit position within the byte (0 = LSB).
+    pub bit: u8,
+}
+
+/// Seed-driven fault injector over byte images and tensors.
+#[derive(Debug)]
+pub struct FaultInjector {
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    /// Creates an injector whose fault sequence is fully determined by
+    /// `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultInjector { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Flips `count` randomly chosen bits in `image` (duplicates
+    /// allowed — flipping a bit twice restores it, which is itself a
+    /// realistic fault pattern). Returns the flips applied, in order.
+    ///
+    /// Empty images are left untouched.
+    pub fn flip_bits(&mut self, image: &mut [u8], count: usize) -> Vec<BitFlip> {
+        if image.is_empty() {
+            return Vec::new();
+        }
+        (0..count)
+            .map(|_| {
+                let flip = BitFlip {
+                    offset: self.rng.gen_range(0..image.len()),
+                    bit: self.rng.gen_range(0..8u8),
+                };
+                image[flip.offset] ^= 1 << flip.bit;
+                flip
+            })
+            .collect()
+    }
+
+    /// Truncates `image` to a random length in `[0, len)`. Returns the
+    /// new length.
+    pub fn truncate(&mut self, image: &mut Vec<u8>) -> usize {
+        let keep = if image.is_empty() { 0 } else { self.rng.gen_range(0..image.len()) };
+        image.truncate(keep);
+        keep
+    }
+
+    /// Overwrites a random contiguous run of up to `max_run` bytes with
+    /// random values. Returns `(offset, len)` of the garbled range, or
+    /// `None` for an empty image or `max_run == 0`.
+    pub fn garble(&mut self, image: &mut [u8], max_run: usize) -> Option<(usize, usize)> {
+        if image.is_empty() || max_run == 0 {
+            return None;
+        }
+        let offset = self.rng.gen_range(0..image.len());
+        let run = self.rng.gen_range(1..=max_run.min(image.len() - offset));
+        for b in &mut image[offset..offset + run] {
+            *b = self.rng.gen_range(0..=u8::MAX as u32) as u8;
+        }
+        Some((offset, run))
+    }
+
+    /// Replaces `count` randomly chosen elements of `tensor` with NaN,
+    /// `+Inf`, or `-Inf` (chosen per element). Returns the flat indices
+    /// poisoned, in order.
+    pub fn poison_tensor(&mut self, tensor: &mut Tensor, count: usize) -> Vec<usize> {
+        let len = tensor.len();
+        if len == 0 {
+            return Vec::new();
+        }
+        let data = tensor.as_mut_slice();
+        (0..count)
+            .map(|_| {
+                let idx = self.rng.gen_range(0..len);
+                data[idx] = match self.rng.gen_range(0..3u32) {
+                    0 => f32::NAN,
+                    1 => f32::INFINITY,
+                    _ => f32::NEG_INFINITY,
+                };
+                idx
+            })
+            .collect()
+    }
+}
+
+/// Flat index of the first non-finite element of `values`, if any.
+/// Shared by the executor's logit guard and the loader's bank checks.
+pub fn first_non_finite(values: &[f32]) -> Option<usize> {
+    values.iter().position(|v| !v.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injectors_are_deterministic_per_seed() {
+        let base: Vec<u8> = (0..=255u8).cycle().take(1024).collect();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        let flips_a = FaultInjector::new(42).flip_bits(&mut a, 16);
+        let flips_b = FaultInjector::new(42).flip_bits(&mut b, 16);
+        assert_eq!(flips_a, flips_b);
+        assert_eq!(a, b);
+        assert_ne!(a, base);
+
+        let mut c = base.clone();
+        let flips_c = FaultInjector::new(43).flip_bits(&mut c, 16);
+        assert_ne!(flips_a, flips_c, "different seeds diverge");
+    }
+
+    #[test]
+    fn flip_bits_touches_exactly_reported_bits() {
+        let base = vec![0u8; 64];
+        let mut img = base.clone();
+        let flips = FaultInjector::new(7).flip_bits(&mut img, 5);
+        assert_eq!(flips.len(), 5);
+        let mut replay = base;
+        for f in &flips {
+            replay[f.offset] ^= 1 << f.bit;
+        }
+        assert_eq!(img, replay);
+    }
+
+    #[test]
+    fn truncate_always_shrinks() {
+        let mut img: Vec<u8> = vec![9; 100];
+        let kept = FaultInjector::new(1).truncate(&mut img);
+        assert_eq!(img.len(), kept);
+        assert!(kept < 100);
+        let mut empty: Vec<u8> = Vec::new();
+        assert_eq!(FaultInjector::new(1).truncate(&mut empty), 0);
+    }
+
+    #[test]
+    fn garble_stays_in_bounds() {
+        for seed in 0..32 {
+            let mut img = vec![0xAAu8; 50];
+            let got = FaultInjector::new(seed).garble(&mut img, 10);
+            let (off, run) = got.unwrap();
+            assert!(off + run <= 50);
+            assert!((1..=10).contains(&run));
+        }
+        assert!(FaultInjector::new(0).garble(&mut [], 4).is_none());
+    }
+
+    #[test]
+    fn poison_tensor_reports_non_finite_sites() {
+        let mut t = Tensor::from_fn(&[4, 8], |i| i as f32);
+        let sites = FaultInjector::new(5).poison_tensor(&mut t, 3);
+        assert!(!sites.is_empty());
+        for &i in &sites {
+            assert!(!t.as_slice()[i].is_finite());
+        }
+        assert_eq!(
+            first_non_finite(t.as_slice()),
+            t.as_slice().iter().position(|v| !v.is_finite())
+        );
+    }
+
+    #[test]
+    fn first_non_finite_finds_nan_and_inf() {
+        assert_eq!(first_non_finite(&[1.0, 2.0]), None);
+        assert_eq!(first_non_finite(&[1.0, f32::NAN, f32::INFINITY]), Some(1));
+        assert_eq!(first_non_finite(&[f32::NEG_INFINITY]), Some(0));
+        assert_eq!(first_non_finite(&[]), None);
+    }
+}

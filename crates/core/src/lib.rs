@@ -29,6 +29,8 @@
 
 mod calibrate;
 pub mod deploy;
+mod error;
+pub mod faults;
 mod multitask;
 mod network;
 pub mod params;
@@ -38,11 +40,15 @@ mod threshold;
 mod trainer;
 
 pub use calibrate::calibrate_thresholds;
+pub use error::{ImageSection, MimeError};
 pub use multitask::{MultiTaskModel, TaskEntry};
 pub use network::MimeNetwork;
-pub use sparsity::{measure_sparsity, measure_sparsity_baseline, LayerSparsity, SparsityReport};
+pub use sparsity::{
+    measure_sparsity, measure_sparsity_baseline, LayerSparsity, SparsityReport,
+};
 pub use threshold::{surrogate_gradient, ThresholdGranularity, ThresholdMask};
 pub use trainer::{MimeTrainer, MimeTrainerConfig, ThresholdEpochReport};
 
-/// Result alias shared with the tensor/nn crates.
-pub type Result<T> = mime_tensor::Result<T>;
+/// Result alias over [`MimeError`]. Tensor-kernel errors from the
+/// layers below convert implicitly via `?`.
+pub type Result<T> = std::result::Result<T, MimeError>;

@@ -1,7 +1,7 @@
 //! The deployable multi-task model: `{W_parent, T_child-1, …, T_child-n}`.
 
-use crate::MimeNetwork;
-use mime_tensor::{Tensor, TensorError};
+use crate::{MimeError, MimeNetwork};
+use mime_tensor::Tensor;
 
 /// One registered child task: its name and threshold banks.
 #[derive(Debug, Clone)]
@@ -26,7 +26,7 @@ impl TaskEntry {
 /// # use mime_core::{MimeNetwork, MultiTaskModel};
 /// # use mime_nn::{build_network, vgg16_arch};
 /// # use rand::{rngs::StdRng, SeedableRng};
-/// # fn main() -> Result<(), mime_tensor::TensorError> {
+/// # fn main() -> Result<(), mime_core::MimeError> {
 /// let arch = vgg16_arch(0.0625, 32, 3, 4, 16);
 /// let mut rng = StdRng::seed_from_u64(0);
 /// let parent = build_network(&arch, &mut rng);
@@ -86,12 +86,14 @@ impl MultiTaskModel {
     ///
     /// Returns an error when the banks do not fit the network, or the
     /// name is already registered.
-    pub fn register_task(&mut self, name: impl Into<String>, thresholds: Vec<Tensor>) -> crate::Result<()> {
+    pub fn register_task(
+        &mut self,
+        name: impl Into<String>,
+        thresholds: Vec<Tensor>,
+    ) -> crate::Result<()> {
         let name = name.into();
         if self.tasks.iter().any(|t| t.name == name) {
-            return Err(TensorError::InvalidGeometry(format!(
-                "task '{name}' already registered"
-            )));
+            return Err(MimeError::DuplicateTask { name });
         }
         // validate by installing then restoring
         let current = self.net.export_thresholds();
@@ -126,7 +128,7 @@ impl MultiTaskModel {
             .tasks
             .iter()
             .position(|t| t.name == name)
-            .ok_or_else(|| TensorError::InvalidGeometry(format!("unknown task '{name}'")))?;
+            .ok_or_else(|| MimeError::UnknownTask { name: name.into() })?;
         if self.active == Some(idx) {
             return Ok(());
         }
@@ -182,7 +184,7 @@ impl MultiTaskModel {
             .tasks
             .iter()
             .position(|t| t.name == name)
-            .ok_or_else(|| TensorError::InvalidGeometry(format!("unknown task '{name}'")))?;
+            .ok_or_else(|| MimeError::UnknownTask { name: name.into() })?;
         match self.active {
             Some(a) if a == idx => self.active = None,
             Some(a) if a > idx => self.active = Some(a - 1),
@@ -195,11 +197,7 @@ impl MultiTaskModel {
     /// thresholds_per_task, n_tasks)` — the inputs of the paper's Fig. 4
     /// DRAM-storage comparison.
     pub fn storage_profile(&self) -> (usize, usize, usize) {
-        (
-            self.net.num_backbone_params(),
-            self.net.num_thresholds(),
-            self.tasks.len(),
-        )
+        (self.net.num_backbone_params(), self.net.num_thresholds(), self.tasks.len())
     }
 }
 
@@ -219,11 +217,7 @@ mod tests {
     }
 
     fn banks_scaled(m: &MultiTaskModel, v: f32) -> Vec<Tensor> {
-        m.network()
-            .export_thresholds()
-            .into_iter()
-            .map(|t| t.map(|_| v))
-            .collect()
+        m.network().export_thresholds().into_iter().map(|t| t.map(|_| v)).collect()
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! spliced in where the baseline network has ReLUs.
 
 use crate::{ThresholdGranularity, ThresholdMask};
-use mime_nn::{Conv2d, Flatten, Layer, Linear, MaxPool2d, Parameter, Sequential, VggArch, VggBlock};
+use mime_nn::{
+    Conv2d, Flatten, Layer, Linear, MaxPool2d, Parameter, Sequential, VggArch, VggBlock,
+};
 use mime_tensor::{ConvSpec, PoolSpec, Tensor, TensorError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -153,12 +155,14 @@ impl MimeNetwork {
                     }
                     stages.push(Stage::Backbone(Box::new(lin)));
                     if activation {
-                        stages.push(Stage::Mask(Box::new(ThresholdMask::with_granularity(
-                            format!("{name}.mask"),
-                            &[out_f],
-                            init_threshold,
-                            granularity,
-                        ))));
+                        stages.push(Stage::Mask(Box::new(
+                            ThresholdMask::with_granularity(
+                                format!("{name}.mask"),
+                                &[out_f],
+                                init_threshold,
+                                granularity,
+                            ),
+                        )));
                     }
                 }
             }
@@ -318,7 +322,8 @@ impl MimeNetwork {
             return Err(TensorError::LengthMismatch {
                 expected: masks.len(),
                 actual: banks.len(),
-            });
+            }
+            .into());
         }
         for (m, b) in masks.iter_mut().zip(banks) {
             m.set_thresholds(b.clone())?;
@@ -366,7 +371,8 @@ impl MimeNetwork {
                                 lhs: v.dims().to_vec(),
                                 rhs: p.value.dims().to_vec(),
                                 op: "import_backbone",
-                            });
+                            }
+                            .into());
                         }
                         p.value = v.clone();
                     }
@@ -399,7 +405,7 @@ fn copy_params<L: Layer>(
     parent: &HashMap<&str, &Parameter>,
 ) -> crate::Result<()> {
     for p in layer.parameters_mut() {
-        let src = parent.get(p.name()).ok_or_else(|| TensorError::ShapeMismatch {
+        let src = parent.get(p.name()).ok_or(TensorError::ShapeMismatch {
             lhs: vec![],
             rhs: vec![],
             op: "mime backbone: parent parameter missing",
@@ -409,7 +415,8 @@ fn copy_params<L: Layer>(
                 lhs: src.value.dims().to_vec(),
                 rhs: p.value.dims().to_vec(),
                 op: "mime backbone copy",
-            });
+            }
+            .into());
         }
         p.value = src.value.clone();
     }
@@ -458,7 +465,9 @@ mod tests {
     fn forward_shape_and_sparsity_report() {
         let (arch, parent) = mini();
         let mut net = MimeNetwork::from_trained(&arch, &parent, 0.01).unwrap();
-        let y = net.forward(&Tensor::from_fn(&[2, 3, 32, 32], |i| (i % 17) as f32 * 0.1)).unwrap();
+        let y = net
+            .forward(&Tensor::from_fn(&[2, 3, 32, 32], |i| (i % 17) as f32 * 0.1))
+            .unwrap();
         assert_eq!(y.dims(), &[2, 4]);
         let sp = net.layer_sparsities();
         assert_eq!(sp.len(), 15);
@@ -495,11 +504,8 @@ mod tests {
         let (arch, parent) = mini();
         let net = MimeNetwork::from_trained(&arch, &parent, 0.01).unwrap();
         // compare conv1 weights elementwise
-        let parent_w = parent
-            .parameters()
-            .into_iter()
-            .find(|p| p.name() == "conv1.weight")
-            .unwrap();
+        let parent_w =
+            parent.parameters().into_iter().find(|p| p.name() == "conv1.weight").unwrap();
         let mime_w = match &net.stages[0] {
             Stage::Backbone(l) => l.parameters()[0].value.clone(),
             Stage::Mask(_) => panic!("first stage must be conv"),

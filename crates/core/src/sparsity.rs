@@ -132,8 +132,14 @@ mod tests {
 
     fn probe_batches() -> Vec<(Tensor, Vec<usize>)> {
         vec![
-            (Tensor::from_fn(&[2, 3, 32, 32], |i| ((i % 13) as f32 - 6.0) * 0.2), vec![0, 1]),
-            (Tensor::from_fn(&[2, 3, 32, 32], |i| ((i % 7) as f32 - 3.0) * 0.3), vec![1, 0]),
+            (
+                Tensor::from_fn(&[2, 3, 32, 32], |i| ((i % 13) as f32 - 6.0) * 0.2),
+                vec![0, 1],
+            ),
+            (
+                Tensor::from_fn(&[2, 3, 32, 32], |i| ((i % 7) as f32 - 3.0) * 0.3),
+                vec![1, 0],
+            ),
         ]
     }
 

@@ -62,11 +62,8 @@ pub fn threshold_summary(net: &MimeNetwork) -> (f32, f32) {
         return (0.0, 0.0);
     }
     let total: usize = stats.iter().map(|s| s.count).sum();
-    let mean = stats
-        .iter()
-        .map(|s| s.mean * s.count as f32)
-        .sum::<f32>()
-        / total.max(1) as f32;
+    let mean =
+        stats.iter().map(|s| s.mean * s.count as f32).sum::<f32>() / total.max(1) as f32;
     let max = stats.iter().map(|s| s.max).fold(f32::NEG_INFINITY, f32::max);
     (mean, max)
 }

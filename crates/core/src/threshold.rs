@@ -146,7 +146,7 @@ impl ThresholdMask {
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
-    pub fn set_thresholds(&mut self, t: Tensor) -> crate::Result<()> {
+    pub fn set_thresholds(&mut self, t: Tensor) -> mime_tensor::Result<()> {
         if t.dims() != self.thresholds.value.dims() {
             return Err(TensorError::ShapeMismatch {
                 lhs: t.dims().to_vec(),
@@ -169,7 +169,7 @@ impl ThresholdMask {
         self.last_sparsity
     }
 
-    fn check_input(&self, input: &Tensor) -> crate::Result<usize> {
+    fn check_input(&self, input: &Tensor) -> mime_tensor::Result<usize> {
         if input.rank() != self.neuron_dims.len() + 1
             || input.dims()[1..] != self.neuron_dims[..]
         {
@@ -192,7 +192,7 @@ impl Layer for ThresholdMask {
         LayerKind::Custom
     }
 
-    fn forward(&mut self, input: &Tensor) -> crate::Result<Tensor> {
+    fn forward(&mut self, input: &Tensor) -> mime_tensor::Result<Tensor> {
         let n = self.check_input(input)?;
         let per_img = self.num_neurons();
         let tv = self.thresholds.value.as_slice();
@@ -213,16 +213,13 @@ impl Layer for ThresholdMask {
                 }
             }
         }
-        self.last_sparsity = if mask.is_empty() {
-            0.0
-        } else {
-            masked as f64 / mask.len() as f64
-        };
+        self.last_sparsity =
+            if mask.is_empty() { 0.0 } else { masked as f64 / mask.len() as f64 };
         self.cache = Some((input.clone(), mask));
         Ok(out)
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> crate::Result<Tensor> {
+    fn backward(&mut self, grad_output: &Tensor) -> mime_tensor::Result<Tensor> {
         let (input, mask) = self.cache.take().ok_or_else(|| {
             TensorError::InvalidGeometry(format!(
                 "{}: backward called before forward",

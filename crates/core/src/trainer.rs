@@ -169,7 +169,9 @@ impl MimeTrainer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mime_nn::{build_network, vgg16_arch, Adam as NnAdam, train_epoch as nn_train_epoch};
+    use mime_nn::{
+        build_network, train_epoch as nn_train_epoch, vgg16_arch, Adam as NnAdam,
+    };
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -244,10 +246,7 @@ mod tests {
         let reports = trainer.train(&mut net, &batches).unwrap();
         assert_eq!(reports.len(), 2);
         let after = net.export_thresholds();
-        let moved = before
-            .iter()
-            .zip(&after)
-            .any(|(a, b)| a.as_slice() != b.as_slice());
+        let moved = before.iter().zip(&after).any(|(a, b)| a.as_slice() != b.as_slice());
         assert!(moved, "thresholds should change during training");
         for bank in &after {
             assert!(bank.as_slice().iter().all(|&t| t >= 0.0));

@@ -38,8 +38,10 @@ pub fn augment(dataset: &Dataset, options: &AugmentOptions, seed: u64) -> Datase
     let mut data = vec![0.0f32; src.len()];
     for n in 0..dataset.len() {
         let flip = rng.gen_bool(options.flip_probability.clamp(0.0, 1.0));
-        let sx = rng.gen_range(-(options.max_shift as isize)..=(options.max_shift as isize));
-        let sy = rng.gen_range(-(options.max_shift as isize)..=(options.max_shift as isize));
+        let sx =
+            rng.gen_range(-(options.max_shift as isize)..=(options.max_shift as isize));
+        let sy =
+            rng.gen_range(-(options.max_shift as isize)..=(options.max_shift as isize));
         for ci in 0..c {
             for y in 0..hw {
                 for x in 0..hw {
@@ -124,10 +126,8 @@ mod tests {
     fn shift_zero_fills_border() {
         let d = small();
         // force a dataset of all-ones to observe the zero border
-        let ones = Dataset::from_parts(
-            Tensor::ones(d.images().dims()),
-            d.labels().to_vec(),
-        );
+        let ones =
+            Dataset::from_parts(Tensor::ones(d.images().dims()), d.labels().to_vec());
         let opts = AugmentOptions { flip_probability: 0.0, max_shift: 3, noise: 0.0 };
         let a = augment(&ones, &opts, 12345);
         // with max_shift 3 over an 8x8 image, some zero padding must appear

@@ -65,11 +65,8 @@ pub fn pipelined_batches(
         );
     }
     let img_len = c * hw * hw;
-    let n_batches = datasets
-        .iter()
-        .map(|(d, _)| d.len() / per_task_per_batch)
-        .min()
-        .unwrap_or(0);
+    let n_batches =
+        datasets.iter().map(|(d, _)| d.len() / per_task_per_batch).min().unwrap_or(0);
     let mut out = Vec::with_capacity(n_batches);
     for b in 0..n_batches {
         let n = datasets.len() * per_task_per_batch;
@@ -113,11 +110,7 @@ mod tests {
     fn paper_batch_of_three() {
         let (a, b, c) = three_tasks();
         let batches = pipelined_batches(
-            &[
-                (&a.test, a.spec.id),
-                (&b.test, b.spec.id),
-                (&c.test, c.spec.id),
-            ],
+            &[(&a.test, a.spec.id), (&b.test, b.spec.id), (&c.test, c.spec.id)],
             1,
         );
         assert!(!batches.is_empty());
@@ -134,11 +127,7 @@ mod tests {
         // cifar100-like test split has 100 samples (1/class · 100 classes);
         // the limiting split is cifar10's 20.
         let batches = pipelined_batches(
-            &[
-                (&a.test, a.spec.id),
-                (&b.test, b.spec.id),
-                (&c.test, c.spec.id),
-            ],
+            &[(&a.test, a.spec.id), (&b.test, b.spec.id), (&c.test, c.spec.id)],
             1,
         );
         let min_len = a.test.len().min(b.test.len()).min(c.test.len());
@@ -173,11 +162,7 @@ mod tests {
     fn interleaving_carries_correct_labels() {
         let (a, b, c) = three_tasks();
         let batches = pipelined_batches(
-            &[
-                (&a.test, a.spec.id),
-                (&b.test, b.spec.id),
-                (&c.test, c.spec.id),
-            ],
+            &[(&a.test, a.spec.id), (&b.test, b.spec.id), (&c.test, c.spec.id)],
             1,
         );
         for (i, batch) in batches.iter().enumerate() {

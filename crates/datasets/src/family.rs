@@ -97,8 +97,7 @@ impl Dataset {
     /// Panics if `index` is out of bounds.
     pub fn sample(&self, index: usize) -> (Tensor, usize) {
         let img_len = self.channels * self.hw * self.hw;
-        let data =
-            self.images.as_slice()[index * img_len..(index + 1) * img_len].to_vec();
+        let data = self.images.as_slice()[index * img_len..(index + 1) * img_len].to_vec();
         (
             Tensor::from_vec(data, &[1, self.channels, self.hw, self.hw])
                 .expect("sample slicing is internally consistent"),
@@ -150,8 +149,10 @@ impl TaskFamily {
                 for c in 0..channels {
                     for y in 0..hw {
                         for x in 0..hw {
-                            let arg_x = fx * (x as f32 / hw as f32) * std::f32::consts::TAU + px;
-                            let arg_y = fy * (y as f32 / hw as f32) * std::f32::consts::TAU + py;
+                            let arg_x =
+                                fx * (x as f32 / hw as f32) * std::f32::consts::TAU + px;
+                            let arg_y =
+                                fy * (y as f32 / hw as f32) * std::f32::consts::TAU + py;
                             v[(c * hw + y) * hw + x] =
                                 chan_gain[c] * (arg_x.sin() + arg_y.cos()) * 0.5;
                         }
@@ -189,8 +190,8 @@ impl TaskFamily {
         // task-level feature subset: the parent spans the full basis, a
         // child task only excites a fraction of it — the rest of the
         // parent's features are task-irrelevant noise MIME can prune
-        let n_active = ((BASIS_DIM as f64 * basis_fraction).round() as usize)
-            .clamp(1, BASIS_DIM);
+        let n_active =
+            ((BASIS_DIM as f64 * basis_fraction).round() as usize).clamp(1, BASIS_DIM);
         let mut order: Vec<usize> = (0..BASIS_DIM).collect();
         for i in (1..order.len()).rev() {
             order.swap(i, rng.gen_range(0..=i));
@@ -266,14 +267,15 @@ impl TaskFamily {
 
     /// Generates a task's train and test splits from its spec.
     pub fn generate(&self, spec: &TaskSpec) -> GeneratedTask {
-        let templates =
-            self.class_templates(spec.id, spec.classes, spec.basis_fraction);
+        let templates = self.class_templates(spec.id, spec.classes, spec.basis_fraction);
         let mut train_rng =
             StdRng::seed_from_u64(self.seed ^ (u64::from(spec.id.0) << 16) ^ 0xA5A5);
         let mut test_rng =
             StdRng::seed_from_u64(self.seed ^ (u64::from(spec.id.0) << 16) ^ 0x5A5A_0001);
-        let train = self.generate_split(spec, &templates, spec.train_per_class, &mut train_rng);
-        let test = self.generate_split(spec, &templates, spec.test_per_class, &mut test_rng);
+        let train =
+            self.generate_split(spec, &templates, spec.train_per_class, &mut train_rng);
+        let test =
+            self.generate_split(spec, &templates, spec.test_per_class, &mut test_rng);
         GeneratedTask { spec: spec.clone(), train, test }
     }
 }

@@ -6,7 +6,9 @@ use serde::{Deserialize, Serialize};
 ///
 /// The id doubles as the seed offset for that task's class templates, so
 /// tasks are fully reproducible.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub struct TaskId(pub u32);
 
 impl std::fmt::Display for TaskId {
@@ -105,10 +107,7 @@ impl TaskSpec {
     ///
     /// Panics if `fraction` is outside `(0, 1]`.
     pub fn with_basis_fraction(mut self, fraction: f64) -> Self {
-        assert!(
-            fraction > 0.0 && fraction <= 1.0,
-            "basis fraction must be in (0, 1]"
-        );
+        assert!(fraction > 0.0 && fraction <= 1.0, "basis fraction must be in (0, 1]");
         self.basis_fraction = fraction;
         self
     }

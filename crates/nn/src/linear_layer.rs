@@ -118,8 +118,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut lin = Linear::new("fc", 2, 2, &mut rng);
         // overwrite params for a known result
-        lin.weight.value =
-            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        lin.weight.value = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
         lin.bias.value = Tensor::from_slice(&[10.0, 20.0]);
         let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap();
         let y = lin.forward(&x).unwrap();

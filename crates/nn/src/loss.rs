@@ -20,7 +20,10 @@ pub struct CrossEntropyOut {
 ///
 /// Returns shape errors when ranks/lengths disagree or a label is out of
 /// range.
-pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> crate::Result<CrossEntropyOut> {
+pub fn softmax_cross_entropy(
+    logits: &Tensor,
+    labels: &[usize],
+) -> crate::Result<CrossEntropyOut> {
     if logits.rank() != 2 {
         return Err(TensorError::RankMismatch {
             expected: 2,
@@ -33,10 +36,7 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> crate::Result
         return Err(TensorError::LengthMismatch { expected: n, actual: labels.len() });
     }
     if let Some(&bad) = labels.iter().find(|&&l| l >= c) {
-        return Err(TensorError::IndexOutOfBounds {
-            index: vec![bad],
-            shape: vec![c],
-        });
+        return Err(TensorError::IndexOutOfBounds { index: vec![bad], shape: vec![c] });
     }
     let probs = logits.softmax_rows()?;
     let mut loss = 0.0f32;
@@ -81,8 +81,7 @@ mod tests {
 
     #[test]
     fn perfect_prediction_low_loss() {
-        let logits =
-            Tensor::from_vec(vec![10.0, -10.0, -10.0, 10.0], &[2, 2]).unwrap();
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0, 10.0], &[2, 2]).unwrap();
         let out = softmax_cross_entropy(&logits, &[0, 1]).unwrap();
         assert!(out.loss < 1e-3);
     }
@@ -134,8 +133,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_hits() {
-        let logits =
-            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], &[3, 2]).unwrap();
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], &[3, 2]).unwrap();
         let acc = accuracy(&logits, &[0, 1, 1]).unwrap();
         assert!((acc - 2.0 / 3.0).abs() < 1e-9);
         assert!(accuracy(&logits, &[0]).is_err());

@@ -42,8 +42,7 @@ pub fn parallel_gradients(
                     acc += accuracy(&logits, labels)?;
                     replica.backward(&ce.grad)?;
                 }
-                let grads =
-                    replica.parameters().iter().map(|p| p.grad.clone()).collect();
+                let grads = replica.parameters().iter().map(|p| p.grad.clone()).collect();
                 Ok((loss, acc, grads, work.len()))
             }));
         }
@@ -211,17 +210,11 @@ mod tests {
     #[test]
     fn network_grad_buffers_untouched_by_parallel_gradients() {
         let net = toy_net(6);
-        let before: Vec<f32> = net
-            .parameters()
-            .iter()
-            .flat_map(|p| p.grad.as_slice().to_vec())
-            .collect();
+        let before: Vec<f32> =
+            net.parameters().iter().flat_map(|p| p.grad.as_slice().to_vec()).collect();
         parallel_gradients(&net, &toy_batches(2), 2).unwrap();
-        let after: Vec<f32> = net
-            .parameters()
-            .iter()
-            .flat_map(|p| p.grad.as_slice().to_vec())
-            .collect();
+        let after: Vec<f32> =
+            net.parameters().iter().flat_map(|p| p.grad.as_slice().to_vec()).collect();
         assert_eq!(before, after);
     }
 }

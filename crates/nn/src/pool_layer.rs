@@ -71,9 +71,8 @@ mod tests {
         let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 9.0], &[1, 1, 2, 2]).unwrap();
         let y = pool.forward(&x).unwrap();
         assert_eq!(y.as_slice(), &[9.0]);
-        let g = pool
-            .backward(&Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]).unwrap())
-            .unwrap();
+        let g =
+            pool.backward(&Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]).unwrap()).unwrap();
         assert_eq!(g.as_slice(), &[0.0, 0.0, 0.0, 5.0]);
     }
 

@@ -51,11 +51,8 @@ impl WeightMasks {
         if total == 0 {
             return 1.0;
         }
-        let kept: usize = self
-            .masks
-            .values()
-            .map(|m| m.iter().filter(|&&b| b).count())
-            .sum();
+        let kept: usize =
+            self.masks.values().map(|m| m.iter().filter(|&&b| b).count()).sum();
         kept as f64 / total as f64
     }
 
@@ -219,9 +216,10 @@ pub fn weight_sparsity_report(net: &Sequential) -> Vec<(String, f64)> {
     net.iter()
         .filter(|l| is_prunable(l.kind()))
         .filter_map(|l| {
-            l.parameters().into_iter().next().map(|w| {
-                (l.name().to_string(), w.value.sparsity())
-            })
+            l.parameters()
+                .into_iter()
+                .next()
+                .map(|w| (l.name().to_string(), w.value.sparsity()))
         })
         .collect()
 }
@@ -289,8 +287,8 @@ mod tests {
         let mut n = net(3);
         let images = Tensor::from_fn(&[4, 1, 2, 2], |i| (i as f32) * 0.1 - 0.5);
         let labels = vec![0usize, 1, 0, 1];
-        let masks =
-            prune_at_init(&mut n, 0.8, PruneMethod::Snip, Some((&images, &labels))).unwrap();
+        let masks = prune_at_init(&mut n, 0.8, PruneMethod::Snip, Some((&images, &labels)))
+            .unwrap();
         assert_eq!(masks.len(), 2);
         assert!((masks.density() - 0.2).abs() < 0.03);
     }

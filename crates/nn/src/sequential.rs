@@ -82,7 +82,10 @@ impl Sequential {
     /// # Errors
     ///
     /// Propagates the first layer error.
-    pub fn forward_trace(&mut self, input: &Tensor) -> crate::Result<(Tensor, Vec<Tensor>)> {
+    pub fn forward_trace(
+        &mut self,
+        input: &Tensor,
+    ) -> crate::Result<(Tensor, Vec<Tensor>)> {
         let mut x = input.clone();
         let mut trace = Vec::with_capacity(self.layers.len());
         for layer in &mut self.layers {

@@ -106,10 +106,7 @@ mod tests {
                 data.extend_from_slice(&[base, base * 0.5, -base, base * 0.25]);
                 labels.push(class);
             }
-            batches.push((
-                Tensor::from_vec(data, &[8, 1, 2, 2]).unwrap(),
-                labels,
-            ));
+            batches.push((Tensor::from_vec(data, &[8, 1, 2, 2]).unwrap(), labels));
         }
         batches
     }
@@ -153,18 +150,12 @@ mod tests {
     fn frozen_network_does_not_learn() {
         let mut net = toy_net(2);
         net.set_frozen(true);
-        let before: Vec<f32> = net
-            .parameters()
-            .iter()
-            .flat_map(|p| p.value.as_slice().to_vec())
-            .collect();
+        let before: Vec<f32> =
+            net.parameters().iter().flat_map(|p| p.value.as_slice().to_vec()).collect();
         let mut opt = Adam::with_lr(1e-1);
         train_epoch(&mut net, &toy_batches(), &mut opt).unwrap();
-        let after: Vec<f32> = net
-            .parameters()
-            .iter()
-            .flat_map(|p| p.value.as_slice().to_vec())
-            .collect();
+        let after: Vec<f32> =
+            net.parameters().iter().flat_map(|p| p.value.as_slice().to_vec()).collect();
         assert_eq!(before, after);
     }
 }

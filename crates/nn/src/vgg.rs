@@ -93,10 +93,7 @@ impl VggArch {
                     conv_i += 1;
                     out_ch * hw * hw
                 }
-                VggBlock::Linear { out_f, activation, .. }
-                    if *activation => {
-                        *out_f
-                    }
+                VggBlock::Linear { out_f, activation, .. } if *activation => *out_f,
                 _ => 0,
             })
             .sum()
@@ -127,7 +124,10 @@ pub fn vgg16_arch(
     classes: usize,
     fc_width: usize,
 ) -> VggArch {
-    assert!(input_hw.is_multiple_of(32), "VGG16 needs input_hw divisible by 32, got {input_hw}");
+    assert!(
+        input_hw.is_multiple_of(32),
+        "VGG16 needs input_hw divisible by 32, got {input_hw}"
+    );
     let stage_channels = [64usize, 128, 256, 512, 512];
     let stage_convs = [2usize, 2, 3, 3, 3];
     let mut blocks = Vec::new();
@@ -164,12 +164,21 @@ pub fn build_network<R: Rng>(arch: &VggArch, rng: &mut R) -> Sequential {
             VggBlock::Conv { in_ch, out_ch } => {
                 weighted += 1;
                 let name = format!("conv{weighted}");
-                net.push(Box::new(Conv2d::new(&name, in_ch, out_ch, ConvSpec::vgg3x3(), rng)));
+                net.push(Box::new(Conv2d::new(
+                    &name,
+                    in_ch,
+                    out_ch,
+                    ConvSpec::vgg3x3(),
+                    rng,
+                )));
                 net.push(Box::new(ReluLayer::new(format!("{name}.relu"))));
             }
             VggBlock::Pool => {
                 pool_i += 1;
-                net.push(Box::new(MaxPool2d::new(format!("pool{pool_i}"), PoolSpec::vgg2x2())));
+                net.push(Box::new(MaxPool2d::new(
+                    format!("pool{pool_i}"),
+                    PoolSpec::vgg2x2(),
+                )));
             }
             VggBlock::Flatten => {
                 net.push(Box::new(Flatten::new("flatten")));
@@ -197,16 +206,10 @@ mod tests {
     #[test]
     fn full_size_vgg16_structure() {
         let arch = vgg16_arch(1.0, 224, 3, 1000, 4096);
-        let convs = arch
-            .blocks
-            .iter()
-            .filter(|b| matches!(b, VggBlock::Conv { .. }))
-            .count();
-        let fcs = arch
-            .blocks
-            .iter()
-            .filter(|b| matches!(b, VggBlock::Linear { .. }))
-            .count();
+        let convs =
+            arch.blocks.iter().filter(|b| matches!(b, VggBlock::Conv { .. })).count();
+        let fcs =
+            arch.blocks.iter().filter(|b| matches!(b, VggBlock::Linear { .. })).count();
         assert_eq!(convs, 13);
         assert_eq!(fcs, 3);
         // the famous ~138M parameter count (weights only ≈ 138.3M incl. biases;

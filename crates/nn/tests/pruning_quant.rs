@@ -27,9 +27,8 @@ fn snip_and_magnitude_masks_differ() {
     // the two criteria must make genuinely different choices on a network
     // with gradient structure
     let arch = vgg16_arch(0.0625, 32, 3, 4, 16);
-    let images = mime_tensor::Tensor::from_fn(&[4, 3, 32, 32], |i| {
-        ((i % 23) as f32 - 11.0) * 0.05
-    });
+    let images =
+        mime_tensor::Tensor::from_fn(&[4, 3, 32, 32], |i| ((i % 23) as f32 - 11.0) * 0.05);
     let labels = vec![0usize, 1, 2, 3];
     let mut a = build_network(&arch, &mut StdRng::seed_from_u64(9));
     let mut b = build_network(&arch, &mut StdRng::seed_from_u64(9));

@@ -1,6 +1,7 @@
 //! Extraction of hardware execution plans from trained networks.
 
-use mime_core::MimeNetwork;
+use mime_core::faults::first_non_finite;
+use mime_core::{MimeError, MimeNetwork};
 use mime_nn::{Sequential, VggArch, VggBlock};
 use mime_systolic::LayerGeometry;
 use mime_tensor::{Tensor, TensorError};
@@ -72,6 +73,78 @@ impl BoundNetwork {
             .sum()
     }
 
+    /// Checks every threshold bank for non-finite values — the guard the
+    /// executor runs before trusting a task's plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MimeError::NonFinite`] naming the first offending bank
+    /// (by array-step index) and element.
+    pub fn validate_thresholds(&self) -> crate::Result<()> {
+        for (layer, step) in self.steps.iter().enumerate() {
+            if let BoundLayer::Array { thresholds: Some(t), .. } = step {
+                if let Some(index) = first_non_finite(t.as_slice()) {
+                    return Err(MimeError::NonFinite {
+                        stage: "threshold bank",
+                        layer,
+                        index,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the shared parameters (weights and biases) for non-finite
+    /// values. Unlike a bad threshold bank, a bad weight cannot be worked
+    /// around by falling back to the parent path — the weights *are* the
+    /// parent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MimeError::NonFinite`] naming the first offending step
+    /// and element.
+    pub fn validate_parameters(&self) -> crate::Result<()> {
+        for (layer, step) in self.steps.iter().enumerate() {
+            if let BoundLayer::Array { weight, bias, .. } = step {
+                if let Some(index) = first_non_finite(weight.as_slice()) {
+                    return Err(MimeError::NonFinite { stage: "weights", layer, index });
+                }
+                if let Some(index) = first_non_finite(bias.as_slice()) {
+                    return Err(MimeError::NonFinite { stage: "bias", layer, index });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A copy of this plan with every threshold bank removed: masked
+    /// layers fall back to the host-ReLU baseline path, i.e. the parent
+    /// task's exact behavior over the same frozen weights. This is the
+    /// graceful-degradation plan the executor switches to when a task's
+    /// threshold bank fails validation.
+    pub fn strip_thresholds(&self) -> BoundNetwork {
+        let steps = self
+            .steps
+            .iter()
+            .map(|s| match s {
+                BoundLayer::Array { geom, weight, bias, .. } => BoundLayer::Array {
+                    geom: geom.clone(),
+                    weight: weight.clone(),
+                    bias: bias.clone(),
+                    thresholds: None,
+                },
+                other => other.clone(),
+            })
+            .collect();
+        BoundNetwork {
+            steps,
+            classes: self.classes,
+            input_hw: self.input_hw,
+            in_channels: self.in_channels,
+        }
+    }
+
     /// Binds a MIME network: frozen backbone weights plus the currently
     /// installed threshold banks. Per-channel banks are broadcast to
     /// per-neuron form for the PE comparators.
@@ -127,8 +200,7 @@ impl BoundNetwork {
                     let hw = extents[conv_i];
                     conv_i += 1;
                     let geom = LayerGeometry::conv(&name, in_ch, out_ch, hw);
-                    let thresholds =
-                        take_bank(banks, &mut mask_i, out_ch, hw * hw)?;
+                    let thresholds = take_bank(banks, &mut mask_i, out_ch, hw * hw)?;
                     steps.push(BoundLayer::Array {
                         weight: params
                             .get(&format!("{name}.weight"))
@@ -201,7 +273,12 @@ pub fn geometry_from_arch(arch: &VggArch) -> Vec<LayerGeometry> {
             }
             VggBlock::Linear { in_f, out_f, activation } => {
                 weighted += 1;
-                out.push(LayerGeometry::fc(format!("fc{weighted}"), in_f, out_f, activation));
+                out.push(LayerGeometry::fc(
+                    format!("fc{weighted}"),
+                    in_f,
+                    out_f,
+                    activation,
+                ));
             }
             _ => {}
         }
@@ -237,7 +314,8 @@ fn take_bank(
         return Err(TensorError::LengthMismatch {
             expected: k * sites,
             actual: bank.len(),
-        });
+        }
+        .into());
     };
     Ok(Some(flat))
 }
@@ -261,11 +339,8 @@ mod tests {
     fn baseline_plan_structure() {
         let (arch, net) = mini();
         let plan = BoundNetwork::from_baseline(&arch, &net).unwrap();
-        let arrays = plan
-            .steps()
-            .iter()
-            .filter(|s| matches!(s, BoundLayer::Array { .. }))
-            .count();
+        let arrays =
+            plan.steps().iter().filter(|s| matches!(s, BoundLayer::Array { .. })).count();
         assert_eq!(arrays, 16, "13 convs + 3 FC");
         let pools = plan.steps().iter().filter(|s| matches!(s, BoundLayer::Pool)).count();
         assert_eq!(pools, 5);

@@ -2,8 +2,10 @@
 //! [`FunctionalArray`], with batch-level parameter residency.
 
 use crate::{BoundLayer, BoundNetwork};
+use mime_core::faults::first_non_finite;
+use mime_core::MimeError;
 use mime_systolic::{AccessCounters, ArrayConfig, FunctionalArray, Mapper};
-use mime_tensor::{max_pool2d, PoolSpec, Tensor, TensorError};
+use mime_tensor::{max_pool2d, PoolSpec, Tensor};
 
 /// Per-batch execution report.
 #[derive(Debug, Clone, Default)]
@@ -18,6 +20,11 @@ pub struct BatchReport {
     pub threshold_reload_words: u64,
     /// Number of task switches observed.
     pub task_switches: usize,
+    /// Plan indices that failed threshold-bank validation and were run
+    /// on the baseline parent path instead (graceful degradation),
+    /// sorted ascending. Only indices actually referenced by the batch
+    /// appear.
+    pub degraded_tasks: Vec<usize>,
     /// Per-image logits.
     pub logits: Vec<Vec<f32>>,
 }
@@ -52,21 +59,27 @@ impl HardwareExecutor {
     /// Counters accumulate on the internal array (see
     /// [`run_pipelined`](Self::run_pipelined) for batch accounting).
     ///
+    /// The plan-vs-image shape contract is validated up front (before
+    /// any hardware step runs), and the produced logits are checked for
+    /// non-finite values before being returned.
+    ///
     /// # Errors
     ///
-    /// Returns an error when the image does not match the plan or a step
-    /// fails on the array.
+    /// Returns [`MimeError::PlanMismatch`] when the image does not match
+    /// the plan, [`MimeError::NonFinite`] when the logits contain a NaN
+    /// or ±Inf, or a tensor error when a step fails on the array.
     pub fn run_image(
         &mut self,
         plan: &BoundNetwork,
         image: &Tensor,
         zero_skip: bool,
     ) -> crate::Result<Vec<f32>> {
-        if image.dims() != [plan.in_channels(), plan.input_hw(), plan.input_hw()] {
-            return Err(TensorError::ShapeMismatch {
-                lhs: image.dims().to_vec(),
-                rhs: vec![plan.in_channels(), plan.input_hw(), plan.input_hw()],
-                op: "executor run_image",
+        let expected = vec![plan.in_channels(), plan.input_hw(), plan.input_hw()];
+        if *image.dims() != expected[..] {
+            return Err(MimeError::PlanMismatch {
+                what: "input image",
+                expected,
+                actual: image.dims().to_vec(),
             });
         }
         let mapper = Mapper::new(self.cfg);
@@ -75,11 +88,8 @@ impl HardwareExecutor {
             match step {
                 BoundLayer::Array { geom, weight, bias, thresholds } => {
                     // FC steps expect a flat [C,1,1] activation
-                    let staged = if geom.r == 1 {
-                        x.reshape(&[geom.c, 1, 1])?
-                    } else {
-                        x.clone()
-                    };
+                    let staged =
+                        if geom.r == 1 { x.reshape(&[geom.c, 1, 1])? } else { x.clone() };
                     let mapping = mapper.best_mapping(geom, 0.5, 1.0);
                     let mut out = self.array.run_layer(
                         geom,
@@ -109,6 +119,13 @@ impl HardwareExecutor {
                 }
             }
         }
+        if let Some(index) = first_non_finite(x.as_slice()) {
+            return Err(MimeError::NonFinite {
+                stage: "logits",
+                layer: plan.steps().len(),
+                index,
+            });
+        }
         Ok(x.as_slice().to_vec())
     }
 
@@ -127,6 +144,16 @@ impl HardwareExecutor {
     /// keeping the functional counters exact while exposing the
     /// batch-level accounting separately.
     ///
+    /// ## Graceful degradation
+    ///
+    /// Before the batch runs, every plan's threshold banks are
+    /// validated. A plan whose banks fail (non-finite values — e.g. a
+    /// corrupted or poisoned child task) is not rejected: its images run
+    /// on the same plan with thresholds stripped, which is exactly the
+    /// baseline parent path over the shared frozen weights. The affected
+    /// plan indices are recorded in [`BatchReport::degraded_tasks`];
+    /// sibling tasks are unaffected.
+    ///
     /// # Errors
     ///
     /// Returns an error for an out-of-range plan index or a failing step.
@@ -139,13 +166,24 @@ impl HardwareExecutor {
     ) -> crate::Result<BatchReport> {
         let mut report = BatchReport::default();
         self.array.reset();
+        // graceful degradation: a task whose threshold bank fails
+        // validation runs on the thresholds-stripped parent path
+        let fallbacks: Vec<Option<BoundNetwork>> = plans
+            .iter()
+            .map(|p| p.validate_thresholds().err().map(|_| p.strip_thresholds()))
+            .collect();
+        let effective: Vec<&BoundNetwork> =
+            plans.iter().zip(&fallbacks).map(|(p, f)| f.as_ref().unwrap_or(p)).collect();
         let mut prev_task: Option<usize> = None;
         let mut weight_rebate = 0u64;
         let mut threshold_rebate = 0u64;
         for (task, image) in batch {
-            let plan = plans.get(*task).ok_or_else(|| {
-                TensorError::InvalidGeometry(format!("unknown plan index {task}"))
-            })?;
+            let plan = *effective
+                .get(*task)
+                .ok_or(MimeError::UnknownPlanIndex { index: *task, plans: plans.len() })?;
+            if fallbacks[*task].is_some() && !report.degraded_tasks.contains(task) {
+                report.degraded_tasks.push(*task);
+            }
             let switched = prev_task != Some(*task);
             if switched {
                 report.task_switches += 1;
@@ -175,7 +213,7 @@ impl HardwareExecutor {
         report.counters = counters;
         // switch traffic is what remains charged: expose it for reporting
         report.weight_reload_words = if shared_weights {
-            plans.first().map(|p| p.weight_words() as u64).unwrap_or(0)
+            effective.first().map(|p| p.weight_words() as u64).unwrap_or(0)
         } else {
             batch
                 .iter()
@@ -183,25 +221,27 @@ impl HardwareExecutor {
                     let switched = *prev != Some(*task);
                     *prev = Some(*task);
                     Some(if switched {
-                        plans.get(*task).map(|p| p.weight_words() as u64).unwrap_or(0)
+                        effective.get(*task).map(|p| p.weight_words() as u64).unwrap_or(0)
                     } else {
                         0
                     })
                 })
                 .sum()
         };
+        // degraded plans carry no thresholds, so they reload none
         report.threshold_reload_words = batch
             .iter()
             .scan(None, |prev, (task, _)| {
                 let switched = *prev != Some(*task);
                 *prev = Some(*task);
                 Some(if switched {
-                    plans.get(*task).map(plan_threshold_words).unwrap_or(0)
+                    effective.get(*task).map(|p| plan_threshold_words(p)).unwrap_or(0)
                 } else {
                     0
                 })
             })
             .sum();
+        report.degraded_tasks.sort_unstable();
         // the reload words are already inside the (rebated) counters; the
         // split fields are informational, so subtract them from the
         // counters to avoid double counting in total_energy
@@ -248,9 +288,7 @@ mod tests {
         let plan = BoundNetwork::from_baseline(&arch, &net).unwrap();
         let mut exec = HardwareExecutor::new(ArrayConfig::eyeriss_65nm());
         let hw = exec.run_image(&plan, &probe(), true).unwrap();
-        let sw = net
-            .forward(&probe().reshape(&[1, 3, 32, 32]).unwrap())
-            .unwrap();
+        let sw = net.forward(&probe().reshape(&[1, 3, 32, 32]).unwrap()).unwrap();
         for (a, b) in hw.iter().zip(sw.as_slice()) {
             assert!((a - b).abs() < 1e-2 * (1.0 + b.abs()), "{a} vs {b}");
         }
@@ -263,9 +301,7 @@ mod tests {
         let plan = BoundNetwork::from_mime(&net).unwrap();
         let mut exec = HardwareExecutor::new(ArrayConfig::eyeriss_65nm());
         let hw = exec.run_image(&plan, &probe(), true).unwrap();
-        let sw = net
-            .forward(&probe().reshape(&[1, 3, 32, 32]).unwrap())
-            .unwrap();
+        let sw = net.forward(&probe().reshape(&[1, 3, 32, 32]).unwrap()).unwrap();
         for (a, b) in hw.iter().zip(sw.as_slice()) {
             assert!((a - b).abs() < 1e-2 * (1.0 + b.abs()), "{a} vs {b}");
         }
@@ -300,15 +336,10 @@ mod tests {
             BoundNetwork::from_baseline(&arch, &build_network(&arch, &mut rng)).unwrap(),
             BoundNetwork::from_baseline(&arch, &build_network(&arch, &mut rng)).unwrap(),
         ];
-        let batch: Vec<(usize, Tensor)> =
-            (0..4).map(|i| (i % 2, probe())).collect();
+        let batch: Vec<(usize, Tensor)> = (0..4).map(|i| (i % 2, probe())).collect();
         let mut exec = HardwareExecutor::new(cfg);
-        let mime_report = exec
-            .run_pipelined(&mime_plans, &batch, true, true)
-            .unwrap();
-        let conv_report = exec
-            .run_pipelined(&conv_plans, &batch, false, true)
-            .unwrap();
+        let mime_report = exec.run_pipelined(&mime_plans, &batch, true, true).unwrap();
+        let conv_report = exec.run_pipelined(&conv_plans, &batch, false, true).unwrap();
         assert_eq!(mime_report.task_switches, 4);
         assert!(
             mime_report.weight_reload_words < conv_report.weight_reload_words,
@@ -327,8 +358,6 @@ mod tests {
         let mut exec = HardwareExecutor::new(ArrayConfig::eyeriss_65nm());
         assert!(exec.run_image(&plan, &Tensor::zeros(&[3, 16, 16]), true).is_err());
         let batch = vec![(5usize, probe())];
-        assert!(exec
-            .run_pipelined(&[plan], &batch, true, true)
-            .is_err());
+        assert!(exec.run_pipelined(&[plan], &batch, true, true).is_err());
     }
 }

@@ -26,7 +26,7 @@
 //! # use mime_systolic::ArrayConfig;
 //! # use mime_tensor::Tensor;
 //! # use rand::{rngs::StdRng, SeedableRng};
-//! # fn main() -> Result<(), mime_tensor::TensorError> {
+//! # fn main() -> Result<(), mime_core::MimeError> {
 //! let arch = vgg16_arch(0.0625, 32, 3, 4, 16);
 //! let mut rng = StdRng::seed_from_u64(0);
 //! let parent = build_network(&arch, &mut rng);
@@ -46,5 +46,5 @@ mod executor;
 pub use bind::{geometry_from_arch, BoundLayer, BoundNetwork};
 pub use executor::{BatchReport, HardwareExecutor};
 
-/// Result alias shared with the rest of the workspace.
-pub type Result<T> = mime_tensor::Result<T>;
+/// Result alias over [`mime_core::MimeError`], shared with `mime-core`.
+pub type Result<T> = mime_core::Result<T>;

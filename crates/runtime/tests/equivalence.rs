@@ -14,9 +14,14 @@ fn check_equivalence(seed: u64, init_threshold: f32, granularity: ThresholdGranu
     let arch = vgg16_arch(0.0625, 32, 3, 3, 8);
     let mut rng = StdRng::seed_from_u64(seed);
     let parent = build_network(&arch, &mut rng);
-    let mut net =
-        MimeNetwork::from_trained_with_options(&arch, &parent, init_threshold, false, granularity)
-            .unwrap();
+    let mut net = MimeNetwork::from_trained_with_options(
+        &arch,
+        &parent,
+        init_threshold,
+        false,
+        granularity,
+    )
+    .unwrap();
     let plan = BoundNetwork::from_mime(&net).unwrap();
     let mut exec = HardwareExecutor::new(ArrayConfig::eyeriss_65nm());
     let image = Tensor::from_fn(&[3, 32, 32], |i| {
@@ -25,10 +30,7 @@ fn check_equivalence(seed: u64, init_threshold: f32, granularity: ThresholdGranu
     let hw = exec.run_image(&plan, &image, true).unwrap();
     let sw = net.forward(&image.reshape(&[1, 3, 32, 32]).unwrap()).unwrap();
     for (a, b) in hw.iter().zip(sw.as_slice()) {
-        assert!(
-            (a - b).abs() < 5e-3 * (1.0 + b.abs()),
-            "seed {seed}: hw {a} vs sw {b}"
-        );
+        assert!((a - b).abs() < 5e-3 * (1.0 + b.abs()), "seed {seed}: hw {a} vs sw {b}");
     }
 }
 

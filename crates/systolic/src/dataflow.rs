@@ -58,8 +58,9 @@ pub fn recost_weight_stationary(
     let spad_words = (cfg.spad_bytes / cfg.bytes_per_word).max(1) as f64;
     // recover the batch's MAC slots from the OS accounting
     // (reg = 2·slots + images·outs·overhead)
-    let mac_slots =
-        ((os.breakdown.reg_accesses - images * outs * reg_overhead(scenario)) / 2.0).max(0.0);
+    let mac_slots = ((os.breakdown.reg_accesses - images * outs * reg_overhead(scenario))
+        / 2.0)
+        .max(0.0);
     let slots_per_out = if outs > 0.0 { mac_slots / (images * outs) } else { 0.0 };
     // spills per output: how many spad-sized chunks the dot product needs
     let chunks = (slots_per_out.min(taps) / spad_words).ceil().max(1.0);

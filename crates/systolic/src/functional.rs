@@ -189,8 +189,7 @@ impl FunctionalArray {
                     for ci in 0..c {
                         for ry in 0..r {
                             for rx in 0..r {
-                                if let Some(idx) =
-                                    in_index(ci, oy, ox, ry, rx, pad, in_hw)
+                                if let Some(idx) = in_index(ci, oy, ox, ry, rx, pad, in_hw)
                                 {
                                     if act_seen[idx] != sp as u32 {
                                         act_seen[idx] = sp as u32;
@@ -233,8 +232,7 @@ impl FunctionalArray {
                     for ci in 0..c {
                         for ry in 0..r {
                             for rx in 0..r {
-                                if let Some(idx) =
-                                    in_index(ci, oy, ox, ry, rx, pad, in_hw)
+                                if let Some(idx) = in_index(ci, oy, ox, ry, rx, pad, in_hw)
                                 {
                                     if (!zero_skip || xv[idx] != 0.0) && seen.insert(idx) {
                                         tile_distinct_nz += 1;
@@ -374,9 +372,7 @@ mod tests {
         let cfg = ArrayConfig::eyeriss_65nm();
         let mapping = Mapper::new(cfg).best_mapping(&geom, 0.5, 1.0);
         let mut array = FunctionalArray::new(cfg);
-        let out = array
-            .run_layer(&geom, &mapping, &w, &b, &x, None, true)
-            .unwrap();
+        let out = array.run_layer(&geom, &mapping, &w, &b, &x, None, true).unwrap();
         let x4 = x.reshape(&[1, geom.c, geom.in_hw, geom.in_hw]).unwrap();
         let reference = conv2d(&x4, &w, &b, &ConvSpec::vgg3x3()).unwrap();
         for (a, r) in out.as_slice().iter().zip(reference.as_slice()) {
@@ -391,14 +387,10 @@ mod tests {
         let cfg = ArrayConfig::eyeriss_65nm();
         let mapping = Mapper::new(cfg).best_mapping(&geom, 0.5, 1.0);
         let mut array = FunctionalArray::new(cfg);
-        let unmasked = array
-            .run_layer(&geom, &mapping, &w, &b, &x, None, true)
-            .unwrap();
+        let unmasked = array.run_layer(&geom, &mapping, &w, &b, &x, None, true).unwrap();
         let t = Tensor::full(&[geom.k * geom.sites()], 0.2);
         array.reset();
-        let masked = array
-            .run_layer(&geom, &mapping, &w, &b, &x, Some(&t), true)
-            .unwrap();
+        let masked = array.run_layer(&geom, &mapping, &w, &b, &x, Some(&t), true).unwrap();
         for (u, m) in unmasked.as_slice().iter().zip(masked.as_slice()) {
             if *u >= 0.2 {
                 assert_eq!(u, m);
@@ -474,8 +466,8 @@ mod tests {
         let n_sp = mapping.n_sp(&geom) as u64;
         let w_words = geom.weight_count() as u64;
         // per (sp, cg) stream: n_sp × (all channel groups' words) = n_sp × W
-        let weight_reads = array.counters().dram_reads
-            - count_act_reads(&geom, &mapping, &x, &cfg);
+        let weight_reads =
+            array.counters().dram_reads - count_act_reads(&geom, &mapping, &x, &cfg);
         assert_eq!(weight_reads, n_sp * w_words);
     }
 
@@ -500,9 +492,7 @@ mod tests {
                 for ci in 0..geom.c {
                     for ry in 0..geom.r {
                         for rx in 0..geom.r {
-                            if let Some(idx) =
-                                in_index(ci, oy, ox, ry, rx, 1, geom.in_hw)
-                            {
+                            if let Some(idx) = in_index(ci, oy, ox, ry, rx, 1, geom.in_hw) {
                                 if seen[idx] != sp as u32 {
                                     seen[idx] = sp as u32;
                                     if x.as_slice()[idx] != 0.0 {
@@ -531,7 +521,8 @@ mod tests {
         assert_eq!(out.dims(), &[5, 1, 1]);
         // reference dot products
         for ki in 0..5 {
-            let want: f32 = (0..8).map(|ci| (ki * 8 + ci) as f32 * 0.01 * ci as f32 * 0.1).sum();
+            let want: f32 =
+                (0..8).map(|ci| (ki * 8 + ci) as f32 * 0.01 * ci as f32 * 0.1).sum();
             assert!((out.as_slice()[ki] - want).abs() < 1e-5);
         }
     }
@@ -550,9 +541,7 @@ mod tests {
             .run_layer(&geom, &good, &w, &Tensor::zeros(&[9]), &x, None, true)
             .is_err());
         let bad_t = Tensor::zeros(&[3]);
-        assert!(array
-            .run_layer(&geom, &good, &w, &b, &x, Some(&bad_t), true)
-            .is_err());
+        assert!(array.run_layer(&geom, &good, &w, &b, &x, Some(&bad_t), true).is_err());
         let oversize = Mapping { to: 4096, st: 4096 };
         assert!(array.run_layer(&geom, &oversize, &w, &b, &x, None, true).is_err());
     }

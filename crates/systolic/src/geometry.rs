@@ -126,8 +126,7 @@ pub fn vgg16_geometry_with(
     classes: usize,
 ) -> Vec<LayerGeometry> {
     assert!(input_hw.is_multiple_of(32), "VGG16 needs input divisible by 32");
-    let stages: [(usize, usize); 5] =
-        [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
+    let stages: [(usize, usize); 5] = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
     let mut out = Vec::with_capacity(16);
     let mut hw = input_hw;
     let mut c = 3usize;

@@ -294,9 +294,14 @@ mod tests {
         let small = Mapper::new(ArrayConfig::reduced_pe());
         let g = vgg16_geometry(224);
         for layer in &g[4..10] {
-            let eb = big.estimate_energy(layer, &big.best_mapping(layer, 0.4, 1.0), 0.4, 1.0);
-            let es =
-                small.estimate_energy(layer, &small.best_mapping(layer, 0.4, 1.0), 0.4, 1.0);
+            let eb =
+                big.estimate_energy(layer, &big.best_mapping(layer, 0.4, 1.0), 0.4, 1.0);
+            let es = small.estimate_energy(
+                layer,
+                &small.best_mapping(layer, 0.4, 1.0),
+                0.4,
+                1.0,
+            );
             assert!(
                 es > eb * 1.02,
                 "{}: expected visible penalty, got {} vs {}",

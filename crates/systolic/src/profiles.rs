@@ -9,7 +9,9 @@
 use serde::{Deserialize, Serialize};
 
 /// The paper's three child tasks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub enum ChildTask {
     /// CIFAR10 (the paper's `T_child-1`).
     Cifar10,
@@ -124,16 +126,16 @@ fn expand_published(v: [f64; 11]) -> SparsityProfile {
 pub fn paper_sparsity_mime(task: ChildTask) -> SparsityProfile {
     match task {
         ChildTask::Cifar10 => expand_published([
-            0.6493, 0.6081, 0.6587, 0.6203, 0.6233, 0.6449, 0.6679, 0.6477, 0.6553,
-            0.6855, 0.657,
+            0.6493, 0.6081, 0.6587, 0.6203, 0.6233, 0.6449, 0.6679, 0.6477, 0.6553, 0.6855,
+            0.657,
         ]),
         ChildTask::Cifar100 => expand_published([
-            0.6522, 0.5951, 0.6373, 0.6100, 0.6121, 0.6279, 0.6580, 0.6374, 0.6388,
-            0.6703, 0.6571,
+            0.6522, 0.5951, 0.6373, 0.6100, 0.6121, 0.6279, 0.6580, 0.6374, 0.6388, 0.6703,
+            0.6571,
         ]),
         ChildTask::Fmnist => expand_published([
-            0.6075, 0.5634, 0.6138, 0.5991, 0.5959, 0.6017, 0.6204, 0.6014, 0.6125,
-            0.6138, 0.6287,
+            0.6075, 0.5634, 0.6138, 0.5991, 0.5959, 0.6017, 0.6204, 0.6014, 0.6125, 0.6138,
+            0.6287,
         ]),
     }
 }
@@ -143,16 +145,16 @@ pub fn paper_sparsity_mime(task: ChildTask) -> SparsityProfile {
 pub fn paper_sparsity_relu(task: ChildTask) -> SparsityProfile {
     match task {
         ChildTask::Cifar10 => expand_published([
-            0.4983, 0.4506, 0.5390, 0.5015, 0.5097, 0.5341, 0.5635, 0.5358, 0.5420,
-            0.5627, 0.5608,
+            0.4983, 0.4506, 0.5390, 0.5015, 0.5097, 0.5341, 0.5635, 0.5358, 0.5420, 0.5627,
+            0.5608,
         ]),
         ChildTask::Cifar100 => expand_published([
-            0.5030, 0.4586, 0.5399, 0.5069, 0.5129, 0.5333, 0.5633, 0.5345, 0.5449,
-            0.5842, 0.6002,
+            0.5030, 0.4586, 0.5399, 0.5069, 0.5129, 0.5333, 0.5633, 0.5345, 0.5449, 0.5842,
+            0.6002,
         ]),
         ChildTask::Fmnist => expand_published([
-            0.5114, 0.4796, 0.5488, 0.5230, 0.5260, 0.5329, 0.5503, 0.5280, 0.5343,
-            0.5507, 0.5820,
+            0.5114, 0.4796, 0.5488, 0.5230, 0.5260, 0.5329, 0.5503, 0.5280, 0.5343, 0.5507,
+            0.5820,
         ]),
     }
 }
@@ -190,10 +192,7 @@ mod tests {
             let m = paper_sparsity_mime(t);
             let r = paper_sparsity_relu(t);
             for i in 0..15 {
-                assert!(
-                    m.output_sparsity(i) > r.output_sparsity(i),
-                    "{t}: layer {i}"
-                );
+                assert!(m.output_sparsity(i) > r.output_sparsity(i), "{t}: layer {i}");
             }
         }
     }

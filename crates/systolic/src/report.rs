@@ -14,7 +14,11 @@ pub fn render_table(results: &[LayerResult]) -> String {
     for r in results {
         out.push_str(&format!(
             "{:<8} {:>12.4e} {:>12.4e} {:>12.4e} {:>12.4e} {:>14.4e}\n",
-            r.name, r.energy.e_dram, r.energy.e_cache, r.energy.e_reg, r.energy.e_mac,
+            r.name,
+            r.energy.e_dram,
+            r.energy.e_cache,
+            r.energy.e_reg,
+            r.energy.e_mac,
             r.total_energy()
         ));
     }
@@ -79,7 +83,9 @@ pub fn render_savings(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{simulate_network, vgg16_geometry, Approach, ArrayConfig, Scenario, TaskMode};
+    use crate::{
+        simulate_network, vgg16_geometry, Approach, ArrayConfig, Scenario, TaskMode,
+    };
 
     fn results() -> Vec<LayerResult> {
         simulate_network(

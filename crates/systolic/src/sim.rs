@@ -176,16 +176,10 @@ impl ProfileSet {
     /// The profile used for `task` under `approach`.
     pub fn profile_for(&self, task: ChildTask, approach: Approach) -> SparsityProfile {
         match approach {
-            Approach::Mime | Approach::MimeNoSkip => self
-                .mime
-                .get(&task)
-                .cloned()
-                .unwrap_or_else(|| paper_sparsity_mime(task)),
-            _ => self
-                .relu
-                .get(&task)
-                .cloned()
-                .unwrap_or_else(|| paper_sparsity_relu(task)),
+            Approach::Mime | Approach::MimeNoSkip => {
+                self.mime.get(&task).cloned().unwrap_or_else(|| paper_sparsity_mime(task))
+            }
+            _ => self.relu.get(&task).cloned().unwrap_or_else(|| paper_sparsity_relu(task)),
         }
     }
 }
@@ -521,11 +515,7 @@ mod tests {
         let mime = run(Approach::Mime, TaskMode::paper_pipelined());
         for i in [1usize, 3, 5, 7, 9, 11] {
             let gain = c1[i].cycles / mime[i].cycles;
-            assert!(
-                gain > 2.3 && gain < 3.5,
-                "{}: throughput gain {gain}",
-                c1[i].name
-            );
+            assert!(gain > 2.3 && gain < 3.5, "{}: throughput gain {gain}", c1[i].name);
         }
     }
 
@@ -536,10 +526,8 @@ mod tests {
         // traffic dominates); MIME wins in the later conv layers (weight
         // re-fetch dominates).
         let mime = run(Approach::Mime, TaskMode::paper_pipelined());
-        let pruned = run(
-            Approach::Pruned { weight_density: 0.1 },
-            TaskMode::paper_pipelined(),
-        );
+        let pruned =
+            run(Approach::Pruned { weight_density: 0.1 }, TaskMode::paper_pipelined());
         let ratio = |i: usize| pruned[i].total_energy() / mime[i].total_energy();
         // early layers: threshold traffic makes MIME lose or at best tie
         // (paper: pruned wins conv2 and conv4; our crossover sits one
@@ -548,7 +536,12 @@ mod tests {
         assert!(ratio(1) < 1.05, "conv2: near-tie or pruned win, ratio {}", ratio(1));
         // mid/late conv layers: MIME wins with growing margin
         for i in 4..13 {
-            assert!(ratio(i) > 1.05, "{}: MIME should win, ratio {}", mime[i].name, ratio(i));
+            assert!(
+                ratio(i) > 1.05,
+                "{}: MIME should win, ratio {}",
+                mime[i].name,
+                ratio(i)
+            );
         }
         assert!(ratio(12) > ratio(4), "margin should grow toward late layers");
         // FC layers (the paper's conv14/conv15): big MIME wins

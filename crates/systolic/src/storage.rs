@@ -112,8 +112,7 @@ mod tests {
             assert!(w[1].mime_mb > w[0].mime_mb);
             // the conventional curve grows much faster
             assert!(
-                w[1].conventional_mb - w[0].conventional_mb
-                    > w[1].mime_mb - w[0].mime_mb
+                w[1].conventional_mb - w[0].conventional_mb > w[1].mime_mb - w[0].mime_mb
             );
         }
         // zero children: both store exactly one model

@@ -24,10 +24,7 @@ pub struct SweepPoint {
 }
 
 fn network_energy(geoms: &[LayerGeometry], cfg: &ArrayConfig, scenario: &Scenario) -> f64 {
-    simulate_network(geoms, cfg, scenario)
-        .iter()
-        .map(|l| l.total_energy())
-        .sum()
+    simulate_network(geoms, cfg, scenario).iter().map(|l| l.total_energy()).sum()
 }
 
 /// Sweeps the pipelined batch depth with the paper's three tasks cycled
@@ -42,11 +39,8 @@ pub fn sweep_batch_depth(
 ) -> Vec<SweepPoint> {
     (1..=max_rounds)
         .map(|rounds| {
-            let tasks: Vec<ChildTask> = ChildTask::all()
-                .into_iter()
-                .cycle()
-                .take(3 * rounds)
-                .collect();
+            let tasks: Vec<ChildTask> =
+                ChildTask::all().into_iter().cycle().take(3 * rounds).collect();
             let mode = TaskMode::Pipelined { tasks };
             let conventional = network_energy(
                 geoms,
@@ -81,12 +75,7 @@ pub fn sweep_task_mix(geoms: &[LayerGeometry], cfg: &ArrayConfig) -> Vec<SweepPo
             );
             let mime =
                 network_energy(geoms, cfg, &Scenario { mode, approach: Approach::Mime });
-            SweepPoint {
-                x: mix.len(),
-                conventional,
-                mime,
-                savings: conventional / mime,
-            }
+            SweepPoint { x: mix.len(), conventional, mime, savings: conventional / mime }
         })
         .collect()
 }

@@ -47,7 +47,8 @@ mod tests {
     fn baseline_normalizes_to_one() {
         let geoms = vgg16_geometry(224);
         let cfg = ArrayConfig::eyeriss_65nm();
-        let scen = Scenario { mode: TaskMode::paper_pipelined(), approach: Approach::Case1 };
+        let scen =
+            Scenario { mode: TaskMode::paper_pipelined(), approach: Approach::Case1 };
         let base = simulate_network(&geoms, &cfg, &scen);
         let t = normalized_throughput(&base, &base);
         assert!(t.iter().all(|p| (p.speedup - 1.0).abs() < 1e-12));
@@ -69,8 +70,7 @@ mod tests {
         );
         let t = normalized_throughput(&base, &mime);
         // paper: ~2.8–3.0× on the plotted conv layers
-        let mean: f64 =
-            t[1..13].iter().map(|p| p.speedup).sum::<f64>() / 12.0;
+        let mean: f64 = t[1..13].iter().map(|p| p.speedup).sum::<f64>() / 12.0;
         assert!(mean > 2.3 && mean < 3.3, "mean speedup {mean}");
     }
 
@@ -79,7 +79,8 @@ mod tests {
     fn mismatched_lengths_panic() {
         let geoms = vgg16_geometry(224);
         let cfg = ArrayConfig::eyeriss_65nm();
-        let scen = Scenario { mode: TaskMode::paper_pipelined(), approach: Approach::Case1 };
+        let scen =
+            Scenario { mode: TaskMode::paper_pipelined(), approach: Approach::Case1 };
         let base = simulate_network(&geoms, &cfg, &scen);
         let _ = normalized_throughput(&base, &base[1..]);
     }

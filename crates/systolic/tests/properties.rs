@@ -91,13 +91,13 @@ fn network_energy_is_additive_over_batches() {
     let cfg = ArrayConfig::eyeriss_65nm();
     let three = Scenario { mode: TaskMode::paper_pipelined(), approach: Approach::Mime };
     let six = Scenario {
-        mode: TaskMode::Pipelined {
-            tasks: [ChildTask::all(), ChildTask::all()].concat(),
-        },
+        mode: TaskMode::Pipelined { tasks: [ChildTask::all(), ChildTask::all()].concat() },
         approach: Approach::Mime,
     };
-    let e3: f64 = simulate_network(&geoms, &cfg, &three).iter().map(|l| l.total_energy()).sum();
-    let e6: f64 = simulate_network(&geoms, &cfg, &six).iter().map(|l| l.total_energy()).sum();
+    let e3: f64 =
+        simulate_network(&geoms, &cfg, &three).iter().map(|l| l.total_energy()).sum();
+    let e6: f64 =
+        simulate_network(&geoms, &cfg, &six).iter().map(|l| l.total_energy()).sum();
     assert!(e6 < 2.0 * e3, "6-image batch {e6} vs 2x3-image {e3}");
     assert!(e6 > 1.5 * e3, "per-image terms must still dominate");
 }

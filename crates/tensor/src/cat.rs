@@ -12,11 +12,7 @@ impl Tensor {
     /// the outermost dimension, or a rank error on scalars.
     pub fn narrow(&self, start: usize, len: usize) -> Result<Tensor> {
         if self.rank() == 0 {
-            return Err(TensorError::RankMismatch {
-                expected: 1,
-                actual: 0,
-                op: "narrow",
-            });
+            return Err(TensorError::RankMismatch { expected: 1, actual: 0, op: "narrow" });
         }
         let n = self.dims()[0];
         if start + len > n {
@@ -42,16 +38,10 @@ impl Tensor {
     /// Returns a shape error for mismatched inner dimensions or an empty
     /// input list.
     pub fn concat(parts: &[&Tensor]) -> Result<Tensor> {
-        let first = parts.first().ok_or(TensorError::LengthMismatch {
-            expected: 1,
-            actual: 0,
-        })?;
+        let first =
+            parts.first().ok_or(TensorError::LengthMismatch { expected: 1, actual: 0 })?;
         if first.rank() == 0 {
-            return Err(TensorError::RankMismatch {
-                expected: 1,
-                actual: 0,
-                op: "concat",
-            });
+            return Err(TensorError::RankMismatch { expected: 1, actual: 0, op: "concat" });
         }
         let inner_dims = &first.dims()[1..];
         let mut total = 0usize;

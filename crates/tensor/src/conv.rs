@@ -190,12 +190,7 @@ fn check_conv_args(
             op: "conv2d",
         });
     }
-    let (n, c, h, w) = (
-        input.dims()[0],
-        input.dims()[1],
-        input.dims()[2],
-        input.dims()[3],
-    );
+    let (n, c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
     let (kout, cin) = (weight.dims()[0], weight.dims()[1]);
     if cin != c || bias.dims() != [kout] {
         return Err(TensorError::ShapeMismatch {
@@ -362,10 +357,7 @@ mod tests {
         let weight = Tensor::ones(&[1, 1, 3, 3]);
         let bias = Tensor::zeros(&[1]);
         let out = conv2d(&input, &weight, &bias, &ConvSpec::vgg3x3()).unwrap();
-        assert_eq!(
-            out.as_slice(),
-            &[4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]
-        );
+        assert_eq!(out.as_slice(), &[4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]);
     }
 
     #[test]

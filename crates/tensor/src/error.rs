@@ -84,7 +84,10 @@ mod tests {
         for e in errs {
             let s = e.to_string();
             assert!(!s.is_empty());
-            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with(char::is_alphabetic));
+            assert!(
+                s.chars().next().unwrap().is_lowercase()
+                    || s.starts_with(char::is_alphabetic)
+            );
         }
     }
 

@@ -36,7 +36,7 @@ mod tensor;
 pub use conv::{col2im, conv2d, conv2d_backward, im2col, Conv2dGrads, ConvSpec};
 pub use error::TensorError;
 pub use init::{kaiming_normal, kaiming_uniform, xavier_uniform};
-pub use matmul::{matmul_into, matmul_tn, matmul_nt};
+pub use matmul::{matmul_into, matmul_nt, matmul_tn};
 pub use pool::{max_pool2d, max_pool2d_backward, MaxPoolOut, PoolSpec};
 pub use shape::Shape;
 pub use tensor::Tensor;

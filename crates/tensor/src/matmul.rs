@@ -10,11 +10,7 @@ const BLOCK: usize = 64;
 
 fn check_matrix(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     if t.rank() != 2 {
-        return Err(TensorError::RankMismatch {
-            expected: 2,
-            actual: t.rank(),
-            op,
-        });
+        return Err(TensorError::RankMismatch { expected: 2, actual: t.rank(), op });
     }
     Ok((t.dims()[0], t.dims()[1]))
 }

@@ -13,21 +13,16 @@ fn zip_broadcast(
     f: impl Fn(f32, f32) -> f32,
 ) -> Result<Tensor> {
     if lhs.shape() == rhs.shape() {
-        let data = lhs
-            .as_slice()
-            .iter()
-            .zip(rhs.as_slice())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let data =
+            lhs.as_slice().iter().zip(rhs.as_slice()).map(|(&a, &b)| f(a, b)).collect();
         return Tensor::from_vec(data, lhs.dims());
     }
-    let out_shape = lhs.shape().broadcast(rhs.shape()).map_err(|_| {
-        TensorError::ShapeMismatch {
+    let out_shape =
+        lhs.shape().broadcast(rhs.shape()).map_err(|_| TensorError::ShapeMismatch {
             lhs: lhs.dims().to_vec(),
             rhs: rhs.dims().to_vec(),
             op,
-        }
-    })?;
+        })?;
     let rank = out_shape.rank();
     let out_dims = out_shape.dims().to_vec();
     let lstrides = padded_strides(lhs.shape(), &out_shape);
@@ -203,10 +198,7 @@ mod tests {
     fn incompatible_shapes_rejected() {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[2, 2]);
-        assert!(matches!(
-            a.add(&b),
-            Err(TensorError::ShapeMismatch { op: "add", .. })
-        ));
+        assert!(matches!(a.add(&b), Err(TensorError::ShapeMismatch { op: "add", .. })));
     }
 
     #[test]

@@ -72,12 +72,7 @@ pub fn max_pool2d(input: &Tensor, spec: &PoolSpec) -> Result<MaxPoolOut> {
             op: "max_pool2d",
         });
     }
-    let (n, c, h, w) = (
-        input.dims()[0],
-        input.dims()[1],
-        input.dims()[2],
-        input.dims()[3],
-    );
+    let (n, c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
     let ho = spec.out_extent(h)?;
     let wo = spec.out_extent(w)?;
     let mut output = Tensor::zeros(&[n, c, ho, wo]);

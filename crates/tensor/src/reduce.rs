@@ -30,11 +30,7 @@ impl Tensor {
     /// Flat index of the maximum element of a rank-1 tensor, or of the
     /// whole storage for higher ranks. Returns `None` when empty.
     pub fn argmax(&self) -> Option<usize> {
-        self.as_slice()
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
+        self.as_slice().iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i)
     }
 
     /// Row-wise argmax of a rank-2 tensor: one winning column per row.
@@ -158,8 +154,8 @@ mod tests {
 
     #[test]
     fn softmax_rows_normalizes() {
-        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0], &[2, 3])
-            .unwrap();
+        let t =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0], &[2, 3]).unwrap();
         let s = t.softmax_rows().unwrap();
         for i in 0..2 {
             let row_sum: f32 = s.as_slice()[i * 3..(i + 1) * 3].iter().sum();

@@ -70,19 +70,13 @@ impl Shape {
     /// Returns [`TensorError::IndexOutOfBounds`] if the index rank differs
     /// from the shape rank or any coordinate exceeds its extent.
     pub fn offset(&self, index: &[usize]) -> Result<usize> {
-        if index.len() != self.rank()
-            || index.iter().zip(&self.0).any(|(&i, &d)| i >= d)
-        {
+        if index.len() != self.rank() || index.iter().zip(&self.0).any(|(&i, &d)| i >= d) {
             return Err(TensorError::IndexOutOfBounds {
                 index: index.to_vec(),
                 shape: self.0.clone(),
             });
         }
-        Ok(index
-            .iter()
-            .zip(self.strides())
-            .map(|(&i, s)| i * s)
-            .sum())
+        Ok(index.iter().zip(self.strides()).map(|(&i, s)| i * s).sum())
     }
 
     /// Whether two shapes can be combined elementwise with numpy-style

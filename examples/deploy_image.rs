@@ -25,9 +25,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     let arch = vgg16_arch(0.125, 32, 3, classes, 64);
     let mut rng = StdRng::seed_from_u64(4);
     let mut parent = build_network(&arch, &mut rng);
-    let parent_task = family.generate(
-        &TaskSpec { classes, ..TaskSpec::imagenet_like().with_samples(12, 4) },
-    );
+    let parent_task = family
+        .generate(&TaskSpec { classes, ..TaskSpec::imagenet_like().with_samples(12, 4) });
     let mut opt = Adam::with_lr(1e-3);
     for _ in 0..4 {
         train_epoch(&mut parent, &parent_task.train.batches(16), &mut opt)?;
@@ -51,16 +50,14 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
 
     // pack → unpack round trip
-    let image = pack_model(&model);
+    let image = pack_model(&model)?;
     println!(
         "\npacked deployment image: {} bytes total, {} bytes of 16-bit parameters",
         image.len(),
         payload_bytes(&model)
     );
     let (w, t, n) = model.storage_profile();
-    println!(
-        "storage profile: |W_parent| = {w} params, |T| = {t} per task x {n} tasks"
-    );
+    println!("storage profile: |W_parent| = {w} params, |T| = {t} per task x {n} tasks");
     println!(
         "conventional multi-task would store {} params ({:.2}x more)",
         w * (n + 1),
@@ -70,19 +67,20 @@ fn main() -> Result<(), Box<dyn Error>> {
     let fresh_parent = build_network(&arch, &mut StdRng::seed_from_u64(999));
     let mut restored =
         MultiTaskModel::new(MimeNetwork::from_trained(&arch, &fresh_parent, 0.01)?);
-    unpack_model(&image, &mut restored)?;
-    println!("\nrestored model has {} tasks", restored.tasks().len());
+    let report = unpack_model(&image, &mut restored)?;
+    assert!(report.is_clean(), "freshly packed image should verify clean");
+    println!(
+        "\nrestored model has {} tasks (format v{})",
+        restored.tasks().len(),
+        report.version
+    );
 
     // verify prediction agreement on a probe batch
     let probe = Tensor::from_fn(&[4, 3, 32, 32], |i| ((i % 23) as f32 - 11.0) * 0.08);
     let a = model.infer("cifar10-like", &probe)?;
     let b = restored.infer("cifar10-like", &probe)?;
-    let agree = a
-        .argmax_rows()?
-        .iter()
-        .zip(b.argmax_rows()?)
-        .filter(|(x, y)| **x == *y)
-        .count();
+    let agree =
+        a.argmax_rows()?.iter().zip(b.argmax_rows()?).filter(|(x, y)| **x == *y).count();
     println!("prediction agreement after 16-bit round trip: {agree}/4");
     Ok(())
 }

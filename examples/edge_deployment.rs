@@ -11,8 +11,8 @@
 //! ```
 
 use mime::systolic::{
-    simulate_network, vgg16_geometry, Approach, ArrayConfig, ChildTask,
-    DramStorageModel, Scenario, TaskMode,
+    simulate_network, vgg16_geometry, Approach, ArrayConfig, ChildTask, DramStorageModel,
+    Scenario, TaskMode,
 };
 use std::error::Error;
 

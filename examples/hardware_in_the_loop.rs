@@ -29,9 +29,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     // --- algorithm side --------------------------------------------------
     let mut rng = StdRng::seed_from_u64(12);
     let mut parent = build_network(&arch, &mut rng);
-    let parent_task = family.generate(
-        &TaskSpec { classes, ..TaskSpec::imagenet_like().with_samples(10, 2) },
-    );
+    let parent_task = family
+        .generate(&TaskSpec { classes, ..TaskSpec::imagenet_like().with_samples(10, 2) });
     let mut opt = Adam::with_lr(2e-3);
     for _ in 0..4 {
         train_epoch(&mut parent, &parent_task.train.batches(12), &mut opt)?;

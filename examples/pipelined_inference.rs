@@ -12,7 +12,9 @@
 //! cargo run --release --example pipelined_inference
 //! ```
 
-use mime::core::{measure_sparsity, MimeNetwork, MimeTrainer, MimeTrainerConfig, MultiTaskModel};
+use mime::core::{
+    measure_sparsity, MimeNetwork, MimeTrainer, MimeTrainerConfig, MultiTaskModel,
+};
 use mime::datasets::{pipelined_batches, TaskFamily, TaskSpec};
 use mime::nn::{build_network, train_epoch, vgg16_arch, Adam};
 use mime::systolic::{
@@ -31,9 +33,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     let arch = vgg16_arch(0.125, 32, 3, classes, 64);
     let mut rng = StdRng::seed_from_u64(3);
     let mut parent = build_network(&arch, &mut rng);
-    let parent_task = family.generate(
-        &TaskSpec { classes, ..TaskSpec::imagenet_like().with_samples(16, 4) },
-    );
+    let parent_task = family
+        .generate(&TaskSpec { classes, ..TaskSpec::imagenet_like().with_samples(16, 4) });
     let mut opt = Adam::with_lr(1e-3);
     for _ in 0..5 {
         train_epoch(&mut parent, &parent_task.train.batches(16), &mut opt)?;
@@ -87,7 +88,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let tasks: Vec<_> = specs.iter().map(|s| family.generate(s)).collect();
     let datasets: Vec<_> = tasks.iter().map(|t| (&t.test, t.spec.id)).collect();
     let batches = pipelined_batches(&datasets, 1);
-    println!("\nrunning {} pipelined batches (task-interleaved, batch of 3)...", batches.len());
+    println!(
+        "\nrunning {} pipelined batches (task-interleaved, batch of 3)...",
+        batches.len()
+    );
     let mut items = Vec::new();
     for batch in batches.iter().take(8) {
         let per = batch.images.len() / batch.len();
@@ -123,7 +127,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let tc: f64 = conv.iter().map(|l| l.total_energy()).sum();
     let tm: f64 = mime.iter().map(|l| l.total_energy()).sum();
     println!("  conventional (zero-skipping): {tc:.3e} MAC-units");
-    println!("  MIME:                         {tm:.3e} MAC-units  ({:.2}x savings)", tc / tm);
+    println!(
+        "  MIME:                         {tm:.3e} MAC-units  ({:.2}x savings)",
+        tc / tm
+    );
     println!("  measured mean dynamic sparsity of our trained tasks: {mean_sparsity:.3}");
     Ok(())
 }

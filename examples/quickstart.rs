@@ -11,8 +11,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use mime::core::{measure_sparsity, MimeNetwork, MimeTrainer, MimeTrainerConfig};
 use mime::core::params::storage_savings;
+use mime::core::{measure_sparsity, MimeNetwork, MimeTrainer, MimeTrainerConfig};
 use mime::datasets::{TaskFamily, TaskSpec};
 use mime::nn::{accuracy, build_network, evaluate, train_epoch, vgg16_arch, Adam};
 use rand::rngs::StdRng;
@@ -32,7 +32,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("training parent (imagenet-like, {} images)...", parent_task.train.len());
     for epoch in 0..6 {
         let rep = train_epoch(&mut parent, &train, &mut opt)?;
-        println!("  epoch {epoch}: loss {:.3} acc {:.2}%", rep.mean_loss, rep.mean_accuracy * 100.0);
+        println!(
+            "  epoch {epoch}: loss {:.3} acc {:.2}%",
+            rep.mean_loss,
+            rep.mean_accuracy * 100.0
+        );
     }
     let parent_acc = evaluate(&mut parent, &parent_task.test.batches(16))?;
     println!("parent test accuracy: {:.2}%\n", parent_acc * 100.0);
@@ -69,7 +73,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         hits += accuracy(&logits, labels)? * labels.len() as f64;
         count += labels.len();
     }
-    println!("\nchild test accuracy with frozen W_parent + thresholds: {:.2}%", 100.0 * hits / count as f64);
+    println!(
+        "\nchild test accuracy with frozen W_parent + thresholds: {:.2}%",
+        100.0 * hits / count as f64
+    );
     let sparsity = measure_sparsity(&mut net, &test_batches)?;
     println!("dynamic neuronal sparsity per layer:\n{sparsity}");
     let savings = storage_savings(net.num_backbone_params(), net.num_thresholds(), 1);

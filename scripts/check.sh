@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, build, and the full test suite.
+#
+# Run before pushing:   ./scripts/check.sh
+# Fast mode (no tests): ./scripts/check.sh --no-tests
+#
+# Tier-1 (the seed contract) is `cargo build --release && cargo test -q`;
+# this script is a superset: it adds rustfmt, clippy with warnings
+# denied, and the workspace-wide test run (the bare root `cargo test`
+# only covers the umbrella package).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_tests=1
+if [[ "${1:-}" == "--no-tests" ]]; then
+    run_tests=0
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+if [[ "$run_tests" == 1 ]]; then
+    echo "==> cargo test --workspace"
+    cargo test --workspace -q
+fi
+
+echo "==> all checks passed"

@@ -25,7 +25,7 @@
 //! use mime::nn::{build_network, vgg16_arch};
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
-//! # fn main() -> Result<(), mime::tensor::TensorError> {
+//! # fn main() -> Result<(), mime::core::MimeError> {
 //! // a (tiny) parent backbone with a 10-class head (cifar10-like width)
 //! let arch = vgg16_arch(0.0625, 32, 3, 10, 16);
 //! let mut rng = StdRng::seed_from_u64(0);

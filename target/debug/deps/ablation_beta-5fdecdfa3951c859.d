@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_beta-5fdecdfa3951c859.d: crates/bench/src/bin/ablation_beta.rs
+
+/root/repo/target/debug/deps/ablation_beta-5fdecdfa3951c859: crates/bench/src/bin/ablation_beta.rs
+
+crates/bench/src/bin/ablation_beta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_beta-9ed2cddab6ca2c12.d: crates/bench/src/bin/ablation_beta.rs
+
+/root/repo/target/debug/deps/ablation_beta-9ed2cddab6ca2c12: crates/bench/src/bin/ablation_beta.rs
+
+crates/bench/src/bin/ablation_beta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dataflow-6a2dc10a195b3ff3.d: crates/bench/src/bin/ablation_dataflow.rs
+
+/root/repo/target/debug/deps/ablation_dataflow-6a2dc10a195b3ff3: crates/bench/src/bin/ablation_dataflow.rs
+
+crates/bench/src/bin/ablation_dataflow.rs:

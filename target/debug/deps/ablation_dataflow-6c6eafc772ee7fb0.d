@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dataflow-6c6eafc772ee7fb0.d: crates/bench/src/bin/ablation_dataflow.rs
+
+/root/repo/target/debug/deps/ablation_dataflow-6c6eafc772ee7fb0: crates/bench/src/bin/ablation_dataflow.rs
+
+crates/bench/src/bin/ablation_dataflow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_granularity-524b6e27d81b81f2.d: crates/bench/src/bin/ablation_granularity.rs
+
+/root/repo/target/debug/deps/ablation_granularity-524b6e27d81b81f2: crates/bench/src/bin/ablation_granularity.rs
+
+crates/bench/src/bin/ablation_granularity.rs:

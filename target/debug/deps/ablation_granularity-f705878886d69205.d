@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_granularity-f705878886d69205.d: crates/bench/src/bin/ablation_granularity.rs
+
+/root/repo/target/debug/deps/ablation_granularity-f705878886d69205: crates/bench/src/bin/ablation_granularity.rs
+
+crates/bench/src/bin/ablation_granularity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_precision-51abe0849de2dbcb.d: crates/bench/src/bin/ablation_precision.rs
+
+/root/repo/target/debug/deps/ablation_precision-51abe0849de2dbcb: crates/bench/src/bin/ablation_precision.rs
+
+crates/bench/src/bin/ablation_precision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_precision-92434640c080231f.d: crates/bench/src/bin/ablation_precision.rs
+
+/root/repo/target/debug/deps/ablation_precision-92434640c080231f: crates/bench/src/bin/ablation_precision.rs
+
+crates/bench/src/bin/ablation_precision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attribution-3f23d99ced0d6059.d: crates/bench/src/bin/attribution.rs
+
+/root/repo/target/debug/deps/attribution-3f23d99ced0d6059: crates/bench/src/bin/attribution.rs
+
+crates/bench/src/bin/attribution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attribution-83b8c224864b9c9e.d: crates/bench/src/bin/attribution.rs
+
+/root/repo/target/debug/deps/attribution-83b8c224864b9c9e: crates/bench/src/bin/attribution.rs
+
+crates/bench/src/bin/attribution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-8c5db6c84ad94f19.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-8c5db6c84ad94f19.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-e219617a42c04db0.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-e219617a42c04db0.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-e219617a42c04db0.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/degradation-c0f3b2bb6d884af6.d: crates/runtime/tests/degradation.rs
+
+/root/repo/target/debug/deps/degradation-c0f3b2bb6d884af6: crates/runtime/tests/degradation.rs
+
+crates/runtime/tests/degradation.rs:

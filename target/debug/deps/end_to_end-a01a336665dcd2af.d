@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a01a336665dcd2af.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-a01a336665dcd2af: tests/end_to_end.rs
+
+tests/end_to_end.rs:

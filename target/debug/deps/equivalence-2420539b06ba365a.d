@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-2420539b06ba365a.d: crates/runtime/tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-2420539b06ba365a: crates/runtime/tests/equivalence.rs
+
+crates/runtime/tests/equivalence.rs:

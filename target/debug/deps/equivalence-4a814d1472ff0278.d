@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence-4a814d1472ff0278.d: crates/runtime/tests/equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence-4a814d1472ff0278.rmeta: crates/runtime/tests/equivalence.rs Cargo.toml
+
+crates/runtime/tests/equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_storage-bb2c7a42c5276554.d: crates/bench/src/bin/fig4_storage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_storage-bb2c7a42c5276554.rmeta: crates/bench/src/bin/fig4_storage.rs Cargo.toml
+
+crates/bench/src/bin/fig4_storage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

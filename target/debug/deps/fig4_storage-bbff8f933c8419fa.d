@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_storage-bbff8f933c8419fa.d: crates/bench/src/bin/fig4_storage.rs
+
+/root/repo/target/debug/deps/fig4_storage-bbff8f933c8419fa: crates/bench/src/bin/fig4_storage.rs
+
+crates/bench/src/bin/fig4_storage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_storage-cefe99a482335bd3.d: crates/bench/src/bin/fig4_storage.rs
+
+/root/repo/target/debug/deps/fig4_storage-cefe99a482335bd3: crates/bench/src/bin/fig4_storage.rs
+
+crates/bench/src/bin/fig4_storage.rs:

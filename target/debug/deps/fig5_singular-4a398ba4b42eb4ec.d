@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_singular-4a398ba4b42eb4ec.d: crates/bench/src/bin/fig5_singular.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_singular-4a398ba4b42eb4ec.rmeta: crates/bench/src/bin/fig5_singular.rs Cargo.toml
+
+crates/bench/src/bin/fig5_singular.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

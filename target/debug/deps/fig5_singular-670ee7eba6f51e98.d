@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_singular-670ee7eba6f51e98.d: crates/bench/src/bin/fig5_singular.rs
+
+/root/repo/target/debug/deps/fig5_singular-670ee7eba6f51e98: crates/bench/src/bin/fig5_singular.rs
+
+crates/bench/src/bin/fig5_singular.rs:

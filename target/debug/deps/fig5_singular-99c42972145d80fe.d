@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_singular-99c42972145d80fe.d: crates/bench/src/bin/fig5_singular.rs
+
+/root/repo/target/debug/deps/fig5_singular-99c42972145d80fe: crates/bench/src/bin/fig5_singular.rs
+
+crates/bench/src/bin/fig5_singular.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_pipelined-bf28e46b5616e6a0.d: crates/bench/src/bin/fig6_pipelined.rs
+
+/root/repo/target/debug/deps/fig6_pipelined-bf28e46b5616e6a0: crates/bench/src/bin/fig6_pipelined.rs
+
+crates/bench/src/bin/fig6_pipelined.rs:

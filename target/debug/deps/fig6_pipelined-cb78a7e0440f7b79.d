@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_pipelined-cb78a7e0440f7b79.d: crates/bench/src/bin/fig6_pipelined.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_pipelined-cb78a7e0440f7b79.rmeta: crates/bench/src/bin/fig6_pipelined.rs Cargo.toml
+
+crates/bench/src/bin/fig6_pipelined.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

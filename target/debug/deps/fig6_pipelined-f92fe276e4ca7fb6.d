@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_pipelined-f92fe276e4ca7fb6.d: crates/bench/src/bin/fig6_pipelined.rs
+
+/root/repo/target/debug/deps/fig6_pipelined-f92fe276e4ca7fb6: crates/bench/src/bin/fig6_pipelined.rs
+
+crates/bench/src/bin/fig6_pipelined.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_throughput-5e5a5b06f99c475b.d: crates/bench/src/bin/fig7_throughput.rs
+
+/root/repo/target/debug/deps/fig7_throughput-5e5a5b06f99c475b: crates/bench/src/bin/fig7_throughput.rs
+
+crates/bench/src/bin/fig7_throughput.rs:

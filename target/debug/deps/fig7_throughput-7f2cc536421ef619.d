@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_throughput-7f2cc536421ef619.d: crates/bench/src/bin/fig7_throughput.rs
+
+/root/repo/target/debug/deps/fig7_throughput-7f2cc536421ef619: crates/bench/src/bin/fig7_throughput.rs
+
+crates/bench/src/bin/fig7_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_pruned-13cd6192100f6dfa.d: crates/bench/src/bin/fig8_pruned.rs
+
+/root/repo/target/debug/deps/fig8_pruned-13cd6192100f6dfa: crates/bench/src/bin/fig8_pruned.rs
+
+crates/bench/src/bin/fig8_pruned.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_pruned-7b2e537561627117.d: crates/bench/src/bin/fig8_pruned.rs
+
+/root/repo/target/debug/deps/fig8_pruned-7b2e537561627117: crates/bench/src/bin/fig8_pruned.rs
+
+crates/bench/src/bin/fig8_pruned.rs:

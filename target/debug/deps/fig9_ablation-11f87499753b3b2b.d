@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_ablation-11f87499753b3b2b.d: crates/bench/src/bin/fig9_ablation.rs
+
+/root/repo/target/debug/deps/fig9_ablation-11f87499753b3b2b: crates/bench/src/bin/fig9_ablation.rs
+
+crates/bench/src/bin/fig9_ablation.rs:

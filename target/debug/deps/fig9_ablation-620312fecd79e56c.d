@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_ablation-620312fecd79e56c.d: crates/bench/src/bin/fig9_ablation.rs
+
+/root/repo/target/debug/deps/fig9_ablation-620312fecd79e56c: crates/bench/src/bin/fig9_ablation.rs
+
+crates/bench/src/bin/fig9_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-4512ee17fa9bcb89.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/figures-4512ee17fa9bcb89: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/functional-32b870bf292702d9.d: crates/bench/benches/functional.rs
+
+/root/repo/target/debug/deps/functional-32b870bf292702d9: crates/bench/benches/functional.rs
+
+crates/bench/benches/functional.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/image_fuzz-1a228d30f34b3a70.d: crates/core/tests/image_fuzz.rs
+
+/root/repo/target/debug/deps/image_fuzz-1a228d30f34b3a70: crates/core/tests/image_fuzz.rs
+
+crates/core/tests/image_fuzz.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/image_fuzz-9083555f1d34125c.d: crates/core/tests/image_fuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libimage_fuzz-9083555f1d34125c.rmeta: crates/core/tests/image_fuzz.rs Cargo.toml
+
+crates/core/tests/image_fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

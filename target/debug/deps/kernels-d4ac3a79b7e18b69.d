@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-d4ac3a79b7e18b69.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/debug/deps/kernels-d4ac3a79b7e18b69: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

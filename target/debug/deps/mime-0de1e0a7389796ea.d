@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mime-0de1e0a7389796ea.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmime-0de1e0a7389796ea.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

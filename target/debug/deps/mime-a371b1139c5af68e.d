@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mime-a371b1139c5af68e.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/mime-a371b1139c5af68e: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mime-aad7d0031ec1465a.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/mime-aad7d0031ec1465a: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

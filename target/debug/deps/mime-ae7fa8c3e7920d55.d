@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mime-ae7fa8c3e7920d55.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmime-ae7fa8c3e7920d55.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmime-ae7fa8c3e7920d55.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mime-ba0e9c4e6bfbdc1a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmime-ba0e9c4e6bfbdc1a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

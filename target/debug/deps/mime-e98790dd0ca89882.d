@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mime-e98790dd0ca89882.d: src/lib.rs
+
+/root/repo/target/debug/deps/mime-e98790dd0ca89882: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mime_bench-5b4214f34fe1cf7a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mime_bench-5b4214f34fe1cf7a: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mime_bench-e44b9b4135821421.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmime_bench-e44b9b4135821421.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmime_bench-e44b9b4135821421.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

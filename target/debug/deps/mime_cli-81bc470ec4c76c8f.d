@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mime_cli-81bc470ec4c76c8f.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/mime_cli-81bc470ec4c76c8f: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mime_runtime-b1e32acce769ca79.d: crates/runtime/src/lib.rs crates/runtime/src/bind.rs crates/runtime/src/executor.rs
+
+/root/repo/target/debug/deps/libmime_runtime-b1e32acce769ca79.rlib: crates/runtime/src/lib.rs crates/runtime/src/bind.rs crates/runtime/src/executor.rs
+
+/root/repo/target/debug/deps/libmime_runtime-b1e32acce769ca79.rmeta: crates/runtime/src/lib.rs crates/runtime/src/bind.rs crates/runtime/src/executor.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/bind.rs:
+crates/runtime/src/executor.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mime_runtime-be34ebdafa5e8f72.d: crates/runtime/src/lib.rs crates/runtime/src/bind.rs crates/runtime/src/executor.rs
+
+/root/repo/target/debug/deps/mime_runtime-be34ebdafa5e8f72: crates/runtime/src/lib.rs crates/runtime/src/bind.rs crates/runtime/src/executor.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/bind.rs:
+crates/runtime/src/executor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multitask_lifecycle-90a2b07c21ca8040.d: tests/multitask_lifecycle.rs
+
+/root/repo/target/debug/deps/multitask_lifecycle-90a2b07c21ca8040: tests/multitask_lifecycle.rs
+
+tests/multitask_lifecycle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multitask_lifecycle-bd2a289fed4d2022.d: tests/multitask_lifecycle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultitask_lifecycle-bd2a289fed4d2022.rmeta: tests/multitask_lifecycle.rs Cargo.toml
+
+tests/multitask_lifecycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

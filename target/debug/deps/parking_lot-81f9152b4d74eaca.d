@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-81f9152b4d74eaca.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-81f9152b4d74eaca.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

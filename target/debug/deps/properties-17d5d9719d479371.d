@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-17d5d9719d479371.d: crates/systolic/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-17d5d9719d479371: crates/systolic/tests/properties.rs
+
+crates/systolic/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-a3f54eb6a10cca20.d: crates/datasets/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-a3f54eb6a10cca20.rmeta: crates/datasets/tests/properties.rs Cargo.toml
+
+crates/datasets/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

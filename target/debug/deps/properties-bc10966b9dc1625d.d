@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-bc10966b9dc1625d.d: crates/systolic/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-bc10966b9dc1625d.rmeta: crates/systolic/tests/properties.rs Cargo.toml
+
+crates/systolic/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

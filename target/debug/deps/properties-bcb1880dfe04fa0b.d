@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-bcb1880dfe04fa0b.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-bcb1880dfe04fa0b: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

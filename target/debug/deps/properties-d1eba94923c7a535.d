@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d1eba94923c7a535.d: crates/tensor/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d1eba94923c7a535: crates/tensor/tests/properties.rs
+
+crates/tensor/tests/properties.rs:

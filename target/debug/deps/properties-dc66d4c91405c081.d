@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-dc66d4c91405c081.d: crates/datasets/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-dc66d4c91405c081: crates/datasets/tests/properties.rs
+
+crates/datasets/tests/properties.rs:

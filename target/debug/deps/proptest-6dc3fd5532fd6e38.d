@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-6dc3fd5532fd6e38.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-6dc3fd5532fd6e38.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pruning_quant-5327cb64fbbe1771.d: crates/nn/tests/pruning_quant.rs
+
+/root/repo/target/debug/deps/pruning_quant-5327cb64fbbe1771: crates/nn/tests/pruning_quant.rs
+
+crates/nn/tests/pruning_quant.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quantization-73b9b69c55ca743d.d: tests/quantization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquantization-73b9b69c55ca743d.rmeta: tests/quantization.rs Cargo.toml
+
+tests/quantization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quantization-9980905fe64db2d5.d: tests/quantization.rs
+
+/root/repo/target/debug/deps/quantization-9980905fe64db2d5: tests/quantization.rs
+
+tests/quantization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regression-e74c158a0c7b1678.d: crates/bench/tests/regression.rs
+
+/root/repo/target/debug/deps/regression-e74c158a0c7b1678: crates/bench/tests/regression.rs
+
+crates/bench/tests/regression.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/seedscan_tmp-f8046c94de45ed11.d: crates/core/tests/seedscan_tmp.rs
+
+/root/repo/target/debug/deps/seedscan_tmp-f8046c94de45ed11: crates/core/tests/seedscan_tmp.rs
+
+crates/core/tests/seedscan_tmp.rs:

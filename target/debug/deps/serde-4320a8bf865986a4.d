@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-4320a8bf865986a4.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-4320a8bf865986a4.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-e2ee8de6e984d548.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-e2ee8de6e984d548.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-e2ee8de6e984d548.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/size_probe-616f42a2af3efc25.d: crates/core/tests/size_probe.rs
+
+/root/repo/target/debug/deps/size_probe-616f42a2af3efc25: crates/core/tests/size_probe.rs
+
+crates/core/tests/size_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_scaling-47ebde4b9c8d2bc1.d: crates/bench/src/bin/sweep_scaling.rs
+
+/root/repo/target/debug/deps/sweep_scaling-47ebde4b9c8d2bc1: crates/bench/src/bin/sweep_scaling.rs
+
+crates/bench/src/bin/sweep_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_scaling-48535fd52d306805.d: crates/bench/src/bin/sweep_scaling.rs
+
+/root/repo/target/debug/deps/sweep_scaling-48535fd52d306805: crates/bench/src/bin/sweep_scaling.rs
+
+crates/bench/src/bin/sweep_scaling.rs:

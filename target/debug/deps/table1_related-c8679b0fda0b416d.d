@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_related-c8679b0fda0b416d.d: crates/bench/src/bin/table1_related.rs
+
+/root/repo/target/debug/deps/table1_related-c8679b0fda0b416d: crates/bench/src/bin/table1_related.rs
+
+crates/bench/src/bin/table1_related.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_related-ce179bc6f4188a18.d: crates/bench/src/bin/table1_related.rs
+
+/root/repo/target/debug/deps/table1_related-ce179bc6f4188a18: crates/bench/src/bin/table1_related.rs
+
+crates/bench/src/bin/table1_related.rs:

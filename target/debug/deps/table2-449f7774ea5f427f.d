@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-449f7774ea5f427f.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-449f7774ea5f427f: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-7aee9fa133bf8253.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-7aee9fa133bf8253: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

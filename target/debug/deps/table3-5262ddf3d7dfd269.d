@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-5262ddf3d7dfd269.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-5262ddf3d7dfd269: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

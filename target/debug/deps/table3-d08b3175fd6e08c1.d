@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-d08b3175fd6e08c1.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-d08b3175fd6e08c1: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

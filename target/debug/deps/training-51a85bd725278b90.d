@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/training-51a85bd725278b90.d: crates/bench/benches/training.rs
+
+/root/repo/target/debug/deps/training-51a85bd725278b90: crates/bench/benches/training.rs
+
+crates/bench/benches/training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validate_model-97e714ed772b1912.d: crates/bench/src/bin/validate_model.rs
+
+/root/repo/target/debug/deps/validate_model-97e714ed772b1912: crates/bench/src/bin/validate_model.rs
+
+crates/bench/src/bin/validate_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validate_model-fcecdb6ad0904e33.d: crates/bench/src/bin/validate_model.rs
+
+/root/repo/target/debug/deps/validate_model-fcecdb6ad0904e33: crates/bench/src/bin/validate_model.rs
+
+crates/bench/src/bin/validate_model.rs:

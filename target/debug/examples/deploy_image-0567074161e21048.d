@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/deploy_image-0567074161e21048.d: examples/deploy_image.rs
+
+/root/repo/target/debug/examples/deploy_image-0567074161e21048: examples/deploy_image.rs
+
+examples/deploy_image.rs:

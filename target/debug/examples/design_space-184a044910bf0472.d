@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-184a044910bf0472.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-184a044910bf0472: examples/design_space.rs
+
+examples/design_space.rs:

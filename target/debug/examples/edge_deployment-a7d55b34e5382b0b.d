@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/edge_deployment-a7d55b34e5382b0b.d: examples/edge_deployment.rs
+
+/root/repo/target/debug/examples/edge_deployment-a7d55b34e5382b0b: examples/edge_deployment.rs
+
+examples/edge_deployment.rs:

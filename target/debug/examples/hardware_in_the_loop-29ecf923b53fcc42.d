@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hardware_in_the_loop-29ecf923b53fcc42.d: examples/hardware_in_the_loop.rs
+
+/root/repo/target/debug/examples/hardware_in_the_loop-29ecf923b53fcc42: examples/hardware_in_the_loop.rs
+
+examples/hardware_in_the_loop.rs:

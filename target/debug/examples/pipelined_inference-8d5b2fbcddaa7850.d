@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipelined_inference-8d5b2fbcddaa7850.d: examples/pipelined_inference.rs
+
+/root/repo/target/debug/examples/pipelined_inference-8d5b2fbcddaa7850: examples/pipelined_inference.rs
+
+examples/pipelined_inference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-124d4eaac7d4e033.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-124d4eaac7d4e033: examples/quickstart.rs
+
+examples/quickstart.rs:

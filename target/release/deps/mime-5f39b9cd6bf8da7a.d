@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mime-5f39b9cd6bf8da7a.d: src/lib.rs
+
+/root/repo/target/release/deps/libmime-5f39b9cd6bf8da7a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmime-5f39b9cd6bf8da7a.rmeta: src/lib.rs
+
+src/lib.rs:

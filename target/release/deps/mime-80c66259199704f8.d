@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mime-80c66259199704f8.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/mime-80c66259199704f8: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -202,11 +202,8 @@ fn trained_network_runs_on_functional_hardware() {
         let flat = img.reshape(&[3, HW, HW]).unwrap();
         let hw_logits = exec.run_image(&plan, &flat, true).unwrap();
         let sw_logits = net.forward(&img).unwrap();
-        let hw_pred = hw_logits
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i);
+        let hw_pred =
+            hw_logits.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i);
         let sw_pred = sw_logits.argmax_rows().unwrap()[0];
         if hw_pred == Some(sw_pred) {
             agree += 1;

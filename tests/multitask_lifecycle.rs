@@ -22,9 +22,8 @@ fn full_deployment_lifecycle() {
     // 1. train the parent
     let mut rng = StdRng::seed_from_u64(14);
     let mut parent = build_network(&arch, &mut rng);
-    let parent_task = family.generate(
-        &TaskSpec { classes, ..TaskSpec::imagenet_like().with_samples(8, 2) },
-    );
+    let parent_task = family
+        .generate(&TaskSpec { classes, ..TaskSpec::imagenet_like().with_samples(8, 2) });
     let mut opt = Adam::with_lr(2e-3);
     for _ in 0..3 {
         train_epoch(&mut parent, &parent_task.train.batches(10), &mut opt).unwrap();
@@ -54,12 +53,13 @@ fn full_deployment_lifecycle() {
     assert_eq!(model.tasks().len(), 2);
 
     // 3. pack the DRAM image and restore it into a fresh device model
-    let image = pack_model(&model);
+    let image = pack_model(&model).unwrap();
     assert!(image.len() > 1000);
     let fresh = build_network(&arch, &mut StdRng::seed_from_u64(999));
     let mut device =
         MultiTaskModel::new(MimeNetwork::from_trained(&arch, &fresh, 0.01).unwrap());
-    unpack_model(&image, &mut device).unwrap();
+    let report = unpack_model(&image, &mut device).unwrap();
+    assert!(report.is_clean(), "{:?}", report.rejected);
     assert_eq!(device.task_names(), model.task_names());
 
     // 4. pipelined inference on the restored model, checked against the
@@ -78,12 +78,8 @@ fn full_deployment_lifecycle() {
     let flat = img.reshape(&[3, 32, 32]).unwrap();
     let hw = exec.run_image(&plan, &flat, true).unwrap();
     let sw = device.network_mut().forward(&img).unwrap();
-    let hw_pred = hw
-        .iter()
-        .enumerate()
-        .max_by(|x, y| x.1.total_cmp(y.1))
-        .map(|(i, _)| i)
-        .unwrap();
+    let hw_pred =
+        hw.iter().enumerate().max_by(|x, y| x.1.total_cmp(y.1)).map(|(i, _)| i).unwrap();
     assert_eq!(hw_pred, sw.argmax_rows().unwrap()[0]);
 
     // 6. task management: drop one task, model keeps serving the other

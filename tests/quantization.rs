@@ -40,9 +40,8 @@ fn trained_mime_model_round_trips_through_deployment_image() {
     let arch = vgg16_arch(0.0625, 32, 3, classes, 16);
     let mut rng = StdRng::seed_from_u64(3);
     let mut parent = build_network(&arch, &mut rng);
-    let parent_task = family.generate(
-        &TaskSpec { classes, ..TaskSpec::imagenet_like().with_samples(8, 2) },
-    );
+    let parent_task = family
+        .generate(&TaskSpec { classes, ..TaskSpec::imagenet_like().with_samples(8, 2) });
     let mut opt = Adam::with_lr(2e-3);
     for _ in 0..3 {
         train_epoch(&mut parent, &parent_task.train.batches(10), &mut opt).unwrap();
@@ -50,23 +49,22 @@ fn trained_mime_model_round_trips_through_deployment_image() {
     // train thresholds for one child on the shared backbone
     let child = family
         .generate(&TaskSpec { classes, ..TaskSpec::fmnist_like().with_samples(8, 4) });
-    let mut model = MultiTaskModel::new(MimeNetwork::from_trained(&arch, &parent, 0.01).unwrap());
+    let mut model =
+        MultiTaskModel::new(MimeNetwork::from_trained(&arch, &parent, 0.01).unwrap());
     let mut trainer = MimeTrainer::new(MimeTrainerConfig {
         epochs: 3,
         threshold_lr: 1e-2,
         ..MimeTrainerConfig::default()
     });
-    trainer
-        .train(model.network_mut(), &child.train.batches(10))
-        .unwrap();
+    trainer.train(model.network_mut(), &child.train.batches(10)).unwrap();
     model.adopt_current("fmnist-like").unwrap();
 
     // pack → unpack into a fresh model with different random weights
-    let image = pack_model(&model);
+    let image = pack_model(&model).unwrap();
     let fresh = build_network(&arch, &mut StdRng::seed_from_u64(404));
     let mut restored =
         MultiTaskModel::new(MimeNetwork::from_trained(&arch, &fresh, 0.01).unwrap());
-    unpack_model(&image, &mut restored).unwrap();
+    assert!(unpack_model(&image, &mut restored).unwrap().is_clean());
 
     // prediction agreement over the test set
     let probe = child.test.batches(10);
@@ -99,11 +97,8 @@ fn aggressive_threshold_quantization_preserves_masking_behaviour() {
     let x = Tensor::from_fn(&[2, 3, 32, 32], |i| ((i % 13) as f32 - 6.0) * 0.1);
     net.forward(&x).unwrap();
     let fp_sparsities: Vec<f64> = net.layer_sparsities().iter().map(|(_, s)| *s).collect();
-    let banks: Vec<_> = net
-        .export_thresholds()
-        .iter()
-        .map(|b| fake_quantize(b, 6))
-        .collect();
+    let banks: Vec<_> =
+        net.export_thresholds().iter().map(|b| fake_quantize(b, 6)).collect();
     net.import_thresholds(&banks).unwrap();
     net.forward(&x).unwrap();
     for ((_, q), fp) in net.layer_sparsities().iter().zip(&fp_sparsities) {

@@ -1,0 +1,77 @@
+//! Offline stand-in for `crossbeam` — just [`scope`], implemented over
+//! `std::thread::scope` (which has subsumed crossbeam's scoped threads
+//! since Rust 1.63).
+//!
+//! API shape matches crossbeam 0.8: the scope closure and each spawned
+//! closure receive a scope handle argument (spawned closures in this
+//! workspace ignore theirs), `spawn` returns a handle whose `join`
+//! yields `std::thread::Result`, and `scope` itself returns
+//! `std::thread::Result` of the closure's value.
+
+use std::thread;
+
+/// Handle passed to spawned closures (crossbeam passes the scope for
+/// nested spawns; the workspace never nests, so this carries nothing).
+#[derive(Debug, Clone, Copy)]
+pub struct NestedScope;
+
+/// Scope handle: spawns threads that may borrow from the enclosing
+/// stack frame.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// Join handle of a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread and returns its result (`Err` if it
+    /// panicked).
+    pub fn join(self) -> thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives a nested-scope
+    /// handle for API compatibility with crossbeam.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&NestedScope) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        ScopedJoinHandle { inner: self.inner.spawn(move || f(&NestedScope)) }
+    }
+}
+
+/// Creates a scope for spawning borrowing threads; all spawned threads
+/// are joined before `scope` returns. Always `Ok` — a panicking
+/// unjoined thread propagates its panic, matching how this workspace
+/// consumes the result (`.expect(...)`).
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+}

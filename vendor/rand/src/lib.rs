@@ -1,0 +1,307 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no network access and no registry cache, so
+//! the workspace vendors the tiny slice of `rand` it actually uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`]
+//! methods `gen_range`, `gen_bool` and `gen`. The generator is
+//! xoshiro256** seeded through SplitMix64 — statistically solid for
+//! synthetic data, weight init and property tests, while staying
+//! dependency-free. Streams differ from upstream `StdRng` (ChaCha12);
+//! nothing in the workspace depends on upstream's exact stream, only on
+//! determinism per seed.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core trait: a source of uniformly distributed bits.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Seed type (fixed-width byte array for `StdRng`).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Constructs the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a `u64` via SplitMix64 expansion.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64(state);
+        for b in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next().to_le_bytes();
+            b.copy_from_slice(&bytes[..b.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Sized {
+    /// Uniform sample from `[low, high)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform sample from `[low, high]`.
+    fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128;
+                let v = (rng.next_u64() as u128 * span) >> 64;
+                (low as i128 + v as i128) as $t
+            }
+            fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128 * span) >> 64;
+                (low as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_float {
+    ($t:ty, $unit:ident) => {
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+            ) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let u = $unit(rng);
+                let v = low + (high - low) * u;
+                // guard against rounding up to the excluded bound
+                if v >= high {
+                    low.max(high - (high - low) * <$t>::EPSILON)
+                } else {
+                    v
+                }
+            }
+            fn sample_closed<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+            ) -> Self {
+                assert!(low <= high, "gen_range: empty range");
+                low + (high - low) * $unit(rng)
+            }
+        }
+    };
+}
+
+fn unit_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl_sample_float!(f32, unit_f32);
+impl_sample_float!(f64, unit_f64);
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_closed(rng, low, high)
+    }
+}
+
+/// Values producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value with the type's standard distribution.
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f32 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f32(rng)
+    }
+}
+
+impl Standard for f64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+}
+
+impl Standard for u64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        unit_f64(self) < p
+    }
+
+    /// A value of `T`'s standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator — the workspace's stand-in
+    /// for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks(8).enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(chunk);
+                s[i] = u64::from_le_bytes(b);
+            }
+            // an all-zero state would be a fixed point; nudge it
+            if s == [0, 0, 0, 0] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let same = (0..100).all(|_| a.gen_range(0u64..1000) == c.gen_range(0u64..1000));
+        assert!(!same, "different seeds must diverge");
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let f = rng.gen_range(-1.5f32..1.5);
+            assert!((-1.5..1.5).contains(&f));
+            let i = rng.gen_range(-3isize..=3);
+            assert!((-3..=3).contains(&i));
+            let u = rng.gen_range(0usize..5);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability_sane() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((1_800..3_200).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn unit_floats_cover_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lo = 1.0f32;
+        let mut hi = 0.0f32;
+        for _ in 0..10_000 {
+            let v: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo < 0.01 && hi > 0.99);
+    }
+}

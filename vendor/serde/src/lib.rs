@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (for
+//! downstream consumers); nothing in-tree performs serde serialization.
+//! This shim re-exports no-op derive macros so `use serde::{Deserialize,
+//! Serialize}` + `#[derive(...)]` compile unchanged in the offline build.
+
+pub use serde_derive::{Deserialize, Serialize};

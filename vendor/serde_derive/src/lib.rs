@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace derives serde traits on its report/config types for
+//! downstream consumers, but nothing in-tree serializes through serde —
+//! so in this offline build the derives expand to nothing. The
+//! `attributes(serde)` registration keeps `#[serde(...)]` field
+//! attributes parseable should they appear.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
