@@ -1,0 +1,483 @@
+//! Kernel-level benchmark with a tracked baseline: GEMM, batched conv
+//! lowering, and the parallel batch executor at paper VGG16 geometries.
+//!
+//! Writes `BENCH_kernels.json` (median-of-k wall times + GFLOP/s) so
+//! perf regressions show up in review. Orchestrated by
+//! `scripts/bench.sh`, which runs two phases:
+//!
+//! 1. `--scalar-only --out <file>` under `RUSTFLAGS=""` and a separate
+//!    `--target-dir`: measures the *pre-PR* scalar kernel at the
+//!    codegen it actually shipped with (the repo had no
+//!    `.cargo/config.toml`, so baseline x86-64). Env `RUSTFLAGS`
+//!    overrides the config file, which is what makes this honest.
+//! 2. the full run under the repo's native flags, passing phase 1's
+//!    file via `--baseline`. The report records the scalar kernel at
+//!    *both* codegens next to the blocked/threaded kernels.
+//!
+//! Modes: default full; `--quick` fewer reps; `--smoke` tiny shapes for
+//! CI gating (writes under `target/` so the tracked report is never
+//! clobbered by a smoke run).
+
+use mime_core::MimeNetwork;
+use mime_nn::{build_network, vgg16_arch};
+use mime_runtime::{BoundNetwork, HardwareExecutor};
+use mime_systolic::{vgg16_geometry_with, ArrayConfig, LayerGeometry};
+use mime_tensor::{
+    conv2d, matmul_into_with_threads, matmul_scalar_ref, threads, ConvSpec, Tensor,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::time::Instant;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Full,
+    Quick,
+    Smoke,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Full => "full",
+            Mode::Quick => "quick",
+            Mode::Smoke => "smoke",
+        }
+    }
+
+    fn reps(self) -> usize {
+        match self {
+            Mode::Full => 7,
+            Mode::Quick => 5,
+            Mode::Smoke => 3,
+        }
+    }
+}
+
+struct Args {
+    mode: Mode,
+    scalar_only: bool,
+    baseline: Option<String>,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { mode: Mode::Full, scalar_only: false, baseline: None, out: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => args.mode = Mode::Full,
+            "--quick" => args.mode = Mode::Quick,
+            "--smoke" => args.mode = Mode::Smoke,
+            "--scalar-only" => args.scalar_only = true,
+            "--baseline" => args.baseline = it.next(),
+            "--out" => args.out = it.next(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: bench_kernels [--full|--quick|--smoke] \
+                     [--scalar-only] [--baseline FILE] [--out FILE]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Median wall time of `reps` timed runs (after one warmup), in ms.
+fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn fill(dims: &[usize], salt: usize) -> Tensor {
+    Tensor::from_fn(dims, |i| (((i * 31 + salt * 7) % 23) as f32 - 11.0) * 0.043)
+}
+
+fn max_abs_diff(a: &Tensor, b: &Tensor) -> f64 {
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y).abs() as f64)
+        .fold(0.0, f64::max)
+}
+
+/// Per-element relative error `|a-b| / (1 + |ref|)` — the meaningful
+/// tolerance for long fp32 dot products, whose absolute rounding scales
+/// with the sum's magnitude (at `k` = 25088 the reference elements reach
+/// the hundreds).
+fn max_rel_diff(a: &Tensor, reference: &Tensor) -> f64 {
+    a.as_slice()
+        .iter()
+        .zip(reference.as_slice())
+        .map(|(x, y)| ((x - y).abs() / (1.0 + y.abs())) as f64)
+        .fold(0.0, f64::max)
+}
+
+/// GEMM geometries: conv layers lower to `[K, C·R·S] × [C·R·S, Ho·Wo]`,
+/// FC layers to `[K, C] × [C, 1]`.
+fn gemm_cases(mode: Mode) -> Vec<(String, usize, usize, usize)> {
+    if mode == Mode::Smoke {
+        return vec![("tiny".into(), 8, 27, 16), ("tiny_edge".into(), 5, 13, 9)];
+    }
+    let picks: &[&str] = match mode {
+        Mode::Full => &["conv2", "conv5", "conv8", "conv10", "conv13", "conv14"],
+        _ => &["conv5", "conv10", "conv14"],
+    };
+    // the paper's full VGG16 geometry: 224×224 inputs
+    vgg16_geometry_with(224, 4096, 1000)
+        .into_iter()
+        .filter(|g| picks.contains(&g.name.as_str()))
+        .map(|g: LayerGeometry| (g.name.clone(), g.k, g.taps(), g.sites()))
+        .collect()
+}
+
+struct GemmRow {
+    name: String,
+    m: usize,
+    k: usize,
+    n: usize,
+    macs: u64,
+    scalar_native_ms: f64,
+    dense_1t_ms: f64,
+    dense_mt_ms: f64,
+    max_abs_diff: f64,
+    max_rel_diff: f64,
+}
+
+fn bench_gemm(mode: Mode, threads_mt: usize) -> Vec<GemmRow> {
+    let reps = mode.reps();
+    gemm_cases(mode)
+        .into_iter()
+        .map(|(name, m, k, n)| {
+            let a = fill(&[m, k], 1);
+            let b = fill(&[k, n], 2);
+            let reference = matmul_scalar_ref(&a, &b).unwrap();
+            let scalar_native_ms = median_ms(reps, || {
+                std::hint::black_box(matmul_scalar_ref(&a, &b).unwrap());
+            });
+            let mut c = Tensor::zeros(&[m, n]);
+            let dense_1t_ms =
+                median_ms(reps, || matmul_into_with_threads(&a, &b, &mut c, 1).unwrap());
+            let diff_1t = max_abs_diff(&c, &reference);
+            let rel_1t = max_rel_diff(&c, &reference);
+            let dense_mt_ms = median_ms(reps, || {
+                matmul_into_with_threads(&a, &b, &mut c, threads_mt).unwrap()
+            });
+            let diff = max_abs_diff(&c, &reference).max(diff_1t);
+            let rel = max_rel_diff(&c, &reference).max(rel_1t);
+            let macs = (m * k * n) as u64;
+            println!(
+                "gemm {name:>9} m={m:<5} k={k:<5} n={n:<5} scalar {scalar_native_ms:8.2} ms  \
+                 1t {dense_1t_ms:8.2} ms  {threads_mt}t {dense_mt_ms:8.2} ms  \
+                 rel {rel:.2e}"
+            );
+            GemmRow {
+                name,
+                m,
+                k,
+                n,
+                macs,
+                scalar_native_ms,
+                dense_1t_ms,
+                dense_mt_ms,
+                max_abs_diff: diff,
+                max_rel_diff: rel,
+            }
+        })
+        .collect()
+}
+
+/// `--scalar-only`: just the scalar kernel per geometry, written as
+/// `gemm.<name> <median_ms>` lines for the phase-2 `--baseline` merge.
+fn run_scalar_only(mode: Mode, out: &str) {
+    let reps = mode.reps();
+    let mut lines = String::new();
+    for (name, m, k, n) in gemm_cases(mode) {
+        let a = fill(&[m, k], 1);
+        let b = fill(&[k, n], 2);
+        let ms = median_ms(reps, || {
+            std::hint::black_box(matmul_scalar_ref(&a, &b).unwrap());
+        });
+        println!("scalar {name:>9} m={m:<5} k={k:<5} n={n:<5} {ms:8.2} ms");
+        lines.push_str(&format!("gemm.{name} {ms:.4}\n"));
+    }
+    std::fs::write(out, lines).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out}");
+}
+
+fn read_baseline(path: &str) -> HashMap<String, f64> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    text.lines()
+        .filter_map(|l| {
+            let mut parts = l.split_whitespace();
+            Some((parts.next()?.to_string(), parts.next()?.parse().ok()?))
+        })
+        .collect()
+}
+
+struct ConvRow {
+    name: String,
+    images: usize,
+    c: usize,
+    k: usize,
+    hw: usize,
+    per_image_ms: f64,
+    batched_ms: f64,
+    max_abs_diff: f64,
+}
+
+fn conv_cases(mode: Mode) -> Vec<(String, usize, usize, usize, usize)> {
+    match mode {
+        Mode::Full => vec![
+            ("conv_64c_32hw".into(), 8, 64, 64, 32),
+            ("conv_128c_16hw".into(), 8, 128, 128, 16),
+            ("conv_256c_8hw".into(), 8, 256, 256, 8),
+        ],
+        Mode::Quick => vec![("conv_256c_8hw".into(), 4, 256, 256, 8)],
+        Mode::Smoke => vec![("conv_tiny".into(), 2, 3, 4, 8)],
+    }
+}
+
+fn bench_conv(mode: Mode) -> Vec<ConvRow> {
+    let reps = mode.reps();
+    conv_cases(mode)
+        .into_iter()
+        .map(|(name, images, c, k, hw)| {
+            let spec = ConvSpec::vgg3x3();
+            let x = fill(&[images, c, hw, hw], 3);
+            let w = fill(&[k, c, 3, 3], 4);
+            let bias = fill(&[k], 5);
+            let singles: Vec<Tensor> = (0..images)
+                .map(|i| {
+                    let lo = i * c * hw * hw;
+                    Tensor::from_vec(
+                        x.as_slice()[lo..lo + c * hw * hw].to_vec(),
+                        &[1, c, hw, hw],
+                    )
+                    .unwrap()
+                })
+                .collect();
+            let per_image_ms = median_ms(reps, || {
+                for s in &singles {
+                    std::hint::black_box(conv2d(s, &w, &bias, &spec).unwrap());
+                }
+            });
+            let batched_ms = median_ms(reps, || {
+                std::hint::black_box(conv2d(&x, &w, &bias, &spec).unwrap());
+            });
+            // equality: batched output vs per-image outputs concatenated
+            let batched = conv2d(&x, &w, &bias, &spec).unwrap();
+            let mut concat = Vec::with_capacity(batched.len());
+            for s in &singles {
+                concat.extend_from_slice(conv2d(s, &w, &bias, &spec).unwrap().as_slice());
+            }
+            let reference = Tensor::from_vec(concat, batched.dims()).unwrap();
+            let diff = max_abs_diff(&batched, &reference);
+            println!(
+                "conv {name:>14} n={images} c={c:<4} k={k:<4} hw={hw:<3} \
+                 per-image {per_image_ms:8.2} ms  batched {batched_ms:8.2} ms  |Δ|max {diff:.2e}"
+            );
+            ConvRow { name, images, c, k, hw, per_image_ms, batched_ms, max_abs_diff: diff }
+        })
+        .collect()
+}
+
+struct ExecRow {
+    images: usize,
+    threads: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+    reports_identical: bool,
+}
+
+fn bench_executor(mode: Mode, threads_mt: usize) -> ExecRow {
+    let reps = match mode {
+        Mode::Full => 5,
+        Mode::Quick => 3,
+        Mode::Smoke => 1,
+    };
+    let images = match mode {
+        Mode::Full => 8,
+        Mode::Quick => 6,
+        Mode::Smoke => 2,
+    };
+    let arch = vgg16_arch(0.0625, 32, 3, 4, 16);
+    let mut rng = StdRng::seed_from_u64(6);
+    let parent = build_network(&arch, &mut rng);
+    let mime_a = MimeNetwork::from_trained(&arch, &parent, 0.03).unwrap();
+    let mime_b = MimeNetwork::from_trained(&arch, &parent, 0.30).unwrap();
+    let plans = vec![
+        BoundNetwork::from_mime(&mime_a).unwrap(),
+        BoundNetwork::from_mime(&mime_b).unwrap(),
+    ];
+    let batch: Vec<(usize, Tensor)> =
+        (0..images).map(|i| (i % 2, fill(&[3, 32, 32], i))).collect();
+    let mut exec = HardwareExecutor::new(ArrayConfig::eyeriss_65nm());
+    let serial_ms = median_ms(reps, || {
+        std::hint::black_box(exec.run_pipelined(&plans, &batch, true, true).unwrap());
+    });
+    let parallel_ms = median_ms(reps, || {
+        std::hint::black_box(
+            exec.run_batch_parallel_with_threads(&plans, &batch, true, true, threads_mt)
+                .unwrap(),
+        );
+    });
+    let serial = exec.run_pipelined(&plans, &batch, true, true).unwrap();
+    let parallel = exec
+        .run_batch_parallel_with_threads(&plans, &batch, true, true, threads_mt)
+        .unwrap();
+    let reports_identical = serial.counters == parallel.counters
+        && serial.logits == parallel.logits
+        && serial.weight_reload_words == parallel.weight_reload_words
+        && serial.threshold_reload_words == parallel.threshold_reload_words
+        && serial.task_switches == parallel.task_switches
+        && serial.degraded_tasks == parallel.degraded_tasks;
+    println!(
+        "executor n={images} serial {serial_ms:8.2} ms  parallel({threads_mt}t) \
+         {parallel_ms:8.2} ms  reports_identical={reports_identical}"
+    );
+    ExecRow { images, threads: threads_mt, serial_ms, parallel_ms, reports_identical }
+}
+
+fn gflops(macs: u64, ms: f64) -> f64 {
+    // 2 FLOPs per MAC
+    (2 * macs) as f64 / (ms * 1e-3) / 1e9
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".into()
+    }
+}
+
+fn write_report(
+    out: &str,
+    mode: Mode,
+    threads_mt: usize,
+    baseline: &HashMap<String, f64>,
+    gemm: &[GemmRow],
+    conv: &[ConvRow],
+    exec: &ExecRow,
+) {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"mime-bench-kernels/v1\",\n");
+    s.push_str(&format!("  \"mode\": \"{}\",\n", mode.name()));
+    s.push_str(&format!("  \"threads_mt\": {threads_mt},\n"));
+    s.push_str(
+        "  \"notes\": \"scalar_prepr_ms: pre-PR scalar kernel at its shipped codegen \
+         (no .cargo/config.toml, RUSTFLAGS= ); scalar_native_ms: same kernel under this \
+         repo's native flags; times are median-of-k wall clock\",\n",
+    );
+    s.push_str("  \"gemm\": [\n");
+    for (i, r) in gemm.iter().enumerate() {
+        let prepr = baseline.get(&format!("gemm.{}", r.name)).copied();
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"macs\": {},\n",
+            r.name, r.m, r.k, r.n, r.macs
+        ));
+        s.push_str(&format!(
+            "     \"scalar_prepr_ms\": {}, \"scalar_native_ms\": {}, \
+             \"dense_1t_ms\": {}, \"dense_mt_ms\": {},\n",
+            prepr.map_or("null".into(), json_f),
+            json_f(r.scalar_native_ms),
+            json_f(r.dense_1t_ms),
+            json_f(r.dense_mt_ms)
+        ));
+        s.push_str(&format!(
+            "     \"dense_1t_gflops\": {}, \"dense_mt_gflops\": {},\n",
+            json_f(gflops(r.macs, r.dense_1t_ms)),
+            json_f(gflops(r.macs, r.dense_mt_ms))
+        ));
+        s.push_str(&format!(
+            "     \"speedup_mt_vs_prepr_scalar\": {}, \"speedup_mt_vs_native_scalar\": {}, \
+             \"max_abs_diff\": {:.3e}, \"max_rel_diff\": {:.3e}}}{}\n",
+            prepr.map_or("null".into(), |p| json_f(p / r.dense_mt_ms)),
+            json_f(r.scalar_native_ms / r.dense_mt_ms),
+            r.max_abs_diff,
+            r.max_rel_diff,
+            if i + 1 < gemm.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"conv\": [\n");
+    for (i, r) in conv.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"images\": {}, \"c\": {}, \"k\": {}, \"hw\": {}, \
+             \"per_image_ms\": {}, \"batched_ms\": {}, \"speedup_batched\": {}, \
+             \"max_abs_diff\": {:.3e}}}{}\n",
+            r.name,
+            r.images,
+            r.c,
+            r.k,
+            r.hw,
+            json_f(r.per_image_ms),
+            json_f(r.batched_ms),
+            json_f(r.per_image_ms / r.batched_ms),
+            r.max_abs_diff,
+            if i + 1 < conv.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"executor\": {{\"images\": {}, \"threads\": {}, \"serial_ms\": {}, \
+         \"parallel_ms\": {}, \"reports_identical\": {}}}\n",
+        exec.images,
+        exec.threads,
+        json_f(exec.serial_ms),
+        json_f(exec.parallel_ms),
+        exec.reports_identical
+    ));
+    s.push_str("}\n");
+    std::fs::write(out, s).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out}");
+}
+
+fn main() {
+    let args = parse_args();
+    if args.scalar_only {
+        let out = args.out.as_deref().unwrap_or("target/prepr_scalar.txt");
+        run_scalar_only(args.mode, out);
+        return;
+    }
+    // a smoke run must never clobber the tracked report
+    let default_out = if args.mode == Mode::Smoke {
+        "target/BENCH_kernels_smoke.json"
+    } else {
+        "BENCH_kernels.json"
+    };
+    let out = args.out.as_deref().unwrap_or(default_out);
+    let baseline = args.baseline.as_deref().map(read_baseline).unwrap_or_default();
+    let threads_mt = threads::worker_count().max(4);
+    let gemm = bench_gemm(args.mode, threads_mt);
+    let conv = bench_conv(args.mode);
+    let exec = bench_executor(args.mode, threads_mt);
+    write_report(out, args.mode, threads_mt, &baseline, &gemm, &conv, &exec);
+    if !exec.reports_identical {
+        eprintln!("FAIL: parallel executor report differs from serial");
+        std::process::exit(1);
+    }
+    for r in &gemm {
+        if r.max_rel_diff > 1e-3 {
+            eprintln!(
+                "FAIL: gemm {} drifted {:.3e} (relative) from scalar reference",
+                r.name, r.max_rel_diff
+            );
+            std::process::exit(1);
+        }
+    }
+}

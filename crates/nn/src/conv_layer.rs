@@ -1,7 +1,10 @@
 //! The [`Conv2d`] layer.
 
 use crate::{Layer, LayerKind, Parameter};
-use mime_tensor::{conv2d, conv2d_backward, kaiming_uniform, ConvSpec, Tensor};
+use mime_tensor::{
+    conv2d_backward_with_scratch, conv2d_with_scratch, kaiming_uniform, ConvScratch,
+    ConvSpec, Tensor,
+};
 use rand::Rng;
 
 /// A 2-D convolution layer (`NCHW`, square kernel), with bias.
@@ -26,6 +29,10 @@ pub struct Conv2d {
     weight: Parameter,
     bias: Parameter,
     cached_input: Option<Tensor>,
+    // Reused across forward/backward calls so steady-state training does
+    // no per-step lowering allocation. Cloned layers share no buffers
+    // (ConvScratch::clone copies), so replicas stay independent.
+    scratch: ConvScratch,
 }
 
 impl Conv2d {
@@ -50,6 +57,7 @@ impl Conv2d {
             name,
             spec,
             cached_input: None,
+            scratch: ConvScratch::new(),
         }
     }
 
@@ -89,7 +97,13 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, input: &Tensor) -> crate::Result<Tensor> {
-        let out = conv2d(input, &self.weight.value, &self.bias.value, &self.spec)?;
+        let out = conv2d_with_scratch(
+            input,
+            &self.weight.value,
+            &self.bias.value,
+            &self.spec,
+            &mut self.scratch,
+        )?;
         self.cached_input = Some(input.clone());
         Ok(out)
     }
@@ -101,7 +115,13 @@ impl Layer for Conv2d {
                 self.name
             ))
         })?;
-        let grads = conv2d_backward(&input, &self.weight.value, grad_output, &self.spec)?;
+        let grads = conv2d_backward_with_scratch(
+            &input,
+            &self.weight.value,
+            grad_output,
+            &self.spec,
+            &mut self.scratch,
+        )?;
         self.weight.grad.add_assign(&grads.grad_weight)?;
         self.bias.grad.add_assign(&grads.grad_bias)?;
         Ok(grads.grad_input)

@@ -28,11 +28,11 @@ pub fn parallel_gradients(
     let threads = threads.max(1).min(batches.len().max(1));
     let chunk = batches.len().div_ceil(threads);
     type WorkerOut = crate::Result<(f64, f64, Vec<Tensor>, usize)>;
-    let results: Vec<WorkerOut> = crossbeam::scope(|scope| {
+    let results: Vec<WorkerOut> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for work in batches.chunks(chunk.max(1)) {
             let mut replica = net.clone();
-            handles.push(scope.spawn(move |_| -> WorkerOut {
+            handles.push(scope.spawn(move || -> WorkerOut {
                 let mut loss = 0.0f64;
                 let mut acc = 0.0f64;
                 for (images, labels) in work {
@@ -42,13 +42,32 @@ pub fn parallel_gradients(
                     acc += accuracy(&logits, labels)?;
                     replica.backward(&ce.grad)?;
                 }
-                let grads = replica.parameters().iter().map(|p| p.grad.clone()).collect();
+                // The replica dies with this worker, so its gradient
+                // buffers can be moved out instead of cloned.
+                let grads = replica
+                    .parameters_mut()
+                    .into_iter()
+                    .map(|p| std::mem::replace(&mut p.grad, Tensor::zeros(&[0])))
+                    .collect();
                 Ok((loss, acc, grads, work.len()))
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("thread scope");
+        handles
+            .into_iter()
+            .map(|h| {
+                // A panicking worker becomes an error for the caller
+                // instead of poisoning the whole process.
+                h.join().unwrap_or_else(|payload| {
+                    let message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    Err(TensorError::WorkerPanic { op: "parallel_gradients", message })
+                })
+            })
+            .collect()
+    });
 
     let mut total_loss = 0.0;
     let mut total_acc = 0.0;
@@ -205,6 +224,49 @@ mod tests {
     fn empty_batches_error() {
         let net = toy_net(5);
         assert!(parallel_gradients(&net, &[], 2).is_err());
+    }
+
+    /// A layer whose forward pass panics, to exercise worker-panic
+    /// propagation.
+    #[derive(Clone)]
+    struct PanickingLayer;
+
+    impl crate::Layer for PanickingLayer {
+        fn name(&self) -> &str {
+            "boom"
+        }
+        fn kind(&self) -> crate::LayerKind {
+            crate::LayerKind::Custom
+        }
+        fn forward(&mut self, _input: &Tensor) -> crate::Result<Tensor> {
+            panic!("injected test panic");
+        }
+        fn backward(&mut self, grad_output: &Tensor) -> crate::Result<Tensor> {
+            Ok(grad_output.clone())
+        }
+        fn parameters_mut(&mut self) -> Vec<&mut crate::Parameter> {
+            Vec::new()
+        }
+        fn parameters(&self) -> Vec<&crate::Parameter> {
+            Vec::new()
+        }
+        fn clone_box(&self) -> Box<dyn crate::Layer> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_an_error_not_a_crash() {
+        let mut net = Sequential::new("panics");
+        net.push(Box::new(PanickingLayer));
+        let err = parallel_gradients(&net, &toy_batches(2), 2).unwrap_err();
+        match err {
+            TensorError::WorkerPanic { op, message } => {
+                assert_eq!(op, "parallel_gradients");
+                assert!(message.contains("injected test panic"), "{message}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
     }
 
     #[test]

@@ -164,93 +164,277 @@ impl HardwareExecutor {
         shared_weights: bool,
         zero_skip: bool,
     ) -> crate::Result<BatchReport> {
-        let mut report = BatchReport::default();
         self.array.reset();
-        // graceful degradation: a task whose threshold bank fails
-        // validation runs on the thresholds-stripped parent path
-        let fallbacks: Vec<Option<BoundNetwork>> = plans
-            .iter()
-            .map(|p| p.validate_thresholds().err().map(|_| p.strip_thresholds()))
-            .collect();
-        let effective: Vec<&BoundNetwork> =
-            plans.iter().zip(&fallbacks).map(|(p, f)| f.as_ref().unwrap_or(p)).collect();
-        let mut prev_task: Option<usize> = None;
-        let mut weight_rebate = 0u64;
-        let mut threshold_rebate = 0u64;
+        let fallbacks = compute_fallbacks(plans);
+        let effective = effective_plans(plans, &fallbacks);
+        let acct = batch_accounting(&effective, &fallbacks, batch, shared_weights)?;
+        let mut logits = Vec::with_capacity(batch.len());
         for (task, image) in batch {
-            let plan = *effective
-                .get(*task)
-                .ok_or(MimeError::UnknownPlanIndex { index: *task, plans: plans.len() })?;
-            if fallbacks[*task].is_some() && !report.degraded_tasks.contains(task) {
-                report.degraded_tasks.push(*task);
-            }
-            let switched = prev_task != Some(*task);
-            if switched {
-                report.task_switches += 1;
-            }
-            // residency rebates: the per-image run always streams weights
-            // and thresholds once; hoist what stays resident
-            let w_words = plan.weight_words() as u64;
-            let t_words = plan_threshold_words(plan);
-            if shared_weights {
-                if prev_task.is_some() {
-                    weight_rebate += w_words; // W_parent already loaded
-                }
-                if !switched {
-                    threshold_rebate += t_words; // same task's banks reused
-                }
-            } else if !switched {
-                weight_rebate += w_words; // same task back to back
-                threshold_rebate += t_words;
-            }
-            prev_task = Some(*task);
-            let logits = self.run_image(plan, image, zero_skip)?;
-            report.logits.push(logits);
+            logits.push(self.run_image(effective[*task], image, zero_skip)?);
         }
-        let mut counters = *self.array.counters();
-        let rebate = weight_rebate + threshold_rebate;
-        counters.dram_reads = counters.dram_reads.saturating_sub(rebate);
-        report.counters = counters;
-        // switch traffic is what remains charged: expose it for reporting
-        report.weight_reload_words = if shared_weights {
-            effective.first().map(|p| p.weight_words() as u64).unwrap_or(0)
-        } else {
-            batch
-                .iter()
-                .scan(None, |prev, (task, _)| {
-                    let switched = *prev != Some(*task);
-                    *prev = Some(*task);
-                    Some(if switched {
-                        effective.get(*task).map(|p| p.weight_words() as u64).unwrap_or(0)
-                    } else {
-                        0
+        Ok(acct.into_report(*self.array.counters(), logits))
+    }
+
+    /// [`run_pipelined`](Self::run_pipelined), with the per-image
+    /// hardware runs fanned out across worker threads (worker count from
+    /// `MIME_THREADS`, see [`mime_tensor::threads::worker_count`]).
+    ///
+    /// Each worker owns a fresh [`FunctionalArray`] replica of this
+    /// executor's configuration and runs a contiguous slice of the
+    /// batch, so no hardware state is shared. The merged
+    /// [`BatchReport`] is **bit-identical** to the serial one:
+    ///
+    /// * the array is stateless between images, so each image's counter
+    ///   deltas are the same on any replica;
+    /// * all counter fields are `u64` event counts, so summing the
+    ///   per-worker counters ([`AccessCounters::merge`]) is exact; and
+    /// * the residency accounting (rebates, switch charges, degraded
+    ///   tasks) is computed from the task *sequence* alone by the same
+    ///   code path the serial executor uses.
+    ///
+    /// This executor's own array is untouched (the method takes
+    /// `&self`).
+    ///
+    /// # Errors
+    ///
+    /// As [`run_pipelined`](Self::run_pipelined); when several images
+    /// fail, the error reported is the earliest by batch order, matching
+    /// the serial path. A panicking worker surfaces as an error rather
+    /// than a crash.
+    pub fn run_batch_parallel(
+        &self,
+        plans: &[BoundNetwork],
+        batch: &[(usize, Tensor)],
+        shared_weights: bool,
+        zero_skip: bool,
+    ) -> crate::Result<BatchReport> {
+        self.run_batch_parallel_with_threads(
+            plans,
+            batch,
+            shared_weights,
+            zero_skip,
+            mime_tensor::threads::worker_count(),
+        )
+    }
+
+    /// [`run_batch_parallel`](Self::run_batch_parallel) with an explicit
+    /// worker count (primarily for tests and benchmarks).
+    ///
+    /// # Errors
+    ///
+    /// As [`run_batch_parallel`](Self::run_batch_parallel).
+    pub fn run_batch_parallel_with_threads(
+        &self,
+        plans: &[BoundNetwork],
+        batch: &[(usize, Tensor)],
+        shared_weights: bool,
+        zero_skip: bool,
+        threads: usize,
+    ) -> crate::Result<BatchReport> {
+        let fallbacks = compute_fallbacks(plans);
+        let effective = effective_plans(plans, &fallbacks);
+        let acct = batch_accounting(&effective, &fallbacks, batch, shared_weights)?;
+        let workers = threads.clamp(1, batch.len().max(1));
+        let chunk = batch.len().div_ceil(workers).max(1);
+        // Each worker returns its chunk's logits and counter deltas, or
+        // the global index of its first failing image (for deterministic
+        // error selection below).
+        type WorkerOut = Result<(Vec<Vec<f32>>, AccessCounters), (usize, MimeError)>;
+        let results: Vec<WorkerOut> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (ci, work) in batch.chunks(chunk).enumerate() {
+                let start = ci * chunk;
+                let effective = &effective;
+                let cfg = self.cfg;
+                handles.push(scope.spawn(move || -> WorkerOut {
+                    let mut replica = HardwareExecutor::new(cfg);
+                    let mut logits = Vec::with_capacity(work.len());
+                    for (offset, (task, image)) in work.iter().enumerate() {
+                        match replica.run_image(effective[*task], image, zero_skip) {
+                            Ok(l) => logits.push(l),
+                            Err(e) => return Err((start + offset, e)),
+                        }
+                    }
+                    Ok((logits, *replica.array.counters()))
+                }));
+            }
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(ci, h)| {
+                    h.join().unwrap_or_else(|payload| {
+                        let message = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        Err((
+                            ci * chunk,
+                            mime_tensor::TensorError::WorkerPanic {
+                                op: "run_batch_parallel",
+                                message,
+                            }
+                            .into(),
+                        ))
                     })
                 })
-                .sum()
-        };
-        // degraded plans carry no thresholds, so they reload none
-        report.threshold_reload_words = batch
+                .collect()
+        });
+        let mut counters = AccessCounters::default();
+        let mut logits = Vec::with_capacity(batch.len());
+        let mut first_err: Option<(usize, MimeError)> = None;
+        for r in results {
+            match r {
+                Ok((chunk_logits, chunk_counters)) => {
+                    logits.extend(chunk_logits);
+                    counters.merge(&chunk_counters);
+                }
+                Err((index, e)) => {
+                    if first_err.as_ref().is_none_or(|(i, _)| index < *i) {
+                        first_err = Some((index, e));
+                    }
+                }
+            }
+        }
+        if let Some((_, e)) = first_err {
+            return Err(e);
+        }
+        Ok(acct.into_report(counters, logits))
+    }
+}
+
+/// Graceful degradation: a task whose threshold bank fails validation
+/// runs on the thresholds-stripped parent path.
+fn compute_fallbacks(plans: &[BoundNetwork]) -> Vec<Option<BoundNetwork>> {
+    plans
+        .iter()
+        .map(|p| p.validate_thresholds().err().map(|_| p.strip_thresholds()))
+        .collect()
+}
+
+fn effective_plans<'a>(
+    plans: &'a [BoundNetwork],
+    fallbacks: &'a [Option<BoundNetwork>],
+) -> Vec<&'a BoundNetwork> {
+    plans.iter().zip(fallbacks).map(|(p, f)| f.as_ref().unwrap_or(p)).collect()
+}
+
+/// Batch-level residency accounting, derived from the task sequence
+/// alone (no hardware state). Factored out so the serial and parallel
+/// executors apply exactly the same math — the parallel path merges raw
+/// counters and then applies this identically.
+struct BatchAccounting {
+    rebate: u64,
+    task_switches: usize,
+    degraded_tasks: Vec<usize>,
+    weight_reload_words: u64,
+    threshold_reload_words: u64,
+}
+
+impl BatchAccounting {
+    /// Builds the final report from raw batch counters: subtract the
+    /// residency rebate, then carve the explicit reload charges out of
+    /// the counters so `total_energy` never double-counts them.
+    fn into_report(
+        self,
+        mut counters: AccessCounters,
+        logits: Vec<Vec<f32>>,
+    ) -> BatchReport {
+        counters.dram_reads = counters.dram_reads.saturating_sub(self.rebate);
+        counters.dram_reads = counters
+            .dram_reads
+            .saturating_sub(self.weight_reload_words + self.threshold_reload_words);
+        BatchReport {
+            counters,
+            weight_reload_words: self.weight_reload_words,
+            threshold_reload_words: self.threshold_reload_words,
+            task_switches: self.task_switches,
+            degraded_tasks: self.degraded_tasks,
+            logits,
+        }
+    }
+}
+
+/// Walks the batch's task sequence computing residency rebates, switch
+/// charges and degraded-task bookkeeping. Validates every plan index
+/// (first bad index in batch order wins, matching serial execution).
+fn batch_accounting(
+    effective: &[&BoundNetwork],
+    fallbacks: &[Option<BoundNetwork>],
+    batch: &[(usize, Tensor)],
+    shared_weights: bool,
+) -> crate::Result<BatchAccounting> {
+    let mut degraded_tasks: Vec<usize> = Vec::new();
+    let mut task_switches = 0usize;
+    let mut prev_task: Option<usize> = None;
+    let mut weight_rebate = 0u64;
+    let mut threshold_rebate = 0u64;
+    for (task, _) in batch {
+        let plan = *effective
+            .get(*task)
+            .ok_or(MimeError::UnknownPlanIndex { index: *task, plans: effective.len() })?;
+        if fallbacks[*task].is_some() && !degraded_tasks.contains(task) {
+            degraded_tasks.push(*task);
+        }
+        let switched = prev_task != Some(*task);
+        if switched {
+            task_switches += 1;
+        }
+        // residency rebates: the per-image run always streams weights
+        // and thresholds once; hoist what stays resident
+        let w_words = plan.weight_words() as u64;
+        let t_words = plan_threshold_words(plan);
+        if shared_weights {
+            if prev_task.is_some() {
+                weight_rebate += w_words; // W_parent already loaded
+            }
+            if !switched {
+                threshold_rebate += t_words; // same task's banks reused
+            }
+        } else if !switched {
+            weight_rebate += w_words; // same task back to back
+            threshold_rebate += t_words;
+        }
+        prev_task = Some(*task);
+    }
+    // switch traffic is what remains charged: expose it for reporting
+    let weight_reload_words = if shared_weights {
+        effective.first().map(|p| p.weight_words() as u64).unwrap_or(0)
+    } else {
+        batch
             .iter()
             .scan(None, |prev, (task, _)| {
                 let switched = *prev != Some(*task);
                 *prev = Some(*task);
                 Some(if switched {
-                    effective.get(*task).map(|p| plan_threshold_words(p)).unwrap_or(0)
+                    effective.get(*task).map(|p| p.weight_words() as u64).unwrap_or(0)
                 } else {
                     0
                 })
             })
-            .sum();
-        report.degraded_tasks.sort_unstable();
-        // the reload words are already inside the (rebated) counters; the
-        // split fields are informational, so subtract them from the
-        // counters to avoid double counting in total_energy
-        report.counters.dram_reads = report
-            .counters
-            .dram_reads
-            .saturating_sub(report.weight_reload_words + report.threshold_reload_words);
-        Ok(report)
-    }
+            .sum()
+    };
+    // degraded plans carry no thresholds, so they reload none
+    let threshold_reload_words = batch
+        .iter()
+        .scan(None, |prev, (task, _)| {
+            let switched = *prev != Some(*task);
+            *prev = Some(*task);
+            Some(if switched {
+                effective.get(*task).map(|p| plan_threshold_words(p)).unwrap_or(0)
+            } else {
+                0
+            })
+        })
+        .sum();
+    degraded_tasks.sort_unstable();
+    Ok(BatchAccounting {
+        rebate: weight_rebate + threshold_rebate,
+        task_switches,
+        degraded_tasks,
+        weight_reload_words,
+        threshold_reload_words,
+    })
 }
 
 fn plan_threshold_words(plan: &BoundNetwork) -> u64 {
@@ -358,6 +542,77 @@ mod tests {
         let mut exec = HardwareExecutor::new(ArrayConfig::eyeriss_65nm());
         assert!(exec.run_image(&plan, &Tensor::zeros(&[3, 16, 16]), true).is_err());
         let batch = vec![(5usize, probe())];
-        assert!(exec.run_pipelined(&[plan], &batch, true, true).is_err());
+        let plans = [plan];
+        assert!(exec.run_pipelined(&plans, &batch, true, true).is_err());
+        assert!(exec.run_batch_parallel(&plans, &batch, true, true).is_err());
+    }
+
+    fn salted_probe(salt: usize) -> Tensor {
+        Tensor::from_fn(&[3, 32, 32], |i| (((i + salt * 97) % 17) as f32 - 8.0) * 0.09)
+    }
+
+    /// Two healthy MIME tasks plus one with a poisoned threshold bank
+    /// (exercises the degraded path inside the parallel executor too).
+    fn three_plans() -> Vec<BoundNetwork> {
+        let (arch, parent) = mini();
+        let mime_a = MimeNetwork::from_trained(&arch, &parent, 0.03).unwrap();
+        let mime_b = MimeNetwork::from_trained(&arch, &parent, 0.30).unwrap();
+        let mut poisoned = MimeNetwork::from_trained(&arch, &parent, 0.25).unwrap();
+        let mut banks = poisoned.export_thresholds();
+        mime_core::faults::FaultInjector::new(11).poison_tensor(&mut banks[0], 2);
+        poisoned.import_thresholds(&banks).unwrap();
+        vec![
+            BoundNetwork::from_mime(&mime_a).unwrap(),
+            BoundNetwork::from_mime(&mime_b).unwrap(),
+            BoundNetwork::from_mime(&poisoned).unwrap(),
+        ]
+    }
+
+    fn assert_reports_identical(serial: &BatchReport, parallel: &BatchReport) {
+        assert_eq!(serial.counters, parallel.counters);
+        assert_eq!(serial.weight_reload_words, parallel.weight_reload_words);
+        assert_eq!(serial.threshold_reload_words, parallel.threshold_reload_words);
+        assert_eq!(serial.task_switches, parallel.task_switches);
+        assert_eq!(serial.degraded_tasks, parallel.degraded_tasks);
+        assert_eq!(serial.logits, parallel.logits);
+    }
+
+    #[test]
+    fn parallel_batch_report_is_bit_identical_to_serial() {
+        let plans = three_plans();
+        // switch-heavy task sequence touching the degraded task too
+        let batch: Vec<(usize, Tensor)> =
+            (0..7).map(|i| (i % 3, salted_probe(i))).collect();
+        let mut exec = HardwareExecutor::new(ArrayConfig::eyeriss_65nm());
+        for shared_weights in [true, false] {
+            let serial = exec.run_pipelined(&plans, &batch, shared_weights, true).unwrap();
+            assert_eq!(serial.degraded_tasks, vec![2]);
+            for threads in [1usize, 3, 16] {
+                let parallel = exec
+                    .run_batch_parallel_with_threads(
+                        &plans,
+                        &batch,
+                        shared_weights,
+                        true,
+                        threads,
+                    )
+                    .unwrap();
+                assert_reports_identical(&serial, &parallel);
+            }
+            // default thread count path
+            let parallel =
+                exec.run_batch_parallel(&plans, &batch, shared_weights, true).unwrap();
+            assert_reports_identical(&serial, &parallel);
+        }
+    }
+
+    #[test]
+    fn parallel_empty_batch_matches_serial() {
+        let plans = three_plans();
+        let mut exec = HardwareExecutor::new(ArrayConfig::eyeriss_65nm());
+        let serial = exec.run_pipelined(&plans, &[], true, true).unwrap();
+        let parallel = exec.run_batch_parallel(&plans, &[], true, true).unwrap();
+        assert_reports_identical(&serial, &parallel);
+        assert!(parallel.logits.is_empty());
     }
 }

@@ -1,11 +1,18 @@
-//! `im2col`-based 2-D convolution (forward and backward).
+//! `im2col`-based 2-D convolution (forward and backward), batched.
 //!
 //! Layouts: inputs `[N, C, H, W]`, weights `[K, C, R, S]`, outputs
-//! `[N, K, Ho, Wo]`. The convolution is lowered to a GEMM per image:
-//! `out[n] = W_mat · im2col(x[n])` with `W_mat: [K, C·R·S]` and
-//! `cols: [C·R·S, Ho·Wo]`.
+//! `[N, K, Ho, Wo]`. The convolution is lowered to one GEMM per **batch
+//! chunk** rather than one per image: a chunk of images is flattened into
+//! a single column matrix `[C·R·S, N_chunk·Ho·Wo]` and multiplied in one
+//! `matmul_into` call, which keeps the threaded GEMM saturated on large
+//! `n` instead of issuing `N` small products. Chunks bound the column
+//! buffer (see [`ConvScratch`]); all buffers are caller-reusable so a
+//! training step performs no per-image allocation.
+//!
+//! The single-image [`im2col`]/[`col2im`] lowering is kept as a public
+//! reference (tests and the systolic functional model use it).
 
-use crate::{matmul_into, matmul_nt, matmul_tn, Result, Tensor, TensorError};
+use crate::{matmul_into, matmul_nt_into_acc, matmul_tn_into, Result, Tensor, TensorError};
 
 /// Geometry of a 2-D convolution: kernel size, stride and zero padding
 /// (symmetric, same on both spatial axes).
@@ -69,9 +76,49 @@ pub struct Conv2dGrads {
     pub grad_bias: Tensor,
 }
 
+/// Reusable scratch for the batched convolution lowering.
+///
+/// Holds the column matrix, the GEMM output, and the backward-pass
+/// staging buffers. Thread one instance through repeated
+/// [`conv2d_with_scratch`] / [`conv2d_backward_with_scratch`] calls
+/// (e.g. one per `Conv2d` layer) and the steady-state training loop
+/// performs no per-step allocation: buffers are only reallocated when
+/// the layer shape changes.
+#[derive(Debug, Clone, Default)]
+pub struct ConvScratch {
+    cols: Tensor,
+    gemm: Tensor,
+    gout: Tensor,
+    dcols: Tensor,
+}
+
+impl ConvScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        ConvScratch::default()
+    }
+}
+
+/// Ceiling on the column-matrix size in floats (4 MiB). Batches whose
+/// lowering would exceed it are processed in image chunks, so memory
+/// stays bounded while the per-chunk GEMM stays large enough to saturate
+/// the threaded kernel. Kept near last-level-cache size: the freshly
+/// written columns feed straight into the GEMM's `B` packer, and a
+/// chunk much larger than the cache turns that hand-off into a DRAM
+/// round trip (measured slower than per-image lowering at 16 MiB).
+const COLS_BUDGET_FLOATS: usize = 1 << 20;
+
+fn ensure_shape(t: &mut Tensor, dims: &[usize]) {
+    if t.dims() != dims {
+        *t = Tensor::zeros(dims);
+    }
+}
+
 /// Lowers one image `[C, H, W]` into a column matrix `[C·R·S, Ho·Wo]`.
 ///
-/// Out-of-bounds (padding) taps contribute zeros.
+/// Out-of-bounds (padding) taps contribute zeros. This is the reference
+/// single-image lowering; the batched forward/backward paths use an
+/// internal multi-image variant writing `[C·R·S, N·Ho·Wo]`.
 ///
 /// # Errors
 ///
@@ -90,32 +137,71 @@ pub fn im2col(image: &Tensor, spec: &ConvSpec) -> Result<Tensor> {
     let wo = spec.out_extent(w)?;
     let k = spec.kernel;
     let mut cols = Tensor::zeros(&[c * k * k, ho * wo]);
-    let src = image.as_slice();
-    let dst = cols.as_mut_slice();
-    let n_sites = ho * wo;
+    im2col_batch_into(image.as_slice(), 0, 1, c, h, w, spec, ho, wo, cols.as_mut_slice());
+    Ok(cols)
+}
+
+/// Writes the lowering of images `n0..n0+nc` of a `[N, C, H, W]` buffer
+/// into `dst`, laid out `[C·R·S, nc·Ho·Wo]` with column index
+/// `ni·Ho·Wo + oy·Wo + ox`. `dst` must be pre-zeroed (padding taps are
+/// skipped, not written). Stride-1 rows are copied as contiguous spans.
+#[allow(clippy::too_many_arguments)] // flat kernel-internal plumbing
+fn im2col_batch_into(
+    input: &[f32],
+    n0: usize,
+    nc: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: &ConvSpec,
+    ho: usize,
+    wo: usize,
+    dst: &mut [f32],
+) {
+    let k = spec.kernel;
+    let pad = spec.padding as isize;
+    let sites = ho * wo;
+    let row_len = nc * sites;
+    let img_len = c * h * w;
     for ci in 0..c {
         for r in 0..k {
             for s in 0..k {
                 let row = (ci * k + r) * k + s;
-                let dst_row = &mut dst[row * n_sites..(row + 1) * n_sites];
-                for oy in 0..ho {
-                    let iy = (oy * spec.stride + r) as isize - spec.padding as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue; // padding region stays zero
-                    }
-                    for ox in 0..wo {
-                        let ix = (ox * spec.stride + s) as isize - spec.padding as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
+                let dst_row = &mut dst[row * row_len..(row + 1) * row_len];
+                for ni in 0..nc {
+                    let src = &input[(n0 + ni) * img_len..(n0 + ni + 1) * img_len];
+                    let col_base = ni * sites;
+                    for oy in 0..ho {
+                        let iy = (oy * spec.stride + r) as isize - pad;
+                        if iy < 0 || iy >= h as isize {
+                            continue; // padding region stays zero
                         }
-                        dst_row[oy * wo + ox] =
-                            src[(ci * h + iy as usize) * w + ix as usize];
+                        let src_row = &src[(ci * h + iy as usize) * w..][..w];
+                        let dst_site = &mut dst_row[col_base + oy * wo..][..wo];
+                        if spec.stride == 1 {
+                            // contiguous span: ix = ox + s - pad ∈ [0, w)
+                            let ox_lo = (pad - s as isize).max(0) as usize;
+                            let ox_hi = ((w as isize + pad - s as isize).min(wo as isize))
+                                .max(0) as usize;
+                            if ox_hi > ox_lo {
+                                let ix_lo = (ox_lo as isize + s as isize - pad) as usize;
+                                dst_site[ox_lo..ox_hi].copy_from_slice(
+                                    &src_row[ix_lo..ix_lo + (ox_hi - ox_lo)],
+                                );
+                            }
+                        } else {
+                            for (ox, d) in dst_site.iter_mut().enumerate() {
+                                let ix = (ox * spec.stride + s) as isize - pad;
+                                if ix >= 0 && ix < w as isize {
+                                    *d = src_row[ix as usize];
+                                }
+                            }
+                        }
                     }
                 }
             }
         }
     }
-    Ok(cols)
 }
 
 /// Inverse of [`im2col`]: scatters a column matrix back into an image,
@@ -143,32 +229,83 @@ pub fn col2im(
         });
     }
     let mut image = Tensor::zeros(&[channels, height, width]);
-    let dst = image.as_mut_slice();
-    let src = cols.as_slice();
-    let n_sites = ho * wo;
-    for ci in 0..channels {
+    col2im_batch_add(
+        cols.as_slice(),
+        0,
+        1,
+        channels,
+        height,
+        width,
+        spec,
+        ho,
+        wo,
+        image.as_mut_slice(),
+    );
+    Ok(image)
+}
+
+/// Scatter-accumulates a `[C·R·S, nc·Ho·Wo]` column matrix back into
+/// images `n0..n0+nc` of a `[N, C, H, W]` buffer (the batched adjoint of
+/// [`im2col_batch_into`]).
+#[allow(clippy::too_many_arguments)] // flat kernel-internal plumbing
+fn col2im_batch_add(
+    cols: &[f32],
+    n0: usize,
+    nc: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: &ConvSpec,
+    ho: usize,
+    wo: usize,
+    out: &mut [f32],
+) {
+    let k = spec.kernel;
+    let pad = spec.padding as isize;
+    let sites = ho * wo;
+    let row_len = nc * sites;
+    let img_len = c * h * w;
+    for ci in 0..c {
         for r in 0..k {
             for s in 0..k {
                 let row = (ci * k + r) * k + s;
-                let src_row = &src[row * n_sites..(row + 1) * n_sites];
-                for oy in 0..ho {
-                    let iy = (oy * spec.stride + r) as isize - spec.padding as isize;
-                    if iy < 0 || iy >= height as isize {
-                        continue;
-                    }
-                    for ox in 0..wo {
-                        let ix = (ox * spec.stride + s) as isize - spec.padding as isize;
-                        if ix < 0 || ix >= width as isize {
+                let src_row = &cols[row * row_len..(row + 1) * row_len];
+                for ni in 0..nc {
+                    let dst = &mut out[(n0 + ni) * img_len..(n0 + ni + 1) * img_len];
+                    let col_base = ni * sites;
+                    for oy in 0..ho {
+                        let iy = (oy * spec.stride + r) as isize - pad;
+                        if iy < 0 || iy >= h as isize {
                             continue;
                         }
-                        dst[(ci * height + iy as usize) * width + ix as usize] +=
-                            src_row[oy * wo + ox];
+                        let dst_row = &mut dst[(ci * h + iy as usize) * w..][..w];
+                        let src_site = &src_row[col_base + oy * wo..][..wo];
+                        if spec.stride == 1 {
+                            let ox_lo = (pad - s as isize).max(0) as usize;
+                            let ox_hi = ((w as isize + pad - s as isize).min(wo as isize))
+                                .max(0) as usize;
+                            if ox_hi > ox_lo {
+                                let ix_lo = (ox_lo as isize + s as isize - pad) as usize;
+                                for (d, &v) in dst_row[ix_lo..ix_lo + (ox_hi - ox_lo)]
+                                    .iter_mut()
+                                    .zip(&src_site[ox_lo..ox_hi])
+                                {
+                                    *d += v;
+                                }
+                            }
+                        } else {
+                            for (ox, &v) in src_site.iter().enumerate() {
+                                let ix = (ox * spec.stride + s) as isize - pad;
+                                if ix >= 0 && ix < w as isize {
+                                    dst_row[ix as usize] += v;
+                                }
+                            }
+                        }
                     }
                 }
             }
         }
     }
-    Ok(image)
 }
 
 fn check_conv_args(
@@ -202,10 +339,16 @@ fn check_conv_args(
     Ok((n, c, h, w, kout, weight.dims()[2]))
 }
 
+/// How many images fit one column-buffer chunk under the memory budget.
+fn images_per_chunk(taps: usize, sites: usize, n: usize) -> usize {
+    (COLS_BUDGET_FLOATS / (taps * sites).max(1)).clamp(1, n.max(1))
+}
+
 /// 2-D convolution forward pass.
 ///
 /// `input: [N, C, H, W]`, `weight: [K, C, R, R]`, `bias: [K]` →
-/// `[N, K, Ho, Wo]`.
+/// `[N, K, Ho, Wo]`. Allocates fresh scratch; in hot loops prefer
+/// [`conv2d_with_scratch`].
 ///
 /// # Errors
 ///
@@ -216,6 +359,23 @@ pub fn conv2d(
     bias: &Tensor,
     spec: &ConvSpec,
 ) -> Result<Tensor> {
+    conv2d_with_scratch(input, weight, bias, spec, &mut ConvScratch::new())
+}
+
+/// [`conv2d`] with caller-reusable scratch: the whole batch is lowered in
+/// bounded chunks of `[C·R·S, N_chunk·Ho·Wo]` columns and each chunk is
+/// one threaded GEMM, instead of one small GEMM per image.
+///
+/// # Errors
+///
+/// Returns shape/rank/geometry errors for inconsistent arguments.
+pub fn conv2d_with_scratch(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    spec: &ConvSpec,
+    scratch: &mut ConvScratch,
+) -> Result<Tensor> {
     let (n, c, h, w, kout, kr) = check_conv_args(input, weight, bias)?;
     if kr != spec.kernel {
         return Err(TensorError::InvalidGeometry(format!(
@@ -225,28 +385,45 @@ pub fn conv2d(
     }
     let ho = spec.out_extent(h)?;
     let wo = spec.out_extent(w)?;
-    let w_mat = weight.reshape(&[kout, c * spec.kernel * spec.kernel])?;
+    let taps = c * spec.kernel * spec.kernel;
+    let sites = ho * wo;
+    let w_mat = weight.reshape(&[kout, taps])?;
     let mut out = Tensor::zeros(&[n, kout, ho, wo]);
-    let img_len = c * h * w;
-    let out_img_len = kout * ho * wo;
-    let mut gemm_out = Tensor::zeros(&[kout, ho * wo]);
-    for ni in 0..n {
-        let image = Tensor::from_vec(
-            input.as_slice()[ni * img_len..(ni + 1) * img_len].to_vec(),
-            &[c, h, w],
-        )?;
-        let cols = im2col(&image, spec)?;
-        matmul_into(&w_mat, &cols, &mut gemm_out)?;
-        let dst = &mut out.as_mut_slice()[ni * out_img_len..(ni + 1) * out_img_len];
-        let src = gemm_out.as_slice();
-        let bias_v = bias.as_slice();
-        let sites = ho * wo;
+    let bias_v = bias.as_slice().to_vec();
+    let per_chunk = images_per_chunk(taps, sites, n);
+    let mut n0 = 0;
+    while n0 < n {
+        let nc = per_chunk.min(n - n0);
+        ensure_shape(&mut scratch.cols, &[taps, nc * sites]);
+        scratch.cols.as_mut_slice().fill(0.0);
+        im2col_batch_into(
+            input.as_slice(),
+            n0,
+            nc,
+            c,
+            h,
+            w,
+            spec,
+            ho,
+            wo,
+            scratch.cols.as_mut_slice(),
+        );
+        ensure_shape(&mut scratch.gemm, &[kout, nc * sites]);
+        matmul_into(&w_mat, &scratch.cols, &mut scratch.gemm)?;
+        // un-interleave [K, nc·sites] → [nc, K, sites], adding the bias
+        let src = scratch.gemm.as_slice();
+        let dst = out.as_mut_slice();
         for ki in 0..kout {
             let b = bias_v[ki];
-            for site in 0..sites {
-                dst[ki * sites + site] = src[ki * sites + site] + b;
+            for ni in 0..nc {
+                let s_row = &src[ki * nc * sites + ni * sites..][..sites];
+                let d_row = &mut dst[(n0 + ni) * kout * sites + ki * sites..][..sites];
+                for (d, &v) in d_row.iter_mut().zip(s_row) {
+                    *d = v + b;
+                }
             }
         }
+        n0 += nc;
     }
     Ok(out)
 }
@@ -254,7 +431,8 @@ pub fn conv2d(
 /// 2-D convolution backward pass.
 ///
 /// Given the forward inputs and `grad_output: [N, K, Ho, Wo]`, produces
-/// gradients w.r.t. input, weight, and bias.
+/// gradients w.r.t. input, weight, and bias. Allocates fresh scratch; in
+/// hot loops prefer [`conv2d_backward_with_scratch`].
 ///
 /// # Errors
 ///
@@ -264,6 +442,24 @@ pub fn conv2d_backward(
     weight: &Tensor,
     grad_output: &Tensor,
     spec: &ConvSpec,
+) -> Result<Conv2dGrads> {
+    conv2d_backward_with_scratch(input, weight, grad_output, spec, &mut ConvScratch::new())
+}
+
+/// [`conv2d_backward`] with caller-reusable scratch. Like the forward
+/// path, the batch is processed in bounded chunks with one `dW`, one
+/// `dX` GEMM per chunk (weight gradients accumulate across chunks via
+/// [`matmul_nt_into_acc`]).
+///
+/// # Errors
+///
+/// Returns shape/rank/geometry errors for inconsistent arguments.
+pub fn conv2d_backward_with_scratch(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    spec: &ConvSpec,
+    scratch: &mut ConvScratch,
 ) -> Result<Conv2dGrads> {
     let bias_dummy = Tensor::zeros(&[weight.dims()[0]]);
     let (n, c, h, w, kout, _) = check_conv_args(input, weight, &bias_dummy)?;
@@ -277,36 +473,67 @@ pub fn conv2d_backward(
         });
     }
     let taps = c * spec.kernel * spec.kernel;
+    let sites = ho * wo;
     let w_mat = weight.reshape(&[kout, taps])?;
     let mut grad_w_mat = Tensor::zeros(&[kout, taps]);
     let mut grad_bias = Tensor::zeros(&[kout]);
     let mut grad_input = Tensor::zeros(&[n, c, h, w]);
-    let img_len = c * h * w;
-    let out_img_len = kout * ho * wo;
-    let sites = ho * wo;
-    for ni in 0..n {
-        let image = Tensor::from_vec(
-            input.as_slice()[ni * img_len..(ni + 1) * img_len].to_vec(),
-            &[c, h, w],
-        )?;
-        let cols = im2col(&image, spec)?;
-        let gout = Tensor::from_vec(
-            grad_output.as_slice()[ni * out_img_len..(ni + 1) * out_img_len].to_vec(),
-            &[kout, sites],
-        )?;
-        // dW += gout · colsᵀ   ([K, sites] · [sites, taps])
-        let gw = matmul_nt(&gout, &cols)?;
-        grad_w_mat.add_assign(&gw)?;
-        // db += rowwise sum of gout
-        for ki in 0..kout {
-            let row = &gout.as_slice()[ki * sites..(ki + 1) * sites];
-            grad_bias.as_mut_slice()[ki] += row.iter().sum::<f32>();
+    let per_chunk = images_per_chunk(taps, sites, n);
+    let mut n0 = 0;
+    while n0 < n {
+        let nc = per_chunk.min(n - n0);
+        ensure_shape(&mut scratch.cols, &[taps, nc * sites]);
+        scratch.cols.as_mut_slice().fill(0.0);
+        im2col_batch_into(
+            input.as_slice(),
+            n0,
+            nc,
+            c,
+            h,
+            w,
+            spec,
+            ho,
+            wo,
+            scratch.cols.as_mut_slice(),
+        );
+        // interleave [nc, K, sites] → [K, nc·sites]
+        ensure_shape(&mut scratch.gout, &[kout, nc * sites]);
+        {
+            let src = grad_output.as_slice();
+            let dst = scratch.gout.as_mut_slice();
+            for ki in 0..kout {
+                for ni in 0..nc {
+                    let s_row = &src[(n0 + ni) * kout * sites + ki * sites..][..sites];
+                    dst[ki * nc * sites + ni * sites..][..sites].copy_from_slice(s_row);
+                }
+            }
         }
-        // dcols = Wᵀ · gout ([taps, K] · [K, sites])
-        let dcols = matmul_tn(&w_mat, &gout)?;
-        let gimg = col2im(&dcols, c, h, w, spec)?;
-        grad_input.as_mut_slice()[ni * img_len..(ni + 1) * img_len]
-            .copy_from_slice(gimg.as_slice());
+        // dW += gout · colsᵀ   ([K, nc·sites] · [nc·sites, taps])
+        matmul_nt_into_acc(&scratch.gout, &scratch.cols, &mut grad_w_mat)?;
+        // db += rowwise sum of gout
+        {
+            let gb = grad_bias.as_mut_slice();
+            let src = scratch.gout.as_slice();
+            for ki in 0..kout {
+                gb[ki] += src[ki * nc * sites..(ki + 1) * nc * sites].iter().sum::<f32>();
+            }
+        }
+        // dcols = Wᵀ · gout ([taps, K] · [K, nc·sites])
+        ensure_shape(&mut scratch.dcols, &[taps, nc * sites]);
+        matmul_tn_into(&w_mat, &scratch.gout, &mut scratch.dcols)?;
+        col2im_batch_add(
+            scratch.dcols.as_slice(),
+            n0,
+            nc,
+            c,
+            h,
+            w,
+            spec,
+            ho,
+            wo,
+            grad_input.as_mut_slice(),
+        );
+        n0 += nc;
     }
     Ok(Conv2dGrads {
         grad_input,
@@ -318,6 +545,7 @@ pub fn conv2d_backward(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{matmul_scalar_ref, matmul_tn};
 
     #[test]
     fn out_extent_same_padding() {
@@ -379,6 +607,148 @@ mod tests {
         let out = conv2d(&input, &weight, &bias, &spec).unwrap();
         assert_eq!(out.dims(), &[1, 1, 2, 2]);
         assert_eq!(out.as_slice(), &[0.0, 2.0, 8.0, 10.0]);
+    }
+
+    /// Per-image reference: the pre-batching forward (im2col + scalar
+    /// GEMM, one image at a time).
+    fn conv2d_per_image_ref(
+        input: &Tensor,
+        weight: &Tensor,
+        bias: &Tensor,
+        spec: &ConvSpec,
+    ) -> Tensor {
+        let (n, c, h, w) =
+            (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
+        let kout = weight.dims()[0];
+        let ho = spec.out_extent(h).unwrap();
+        let wo = spec.out_extent(w).unwrap();
+        let taps = c * spec.kernel * spec.kernel;
+        let w_mat = weight.reshape(&[kout, taps]).unwrap();
+        let mut out = Tensor::zeros(&[n, kout, ho, wo]);
+        let img_len = c * h * w;
+        let sites = ho * wo;
+        for ni in 0..n {
+            let image = Tensor::from_vec(
+                input.as_slice()[ni * img_len..(ni + 1) * img_len].to_vec(),
+                &[c, h, w],
+            )
+            .unwrap();
+            let cols = im2col(&image, spec).unwrap();
+            let gemm = matmul_scalar_ref(&w_mat, &cols).unwrap();
+            let dst = &mut out.as_mut_slice()[ni * kout * sites..(ni + 1) * kout * sites];
+            for ki in 0..kout {
+                let b = bias.as_slice()[ki];
+                for site in 0..sites {
+                    dst[ki * sites + site] = gemm.as_slice()[ki * sites + site] + b;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn batched_forward_matches_per_image_reference() {
+        for &(n, c, kout, hw, kernel, stride, pad) in &[
+            (1usize, 1usize, 1usize, 1usize, 1usize, 1usize, 0usize),
+            (3, 2, 5, 7, 3, 1, 1),
+            (2, 3, 4, 8, 3, 2, 1),
+            (5, 1, 2, 5, 2, 1, 0),
+            (4, 3, 8, 6, 3, 1, 1),
+        ] {
+            let spec = ConvSpec::new(kernel, stride, pad).unwrap();
+            let input =
+                Tensor::from_fn(&[n, c, hw, hw], |i| ((i * 31) % 23) as f32 * 0.1 - 1.0);
+            let weight = Tensor::from_fn(&[kout, c, kernel, kernel], |i| {
+                ((i * 17) % 13) as f32 * 0.05 - 0.3
+            });
+            let bias = Tensor::from_fn(&[kout], |i| i as f32 * 0.1 - 0.2);
+            let batched = conv2d(&input, &weight, &bias, &spec).unwrap();
+            let reference = conv2d_per_image_ref(&input, &weight, &bias, &spec);
+            assert_eq!(batched.dims(), reference.dims());
+            for (x, y) in batched.as_slice().iter().zip(reference.as_slice()) {
+                assert!((x - y).abs() < 1e-3, "n={n} c={c} k={kout} hw={hw}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_equivalent_to_fresh_scratch() {
+        let spec = ConvSpec::vgg3x3();
+        let mut scratch = ConvScratch::new();
+        for trial in 0..3 {
+            let input = Tensor::from_fn(&[2, 3, 6, 6], |i| ((i + trial * 7) % 11) as f32);
+            let weight = Tensor::from_fn(&[4, 3, 3, 3], |i| ((i % 5) as f32) * 0.1);
+            let bias = Tensor::zeros(&[4]);
+            let reused =
+                conv2d_with_scratch(&input, &weight, &bias, &spec, &mut scratch).unwrap();
+            let fresh = conv2d(&input, &weight, &bias, &spec).unwrap();
+            assert_eq!(reused.as_slice(), fresh.as_slice());
+            let gout = Tensor::from_fn(reused.dims(), |i| (i % 3) as f32 - 1.0);
+            let g1 =
+                conv2d_backward_with_scratch(&input, &weight, &gout, &spec, &mut scratch)
+                    .unwrap();
+            let g2 = conv2d_backward(&input, &weight, &gout, &spec).unwrap();
+            assert_eq!(g1.grad_weight.as_slice(), g2.grad_weight.as_slice());
+            assert_eq!(g1.grad_input.as_slice(), g2.grad_input.as_slice());
+            assert_eq!(g1.grad_bias.as_slice(), g2.grad_bias.as_slice());
+        }
+    }
+
+    #[test]
+    fn backward_matches_per_image_reference() {
+        // Per-image reference backward: accumulate dW/db/dX image by image
+        // with the public single-image lowering.
+        let spec = ConvSpec::vgg3x3();
+        let input = Tensor::from_fn(&[3, 2, 5, 5], |i| ((i * 7) % 9) as f32 * 0.1 - 0.4);
+        let weight =
+            Tensor::from_fn(&[4, 2, 3, 3], |i| ((i * 11) % 7) as f32 * 0.05 - 0.15);
+        let gout = Tensor::from_fn(&[3, 4, 5, 5], |i| ((i * 13) % 5) as f32 * 0.2 - 0.4);
+        let grads = conv2d_backward(&input, &weight, &gout, &spec).unwrap();
+
+        let (n, c, h, w) = (3, 2, 5, 5);
+        let (kout, sites) = (4, 25);
+        let taps = c * 9;
+        let w_mat = weight.reshape(&[kout, taps]).unwrap();
+        let mut ref_gw = Tensor::zeros(&[kout, taps]);
+        let mut ref_gb = vec![0.0f32; kout];
+        let mut ref_gx = Tensor::zeros(&[n, c, h, w]);
+        let img_len = c * h * w;
+        for ni in 0..n {
+            let image = Tensor::from_vec(
+                input.as_slice()[ni * img_len..(ni + 1) * img_len].to_vec(),
+                &[c, h, w],
+            )
+            .unwrap();
+            let cols = im2col(&image, &spec).unwrap();
+            let g = Tensor::from_vec(
+                gout.as_slice()[ni * kout * sites..(ni + 1) * kout * sites].to_vec(),
+                &[kout, sites],
+            )
+            .unwrap();
+            let gw = crate::matmul_nt(&g, &cols).unwrap();
+            ref_gw.add_assign(&gw).unwrap();
+            for (ki, gb) in ref_gb.iter_mut().enumerate() {
+                *gb += g.as_slice()[ki * sites..(ki + 1) * sites].iter().sum::<f32>();
+            }
+            let dcols = matmul_tn(&w_mat, &g).unwrap();
+            let gimg = col2im(&dcols, c, h, w, &spec).unwrap();
+            ref_gx.as_mut_slice()[ni * img_len..(ni + 1) * img_len]
+                .copy_from_slice(gimg.as_slice());
+        }
+        for (x, y) in grads
+            .grad_weight
+            .as_slice()
+            .iter()
+            .zip(ref_gw.reshape(weight.dims()).unwrap().as_slice())
+        {
+            assert!((x - y).abs() < 1e-3, "dW {x} vs {y}");
+        }
+        for (x, y) in grads.grad_bias.as_slice().iter().zip(&ref_gb) {
+            assert!((x - y).abs() < 1e-3, "db {x} vs {y}");
+        }
+        for (x, y) in grads.grad_input.as_slice().iter().zip(ref_gx.as_slice()) {
+            assert!((x - y).abs() < 1e-3, "dX {x} vs {y}");
+        }
     }
 
     #[test]

@@ -43,6 +43,15 @@ pub enum TensorError {
     /// A convolution / pooling geometry was inconsistent (e.g. kernel larger
     /// than padded input, zero stride).
     InvalidGeometry(String),
+    /// A worker thread of a parallel kernel or trainer panicked. The
+    /// panic is caught at the join point and surfaced as an error so a
+    /// poisoned worker cannot take down the caller.
+    WorkerPanic {
+        /// The parallel operation whose worker died.
+        op: &'static str,
+        /// Best-effort rendering of the panic payload.
+        message: String,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -62,6 +71,9 @@ impl fmt::Display for TensorError {
                 write!(f, "index {index:?} out of bounds for shape {shape:?}")
             }
             TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            TensorError::WorkerPanic { op, message } => {
+                write!(f, "{op}: worker thread panicked: {message}")
+            }
         }
     }
 }
@@ -80,6 +92,7 @@ mod tests {
             TensorError::RankMismatch { expected: 2, actual: 1, op: "matmul" },
             TensorError::IndexOutOfBounds { index: vec![9], shape: vec![2] },
             TensorError::InvalidGeometry("kernel exceeds input".into()),
+            TensorError::WorkerPanic { op: "parallel_gradients", message: "boom".into() },
         ];
         for e in errs {
             let s = e.to_string();

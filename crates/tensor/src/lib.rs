@@ -1,9 +1,11 @@
 //! # mime-tensor
 //!
 //! Dense `f32` tensor kernels used throughout the MIME reproduction: shape
-//! arithmetic, broadcasting elementwise operations, a blocked matrix
-//! multiply, `im2col`-based 2-D convolution, and max pooling with argmax
-//! tracking for backpropagation.
+//! arithmetic, broadcasting elementwise operations, a register-blocked
+//! multi-threaded matrix multiply (worker count from `MIME_THREADS`, see
+//! [`threads`]), batched `im2col`-based 2-D convolution with reusable
+//! scratch buffers, and max pooling with argmax tracking for
+//! backpropagation.
 //!
 //! The crate is deliberately small and dependency-light: it implements
 //! exactly the kernels a VGG-style network needs, nothing more. Layouts are
@@ -32,11 +34,18 @@ mod pool;
 mod reduce;
 mod shape;
 mod tensor;
+pub mod threads;
 
-pub use conv::{col2im, conv2d, conv2d_backward, im2col, Conv2dGrads, ConvSpec};
+pub use conv::{
+    col2im, conv2d, conv2d_backward, conv2d_backward_with_scratch, conv2d_with_scratch,
+    im2col, Conv2dGrads, ConvScratch, ConvSpec,
+};
 pub use error::TensorError;
 pub use init::{kaiming_normal, kaiming_uniform, xavier_uniform};
-pub use matmul::{matmul_into, matmul_nt, matmul_tn};
+pub use matmul::{
+    matmul_into, matmul_into_acc, matmul_into_with_threads, matmul_nt, matmul_nt_into_acc,
+    matmul_scalar_ref, matmul_sparse_into, matmul_tn, matmul_tn_into, MR, NR,
+};
 pub use pool::{max_pool2d, max_pool2d_backward, MaxPoolOut, PoolSpec};
 pub use shape::Shape;
 pub use tensor::Tensor;

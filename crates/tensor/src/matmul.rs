@@ -1,12 +1,61 @@
-//! Blocked matrix multiplication.
+//! Register-blocked, multi-threaded matrix multiplication.
 //!
-//! A straightforward cache-blocked `f32` GEMM plus the two transposed
-//! variants the backward passes need (`AᵀB` and `ABᵀ`). Not trying to beat
-//! BLAS — trying to make mini-VGG training tractable on a laptop CPU.
+//! The dense `f32` GEMM underneath every training step and every
+//! hardware-model sweep in this workspace. The design is a small BLIS:
+//!
+//! * **Packing** — `B` is repacked block by block ([`KC`]×[`NC`] at
+//!   most, so the packed chunk stays cache-resident) into panels of
+//!   [`NR`] columns, `p`-major, so the microkernel streams it with unit
+//!   stride (and the transposed variants fold their transpose into the
+//!   packing instead of materializing it). `A` is packed one
+//!   [`MR`]-row block at a time into a `p`-major strip.
+//! * **Microkernel** — an unrolled `MR×NR` register tile: the full
+//!   `k`-sum for each output tile is accumulated in registers and
+//!   written to memory exactly once. No zero-branch, no per-iteration
+//!   `C` traffic — the two costs that bounded the previous kernel.
+//! * **Threading** — rows of `C` are split into contiguous block ranges
+//!   across scoped worker threads ([`crate::threads::worker_count`],
+//!   overridable via `MIME_THREADS` or the `*_with_threads` variants).
+//!   Each `C` element is produced by exactly one worker with the same
+//!   `p`-order sum, so results are bit-identical at every thread count.
+//!
+//! Zero-skipping (profitable for the sparse masked activations MIME
+//! produces at inference) lives in the explicit sparse variant
+//! [`matmul_sparse_into`]; the dense kernels never branch on element
+//! values. The pre-rework scalar kernel is kept as
+//! [`matmul_scalar_ref`] — it is the committed benchmark baseline in
+//! `BENCH_kernels.json` and the reference the property tests compare
+//! against.
 
 use crate::{Result, Tensor, TensorError};
 
-const BLOCK: usize = 64;
+/// Microkernel tile height (rows of `A` / `C` held in registers). Eight
+/// rows give eight independent FMA chains per vector column — enough to
+/// hide FMA latency on dual-issue cores.
+pub const MR: usize = 8;
+/// Microkernel tile width (columns of `B` / `C` held in registers).
+pub const NR: usize = 16;
+
+/// Below this many multiply-adds the driver stays single-threaded:
+/// thread spawn/join overhead would dominate.
+const THREAD_MIN_MACS: u128 = 1 << 18;
+
+/// Depth (`k`) blocking factor: the packed `B` chunk (`KC × NC` floats
+/// at most) is streamed once per `MR`-row block, so keeping it
+/// L2-resident turns what would be repeated DRAM traffic into cache
+/// hits. `C` is visited once per chunk (accumulating), which preserves
+/// the sequential `p`-order sum per element and therefore bit-identical
+/// results at every thread count.
+const KC: usize = 384;
+
+/// Column (`n`) blocking factor: bounds the packed `B` chunk at
+/// `KC × NC` floats = 1.5 MiB so it stays cache-resident however wide
+/// `B` is (batched conv lowers whole image chunks into one GEMM with
+/// `n` in the thousands; without this cap the packed chunk falls out of
+/// L2 and every `MR`-row block streams it from DRAM). Each output
+/// element still belongs to exactly one column block and sees depth
+/// chunks in ascending order, so blocking changes no result bits.
+const NC: usize = 1024;
 
 fn check_matrix(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     if t.rank() != 2 {
@@ -15,23 +64,710 @@ fn check_matrix(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     Ok((t.dims()[0], t.dims()[1]))
 }
 
+fn shape_err(a: &Tensor, b: &Tensor, op: &'static str) -> TensorError {
+    TensorError::ShapeMismatch { lhs: a.dims().to_vec(), rhs: b.dims().to_vec(), op }
+}
+
+// ---------------------------------------------------------------------------
+// Packing
+// ---------------------------------------------------------------------------
+
+/// Layout of the `A` operand as seen by the packer.
+#[derive(Clone, Copy)]
+enum ALayout {
+    /// `A: [m, k]`, row-major (plain product).
+    Normal,
+    /// `A: [k, m]`, logically transposed (`AᵀB` product).
+    Trans,
+}
+
+/// Layout of the `B` operand as seen by the packer.
+#[derive(Clone, Copy)]
+enum BLayout {
+    /// `B: [k, n]`, row-major (plain product).
+    Normal,
+    /// `B: [n, k]`, logically transposed (`ABᵀ` product).
+    Trans,
+}
+
+/// Packs the `kb×nb` block of `B` at `(p0, c0)` into `⌈nb/NR⌉` panels
+/// of `kb×NR`, `p`-major, zero-padding the final partial panel. Panel
+/// `jp` starts at `jp·kb·NR` of `packed`.
+#[allow(clippy::too_many_arguments)] // flat kernel-internal plumbing
+fn pack_b_chunk(
+    b: &[f32],
+    layout: BLayout,
+    k: usize,
+    n: usize,
+    p0: usize,
+    kb: usize,
+    c0: usize,
+    nb: usize,
+    packed: &mut [f32],
+) {
+    let panels = nb.div_ceil(NR).max(1);
+    for jp in 0..panels {
+        let j0 = c0 + jp * NR;
+        let w = NR.min((c0 + nb).saturating_sub(j0));
+        let dst = &mut packed[jp * kb * NR..(jp + 1) * kb * NR];
+        match layout {
+            BLayout::Normal => {
+                for p in 0..kb {
+                    dst[p * NR..p * NR + w]
+                        .copy_from_slice(&b[(p0 + p) * n + j0..(p0 + p) * n + j0 + w]);
+                }
+            }
+            BLayout::Trans => {
+                for jj in 0..w {
+                    let col = &b[(j0 + jj) * k + p0..(j0 + jj) * k + p0 + kb];
+                    for (p, &v) in col.iter().enumerate() {
+                        dst[p * NR + jj] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packs the depth slice `p0..p0+kb` of `mr ≤ MR` rows of `A` (rows
+/// `i0..i0+mr`) into a `p`-major strip with stride `mr`:
+/// `pa[p·mr + ii] = A[i0+ii, p0+p]`.
+#[allow(clippy::too_many_arguments)] // flat kernel-internal plumbing
+fn pack_a(
+    a: &[f32],
+    layout: ALayout,
+    m: usize,
+    k: usize,
+    p0: usize,
+    kb: usize,
+    i0: usize,
+    mr: usize,
+    pa: &mut [f32],
+) {
+    match layout {
+        ALayout::Normal => {
+            for ii in 0..mr {
+                let row = &a[(i0 + ii) * k + p0..(i0 + ii) * k + p0 + kb];
+                for (p, &v) in row.iter().enumerate() {
+                    pa[p * mr + ii] = v;
+                }
+            }
+        }
+        ALayout::Trans => {
+            // A is [k, m]: each p-row holds the mr values contiguously.
+            for p in 0..kb {
+                pa[p * mr..p * mr + mr]
+                    .copy_from_slice(&a[(p0 + p) * m + i0..(p0 + p) * m + i0 + mr]);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Microkernel
+// ---------------------------------------------------------------------------
+
+/// Computes one `M×NR` register tile: the full `k`-sum is accumulated in
+/// `M·NR` register accumulators and only touches `c` once at the end
+/// (overwrite or accumulate). `pa` is a packed `A` strip with stride `M`,
+/// `pb` a packed `B` panel with stride `NR`; `nv ≤ NR` columns are valid.
+#[inline(always)]
+fn microkernel<const M: usize>(
+    k: usize,
+    pa: &[f32],
+    pb: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    nv: usize,
+    accumulate: bool,
+) {
+    let mut acc = [[0.0f32; NR]; M];
+    for (a, b) in pa.chunks_exact(M).zip(pb.chunks_exact(NR)).take(k) {
+        // Fixed-size views keep the inner loops free of bounds checks and
+        // let the autovectorizer keep the whole tile in vector registers.
+        let b: &[f32; NR] = b.try_into().unwrap();
+        for i in 0..M {
+            let ai = a[i];
+            let row = &mut acc[i];
+            for j in 0..NR {
+                // With a hardware FMA, `mul_add` lowers to `vfmadd` and
+                // doubles throughput; without one it is a *libm call*
+                // (~50× slower), so the fused form is gated on the
+                // compile-time feature. Either branch executes identical
+                // instructions at every thread count, so results stay
+                // bit-identical across `MIME_THREADS` settings.
+                if cfg!(target_feature = "fma") {
+                    row[j] = ai.mul_add(b[j], row[j]);
+                } else {
+                    row[j] += ai * b[j];
+                }
+            }
+        }
+    }
+    for (i, row) in acc.iter().enumerate() {
+        let dst = &mut c[i * ldc..i * ldc + nv];
+        if accumulate {
+            for (d, v) in dst.iter_mut().zip(&row[..nv]) {
+                *d += v;
+            }
+        } else {
+            dst.copy_from_slice(&row[..nv]);
+        }
+    }
+}
+
+/// Which microkernel implementation the driver dispatches to. Explicit
+/// SIMD is used where available because the autovectorizer's axis choice
+/// for the register tile is fragile (it has been observed vectorizing
+/// across the stride-`MR` row axis, emitting gathers); the intrinsic
+/// kernels pin the layout: one vector per tile-row chunk of `B` columns,
+/// `A` elements applied by embedded broadcast.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Isa {
+    /// AVX-512F: one 16-lane zmm accumulator per tile row.
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+    /// AVX2+FMA: two 8-lane ymm half-tile passes per tile row.
+    #[cfg(target_arch = "x86_64")]
+    Avx2Fma,
+    /// Autovectorized portable kernel ([`microkernel`]).
+    Portable,
+}
+
+/// Runtime CPU-feature detection, done once per process.
+fn isa() -> Isa {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static ISA: std::sync::OnceLock<Isa> = std::sync::OnceLock::new();
+        *ISA.get_or_init(|| {
+            if is_x86_feature_detected!("avx512f") {
+                Isa::Avx512
+            } else if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+                Isa::Avx2Fma
+            } else {
+                Isa::Portable
+            }
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    Isa::Portable
+}
+
+#[cfg(target_arch = "x86_64")]
+mod ukern_x86 {
+    //! Explicit-SIMD microkernels. Both kernels compute the same
+    //! `M×NR` register tile as the portable [`super::microkernel`], with
+    //! the same sequential `p`-order per output element, so all three
+    //! implementations agree to within one rounding (fused vs unfused
+    //! multiply-add) and each is individually bit-identical at every
+    //! thread count.
+    use super::NR;
+    use std::arch::x86_64::*;
+
+    /// AVX-512F tile: `M` zmm accumulators, `B` panel rows loaded as one
+    /// 16-lane vector, `A` values folded in as embedded broadcasts.
+    /// Partial panels (`nv < NR`) use lane masks, so no scalar edge loop.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified `avx512f` at runtime and guarantee
+    /// `pa.len() ≥ k·M`, `pb.len() ≥ k·NR`, and that rows
+    /// `c[i·ldc..i·ldc+nv]` are in bounds for `i < M`.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn avx512<const M: usize>(
+        k: usize,
+        pa: &[f32],
+        pb: &[f32],
+        c: &mut [f32],
+        ldc: usize,
+        nv: usize,
+        accumulate: bool,
+    ) {
+        debug_assert!(pa.len() >= k * M && pb.len() >= k * NR);
+        let mut acc = [_mm512_setzero_ps(); M];
+        let pa = pa.as_ptr();
+        let pb = pb.as_ptr();
+        for p in 0..k {
+            let bv = _mm512_loadu_ps(pb.add(p * NR));
+            let ap = pa.add(p * M);
+            for (i, a) in acc.iter_mut().enumerate() {
+                *a = _mm512_fmadd_ps(_mm512_set1_ps(*ap.add(i)), bv, *a);
+            }
+        }
+        let mask: __mmask16 = if nv >= NR { !0 } else { (1u16 << nv) - 1 };
+        let cp = c.as_mut_ptr();
+        for (i, &av) in acc.iter().enumerate() {
+            let dst = cp.add(i * ldc);
+            let v = if accumulate {
+                _mm512_add_ps(_mm512_maskz_loadu_ps(mask, dst), av)
+            } else {
+                av
+            };
+            _mm512_mask_storeu_ps(dst, mask, v);
+        }
+    }
+
+    /// AVX2+FMA tile, full `NR`-wide panels only: the 16 columns are
+    /// processed as two independent 8-lane half-tiles (two passes over
+    /// the packed strips) so `M` accumulators fit the 16 ymm registers
+    /// without spilling.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified `avx2` and `fma` at runtime, pass a full
+    /// panel (`nv == NR`), and guarantee `pa.len() ≥ k·M`,
+    /// `pb.len() ≥ k·NR`, and rows `c[i·ldc..i·ldc+NR]` in bounds for
+    /// `i < M`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn avx2<const M: usize>(
+        k: usize,
+        pa: &[f32],
+        pb: &[f32],
+        c: &mut [f32],
+        ldc: usize,
+        accumulate: bool,
+    ) {
+        debug_assert!(pa.len() >= k * M && pb.len() >= k * NR);
+        let pap = pa.as_ptr();
+        let pbp = pb.as_ptr();
+        let cp = c.as_mut_ptr();
+        for half in 0..2 {
+            let off = half * (NR / 2);
+            let mut acc = [_mm256_setzero_ps(); M];
+            for p in 0..k {
+                let bv = _mm256_loadu_ps(pbp.add(p * NR + off));
+                let ap = pap.add(p * M);
+                for (i, a) in acc.iter_mut().enumerate() {
+                    *a = _mm256_fmadd_ps(_mm256_set1_ps(*ap.add(i)), bv, *a);
+                }
+            }
+            for (i, &av) in acc.iter().enumerate() {
+                let dst = cp.add(i * ldc + off);
+                let v =
+                    if accumulate { _mm256_add_ps(_mm256_loadu_ps(dst), av) } else { av };
+                _mm256_storeu_ps(dst, v);
+            }
+        }
+    }
+}
+
+/// Computes one output tile, dispatching to the best microkernel for the
+/// running CPU. `mr ≤ MR` rows, `nv ≤ NR` columns.
+#[allow(clippy::too_many_arguments)] // flat kernel-internal plumbing
+fn tile(
+    isa: Isa,
+    mr: usize,
+    k: usize,
+    pa: &[f32],
+    pb: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    nv: usize,
+    accumulate: bool,
+) {
+    /// Monomorphizes the row count so each kernel's accumulator array has
+    /// a const length (kept fully in registers).
+    macro_rules! dispatch_mr {
+        ($f:ident) => {
+            match mr {
+                1 => $f!(1),
+                2 => $f!(2),
+                3 => $f!(3),
+                4 => $f!(4),
+                5 => $f!(5),
+                6 => $f!(6),
+                7 => $f!(7),
+                _ => $f!(8),
+            }
+        };
+    }
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => {
+            macro_rules! k512 {
+                ($m:literal) => {
+                    // SAFETY: `isa()` verified avx512f; packing guarantees
+                    // the strip/panel lengths; the caller sizes `c`.
+                    unsafe { ukern_x86::avx512::<$m>(k, pa, pb, c, ldc, nv, accumulate) }
+                };
+            }
+            dispatch_mr!(k512)
+        }
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2Fma if nv == NR => {
+            macro_rules! k256 {
+                ($m:literal) => {
+                    // SAFETY: `isa()` verified avx2+fma; `nv == NR` here;
+                    // packing guarantees the strip/panel lengths.
+                    unsafe { ukern_x86::avx2::<$m>(k, pa, pb, c, ldc, accumulate) }
+                };
+            }
+            dispatch_mr!(k256)
+        }
+        _ => {
+            macro_rules! kport {
+                ($m:literal) => {
+                    microkernel::<$m>(k, pa, pb, c, ldc, nv, accumulate)
+                };
+            }
+            dispatch_mr!(kport)
+        }
+    }
+}
+
+/// Runs the packed microkernel over rows `r0..r1` of the output for one
+/// `kb×nb` block of `B` at `(p0, c0)` (`packed_b` holds that block's
+/// panels). `c` rows are full-width (`n` columns); only columns
+/// `c0..c0+nb` are touched.
+#[allow(clippy::too_many_arguments)] // flat kernel-internal plumbing
+fn run_rows(
+    a: &[f32],
+    a_layout: ALayout,
+    packed_b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    p0: usize,
+    kb: usize,
+    c0: usize,
+    nb: usize,
+    r0: usize,
+    r1: usize,
+    accumulate: bool,
+) {
+    let kernel_isa = isa();
+    let mut pa = vec![0.0f32; MR * kb.max(1)];
+    let mut i0 = r0;
+    while i0 < r1 {
+        let mr = MR.min(r1 - i0);
+        pack_a(a, a_layout, m, k, p0, kb, i0, mr, &mut pa[..kb * mr]);
+        let mut jp = 0;
+        let mut j0 = 0;
+        while j0 < nb {
+            let nv = NR.min(nb - j0);
+            let pb = &packed_b[jp * kb * NR..(jp + 1) * kb * NR];
+            let c_tile = &mut c[(i0 - r0) * n + c0 + j0..];
+            tile(kernel_isa, mr, kb, &pa[..kb * mr], pb, c_tile, n, nv, accumulate);
+            jp += 1;
+            j0 += NR;
+        }
+        i0 += mr;
+    }
+}
+
+/// Packed, blocked, threaded GEMM driver shared by every dense entry
+/// point. Threading splits `C` rows into contiguous per-worker ranges
+/// (each element is written by exactly one worker), so the result is
+/// bit-identical for every worker count.
+#[allow(clippy::too_many_arguments)] // flat kernel-internal plumbing
+fn gemm_driver(
+    a: &[f32],
+    a_layout: ALayout,
+    b: &[f32],
+    b_layout: BLayout,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+    threads: usize,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !accumulate {
+            c.fill(0.0);
+        }
+        return;
+    }
+    let macs = m as u128 * k as u128 * n as u128;
+    let blocks = m.div_ceil(MR);
+    let workers = threads.max(1).min(blocks);
+    let panels = NC.min(n).div_ceil(NR).max(1);
+    let mut packed_b = vec![0.0f32; panels * KC.min(k) * NR];
+    let mut c0 = 0;
+    while c0 < n {
+        let nb = NC.min(n - c0);
+        let mut p0 = 0;
+        while p0 < k {
+            let kb = KC.min(k - p0);
+            let np = nb.div_ceil(NR);
+            pack_b_chunk(b, b_layout, k, n, p0, kb, c0, nb, &mut packed_b[..np * kb * NR]);
+            // The first depth chunk overwrites `c` (unless the caller
+            // asked to accumulate); subsequent chunks always accumulate
+            // onto it. Column blocks are disjoint, so each element of
+            // `c` sees its depth chunks exactly once, in order.
+            let acc = accumulate || p0 > 0;
+            if workers <= 1 || macs < THREAD_MIN_MACS {
+                run_rows(a, a_layout, &packed_b, c, m, k, n, p0, kb, c0, nb, 0, m, acc);
+            } else {
+                // Split whole MR-blocks across workers so tiles never
+                // straddle two workers' row ranges.
+                let base = blocks / workers;
+                let extra = blocks % workers;
+                std::thread::scope(|scope| {
+                    let mut rest = &mut *c;
+                    let mut row = 0usize;
+                    let pb = &packed_b;
+                    for w in 0..workers {
+                        let nblocks = base + usize::from(w < extra);
+                        if nblocks == 0 {
+                            continue;
+                        }
+                        let r0 = row;
+                        let r1 = m.min(row + nblocks * MR);
+                        row = r1;
+                        let (mine, tail) = rest.split_at_mut((r1 - r0) * n);
+                        rest = tail;
+                        scope.spawn(move || {
+                            run_rows(
+                                a, a_layout, pb, mine, m, k, n, p0, kb, c0, nb, r0, r1, acc,
+                            );
+                        });
+                    }
+                });
+            }
+            p0 += kb;
+        }
+        c0 += nb;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
 /// `C = A·B` written into a caller-provided output buffer.
 ///
-/// Shapes: `A: [m, k]`, `B: [k, n]`, `out: [m, n]`.
+/// Shapes: `A: [m, k]`, `B: [k, n]`, `out: [m, n]`. The output is fully
+/// **overwritten** — it is never read and never needs pre-zeroing, so
+/// `Tensor::zeros` + `matmul_into` performs no redundant clear (the
+/// microkernel holds each tile's `k`-sum in registers and stores it
+/// once). Use [`matmul_into_acc`] to accumulate instead.
+///
+/// Threaded per [`crate::threads::worker_count`] (`MIME_THREADS`).
 ///
 /// # Errors
 ///
 /// Returns [`TensorError::ShapeMismatch`] / [`TensorError::RankMismatch`]
 /// on inconsistent operands.
 pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
+    matmul_into_with_threads(a, b, out, crate::threads::worker_count())
+}
+
+/// [`matmul_into`] with an explicit worker count (results are identical
+/// at every count; used by tests and benchmarks).
+///
+/// # Errors
+///
+/// Returns a shape/rank error when operands are not conforming matrices.
+pub fn matmul_into_with_threads(
+    a: &Tensor,
+    b: &Tensor,
+    out: &mut Tensor,
+    threads: usize,
+) -> Result<()> {
     let (m, k) = check_matrix(a, "matmul")?;
     let (k2, n) = check_matrix(b, "matmul")?;
     if k != k2 || out.dims() != [m, n] {
-        return Err(TensorError::ShapeMismatch {
-            lhs: a.dims().to_vec(),
-            rhs: b.dims().to_vec(),
-            op: "matmul",
-        });
+        return Err(shape_err(a, b, "matmul"));
+    }
+    gemm_driver(
+        a.as_slice(),
+        ALayout::Normal,
+        b.as_slice(),
+        BLayout::Normal,
+        out.as_mut_slice(),
+        m,
+        k,
+        n,
+        false,
+        threads,
+    );
+    Ok(())
+}
+
+/// `C += A·B` — the documented accumulate variant of [`matmul_into`],
+/// used where partial products must be summed into an existing buffer
+/// (e.g. weight gradients accumulated across batch chunks).
+///
+/// # Errors
+///
+/// Returns a shape/rank error when operands are not conforming matrices.
+pub fn matmul_into_acc(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
+    let (m, k) = check_matrix(a, "matmul")?;
+    let (k2, n) = check_matrix(b, "matmul")?;
+    if k != k2 || out.dims() != [m, n] {
+        return Err(shape_err(a, b, "matmul"));
+    }
+    gemm_driver(
+        a.as_slice(),
+        ALayout::Normal,
+        b.as_slice(),
+        BLayout::Normal,
+        out.as_mut_slice(),
+        m,
+        k,
+        n,
+        true,
+        crate::threads::worker_count(),
+    );
+    Ok(())
+}
+
+impl Tensor {
+    /// Matrix product `self · rhs`.
+    ///
+    /// Allocates the output and runs the fresh-output fast path of
+    /// [`matmul_into`] (the buffer is written exactly once; no redundant
+    /// zero-fill).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape/rank error when operands are not conforming
+    /// matrices.
+    ///
+    /// ```
+    /// # use mime_tensor::Tensor;
+    /// # fn main() -> Result<(), mime_tensor::TensorError> {
+    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+    /// let b = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2])?;
+    /// assert_eq!(a.matmul(&b)?.as_slice(), a.as_slice());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        let (m, _) = check_matrix(self, "matmul")?;
+        let (_, n) = check_matrix(rhs, "matmul")?;
+        let mut out = Tensor::zeros(&[m, n]);
+        matmul_into(self, rhs, &mut out)?;
+        Ok(out)
+    }
+}
+
+/// `C = Aᵀ·B` without materializing the transpose (folded into packing).
+///
+/// Shapes: `A: [k, m]`, `B: [k, n]` → `C: [m, n]`. Used by weight-gradient
+/// computations.
+///
+/// # Errors
+///
+/// Returns a shape/rank error when operands are not conforming matrices.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (_, m) = check_matrix(a, "matmul_tn")?;
+    let (_, n) = check_matrix(b, "matmul_tn")?;
+    let mut out = Tensor::zeros(&[m, n]);
+    matmul_tn_into(a, b, &mut out)?;
+    Ok(out)
+}
+
+/// [`matmul_tn`] into a caller-provided buffer (fully overwritten).
+///
+/// # Errors
+///
+/// Returns a shape/rank error when operands are not conforming matrices.
+pub fn matmul_tn_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
+    let (k, m) = check_matrix(a, "matmul_tn")?;
+    let (k2, n) = check_matrix(b, "matmul_tn")?;
+    if k != k2 || out.dims() != [m, n] {
+        return Err(shape_err(a, b, "matmul_tn"));
+    }
+    gemm_driver(
+        a.as_slice(),
+        ALayout::Trans,
+        b.as_slice(),
+        BLayout::Normal,
+        out.as_mut_slice(),
+        m,
+        k,
+        n,
+        false,
+        crate::threads::worker_count(),
+    );
+    Ok(())
+}
+
+/// `C = A·Bᵀ` without materializing the transpose (folded into packing).
+///
+/// Shapes: `A: [m, k]`, `B: [n, k]` → `C: [m, n]`. Used by input-gradient
+/// computations.
+///
+/// # Errors
+///
+/// Returns a shape/rank error when operands are not conforming matrices.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = check_matrix(a, "matmul_nt")?;
+    let (n, k2) = check_matrix(b, "matmul_nt")?;
+    if k != k2 {
+        return Err(shape_err(a, b, "matmul_nt"));
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    gemm_driver(
+        a.as_slice(),
+        ALayout::Normal,
+        b.as_slice(),
+        BLayout::Trans,
+        out.as_mut_slice(),
+        m,
+        k,
+        n,
+        false,
+        crate::threads::worker_count(),
+    );
+    Ok(out)
+}
+
+/// `C += A·Bᵀ` — accumulate variant of [`matmul_nt`], used for weight
+/// gradients summed across batch chunks.
+///
+/// # Errors
+///
+/// Returns a shape/rank error when operands are not conforming matrices.
+pub fn matmul_nt_into_acc(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
+    let (m, k) = check_matrix(a, "matmul_nt")?;
+    let (n, k2) = check_matrix(b, "matmul_nt")?;
+    if k != k2 || out.dims() != [m, n] {
+        return Err(shape_err(a, b, "matmul_nt"));
+    }
+    gemm_driver(
+        a.as_slice(),
+        ALayout::Normal,
+        b.as_slice(),
+        BLayout::Trans,
+        out.as_mut_slice(),
+        m,
+        k,
+        n,
+        true,
+        crate::threads::worker_count(),
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Sparse variant and scalar reference
+// ---------------------------------------------------------------------------
+
+/// `C = A·B` with **zero-skipping** over `A`: rows of `B` whose matching
+/// `A` element is exactly `0.0` are skipped entirely. This pays a branch
+/// per `A` element, which loses on dense operands but wins when `A` is a
+/// sparse masked activation matrix (MIME's thresholded layers regularly
+/// exceed 60 % zeros). Single-threaded; the output is overwritten.
+///
+/// This is the pre-rework kernel, split out so the dense training GEMMs
+/// ([`matmul_into`] and friends) no longer pay its branch.
+///
+/// # Errors
+///
+/// Returns a shape/rank error when operands are not conforming matrices.
+pub fn matmul_sparse_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
+    const BLOCK: usize = 64;
+    let (m, k) = check_matrix(a, "matmul")?;
+    let (k2, n) = check_matrix(b, "matmul")?;
+    if k != k2 || out.dims() != [m, n] {
+        return Err(shape_err(a, b, "matmul"));
     }
     let av = a.as_slice();
     let bv = b.as_slice();
@@ -60,103 +796,20 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
     Ok(())
 }
 
-impl Tensor {
-    /// Matrix product `self · rhs`.
-    ///
-    /// # Errors
-    ///
-    /// Returns a shape/rank error when operands are not conforming
-    /// matrices.
-    ///
-    /// ```
-    /// # use mime_tensor::Tensor;
-    /// # fn main() -> Result<(), mime_tensor::TensorError> {
-    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
-    /// let b = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2])?;
-    /// assert_eq!(a.matmul(&b)?.as_slice(), a.as_slice());
-    /// # Ok(())
-    /// # }
-    /// ```
-    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
-        let (m, _) = check_matrix(self, "matmul")?;
-        let (_, n) = check_matrix(rhs, "matmul")?;
-        let mut out = Tensor::zeros(&[m, n]);
-        matmul_into(self, rhs, &mut out)?;
-        Ok(out)
-    }
-}
-
-/// `C = Aᵀ·B` without materializing the transpose.
-///
-/// Shapes: `A: [k, m]`, `B: [k, n]` → `C: [m, n]`. Used by weight-gradient
-/// computations.
+/// The pre-rework scalar kernel, preserved verbatim as the committed
+/// benchmark baseline (`BENCH_kernels.json` speedups are measured
+/// against it) and as the reference the property tests compare the
+/// blocked/threaded path to. Allocates the output, like the old
+/// `Tensor::matmul` did — including its then-redundant zero-fill.
 ///
 /// # Errors
 ///
 /// Returns a shape/rank error when operands are not conforming matrices.
-pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    let (k, m) = check_matrix(a, "matmul_tn")?;
-    let (k2, n) = check_matrix(b, "matmul_tn")?;
-    if k != k2 {
-        return Err(TensorError::ShapeMismatch {
-            lhs: a.dims().to_vec(),
-            rhs: b.dims().to_vec(),
-            op: "matmul_tn",
-        });
-    }
-    let av = a.as_slice();
-    let bv = b.as_slice();
+pub fn matmul_scalar_ref(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, _) = check_matrix(a, "matmul")?;
+    let (_, n) = check_matrix(b, "matmul")?;
     let mut out = Tensor::zeros(&[m, n]);
-    let cv = out.as_mut_slice();
-    for p in 0..k {
-        let a_row = &av[p * m..(p + 1) * m];
-        let b_row = &bv[p * n..(p + 1) * n];
-        for (i, &aval) in a_row.iter().enumerate() {
-            if aval == 0.0 {
-                continue;
-            }
-            let c_row = &mut cv[i * n..(i + 1) * n];
-            for (c, &bv_) in c_row.iter_mut().zip(b_row) {
-                *c += aval * bv_;
-            }
-        }
-    }
-    Ok(out)
-}
-
-/// `C = A·Bᵀ` without materializing the transpose.
-///
-/// Shapes: `A: [m, k]`, `B: [n, k]` → `C: [m, n]`. Used by input-gradient
-/// computations.
-///
-/// # Errors
-///
-/// Returns a shape/rank error when operands are not conforming matrices.
-pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    let (m, k) = check_matrix(a, "matmul_nt")?;
-    let (n, k2) = check_matrix(b, "matmul_nt")?;
-    if k != k2 {
-        return Err(TensorError::ShapeMismatch {
-            lhs: a.dims().to_vec(),
-            rhs: b.dims().to_vec(),
-            op: "matmul_nt",
-        });
-    }
-    let av = a.as_slice();
-    let bv = b.as_slice();
-    let mut out = Tensor::zeros(&[m, n]);
-    let cv = out.as_mut_slice();
-    for i in 0..m {
-        let a_row = &av[i * k..(i + 1) * k];
-        for j in 0..n {
-            let b_row = &bv[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&x, &y) in a_row.iter().zip(b_row) {
-                acc += x * y;
-            }
-            cv[i * n + j] = acc;
-        }
-    }
+    matmul_sparse_into(a, b, &mut out)?;
     Ok(out)
 }
 
@@ -197,8 +850,16 @@ mod tests {
 
     #[test]
     fn matches_naive_on_awkward_sizes() {
-        // sizes straddling the 64-element block boundary
-        for &(m, k, n) in &[(1, 1, 1), (3, 70, 5), (65, 64, 66), (7, 129, 3)] {
+        // sizes straddling the MR/NR tile boundaries and the old 64 block
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 70, 5),
+            (65, 64, 66),
+            (7, 129, 3),
+            (6, 5, 16),
+            (13, 11, 17),
+            (12, 8, 32),
+        ] {
             let a = Tensor::from_fn(&[m, k], |i| ((i * 7919) % 13) as f32 - 6.0);
             let b = Tensor::from_fn(&[k, n], |i| ((i * 104729) % 11) as f32 - 5.0);
             let c = a.matmul(&b).unwrap();
@@ -207,6 +868,48 @@ mod tests {
                 assert!((x - y).abs() < 1e-3, "mismatch at {m}x{k}x{n}");
             }
         }
+    }
+
+    #[test]
+    fn thread_count_is_bit_identical() {
+        let (m, k, n) = (67, 43, 51);
+        let a = Tensor::from_fn(&[m, k], |i| ((i * 31) % 23) as f32 * 0.25 - 2.0);
+        let b = Tensor::from_fn(&[k, n], |i| ((i * 17) % 19) as f32 * 0.5 - 4.0);
+        let mut c1 = Tensor::zeros(&[m, n]);
+        let mut c4 = Tensor::zeros(&[m, n]);
+        let mut c64 = Tensor::zeros(&[m, n]);
+        matmul_into_with_threads(&a, &b, &mut c1, 1).unwrap();
+        matmul_into_with_threads(&a, &b, &mut c4, 4).unwrap();
+        matmul_into_with_threads(&a, &b, &mut c64, 64).unwrap();
+        assert_eq!(c1.as_slice(), c4.as_slice());
+        assert_eq!(c1.as_slice(), c64.as_slice());
+    }
+
+    #[test]
+    fn accumulate_adds_onto_existing_output() {
+        let a = Tensor::from_fn(&[5, 7], |i| (i % 5) as f32 - 2.0);
+        let b = Tensor::from_fn(&[7, 9], |i| (i % 3) as f32 - 1.0);
+        let mut acc = Tensor::full(&[5, 9], 1.5);
+        matmul_into_acc(&a, &b, &mut acc).unwrap();
+        let reference = naive(&a, &b);
+        for (x, y) in acc.as_slice().iter().zip(reference.as_slice()) {
+            assert!((x - (y + 1.5)).abs() < 1e-4, "{x} vs {}", y + 1.5);
+        }
+    }
+
+    #[test]
+    fn sparse_variant_matches_dense() {
+        let a =
+            Tensor::from_fn(&[9, 21], |i| if i % 3 == 0 { 0.0 } else { i as f32 * 0.1 });
+        let b = Tensor::from_fn(&[21, 14], |i| ((i * 13) % 7) as f32 - 3.0);
+        let mut sparse = Tensor::zeros(&[9, 14]);
+        matmul_sparse_into(&a, &b, &mut sparse).unwrap();
+        let dense = a.matmul(&b).unwrap();
+        for (x, y) in sparse.as_slice().iter().zip(dense.as_slice()) {
+            assert!((x - y).abs() < 1e-3);
+        }
+        let scalar = matmul_scalar_ref(&a, &b).unwrap();
+        assert_eq!(scalar.as_slice(), sparse.as_slice());
     }
 
     #[test]
@@ -229,6 +932,22 @@ mod tests {
     }
 
     #[test]
+    fn nt_accumulate_matches_two_products() {
+        let a1 = Tensor::from_fn(&[4, 6], |i| (i % 7) as f32 - 3.0);
+        let b1 = Tensor::from_fn(&[5, 6], |i| (i % 4) as f32 - 2.0);
+        let a2 = Tensor::from_fn(&[4, 6], |i| (i % 5) as f32 - 2.0);
+        let b2 = Tensor::from_fn(&[5, 6], |i| (i % 3) as f32 - 1.0);
+        let mut acc = Tensor::zeros(&[4, 5]);
+        matmul_nt_into_acc(&a1, &b1, &mut acc).unwrap();
+        matmul_nt_into_acc(&a2, &b2, &mut acc).unwrap();
+        let reference =
+            matmul_nt(&a1, &b1).unwrap().add(&matmul_nt(&a2, &b2).unwrap()).unwrap();
+        for (x, y) in acc.as_slice().iter().zip(reference.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
     fn shape_errors() {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[4, 5]);
@@ -236,5 +955,10 @@ mod tests {
         assert!(matmul_tn(&a, &b).is_err());
         assert!(matmul_nt(&a, &b).is_err());
         assert!(Tensor::zeros(&[3]).matmul(&a).is_err());
+        let mut out = Tensor::zeros(&[2, 5]);
+        assert!(matmul_into(&a, &b, &mut out).is_err());
+        assert!(matmul_into_acc(&a, &b, &mut out).is_err());
+        assert!(matmul_sparse_into(&a, &b, &mut out).is_err());
+        assert!(matmul_nt_into_acc(&a, &b, &mut out).is_err());
     }
 }

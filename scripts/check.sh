@@ -29,6 +29,13 @@ cargo build --release
 if [[ "$run_tests" == 1 ]]; then
     echo "==> cargo test --workspace"
     cargo test --workspace -q
+
+    # kernel-bench smoke: tiny shapes, asserts the threaded GEMM and
+    # parallel executor still match their references; writes only under
+    # target/ (the tracked BENCH_kernels.json is refreshed by
+    # scripts/bench.sh, not here)
+    echo "==> bench_kernels --smoke"
+    cargo run --release -p mime-bench --bin bench_kernels -- --smoke
 fi
 
 echo "==> all checks passed"

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_beta-a1235f15ccef0058.d: crates/bench/src/bin/ablation_beta.rs
+
+/root/repo/target/debug/deps/ablation_beta-a1235f15ccef0058: crates/bench/src/bin/ablation_beta.rs
+
+crates/bench/src/bin/ablation_beta.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_beta-d597e692fa1b61db.d: crates/bench/src/bin/ablation_beta.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_beta-d597e692fa1b61db.rmeta: crates/bench/src/bin/ablation_beta.rs Cargo.toml
+
+crates/bench/src/bin/ablation_beta.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_beta-f43b4f44ccb003f1.d: crates/bench/src/bin/ablation_beta.rs
+
+/root/repo/target/debug/deps/ablation_beta-f43b4f44ccb003f1: crates/bench/src/bin/ablation_beta.rs
+
+crates/bench/src/bin/ablation_beta.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_dataflow-196a1b9b5e2be84b.d: crates/bench/src/bin/ablation_dataflow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_dataflow-196a1b9b5e2be84b.rmeta: crates/bench/src/bin/ablation_dataflow.rs Cargo.toml
+
+crates/bench/src/bin/ablation_dataflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dataflow-2bfe3a199d95e5bf.d: crates/bench/src/bin/ablation_dataflow.rs
+
+/root/repo/target/debug/deps/ablation_dataflow-2bfe3a199d95e5bf: crates/bench/src/bin/ablation_dataflow.rs
+
+crates/bench/src/bin/ablation_dataflow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_dataflow-937ea925b1a650ca.d: crates/bench/src/bin/ablation_dataflow.rs
+
+/root/repo/target/debug/deps/ablation_dataflow-937ea925b1a650ca: crates/bench/src/bin/ablation_dataflow.rs
+
+crates/bench/src/bin/ablation_dataflow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_dataflow-d5bbcd1918c93ab6.d: crates/bench/src/bin/ablation_dataflow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_dataflow-d5bbcd1918c93ab6.rmeta: crates/bench/src/bin/ablation_dataflow.rs Cargo.toml
+
+crates/bench/src/bin/ablation_dataflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

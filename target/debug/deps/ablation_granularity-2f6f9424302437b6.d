@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_granularity-2f6f9424302437b6.d: crates/bench/src/bin/ablation_granularity.rs
+
+/root/repo/target/debug/deps/ablation_granularity-2f6f9424302437b6: crates/bench/src/bin/ablation_granularity.rs
+
+crates/bench/src/bin/ablation_granularity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_granularity-3135114325a34ee5.d: crates/bench/src/bin/ablation_granularity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_granularity-3135114325a34ee5.rmeta: crates/bench/src/bin/ablation_granularity.rs Cargo.toml
+
+crates/bench/src/bin/ablation_granularity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

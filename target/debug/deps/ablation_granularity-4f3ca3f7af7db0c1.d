@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_granularity-4f3ca3f7af7db0c1.d: crates/bench/src/bin/ablation_granularity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_granularity-4f3ca3f7af7db0c1.rmeta: crates/bench/src/bin/ablation_granularity.rs Cargo.toml
+
+crates/bench/src/bin/ablation_granularity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

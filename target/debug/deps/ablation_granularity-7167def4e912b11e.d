@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_granularity-7167def4e912b11e.d: crates/bench/src/bin/ablation_granularity.rs
+
+/root/repo/target/debug/deps/ablation_granularity-7167def4e912b11e: crates/bench/src/bin/ablation_granularity.rs
+
+crates/bench/src/bin/ablation_granularity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_precision-00c1a85a979ac612.d: crates/bench/src/bin/ablation_precision.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_precision-00c1a85a979ac612.rmeta: crates/bench/src/bin/ablation_precision.rs Cargo.toml
+
+crates/bench/src/bin/ablation_precision.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

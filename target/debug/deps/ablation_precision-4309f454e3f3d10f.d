@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_precision-4309f454e3f3d10f.d: crates/bench/src/bin/ablation_precision.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_precision-4309f454e3f3d10f.rmeta: crates/bench/src/bin/ablation_precision.rs Cargo.toml
+
+crates/bench/src/bin/ablation_precision.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

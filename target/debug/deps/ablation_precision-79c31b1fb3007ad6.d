@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_precision-79c31b1fb3007ad6.d: crates/bench/src/bin/ablation_precision.rs
+
+/root/repo/target/debug/deps/ablation_precision-79c31b1fb3007ad6: crates/bench/src/bin/ablation_precision.rs
+
+crates/bench/src/bin/ablation_precision.rs:

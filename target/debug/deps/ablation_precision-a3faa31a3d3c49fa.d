@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_precision-a3faa31a3d3c49fa.d: crates/bench/src/bin/ablation_precision.rs
+
+/root/repo/target/debug/deps/ablation_precision-a3faa31a3d3c49fa: crates/bench/src/bin/ablation_precision.rs
+
+crates/bench/src/bin/ablation_precision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attribution-36aaa9ad36677cc9.d: crates/bench/src/bin/attribution.rs
+
+/root/repo/target/debug/deps/attribution-36aaa9ad36677cc9: crates/bench/src/bin/attribution.rs
+
+crates/bench/src/bin/attribution.rs:

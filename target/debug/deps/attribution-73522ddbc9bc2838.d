@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/attribution-73522ddbc9bc2838.d: crates/bench/src/bin/attribution.rs
+
+/root/repo/target/debug/deps/attribution-73522ddbc9bc2838: crates/bench/src/bin/attribution.rs
+
+crates/bench/src/bin/attribution.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attribution-d8192d336cb92bb3.d: crates/bench/src/bin/attribution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattribution-d8192d336cb92bb3.rmeta: crates/bench/src/bin/attribution.rs Cargo.toml
+
+crates/bench/src/bin/attribution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attribution-ed40469db9c3e5ed.d: crates/bench/src/bin/attribution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattribution-ed40469db9c3e5ed.rmeta: crates/bench/src/bin/attribution.rs Cargo.toml
+
+crates/bench/src/bin/attribution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_kernels-2391388bc8696e5e.d: crates/bench/src/bin/bench_kernels.rs
+
+/root/repo/target/debug/deps/bench_kernels-2391388bc8696e5e: crates/bench/src/bin/bench_kernels.rs
+
+crates/bench/src/bin/bench_kernels.rs:

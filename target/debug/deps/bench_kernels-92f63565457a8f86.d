@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_kernels-92f63565457a8f86.d: crates/bench/src/bin/bench_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_kernels-92f63565457a8f86.rmeta: crates/bench/src/bin/bench_kernels.rs Cargo.toml
+
+crates/bench/src/bin/bench_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

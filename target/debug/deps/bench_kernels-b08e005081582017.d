@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_kernels-b08e005081582017.d: crates/bench/src/bin/bench_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_kernels-b08e005081582017.rmeta: crates/bench/src/bin/bench_kernels.rs Cargo.toml
+
+crates/bench/src/bin/bench_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_kernels-f2a1e4fe2d996542.d: crates/bench/src/bin/bench_kernels.rs
+
+/root/repo/target/debug/deps/bench_kernels-f2a1e4fe2d996542: crates/bench/src/bin/bench_kernels.rs
+
+crates/bench/src/bin/bench_kernels.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-997b56550e911d73.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-997b56550e911d73.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-997b56550e911d73.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

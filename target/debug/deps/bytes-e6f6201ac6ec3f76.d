@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-e6f6201ac6ec3f76.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-e6f6201ac6ec3f76.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-9ebe2ca439631be5.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-9ebe2ca439631be5: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_mime=/root/repo/target/debug/mime

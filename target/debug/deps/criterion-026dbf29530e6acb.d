@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-026dbf29530e6acb.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-026dbf29530e6acb.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-026dbf29530e6acb.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

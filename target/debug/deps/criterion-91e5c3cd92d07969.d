@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-91e5c3cd92d07969.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-91e5c3cd92d07969.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-4d35b43213b63208.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-4d35b43213b63208.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-4d35b43213b63208.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

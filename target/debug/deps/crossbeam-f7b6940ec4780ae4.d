@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-f7b6940ec4780ae4.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-f7b6940ec4780ae4.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/degradation-9c4aa3f2ce12d929.d: crates/runtime/tests/degradation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdegradation-9c4aa3f2ce12d929.rmeta: crates/runtime/tests/degradation.rs Cargo.toml
+
+crates/runtime/tests/degradation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

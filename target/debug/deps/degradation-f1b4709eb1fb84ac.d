@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/degradation-f1b4709eb1fb84ac.d: crates/runtime/tests/degradation.rs
+
+/root/repo/target/debug/deps/degradation-f1b4709eb1fb84ac: crates/runtime/tests/degradation.rs
+
+crates/runtime/tests/degradation.rs:

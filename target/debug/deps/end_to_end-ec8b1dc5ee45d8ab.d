@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ec8b1dc5ee45d8ab.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ec8b1dc5ee45d8ab: tests/end_to_end.rs
+
+tests/end_to_end.rs:

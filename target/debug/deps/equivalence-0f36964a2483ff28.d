@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence-0f36964a2483ff28.d: crates/runtime/tests/equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence-0f36964a2483ff28.rmeta: crates/runtime/tests/equivalence.rs Cargo.toml
+
+crates/runtime/tests/equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-83aec2e429ff5890.d: crates/runtime/tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-83aec2e429ff5890: crates/runtime/tests/equivalence.rs
+
+crates/runtime/tests/equivalence.rs:

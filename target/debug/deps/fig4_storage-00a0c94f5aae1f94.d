@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_storage-00a0c94f5aae1f94.d: crates/bench/src/bin/fig4_storage.rs
+
+/root/repo/target/debug/deps/fig4_storage-00a0c94f5aae1f94: crates/bench/src/bin/fig4_storage.rs
+
+crates/bench/src/bin/fig4_storage.rs:

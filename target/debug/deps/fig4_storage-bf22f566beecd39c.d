@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_storage-bf22f566beecd39c.d: crates/bench/src/bin/fig4_storage.rs
+
+/root/repo/target/debug/deps/fig4_storage-bf22f566beecd39c: crates/bench/src/bin/fig4_storage.rs
+
+crates/bench/src/bin/fig4_storage.rs:

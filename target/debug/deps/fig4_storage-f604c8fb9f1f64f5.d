@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_storage-f604c8fb9f1f64f5.d: crates/bench/src/bin/fig4_storage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_storage-f604c8fb9f1f64f5.rmeta: crates/bench/src/bin/fig4_storage.rs Cargo.toml
+
+crates/bench/src/bin/fig4_storage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

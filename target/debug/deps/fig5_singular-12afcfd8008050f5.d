@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_singular-12afcfd8008050f5.d: crates/bench/src/bin/fig5_singular.rs
+
+/root/repo/target/debug/deps/fig5_singular-12afcfd8008050f5: crates/bench/src/bin/fig5_singular.rs
+
+crates/bench/src/bin/fig5_singular.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_singular-1692f30a1d7a8e14.d: crates/bench/src/bin/fig5_singular.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_singular-1692f30a1d7a8e14.rmeta: crates/bench/src/bin/fig5_singular.rs Cargo.toml
+
+crates/bench/src/bin/fig5_singular.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_singular-2f312a590536713e.d: crates/bench/src/bin/fig5_singular.rs
+
+/root/repo/target/debug/deps/fig5_singular-2f312a590536713e: crates/bench/src/bin/fig5_singular.rs
+
+crates/bench/src/bin/fig5_singular.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_pipelined-0ca2354009c32951.d: crates/bench/src/bin/fig6_pipelined.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_pipelined-0ca2354009c32951.rmeta: crates/bench/src/bin/fig6_pipelined.rs Cargo.toml
+
+crates/bench/src/bin/fig6_pipelined.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_pipelined-c656bd52c6fbd4f3.d: crates/bench/src/bin/fig6_pipelined.rs
+
+/root/repo/target/debug/deps/fig6_pipelined-c656bd52c6fbd4f3: crates/bench/src/bin/fig6_pipelined.rs
+
+crates/bench/src/bin/fig6_pipelined.rs:

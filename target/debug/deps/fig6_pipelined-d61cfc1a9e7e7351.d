@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_pipelined-d61cfc1a9e7e7351.d: crates/bench/src/bin/fig6_pipelined.rs
+
+/root/repo/target/debug/deps/fig6_pipelined-d61cfc1a9e7e7351: crates/bench/src/bin/fig6_pipelined.rs
+
+crates/bench/src/bin/fig6_pipelined.rs:

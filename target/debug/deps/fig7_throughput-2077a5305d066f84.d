@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_throughput-2077a5305d066f84.d: crates/bench/src/bin/fig7_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_throughput-2077a5305d066f84.rmeta: crates/bench/src/bin/fig7_throughput.rs Cargo.toml
+
+crates/bench/src/bin/fig7_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

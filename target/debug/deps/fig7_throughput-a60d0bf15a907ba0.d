@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_throughput-a60d0bf15a907ba0.d: crates/bench/src/bin/fig7_throughput.rs
+
+/root/repo/target/debug/deps/fig7_throughput-a60d0bf15a907ba0: crates/bench/src/bin/fig7_throughput.rs
+
+crates/bench/src/bin/fig7_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_throughput-cd49c1083924030b.d: crates/bench/src/bin/fig7_throughput.rs
+
+/root/repo/target/debug/deps/fig7_throughput-cd49c1083924030b: crates/bench/src/bin/fig7_throughput.rs
+
+crates/bench/src/bin/fig7_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_pruned-1eb0473aa675d690.d: crates/bench/src/bin/fig8_pruned.rs
+
+/root/repo/target/debug/deps/fig8_pruned-1eb0473aa675d690: crates/bench/src/bin/fig8_pruned.rs
+
+crates/bench/src/bin/fig8_pruned.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_pruned-5f9cddff9ad0e2ff.d: crates/bench/src/bin/fig8_pruned.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_pruned-5f9cddff9ad0e2ff.rmeta: crates/bench/src/bin/fig8_pruned.rs Cargo.toml
+
+crates/bench/src/bin/fig8_pruned.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

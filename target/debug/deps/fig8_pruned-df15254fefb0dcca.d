@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_pruned-df15254fefb0dcca.d: crates/bench/src/bin/fig8_pruned.rs
+
+/root/repo/target/debug/deps/fig8_pruned-df15254fefb0dcca: crates/bench/src/bin/fig8_pruned.rs
+
+crates/bench/src/bin/fig8_pruned.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_ablation-4c3a516c9891262d.d: crates/bench/src/bin/fig9_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_ablation-4c3a516c9891262d.rmeta: crates/bench/src/bin/fig9_ablation.rs Cargo.toml
+
+crates/bench/src/bin/fig9_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_ablation-6064c63dfb862458.d: crates/bench/src/bin/fig9_ablation.rs
+
+/root/repo/target/debug/deps/fig9_ablation-6064c63dfb862458: crates/bench/src/bin/fig9_ablation.rs
+
+crates/bench/src/bin/fig9_ablation.rs:

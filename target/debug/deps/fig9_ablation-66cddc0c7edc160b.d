@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_ablation-66cddc0c7edc160b.d: crates/bench/src/bin/fig9_ablation.rs
+
+/root/repo/target/debug/deps/fig9_ablation-66cddc0c7edc160b: crates/bench/src/bin/fig9_ablation.rs
+
+crates/bench/src/bin/fig9_ablation.rs:

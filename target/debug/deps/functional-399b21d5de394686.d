@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/functional-399b21d5de394686.d: crates/bench/benches/functional.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfunctional-399b21d5de394686.rmeta: crates/bench/benches/functional.rs Cargo.toml
+
+crates/bench/benches/functional.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

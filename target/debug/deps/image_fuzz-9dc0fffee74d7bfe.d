@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/image_fuzz-9dc0fffee74d7bfe.d: crates/core/tests/image_fuzz.rs
+
+/root/repo/target/debug/deps/image_fuzz-9dc0fffee74d7bfe: crates/core/tests/image_fuzz.rs
+
+crates/core/tests/image_fuzz.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/image_fuzz-af6e1428f0eed7cd.d: crates/core/tests/image_fuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libimage_fuzz-af6e1428f0eed7cd.rmeta: crates/core/tests/image_fuzz.rs Cargo.toml
+
+crates/core/tests/image_fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

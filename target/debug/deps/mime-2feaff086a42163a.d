@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mime-2feaff086a42163a.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/mime-2feaff086a42163a: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mime-3308d82c9450daf5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmime-3308d82c9450daf5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmime-3308d82c9450daf5.rmeta: src/lib.rs
+
+src/lib.rs:

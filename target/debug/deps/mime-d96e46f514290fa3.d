@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mime-d96e46f514290fa3.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/mime-d96e46f514290fa3: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mime-e191ca19a0f6f3f6.d: src/lib.rs
+
+/root/repo/target/debug/deps/mime-e191ca19a0f6f3f6: src/lib.rs
+
+src/lib.rs:

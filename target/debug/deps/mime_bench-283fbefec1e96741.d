@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mime_bench-283fbefec1e96741.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmime_bench-283fbefec1e96741.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmime_bench-283fbefec1e96741.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

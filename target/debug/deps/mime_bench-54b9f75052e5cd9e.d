@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mime_bench-54b9f75052e5cd9e.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmime_bench-54b9f75052e5cd9e.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

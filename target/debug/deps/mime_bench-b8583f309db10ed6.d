@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mime_bench-b8583f309db10ed6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mime_bench-b8583f309db10ed6: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

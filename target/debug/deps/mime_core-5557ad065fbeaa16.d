@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mime_core-5557ad065fbeaa16.d: crates/core/src/lib.rs crates/core/src/calibrate.rs crates/core/src/deploy.rs crates/core/src/error.rs crates/core/src/faults.rs crates/core/src/multitask.rs crates/core/src/network.rs crates/core/src/params.rs crates/core/src/sparsity.rs crates/core/src/stats.rs crates/core/src/threshold.rs crates/core/src/trainer.rs
+
+/root/repo/target/debug/deps/mime_core-5557ad065fbeaa16: crates/core/src/lib.rs crates/core/src/calibrate.rs crates/core/src/deploy.rs crates/core/src/error.rs crates/core/src/faults.rs crates/core/src/multitask.rs crates/core/src/network.rs crates/core/src/params.rs crates/core/src/sparsity.rs crates/core/src/stats.rs crates/core/src/threshold.rs crates/core/src/trainer.rs
+
+crates/core/src/lib.rs:
+crates/core/src/calibrate.rs:
+crates/core/src/deploy.rs:
+crates/core/src/error.rs:
+crates/core/src/faults.rs:
+crates/core/src/multitask.rs:
+crates/core/src/network.rs:
+crates/core/src/params.rs:
+crates/core/src/sparsity.rs:
+crates/core/src/stats.rs:
+crates/core/src/threshold.rs:
+crates/core/src/trainer.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/mime_core-b41549de06b5c980.d: crates/core/src/lib.rs crates/core/src/calibrate.rs crates/core/src/deploy.rs crates/core/src/error.rs crates/core/src/faults.rs crates/core/src/multitask.rs crates/core/src/network.rs crates/core/src/params.rs crates/core/src/sparsity.rs crates/core/src/stats.rs crates/core/src/threshold.rs crates/core/src/trainer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmime_core-b41549de06b5c980.rmeta: crates/core/src/lib.rs crates/core/src/calibrate.rs crates/core/src/deploy.rs crates/core/src/error.rs crates/core/src/faults.rs crates/core/src/multitask.rs crates/core/src/network.rs crates/core/src/params.rs crates/core/src/sparsity.rs crates/core/src/stats.rs crates/core/src/threshold.rs crates/core/src/trainer.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/calibrate.rs:
+crates/core/src/deploy.rs:
+crates/core/src/error.rs:
+crates/core/src/faults.rs:
+crates/core/src/multitask.rs:
+crates/core/src/network.rs:
+crates/core/src/params.rs:
+crates/core/src/sparsity.rs:
+crates/core/src/stats.rs:
+crates/core/src/threshold.rs:
+crates/core/src/trainer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mime_datasets-45088c1dabd9c882.d: crates/datasets/src/lib.rs crates/datasets/src/augment.rs crates/datasets/src/batch.rs crates/datasets/src/family.rs crates/datasets/src/spec.rs
+
+/root/repo/target/debug/deps/mime_datasets-45088c1dabd9c882: crates/datasets/src/lib.rs crates/datasets/src/augment.rs crates/datasets/src/batch.rs crates/datasets/src/family.rs crates/datasets/src/spec.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/augment.rs:
+crates/datasets/src/batch.rs:
+crates/datasets/src/family.rs:
+crates/datasets/src/spec.rs:

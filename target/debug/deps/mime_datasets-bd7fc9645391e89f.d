@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mime_datasets-bd7fc9645391e89f.d: crates/datasets/src/lib.rs crates/datasets/src/augment.rs crates/datasets/src/batch.rs crates/datasets/src/family.rs crates/datasets/src/spec.rs
+
+/root/repo/target/debug/deps/libmime_datasets-bd7fc9645391e89f.rlib: crates/datasets/src/lib.rs crates/datasets/src/augment.rs crates/datasets/src/batch.rs crates/datasets/src/family.rs crates/datasets/src/spec.rs
+
+/root/repo/target/debug/deps/libmime_datasets-bd7fc9645391e89f.rmeta: crates/datasets/src/lib.rs crates/datasets/src/augment.rs crates/datasets/src/batch.rs crates/datasets/src/family.rs crates/datasets/src/spec.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/augment.rs:
+crates/datasets/src/batch.rs:
+crates/datasets/src/family.rs:
+crates/datasets/src/spec.rs:

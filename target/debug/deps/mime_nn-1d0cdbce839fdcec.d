@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/mime_nn-1d0cdbce839fdcec.d: crates/nn/src/lib.rs crates/nn/src/activations.rs crates/nn/src/conv_layer.rs crates/nn/src/layer.rs crates/nn/src/linear_layer.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/parallel.rs crates/nn/src/pool_layer.rs crates/nn/src/pruning.rs crates/nn/src/quant.rs crates/nn/src/schedule.rs crates/nn/src/sequential.rs crates/nn/src/train.rs crates/nn/src/vgg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmime_nn-1d0cdbce839fdcec.rmeta: crates/nn/src/lib.rs crates/nn/src/activations.rs crates/nn/src/conv_layer.rs crates/nn/src/layer.rs crates/nn/src/linear_layer.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/parallel.rs crates/nn/src/pool_layer.rs crates/nn/src/pruning.rs crates/nn/src/quant.rs crates/nn/src/schedule.rs crates/nn/src/sequential.rs crates/nn/src/train.rs crates/nn/src/vgg.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/activations.rs:
+crates/nn/src/conv_layer.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/linear_layer.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/parallel.rs:
+crates/nn/src/pool_layer.rs:
+crates/nn/src/pruning.rs:
+crates/nn/src/quant.rs:
+crates/nn/src/schedule.rs:
+crates/nn/src/sequential.rs:
+crates/nn/src/train.rs:
+crates/nn/src/vgg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/mime_nn-8dec8fa4ec4a6993.d: crates/nn/src/lib.rs crates/nn/src/activations.rs crates/nn/src/conv_layer.rs crates/nn/src/layer.rs crates/nn/src/linear_layer.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/parallel.rs crates/nn/src/pool_layer.rs crates/nn/src/pruning.rs crates/nn/src/quant.rs crates/nn/src/schedule.rs crates/nn/src/sequential.rs crates/nn/src/train.rs crates/nn/src/vgg.rs
+
+/root/repo/target/debug/deps/mime_nn-8dec8fa4ec4a6993: crates/nn/src/lib.rs crates/nn/src/activations.rs crates/nn/src/conv_layer.rs crates/nn/src/layer.rs crates/nn/src/linear_layer.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/parallel.rs crates/nn/src/pool_layer.rs crates/nn/src/pruning.rs crates/nn/src/quant.rs crates/nn/src/schedule.rs crates/nn/src/sequential.rs crates/nn/src/train.rs crates/nn/src/vgg.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/activations.rs:
+crates/nn/src/conv_layer.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/linear_layer.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/parallel.rs:
+crates/nn/src/pool_layer.rs:
+crates/nn/src/pruning.rs:
+crates/nn/src/quant.rs:
+crates/nn/src/schedule.rs:
+crates/nn/src/sequential.rs:
+crates/nn/src/train.rs:
+crates/nn/src/vgg.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mime_runtime-0cb841c10b4b4529.d: crates/runtime/src/lib.rs crates/runtime/src/bind.rs crates/runtime/src/executor.rs
+
+/root/repo/target/debug/deps/libmime_runtime-0cb841c10b4b4529.rlib: crates/runtime/src/lib.rs crates/runtime/src/bind.rs crates/runtime/src/executor.rs
+
+/root/repo/target/debug/deps/libmime_runtime-0cb841c10b4b4529.rmeta: crates/runtime/src/lib.rs crates/runtime/src/bind.rs crates/runtime/src/executor.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/bind.rs:
+crates/runtime/src/executor.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mime_runtime-42faab765243e94d.d: crates/runtime/src/lib.rs crates/runtime/src/bind.rs crates/runtime/src/executor.rs
+
+/root/repo/target/debug/deps/mime_runtime-42faab765243e94d: crates/runtime/src/lib.rs crates/runtime/src/bind.rs crates/runtime/src/executor.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/bind.rs:
+crates/runtime/src/executor.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mime_runtime-f020829e877c05ca.d: crates/runtime/src/lib.rs crates/runtime/src/bind.rs crates/runtime/src/executor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmime_runtime-f020829e877c05ca.rmeta: crates/runtime/src/lib.rs crates/runtime/src/bind.rs crates/runtime/src/executor.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/bind.rs:
+crates/runtime/src/executor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

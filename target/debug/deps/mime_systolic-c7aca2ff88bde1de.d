@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mime_systolic-c7aca2ff88bde1de.d: crates/systolic/src/lib.rs crates/systolic/src/config.rs crates/systolic/src/dataflow.rs crates/systolic/src/energy.rs crates/systolic/src/functional.rs crates/systolic/src/geometry.rs crates/systolic/src/mapper.rs crates/systolic/src/profiles.rs crates/systolic/src/report.rs crates/systolic/src/sim.rs crates/systolic/src/storage.rs crates/systolic/src/sweep.rs crates/systolic/src/throughput.rs
+
+/root/repo/target/debug/deps/mime_systolic-c7aca2ff88bde1de: crates/systolic/src/lib.rs crates/systolic/src/config.rs crates/systolic/src/dataflow.rs crates/systolic/src/energy.rs crates/systolic/src/functional.rs crates/systolic/src/geometry.rs crates/systolic/src/mapper.rs crates/systolic/src/profiles.rs crates/systolic/src/report.rs crates/systolic/src/sim.rs crates/systolic/src/storage.rs crates/systolic/src/sweep.rs crates/systolic/src/throughput.rs
+
+crates/systolic/src/lib.rs:
+crates/systolic/src/config.rs:
+crates/systolic/src/dataflow.rs:
+crates/systolic/src/energy.rs:
+crates/systolic/src/functional.rs:
+crates/systolic/src/geometry.rs:
+crates/systolic/src/mapper.rs:
+crates/systolic/src/profiles.rs:
+crates/systolic/src/report.rs:
+crates/systolic/src/sim.rs:
+crates/systolic/src/storage.rs:
+crates/systolic/src/sweep.rs:
+crates/systolic/src/throughput.rs:

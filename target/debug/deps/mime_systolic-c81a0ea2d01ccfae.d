@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/mime_systolic-c81a0ea2d01ccfae.d: crates/systolic/src/lib.rs crates/systolic/src/config.rs crates/systolic/src/dataflow.rs crates/systolic/src/energy.rs crates/systolic/src/functional.rs crates/systolic/src/geometry.rs crates/systolic/src/mapper.rs crates/systolic/src/profiles.rs crates/systolic/src/report.rs crates/systolic/src/sim.rs crates/systolic/src/storage.rs crates/systolic/src/sweep.rs crates/systolic/src/throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmime_systolic-c81a0ea2d01ccfae.rmeta: crates/systolic/src/lib.rs crates/systolic/src/config.rs crates/systolic/src/dataflow.rs crates/systolic/src/energy.rs crates/systolic/src/functional.rs crates/systolic/src/geometry.rs crates/systolic/src/mapper.rs crates/systolic/src/profiles.rs crates/systolic/src/report.rs crates/systolic/src/sim.rs crates/systolic/src/storage.rs crates/systolic/src/sweep.rs crates/systolic/src/throughput.rs Cargo.toml
+
+crates/systolic/src/lib.rs:
+crates/systolic/src/config.rs:
+crates/systolic/src/dataflow.rs:
+crates/systolic/src/energy.rs:
+crates/systolic/src/functional.rs:
+crates/systolic/src/geometry.rs:
+crates/systolic/src/mapper.rs:
+crates/systolic/src/profiles.rs:
+crates/systolic/src/report.rs:
+crates/systolic/src/sim.rs:
+crates/systolic/src/storage.rs:
+crates/systolic/src/sweep.rs:
+crates/systolic/src/throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

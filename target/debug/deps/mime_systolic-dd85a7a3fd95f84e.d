@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/mime_systolic-dd85a7a3fd95f84e.d: crates/systolic/src/lib.rs crates/systolic/src/config.rs crates/systolic/src/dataflow.rs crates/systolic/src/energy.rs crates/systolic/src/functional.rs crates/systolic/src/geometry.rs crates/systolic/src/mapper.rs crates/systolic/src/profiles.rs crates/systolic/src/report.rs crates/systolic/src/sim.rs crates/systolic/src/storage.rs crates/systolic/src/sweep.rs crates/systolic/src/throughput.rs
+
+/root/repo/target/debug/deps/libmime_systolic-dd85a7a3fd95f84e.rlib: crates/systolic/src/lib.rs crates/systolic/src/config.rs crates/systolic/src/dataflow.rs crates/systolic/src/energy.rs crates/systolic/src/functional.rs crates/systolic/src/geometry.rs crates/systolic/src/mapper.rs crates/systolic/src/profiles.rs crates/systolic/src/report.rs crates/systolic/src/sim.rs crates/systolic/src/storage.rs crates/systolic/src/sweep.rs crates/systolic/src/throughput.rs
+
+/root/repo/target/debug/deps/libmime_systolic-dd85a7a3fd95f84e.rmeta: crates/systolic/src/lib.rs crates/systolic/src/config.rs crates/systolic/src/dataflow.rs crates/systolic/src/energy.rs crates/systolic/src/functional.rs crates/systolic/src/geometry.rs crates/systolic/src/mapper.rs crates/systolic/src/profiles.rs crates/systolic/src/report.rs crates/systolic/src/sim.rs crates/systolic/src/storage.rs crates/systolic/src/sweep.rs crates/systolic/src/throughput.rs
+
+crates/systolic/src/lib.rs:
+crates/systolic/src/config.rs:
+crates/systolic/src/dataflow.rs:
+crates/systolic/src/energy.rs:
+crates/systolic/src/functional.rs:
+crates/systolic/src/geometry.rs:
+crates/systolic/src/mapper.rs:
+crates/systolic/src/profiles.rs:
+crates/systolic/src/report.rs:
+crates/systolic/src/sim.rs:
+crates/systolic/src/storage.rs:
+crates/systolic/src/sweep.rs:
+crates/systolic/src/throughput.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/mime_tensor-1db33401ef073570.d: crates/tensor/src/lib.rs crates/tensor/src/cat.rs crates/tensor/src/conv.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/matmul.rs crates/tensor/src/ops.rs crates/tensor/src/pool.rs crates/tensor/src/reduce.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/threads.rs
+
+/root/repo/target/debug/deps/libmime_tensor-1db33401ef073570.rlib: crates/tensor/src/lib.rs crates/tensor/src/cat.rs crates/tensor/src/conv.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/matmul.rs crates/tensor/src/ops.rs crates/tensor/src/pool.rs crates/tensor/src/reduce.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/threads.rs
+
+/root/repo/target/debug/deps/libmime_tensor-1db33401ef073570.rmeta: crates/tensor/src/lib.rs crates/tensor/src/cat.rs crates/tensor/src/conv.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/matmul.rs crates/tensor/src/ops.rs crates/tensor/src/pool.rs crates/tensor/src/reduce.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/threads.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/cat.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/reduce.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:
+crates/tensor/src/threads.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mime_tensor-900652b15578615c.d: crates/tensor/src/lib.rs crates/tensor/src/cat.rs crates/tensor/src/conv.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/matmul.rs crates/tensor/src/ops.rs crates/tensor/src/pool.rs crates/tensor/src/reduce.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/threads.rs
+
+/root/repo/target/debug/deps/mime_tensor-900652b15578615c: crates/tensor/src/lib.rs crates/tensor/src/cat.rs crates/tensor/src/conv.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/matmul.rs crates/tensor/src/ops.rs crates/tensor/src/pool.rs crates/tensor/src/reduce.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/threads.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/cat.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/reduce.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:
+crates/tensor/src/threads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multitask_lifecycle-47c40b7c98a596e6.d: tests/multitask_lifecycle.rs
+
+/root/repo/target/debug/deps/multitask_lifecycle-47c40b7c98a596e6: tests/multitask_lifecycle.rs
+
+tests/multitask_lifecycle.rs:

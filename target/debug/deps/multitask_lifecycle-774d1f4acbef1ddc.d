@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multitask_lifecycle-774d1f4acbef1ddc.d: tests/multitask_lifecycle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultitask_lifecycle-774d1f4acbef1ddc.rmeta: tests/multitask_lifecycle.rs Cargo.toml
+
+tests/multitask_lifecycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-83481fff6d9b28e4.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-83481fff6d9b28e4.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-47e6d5beedf7d4f7.d: crates/systolic/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-47e6d5beedf7d4f7.rmeta: crates/systolic/tests/properties.rs Cargo.toml
+
+crates/systolic/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-52bee49b489a5b54.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-52bee49b489a5b54: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5e828ce6d6e6a3e7.d: crates/tensor/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5e828ce6d6e6a3e7: crates/tensor/tests/properties.rs
+
+crates/tensor/tests/properties.rs:

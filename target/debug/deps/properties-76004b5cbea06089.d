@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-76004b5cbea06089.d: crates/datasets/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-76004b5cbea06089: crates/datasets/tests/properties.rs
+
+crates/datasets/tests/properties.rs:

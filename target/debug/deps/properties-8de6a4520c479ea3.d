@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-8de6a4520c479ea3.d: crates/tensor/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-8de6a4520c479ea3.rmeta: crates/tensor/tests/properties.rs Cargo.toml
+
+crates/tensor/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d010c161be789d7c.d: crates/systolic/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d010c161be789d7c: crates/systolic/tests/properties.rs
+
+crates/systolic/tests/properties.rs:

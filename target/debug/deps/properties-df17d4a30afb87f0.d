@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-df17d4a30afb87f0.d: crates/nn/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-df17d4a30afb87f0: crates/nn/tests/properties.rs
+
+crates/nn/tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-759b71d845ffa5d6.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-759b71d845ffa5d6.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-759b71d845ffa5d6.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-ef79a68740012be7.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-ef79a68740012be7.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

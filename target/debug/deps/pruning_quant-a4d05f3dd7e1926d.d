@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pruning_quant-a4d05f3dd7e1926d.d: crates/nn/tests/pruning_quant.rs
+
+/root/repo/target/debug/deps/pruning_quant-a4d05f3dd7e1926d: crates/nn/tests/pruning_quant.rs
+
+crates/nn/tests/pruning_quant.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pruning_quant-efec948691ca670e.d: crates/nn/tests/pruning_quant.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpruning_quant-efec948691ca670e.rmeta: crates/nn/tests/pruning_quant.rs Cargo.toml
+
+crates/nn/tests/pruning_quant.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quantization-b50eef3e7ad1dbec.d: tests/quantization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquantization-b50eef3e7ad1dbec.rmeta: tests/quantization.rs Cargo.toml
+
+tests/quantization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

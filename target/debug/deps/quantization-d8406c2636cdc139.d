@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quantization-d8406c2636cdc139.d: tests/quantization.rs
+
+/root/repo/target/debug/deps/quantization-d8406c2636cdc139: tests/quantization.rs
+
+tests/quantization.rs:

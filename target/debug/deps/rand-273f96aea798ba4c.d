@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-273f96aea798ba4c.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-273f96aea798ba4c.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-273f96aea798ba4c.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

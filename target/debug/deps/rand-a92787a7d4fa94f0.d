@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-a92787a7d4fa94f0.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-a92787a7d4fa94f0.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

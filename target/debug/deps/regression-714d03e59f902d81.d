@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regression-714d03e59f902d81.d: crates/bench/tests/regression.rs
+
+/root/repo/target/debug/deps/regression-714d03e59f902d81: crates/bench/tests/regression.rs
+
+crates/bench/tests/regression.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/regression-aa05b062b4f82d79.d: crates/bench/tests/regression.rs Cargo.toml
+
+/root/repo/target/debug/deps/libregression-aa05b062b4f82d79.rmeta: crates/bench/tests/regression.rs Cargo.toml
+
+crates/bench/tests/regression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-bc2618a0a930ad90.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-bc2618a0a930ad90.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-c326b4c37161d9da.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-c326b4c37161d9da.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-c326b4c37161d9da.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

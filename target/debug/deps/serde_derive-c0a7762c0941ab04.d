@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-c0a7762c0941ab04.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-c0a7762c0941ab04.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_scaling-011ef5eb806d9acd.d: crates/bench/src/bin/sweep_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_scaling-011ef5eb806d9acd.rmeta: crates/bench/src/bin/sweep_scaling.rs Cargo.toml
+
+crates/bench/src/bin/sweep_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_scaling-7c26ba30ee1b3b79.d: crates/bench/src/bin/sweep_scaling.rs
+
+/root/repo/target/debug/deps/sweep_scaling-7c26ba30ee1b3b79: crates/bench/src/bin/sweep_scaling.rs
+
+crates/bench/src/bin/sweep_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_scaling-d8b7f22075e78085.d: crates/bench/src/bin/sweep_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_scaling-d8b7f22075e78085.rmeta: crates/bench/src/bin/sweep_scaling.rs Cargo.toml
+
+crates/bench/src/bin/sweep_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_scaling-e0e780d85ee418b1.d: crates/bench/src/bin/sweep_scaling.rs
+
+/root/repo/target/debug/deps/sweep_scaling-e0e780d85ee418b1: crates/bench/src/bin/sweep_scaling.rs
+
+crates/bench/src/bin/sweep_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_related-329f3b5baafdc1fb.d: crates/bench/src/bin/table1_related.rs
+
+/root/repo/target/debug/deps/table1_related-329f3b5baafdc1fb: crates/bench/src/bin/table1_related.rs
+
+crates/bench/src/bin/table1_related.rs:

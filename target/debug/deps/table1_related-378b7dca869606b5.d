@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_related-378b7dca869606b5.d: crates/bench/src/bin/table1_related.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_related-378b7dca869606b5.rmeta: crates/bench/src/bin/table1_related.rs Cargo.toml
+
+crates/bench/src/bin/table1_related.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

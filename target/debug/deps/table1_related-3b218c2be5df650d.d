@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_related-3b218c2be5df650d.d: crates/bench/src/bin/table1_related.rs
+
+/root/repo/target/debug/deps/table1_related-3b218c2be5df650d: crates/bench/src/bin/table1_related.rs
+
+crates/bench/src/bin/table1_related.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-51a2c247e2f82bf2.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-51a2c247e2f82bf2: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-9ed9be7ca88a51ca.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-9ed9be7ca88a51ca: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

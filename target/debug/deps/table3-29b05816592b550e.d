@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-29b05816592b550e.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-29b05816592b550e: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

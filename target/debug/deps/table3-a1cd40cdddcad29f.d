@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-a1cd40cdddcad29f.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-a1cd40cdddcad29f: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

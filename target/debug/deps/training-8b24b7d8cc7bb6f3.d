@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/training-8b24b7d8cc7bb6f3.d: crates/bench/benches/training.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraining-8b24b7d8cc7bb6f3.rmeta: crates/bench/benches/training.rs Cargo.toml
+
+crates/bench/benches/training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

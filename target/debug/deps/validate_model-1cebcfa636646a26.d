@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validate_model-1cebcfa636646a26.d: crates/bench/src/bin/validate_model.rs
+
+/root/repo/target/debug/deps/validate_model-1cebcfa636646a26: crates/bench/src/bin/validate_model.rs
+
+crates/bench/src/bin/validate_model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/validate_model-4a80fabec8b7a559.d: crates/bench/src/bin/validate_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalidate_model-4a80fabec8b7a559.rmeta: crates/bench/src/bin/validate_model.rs Cargo.toml
+
+crates/bench/src/bin/validate_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validate_model-ebc3ce1c1094bd86.d: crates/bench/src/bin/validate_model.rs
+
+/root/repo/target/debug/deps/validate_model-ebc3ce1c1094bd86: crates/bench/src/bin/validate_model.rs
+
+crates/bench/src/bin/validate_model.rs:

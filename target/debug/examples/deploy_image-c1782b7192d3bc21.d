@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/deploy_image-c1782b7192d3bc21.d: examples/deploy_image.rs
+
+/root/repo/target/debug/examples/deploy_image-c1782b7192d3bc21: examples/deploy_image.rs
+
+examples/deploy_image.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/deploy_image-facb168cc579d9b8.d: examples/deploy_image.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdeploy_image-facb168cc579d9b8.rmeta: examples/deploy_image.rs Cargo.toml
+
+examples/deploy_image.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

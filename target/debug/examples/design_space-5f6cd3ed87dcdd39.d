@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-5f6cd3ed87dcdd39.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-5f6cd3ed87dcdd39: examples/design_space.rs
+
+examples/design_space.rs:

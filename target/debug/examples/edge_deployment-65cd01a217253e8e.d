@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/edge_deployment-65cd01a217253e8e.d: examples/edge_deployment.rs
+
+/root/repo/target/debug/examples/edge_deployment-65cd01a217253e8e: examples/edge_deployment.rs
+
+examples/edge_deployment.rs:

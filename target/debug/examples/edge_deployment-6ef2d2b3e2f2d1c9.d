@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/edge_deployment-6ef2d2b3e2f2d1c9.d: examples/edge_deployment.rs Cargo.toml
+
+/root/repo/target/debug/examples/libedge_deployment-6ef2d2b3e2f2d1c9.rmeta: examples/edge_deployment.rs Cargo.toml
+
+examples/edge_deployment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

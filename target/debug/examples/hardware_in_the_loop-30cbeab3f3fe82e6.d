@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hardware_in_the_loop-30cbeab3f3fe82e6.d: examples/hardware_in_the_loop.rs
+
+/root/repo/target/debug/examples/hardware_in_the_loop-30cbeab3f3fe82e6: examples/hardware_in_the_loop.rs
+
+examples/hardware_in_the_loop.rs:

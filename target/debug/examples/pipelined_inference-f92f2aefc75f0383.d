@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipelined_inference-f92f2aefc75f0383.d: examples/pipelined_inference.rs
+
+/root/repo/target/debug/examples/pipelined_inference-f92f2aefc75f0383: examples/pipelined_inference.rs
+
+examples/pipelined_inference.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pipelined_inference-fb71e258209849f4.d: examples/pipelined_inference.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpipelined_inference-fb71e258209849f4.rmeta: examples/pipelined_inference.rs Cargo.toml
+
+examples/pipelined_inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

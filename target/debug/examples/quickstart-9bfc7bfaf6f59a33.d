@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9bfc7bfaf6f59a33.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9bfc7bfaf6f59a33: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/prepr-baseline/release/deps/bench_kernels-6c522fb0b832d8b1.d: crates/bench/src/bin/bench_kernels.rs
+
+/root/repo/target/prepr-baseline/release/deps/bench_kernels-6c522fb0b832d8b1: crates/bench/src/bin/bench_kernels.rs
+
+crates/bench/src/bin/bench_kernels.rs:

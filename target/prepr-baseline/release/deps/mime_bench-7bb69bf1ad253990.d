@@ -1,0 +1,7 @@
+/root/repo/target/prepr-baseline/release/deps/mime_bench-7bb69bf1ad253990.d: crates/bench/src/lib.rs
+
+/root/repo/target/prepr-baseline/release/deps/libmime_bench-7bb69bf1ad253990.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/prepr-baseline/release/deps/libmime_bench-7bb69bf1ad253990.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/prepr-baseline/release/deps/mime_datasets-2bd035d2fd0d95a7.d: crates/datasets/src/lib.rs crates/datasets/src/augment.rs crates/datasets/src/batch.rs crates/datasets/src/family.rs crates/datasets/src/spec.rs
+
+/root/repo/target/prepr-baseline/release/deps/libmime_datasets-2bd035d2fd0d95a7.rlib: crates/datasets/src/lib.rs crates/datasets/src/augment.rs crates/datasets/src/batch.rs crates/datasets/src/family.rs crates/datasets/src/spec.rs
+
+/root/repo/target/prepr-baseline/release/deps/libmime_datasets-2bd035d2fd0d95a7.rmeta: crates/datasets/src/lib.rs crates/datasets/src/augment.rs crates/datasets/src/batch.rs crates/datasets/src/family.rs crates/datasets/src/spec.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/augment.rs:
+crates/datasets/src/batch.rs:
+crates/datasets/src/family.rs:
+crates/datasets/src/spec.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/prepr-baseline/release/deps/mime_nn-85d8550b6829872a.d: crates/nn/src/lib.rs crates/nn/src/activations.rs crates/nn/src/conv_layer.rs crates/nn/src/layer.rs crates/nn/src/linear_layer.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/parallel.rs crates/nn/src/pool_layer.rs crates/nn/src/pruning.rs crates/nn/src/quant.rs crates/nn/src/schedule.rs crates/nn/src/sequential.rs crates/nn/src/train.rs crates/nn/src/vgg.rs
+
+/root/repo/target/prepr-baseline/release/deps/libmime_nn-85d8550b6829872a.rlib: crates/nn/src/lib.rs crates/nn/src/activations.rs crates/nn/src/conv_layer.rs crates/nn/src/layer.rs crates/nn/src/linear_layer.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/parallel.rs crates/nn/src/pool_layer.rs crates/nn/src/pruning.rs crates/nn/src/quant.rs crates/nn/src/schedule.rs crates/nn/src/sequential.rs crates/nn/src/train.rs crates/nn/src/vgg.rs
+
+/root/repo/target/prepr-baseline/release/deps/libmime_nn-85d8550b6829872a.rmeta: crates/nn/src/lib.rs crates/nn/src/activations.rs crates/nn/src/conv_layer.rs crates/nn/src/layer.rs crates/nn/src/linear_layer.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/parallel.rs crates/nn/src/pool_layer.rs crates/nn/src/pruning.rs crates/nn/src/quant.rs crates/nn/src/schedule.rs crates/nn/src/sequential.rs crates/nn/src/train.rs crates/nn/src/vgg.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/activations.rs:
+crates/nn/src/conv_layer.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/linear_layer.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/parallel.rs:
+crates/nn/src/pool_layer.rs:
+crates/nn/src/pruning.rs:
+crates/nn/src/quant.rs:
+crates/nn/src/schedule.rs:
+crates/nn/src/sequential.rs:
+crates/nn/src/train.rs:
+crates/nn/src/vgg.rs:

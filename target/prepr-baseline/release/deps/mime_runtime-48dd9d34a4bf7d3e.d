@@ -1,0 +1,9 @@
+/root/repo/target/prepr-baseline/release/deps/mime_runtime-48dd9d34a4bf7d3e.d: crates/runtime/src/lib.rs crates/runtime/src/bind.rs crates/runtime/src/executor.rs
+
+/root/repo/target/prepr-baseline/release/deps/libmime_runtime-48dd9d34a4bf7d3e.rlib: crates/runtime/src/lib.rs crates/runtime/src/bind.rs crates/runtime/src/executor.rs
+
+/root/repo/target/prepr-baseline/release/deps/libmime_runtime-48dd9d34a4bf7d3e.rmeta: crates/runtime/src/lib.rs crates/runtime/src/bind.rs crates/runtime/src/executor.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/bind.rs:
+crates/runtime/src/executor.rs:

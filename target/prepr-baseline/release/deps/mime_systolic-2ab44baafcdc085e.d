@@ -1,0 +1,19 @@
+/root/repo/target/prepr-baseline/release/deps/mime_systolic-2ab44baafcdc085e.d: crates/systolic/src/lib.rs crates/systolic/src/config.rs crates/systolic/src/dataflow.rs crates/systolic/src/energy.rs crates/systolic/src/functional.rs crates/systolic/src/geometry.rs crates/systolic/src/mapper.rs crates/systolic/src/profiles.rs crates/systolic/src/report.rs crates/systolic/src/sim.rs crates/systolic/src/storage.rs crates/systolic/src/sweep.rs crates/systolic/src/throughput.rs
+
+/root/repo/target/prepr-baseline/release/deps/libmime_systolic-2ab44baafcdc085e.rlib: crates/systolic/src/lib.rs crates/systolic/src/config.rs crates/systolic/src/dataflow.rs crates/systolic/src/energy.rs crates/systolic/src/functional.rs crates/systolic/src/geometry.rs crates/systolic/src/mapper.rs crates/systolic/src/profiles.rs crates/systolic/src/report.rs crates/systolic/src/sim.rs crates/systolic/src/storage.rs crates/systolic/src/sweep.rs crates/systolic/src/throughput.rs
+
+/root/repo/target/prepr-baseline/release/deps/libmime_systolic-2ab44baafcdc085e.rmeta: crates/systolic/src/lib.rs crates/systolic/src/config.rs crates/systolic/src/dataflow.rs crates/systolic/src/energy.rs crates/systolic/src/functional.rs crates/systolic/src/geometry.rs crates/systolic/src/mapper.rs crates/systolic/src/profiles.rs crates/systolic/src/report.rs crates/systolic/src/sim.rs crates/systolic/src/storage.rs crates/systolic/src/sweep.rs crates/systolic/src/throughput.rs
+
+crates/systolic/src/lib.rs:
+crates/systolic/src/config.rs:
+crates/systolic/src/dataflow.rs:
+crates/systolic/src/energy.rs:
+crates/systolic/src/functional.rs:
+crates/systolic/src/geometry.rs:
+crates/systolic/src/mapper.rs:
+crates/systolic/src/profiles.rs:
+crates/systolic/src/report.rs:
+crates/systolic/src/sim.rs:
+crates/systolic/src/storage.rs:
+crates/systolic/src/sweep.rs:
+crates/systolic/src/throughput.rs:

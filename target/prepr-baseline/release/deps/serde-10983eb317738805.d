@@ -1,0 +1,7 @@
+/root/repo/target/prepr-baseline/release/deps/serde-10983eb317738805.d: vendor/serde/src/lib.rs
+
+/root/repo/target/prepr-baseline/release/deps/libserde-10983eb317738805.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/prepr-baseline/release/deps/libserde-10983eb317738805.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

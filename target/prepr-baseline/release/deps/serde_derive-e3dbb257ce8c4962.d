@@ -1,0 +1,5 @@
+/root/repo/target/prepr-baseline/release/deps/serde_derive-e3dbb257ce8c4962.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/prepr-baseline/release/deps/libserde_derive-e3dbb257ce8c4962.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

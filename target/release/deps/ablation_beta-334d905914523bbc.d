@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_beta-334d905914523bbc.d: crates/bench/src/bin/ablation_beta.rs
+
+/root/repo/target/release/deps/ablation_beta-334d905914523bbc: crates/bench/src/bin/ablation_beta.rs
+
+crates/bench/src/bin/ablation_beta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_beta-c1804d8b4e179135.d: crates/bench/src/bin/ablation_beta.rs
+
+/root/repo/target/release/deps/ablation_beta-c1804d8b4e179135: crates/bench/src/bin/ablation_beta.rs
+
+crates/bench/src/bin/ablation_beta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_dataflow-895da398e82aadd7.d: crates/bench/src/bin/ablation_dataflow.rs
+
+/root/repo/target/release/deps/ablation_dataflow-895da398e82aadd7: crates/bench/src/bin/ablation_dataflow.rs
+
+crates/bench/src/bin/ablation_dataflow.rs:

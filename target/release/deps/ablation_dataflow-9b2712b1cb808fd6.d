@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_dataflow-9b2712b1cb808fd6.d: crates/bench/src/bin/ablation_dataflow.rs
+
+/root/repo/target/release/deps/ablation_dataflow-9b2712b1cb808fd6: crates/bench/src/bin/ablation_dataflow.rs
+
+crates/bench/src/bin/ablation_dataflow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_granularity-37a5f426add95c22.d: crates/bench/src/bin/ablation_granularity.rs
+
+/root/repo/target/release/deps/ablation_granularity-37a5f426add95c22: crates/bench/src/bin/ablation_granularity.rs
+
+crates/bench/src/bin/ablation_granularity.rs:

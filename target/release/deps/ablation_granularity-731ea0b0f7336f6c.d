@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_granularity-731ea0b0f7336f6c.d: crates/bench/src/bin/ablation_granularity.rs
+
+/root/repo/target/release/deps/ablation_granularity-731ea0b0f7336f6c: crates/bench/src/bin/ablation_granularity.rs
+
+crates/bench/src/bin/ablation_granularity.rs:

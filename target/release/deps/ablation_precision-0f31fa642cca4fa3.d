@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_precision-0f31fa642cca4fa3.d: crates/bench/src/bin/ablation_precision.rs
+
+/root/repo/target/release/deps/ablation_precision-0f31fa642cca4fa3: crates/bench/src/bin/ablation_precision.rs
+
+crates/bench/src/bin/ablation_precision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_precision-98497c6125d3389e.d: crates/bench/src/bin/ablation_precision.rs
+
+/root/repo/target/release/deps/ablation_precision-98497c6125d3389e: crates/bench/src/bin/ablation_precision.rs
+
+crates/bench/src/bin/ablation_precision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/attribution-376b21cbce3753f3.d: crates/bench/src/bin/attribution.rs
+
+/root/repo/target/release/deps/attribution-376b21cbce3753f3: crates/bench/src/bin/attribution.rs
+
+crates/bench/src/bin/attribution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/attribution-6ad622e1093a76e2.d: crates/bench/src/bin/attribution.rs
+
+/root/repo/target/release/deps/attribution-6ad622e1093a76e2: crates/bench/src/bin/attribution.rs
+
+crates/bench/src/bin/attribution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_kernels-2c72eda774598d83.d: crates/bench/src/bin/bench_kernels.rs
+
+/root/repo/target/release/deps/bench_kernels-2c72eda774598d83: crates/bench/src/bin/bench_kernels.rs
+
+crates/bench/src/bin/bench_kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_kernels-dd468273ad0cb065.d: crates/bench/src/bin/bench_kernels.rs
+
+/root/repo/target/release/deps/bench_kernels-dd468273ad0cb065: crates/bench/src/bin/bench_kernels.rs
+
+crates/bench/src/bin/bench_kernels.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-20a0a0f8e442f001.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-20a0a0f8e442f001.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-20a0a0f8e442f001.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

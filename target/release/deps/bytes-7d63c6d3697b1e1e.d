@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-7d63c6d3697b1e1e.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-7d63c6d3697b1e1e.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-7d63c6d3697b1e1e.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli-ecac774e2f2a292d.d: crates/cli/tests/cli.rs
+
+/root/repo/target/release/deps/cli-ecac774e2f2a292d: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_mime=/root/repo/target/release/mime

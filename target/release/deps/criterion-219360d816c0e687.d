@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-219360d816c0e687.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-219360d816c0e687.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-219360d816c0e687.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-925e9fcd84c2fcc1.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-925e9fcd84c2fcc1.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-925e9fcd84c2fcc1.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-950727755d8ffe24.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-950727755d8ffe24.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-950727755d8ffe24.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

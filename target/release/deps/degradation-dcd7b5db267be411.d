@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/degradation-dcd7b5db267be411.d: crates/runtime/tests/degradation.rs
+
+/root/repo/target/release/deps/degradation-dcd7b5db267be411: crates/runtime/tests/degradation.rs
+
+crates/runtime/tests/degradation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-9e60cdf098b4437b.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-9e60cdf098b4437b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

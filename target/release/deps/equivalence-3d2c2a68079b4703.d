@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/equivalence-3d2c2a68079b4703.d: crates/runtime/tests/equivalence.rs
+
+/root/repo/target/release/deps/equivalence-3d2c2a68079b4703: crates/runtime/tests/equivalence.rs
+
+crates/runtime/tests/equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_storage-2c439906c95281d1.d: crates/bench/src/bin/fig4_storage.rs
+
+/root/repo/target/release/deps/fig4_storage-2c439906c95281d1: crates/bench/src/bin/fig4_storage.rs
+
+crates/bench/src/bin/fig4_storage.rs:

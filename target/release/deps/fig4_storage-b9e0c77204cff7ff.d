@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_storage-b9e0c77204cff7ff.d: crates/bench/src/bin/fig4_storage.rs
+
+/root/repo/target/release/deps/fig4_storage-b9e0c77204cff7ff: crates/bench/src/bin/fig4_storage.rs
+
+crates/bench/src/bin/fig4_storage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_singular-3adb01a2b35d787f.d: crates/bench/src/bin/fig5_singular.rs
+
+/root/repo/target/release/deps/fig5_singular-3adb01a2b35d787f: crates/bench/src/bin/fig5_singular.rs
+
+crates/bench/src/bin/fig5_singular.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_singular-f4f0b4f0971d65a9.d: crates/bench/src/bin/fig5_singular.rs
+
+/root/repo/target/release/deps/fig5_singular-f4f0b4f0971d65a9: crates/bench/src/bin/fig5_singular.rs
+
+crates/bench/src/bin/fig5_singular.rs:

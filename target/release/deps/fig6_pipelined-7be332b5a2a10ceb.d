@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_pipelined-7be332b5a2a10ceb.d: crates/bench/src/bin/fig6_pipelined.rs
+
+/root/repo/target/release/deps/fig6_pipelined-7be332b5a2a10ceb: crates/bench/src/bin/fig6_pipelined.rs
+
+crates/bench/src/bin/fig6_pipelined.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_pipelined-d5b2af9b0dc7808a.d: crates/bench/src/bin/fig6_pipelined.rs
+
+/root/repo/target/release/deps/fig6_pipelined-d5b2af9b0dc7808a: crates/bench/src/bin/fig6_pipelined.rs
+
+crates/bench/src/bin/fig6_pipelined.rs:

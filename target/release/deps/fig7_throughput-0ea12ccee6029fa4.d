@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_throughput-0ea12ccee6029fa4.d: crates/bench/src/bin/fig7_throughput.rs
+
+/root/repo/target/release/deps/fig7_throughput-0ea12ccee6029fa4: crates/bench/src/bin/fig7_throughput.rs
+
+crates/bench/src/bin/fig7_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_throughput-d73acfeedaa7c2eb.d: crates/bench/src/bin/fig7_throughput.rs
+
+/root/repo/target/release/deps/fig7_throughput-d73acfeedaa7c2eb: crates/bench/src/bin/fig7_throughput.rs
+
+crates/bench/src/bin/fig7_throughput.rs:

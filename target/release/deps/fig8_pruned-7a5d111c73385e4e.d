@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_pruned-7a5d111c73385e4e.d: crates/bench/src/bin/fig8_pruned.rs
+
+/root/repo/target/release/deps/fig8_pruned-7a5d111c73385e4e: crates/bench/src/bin/fig8_pruned.rs
+
+crates/bench/src/bin/fig8_pruned.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_pruned-818391b012de1ae4.d: crates/bench/src/bin/fig8_pruned.rs
+
+/root/repo/target/release/deps/fig8_pruned-818391b012de1ae4: crates/bench/src/bin/fig8_pruned.rs
+
+crates/bench/src/bin/fig8_pruned.rs:

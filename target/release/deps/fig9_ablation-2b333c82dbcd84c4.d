@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_ablation-2b333c82dbcd84c4.d: crates/bench/src/bin/fig9_ablation.rs
+
+/root/repo/target/release/deps/fig9_ablation-2b333c82dbcd84c4: crates/bench/src/bin/fig9_ablation.rs
+
+crates/bench/src/bin/fig9_ablation.rs:

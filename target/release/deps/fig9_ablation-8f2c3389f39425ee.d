@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_ablation-8f2c3389f39425ee.d: crates/bench/src/bin/fig9_ablation.rs
+
+/root/repo/target/release/deps/fig9_ablation-8f2c3389f39425ee: crates/bench/src/bin/fig9_ablation.rs
+
+crates/bench/src/bin/fig9_ablation.rs:

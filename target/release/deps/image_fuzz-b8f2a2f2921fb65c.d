@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/image_fuzz-b8f2a2f2921fb65c.d: crates/core/tests/image_fuzz.rs
+
+/root/repo/target/release/deps/image_fuzz-b8f2a2f2921fb65c: crates/core/tests/image_fuzz.rs
+
+crates/core/tests/image_fuzz.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mime-04238049325e536a.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/mime-04238049325e536a: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

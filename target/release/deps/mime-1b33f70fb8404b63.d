@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mime-1b33f70fb8404b63.d: src/lib.rs
+
+/root/repo/target/release/deps/libmime-1b33f70fb8404b63.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmime-1b33f70fb8404b63.rmeta: src/lib.rs
+
+src/lib.rs:

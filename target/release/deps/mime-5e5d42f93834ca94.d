@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mime-5e5d42f93834ca94.d: src/lib.rs
+
+/root/repo/target/release/deps/mime-5e5d42f93834ca94: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mime-aaf3dc0c7ae27190.d: src/lib.rs
+
+/root/repo/target/release/deps/libmime-aaf3dc0c7ae27190.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmime-aaf3dc0c7ae27190.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mime-d78a32a34fa2dd55.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/mime-d78a32a34fa2dd55: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mime-e8e1b6aef9a86fe4.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/mime-e8e1b6aef9a86fe4: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

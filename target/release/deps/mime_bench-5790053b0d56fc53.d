@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mime_bench-5790053b0d56fc53.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmime_bench-5790053b0d56fc53.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmime_bench-5790053b0d56fc53.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

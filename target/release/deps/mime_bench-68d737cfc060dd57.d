@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mime_bench-68d737cfc060dd57.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/mime_bench-68d737cfc060dd57: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

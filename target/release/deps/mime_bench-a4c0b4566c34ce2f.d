@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mime_bench-a4c0b4566c34ce2f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmime_bench-a4c0b4566c34ce2f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmime_bench-a4c0b4566c34ce2f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

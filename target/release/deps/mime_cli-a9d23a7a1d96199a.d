@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mime_cli-a9d23a7a1d96199a.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/mime_cli-a9d23a7a1d96199a: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

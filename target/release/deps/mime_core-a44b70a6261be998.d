@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/mime_core-a44b70a6261be998.d: crates/core/src/lib.rs crates/core/src/calibrate.rs crates/core/src/deploy.rs crates/core/src/error.rs crates/core/src/faults.rs crates/core/src/multitask.rs crates/core/src/network.rs crates/core/src/params.rs crates/core/src/sparsity.rs crates/core/src/stats.rs crates/core/src/threshold.rs crates/core/src/trainer.rs
+
+/root/repo/target/release/deps/libmime_core-a44b70a6261be998.rlib: crates/core/src/lib.rs crates/core/src/calibrate.rs crates/core/src/deploy.rs crates/core/src/error.rs crates/core/src/faults.rs crates/core/src/multitask.rs crates/core/src/network.rs crates/core/src/params.rs crates/core/src/sparsity.rs crates/core/src/stats.rs crates/core/src/threshold.rs crates/core/src/trainer.rs
+
+/root/repo/target/release/deps/libmime_core-a44b70a6261be998.rmeta: crates/core/src/lib.rs crates/core/src/calibrate.rs crates/core/src/deploy.rs crates/core/src/error.rs crates/core/src/faults.rs crates/core/src/multitask.rs crates/core/src/network.rs crates/core/src/params.rs crates/core/src/sparsity.rs crates/core/src/stats.rs crates/core/src/threshold.rs crates/core/src/trainer.rs
+
+crates/core/src/lib.rs:
+crates/core/src/calibrate.rs:
+crates/core/src/deploy.rs:
+crates/core/src/error.rs:
+crates/core/src/faults.rs:
+crates/core/src/multitask.rs:
+crates/core/src/network.rs:
+crates/core/src/params.rs:
+crates/core/src/sparsity.rs:
+crates/core/src/stats.rs:
+crates/core/src/threshold.rs:
+crates/core/src/trainer.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mime_datasets-1ea28c9602c30324.d: crates/datasets/src/lib.rs crates/datasets/src/augment.rs crates/datasets/src/batch.rs crates/datasets/src/family.rs crates/datasets/src/spec.rs
+
+/root/repo/target/release/deps/libmime_datasets-1ea28c9602c30324.rlib: crates/datasets/src/lib.rs crates/datasets/src/augment.rs crates/datasets/src/batch.rs crates/datasets/src/family.rs crates/datasets/src/spec.rs
+
+/root/repo/target/release/deps/libmime_datasets-1ea28c9602c30324.rmeta: crates/datasets/src/lib.rs crates/datasets/src/augment.rs crates/datasets/src/batch.rs crates/datasets/src/family.rs crates/datasets/src/spec.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/augment.rs:
+crates/datasets/src/batch.rs:
+crates/datasets/src/family.rs:
+crates/datasets/src/spec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mime_datasets-2a220a57c4c923ab.d: crates/datasets/src/lib.rs crates/datasets/src/augment.rs crates/datasets/src/batch.rs crates/datasets/src/family.rs crates/datasets/src/spec.rs
+
+/root/repo/target/release/deps/mime_datasets-2a220a57c4c923ab: crates/datasets/src/lib.rs crates/datasets/src/augment.rs crates/datasets/src/batch.rs crates/datasets/src/family.rs crates/datasets/src/spec.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/augment.rs:
+crates/datasets/src/batch.rs:
+crates/datasets/src/family.rs:
+crates/datasets/src/spec.rs:

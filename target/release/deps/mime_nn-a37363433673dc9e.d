@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/mime_nn-a37363433673dc9e.d: crates/nn/src/lib.rs crates/nn/src/activations.rs crates/nn/src/conv_layer.rs crates/nn/src/layer.rs crates/nn/src/linear_layer.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/parallel.rs crates/nn/src/pool_layer.rs crates/nn/src/pruning.rs crates/nn/src/quant.rs crates/nn/src/schedule.rs crates/nn/src/sequential.rs crates/nn/src/train.rs crates/nn/src/vgg.rs
+
+/root/repo/target/release/deps/libmime_nn-a37363433673dc9e.rlib: crates/nn/src/lib.rs crates/nn/src/activations.rs crates/nn/src/conv_layer.rs crates/nn/src/layer.rs crates/nn/src/linear_layer.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/parallel.rs crates/nn/src/pool_layer.rs crates/nn/src/pruning.rs crates/nn/src/quant.rs crates/nn/src/schedule.rs crates/nn/src/sequential.rs crates/nn/src/train.rs crates/nn/src/vgg.rs
+
+/root/repo/target/release/deps/libmime_nn-a37363433673dc9e.rmeta: crates/nn/src/lib.rs crates/nn/src/activations.rs crates/nn/src/conv_layer.rs crates/nn/src/layer.rs crates/nn/src/linear_layer.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/parallel.rs crates/nn/src/pool_layer.rs crates/nn/src/pruning.rs crates/nn/src/quant.rs crates/nn/src/schedule.rs crates/nn/src/sequential.rs crates/nn/src/train.rs crates/nn/src/vgg.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/activations.rs:
+crates/nn/src/conv_layer.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/linear_layer.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/parallel.rs:
+crates/nn/src/pool_layer.rs:
+crates/nn/src/pruning.rs:
+crates/nn/src/quant.rs:
+crates/nn/src/schedule.rs:
+crates/nn/src/sequential.rs:
+crates/nn/src/train.rs:
+crates/nn/src/vgg.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mime_runtime-1e62745f7ae35631.d: crates/runtime/src/lib.rs crates/runtime/src/bind.rs crates/runtime/src/executor.rs
+
+/root/repo/target/release/deps/libmime_runtime-1e62745f7ae35631.rlib: crates/runtime/src/lib.rs crates/runtime/src/bind.rs crates/runtime/src/executor.rs
+
+/root/repo/target/release/deps/libmime_runtime-1e62745f7ae35631.rmeta: crates/runtime/src/lib.rs crates/runtime/src/bind.rs crates/runtime/src/executor.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/bind.rs:
+crates/runtime/src/executor.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mime_runtime-29ba7fd710e1cbac.d: crates/runtime/src/lib.rs crates/runtime/src/bind.rs crates/runtime/src/executor.rs
+
+/root/repo/target/release/deps/mime_runtime-29ba7fd710e1cbac: crates/runtime/src/lib.rs crates/runtime/src/bind.rs crates/runtime/src/executor.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/bind.rs:
+crates/runtime/src/executor.rs:

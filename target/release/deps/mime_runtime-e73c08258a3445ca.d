@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mime_runtime-e73c08258a3445ca.d: crates/runtime/src/lib.rs crates/runtime/src/bind.rs crates/runtime/src/executor.rs
+
+/root/repo/target/release/deps/libmime_runtime-e73c08258a3445ca.rlib: crates/runtime/src/lib.rs crates/runtime/src/bind.rs crates/runtime/src/executor.rs
+
+/root/repo/target/release/deps/libmime_runtime-e73c08258a3445ca.rmeta: crates/runtime/src/lib.rs crates/runtime/src/bind.rs crates/runtime/src/executor.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/bind.rs:
+crates/runtime/src/executor.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/mime_systolic-5448de28ee115169.d: crates/systolic/src/lib.rs crates/systolic/src/config.rs crates/systolic/src/dataflow.rs crates/systolic/src/energy.rs crates/systolic/src/functional.rs crates/systolic/src/geometry.rs crates/systolic/src/mapper.rs crates/systolic/src/profiles.rs crates/systolic/src/report.rs crates/systolic/src/sim.rs crates/systolic/src/storage.rs crates/systolic/src/sweep.rs crates/systolic/src/throughput.rs
+
+/root/repo/target/release/deps/libmime_systolic-5448de28ee115169.rlib: crates/systolic/src/lib.rs crates/systolic/src/config.rs crates/systolic/src/dataflow.rs crates/systolic/src/energy.rs crates/systolic/src/functional.rs crates/systolic/src/geometry.rs crates/systolic/src/mapper.rs crates/systolic/src/profiles.rs crates/systolic/src/report.rs crates/systolic/src/sim.rs crates/systolic/src/storage.rs crates/systolic/src/sweep.rs crates/systolic/src/throughput.rs
+
+/root/repo/target/release/deps/libmime_systolic-5448de28ee115169.rmeta: crates/systolic/src/lib.rs crates/systolic/src/config.rs crates/systolic/src/dataflow.rs crates/systolic/src/energy.rs crates/systolic/src/functional.rs crates/systolic/src/geometry.rs crates/systolic/src/mapper.rs crates/systolic/src/profiles.rs crates/systolic/src/report.rs crates/systolic/src/sim.rs crates/systolic/src/storage.rs crates/systolic/src/sweep.rs crates/systolic/src/throughput.rs
+
+crates/systolic/src/lib.rs:
+crates/systolic/src/config.rs:
+crates/systolic/src/dataflow.rs:
+crates/systolic/src/energy.rs:
+crates/systolic/src/functional.rs:
+crates/systolic/src/geometry.rs:
+crates/systolic/src/mapper.rs:
+crates/systolic/src/profiles.rs:
+crates/systolic/src/report.rs:
+crates/systolic/src/sim.rs:
+crates/systolic/src/storage.rs:
+crates/systolic/src/sweep.rs:
+crates/systolic/src/throughput.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/mime_tensor-59245cc556539204.d: crates/tensor/src/lib.rs crates/tensor/src/cat.rs crates/tensor/src/conv.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/matmul.rs crates/tensor/src/ops.rs crates/tensor/src/pool.rs crates/tensor/src/reduce.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/threads.rs
+
+/root/repo/target/release/deps/libmime_tensor-59245cc556539204.rlib: crates/tensor/src/lib.rs crates/tensor/src/cat.rs crates/tensor/src/conv.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/matmul.rs crates/tensor/src/ops.rs crates/tensor/src/pool.rs crates/tensor/src/reduce.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/threads.rs
+
+/root/repo/target/release/deps/libmime_tensor-59245cc556539204.rmeta: crates/tensor/src/lib.rs crates/tensor/src/cat.rs crates/tensor/src/conv.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/matmul.rs crates/tensor/src/ops.rs crates/tensor/src/pool.rs crates/tensor/src/reduce.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/threads.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/cat.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/reduce.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:
+crates/tensor/src/threads.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/mime_tensor-b8b42037ec64c68b.d: crates/tensor/src/lib.rs crates/tensor/src/cat.rs crates/tensor/src/conv.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/matmul.rs crates/tensor/src/ops.rs crates/tensor/src/pool.rs crates/tensor/src/reduce.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/threads.rs
+
+/root/repo/target/release/deps/mime_tensor-b8b42037ec64c68b: crates/tensor/src/lib.rs crates/tensor/src/cat.rs crates/tensor/src/conv.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/matmul.rs crates/tensor/src/ops.rs crates/tensor/src/pool.rs crates/tensor/src/reduce.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/threads.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/cat.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/reduce.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:
+crates/tensor/src/threads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multitask_lifecycle-e8d1fc8d2659c841.d: tests/multitask_lifecycle.rs
+
+/root/repo/target/release/deps/multitask_lifecycle-e8d1fc8d2659c841: tests/multitask_lifecycle.rs
+
+tests/multitask_lifecycle.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-5705bc856e39f123.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-5705bc856e39f123.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-5705bc856e39f123.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

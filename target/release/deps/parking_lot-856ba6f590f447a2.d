@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-856ba6f590f447a2.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-856ba6f590f447a2.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-856ba6f590f447a2.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-7a9fb7038b1322f2.d: crates/nn/tests/properties.rs
+
+/root/repo/target/release/deps/properties-7a9fb7038b1322f2: crates/nn/tests/properties.rs
+
+crates/nn/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-8f4b055b7cb55671.d: crates/tensor/tests/properties.rs
+
+/root/repo/target/release/deps/properties-8f4b055b7cb55671: crates/tensor/tests/properties.rs
+
+crates/tensor/tests/properties.rs:

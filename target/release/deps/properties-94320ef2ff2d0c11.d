@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-94320ef2ff2d0c11.d: crates/tensor/tests/properties.rs
+
+/root/repo/target/release/deps/properties-94320ef2ff2d0c11: crates/tensor/tests/properties.rs
+
+crates/tensor/tests/properties.rs:

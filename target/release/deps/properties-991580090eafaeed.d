@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-991580090eafaeed.d: crates/systolic/tests/properties.rs
+
+/root/repo/target/release/deps/properties-991580090eafaeed: crates/systolic/tests/properties.rs
+
+crates/systolic/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-cf66660718a2fa15.d: crates/datasets/tests/properties.rs
+
+/root/repo/target/release/deps/properties-cf66660718a2fa15: crates/datasets/tests/properties.rs
+
+crates/datasets/tests/properties.rs:

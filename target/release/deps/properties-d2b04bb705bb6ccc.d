@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-d2b04bb705bb6ccc.d: crates/core/tests/properties.rs
+
+/root/repo/target/release/deps/properties-d2b04bb705bb6ccc: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

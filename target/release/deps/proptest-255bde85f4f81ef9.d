@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-255bde85f4f81ef9.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-255bde85f4f81ef9.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-255bde85f4f81ef9.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-598953811f95fb8f.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-598953811f95fb8f.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-598953811f95fb8f.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

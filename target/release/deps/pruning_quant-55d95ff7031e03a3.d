@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pruning_quant-55d95ff7031e03a3.d: crates/nn/tests/pruning_quant.rs
+
+/root/repo/target/release/deps/pruning_quant-55d95ff7031e03a3: crates/nn/tests/pruning_quant.rs
+
+crates/nn/tests/pruning_quant.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quantization-610736ef62e2fb18.d: tests/quantization.rs
+
+/root/repo/target/release/deps/quantization-610736ef62e2fb18: tests/quantization.rs
+
+tests/quantization.rs:

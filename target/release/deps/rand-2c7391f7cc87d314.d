@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-2c7391f7cc87d314.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-2c7391f7cc87d314.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-2c7391f7cc87d314.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-3a83b9b3914c8ad7.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-3a83b9b3914c8ad7.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-3a83b9b3914c8ad7.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

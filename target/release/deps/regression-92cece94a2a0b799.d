@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/regression-92cece94a2a0b799.d: crates/bench/tests/regression.rs
+
+/root/repo/target/release/deps/regression-92cece94a2a0b799: crates/bench/tests/regression.rs
+
+crates/bench/tests/regression.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-250c702a4a4fd0f0.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-250c702a4a4fd0f0.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-250c702a4a4fd0f0.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-add89bc68a67bbd6.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-add89bc68a67bbd6.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-add89bc68a67bbd6.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

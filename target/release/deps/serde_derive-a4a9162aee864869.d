@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-a4a9162aee864869.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-a4a9162aee864869.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

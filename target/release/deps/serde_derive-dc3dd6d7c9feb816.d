@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-dc3dd6d7c9feb816.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-dc3dd6d7c9feb816.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep_scaling-6ec76e5d590c4f3d.d: crates/bench/src/bin/sweep_scaling.rs
+
+/root/repo/target/release/deps/sweep_scaling-6ec76e5d590c4f3d: crates/bench/src/bin/sweep_scaling.rs
+
+crates/bench/src/bin/sweep_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep_scaling-dc6ed497b4e8f209.d: crates/bench/src/bin/sweep_scaling.rs
+
+/root/repo/target/release/deps/sweep_scaling-dc6ed497b4e8f209: crates/bench/src/bin/sweep_scaling.rs
+
+crates/bench/src/bin/sweep_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_related-8e4322dd7a1c87dd.d: crates/bench/src/bin/table1_related.rs
+
+/root/repo/target/release/deps/table1_related-8e4322dd7a1c87dd: crates/bench/src/bin/table1_related.rs
+
+crates/bench/src/bin/table1_related.rs:

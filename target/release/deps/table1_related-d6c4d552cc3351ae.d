@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_related-d6c4d552cc3351ae.d: crates/bench/src/bin/table1_related.rs
+
+/root/repo/target/release/deps/table1_related-d6c4d552cc3351ae: crates/bench/src/bin/table1_related.rs
+
+crates/bench/src/bin/table1_related.rs:

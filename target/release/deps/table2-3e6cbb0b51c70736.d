@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-3e6cbb0b51c70736.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-3e6cbb0b51c70736: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-48fe2807508919ce.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-48fe2807508919ce: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-d5d4fa5de8d8e6fa.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-d5d4fa5de8d8e6fa: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

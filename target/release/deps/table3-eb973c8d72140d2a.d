@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-eb973c8d72140d2a.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-eb973c8d72140d2a: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

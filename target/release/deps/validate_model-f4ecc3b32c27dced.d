@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/validate_model-f4ecc3b32c27dced.d: crates/bench/src/bin/validate_model.rs
+
+/root/repo/target/release/deps/validate_model-f4ecc3b32c27dced: crates/bench/src/bin/validate_model.rs
+
+crates/bench/src/bin/validate_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/validate_model-fbde8889092dc1ad.d: crates/bench/src/bin/validate_model.rs
+
+/root/repo/target/release/deps/validate_model-fbde8889092dc1ad: crates/bench/src/bin/validate_model.rs
+
+crates/bench/src/bin/validate_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/deploy_image-874748a6345f335b.d: examples/deploy_image.rs
+
+/root/repo/target/release/examples/deploy_image-874748a6345f335b: examples/deploy_image.rs
+
+examples/deploy_image.rs:

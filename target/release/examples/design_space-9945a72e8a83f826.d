@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/design_space-9945a72e8a83f826.d: examples/design_space.rs
+
+/root/repo/target/release/examples/design_space-9945a72e8a83f826: examples/design_space.rs
+
+examples/design_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/edge_deployment-b0bc42b59852649d.d: examples/edge_deployment.rs
+
+/root/repo/target/release/examples/edge_deployment-b0bc42b59852649d: examples/edge_deployment.rs
+
+examples/edge_deployment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/hardware_in_the_loop-0890692ff8af653a.d: examples/hardware_in_the_loop.rs
+
+/root/repo/target/release/examples/hardware_in_the_loop-0890692ff8af653a: examples/hardware_in_the_loop.rs
+
+examples/hardware_in_the_loop.rs:

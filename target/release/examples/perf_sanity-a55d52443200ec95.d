@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/perf_sanity-a55d52443200ec95.d: crates/tensor/examples/perf_sanity.rs
+
+/root/repo/target/release/examples/perf_sanity-a55d52443200ec95: crates/tensor/examples/perf_sanity.rs
+
+crates/tensor/examples/perf_sanity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/perf_sanity-fb76163796289f57.d: crates/tensor/examples/perf_sanity.rs
+
+/root/repo/target/release/examples/perf_sanity-fb76163796289f57: crates/tensor/examples/perf_sanity.rs
+
+crates/tensor/examples/perf_sanity.rs:

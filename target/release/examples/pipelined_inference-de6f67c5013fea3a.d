@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/pipelined_inference-de6f67c5013fea3a.d: examples/pipelined_inference.rs
+
+/root/repo/target/release/examples/pipelined_inference-de6f67c5013fea3a: examples/pipelined_inference.rs
+
+examples/pipelined_inference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-787b0591b68a33e8.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-787b0591b68a33e8: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ukern_proto-c3002d7951d530f3.d: crates/tensor/examples/ukern_proto.rs
+
+/root/repo/target/release/examples/ukern_proto-c3002d7951d530f3: crates/tensor/examples/ukern_proto.rs
+
+crates/tensor/examples/ukern_proto.rs:
