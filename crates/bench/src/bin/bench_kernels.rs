@@ -17,6 +17,13 @@
 //! Modes: default full; `--quick` fewer reps; `--smoke` tiny shapes for
 //! CI gating (writes under `target/` so the tracked report is never
 //! clobbered by a smoke run).
+//!
+//! Every median is also recorded as a `mime_bench_*_ms` gauge in the
+//! `mime-obs` metrics registry, and the report embeds the registry
+//! snapshot under a `"metrics"` key — the same series names a live
+//! `--metrics-out` scrape would show, so dashboards and the JSON report
+//! agree on naming. The instrumentation *hooks* stay disabled while
+//! timing, so measured kernels run the one-atomic-load disabled path.
 
 use mime_core::MimeNetwork;
 use mime_nn::{build_network, vgg16_arch};
@@ -182,6 +189,15 @@ fn bench_gemm(mode: Mode, threads_mt: usize) -> Vec<GemmRow> {
                  1t {dense_1t_ms:8.2} ms  {threads_mt}t {dense_mt_ms:8.2} ms  \
                  rel {rel:.2e}"
             );
+            let reg = mime_obs::metrics::global();
+            for (kernel, ms) in [
+                ("scalar_native", scalar_native_ms),
+                ("dense_1t", dense_1t_ms),
+                ("dense_mt", dense_mt_ms),
+            ] {
+                reg.gauge_with("mime_bench_gemm_ms", &[("case", &name), ("kernel", kernel)])
+                    .set(ms);
+            }
             GemmRow {
                 name,
                 m,
@@ -289,6 +305,11 @@ fn bench_conv(mode: Mode) -> Vec<ConvRow> {
                 "conv {name:>14} n={images} c={c:<4} k={k:<4} hw={hw:<3} \
                  per-image {per_image_ms:8.2} ms  batched {batched_ms:8.2} ms  |Δ|max {diff:.2e}"
             );
+            let reg = mime_obs::metrics::global();
+            for (kernel, ms) in [("per_image", per_image_ms), ("batched", batched_ms)] {
+                reg.gauge_with("mime_bench_conv_ms", &[("case", &name), ("kernel", kernel)])
+                    .set(ms);
+            }
             ConvRow { name, images, c, k, hw, per_image_ms, batched_ms, max_abs_diff: diff }
         })
         .collect()
@@ -348,6 +369,11 @@ fn bench_executor(mode: Mode, threads_mt: usize) -> ExecRow {
         "executor n={images} serial {serial_ms:8.2} ms  parallel({threads_mt}t) \
          {parallel_ms:8.2} ms  reports_identical={reports_identical}"
     );
+    let reg = mime_obs::metrics::global();
+    for (kernel, ms) in [("serial", serial_ms), ("parallel", parallel_ms)] {
+        reg.gauge_with("mime_bench_executor_ms", &[("kernel", kernel)]).set(ms);
+    }
+    reg.gauge("mime_bench_executor_images").set(images as f64);
     ExecRow { images, threads: threads_mt, serial_ms, parallel_ms, reports_identical }
 }
 
@@ -435,14 +461,18 @@ fn write_report(
     s.push_str("  ],\n");
     s.push_str(&format!(
         "  \"executor\": {{\"images\": {}, \"threads\": {}, \"serial_ms\": {}, \
-         \"parallel_ms\": {}, \"reports_identical\": {}}}\n",
+         \"parallel_ms\": {}, \"reports_identical\": {}}},\n",
         exec.images,
         exec.threads,
         json_f(exec.serial_ms),
         json_f(exec.parallel_ms),
         exec.reports_identical
     ));
-    s.push_str("}\n");
+    // The same series a live `--metrics-out` scrape would expose,
+    // snapshotted from the mime-obs registry the benches record into.
+    s.push_str("  \"metrics\": ");
+    s.push_str(mime_obs::metrics::global().render_json().trim_end());
+    s.push_str("\n}\n");
     std::fs::write(out, s).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     println!("wrote {out}");
 }

@@ -90,8 +90,77 @@ pub enum Command {
         /// per-MAC, so keep it small).
         input_hw: usize,
     },
+    /// `mime batch`: run a small multi-task batch on the functional
+    /// array, serial and parallel, and cross-check the reports. The main
+    /// driver for `--trace-out`/`--metrics-out` smoke runs.
+    Batch {
+        /// Number of images in the batch (default 6).
+        images: usize,
+        /// Number of child tasks round-robined over the batch
+        /// (default 2).
+        tasks: usize,
+        /// RNG seed for the parent backbone (default 42).
+        seed: u64,
+        /// Worker threads for the parallel run (default 0 = auto from
+        /// `MIME_THREADS`/cores).
+        threads: usize,
+    },
     /// `mime help`.
     Help,
+}
+
+/// Observability options shared by every command, parsed from the
+/// global `--trace-out`, `--metrics-out` and `--log-level` flags by
+/// [`parse_invocation`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObsOptions {
+    /// Write a Chrome-trace JSON (`chrome://tracing` / Perfetto) here.
+    pub trace_out: Option<String>,
+    /// Write the metrics registry here — JSON when the path ends in
+    /// `.json`, Prometheus text otherwise.
+    pub metrics_out: Option<String>,
+    /// Explicit log level; outer `None` = flag absent (keep `MIME_LOG`
+    /// or the default), inner `None` = `off`.
+    pub log_level: Option<Option<mime_obs::Level>>,
+}
+
+impl ObsOptions {
+    /// Enables the sinks this invocation asked for. Call once, before
+    /// running the command.
+    pub fn apply(&self) {
+        if self.trace_out.is_some() {
+            mime_obs::trace::set_enabled(true);
+        }
+        if self.metrics_out.is_some() {
+            mime_obs::set_metrics_enabled(true);
+        }
+        if let Some(level) = self.log_level {
+            mime_obs::log::set_level(level);
+        }
+    }
+
+    /// Drains the collected spans/metrics into the requested files.
+    /// Call once, after the command finishes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when a file cannot be written.
+    pub fn finish(&self) -> std::io::Result<()> {
+        if let Some(path) = &self.trace_out {
+            let events = mime_obs::trace::drain();
+            std::fs::write(path, mime_obs::trace::chrome_trace_json(&events))?;
+        }
+        if let Some(path) = &self.metrics_out {
+            let registry = mime_obs::metrics::global();
+            let rendered = if path.ends_with(".json") {
+                registry.render_json()
+            } else {
+                registry.render_prometheus()
+            };
+            std::fs::write(path, rendered)?;
+        }
+        Ok(())
+    }
 }
 
 /// Fault model selector for `mime inject-faults`.
@@ -180,6 +249,50 @@ fn reject_unknown(
         }
     }
     Ok(())
+}
+
+/// Parses a full argv (excluding the program name) into the global
+/// [`ObsOptions`] plus a [`Command`]. The observability flags are
+/// position-independent — `mime --trace-out t.json validate` and
+/// `mime validate --trace-out t.json` are equivalent — and are stripped
+/// before per-command parsing, so [`parse_args`] stays untouched.
+///
+/// # Errors
+///
+/// As [`parse_args`], plus missing/duplicated observability flag values
+/// and unknown `--log-level` names.
+pub fn parse_invocation(args: &[String]) -> Result<(ObsOptions, Command), ArgError> {
+    let mut obs = ObsOptions::default();
+    let mut rest = Vec::with_capacity(args.len());
+    let mut i = 0usize;
+    while i < args.len() {
+        let key = args[i].as_str();
+        if !matches!(key, "--trace-out" | "--metrics-out" | "--log-level") {
+            rest.push(args[i].clone());
+            i += 1;
+            continue;
+        }
+        let value =
+            args.get(i + 1).ok_or_else(|| err(format!("flag {key} needs a value")))?;
+        let duplicated = match key {
+            "--trace-out" => obs.trace_out.replace(value.clone()).is_some(),
+            "--metrics-out" => obs.metrics_out.replace(value.clone()).is_some(),
+            _ => {
+                let level = mime_obs::Level::parse(value).map_err(|()| {
+                    err(format!(
+                        "flag --log-level: unknown level '{value}' \
+                         (expected error|warn|info|debug|trace|off)"
+                    ))
+                })?;
+                obs.log_level.replace(level).is_some()
+            }
+        };
+        if duplicated {
+            return Err(err(format!("flag {key} given twice")));
+        }
+        i += 2;
+    }
+    Ok((obs, parse_args(&rest)?))
 }
 
 /// Parses a full argv (excluding the program name) into a [`Command`].
@@ -361,6 +474,27 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
             }
             Ok(Command::Validate { input_hw })
         }
+        "batch" => {
+            let (flags, pos) = split_flags(rest)?;
+            reject_unknown(&flags, &["images", "tasks", "seed", "threads"])?;
+            if !pos.is_empty() {
+                return Err(err(format!("unexpected argument '{}'", pos[0])));
+            }
+            let images: usize = get_num(&flags, "images", 6)?;
+            if images == 0 {
+                return Err(err("--images must be at least 1"));
+            }
+            let tasks: usize = get_num(&flags, "tasks", 2)?;
+            if tasks == 0 {
+                return Err(err("--tasks must be at least 1"));
+            }
+            Ok(Command::Batch {
+                images,
+                tasks,
+                seed: get_num(&flags, "seed", 42)?,
+                threads: get_num(&flags, "threads", 0)?,
+            })
+        }
         other => Err(err(format!("unknown command '{other}' (try 'mime help')"))),
     }
 }
@@ -516,5 +650,55 @@ mod tests {
     fn error_display_is_meaningful() {
         let e = p(&["bogus"]).unwrap_err();
         assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn batch_defaults_and_validation() {
+        assert_eq!(
+            p(&["batch"]).unwrap(),
+            Command::Batch { images: 6, tasks: 2, seed: 42, threads: 0 }
+        );
+        assert_eq!(
+            p(&["batch", "--images", "4", "--tasks", "3", "--threads", "2"]).unwrap(),
+            Command::Batch { images: 4, tasks: 3, seed: 42, threads: 2 }
+        );
+        assert!(p(&["batch", "--images", "0"]).is_err());
+        assert!(p(&["batch", "--tasks", "0"]).is_err());
+        assert!(p(&["batch", "extra"]).is_err());
+    }
+
+    fn pi(args: &[&str]) -> Result<(ObsOptions, Command), ArgError> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_invocation(&v)
+    }
+
+    #[test]
+    fn invocation_strips_obs_flags_anywhere() {
+        let (obs, cmd) =
+            pi(&["--trace-out", "t.json", "validate", "--metrics-out", "m.prom"]).unwrap();
+        assert_eq!(obs.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(obs.metrics_out.as_deref(), Some("m.prom"));
+        assert_eq!(obs.log_level, None);
+        assert_eq!(cmd, Command::Validate { input_hw: 32 });
+
+        let (obs, cmd) = pi(&["storage", "--children", "3"]).unwrap();
+        assert_eq!(obs, ObsOptions::default());
+        assert_eq!(cmd, Command::Storage { input_hw: 224, children: 3 });
+    }
+
+    #[test]
+    fn invocation_parses_log_level() {
+        let (obs, _) = pi(&["--log-level", "debug", "help"]).unwrap();
+        assert_eq!(obs.log_level, Some(Some(mime_obs::Level::Debug)));
+        let (obs, _) = pi(&["--log-level", "off", "help"]).unwrap();
+        assert_eq!(obs.log_level, Some(None));
+        assert!(pi(&["--log-level", "loud", "help"]).is_err());
+    }
+
+    #[test]
+    fn invocation_rejects_dangling_and_duplicate_obs_flags() {
+        assert!(pi(&["validate", "--trace-out"]).is_err());
+        assert!(pi(&["--trace-out", "a", "validate", "--trace-out", "b"]).is_err());
+        assert!(pi(&["--metrics-out", "a", "--metrics-out", "b", "help"]).is_err());
     }
 }

@@ -44,6 +44,9 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), String> {
         }
         Command::Sweep { input_hw, rounds } => sweep(out, input_hw, rounds),
         Command::Validate { input_hw } => validate(out, input_hw),
+        Command::Batch { images, tasks, seed, threads } => {
+            batch(out, images, tasks, seed, threads)
+        }
     }
 }
 
@@ -64,7 +67,13 @@ fn write_help(out: &mut dyn Write) {
          \x20           [--count N]                            corrupt an image for fault drills\n\
          \x20 sweep     [--input-hw 224] [--rounds 6]          batch/task scaling sweeps\n\
          \x20 validate  [--input-hw 32]                        analytical vs functional counters\n\
-         \x20 help                                             this message"
+         \x20 batch     [--images 6] [--tasks 2] [--seed 42] [--threads 0]\n\
+         \x20           multi-task batch on the functional array, serial vs parallel\n\
+         \x20 help                                             this message\n\n\
+         global flags (any command):\n\
+         \x20 --trace-out <file>    write a Chrome-trace JSON (chrome://tracing, Perfetto)\n\
+         \x20 --metrics-out <file>  write the metrics registry (.json = JSON, else Prometheus)\n\
+         \x20 --log-level <level>   error|warn|info|debug|trace|off (default: MIME_LOG or warn)"
     );
 }
 
@@ -411,6 +420,65 @@ fn validate(out: &mut dyn Write, input_hw: usize) -> Result<(), String> {
     Ok(())
 }
 
+fn batch(
+    out: &mut dyn Write,
+    images: usize,
+    tasks: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<(), String> {
+    use mime_runtime::{BoundNetwork, HardwareExecutor};
+
+    let arch = vgg16_arch(0.0625, 32, 3, 4, 16);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let parent = build_network(&arch, &mut rng);
+    let plans: Vec<BoundNetwork> = (0..tasks)
+        .map(|i| {
+            // spread thresholds so tasks prune visibly different amounts
+            let net = MimeNetwork::from_trained(&arch, &parent, 0.03 + 0.09 * i as f32)
+                .map_err(io_err)?;
+            BoundNetwork::from_mime(&net).map_err(io_err)
+        })
+        .collect::<Result<_, String>>()?;
+    let batch: Vec<(usize, Tensor)> = (0..images)
+        .map(|i| {
+            let image = Tensor::from_fn(&[3, 32, 32], move |j| {
+                (((j + i * 97) % 17) as f32 - 8.0) * 0.09
+            });
+            (i % tasks, image)
+        })
+        .collect();
+    let mut exec = HardwareExecutor::new(ArrayConfig::eyeriss_65nm());
+    let serial = exec.run_pipelined(&plans, &batch, true, true).map_err(io_err)?;
+    let parallel = if threads == 0 {
+        exec.run_batch_parallel(&plans, &batch, true, true)
+    } else {
+        exec.run_batch_parallel_with_threads(&plans, &batch, true, true, threads)
+    }
+    .map_err(io_err)?;
+    let _ = writeln!(
+        out,
+        "ran {images} image(s) over {tasks} task(s), serial then parallel{}",
+        if threads == 0 { String::new() } else { format!(" ({threads} thread(s))") }
+    );
+    let c = &serial.counters;
+    let _ = writeln!(out, "  macs executed:      {}", c.macs);
+    let _ = writeln!(out, "  dram words:         {}", c.dram_reads + c.dram_writes);
+    let _ = writeln!(out, "  task switches:      {}", serial.task_switches);
+    let _ = writeln!(out, "  threshold reloads:  {} words", serial.threshold_reload_words);
+    let _ = writeln!(out, "  degraded tasks:     {:?}", serial.degraded_tasks);
+    let identical = serial.counters == parallel.counters
+        && serial.logits == parallel.logits
+        && serial.task_switches == parallel.task_switches
+        && serial.degraded_tasks == parallel.degraded_tasks;
+    let _ = writeln!(out, "  parallel == serial: {identical}");
+    if identical {
+        Ok(())
+    } else {
+        Err("error: parallel batch report diverged from serial".into())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -434,6 +502,10 @@ mod tests {
             "inject-faults",
             "sweep",
             "validate",
+            "batch",
+            "--trace-out",
+            "--metrics-out",
+            "--log-level",
         ] {
             assert!(s.contains(cmd), "{cmd} missing from help");
         }
@@ -589,5 +661,12 @@ mod tests {
         let s = capture(Command::Validate { input_hw: 32 });
         assert!(s.contains("worst-case energy ratio"));
         assert!(s.contains("conv1"));
+    }
+
+    #[test]
+    fn batch_reports_parity() {
+        let s = capture(Command::Batch { images: 3, tasks: 2, seed: 1, threads: 2 });
+        assert!(s.contains("parallel == serial: true"), "{s}");
+        assert!(s.contains("macs executed"), "{s}");
     }
 }

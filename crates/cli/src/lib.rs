@@ -13,14 +13,23 @@
 //! mime verify-image  <file>
 //! mime inject-faults <file> --out <file> [--seed 42] [--mode bitflip|truncate|garble] [--count N]
 //! mime validate  [--input-hw 32]
+//! mime batch     [--images 6] [--tasks 2] [--seed 42] [--threads 0]
 //! mime help
 //! ```
 //!
+//! Every command additionally accepts the global observability flags
+//! `--trace-out <file>` (Chrome-trace JSON for `chrome://tracing` /
+//! Perfetto), `--metrics-out <file>` (Prometheus text, or JSON when the
+//! path ends in `.json`) and `--log-level <level>`.
+//!
 //! This crate keeps all command logic in the library (`run` +
-//! `parse_args`) so it is unit-testable; `src/main.rs` is a thin shim.
+//! `parse_invocation`) so it is unit-testable; `src/main.rs` is a thin
+//! shim.
 
 mod args;
 mod commands;
 
-pub use args::{parse_args, ArgError, Command, FaultMode, SimApproach};
+pub use args::{
+    parse_args, parse_invocation, ArgError, Command, FaultMode, ObsOptions, SimApproach,
+};
 pub use commands::run;

@@ -4,18 +4,24 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = match mime_cli::parse_args(&args) {
-        Ok(cmd) => cmd,
+    let (obs, cmd) = match mime_cli::parse_invocation(&args) {
+        Ok(parsed) => parsed,
         Err(e) => {
-            eprintln!("error: {e}");
+            mime_obs::error!("cli", "argument error", error = e);
             return ExitCode::FAILURE;
         }
     };
+    obs.apply();
     let mut stdout = std::io::stdout();
-    match mime_cli::run(cmd, &mut stdout) {
+    let result = mime_cli::run(cmd, &mut stdout);
+    if let Err(e) = obs.finish() {
+        mime_obs::error!("cli", "failed to write observability output", error = e);
+        return ExitCode::FAILURE;
+    }
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("{e}");
+            mime_obs::error!("cli", "command failed", error = e);
             ExitCode::FAILURE
         }
     }

@@ -98,6 +98,12 @@ impl MimeTrainer {
         batches: &[(Tensor, Vec<usize>)],
         epoch: usize,
     ) -> crate::Result<ThresholdEpochReport> {
+        let mut epoch_span = mime_obs::profiling()
+            .then(|| mime_obs::trace::span_cat("train_epoch", "core.trainer"));
+        if let Some(span) = epoch_span.as_mut() {
+            span.arg("epoch", epoch);
+            span.arg("batches", batches.len());
+        }
         let mut total_loss = 0.0f64;
         let mut total_acc = 0.0f64;
         for (images, labels) in batches {
@@ -138,13 +144,29 @@ impl MimeTrainer {
                 sp.iter().map(|(_, s)| s).sum::<f64>() / sp.len() as f64
             }
         };
-        Ok(ThresholdEpochReport {
+        let report = ThresholdEpochReport {
             epoch,
             ce_loss: total_loss / n,
             reg_loss: Self::regularizer(net),
             accuracy: total_acc / n,
             mean_sparsity,
-        })
+        };
+        mime_obs::debug!(
+            "core.trainer",
+            "epoch complete",
+            epoch = report.epoch,
+            ce_loss = report.ce_loss,
+            accuracy = report.accuracy,
+            mean_sparsity = report.mean_sparsity
+        );
+        if mime_obs::metrics_enabled() {
+            let r = mime_obs::metrics::global();
+            r.counter("mime_core_train_epochs_total").inc();
+            r.gauge("mime_core_train_ce_loss").set(report.ce_loss);
+            r.gauge("mime_core_train_accuracy").set(report.accuracy);
+            r.gauge("mime_core_train_mean_sparsity").set(report.mean_sparsity);
+        }
+        Ok(report)
     }
 
     /// Runs the full training schedule (`config.epochs` epochs), returning

@@ -1,6 +1,6 @@
 //! The [`Conv2d`] layer.
 
-use crate::{Layer, LayerKind, Parameter};
+use crate::{GemmDims, Layer, LayerKind, Parameter};
 use mime_tensor::{
     conv2d_backward_with_scratch, conv2d_with_scratch, kaiming_uniform, ConvScratch,
     ConvSpec, Tensor,
@@ -137,6 +137,20 @@ impl Layer for Conv2d {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
+    }
+
+    fn gemm_dims(&self, input_dims: &[usize]) -> Option<GemmDims> {
+        let [n, _, h, w] = *input_dims else { return None };
+        let out = |x: usize| {
+            (x + 2 * self.spec.padding)
+                .checked_sub(self.spec.kernel)
+                .map(|span| span / self.spec.stride + 1)
+        };
+        Some(GemmDims {
+            m: self.out_channels(),
+            n: n * out(h)? * out(w)?,
+            k: self.in_channels() * self.spec.kernel * self.spec.kernel,
+        })
     }
 }
 

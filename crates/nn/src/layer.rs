@@ -66,6 +66,26 @@ pub enum LayerKind {
     Custom,
 }
 
+/// The GEMM shape (`[M×K] · [K×N]`) one layer invocation lowers to —
+/// im2col for convolutions, the weight product for linear layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmDims {
+    /// Output rows (output channels / features).
+    pub m: usize,
+    /// Output columns (batch × output sites).
+    pub n: usize,
+    /// Reduction extent (input channels × kernel taps / input features).
+    pub k: usize,
+}
+
+impl GemmDims {
+    /// Dense floating-point operations of this GEMM, counting a
+    /// multiply-accumulate as two.
+    pub fn flops(&self) -> u64 {
+        2 * self.m as u64 * self.n as u64 * self.k as u64
+    }
+}
+
 /// An object-safe neural-network layer with explicit forward and backward
 /// passes.
 ///
@@ -107,6 +127,14 @@ pub trait Layer: Send + Sync {
     /// Clones the layer behind the trait object (enables network
     /// replication for data-parallel training).
     fn clone_box(&self) -> Box<dyn Layer>;
+
+    /// The GEMM shape a forward call on an input of `input_dims` lowers
+    /// to, or `None` for layers that execute no GEMM (activations,
+    /// pooling, reshapes). The profiling hooks use this to attribute
+    /// flops and matrix dimensions to spans.
+    fn gemm_dims(&self, _input_dims: &[usize]) -> Option<GemmDims> {
+        None
+    }
 }
 
 impl Clone for Box<dyn Layer> {

@@ -38,7 +38,7 @@ mod vgg;
 
 pub use activations::{Flatten, ReluLayer};
 pub use conv_layer::Conv2d;
-pub use layer::{Layer, LayerKind, Parameter};
+pub use layer::{GemmDims, Layer, LayerKind, Parameter};
 pub use linear_layer::Linear;
 pub use loss::{accuracy, softmax_cross_entropy, CrossEntropyOut};
 pub use optim::{Adam, AdamConfig, Optimizer, Sgd};

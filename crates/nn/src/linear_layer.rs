@@ -1,6 +1,6 @@
 //! The fully-connected [`Linear`] layer.
 
-use crate::{Layer, LayerKind, Parameter};
+use crate::{GemmDims, Layer, LayerKind, Parameter};
 use mime_tensor::{kaiming_uniform, matmul_nt, matmul_tn, Tensor, TensorError};
 use rand::Rng;
 
@@ -104,6 +104,11 @@ impl Layer for Linear {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
+    }
+
+    fn gemm_dims(&self, input_dims: &[usize]) -> Option<GemmDims> {
+        let [n, _] = *input_dims else { return None };
+        Some(GemmDims { m: self.out_features(), n, k: self.in_features() })
     }
 }
 

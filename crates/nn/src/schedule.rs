@@ -78,7 +78,16 @@ impl EarlyStopping {
         } else {
             self.since_best += 1;
         }
-        self.since_best > self.patience
+        let stop = self.since_best > self.patience;
+        if stop {
+            mime_obs::info!(
+                "nn.schedule",
+                "early stopping",
+                best = self.best,
+                stalled_epochs = self.since_best
+            );
+        }
+        stop
     }
 
     /// Best metric observed so far.
@@ -91,7 +100,16 @@ impl EarlyStopping {
 /// infinite loss) — callers should abort and report instead of training
 /// on garbage.
 pub fn diverged(report: &TrainReport) -> bool {
-    !report.mean_loss.is_finite()
+    let diverged = !report.mean_loss.is_finite();
+    if diverged {
+        mime_obs::warn!(
+            "nn.schedule",
+            "training diverged",
+            mean_loss = report.mean_loss,
+            batches = report.batches
+        );
+    }
+    diverged
 }
 
 #[cfg(test)]

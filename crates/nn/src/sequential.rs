@@ -2,6 +2,48 @@
 
 use crate::{Layer, Parameter};
 use mime_tensor::Tensor;
+use std::time::Instant;
+
+/// Runs one layer step under a profiling span, recording per-layer wall
+/// time and — on the forward pass, where the input shape determines the
+/// lowered GEMM — matrix dims and dense flops. Callers check
+/// [`mime_obs::profiling`] first so the un-instrumented loop stays
+/// allocation- and clock-free.
+fn profiled_step(
+    layer: &mut dyn Layer,
+    x: &Tensor,
+    backward: bool,
+) -> crate::Result<Tensor> {
+    let pass = if backward { "backward" } else { "forward" };
+    let dims = if backward { None } else { layer.gemm_dims(x.dims()) };
+    let mut span =
+        mime_obs::trace::span_cat(format!("{}.{pass}", layer.name()), "nn.layer");
+    if let Some(d) = dims {
+        span.arg("m", d.m);
+        span.arg("n", d.n);
+        span.arg("k", d.k);
+    }
+    let start = Instant::now();
+    let out = if backward { layer.backward(x) } else { layer.forward(x) }?;
+    if mime_obs::metrics_enabled() {
+        let r = mime_obs::metrics::global();
+        let metric = if backward {
+            "mime_nn_layer_backward_seconds"
+        } else {
+            "mime_nn_layer_forward_seconds"
+        };
+        r.histogram_with(
+            metric,
+            &[("layer", layer.name())],
+            &mime_obs::metrics::SECONDS_BUCKETS,
+        )
+        .observe(start.elapsed().as_secs_f64());
+        if let Some(d) = dims {
+            r.counter("mime_nn_flops_total").add(d.flops());
+        }
+    }
+    Ok(out)
+}
 
 /// An ordered stack of [`Layer`]s executed front to back.
 ///
@@ -69,9 +111,14 @@ impl Sequential {
     ///
     /// Propagates the first layer error.
     pub fn forward(&mut self, input: &Tensor) -> crate::Result<Tensor> {
+        let profiling = mime_obs::profiling();
         let mut x = input.clone();
         for layer in &mut self.layers {
-            x = layer.forward(&x)?;
+            x = if profiling {
+                profiled_step(layer.as_mut(), &x, false)?
+            } else {
+                layer.forward(&x)?
+            };
         }
         Ok(x)
     }
@@ -86,10 +133,15 @@ impl Sequential {
         &mut self,
         input: &Tensor,
     ) -> crate::Result<(Tensor, Vec<Tensor>)> {
+        let profiling = mime_obs::profiling();
         let mut x = input.clone();
         let mut trace = Vec::with_capacity(self.layers.len());
         for layer in &mut self.layers {
-            x = layer.forward(&x)?;
+            x = if profiling {
+                profiled_step(layer.as_mut(), &x, false)?
+            } else {
+                layer.forward(&x)?
+            };
             trace.push(x.clone());
         }
         Ok((x, trace))
@@ -102,9 +154,14 @@ impl Sequential {
     /// Propagates the first layer error (including "backward before
     /// forward").
     pub fn backward(&mut self, grad_output: &Tensor) -> crate::Result<Tensor> {
+        let profiling = mime_obs::profiling();
         let mut g = grad_output.clone();
         for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g)?;
+            g = if profiling {
+                profiled_step(layer.as_mut(), &g, true)?
+            } else {
+                layer.backward(&g)?
+            };
         }
         Ok(g)
     }

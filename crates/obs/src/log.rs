@@ -1,0 +1,213 @@
+//! A leveled structured logger: `key=value` lines on stderr.
+//!
+//! The level comes from the `MIME_LOG` environment variable (`error`,
+//! `warn`, `info`, `debug`, `trace`, or `off`) and can be overridden at
+//! runtime (e.g. by the CLI's `--log-level` flag) via [`set_level`].
+//! The default is `warn`, so library progress chatter stays silent
+//! unless asked for. A disabled level costs one relaxed atomic load;
+//! the [`crate::log!`]-family macros do not evaluate their value
+//! expressions unless the line is emitted.
+
+use std::fmt;
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or user-visible failures.
+    Error = 1,
+    /// Degraded but continuing (e.g. a task falling back to the parent
+    /// path).
+    Warn = 2,
+    /// High-level progress (one line per phase).
+    Info = 3,
+    /// Per-epoch / per-batch progress.
+    Debug = 4,
+    /// Per-layer firehose.
+    Trace = 5,
+}
+
+impl Level {
+    /// Lower-case name as it appears in output and in `MIME_LOG`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parses a level name (case-insensitive). `off`/`none` disable all
+    /// output and return `None`; unknown names are an `Err`.
+    #[allow(clippy::result_unit_err)] // callers only need "was it valid"
+    pub fn parse(s: &str) -> Result<Option<Level>, ()> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Ok(Some(Level::Error)),
+            "warn" | "warning" => Ok(Some(Level::Warn)),
+            "info" => Ok(Some(Level::Info)),
+            "debug" => Ok(Some(Level::Debug)),
+            "trace" => Ok(Some(Level::Trace)),
+            "off" | "none" => Ok(None),
+            _ => Err(()),
+        }
+    }
+}
+
+/// 0 = everything off.
+static LEVEL: AtomicU8 = AtomicU8::new(u8::MAX); // sentinel: uninitialized
+
+fn init_level() -> u8 {
+    let from_env = std::env::var("MIME_LOG")
+        .ok()
+        .and_then(|v| Level::parse(&v).ok())
+        .map(|l| l.map_or(0, |l| l as u8));
+    from_env.unwrap_or(Level::Warn as u8)
+}
+
+fn level_u8() -> u8 {
+    let v = LEVEL.load(Ordering::Relaxed);
+    if v != u8::MAX {
+        return v;
+    }
+    let init = init_level();
+    // A racing initializer computes the same value; last store wins.
+    LEVEL.store(init, Ordering::Relaxed);
+    init
+}
+
+/// Sets the maximum emitted level; `None` silences the logger.
+pub fn set_level(level: Option<Level>) {
+    LEVEL.store(level.map_or(0, |l| l as u8), Ordering::Relaxed);
+}
+
+/// Whether a line at `level` would be emitted.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= level_u8()
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Emits one structured line to stderr:
+/// `t=<secs> level=<level> target=<target> msg="<msg>" k=v ...`.
+/// Prefer the [`crate::info!`]-family macros, which skip argument
+/// evaluation when the level is disabled.
+pub fn log(level: Level, target: &str, msg: &str, kv: &[(&str, &dyn fmt::Display)]) {
+    if !enabled(level) {
+        return;
+    }
+    let t = epoch().elapsed().as_secs_f64();
+    let mut line = format!(
+        "t={t:.3} level={} target={target} msg=\"{}\"",
+        level.as_str(),
+        msg.replace('"', "'")
+    );
+    for (k, v) in kv {
+        let v = v.to_string();
+        // quote values containing whitespace so lines stay splittable
+        if v.chars().any(char::is_whitespace) {
+            line.push_str(&format!(" {k}=\"{}\"", v.replace('"', "'")));
+        } else {
+            line.push_str(&format!(" {k}={v}"));
+        }
+    }
+    line.push('\n');
+    let _ = std::io::stderr().write_all(line.as_bytes());
+}
+
+/// Logs at an explicit level: `log!(Level::Info, "target", "msg", key = value, ...)`.
+#[macro_export]
+macro_rules! log {
+    ($level:expr, $target:expr, $msg:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::log::enabled($level) {
+            $crate::log::log(
+                $level,
+                $target,
+                $msg,
+                &[$((stringify!($k), &$v as &dyn ::std::fmt::Display)),*],
+            );
+        }
+    };
+}
+
+/// `error!("target", "msg", key = value, ...)`
+#[macro_export]
+macro_rules! error {
+    ($($t:tt)*) => { $crate::log!($crate::Level::Error, $($t)*) };
+}
+
+/// `warn!("target", "msg", key = value, ...)`
+#[macro_export]
+macro_rules! warn {
+    ($($t:tt)*) => { $crate::log!($crate::Level::Warn, $($t)*) };
+}
+
+/// `info!("target", "msg", key = value, ...)`
+#[macro_export]
+macro_rules! info {
+    ($($t:tt)*) => { $crate::log!($crate::Level::Info, $($t)*) };
+}
+
+/// `debug!("target", "msg", key = value, ...)`
+#[macro_export]
+macro_rules! debug {
+    ($($t:tt)*) => { $crate::log!($crate::Level::Debug, $($t)*) };
+}
+
+/// `trace!("target", "msg", key = value, ...)`
+#[macro_export]
+macro_rules! trace {
+    ($($t:tt)*) => { $crate::log!($crate::Level::Trace, $($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parse_round_trips() {
+        for l in [Level::Error, Level::Warn, Level::Info, Level::Debug, Level::Trace] {
+            assert_eq!(Level::parse(l.as_str()), Ok(Some(l)));
+        }
+        assert_eq!(Level::parse("OFF"), Ok(None));
+        assert_eq!(Level::parse("none"), Ok(None));
+        assert_eq!(Level::parse("Warning"), Ok(Some(Level::Warn)));
+        assert!(Level::parse("loud").is_err());
+    }
+
+    #[test]
+    fn set_level_gates_enabled() {
+        set_level(Some(Level::Info));
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(None);
+        assert!(!enabled(Level::Error));
+        set_level(Some(Level::Trace));
+        assert!(enabled(Level::Trace));
+        // restore default-ish for other tests
+        set_level(Some(Level::Warn));
+    }
+
+    #[test]
+    fn macros_skip_disabled_evaluation() {
+        set_level(Some(Level::Warn));
+        let mut evaluated = false;
+        let mut probe = || {
+            evaluated = true;
+            1
+        };
+        crate::debug!("test", "never emitted", x = probe());
+        assert!(!evaluated);
+        set_level(Some(Level::Warn));
+    }
+}

@@ -1,0 +1,418 @@
+//! A metrics registry: named counters, gauges and fixed-bucket
+//! histograms, exportable as Prometheus text format and JSON.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc`s
+//! around atomics — look them up once and record lock-free, or call the
+//! registry's convenience methods per event (one short mutex hold for
+//! the name lookup). Metric names follow the workspace convention
+//! `mime_<crate>_<noun>_<unit>`; label sets are sorted so the same
+//! labels in any order address the same series.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A label set: sorted `(key, value)` pairs.
+pub type Labels = Vec<(String, String)>;
+
+fn labels_of(pairs: &[(&str, &str)]) -> Labels {
+    let mut l: Labels = pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+    l.sort();
+    l
+}
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An `f64` gauge (set to the latest value, or accumulated with `add`).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `v` (compare-and-swap loop; gauges are low-rate).
+    pub fn add(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.0.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Inclusive upper bounds, strictly increasing. An implicit `+Inf`
+    /// bucket (the overflow bucket) always follows the last bound; the
+    /// first bound's bucket doubles as the underflow bucket.
+    bounds: Vec<f64>,
+    /// One count per bound, plus the `+Inf` bucket at the end.
+    buckets: Vec<AtomicU64>,
+    /// Sum of observed values (f64 bits, CAS-accumulated).
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram (Prometheus semantics: each bucket counts
+/// observations `<=` its bound; `+Inf` catches overflow).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let c = &*self.0;
+        // First bucket whose bound >= v; NaN and overflow land in +Inf.
+        let idx = c.bounds.iter().position(|&b| v <= b).unwrap_or(c.bounds.len());
+        c.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = c.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match c.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Per-bucket cumulative counts in bound order, ending with `+Inf`.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let c = &*self.0;
+        let mut cum = 0u64;
+        let mut out = Vec::with_capacity(c.buckets.len());
+        for (i, b) in c.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            let bound = c.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            out.push((bound, cum));
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// Default histogram bounds for latencies in seconds: 1 µs .. ~100 s in
+/// decade-and-a-half steps.
+pub const SECONDS_BUCKETS: [f64; 16] = [
+    1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0, 10.0,
+    100.0,
+];
+
+/// A metrics registry. Most code uses the process-wide [`global`]
+/// registry; tests build their own with [`Registry::new`].
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<(String, Labels), Metric>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the counter `name` with no labels, creating it at zero.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// Returns the counter `name` with `labels`, creating it at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name`+`labels` is already registered as a different
+    /// metric kind.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = (name.to_string(), labels_of(labels));
+        let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        match m
+            .entry(key)
+            .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Returns the gauge `name` with no labels, creating it at zero.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// Returns the gauge `name` with `labels`, creating it at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a metric-kind conflict.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = (name.to_string(), labels_of(labels));
+        let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        match m.entry(key).or_insert_with(|| {
+            Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))))
+        }) {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Returns the histogram `name`/`labels`, creating it with `bounds`
+    /// (inclusive upper bounds, strictly increasing; a `+Inf` overflow
+    /// bucket is always appended). An existing histogram keeps its
+    /// original bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a metric-kind conflict, empty bounds, non-finite or
+    /// non-increasing bounds.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram {name} needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram {name} bounds must be finite and strictly increasing"
+        );
+        let key = (name.to_string(), labels_of(labels));
+        let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        match m.entry(key).or_insert_with(|| {
+            Metric::Histogram(Histogram(Arc::new(HistogramCore {
+                bounds: bounds.to_vec(),
+                buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+                count: AtomicU64::new(0),
+            })))
+        }) {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Returns the unlabeled histogram `name` with [`SECONDS_BUCKETS`].
+    pub fn histogram_seconds(&self, name: &str) -> Histogram {
+        self.histogram_with(name, &[], &SECONDS_BUCKETS)
+    }
+
+    /// Current value of a counter, if registered.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let key = (name.to_string(), labels_of(labels));
+        let m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        match m.get(&key) {
+            Some(Metric::Counter(c)) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// Snapshot of every counter as `rendered_series_name -> value`,
+    /// for before/after delta assertions in tests.
+    pub fn counter_snapshot(&self) -> BTreeMap<String, u64> {
+        let m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        m.iter()
+            .filter_map(|((name, labels), metric)| match metric {
+                Metric::Counter(c) => Some((series_name(name, labels), c.get())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Removes every metric (test isolation).
+    pub fn clear(&self) {
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+
+    /// Renders the registry in the Prometheus text exposition format.
+    /// Series are sorted by name then labels, so output is deterministic.
+    pub fn render_prometheus(&self) -> String {
+        let m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for ((name, labels), metric) in m.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&series_name(name, labels));
+                    out.push(' ');
+                    out.push_str(&c.get().to_string());
+                    out.push('\n');
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&series_name(name, labels));
+                    out.push(' ');
+                    out.push_str(&format_f64(g.get()));
+                    out.push('\n');
+                }
+                Metric::Histogram(h) => {
+                    for (bound, cum) in h.cumulative_buckets() {
+                        let le = if bound.is_finite() {
+                            format_f64(bound)
+                        } else {
+                            "+Inf".to_string()
+                        };
+                        let mut with_le = labels.clone();
+                        with_le.push(("le".to_string(), le));
+                        with_le.sort();
+                        out.push_str(&series_name(&format!("{name}_bucket"), &with_le));
+                        out.push(' ');
+                        out.push_str(&cum.to_string());
+                        out.push('\n');
+                    }
+                    out.push_str(&series_name(&format!("{name}_sum"), labels));
+                    out.push(' ');
+                    out.push_str(&format_f64(h.sum()));
+                    out.push('\n');
+                    out.push_str(&series_name(&format!("{name}_count"), labels));
+                    out.push(' ');
+                    out.push_str(&h.count().to_string());
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the registry as a JSON object keyed by series name.
+    /// Histograms expose `sum`, `count` and cumulative `buckets`.
+    pub fn render_json(&self) -> String {
+        let m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::from("{");
+        for (i, ((name, labels), metric)) in m.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  \"");
+            out.push_str(&escape_json(&series_name(name, labels)));
+            out.push_str("\": ");
+            match metric {
+                Metric::Counter(c) => out.push_str(&c.get().to_string()),
+                Metric::Gauge(g) => out.push_str(&json_f64(g.get())),
+                Metric::Histogram(h) => {
+                    out.push_str("{\"sum\": ");
+                    out.push_str(&json_f64(h.sum()));
+                    out.push_str(", \"count\": ");
+                    out.push_str(&h.count().to_string());
+                    out.push_str(", \"buckets\": [");
+                    for (j, (bound, cum)) in h.cumulative_buckets().iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str("{\"le\": ");
+                        if bound.is_finite() {
+                            out.push_str(&json_f64(*bound));
+                        } else {
+                            out.push_str("\"+Inf\"");
+                        }
+                        out.push_str(", \"count\": ");
+                        out.push_str(&cum.to_string());
+                        out.push('}');
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+/// `name{k="v",...}` (or bare `name` without labels).
+fn series_name(name: &str, labels: &Labels) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut s = format!("{name}{{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(k);
+        s.push_str("=\"");
+        s.push_str(&v.replace('\\', "\\\\").replace('"', "\\\""));
+        s.push('"');
+    }
+    s.push('}');
+    s
+}
+
+/// Compact decimal rendering: integers without trailing `.0`, everything
+/// else via the shortest round-trip `{}` format.
+fn format_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format_f64(v)
+    } else {
+        "null".to_string()
+    }
+}
+
+fn escape_json(raw: &str) -> String {
+    raw.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// The process-wide registry used by the instrumentation hooks.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}

@@ -1,0 +1,343 @@
+//! Span-based tracing with Chrome-trace (`trace_events`) export.
+//!
+//! A [`SpanGuard`] measures the wall time between its creation and its
+//! drop. Finished spans land in a per-thread buffer (no locks on the
+//! hot path); buffers are drained into a global collector when they
+//! grow past a threshold and when their thread exits. [`drain`]
+//! collects everything recorded so far, and [`chrome_trace_json`]
+//! renders it in the `chrome://tracing` / Perfetto `traceEvents`
+//! format.
+//!
+//! Tracing is **disabled by default**: [`span`] on the disabled path
+//! performs one relaxed atomic load and allocates nothing.
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+/// Finished spans flushed from thread-local buffers.
+static COLLECTOR: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
+
+/// Local buffers flush to the collector once they reach this many spans
+/// (they also flush on thread exit and on [`drain`]).
+const FLUSH_THRESHOLD: usize = 4096;
+
+/// Monotonic time base shared by every span (first use wins).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the trace epoch.
+fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// Turns span recording on or off. Spans already recorded are kept.
+pub fn set_enabled(enabled: bool) {
+    // Pin the epoch before the first span so timestamps start near zero.
+    if enabled {
+        epoch();
+    }
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether spans are currently being recorded (one relaxed load).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Span name (the `name` field in the trace viewer).
+    pub name: Cow<'static, str>,
+    /// Category (the `cat` field; e.g. `"nn.forward"`).
+    pub cat: &'static str,
+    /// Start, in µs since the trace epoch.
+    pub ts_us: u64,
+    /// Duration in µs.
+    pub dur_us: u64,
+    /// Stable per-thread id (assigned on each thread's first span).
+    pub tid: u64,
+    /// Nesting depth on its thread at creation (0 = top level).
+    pub depth: u32,
+    /// Extra key/value annotations (rendered under `args`).
+    pub args: Vec<(&'static str, String)>,
+}
+
+struct LocalBuf {
+    tid: u64,
+    depth: u32,
+    events: Vec<SpanEvent>,
+}
+
+impl LocalBuf {
+    fn flush(&mut self) {
+        if self.events.is_empty() {
+            return;
+        }
+        let mut global = COLLECTOR.lock().unwrap_or_else(|e| e.into_inner());
+        global.append(&mut self.events);
+    }
+}
+
+impl Drop for LocalBuf {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalBuf> = RefCell::new(LocalBuf {
+        tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+        depth: 0,
+        events: Vec::new(),
+    });
+}
+
+/// An in-flight span; records itself when dropped. Obtain via [`span`]
+/// or [`span_cat`].
+#[must_use = "a span measures the time until it is dropped"]
+pub struct SpanGuard {
+    /// `None` when tracing was disabled at creation: the drop is a no-op.
+    active: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    name: Cow<'static, str>,
+    cat: &'static str,
+    start: Instant,
+    ts_us: u64,
+    depth: u32,
+    args: Vec<(&'static str, String)>,
+}
+
+impl SpanGuard {
+    /// Attaches a key/value annotation (no-op when the span is inactive,
+    /// so arguments may be computed lazily via [`SpanGuard::is_active`]).
+    pub fn arg(&mut self, key: &'static str, value: impl std::fmt::Display) {
+        if let Some(a) = &mut self.active {
+            a.args.push((key, value.to_string()));
+        }
+    }
+
+    /// Whether this span is actually recording.
+    pub fn is_active(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(a) = self.active.take() else { return };
+        let dur_us = a.start.elapsed().as_micros() as u64;
+        LOCAL.with(|l| {
+            let mut l = l.borrow_mut();
+            l.depth = l.depth.saturating_sub(1);
+            let event = SpanEvent {
+                name: a.name,
+                cat: a.cat,
+                ts_us: a.ts_us,
+                dur_us,
+                tid: l.tid,
+                depth: a.depth,
+                args: a.args,
+            };
+            l.events.push(event);
+            if l.events.len() >= FLUSH_THRESHOLD {
+                l.flush();
+            }
+        });
+    }
+}
+
+/// Starts a span in the default category.
+#[inline]
+pub fn span(name: impl Into<Cow<'static, str>>) -> SpanGuard {
+    span_cat(name, "mime")
+}
+
+/// Starts a span in an explicit category. On the disabled path this is
+/// one atomic load; `name` is only converted when recording (pass
+/// `&'static str` to avoid allocation entirely).
+#[inline]
+pub fn span_cat(name: impl Into<Cow<'static, str>>, cat: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { active: None };
+    }
+    let depth = LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        let d = l.depth;
+        l.depth += 1;
+        d
+    });
+    SpanGuard {
+        active: Some(ActiveSpan {
+            name: name.into(),
+            cat,
+            start: Instant::now(),
+            ts_us: now_us(),
+            depth,
+            args: Vec::new(),
+        }),
+    }
+}
+
+/// Flushes the calling thread's buffer and takes every span collected so
+/// far. Spans on *other threads that are still running* and have not hit
+/// the flush threshold are not included — workers that have exited
+/// (e.g. scoped threads) always are.
+pub fn drain() -> Vec<SpanEvent> {
+    LOCAL.with(|l| l.borrow_mut().flush());
+    let mut global = COLLECTOR.lock().unwrap_or_else(|e| e.into_inner());
+    std::mem::take(&mut *global)
+}
+
+/// Renders spans as a Chrome-trace JSON document (open in
+/// `chrome://tracing` or <https://ui.perfetto.dev>). Events are complete
+/// (`"ph":"X"`) with one `pid` and per-thread `tid`s.
+pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
+    let mut s = String::with_capacity(events.len() * 96 + 64);
+    s.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n{\"name\":\"");
+        escape_into(&e.name, &mut s);
+        s.push_str("\",\"cat\":\"");
+        escape_into(e.cat, &mut s);
+        s.push_str("\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+        s.push_str(&e.tid.to_string());
+        s.push_str(",\"ts\":");
+        s.push_str(&e.ts_us.to_string());
+        s.push_str(",\"dur\":");
+        s.push_str(&e.dur_us.to_string());
+        s.push_str(",\"args\":{\"depth\":");
+        s.push_str(&e.depth.to_string());
+        for (k, v) in &e.args {
+            s.push_str(",\"");
+            escape_into(k, &mut s);
+            s.push_str("\":\"");
+            escape_into(v, &mut s);
+            s.push('"');
+        }
+        s.push_str("}}");
+    }
+    s.push_str("\n]}\n");
+    s
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn escape_into(raw: &str, out: &mut String) {
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The trace tests share the global collector, so they run as one
+    /// test (Rust's harness would interleave them otherwise).
+    #[test]
+    fn spans_nest_flush_and_export() {
+        set_enabled(false);
+        drain();
+
+        // disabled path: no allocation-observable effects, inert guard
+        {
+            let mut g = span("ignored");
+            assert!(!g.is_active());
+            g.arg("k", 1);
+        }
+        assert!(drain().is_empty());
+
+        set_enabled(true);
+        {
+            let mut outer = span_cat("outer", "test");
+            outer.arg("layer", "conv1");
+            {
+                let inner = span_cat("inner", "test");
+                assert!(inner.is_active());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        // spans from worker threads flush when the thread exits
+        std::thread::scope(|s| {
+            for t in 0..3 {
+                s.spawn(move || {
+                    let _a = span_cat("worker_outer", "test");
+                    let _b = span_cat(format!("worker_inner_{t}"), "test");
+                });
+            }
+        });
+        set_enabled(false);
+        let events = drain();
+        assert_eq!(events.len(), 8, "{events:?}");
+
+        let outer = events.iter().find(|e| e.name == "outer").unwrap();
+        let inner = events.iter().find(|e| e.name == "inner").unwrap();
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1, "nesting depth tracks per-thread");
+        assert_eq!(outer.tid, inner.tid);
+        assert!(inner.dur_us >= 1000, "slept 1ms inside: {}", inner.dur_us);
+        assert!(outer.dur_us >= inner.dur_us);
+        assert!(outer.ts_us <= inner.ts_us);
+        assert_eq!(outer.args, vec![("layer", "conv1".to_string())]);
+
+        // each worker thread gets its own tid; nesting is per-thread
+        let mut worker_tids: Vec<u64> = events
+            .iter()
+            .filter(|e| e.name.starts_with("worker_inner"))
+            .map(|e| e.tid)
+            .collect();
+        worker_tids.sort_unstable();
+        worker_tids.dedup();
+        assert_eq!(worker_tids.len(), 3);
+        for e in events.iter().filter(|e| e.name.starts_with("worker_inner")) {
+            assert_eq!(e.depth, 1);
+            assert_ne!(e.tid, outer.tid);
+        }
+
+        // chrome export is well-formed and contains every span
+        let json = chrome_trace_json(&events);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("]}"));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), events.len());
+        assert!(json.contains("\"layer\":\"conv1\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn escaping_handles_specials() {
+        let e = SpanEvent {
+            name: Cow::Borrowed("a\"b\\c\nd\u{1}"),
+            cat: "t",
+            ts_us: 0,
+            dur_us: 1,
+            tid: 9,
+            depth: 0,
+            args: vec![("k", "v\"".into())],
+        };
+        let json = chrome_trace_json(std::slice::from_ref(&e));
+        assert!(json.contains("a\\\"b\\\\c\\nd\\u0001"));
+        assert!(json.contains("\"k\":\"v\\\"\""));
+    }
+}

@@ -1,0 +1,159 @@
+//! Registry unit tests: histogram bucketing edge cases and export
+//! golden files.
+
+use mime_obs::metrics::Registry;
+
+#[test]
+fn histogram_bucket_edges() {
+    let r = Registry::new();
+    let h = r.histogram_with("h", &[], &[1.0, 2.0, 5.0]);
+
+    h.observe(-3.0); // underflow lands in the first bucket
+    h.observe(0.0);
+    h.observe(1.0); // exact boundary: counts as <= 1.0
+    h.observe(1.0000001); // just past: next bucket
+    h.observe(2.0); // exact boundary of the middle bucket
+    h.observe(5.0); // exact last finite boundary
+    h.observe(5.1); // overflow: +Inf only
+    h.observe(f64::INFINITY); // +Inf bucket
+    h.observe(f64::NAN); // NaN: +Inf bucket, never panics
+
+    assert_eq!(h.count(), 9);
+    let buckets = h.cumulative_buckets();
+    assert_eq!(buckets.len(), 4, "3 bounds + Inf");
+    assert_eq!(buckets[0], (1.0, 3)); // -3, 0, 1
+    assert_eq!(buckets[1], (2.0, 5)); // + 1.0000001, 2.0
+    assert_eq!(buckets[2], (5.0, 6)); // + 5.0
+    assert_eq!(buckets[3].1, 9); // everything, cumulatively
+    assert!(buckets[3].0.is_infinite());
+}
+
+#[test]
+fn histogram_sum_and_single_bucket() {
+    let r = Registry::new();
+    let h = r.histogram_with("one", &[], &[10.0]);
+    h.observe(3.0);
+    h.observe(10.0);
+    h.observe(11.0);
+    assert_eq!(h.sum(), 24.0);
+    assert_eq!(h.cumulative_buckets(), vec![(10.0, 2), (f64::INFINITY, 3)]);
+}
+
+#[test]
+#[should_panic(expected = "strictly increasing")]
+fn histogram_rejects_unsorted_bounds() {
+    Registry::new().histogram_with("bad", &[], &[2.0, 1.0]);
+}
+
+#[test]
+#[should_panic(expected = "at least one bound")]
+fn histogram_rejects_empty_bounds() {
+    Registry::new().histogram_with("bad", &[], &[]);
+}
+
+#[test]
+#[should_panic(expected = "different kind")]
+fn kind_conflict_panics() {
+    let r = Registry::new();
+    r.counter("x");
+    r.gauge("x");
+}
+
+#[test]
+fn labels_are_order_insensitive() {
+    let r = Registry::new();
+    let a = r.counter_with("c", &[("task", "0"), ("mode", "mime")]);
+    let b = r.counter_with("c", &[("mode", "mime"), ("task", "0")]);
+    a.inc();
+    b.inc();
+    assert_eq!(a.get(), 2, "both handles address the same series");
+    assert_eq!(r.counter_value("c", &[("task", "0"), ("mode", "mime")]), Some(2));
+}
+
+/// Builds the registry both golden files are rendered from.
+fn golden_registry() -> Registry {
+    let r = Registry::new();
+    r.counter("mime_test_events_total").add(42);
+    r.counter_with("mime_test_tasks_total", &[("task", "cifar10")]).add(7);
+    r.gauge("mime_test_ratio").set(0.25);
+    r.gauge("mime_test_whole").set(3.0);
+    let h = r.histogram_with("mime_test_latency_seconds", &[], &[0.001, 0.01, 0.1]);
+    h.observe(0.0005);
+    h.observe(0.05);
+    h.observe(2.0);
+    r
+}
+
+#[test]
+fn prometheus_export_matches_golden() {
+    let got = golden_registry().render_prometheus();
+    let want = include_str!("golden/registry.prom");
+    assert_eq!(got, want, "---got---\n{got}\n---want---\n{want}");
+    // every line matches the exposition-format shape check.sh greps for
+    let line_re = |l: &str| {
+        let (name, value) = l.rsplit_once(' ').unwrap();
+        assert!(
+            name.chars().next().unwrap().is_ascii_lowercase(),
+            "series must start lowercase: {l}"
+        );
+        assert!(
+            value.chars().all(|c| c.is_ascii_digit()
+                || matches!(c, '.' | 'e' | 'E' | '+' | '-' | 'I' | 'n' | 'f')),
+            "value must be numeric: {l}"
+        );
+    };
+    got.lines().for_each(line_re);
+}
+
+#[test]
+fn json_export_matches_golden() {
+    let got = golden_registry().render_json();
+    let want = include_str!("golden/registry.json");
+    assert_eq!(got, want, "---got---\n{got}\n---want---\n{want}");
+    // structurally sane: balanced braces/brackets
+    assert_eq!(got.matches('{').count(), got.matches('}').count());
+    assert_eq!(got.matches('[').count(), got.matches(']').count());
+}
+
+#[test]
+fn clear_empties_the_registry() {
+    let r = golden_registry();
+    assert!(!r.render_prometheus().is_empty());
+    r.clear();
+    assert!(r.render_prometheus().is_empty());
+    assert_eq!(r.render_json(), "{\n}\n");
+}
+
+#[test]
+fn counter_snapshot_names_series() {
+    let r = golden_registry();
+    let snap = r.counter_snapshot();
+    assert_eq!(snap.get("mime_test_events_total"), Some(&42));
+    assert_eq!(snap.get("mime_test_tasks_total{task=\"cifar10\"}"), Some(&7));
+    assert_eq!(snap.len(), 2, "gauges and histograms are not counters");
+}
+
+#[test]
+fn concurrent_updates_are_lost_update_free() {
+    let r = Registry::new();
+    let c = r.counter("mime_test_concurrent_total");
+    let g = r.gauge("mime_test_concurrent_gauge");
+    let h = r.histogram_with("mime_test_concurrent_hist", &[], &[0.5]);
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let (c, g, h) = (c.clone(), g.clone(), h.clone());
+            s.spawn(move || {
+                for i in 0..1000 {
+                    c.inc();
+                    g.add(1.0);
+                    h.observe(if i % 2 == 0 { 0.25 } else { 0.75 });
+                }
+            });
+        }
+    });
+    assert_eq!(c.get(), 8000);
+    assert_eq!(g.get(), 8000.0);
+    assert_eq!(h.count(), 8000);
+    assert_eq!(h.sum(), 8000.0 * 0.5);
+    assert_eq!(h.cumulative_buckets(), vec![(0.5, 4000), (f64::INFINITY, 8000)]);
+}

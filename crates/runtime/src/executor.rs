@@ -6,6 +6,7 @@ use mime_core::faults::first_non_finite;
 use mime_core::MimeError;
 use mime_systolic::{AccessCounters, ArrayConfig, FunctionalArray, Mapper};
 use mime_tensor::{max_pool2d, PoolSpec, Tensor};
+use std::time::Instant;
 
 /// Per-batch execution report.
 #[derive(Debug, Clone, Default)]
@@ -82,11 +83,15 @@ impl HardwareExecutor {
                 actual: image.dims().to_vec(),
             });
         }
+        let profiling = mime_obs::profiling();
+        let _image_span =
+            profiling.then(|| mime_obs::trace::span_cat("run_image", "runtime.image"));
         let mapper = Mapper::new(self.cfg);
         let mut x = image.clone();
         for step in plan.steps() {
             match step {
                 BoundLayer::Array { geom, weight, bias, thresholds } => {
+                    let start = profiling.then(Instant::now);
                     // FC steps expect a flat [C,1,1] activation
                     let staged =
                         if geom.r == 1 { x.reshape(&[geom.c, 1, 1])? } else { x.clone() };
@@ -103,6 +108,17 @@ impl HardwareExecutor {
                     if thresholds.is_none() && geom.masked {
                         // baseline activation: host-side ReLU
                         out = out.relu();
+                    }
+                    if let Some(start) = start {
+                        if mime_obs::metrics_enabled() {
+                            mime_obs::metrics::global()
+                                .histogram_with(
+                                    "mime_runtime_layer_latency_seconds",
+                                    &[("layer", &geom.name)],
+                                    &mime_obs::metrics::SECONDS_BUCKETS,
+                                )
+                                .observe(start.elapsed().as_secs_f64());
+                        }
                     }
                     x = out;
                 }
@@ -165,6 +181,11 @@ impl HardwareExecutor {
         zero_skip: bool,
     ) -> crate::Result<BatchReport> {
         self.array.reset();
+        let mut batch_span = mime_obs::profiling()
+            .then(|| mime_obs::trace::span_cat("run_pipelined", "runtime.batch"));
+        if let Some(span) = batch_span.as_mut() {
+            span.arg("images", batch.len());
+        }
         let fallbacks = compute_fallbacks(plans);
         let effective = effective_plans(plans, &fallbacks);
         let acct = batch_accounting(&effective, &fallbacks, batch, shared_weights)?;
@@ -172,7 +193,9 @@ impl HardwareExecutor {
         for (task, image) in batch {
             logits.push(self.run_image(effective[*task], image, zero_skip)?);
         }
-        Ok(acct.into_report(*self.array.counters(), logits))
+        let report = acct.into_report(*self.array.counters(), logits);
+        publish_batch_metrics(&effective, batch, &report);
+        Ok(report)
     }
 
     /// [`run_pipelined`](Self::run_pipelined), with the per-image
@@ -231,11 +254,17 @@ impl HardwareExecutor {
         zero_skip: bool,
         threads: usize,
     ) -> crate::Result<BatchReport> {
+        let mut batch_span = mime_obs::profiling()
+            .then(|| mime_obs::trace::span_cat("run_batch_parallel", "runtime.batch"));
         let fallbacks = compute_fallbacks(plans);
         let effective = effective_plans(plans, &fallbacks);
         let acct = batch_accounting(&effective, &fallbacks, batch, shared_weights)?;
         let workers = threads.clamp(1, batch.len().max(1));
         let chunk = batch.len().div_ceil(workers).max(1);
+        if let Some(span) = batch_span.as_mut() {
+            span.arg("images", batch.len());
+            span.arg("workers", workers);
+        }
         // Each worker returns its chunk's logits and counter deltas, or
         // the global index of its first failing image (for deterministic
         // error selection below).
@@ -247,6 +276,12 @@ impl HardwareExecutor {
                 let effective = &effective;
                 let cfg = self.cfg;
                 handles.push(scope.spawn(move || -> WorkerOut {
+                    let mut worker_span = mime_obs::profiling()
+                        .then(|| mime_obs::trace::span_cat("worker", "runtime.worker"));
+                    if let Some(span) = worker_span.as_mut() {
+                        span.arg("chunk_start", start);
+                        span.arg("chunk_len", work.len());
+                    }
                     let mut replica = HardwareExecutor::new(cfg);
                     let mut logits = Vec::with_capacity(work.len());
                     for (offset, (task, image)) in work.iter().enumerate() {
@@ -299,8 +334,71 @@ impl HardwareExecutor {
         if let Some((_, e)) = first_err {
             return Err(e);
         }
-        Ok(acct.into_report(counters, logits))
+        let report = acct.into_report(counters, logits);
+        publish_batch_metrics(&effective, batch, &report);
+        Ok(report)
     }
+}
+
+/// Publishes the deterministic per-batch counters. Both the serial and
+/// parallel executors call this with bit-identical [`BatchReport`]s, so
+/// the exported series do not depend on how the batch was scheduled
+/// (wall-time histograms, which do, live elsewhere).
+fn publish_batch_metrics(
+    effective: &[&BoundNetwork],
+    batch: &[(usize, Tensor)],
+    report: &BatchReport,
+) {
+    if !mime_obs::metrics_enabled() {
+        return;
+    }
+    let r = mime_obs::metrics::global();
+    r.counter("mime_runtime_images_total").add(batch.len() as u64);
+    r.counter("mime_runtime_task_switches_total").add(report.task_switches as u64);
+    r.counter("mime_runtime_degraded_tasks_total").add(report.degraded_tasks.len() as u64);
+    r.counter("mime_runtime_weight_reload_words_total").add(report.weight_reload_words);
+    r.counter("mime_runtime_threshold_reload_words_total")
+        .add(report.threshold_reload_words);
+    // MACs the dense network would have executed minus what the array
+    // actually ran = work removed by dynamic pruning and zero skipping.
+    let dense: u64 = batch.iter().map(|(task, _)| plan_dense_macs(effective[*task])).sum();
+    r.counter("mime_runtime_macs_executed_total").add(report.counters.macs);
+    r.counter("mime_runtime_macs_skipped_total")
+        .add(dense.saturating_sub(report.counters.macs));
+}
+
+/// MACs a dense (no zero-skip, no threshold pruning) pass of `plan`
+/// executes for one image: per array step, every in-bounds kernel tap of
+/// every output site, across all input and output channels. Matches the
+/// functional array's tap-level accounting (stride-1, same-padded).
+fn plan_dense_macs(plan: &BoundNetwork) -> u64 {
+    plan.steps()
+        .iter()
+        .map(|step| match step {
+            BoundLayer::Array { geom, .. } => {
+                let pad = (geom.r - 1) / 2;
+                let mut taps = 0u64;
+                for oy in 0..geom.out_hw {
+                    for ox in 0..geom.out_hw {
+                        for ry in 0..geom.r {
+                            for rx in 0..geom.r {
+                                let (iy, ix) = (oy + ry, ox + rx);
+                                if iy >= pad
+                                    && iy - pad < geom.in_hw
+                                    && ix >= pad
+                                    && ix - pad < geom.in_hw
+                                {
+                                    taps += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                taps * (geom.c * geom.k) as u64
+            }
+            BoundLayer::Pool | BoundLayer::Flatten => 0,
+        })
+        .sum()
 }
 
 /// Graceful degradation: a task whose threshold bank fails validation
@@ -308,7 +406,18 @@ impl HardwareExecutor {
 fn compute_fallbacks(plans: &[BoundNetwork]) -> Vec<Option<BoundNetwork>> {
     plans
         .iter()
-        .map(|p| p.validate_thresholds().err().map(|_| p.strip_thresholds()))
+        .enumerate()
+        .map(|(task, p)| {
+            p.validate_thresholds().err().map(|e| {
+                mime_obs::warn!(
+                    "runtime.executor",
+                    "threshold bank invalid; task degraded to parent path",
+                    task = task,
+                    error = e
+                );
+                p.strip_thresholds()
+            })
+        })
         .collect()
 }
 

@@ -56,6 +56,22 @@ impl AccessCounters {
         self.cycles += other.cycles;
     }
 
+    /// Event counts accumulated since an earlier snapshot (`self` must
+    /// be the later reading of the same monotone counters).
+    pub fn delta_since(&self, before: &AccessCounters) -> AccessCounters {
+        AccessCounters {
+            dram_reads: self.dram_reads - before.dram_reads,
+            dram_writes: self.dram_writes - before.dram_writes,
+            cache_reads: self.cache_reads - before.cache_reads,
+            cache_writes: self.cache_writes - before.cache_writes,
+            spad_reads: self.spad_reads - before.spad_reads,
+            spad_writes: self.spad_writes - before.spad_writes,
+            macs: self.macs - before.macs,
+            cmps: self.cmps - before.cmps,
+            cycles: self.cycles - before.cycles,
+        }
+    }
+
     /// Total energy of this run in MAC-normalized units under a hardware
     /// config (comparisons are charged like scratchpad accesses).
     pub fn energy(&self, cfg: &ArrayConfig) -> f64 {
@@ -153,6 +169,18 @@ impl FunctionalArray {
                 mapping.to, mapping.st, self.cfg.pe_count
             )));
         }
+        // Profiling snapshot: published as a per-layer delta on exit so
+        // the exported counters stay correct however many layers/images
+        // one array instance runs. One relaxed load when disabled.
+        let profiled = mime_obs::profiling().then(|| {
+            let mut span = mime_obs::trace::span_cat(geom.name.clone(), "systolic.layer");
+            span.arg("k", k);
+            span.arg("c", c);
+            span.arg("sites", sites);
+            span.arg("zero_skip", zero_skip);
+            (span, self.counters)
+        });
+
         let pad = (r - 1) / 2;
         let wv = weights.as_slice();
         let xv = input.as_slice();
@@ -331,6 +359,12 @@ impl FunctionalArray {
                 // lockstep pass: the slowest PE sets the pace
                 ctr.cycles += pass_max_macs.max(1);
             }
+        }
+        if let Some((mut span, before)) = profiled {
+            let delta = self.counters.delta_since(&before);
+            span.arg("macs", delta.macs);
+            span.arg("cycles", delta.cycles);
+            crate::obs_bridge::publish_access_counters(&delta);
         }
         Ok(out)
     }

@@ -34,6 +34,7 @@ mod energy;
 mod functional;
 mod geometry;
 mod mapper;
+pub mod obs_bridge;
 mod profiles;
 pub mod report;
 mod sim;

@@ -1,0 +1,101 @@
+//! Bridges the simulator's access/energy accounting into the
+//! `mime-obs` metrics registry, so DRAM/cache/scratchpad/MAC counts are
+//! exported series (`mime_systolic_*`) instead of struct fields read
+//! ad-hoc.
+//!
+//! Everything here is gated on [`mime_obs::metrics_enabled`]; when
+//! metrics are off each call is a single relaxed atomic load.
+
+use crate::{AccessCounters, EnergyBreakdown, EnergyModel};
+
+/// Adds one run's exact access counters to the global registry:
+///
+/// * `mime_systolic_dram_accesses_total` (reads + writes), plus the
+///   split `_dram_reads_total` / `_dram_writes_total`
+/// * `mime_systolic_cache_accesses_total`, `mime_systolic_spad_accesses_total`
+/// * `mime_systolic_macs_total`, `mime_systolic_cmps_total`,
+///   `mime_systolic_cycles_total`
+pub fn publish_access_counters(c: &AccessCounters) {
+    if !mime_obs::metrics_enabled() {
+        return;
+    }
+    let r = mime_obs::metrics::global();
+    r.counter("mime_systolic_dram_accesses_total").add(c.dram_reads + c.dram_writes);
+    r.counter("mime_systolic_dram_reads_total").add(c.dram_reads);
+    r.counter("mime_systolic_dram_writes_total").add(c.dram_writes);
+    r.counter("mime_systolic_cache_accesses_total").add(c.cache_reads + c.cache_writes);
+    r.counter("mime_systolic_spad_accesses_total").add(c.spad_reads + c.spad_writes);
+    r.counter("mime_systolic_macs_total").add(c.macs);
+    r.counter("mime_systolic_cmps_total").add(c.cmps);
+    r.counter("mime_systolic_cycles_total").add(c.cycles);
+}
+
+/// Accumulates an analytical access breakdown (fractional words) into
+/// `mime_systolic_analytic_*_words` gauges.
+pub fn publish_energy_breakdown(b: &EnergyBreakdown) {
+    if !mime_obs::metrics_enabled() {
+        return;
+    }
+    let r = mime_obs::metrics::global();
+    r.gauge("mime_systolic_analytic_dram_words").add(b.dram_words());
+    r.gauge("mime_systolic_analytic_cache_words").add(b.cache_accesses);
+    r.gauge("mime_systolic_analytic_spad_words").add(b.reg_accesses);
+    r.gauge("mime_systolic_analytic_macs").add(b.macs);
+}
+
+/// Accumulates a Table-IV energy split into
+/// `mime_systolic_energy_mac_units{component=...}` gauges.
+pub fn publish_energy_model(e: &EnergyModel) {
+    if !mime_obs::metrics_enabled() {
+        return;
+    }
+    let r = mime_obs::metrics::global();
+    for (component, value) in
+        [("dram", e.e_dram), ("cache", e.e_cache), ("reg", e.e_reg), ("mac", e.e_mac)]
+    {
+        r.gauge_with("mime_systolic_energy_mac_units", &[("component", component)])
+            .add(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One test (not several) because the global registry and the
+    /// enabled flag are process-wide.
+    #[test]
+    fn publishes_only_when_enabled() {
+        let reg = mime_obs::metrics::global();
+        let c = AccessCounters {
+            dram_reads: 10,
+            dram_writes: 5,
+            cache_reads: 3,
+            cache_writes: 4,
+            spad_reads: 2,
+            spad_writes: 1,
+            macs: 100,
+            cmps: 7,
+            cycles: 20,
+        };
+        mime_obs::set_metrics_enabled(false);
+        publish_access_counters(&c);
+        assert_eq!(reg.counter_value("mime_systolic_dram_accesses_total", &[]), None);
+
+        mime_obs::set_metrics_enabled(true);
+        publish_access_counters(&c);
+        publish_access_counters(&c);
+        assert_eq!(reg.counter_value("mime_systolic_dram_accesses_total", &[]), Some(30));
+        assert_eq!(reg.counter_value("mime_systolic_macs_total", &[]), Some(200));
+        assert_eq!(reg.counter_value("mime_systolic_cmps_total", &[]), Some(14));
+
+        let e = EnergyModel { e_dram: 1.5, e_cache: 0.5, e_reg: 0.25, e_mac: 1.0 };
+        publish_energy_model(&e);
+        let b = EnergyBreakdown { macs: 8.0, dram_acts: 2.0, ..Default::default() };
+        publish_energy_breakdown(&b);
+        mime_obs::set_metrics_enabled(false);
+        let prom = reg.render_prometheus();
+        assert!(prom.contains("mime_systolic_energy_mac_units{component=\"dram\"} 1.5"));
+        assert!(prom.contains("mime_systolic_analytic_macs 8"));
+    }
+}

@@ -36,6 +36,28 @@ if [[ "$run_tests" == 1 ]]; then
     # scripts/bench.sh, not here)
     echo "==> bench_kernels --smoke"
     cargo run --release -p mime-bench --bin bench_kernels -- --smoke
+
+    # observability smoke: a tiny batch through the hardware executor
+    # with tracing + metrics on; the trace must be well-formed JSON and
+    # every metrics line must match the Prometheus text grammar
+    echo "==> mime batch --trace-out/--metrics-out smoke"
+    obs_trace=target/obs_smoke.trace.json
+    obs_metrics=target/obs_smoke.metrics.prom
+    cargo run --release -p mime-cli --bin mime -- batch \
+        --images 2 --tasks 2 --threads 2 \
+        --trace-out "$obs_trace" --metrics-out "$obs_metrics" >/dev/null
+    if command -v python3 >/dev/null 2>&1; then
+        python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$obs_trace"
+    else
+        grep -q '"traceEvents"' "$obs_trace"
+    fi
+    if grep -Evq '^[a-z_]+(\{[^}]*\})? [0-9.eE+-]+$' "$obs_metrics"; then
+        echo "FAIL: metrics line(s) do not match the Prometheus grammar:" >&2
+        grep -Ev '^[a-z_]+(\{[^}]*\})? [0-9.eE+-]+$' "$obs_metrics" | head >&2
+        exit 1
+    fi
+    grep -q '^mime_systolic_dram_accesses_total [1-9]' "$obs_metrics"
+    grep -q '^mime_runtime_layer_latency_seconds_count' "$obs_metrics"
 fi
 
 echo "==> all checks passed"

@@ -16,6 +16,8 @@
 //!   functional execution-level array.
 //! * [`runtime`] — hardware-in-the-loop executor running trained networks
 //!   on the functional array with task-aware parameter residency.
+//! * [`obs`] — tracing spans, the metrics registry, and the structured
+//!   logger behind the per-layer profiling hooks.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +50,7 @@
 pub use mime_core as core;
 pub use mime_datasets as datasets;
 pub use mime_nn as nn;
+pub use mime_obs as obs;
 pub use mime_runtime as runtime;
 pub use mime_systolic as systolic;
 pub use mime_tensor as tensor;
