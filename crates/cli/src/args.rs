@@ -39,6 +39,11 @@ pub enum Command {
         epochs: usize,
         /// RNG seed (default 42).
         seed: u64,
+        /// Directory receiving a crash-safe checkpoint image per epoch.
+        checkpoint_dir: Option<String>,
+        /// Restore the latest clean checkpoint from `checkpoint_dir`
+        /// and continue from the recorded epoch.
+        resume: bool,
     },
     /// `mime pack`: train a small multi-task model and write its
     /// deployment image.
@@ -104,9 +109,76 @@ pub enum Command {
         /// Worker threads for the parallel run (default 0 = auto from
         /// `MIME_THREADS`/cores).
         threads: usize,
+        /// Fault drill: NaN-poison this task's threshold bank before
+        /// running, forcing the graceful-degradation path (and the
+        /// degraded exit code 2).
+        poison: Option<usize>,
+    },
+    /// `mime serve`: resilient serving loop over the functional array —
+    /// bounded admission, deadlines, retries, per-task circuit
+    /// breakers, supervised workers — with optional fault injection.
+    Serve {
+        /// Number of requests to admit (default 16).
+        requests: usize,
+        /// Number of child tasks round-robined over the requests
+        /// (default 3).
+        tasks: usize,
+        /// RNG seed for the parent backbone (default 42).
+        seed: u64,
+        /// Fault to inject (default none).
+        inject: ServeFault,
+        /// Supervised worker count (default 2).
+        workers: usize,
+        /// Admission-queue capacity (default 0 = fit all requests;
+        /// `overload` injection halves it instead).
+        capacity: usize,
     },
     /// `mime help`.
     Help,
+}
+
+/// Fault selector for `mime serve --inject`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeFault {
+    /// No fault: every request should succeed.
+    None,
+    /// NaN-poison the last task's threshold bank (breaker trips to the
+    /// parent path and stays open).
+    NanPoison,
+    /// Pack the fleet image, flip bits in a task section, reload
+    /// through the containment unpack.
+    BitFlip,
+    /// Pack, truncate the image, reload (typically every bank lost).
+    Truncate,
+    /// Pack, garble a byte run, reload.
+    Garble,
+    /// Panic the worker on every 5th request's first attempt
+    /// (supervised restart + requeue).
+    Panic,
+    /// Transient failure on every 3rd request's first attempt
+    /// (backoff retry).
+    Flaky,
+    /// Make request 0 a 1000x straggler (deadline enforcement).
+    Slow,
+    /// Halve the queue capacity so the overflow sheds `QueueFull`.
+    Overload,
+}
+
+impl ServeFault {
+    /// The `--inject` spelling of this fault.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeFault::None => "none",
+            ServeFault::NanPoison => "nan-poison",
+            ServeFault::BitFlip => "bitflip",
+            ServeFault::Truncate => "truncate",
+            ServeFault::Garble => "garble",
+            ServeFault::Panic => "panic",
+            ServeFault::Flaky => "flaky",
+            ServeFault::Slow => "slow",
+            ServeFault::Overload => "overload",
+        }
+    }
 }
 
 /// Observability options shared by every command, parsed from the
@@ -360,8 +432,24 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
             })
         }
         "train" => {
-            let (flags, pos) = split_flags(rest)?;
-            reject_unknown(&flags, &["task", "epochs", "seed"])?;
+            // `--resume` is the one valueless flag in the CLI; strip it
+            // before `split_flags`, which pairs every `--flag` with the
+            // next token.
+            let mut resume = false;
+            let rest: Vec<String> = rest
+                .iter()
+                .filter(|a| {
+                    if a.as_str() == "--resume" {
+                        resume = true;
+                        false
+                    } else {
+                        true
+                    }
+                })
+                .cloned()
+                .collect();
+            let (flags, pos) = split_flags(&rest)?;
+            reject_unknown(&flags, &["task", "epochs", "seed", "checkpoint-dir"])?;
             if !pos.is_empty() {
                 return Err(err(format!("unexpected argument '{}'", pos[0])));
             }
@@ -371,10 +459,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                     "unknown task '{task}' (expected cifar10|cifar100|fmnist)"
                 )));
             }
+            let checkpoint_dir = flags.get("checkpoint-dir").cloned();
+            if resume && checkpoint_dir.is_none() {
+                return Err(err("--resume requires --checkpoint-dir <dir>"));
+            }
             Ok(Command::Train {
                 task,
                 epochs: get_num(&flags, "epochs", 10)?,
                 seed: get_num(&flags, "seed", 42)?,
+                checkpoint_dir,
+                resume,
             })
         }
         "pack" => {
@@ -476,7 +570,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
         }
         "batch" => {
             let (flags, pos) = split_flags(rest)?;
-            reject_unknown(&flags, &["images", "tasks", "seed", "threads"])?;
+            reject_unknown(&flags, &["images", "tasks", "seed", "threads", "poison"])?;
             if !pos.is_empty() {
                 return Err(err(format!("unexpected argument '{}'", pos[0])));
             }
@@ -488,11 +582,73 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
             if tasks == 0 {
                 return Err(err("--tasks must be at least 1"));
             }
+            let poison = match flags.get("poison") {
+                None => None,
+                Some(v) => Some(
+                    v.parse::<usize>()
+                        .map_err(|_| err(format!("flag --poison: invalid value '{v}'")))?,
+                ),
+            };
+            if let Some(p) = poison {
+                if p >= tasks {
+                    return Err(err(format!(
+                        "--poison {p} is out of range ({tasks} task(s))"
+                    )));
+                }
+            }
             Ok(Command::Batch {
                 images,
                 tasks,
                 seed: get_num(&flags, "seed", 42)?,
                 threads: get_num(&flags, "threads", 0)?,
+                poison,
+            })
+        }
+        "serve" => {
+            let (flags, pos) = split_flags(rest)?;
+            reject_unknown(
+                &flags,
+                &["requests", "tasks", "seed", "inject", "workers", "capacity"],
+            )?;
+            if !pos.is_empty() {
+                return Err(err(format!("unexpected argument '{}'", pos[0])));
+            }
+            let requests: usize = get_num(&flags, "requests", 16)?;
+            if requests == 0 {
+                return Err(err("--requests must be at least 1"));
+            }
+            let tasks: usize = get_num(&flags, "tasks", 3)?;
+            if tasks == 0 {
+                return Err(err("--tasks must be at least 1"));
+            }
+            let inject = match flags.get("inject").map(String::as_str) {
+                None | Some("none") => ServeFault::None,
+                Some("nan-poison") => ServeFault::NanPoison,
+                Some("bitflip") => ServeFault::BitFlip,
+                Some("truncate") => ServeFault::Truncate,
+                Some("garble") => ServeFault::Garble,
+                Some("panic") => ServeFault::Panic,
+                Some("flaky") => ServeFault::Flaky,
+                Some("slow") => ServeFault::Slow,
+                Some("overload") => ServeFault::Overload,
+                Some(m) => {
+                    return Err(err(format!(
+                        "unknown fault '{m}' (expected none|nan-poison|bitflip|truncate|\
+                         garble|panic|flaky|slow|overload)"
+                    )))
+                }
+            };
+            let workers: usize = get_num(&flags, "workers", 2)?;
+            if workers == 0 {
+                return Err(err("--workers must be at least 1"));
+            }
+            Ok(Command::Serve {
+                requests,
+                tasks,
+                seed: get_num(&flags, "seed", 42)?,
+                inject,
+                workers,
+                capacity: get_num(&flags, "capacity", 0)?,
             })
         }
         other => Err(err(format!("unknown command '{other}' (try 'mime help')"))),
@@ -574,7 +730,13 @@ mod tests {
     fn train_pack_inspect_validate() {
         assert_eq!(
             p(&["train", "--task", "fmnist", "--epochs", "3", "--seed", "7"]).unwrap(),
-            Command::Train { task: "fmnist".into(), epochs: 3, seed: 7 }
+            Command::Train {
+                task: "fmnist".into(),
+                epochs: 3,
+                seed: 7,
+                checkpoint_dir: None,
+                resume: false,
+            }
         );
         assert_eq!(
             p(&["pack", "--out", "model.mime"]).unwrap(),
@@ -656,15 +818,111 @@ mod tests {
     fn batch_defaults_and_validation() {
         assert_eq!(
             p(&["batch"]).unwrap(),
-            Command::Batch { images: 6, tasks: 2, seed: 42, threads: 0 }
+            Command::Batch { images: 6, tasks: 2, seed: 42, threads: 0, poison: None }
         );
         assert_eq!(
             p(&["batch", "--images", "4", "--tasks", "3", "--threads", "2"]).unwrap(),
-            Command::Batch { images: 4, tasks: 3, seed: 42, threads: 2 }
+            Command::Batch { images: 4, tasks: 3, seed: 42, threads: 2, poison: None }
         );
         assert!(p(&["batch", "--images", "0"]).is_err());
         assert!(p(&["batch", "--tasks", "0"]).is_err());
         assert!(p(&["batch", "extra"]).is_err());
+    }
+
+    #[test]
+    fn batch_poison_drill_flag() {
+        assert_eq!(
+            p(&["batch", "--tasks", "3", "--poison", "2"]).unwrap(),
+            Command::Batch { images: 6, tasks: 3, seed: 42, threads: 0, poison: Some(2) }
+        );
+        assert!(p(&["batch", "--poison", "2"]).is_err(), "out of range for 2 tasks");
+        assert!(p(&["batch", "--poison", "nope"]).is_err());
+    }
+
+    #[test]
+    fn train_checkpoint_and_resume_flags() {
+        assert_eq!(
+            p(&["train", "--checkpoint-dir", "ckpt"]).unwrap(),
+            Command::Train {
+                task: "cifar10".into(),
+                epochs: 10,
+                seed: 42,
+                checkpoint_dir: Some("ckpt".into()),
+                resume: false,
+            }
+        );
+        // --resume is valueless and position-independent
+        assert_eq!(
+            p(&["train", "--resume", "--checkpoint-dir", "ckpt", "--epochs", "2"]).unwrap(),
+            Command::Train {
+                task: "cifar10".into(),
+                epochs: 2,
+                seed: 42,
+                checkpoint_dir: Some("ckpt".into()),
+                resume: true,
+            }
+        );
+        assert_eq!(
+            p(&["train", "--checkpoint-dir", "ckpt", "--resume"]).unwrap(),
+            Command::Train {
+                task: "cifar10".into(),
+                epochs: 10,
+                seed: 42,
+                checkpoint_dir: Some("ckpt".into()),
+                resume: true,
+            }
+        );
+        assert!(p(&["train", "--resume"]).is_err(), "--resume needs --checkpoint-dir");
+    }
+
+    #[test]
+    fn serve_defaults_and_fault_modes() {
+        assert_eq!(
+            p(&["serve"]).unwrap(),
+            Command::Serve {
+                requests: 16,
+                tasks: 3,
+                seed: 42,
+                inject: ServeFault::None,
+                workers: 2,
+                capacity: 0,
+            }
+        );
+        for (name, fault) in [
+            ("none", ServeFault::None),
+            ("nan-poison", ServeFault::NanPoison),
+            ("bitflip", ServeFault::BitFlip),
+            ("truncate", ServeFault::Truncate),
+            ("garble", ServeFault::Garble),
+            ("panic", ServeFault::Panic),
+            ("flaky", ServeFault::Flaky),
+            ("slow", ServeFault::Slow),
+            ("overload", ServeFault::Overload),
+        ] {
+            match p(&["serve", "--inject", name]).unwrap() {
+                Command::Serve { inject, .. } => {
+                    assert_eq!(inject, fault);
+                    assert_eq!(inject.name(), name);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(
+            p(&["serve", "--requests", "64", "--workers", "4", "--capacity", "8"]).unwrap(),
+            Command::Serve {
+                requests: 64,
+                tasks: 3,
+                seed: 42,
+                inject: ServeFault::None,
+                workers: 4,
+                capacity: 8,
+            }
+        );
+        assert!(p(&["serve", "--requests", "0"]).is_err());
+        assert!(p(&["serve", "--tasks", "0"]).is_err());
+        assert!(p(&["serve", "--workers", "0"]).is_err());
+        assert!(p(&["serve", "--inject", "gremlins"]).is_err());
+        assert!(p(&["serve", "extra"]).is_err());
     }
 
     fn pi(args: &[&str]) -> Result<(ObsOptions, Command), ArgError> {

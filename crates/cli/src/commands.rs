@@ -1,16 +1,18 @@
 //! Command implementations. Each writes human-readable output to the
 //! given writer, so tests can capture it.
 
-use crate::{Command, FaultMode, SimApproach};
+use crate::{Command, FaultMode, ServeFault, SimApproach};
 use bytes::Bytes;
-use mime_core::deploy::{pack_model, unpack_model, verify_image};
+use mime_core::deploy::{pack_model, unpack_model, verify_image, write_file_atomic};
 use mime_core::faults::FaultInjector;
 use mime_core::{
-    calibrate_thresholds, measure_sparsity, MimeNetwork, MimeTrainer, MimeTrainerConfig,
-    MultiTaskModel,
+    calibrate_thresholds, measure_sparsity, Checkpointer, MimeNetwork, MimeTrainer,
+    MimeTrainerConfig, MultiTaskModel,
 };
 use mime_datasets::{TaskFamily, TaskSpec};
 use mime_nn::{build_network, evaluate, train_epoch, vgg16_arch, Adam};
+use mime_runtime::BoundNetwork;
+use mime_serve::{FaultPlan, Request, ServeConfig, Server, VirtualClock};
 use mime_systolic::{
     analytic_image_counts, simulate_network, storage_curve, vgg16_geometry_with, Approach,
     ArrayConfig, FunctionalArray, Mapper, Scenario, TaskMode,
@@ -19,13 +21,49 @@ use mime_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::io::Write;
+use std::path::Path;
+
+/// Exit code for a command that completed but served degraded results
+/// (e.g. `mime batch` falling back to the parent path for a task).
+pub const EXIT_DEGRADED: u8 = 2;
+
+/// A failed command: the message goes to stderr, the code becomes the
+/// process exit status. Plain errors carry code 1; "completed, but
+/// degraded" carries [`EXIT_DEGRADED`] so scripts can tell the two
+/// apart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Human-readable description, suitable for stderr.
+    pub message: String,
+    /// Process exit code (nonzero).
+    pub code: u8,
+}
+
+impl CliError {
+    fn degraded(message: impl Into<String>) -> Self {
+        CliError { message: message.into(), code: EXIT_DEGRADED }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError { message, code: 1 }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
 
 /// Executes a parsed command, writing its report to `out`.
 ///
 /// # Errors
 ///
-/// Returns an error string suitable for printing to stderr (exit code 1).
-pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), String> {
+/// Returns a [`CliError`] whose message is suitable for printing to
+/// stderr and whose code becomes the process exit status.
+pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
     match cmd {
         Command::Help => {
             write_help(out);
@@ -35,7 +73,9 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), String> {
         Command::Simulate { pipelined, approach, pe, cache_kb, input_hw, csv } => {
             simulate(out, pipelined, approach, pe, cache_kb, input_hw, csv)
         }
-        Command::Train { task, epochs, seed } => train(out, &task, epochs, seed),
+        Command::Train { task, epochs, seed, checkpoint_dir, resume } => {
+            train(out, &task, epochs, seed, checkpoint_dir.as_deref(), resume)
+        }
         Command::Pack { out: path, tasks, seed } => pack(out, &path, tasks, seed),
         Command::Inspect { path } => inspect(out, &path),
         Command::VerifyImage { path } => verify_image_cmd(out, &path),
@@ -44,8 +84,11 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), String> {
         }
         Command::Sweep { input_hw, rounds } => sweep(out, input_hw, rounds),
         Command::Validate { input_hw } => validate(out, input_hw),
-        Command::Batch { images, tasks, seed, threads } => {
-            batch(out, images, tasks, seed, threads)
+        Command::Batch { images, tasks, seed, threads, poison } => {
+            batch(out, images, tasks, seed, threads, poison)
+        }
+        Command::Serve { requests, tasks, seed, inject, workers, capacity } => {
+            serve(out, requests, tasks, seed, inject, workers, capacity)
         }
     }
 }
@@ -59,6 +102,7 @@ fn write_help(out: &mut dyn Write) {
          \x20 simulate  [--mode pipelined|singular] [--approach mime|case1|case2|pruned]\n\
          \x20           [--pe 1024] [--cache-kb 156] [--input-hw 224]   layerwise energy\n\
          \x20 train     [--task cifar10|cifar100|fmnist] [--epochs 10] [--seed 42]\n\
+         \x20           [--checkpoint-dir <dir>] [--resume]\n\
          \x20           mini-scale threshold training on a synthetic child task\n\
          \x20 pack      --out <file> [--tasks 2] [--seed 42]   write a deployment image\n\
          \x20 inspect   <file>                                 summarize a deployment image\n\
@@ -67,8 +111,12 @@ fn write_help(out: &mut dyn Write) {
          \x20           [--count N]                            corrupt an image for fault drills\n\
          \x20 sweep     [--input-hw 224] [--rounds 6]          batch/task scaling sweeps\n\
          \x20 validate  [--input-hw 32]                        analytical vs functional counters\n\
-         \x20 batch     [--images 6] [--tasks 2] [--seed 42] [--threads 0]\n\
+         \x20 batch     [--images 6] [--tasks 2] [--seed 42] [--threads 0] [--poison i]\n\
          \x20           multi-task batch on the functional array, serial vs parallel\n\
+         \x20           (exit code 2 when a task degraded to the parent path)\n\
+         \x20 serve     [--requests 16] [--tasks 3] [--seed 42] [--workers 2]\n\
+         \x20           [--capacity 0] [--inject none|nan-poison|bitflip|truncate|garble|\n\
+         \x20           panic|flaky|slow|overload]   resilient serving loop chaos drill\n\
          \x20 help                                             this message\n\n\
          global flags (any command):\n\
          \x20 --trace-out <file>    write a Chrome-trace JSON (chrome://tracing, Perfetto)\n\
@@ -81,7 +129,7 @@ fn io_err(e: impl std::fmt::Display) -> String {
     format!("error: {e}")
 }
 
-fn storage(out: &mut dyn Write, input_hw: usize, children: usize) -> Result<(), String> {
+fn storage(out: &mut dyn Write, input_hw: usize, children: usize) -> Result<(), CliError> {
     let geoms = vgg16_geometry_with(input_hw, 4096, 1000);
     let _ = writeln!(
         out,
@@ -107,7 +155,7 @@ fn simulate(
     cache_kb: usize,
     input_hw: usize,
     csv: bool,
-) -> Result<(), String> {
+) -> Result<(), CliError> {
     let cfg = ArrayConfig {
         pe_count: pe,
         act_cache_bytes: cache_kb * 1024,
@@ -133,7 +181,14 @@ fn simulate(
     Ok(())
 }
 
-fn train(out: &mut dyn Write, task: &str, epochs: usize, seed: u64) -> Result<(), String> {
+fn train(
+    out: &mut dyn Write,
+    task: &str,
+    epochs: usize,
+    seed: u64,
+    checkpoint_dir: Option<&str>,
+    resume: bool,
+) -> Result<(), CliError> {
     let family = TaskFamily::new(seed, 3, 32);
     let parent_spec =
         TaskSpec { classes: 10, ..TaskSpec::imagenet_like().with_samples(16, 4) };
@@ -175,7 +230,32 @@ fn train(out: &mut dyn Write, task: &str, epochs: usize, seed: u64) -> Result<()
         lr: 3e-3,
         ..MimeTrainerConfig::default()
     });
-    let reports = trainer.train(&mut net, &train_batches).map_err(io_err)?;
+    let checkpointer = match checkpoint_dir {
+        Some(dir) => Some(Checkpointer::new(dir).map_err(io_err)?),
+        None => None,
+    };
+    let mut start_epoch = 0usize;
+    if resume {
+        // `--resume` without `--checkpoint-dir` is rejected at parse
+        // time, so the checkpointer exists here.
+        let ckpt = checkpointer.as_ref().expect("--resume implies --checkpoint-dir");
+        match ckpt.resume(&mut net).map_err(io_err)? {
+            Some((next_epoch, path)) => {
+                start_epoch = next_epoch;
+                let _ = writeln!(
+                    out,
+                    "resumed from {} (continuing at epoch {start_epoch})",
+                    path.display()
+                );
+            }
+            None => {
+                let _ = writeln!(out, "no usable checkpoint found; training from scratch");
+            }
+        }
+    }
+    let reports = trainer
+        .train_resumable(&mut net, &train_batches, start_epoch, checkpointer.as_ref())
+        .map_err(io_err)?;
     for r in &reports {
         let _ = writeln!(
             out,
@@ -222,10 +302,10 @@ fn small_multitask_model(seed: u64, tasks: usize) -> Result<MultiTaskModel, Stri
     Ok(model)
 }
 
-fn pack(out: &mut dyn Write, path: &str, tasks: usize, seed: u64) -> Result<(), String> {
+fn pack(out: &mut dyn Write, path: &str, tasks: usize, seed: u64) -> Result<(), CliError> {
     let model = small_multitask_model(seed, tasks)?;
     let image = pack_model(&model).map_err(io_err)?;
-    std::fs::write(path, &image).map_err(io_err)?;
+    write_file_atomic(Path::new(path), &image).map_err(io_err)?;
     let (w, t, n) = model.storage_profile();
     let _ = writeln!(
         out,
@@ -237,7 +317,7 @@ fn pack(out: &mut dyn Write, path: &str, tasks: usize, seed: u64) -> Result<(), 
     Ok(())
 }
 
-fn inspect(out: &mut dyn Write, path: &str) -> Result<(), String> {
+fn inspect(out: &mut dyn Write, path: &str) -> Result<(), CliError> {
     let raw = std::fs::read(path).map_err(io_err)?;
     let bytes = Bytes::from(raw);
     // Rebuild a compatible receiver at the pack() architecture; a wrong
@@ -269,7 +349,7 @@ fn inspect(out: &mut dyn Write, path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn verify_image_cmd(out: &mut dyn Write, path: &str) -> Result<(), String> {
+fn verify_image_cmd(out: &mut dyn Write, path: &str) -> Result<(), CliError> {
     let raw = std::fs::read(path).map_err(io_err)?;
     let summary =
         verify_image(&raw).map_err(|e| format!("error: unreadable image header: {e}"))?;
@@ -297,7 +377,7 @@ fn verify_image_cmd(out: &mut dyn Write, path: &str) -> Result<(), String> {
         let _ = writeln!(out, "image is clean");
         Ok(())
     } else {
-        Err(format!("error: {damaged} damaged section(s) in {path}"))
+        Err(format!("error: {damaged} damaged section(s) in {path}").into())
     }
 }
 
@@ -308,10 +388,10 @@ fn inject_faults(
     seed: u64,
     mode: FaultMode,
     count: usize,
-) -> Result<(), String> {
+) -> Result<(), CliError> {
     let mut raw = std::fs::read(path).map_err(io_err)?;
     if raw.is_empty() {
-        return Err(format!("error: {path} is empty; nothing to corrupt"));
+        return Err(format!("error: {path} is empty; nothing to corrupt").into());
     }
     let mut injector = FaultInjector::new(seed);
     match mode {
@@ -337,12 +417,12 @@ fn inject_faults(
             }
         },
     }
-    std::fs::write(dest, &raw).map_err(io_err)?;
+    write_file_atomic(Path::new(dest), &raw).map_err(io_err)?;
     let _ = writeln!(out, "wrote {dest}: {} bytes", raw.len());
     Ok(())
 }
 
-fn sweep(out: &mut dyn Write, input_hw: usize, rounds: usize) -> Result<(), String> {
+fn sweep(out: &mut dyn Write, input_hw: usize, rounds: usize) -> Result<(), CliError> {
     let geoms = vgg16_geometry_with(input_hw, 4096, 1000);
     let cfg = ArrayConfig::eyeriss_65nm();
     let _ = writeln!(out, "batch-depth sweep (3 tasks, round-robin):");
@@ -374,7 +454,7 @@ fn sweep(out: &mut dyn Write, input_hw: usize, rounds: usize) -> Result<(), Stri
     Ok(())
 }
 
-fn validate(out: &mut dyn Write, input_hw: usize) -> Result<(), String> {
+fn validate(out: &mut dyn Write, input_hw: usize) -> Result<(), CliError> {
     let geoms = vgg16_geometry_with(input_hw, 256, 10);
     let cfg = ArrayConfig::eyeriss_65nm();
     let mapper = Mapper::new(cfg);
@@ -426,8 +506,9 @@ fn batch(
     tasks: usize,
     seed: u64,
     threads: usize,
-) -> Result<(), String> {
-    use mime_runtime::{BoundNetwork, HardwareExecutor};
+    poison: Option<usize>,
+) -> Result<(), CliError> {
+    use mime_runtime::HardwareExecutor;
 
     let arch = vgg16_arch(0.0625, 32, 3, 4, 16);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -435,8 +516,15 @@ fn batch(
     let plans: Vec<BoundNetwork> = (0..tasks)
         .map(|i| {
             // spread thresholds so tasks prune visibly different amounts
-            let net = MimeNetwork::from_trained(&arch, &parent, 0.03 + 0.09 * i as f32)
+            let mut net = MimeNetwork::from_trained(&arch, &parent, 0.03 + 0.09 * i as f32)
                 .map_err(io_err)?;
+            if poison == Some(i) {
+                // fault drill: a NaN bank fails validation and degrades
+                // this task to the parent path
+                let mut banks = net.export_thresholds();
+                FaultInjector::new(seed).poison_tensor(&mut banks[0], 2);
+                net.import_thresholds(&banks).map_err(io_err)?;
+            }
             BoundNetwork::from_mime(&net).map_err(io_err)
         })
         .collect::<Result<_, String>>()?;
@@ -472,10 +560,164 @@ fn batch(
         && serial.task_switches == parallel.task_switches
         && serial.degraded_tasks == parallel.degraded_tasks;
     let _ = writeln!(out, "  parallel == serial: {identical}");
-    if identical {
+    if !identical {
+        return Err("error: parallel batch report diverged from serial".to_string().into());
+    }
+    if !serial.degraded_tasks.is_empty() {
+        // The batch completed — every image got logits — but some tasks
+        // ran on the parent path. Distinct exit code so callers can
+        // separate "served degraded" from hard failure.
+        return Err(CliError::degraded(format!(
+            "warning: batch completed with {} task(s) degraded to the parent path: {:?}",
+            serial.degraded_tasks.len(),
+            serial.degraded_tasks
+        )));
+    }
+    Ok(())
+}
+
+/// Deterministic probe input for `serve`, matching the batch command's
+/// image generator.
+fn probe_image(i: usize) -> Tensor {
+    Tensor::from_fn(&[3, 32, 32], move |j| (((j + i * 97) % 17) as f32 - 8.0) * 0.09)
+}
+
+/// A plan whose threshold banks are NaN-poisoned: validation fails, so
+/// the serving loop must degrade its requests to the parent path.
+fn unusable_plan(model: &mut MultiTaskModel, seed: u64) -> Result<BoundNetwork, CliError> {
+    let orig = model.network().export_thresholds();
+    let mut banks = orig.clone();
+    FaultInjector::new(seed).poison_tensor(&mut banks[0], 2);
+    model.network_mut().import_thresholds(&banks).map_err(io_err)?;
+    let plan = BoundNetwork::from_mime(model.network()).map_err(io_err)?;
+    model.network_mut().import_thresholds(&orig).map_err(io_err)?;
+    Ok(plan)
+}
+
+/// Packs the fleet image, corrupts it with the requested injector, and
+/// reloads it through the containment unpack — tasks whose sections
+/// were rejected (or the whole image, if unusable) get an unusable plan
+/// that degrades to the parent path at serve time.
+fn plans_after_image_fault(
+    out: &mut dyn Write,
+    model: &mut MultiTaskModel,
+    seed: u64,
+    inject: ServeFault,
+) -> Result<Vec<BoundNetwork>, CliError> {
+    let tasks = model.tasks().len();
+    let mut bytes = pack_model(model).map_err(io_err)?.to_vec();
+    let mut injector = FaultInjector::new(seed);
+    match inject {
+        ServeFault::BitFlip => {
+            let off = bytes.len().saturating_sub(64);
+            injector.flip_bits(&mut bytes[off..], 4);
+        }
+        ServeFault::Truncate => {
+            injector.truncate(&mut bytes);
+        }
+        ServeFault::Garble => {
+            let off = bytes.len().saturating_sub(256);
+            injector.garble(&mut bytes[off..], 128);
+        }
+        _ => {}
+    }
+    // The receiver shares the architecture and (via the seed) the
+    // frozen parent weights — known-good even when the shipped image is
+    // damaged beyond use.
+    let mut receiver = small_multitask_model(seed, 0)?;
+    let loaded = match unpack_model(&Bytes::from(bytes), &mut receiver) {
+        Ok(report) => report.loaded,
+        Err(e) => {
+            let _ = writeln!(out, "image unusable after {}: {e}", inject.name());
+            Vec::new()
+        }
+    };
+    let mut plans = Vec::with_capacity(tasks);
+    for i in 0..tasks {
+        let name = format!("task{i}");
+        if loaded.contains(&name) {
+            receiver.activate(&name).map_err(io_err)?;
+            plans.push(BoundNetwork::from_mime(receiver.network()).map_err(io_err)?);
+        } else {
+            let _ = writeln!(out, "task {name}: bank lost to {}", inject.name());
+            plans.push(unusable_plan(&mut receiver, seed)?);
+        }
+    }
+    Ok(plans)
+}
+
+fn serve(
+    out: &mut dyn Write,
+    requests: usize,
+    tasks: usize,
+    seed: u64,
+    inject: ServeFault,
+    workers: usize,
+    mut capacity: usize,
+) -> Result<(), CliError> {
+    let mut model = small_multitask_model(seed, tasks)?;
+    let mut plans = Vec::with_capacity(tasks);
+    for i in 0..tasks {
+        model.activate(&format!("task{i}")).map_err(io_err)?;
+        plans.push(BoundNetwork::from_mime(model.network()).map_err(io_err)?);
+    }
+    let mut faults = FaultPlan::default();
+    match inject {
+        ServeFault::None => {}
+        ServeFault::NanPoison => {
+            plans[tasks - 1] = unusable_plan(&mut model, seed)?;
+        }
+        ServeFault::BitFlip | ServeFault::Truncate | ServeFault::Garble => {
+            plans = plans_after_image_fault(out, &mut model, seed, inject)?;
+        }
+        ServeFault::Panic => faults.panic_every = Some(5),
+        ServeFault::Flaky => faults.flaky_every = Some(3),
+        ServeFault::Slow => {
+            // only request 0 hits the straggler hook
+            faults.slow_every = Some(requests.max(2));
+            faults.slow_factor = 1000;
+        }
+        ServeFault::Overload => {
+            if capacity == 0 {
+                capacity = (requests / 2).max(1);
+            }
+        }
+    }
+    if capacity == 0 {
+        capacity = requests;
+    }
+    let cfg = ServeConfig { queue_capacity: capacity, workers, ..ServeConfig::default() };
+    // Virtual clock: deadlines, backoff and breaker cooldowns advance
+    // with simulated per-layer cost, so drills are reproducible.
+    let clock = VirtualClock::new();
+    let server = Server::new(&plans, ArrayConfig::eyeriss_65nm(), cfg, &clock, faults);
+    let reqs: Vec<Request> = (0..requests)
+        .map(|i| Request { id: i, task: i % tasks, image: probe_image(i) })
+        .collect();
+    let report = server.serve(reqs);
+    let _ = writeln!(
+        out,
+        "served {requests} request(s) over {tasks} task(s), inject={} \
+         (capacity {capacity}, {workers} worker(s))",
+        inject.name()
+    );
+    let _ = writeln!(out, "  success:            {}", report.success);
+    let _ = writeln!(out, "  degraded-to-parent: {}", report.degraded);
+    let _ = writeln!(out, "  shed:               {}", report.shed);
+    let _ = writeln!(out, "  deadline-exceeded:  {}", report.deadline_exceeded);
+    let _ = writeln!(out, "  retries:            {}", report.retries);
+    let _ = writeln!(out, "  worker restarts:    {}", report.worker_restarts);
+    let _ = writeln!(out, "  breaker trips:      {}", report.breaker_trips);
+    let _ = writeln!(out, "  peak queue depth:   {}", report.peak_queue_depth);
+    if report.completions.len() == requests {
+        let _ = writeln!(out, "every request terminated in exactly one terminal state");
         Ok(())
     } else {
-        Err("error: parallel batch report diverged from serial".into())
+        Err(format!(
+            "error: {} request(s) never reached a terminal state",
+            requests - report.completions.len()
+        )
+        .into())
     }
 }
 
@@ -602,7 +844,8 @@ mod tests {
         assert_eq!(s.lines().nth(1), s2.lines().nth(1));
         let mut buf = Vec::new();
         let err = run(Command::VerifyImage { path: bad }, &mut buf).unwrap_err();
-        assert!(err.contains("damaged section"), "{err}");
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("damaged section"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -636,7 +879,7 @@ mod tests {
         let mut buf = Vec::new();
         let err = run(Command::Inspect { path: path.to_str().unwrap().into() }, &mut buf)
             .unwrap_err();
-        assert!(err.contains("not a compatible"), "{err}");
+        assert!(err.message.contains("not a compatible"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -665,8 +908,99 @@ mod tests {
 
     #[test]
     fn batch_reports_parity() {
-        let s = capture(Command::Batch { images: 3, tasks: 2, seed: 1, threads: 2 });
+        let s = capture(Command::Batch {
+            images: 3,
+            tasks: 2,
+            seed: 1,
+            threads: 2,
+            poison: None,
+        });
         assert!(s.contains("parallel == serial: true"), "{s}");
         assert!(s.contains("macs executed"), "{s}");
+    }
+
+    #[test]
+    fn batch_poison_drill_degrades_with_exit_code_2() {
+        let mut buf = Vec::new();
+        let err = run(
+            Command::Batch { images: 4, tasks: 2, seed: 1, threads: 2, poison: Some(1) },
+            &mut buf,
+        )
+        .unwrap_err();
+        assert_eq!(err.code, EXIT_DEGRADED);
+        assert!(err.message.contains("degraded"), "{err}");
+        assert!(err.message.contains("[1]"), "{err}");
+        // the batch still completed with serial/parallel parity
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("parallel == serial: true"), "{s}");
+        assert!(s.contains("degraded tasks:     [1]"), "{s}");
+    }
+
+    #[test]
+    fn serve_clean_run_all_success() {
+        let s = capture(Command::Serve {
+            requests: 6,
+            tasks: 2,
+            seed: 1,
+            inject: ServeFault::None,
+            workers: 2,
+            capacity: 0,
+        });
+        assert!(s.contains("success:            6"), "{s}");
+        assert!(s.contains("shed:               0"), "{s}");
+        assert!(s.contains("every request terminated"), "{s}");
+    }
+
+    #[test]
+    fn serve_overload_sheds_overflow() {
+        let s = capture(Command::Serve {
+            requests: 8,
+            tasks: 2,
+            seed: 1,
+            inject: ServeFault::Overload,
+            workers: 2,
+            capacity: 0,
+        });
+        assert!(s.contains("shed:               4"), "{s}");
+        assert!(s.contains("success:            4"), "{s}");
+        assert!(s.contains("every request terminated"), "{s}");
+    }
+
+    #[test]
+    fn serve_nan_poison_degrades_and_trips_breaker() {
+        let s = capture(Command::Serve {
+            requests: 9,
+            tasks: 3,
+            seed: 1,
+            inject: ServeFault::NanPoison,
+            workers: 1,
+            capacity: 0,
+        });
+        // tasks 0 and 1 serve 3 requests each; task 2's bank is
+        // poisoned, so its 3 requests degrade and the breaker trips
+        assert!(s.contains("success:            6"), "{s}");
+        assert!(s.contains("degraded-to-parent: 3"), "{s}");
+        let trips: u64 = s
+            .lines()
+            .find(|l| l.contains("breaker trips"))
+            .and_then(|l| l.split_whitespace().last())
+            .and_then(|v| v.parse().ok())
+            .unwrap();
+        assert!(trips >= 1, "{s}");
+    }
+
+    #[test]
+    fn serve_panic_injection_restarts_and_recovers() {
+        let s = capture(Command::Serve {
+            requests: 10,
+            tasks: 2,
+            seed: 1,
+            inject: ServeFault::Panic,
+            workers: 1,
+            capacity: 0,
+        });
+        assert!(s.contains("success:            10"), "{s}");
+        assert!(s.contains("worker restarts:    2"), "{s}");
+        assert!(s.contains("retries:            2"), "{s}");
     }
 }

@@ -8,12 +8,15 @@
 //! mime simulate  [--mode pipelined|singular] [--approach mime|case1|case2|pruned]
 //!                [--pe 1024] [--cache-kb 156] [--input-hw 224]
 //! mime train     [--task cifar10|cifar100|fmnist] [--epochs 10] [--seed 42]
+//!                [--checkpoint-dir <dir>] [--resume]
 //! mime pack      --out <file> [--tasks 2] [--seed 42]
 //! mime inspect   <file>
 //! mime verify-image  <file>
 //! mime inject-faults <file> --out <file> [--seed 42] [--mode bitflip|truncate|garble] [--count N]
 //! mime validate  [--input-hw 32]
-//! mime batch     [--images 6] [--tasks 2] [--seed 42] [--threads 0]
+//! mime batch     [--images 6] [--tasks 2] [--seed 42] [--threads 0] [--poison i]
+//! mime serve     [--requests 16] [--tasks 3] [--seed 42] [--workers 2] [--capacity 0]
+//!                [--inject none|nan-poison|bitflip|truncate|garble|panic|flaky|slow|overload]
 //! mime help
 //! ```
 //!
@@ -30,6 +33,7 @@ mod args;
 mod commands;
 
 pub use args::{
-    parse_args, parse_invocation, ArgError, Command, FaultMode, ObsOptions, SimApproach,
+    parse_args, parse_invocation, ArgError, Command, FaultMode, ObsOptions, ServeFault,
+    SimApproach,
 };
-pub use commands::run;
+pub use commands::{run, CliError, EXIT_DEGRADED};

@@ -22,7 +22,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             mime_obs::error!("cli", "command failed", error = e);
-            ExitCode::FAILURE
+            ExitCode::from(e.code)
         }
     }
 }

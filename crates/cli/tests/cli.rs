@@ -60,6 +60,110 @@ fn bad_flag_fails() {
 }
 
 #[test]
+fn batch_exit_codes_distinguish_clean_and_degraded() {
+    // clean run: exit 0
+    let out = mime()
+        .args(["batch", "--images", "2", "--tasks", "2", "--seed", "1"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    // poison drill: the batch completes on the parent path for task 1
+    // and exits with the distinct degraded code 2
+    let out = mime()
+        .args(["batch", "--images", "2", "--tasks", "2", "--seed", "1", "--poison", "1"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("parallel == serial: true"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("degraded"), "{stderr}");
+}
+
+#[test]
+fn serve_drill_terminates_and_publishes_metrics() {
+    let dir = std::env::temp_dir().join("mime_cli_bin_serve");
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("serve.prom");
+    let out = mime()
+        .args([
+            "serve",
+            "--requests",
+            "8",
+            "--tasks",
+            "2",
+            "--inject",
+            "overload",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("shed:               4"), "{stdout}");
+    assert!(stdout.contains("every request terminated"), "{stdout}");
+    let prom = std::fs::read_to_string(&metrics).unwrap();
+    assert!(prom.contains("mime_serve_requests_total 8"), "{prom}");
+    assert!(prom.contains("mime_serve_shed_total 4"), "{prom}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn train_checkpoints_and_resumes_from_latest_clean() {
+    let dir = std::env::temp_dir().join("mime_cli_bin_ckpt");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir_str = dir.to_str().unwrap();
+    let out = mime()
+        .args(["train", "--epochs", "2", "--seed", "5", "--checkpoint-dir", dir_str])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // one crash-safe checkpoint image per epoch, each clean
+    for epoch in ["epoch-0000.mime", "epoch-0001.mime"] {
+        let path = dir.join(epoch);
+        assert!(path.exists(), "{epoch} missing");
+        let out = mime()
+            .args(["verify-image", path.to_str().unwrap()])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{epoch} not clean");
+    }
+    // tear the newest checkpoint: resume must fall back to epoch 0
+    let latest = dir.join("epoch-0001.mime");
+    let bytes = std::fs::read(&latest).unwrap();
+    std::fs::write(&latest, &bytes[..bytes.len() / 2]).unwrap();
+    let out = mime()
+        .args([
+            "train",
+            "--epochs",
+            "2",
+            "--seed",
+            "5",
+            "--checkpoint-dir",
+            dir_str,
+            "--resume",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("resumed from"), "{stdout}");
+    assert!(stdout.contains("epoch-0000.mime"), "{stdout}");
+    assert!(stdout.contains("continuing at epoch 1"), "{stdout}");
+    // only the remaining epoch is re-run and re-checkpointed
+    assert!(stdout.contains("epoch  1:"), "{stdout}");
+    assert!(!stdout.contains("epoch  0:"), "{stdout}");
+    let out = mime()
+        .args(["verify-image", dir.join("epoch-0001.mime").to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "rewritten checkpoint must be clean");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn pack_writes_file_and_inspect_reads_it() {
     let dir = std::env::temp_dir().join("mime_cli_bin_test");
     std::fs::create_dir_all(&dir).unwrap();

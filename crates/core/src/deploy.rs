@@ -57,11 +57,12 @@
 //! cannot be detected. [`verify_image`] reports v1 sections as
 //! unverifiable.
 
-use crate::{ImageSection, MimeError, MultiTaskModel, TaskEntry};
+use crate::{ImageSection, MimeError, MimeNetwork, MultiTaskModel, TaskEntry};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mime_nn::quant::QuantizedTensor;
 use mime_tensor::Tensor;
 use std::collections::HashMap;
+use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"MIME";
 /// Oldest image version [`unpack_model`] accepts.
@@ -191,9 +192,9 @@ fn get_name(buf: &mut Bytes, section: &ImageSection) -> crate::Result<String> {
 // Packing (v2 writer)
 // ---------------------------------------------------------------------
 
-fn backbone_payload(model: &MultiTaskModel) -> crate::Result<BytesMut> {
+fn backbone_payload(net: &MimeNetwork) -> crate::Result<BytesMut> {
     let mut buf = BytesMut::new();
-    let backbone = model.network().backbone_params();
+    let backbone = net.backbone_params();
     buf.put_u32(check_u32("backbone count", backbone.len())?);
     for p in backbone {
         put_name(&mut buf, p.name())?;
@@ -228,18 +229,61 @@ fn put_section(buf: &mut BytesMut, payload: &BytesMut) -> crate::Result<()> {
 /// Returns [`MimeError::FieldOverflow`] when a count, name, or tensor
 /// dimension exceeds its wire-format field.
 pub fn pack_model(model: &MultiTaskModel) -> crate::Result<Bytes> {
+    pack_image(model.network(), model.tasks())
+}
+
+/// [`pack_model`] without the [`MultiTaskModel`] wrapper: packs a bare
+/// network's backbone plus an explicit list of task entries. This is
+/// what the training checkpointer uses — mid-epoch the trainer only
+/// holds a [`MimeNetwork`] (which is not `Clone`), so it cannot build a
+/// throwaway model to call [`pack_model`] on.
+///
+/// # Errors
+///
+/// As [`pack_model`].
+pub fn pack_image(net: &MimeNetwork, tasks: &[TaskEntry]) -> crate::Result<Bytes> {
     let mut buf = BytesMut::new();
     buf.put_slice(MAGIC);
     buf.put_u16(VERSION);
     buf.put_u32(0); // total-len placeholder, patched below
-    put_section(&mut buf, &backbone_payload(model)?)?;
-    buf.put_u32(check_u32("task count", model.tasks().len())?);
-    for entry in model.tasks() {
+    put_section(&mut buf, &backbone_payload(net)?)?;
+    buf.put_u32(check_u32("task count", tasks.len())?);
+    for entry in tasks {
         put_section(&mut buf, &task_payload(entry)?)?;
     }
     let total = check_u32("total-len", buf.len())?;
     buf.as_mut_slice()[6..10].copy_from_slice(&total.to_be_bytes());
     Ok(buf.freeze())
+}
+
+/// Writes `bytes` to `path` crash-safely: the payload goes to a
+/// sibling `<path>.tmp` first, is fsynced, and only then renamed over
+/// the destination. A crash mid-write leaves either the old file or no
+/// file — never a torn image that later fails CRC for the wrong reason.
+/// The temp file is removed on any failure.
+///
+/// # Errors
+///
+/// Returns [`MimeError::Io`] carrying the destination path and the
+/// rendered OS error.
+pub fn write_file_atomic(path: &Path, bytes: &[u8]) -> crate::Result<()> {
+    use std::io::Write;
+    let display = path.display().to_string();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let attempt = (|| -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)
+    })();
+    if let Err(e) = attempt {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(MimeError::io(display, &e));
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -489,6 +533,65 @@ pub fn unpack_model(
         });
     }
     Ok(report)
+}
+
+/// Strict checkpoint reader: restores a v2 image produced by
+/// [`pack_image`] into a bare network, returning the task entries it
+/// carried instead of registering them anywhere.
+///
+/// Unlike [`unpack_model`] this is all-or-nothing — a checkpoint with
+/// *any* damaged section is useless for resuming (the caller falls back
+/// to an older one), so the first failure aborts the restore before the
+/// network has been mutated.
+///
+/// # Errors
+///
+/// Any framing, checksum, parse, or backbone-import failure.
+pub fn unpack_checkpoint(
+    bytes: &Bytes,
+    net: &mut MimeNetwork,
+) -> crate::Result<Vec<TaskEntry>> {
+    let mut buf = bytes.clone();
+    let version = get_header(&mut buf)?;
+    if version != VERSION {
+        return Err(MimeError::VersionSkew {
+            found: version,
+            min_supported: VERSION,
+            max_supported: VERSION,
+        });
+    }
+    if buf.remaining() < 4 {
+        return Err(truncated(&ImageSection::Header, "total length"));
+    }
+    let total = buf.get_u32() as usize;
+    if total != bytes.len() {
+        return Err(MimeError::MalformedImage {
+            section: ImageSection::Header,
+            reason: format!("total-len {total} but image is {} bytes", bytes.len()),
+        });
+    }
+    let mut backbone_payload = get_section_payload(&mut buf, &ImageSection::Backbone)?;
+    let backbone = parse_backbone(&mut backbone_payload)?;
+    let n_tasks = checked_task_count(&mut buf)?;
+    let mut entries = Vec::with_capacity(n_tasks);
+    for index in 0..n_tasks {
+        let unnamed = ImageSection::task_unnamed(index);
+        let mut payload = get_section_payload(&mut buf, &unnamed)?;
+        let (name, thresholds) = parse_task(&mut payload, index)?;
+        entries.push(TaskEntry { name, thresholds });
+    }
+    if buf.remaining() > 0 {
+        return Err(MimeError::MalformedImage {
+            section: ImageSection::Header,
+            reason: format!(
+                "{} trailing bytes after the last task section",
+                buf.remaining()
+            ),
+        });
+    }
+    // Everything parsed: only now mutate the receiving network.
+    net.import_backbone(&backbone)?;
+    Ok(entries)
 }
 
 /// Legacy v1 reader: no checksums, no framing — parse errors are hard,
@@ -1039,6 +1142,76 @@ mod tests {
         }
         let summary = verify_image(&image).unwrap();
         assert!(!summary.is_clean());
+    }
+
+    /// Fresh scratch directory under the OS temp dir, removed by the
+    /// returned guard.
+    fn scratch_dir(tag: &str) -> (std::path::PathBuf, impl Drop) {
+        struct Cleanup(std::path::PathBuf);
+        impl Drop for Cleanup {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_dir_all(&self.0);
+            }
+        }
+        let dir =
+            std::env::temp_dir().join(format!("mime-deploy-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        (dir.clone(), Cleanup(dir))
+    }
+
+    #[test]
+    fn pack_image_matches_pack_model() {
+        let model = model_with_tasks(50, 2);
+        let via_model = pack_model(&model).unwrap();
+        let via_parts = pack_image(model.network(), model.tasks()).unwrap();
+        assert_eq!(via_model, via_parts);
+    }
+
+    #[test]
+    fn unpack_checkpoint_round_trip_and_strictness() {
+        let model = model_with_tasks(51, 2);
+        let image = pack_model(&model).unwrap();
+        let mut receiver = model_with_tasks(52, 0);
+        let entries = unpack_checkpoint(&image, receiver.network_mut()).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "task0");
+        assert_eq!(entries[1].name, "task1");
+        // thresholds survive the quantization round trip
+        for &t in entries[1].thresholds[0].as_slice() {
+            assert!((t - 0.15).abs() < 1e-3, "{t}");
+        }
+
+        // any damaged section is a hard error and leaves the receiving
+        // network's backbone untouched
+        let mut damaged = image.to_vec();
+        let t0 = first_task_section_offset(&damaged);
+        damaged[t0 + 8 + 9 + 40] ^= 0x04;
+        let mut untouched = model_with_tasks(53, 0);
+        let before: Vec<f32> =
+            untouched.network().backbone_params()[0].value.as_slice().to_vec();
+        assert!(unpack_checkpoint(&Bytes::from(damaged), untouched.network_mut()).is_err());
+        let after = untouched.network().backbone_params()[0].value.as_slice().to_vec();
+        assert_eq!(before, after, "failed restore must not mutate the network");
+    }
+
+    #[test]
+    fn write_file_atomic_writes_and_cleans_up() {
+        let (dir, _guard) = scratch_dir("atomic");
+        let dest = dir.join("image.mime");
+        write_file_atomic(&dest, b"hello").unwrap();
+        assert_eq!(std::fs::read(&dest).unwrap(), b"hello");
+        assert!(!dir.join("image.mime.tmp").exists(), "temp file must not linger");
+        // overwrite is atomic too: the old content is fully replaced
+        write_file_atomic(&dest, b"goodbye, world").unwrap();
+        assert_eq!(std::fs::read(&dest).unwrap(), b"goodbye, world");
+
+        // a destination whose parent does not exist fails with Io and
+        // leaves no temp file behind
+        let bad = dir.join("missing").join("image.mime");
+        match write_file_atomic(&bad, b"x") {
+            Err(MimeError::Io { path, .. }) => assert!(path.contains("missing")),
+            other => panic!("expected Io error, got {other:?}"),
+        }
     }
 
     #[test]

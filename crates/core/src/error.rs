@@ -143,8 +143,33 @@ pub enum MimeError {
         /// Shape actually supplied.
         actual: Vec<usize>,
     },
+    /// A request's deadline budget was exhausted before its inference
+    /// finished. Raised by the serving loop's between-layer guard, so
+    /// the partial run is abandoned instead of completing late.
+    DeadlineExceeded {
+        /// Task name the request was addressed to.
+        task: String,
+        /// Milliseconds the request was over budget when caught.
+        over_ms: u64,
+    },
+    /// A filesystem operation on an artifact (image, checkpoint) failed.
+    /// Carries the rendered `std::io::Error` message because `io::Error`
+    /// is neither `Clone` nor `PartialEq`.
+    Io {
+        /// Path the operation was addressed to.
+        path: String,
+        /// Rendered OS error message.
+        message: String,
+    },
     /// A tensor-kernel error from the layers below.
     Tensor(TensorError),
+}
+
+impl MimeError {
+    /// Wraps an [`std::io::Error`] with the path it occurred on.
+    pub fn io(path: impl Into<String>, e: &std::io::Error) -> Self {
+        MimeError::Io { path: path.into(), message: e.to_string() }
+    }
 }
 
 impl fmt::Display for MimeError {
@@ -182,6 +207,10 @@ impl fmt::Display for MimeError {
                 f,
                 "plan mismatch on {what}: expected {expected:?}, got {actual:?}"
             ),
+            MimeError::DeadlineExceeded { task, over_ms } => {
+                write!(f, "deadline exceeded for task '{task}' ({over_ms} ms over budget)")
+            }
+            MimeError::Io { path, message } => write!(f, "io error on '{path}': {message}"),
             MimeError::Tensor(e) => write!(f, "{e}"),
         }
     }
@@ -247,6 +276,14 @@ mod tests {
                     actual: vec![3, 16, 16],
                 },
                 &["input image", "[3, 32, 32]", "[3, 16, 16]"],
+            ),
+            (
+                MimeError::DeadlineExceeded { task: "cifar".into(), over_ms: 17 },
+                &["deadline", "'cifar'", "17 ms"],
+            ),
+            (
+                MimeError::Io { path: "/tmp/x.mime".into(), message: "denied".into() },
+                &["/tmp/x.mime", "denied"],
             ),
         ];
         for (e, needles) in cases {

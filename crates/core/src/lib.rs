@@ -47,7 +47,7 @@ pub use sparsity::{
     measure_sparsity, measure_sparsity_baseline, LayerSparsity, SparsityReport,
 };
 pub use threshold::{surrogate_gradient, ThresholdGranularity, ThresholdMask};
-pub use trainer::{MimeTrainer, MimeTrainerConfig, ThresholdEpochReport};
+pub use trainer::{Checkpointer, MimeTrainer, MimeTrainerConfig, ThresholdEpochReport};
 
 /// Result alias over [`MimeError`]. Tensor-kernel errors from the
 /// layers below convert implicitly via `?`.

@@ -1,8 +1,12 @@
-//! Threshold training (paper eqs. 3–4 and the Fig. 3a procedure).
+//! Threshold training (paper eqs. 3–4 and the Fig. 3a procedure),
+//! with crash-safe epoch checkpointing and resume.
 
-use crate::MimeNetwork;
+use crate::deploy::{pack_image, unpack_checkpoint, verify_image, write_file_atomic};
+use crate::{MimeError, MimeNetwork, TaskEntry};
+use bytes::Bytes;
 use mime_nn::{accuracy, softmax_cross_entropy, Adam, Optimizer};
 use mime_tensor::Tensor;
+use std::path::{Path, PathBuf};
 
 /// Hyper-parameters of MIME threshold training.
 ///
@@ -53,6 +57,134 @@ pub struct ThresholdEpochReport {
     pub accuracy: f64,
     /// Mean masked-neuron sparsity across all masks at epoch end.
     pub mean_sparsity: f64,
+}
+
+/// Crash-safe epoch checkpointing for [`MimeTrainer::train_resumable`].
+///
+/// After each epoch the learned state (frozen backbone + current
+/// threshold banks) is packed with [`pack_image`] into
+/// `<dir>/epoch-NNNN.mime`, written atomically via
+/// [`write_file_atomic`]. The single task entry in each checkpoint is
+/// named `epoch-NNNN`, which is how [`resume`](Self::resume) recovers
+/// the epoch counter without a sidecar file.
+#[derive(Debug, Clone)]
+pub struct Checkpointer {
+    dir: PathBuf,
+}
+
+impl Checkpointer {
+    /// Creates (if needed) the checkpoint directory.
+    ///
+    /// # Errors
+    ///
+    /// [`MimeError::Io`] when the directory cannot be created.
+    pub fn new(dir: impl Into<PathBuf>) -> crate::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| MimeError::io(dir.display().to_string(), &e))?;
+        Ok(Checkpointer { dir })
+    }
+
+    /// The checkpoint directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn checkpoint_path(&self, epoch: usize) -> PathBuf {
+        self.dir.join(format!("epoch-{epoch:04}.mime"))
+    }
+
+    /// Atomically persists the state after completing 0-based `epoch`.
+    /// Returns the checkpoint path.
+    ///
+    /// # Errors
+    ///
+    /// Packing or filesystem failures.
+    pub fn save(&self, net: &MimeNetwork, epoch: usize) -> crate::Result<PathBuf> {
+        let entry = TaskEntry {
+            name: format!("epoch-{epoch:04}"),
+            thresholds: net.export_thresholds(),
+        };
+        let image = pack_image(net, std::slice::from_ref(&entry))?;
+        let path = self.checkpoint_path(epoch);
+        write_file_atomic(&path, &image)?;
+        mime_obs::debug!(
+            "core.trainer",
+            "checkpoint saved",
+            epoch = epoch,
+            bytes = image.len()
+        );
+        Ok(path)
+    }
+
+    /// Restores the newest *clean* checkpoint into `net` and returns
+    /// `Some((next_epoch, path))` — the 0-based epoch training should
+    /// continue from — or `None` when the directory holds no usable
+    /// checkpoint.
+    ///
+    /// Every candidate is verified with [`verify_image`] before the
+    /// strict restore; a torn, corrupted, or unparseable file is skipped
+    /// in favour of the next-newest one, so a crash mid-run (or a
+    /// damaged disk) degrades to resuming one epoch earlier instead of
+    /// failing.
+    ///
+    /// # Errors
+    ///
+    /// [`MimeError::Io`] when the directory itself cannot be listed.
+    pub fn resume(&self, net: &mut MimeNetwork) -> crate::Result<Option<(usize, PathBuf)>> {
+        let entries = std::fs::read_dir(&self.dir)
+            .map_err(|e| MimeError::io(self.dir.display().to_string(), &e))?;
+        let mut candidates: Vec<(usize, PathBuf)> = entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let path = e.path();
+                let epoch = epoch_from_path(&path)?;
+                Some((epoch, path))
+            })
+            .collect();
+        candidates.sort_by_key(|c| std::cmp::Reverse(c.0));
+        for (epoch, path) in candidates {
+            match Self::restore_one(net, &path, epoch) {
+                Ok(()) => return Ok(Some((epoch + 1, path))),
+                Err(e) => {
+                    mime_obs::warn!(
+                        "core.trainer",
+                        "skipping unusable checkpoint",
+                        path = path.display(),
+                        error = e
+                    );
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Verifies and strictly restores one checkpoint file.
+    fn restore_one(net: &mut MimeNetwork, path: &Path, epoch: usize) -> crate::Result<()> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| MimeError::io(path.display().to_string(), &e))?;
+        let summary = verify_image(&bytes)?;
+        if !summary.is_clean() {
+            return Err(MimeError::MalformedImage {
+                section: crate::ImageSection::Header,
+                reason: "checkpoint failed section verification".into(),
+            });
+        }
+        let entries = unpack_checkpoint(&Bytes::from(bytes), net)?;
+        let entry = entries
+            .iter()
+            .find(|t| t.name == format!("epoch-{epoch:04}"))
+            .ok_or_else(|| MimeError::UnknownTask { name: format!("epoch-{epoch:04}") })?;
+        net.import_thresholds(&entry.thresholds)?;
+        Ok(())
+    }
+}
+
+/// Parses `epoch-NNNN.mime` back into `NNNN`.
+fn epoch_from_path(path: &Path) -> Option<usize> {
+    let name = path.file_name()?.to_str()?;
+    let digits = name.strip_prefix("epoch-")?.strip_suffix(".mime")?;
+    digits.parse().ok()
 }
 
 /// Trains the threshold banks of a [`MimeNetwork`] on one child task,
@@ -180,9 +312,33 @@ impl MimeTrainer {
         net: &mut MimeNetwork,
         batches: &[(Tensor, Vec<usize>)],
     ) -> crate::Result<Vec<ThresholdEpochReport>> {
-        let mut reports = Vec::with_capacity(self.config.epochs);
-        for e in 0..self.config.epochs {
+        self.train_resumable(net, batches, 0, None)
+    }
+
+    /// [`train`](Self::train) with checkpointing: runs epochs
+    /// `start_epoch..config.epochs`, persisting the learned state after
+    /// every completed epoch when a [`Checkpointer`] is supplied.
+    /// `start_epoch` usually comes from [`Checkpointer::resume`]; epochs
+    /// already covered by the restored checkpoint are not re-run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor errors from the passes and filesystem errors
+    /// from checkpointing.
+    pub fn train_resumable(
+        &mut self,
+        net: &mut MimeNetwork,
+        batches: &[(Tensor, Vec<usize>)],
+        start_epoch: usize,
+        checkpointer: Option<&Checkpointer>,
+    ) -> crate::Result<Vec<ThresholdEpochReport>> {
+        let mut reports =
+            Vec::with_capacity(self.config.epochs.saturating_sub(start_epoch));
+        for e in start_epoch..self.config.epochs {
             reports.push(self.train_epoch(net, batches, e)?);
+            if let Some(ckpt) = checkpointer {
+                ckpt.save(net, e)?;
+            }
         }
         Ok(reports)
     }
@@ -295,6 +451,79 @@ mod tests {
         // all thresholds at 0.01 → reg = N·e^0.01
         let expected = net.num_thresholds() as f64 * (0.01f32.exp() as f64);
         assert!((reg - expected).abs() / expected < 1e-4);
+    }
+
+    fn scratch_dir(tag: &str) -> (std::path::PathBuf, impl Drop) {
+        struct Cleanup(std::path::PathBuf);
+        impl Drop for Cleanup {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_dir_all(&self.0);
+            }
+        }
+        let dir =
+            std::env::temp_dir().join(format!("mime-trainer-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        (dir.clone(), Cleanup(dir))
+    }
+
+    #[test]
+    fn checkpoint_resume_restores_thresholds_and_epoch() {
+        let (dir, _guard) = scratch_dir("resume");
+        let (mut net, batches) = toy_setup();
+        let mut trainer = MimeTrainer::new(MimeTrainerConfig {
+            epochs: 3,
+            lr: 5e-3,
+            ..MimeTrainerConfig::default()
+        });
+        let ckpt = Checkpointer::new(&dir).unwrap();
+        trainer.train_resumable(&mut net, &batches, 0, Some(&ckpt)).unwrap();
+        let trained = net.export_thresholds();
+
+        // a fresh network resumes from the newest checkpoint: epoch
+        // counter continues past the completed run and the thresholds
+        // match the trained ones up to 16-bit quantization error
+        let (mut fresh, _) = toy_setup();
+        let (next_epoch, path) = ckpt.resume(&mut fresh).unwrap().unwrap();
+        assert_eq!(next_epoch, 3);
+        assert!(path.ends_with("epoch-0002.mime"));
+        for (a, b) in trained.iter().zip(&fresh.export_thresholds()) {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+            }
+        }
+        // nothing left to train from epoch 3 of 3
+        let more =
+            trainer.train_resumable(&mut fresh, &batches, next_epoch, Some(&ckpt)).unwrap();
+        assert!(more.is_empty());
+    }
+
+    #[test]
+    fn resume_skips_torn_checkpoint() {
+        let (dir, _guard) = scratch_dir("torn");
+        let (mut net, batches) = toy_setup();
+        let mut trainer = MimeTrainer::new(MimeTrainerConfig {
+            epochs: 2,
+            ..MimeTrainerConfig::default()
+        });
+        let ckpt = Checkpointer::new(&dir).unwrap();
+        trainer.train_resumable(&mut net, &batches, 0, Some(&ckpt)).unwrap();
+        // tear the newest checkpoint (simulated crash mid-write of a
+        // non-atomic writer) — resume must fall back to epoch 0's file
+        let newest = dir.join("epoch-0001.mime");
+        let bytes = std::fs::read(&newest).unwrap();
+        std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+        let (mut fresh, _) = toy_setup();
+        let (next_epoch, path) = ckpt.resume(&mut fresh).unwrap().unwrap();
+        assert_eq!(next_epoch, 1);
+        assert!(path.ends_with("epoch-0000.mime"));
+    }
+
+    #[test]
+    fn resume_on_empty_dir_is_none() {
+        let (dir, _guard) = scratch_dir("empty");
+        let ckpt = Checkpointer::new(&dir).unwrap();
+        let (mut net, _) = toy_setup();
+        assert!(ckpt.resume(&mut net).unwrap().is_none());
     }
 
     #[test]

@@ -58,12 +58,7 @@ pub fn parallel_gradients(
                 // A panicking worker becomes an error for the caller
                 // instead of poisoning the whole process.
                 h.join().unwrap_or_else(|payload| {
-                    let message = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| (*s).to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "non-string panic payload".to_string());
-                    Err(TensorError::WorkerPanic { op: "parallel_gradients", message })
+                    Err(TensorError::from_panic("parallel_gradients", payload))
                 })
             })
             .collect()

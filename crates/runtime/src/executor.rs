@@ -75,6 +75,26 @@ impl HardwareExecutor {
         image: &Tensor,
         zero_skip: bool,
     ) -> crate::Result<Vec<f32>> {
+        self.run_image_guarded(plan, image, zero_skip, &mut |_| Ok(()))
+    }
+
+    /// [`run_image`](Self::run_image) with a `guard` hook invoked before
+    /// every plan step (with the step index) and once more before the
+    /// final logits check. A guard error aborts the run immediately —
+    /// this is how the serving loop enforces per-request deadlines
+    /// *between layers* instead of only at dequeue time.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_image`](Self::run_image), plus whatever error the guard
+    /// returns.
+    pub fn run_image_guarded(
+        &mut self,
+        plan: &BoundNetwork,
+        image: &Tensor,
+        zero_skip: bool,
+        guard: &mut dyn FnMut(usize) -> crate::Result<()>,
+    ) -> crate::Result<Vec<f32>> {
         let expected = vec![plan.in_channels(), plan.input_hw(), plan.input_hw()];
         if *image.dims() != expected[..] {
             return Err(MimeError::PlanMismatch {
@@ -88,7 +108,8 @@ impl HardwareExecutor {
             profiling.then(|| mime_obs::trace::span_cat("run_image", "runtime.image"));
         let mapper = Mapper::new(self.cfg);
         let mut x = image.clone();
-        for step in plan.steps() {
+        for (index, step) in plan.steps().iter().enumerate() {
+            guard(index)?;
             match step {
                 BoundLayer::Array { geom, weight, bias, thresholds } => {
                     let start = profiling.then(Instant::now);
@@ -135,6 +156,7 @@ impl HardwareExecutor {
                 }
             }
         }
+        guard(plan.steps().len())?;
         if let Some(index) = first_non_finite(x.as_slice()) {
             return Err(MimeError::NonFinite {
                 stage: "logits",
@@ -298,19 +320,11 @@ impl HardwareExecutor {
                 .enumerate()
                 .map(|(ci, h)| {
                     h.join().unwrap_or_else(|payload| {
-                        let message = payload
-                            .downcast_ref::<&str>()
-                            .map(|s| (*s).to_string())
-                            .or_else(|| payload.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "non-string panic payload".to_string());
-                        Err((
-                            ci * chunk,
-                            mime_tensor::TensorError::WorkerPanic {
-                                op: "run_batch_parallel",
-                                message,
-                            }
-                            .into(),
-                        ))
+                        let e = mime_tensor::TensorError::from_panic(
+                            "run_batch_parallel",
+                            payload,
+                        );
+                        Err((ci * chunk, e.into()))
                     })
                 })
                 .collect()

@@ -1,0 +1,41 @@
+//! # mime-serve
+//!
+//! A resilient serving loop over the MIME hardware executor, for the
+//! mixed-task shared-weight traffic the paper's pipelined batch mode
+//! models (Bhattacharjee et al., DAC 2022):
+//!
+//! * [`BoundedQueue`] — bounded MPSC admission with backpressure:
+//!   requests beyond capacity shed immediately with
+//!   [`ShedReason::QueueFull`] instead of growing latency unboundedly.
+//! * [`Clock`] — time as a capability. [`SystemClock`] for production,
+//!   [`VirtualClock`] for deterministic tests: deadlines, backoff, and
+//!   breaker cooldowns are reproducible without wall-clock reads.
+//! * [`RetryPolicy`] — bounded retry with deterministic exponential
+//!   backoff for transient faults (worker panics, flaky errors).
+//! * [`CircuitBreaker`] — per-task Closed → Open → HalfOpen breaker
+//!   counting *consecutive* threshold-bank failures; a tripped task
+//!   routes to the exact parent path (`strip_thresholds`) for a
+//!   cooldown window, leaving sibling tasks untouched.
+//! * [`Server`] — panic-isolated supervised workers over
+//!   [`mime_runtime::HardwareExecutor`] replicas, with per-request
+//!   deadlines checked at dequeue and between layers
+//!   (`run_image_guarded`), graceful drain shutdown, and chaos hooks
+//!   ([`FaultPlan`]).
+//!
+//! The invariant everything here defends: **every admitted request
+//! terminates in exactly one terminal state** ([`Outcome`]) — never a
+//! hang, never a process abort.
+
+mod breaker;
+mod clock;
+mod queue;
+mod retry;
+mod server;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Route};
+pub use clock::{Clock, SystemClock, VirtualClock};
+pub use queue::BoundedQueue;
+pub use retry::RetryPolicy;
+pub use server::{
+    Completion, FaultPlan, Outcome, Request, ServeConfig, ServeReport, Server, ShedReason,
+};

@@ -54,6 +54,25 @@ pub enum TensorError {
     },
 }
 
+impl TensorError {
+    /// Builds a [`WorkerPanic`](Self::WorkerPanic) from the payload a
+    /// panicking thread leaves behind (`std::thread::JoinHandle::join` /
+    /// `std::panic::catch_unwind`), rendering the usual `&str` / `String`
+    /// payloads best-effort. Shared by every join point that converts a
+    /// dead worker into an error instead of crashing the caller.
+    pub fn from_panic(
+        op: &'static str,
+        payload: Box<dyn std::any::Any + Send>,
+    ) -> TensorError {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        TensorError::WorkerPanic { op, message }
+    }
+}
+
 impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

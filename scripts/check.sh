@@ -58,6 +58,26 @@ if [[ "$run_tests" == 1 ]]; then
     fi
     grep -q '^mime_systolic_dram_accesses_total [1-9]' "$obs_metrics"
     grep -q '^mime_runtime_layer_latency_seconds_count' "$obs_metrics"
+
+    # serving-loop chaos smoke: every fault mode must terminate every
+    # request (no hang — enforced by the wall-clock timeout; no panic —
+    # enforced by the exit code) and publish its serve metrics
+    echo "==> mime serve chaos smoke (every --inject mode)"
+    for fault in none nan-poison bitflip truncate garble panic flaky slow overload; do
+        serve_metrics="target/serve_smoke.$fault.prom"
+        timeout 120 cargo run --release -p mime-cli --bin mime -- serve \
+            --requests 64 --tasks 3 --inject "$fault" \
+            --metrics-out "$serve_metrics" >/dev/null \
+            || { echo "FAIL: mime serve --inject $fault (panic, error, or hang)" >&2; exit 1; }
+        grep -q '^mime_serve_requests_total 64$' "$serve_metrics"
+    done
+    # overload must shed the overflow; a poisoned bank must leave its
+    # breaker open at drain time
+    grep -q '^mime_serve_shed_total 32$' target/serve_smoke.overload.prom
+    grep -q '^mime_serve_breaker_open 1$' target/serve_smoke.nan-poison.prom
+    grep -q '^mime_serve_worker_restarts_total [1-9]' target/serve_smoke.panic.prom
+    grep -q '^mime_serve_retries_total [1-9]' target/serve_smoke.flaky.prom
+    grep -q '^mime_serve_deadline_exceeded_total [1-9]' target/serve_smoke.slow.prom
 fi
 
 echo "==> all checks passed"

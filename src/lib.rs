@@ -16,6 +16,8 @@
 //!   functional execution-level array.
 //! * [`runtime`] — hardware-in-the-loop executor running trained networks
 //!   on the functional array with task-aware parameter residency.
+//! * [`serve`] — resilient serving loop: bounded admission, deadlines,
+//!   retries, per-task circuit breakers, supervised workers.
 //! * [`obs`] — tracing spans, the metrics registry, and the structured
 //!   logger behind the per-layer profiling hooks.
 //!
@@ -52,5 +54,6 @@ pub use mime_datasets as datasets;
 pub use mime_nn as nn;
 pub use mime_obs as obs;
 pub use mime_runtime as runtime;
+pub use mime_serve as serve;
 pub use mime_systolic as systolic;
 pub use mime_tensor as tensor;
