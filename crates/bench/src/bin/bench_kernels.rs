@@ -30,7 +30,8 @@ use mime_nn::{build_network, vgg16_arch};
 use mime_runtime::{BoundNetwork, HardwareExecutor};
 use mime_systolic::{vgg16_geometry_with, ArrayConfig, LayerGeometry};
 use mime_tensor::{
-    conv2d, matmul_into_with_threads, matmul_scalar_ref, threads, ConvSpec, Tensor,
+    conv2d, matmul_into_with_threads, matmul_scalar_ref,
+    matmul_sparse_dispatch_into_with_threads, threads, ConvSpec, SparseDispatch, Tensor,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -178,9 +179,16 @@ fn bench_gemm(mode: Mode, threads_mt: usize) -> Vec<GemmRow> {
                 median_ms(reps, || matmul_into_with_threads(&a, &b, &mut c, 1).unwrap());
             let diff_1t = max_abs_diff(&c, &reference);
             let rel_1t = max_rel_diff(&c, &reference);
-            let dense_mt_ms = median_ms(reps, || {
-                matmul_into_with_threads(&a, &b, &mut c, threads_mt).unwrap()
-            });
+            // threads_mt == 1 (single-core host): the "mt" configuration
+            // is the serial kernel; a second noisy sample of the same
+            // code adds no information, so record the same measurement
+            let dense_mt_ms = if threads_mt == 1 {
+                dense_1t_ms
+            } else {
+                median_ms(reps, || {
+                    matmul_into_with_threads(&a, &b, &mut c, threads_mt).unwrap()
+                })
+            };
             let diff = max_abs_diff(&c, &reference).max(diff_1t);
             let rel = max_rel_diff(&c, &reference).max(rel_1t);
             let macs = (m * k * n) as u64;
@@ -315,6 +323,112 @@ fn bench_conv(mode: Mode) -> Vec<ConvRow> {
         .collect()
 }
 
+struct SparseRow {
+    name: String,
+    m: usize,
+    k: usize,
+    n: usize,
+    sparsity_pct: usize,
+    rows_skipped: usize,
+    used_sparse: bool,
+    dense_1t_ms: f64,
+    sparse_1t_ms: f64,
+    max_abs_diff: f64,
+}
+
+/// Shapes for the sparse suite: VGG16-224 conv lowerings, same mapping
+/// as [`gemm_cases`]. A smaller pick list — each shape runs at four
+/// sparsity levels.
+fn sparse_cases(mode: Mode) -> Vec<(String, usize, usize, usize)> {
+    if mode == Mode::Smoke {
+        return vec![("tiny".into(), 8, 40, 16)];
+    }
+    let picks: &[&str] = match mode {
+        Mode::Full => &["conv2", "conv8", "conv13"],
+        _ => &["conv8"],
+    };
+    vgg16_geometry_with(224, 4096, 1000)
+        .into_iter()
+        .filter(|g| picks.contains(&g.name.as_str()))
+        .map(|g: LayerGeometry| (g.name.clone(), g.k, g.taps(), g.sites()))
+        .collect()
+}
+
+/// Sparse GEMM dispatch vs the dense packed kernel at MIME-like
+/// activation sparsity: an exact fraction of B's k-rows is zeroed (the
+/// axis the dispatcher compacts), both kernels run single-threaded, and
+/// `main` gates the diff at exactly zero — row compaction reorders no
+/// arithmetic, so any nonzero diff is a dispatch bug, not rounding.
+fn bench_sparse(mode: Mode) -> Vec<SparseRow> {
+    let reps = mode.reps();
+    let mut rows = Vec::new();
+    for (name, m, k, n) in sparse_cases(mode) {
+        let a = fill(&[m, k], 6);
+        for pct in [25usize, 50, 75, 90] {
+            // exact-proportion mask: pct/5 of every 20 k-rows zeroed
+            let mut b = fill(&[k, n], 7);
+            for i in 0..k {
+                if (i % 20) < pct / 5 {
+                    b.as_mut_slice()[i * n..(i + 1) * n].fill(0.0);
+                }
+            }
+            let mut c = Tensor::zeros(&[m, n]);
+            let dense_1t_ms =
+                median_ms(reps, || matmul_into_with_threads(&a, &b, &mut c, 1).unwrap());
+            let mut c2 = Tensor::zeros(&[m, n]);
+            let mut stats = None;
+            let sparse_1t_ms = median_ms(reps, || {
+                stats = Some(
+                    matmul_sparse_dispatch_into_with_threads(
+                        &a,
+                        &b,
+                        &mut c2,
+                        SparseDispatch::Auto,
+                        1,
+                    )
+                    .unwrap(),
+                );
+            });
+            let stats = stats.unwrap();
+            let diff = max_abs_diff(&c2, &c);
+            println!(
+                "sparse {name:>7}@{pct:<2}% m={m:<5} k={k:<5} n={n:<5} \
+                 dense 1t {dense_1t_ms:8.2} ms  sparse 1t {sparse_1t_ms:8.2} ms  \
+                 x{:.2}  skipped {}/{}  |Δ|max {diff:.1e}",
+                dense_1t_ms / sparse_1t_ms,
+                stats.rows_skipped(),
+                stats.k_total,
+            );
+            let reg = mime_obs::metrics::global();
+            let pct_s = pct.to_string();
+            for (kernel, ms) in [("dense_1t", dense_1t_ms), ("sparse_1t", sparse_1t_ms)] {
+                reg.gauge_with(
+                    "mime_bench_sparse_ms",
+                    &[
+                        ("case", name.as_str()),
+                        ("kernel", kernel),
+                        ("sparsity_pct", &pct_s),
+                    ],
+                )
+                .set(ms);
+            }
+            rows.push(SparseRow {
+                name: name.clone(),
+                m,
+                k,
+                n,
+                sparsity_pct: pct,
+                rows_skipped: stats.rows_skipped(),
+                used_sparse: stats.used_sparse,
+                dense_1t_ms,
+                sparse_1t_ms,
+                max_abs_diff: diff,
+            });
+        }
+    }
+    rows
+}
+
 struct ExecRow {
     images: usize,
     threads: usize,
@@ -390,6 +504,7 @@ fn json_f(v: f64) -> String {
     }
 }
 
+#[allow(clippy::too_many_arguments)] // one row-set per report section
 fn write_report(
     out: &str,
     mode: Mode,
@@ -397,17 +512,22 @@ fn write_report(
     baseline: &HashMap<String, f64>,
     gemm: &[GemmRow],
     conv: &[ConvRow],
+    sparse: &[SparseRow],
     exec: &ExecRow,
 ) {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"mime-bench-kernels/v1\",\n");
+    // v2 = v1 plus the "sparse" section; every v1 key is unchanged
+    s.push_str("  \"schema\": \"mime-bench-kernels/v2\",\n");
     s.push_str(&format!("  \"mode\": \"{}\",\n", mode.name()));
     s.push_str(&format!("  \"threads_mt\": {threads_mt},\n"));
     s.push_str(
         "  \"notes\": \"scalar_prepr_ms: pre-PR scalar kernel at its shipped codegen \
          (no .cargo/config.toml, RUSTFLAGS= ); scalar_native_ms: same kernel under this \
-         repo's native flags; times are median-of-k wall clock\",\n",
+         repo's native flags; times are median-of-k wall clock; threads_mt is clamped \
+         to the host's available parallelism (when it clamps to 1 the mt configuration \
+         is the serial kernel and dense_mt_ms records the dense_1t_ms measurement); \
+         sparse: dispatcher vs dense packed kernel, single-threaded, gated bit-identical\",\n",
     );
     s.push_str("  \"gemm\": [\n");
     for (i, r) in gemm.iter().enumerate() {
@@ -459,6 +579,24 @@ fn write_report(
         ));
     }
     s.push_str("  ],\n");
+    s.push_str("  \"sparse\": [\n");
+    for (i, r) in sparse.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \
+             \"sparsity_pct\": {}, \"rows_skipped\": {}, \"used_sparse\": {},\n",
+            r.name, r.m, r.k, r.n, r.sparsity_pct, r.rows_skipped, r.used_sparse
+        ));
+        s.push_str(&format!(
+            "     \"dense_1t_ms\": {}, \"sparse_1t_ms\": {}, \"speedup_sparse\": {}, \
+             \"max_abs_diff\": {:.3e}}}{}\n",
+            json_f(r.dense_1t_ms),
+            json_f(r.sparse_1t_ms),
+            json_f(r.dense_1t_ms / r.sparse_1t_ms),
+            r.max_abs_diff,
+            if i + 1 < sparse.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
     s.push_str(&format!(
         "  \"executor\": {{\"images\": {}, \"threads\": {}, \"serial_ms\": {}, \
          \"parallel_ms\": {}, \"reports_identical\": {}}},\n",
@@ -492,11 +630,15 @@ fn main() {
     };
     let out = args.out.as_deref().unwrap_or(default_out);
     let baseline = args.baseline.as_deref().map(read_baseline).unwrap_or_default();
-    let threads_mt = threads::worker_count().max(4);
+    // at least 4 workers when the hardware can run them, but never more
+    // workers than cores — oversubscribed threads only time-slice and
+    // thrash cache, which would measure the scheduler, not the kernels
+    let threads_mt = threads::worker_count().max(4).min(threads::hardware_cap());
     let gemm = bench_gemm(args.mode, threads_mt);
     let conv = bench_conv(args.mode);
+    let sparse = bench_sparse(args.mode);
     let exec = bench_executor(args.mode, threads_mt);
-    write_report(out, args.mode, threads_mt, &baseline, &gemm, &conv, &exec);
+    write_report(out, args.mode, threads_mt, &baseline, &gemm, &conv, &sparse, &exec);
     if !exec.reports_identical {
         eprintln!("FAIL: parallel executor report differs from serial");
         std::process::exit(1);
@@ -506,6 +648,15 @@ fn main() {
             eprintln!(
                 "FAIL: gemm {} drifted {:.3e} (relative) from scalar reference",
                 r.name, r.max_rel_diff
+            );
+            std::process::exit(1);
+        }
+    }
+    for r in &sparse {
+        if r.max_abs_diff != 0.0 {
+            eprintln!(
+                "FAIL: sparse gemm {}@{}% differs from dense by {:.3e} (must be bit-identical)",
+                r.name, r.sparsity_pct, r.max_abs_diff
             );
             std::process::exit(1);
         }

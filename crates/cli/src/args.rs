@@ -113,6 +113,9 @@ pub enum Command {
         /// running, forcing the graceful-degradation path (and the
         /// degraded exit code 2).
         poison: Option<usize>,
+        /// Pin the software compute path to the dense packed kernels
+        /// (`--dense-only`), bypassing the sparsity-aware dispatcher.
+        dense_only: bool,
     },
     /// `mime serve`: resilient serving loop over the functional array —
     /// bounded admission, deadlines, retries, per-task circuit
@@ -132,6 +135,9 @@ pub enum Command {
         /// Admission-queue capacity (default 0 = fit all requests;
         /// `overload` injection halves it instead).
         capacity: usize,
+        /// Pin worker replicas to the dense packed kernels
+        /// (`--dense-only`), bypassing the sparsity-aware dispatcher.
+        dense_only: bool,
     },
     /// `mime help`.
     Help,
@@ -273,6 +279,27 @@ impl std::error::Error for ArgError {}
 
 fn err(msg: impl Into<String>) -> ArgError {
     ArgError(msg.into())
+}
+
+/// Removes a valueless (boolean) flag from the raw args before
+/// [`split_flags`] pairs every remaining `--flag` with the next token.
+/// Returns the filtered args and whether the flag was present;
+/// position-independent and idempotent on repeats.
+fn strip_valueless(args: &[String], flag: &str) -> (Vec<String>, bool) {
+    let mut present = false;
+    let rest = args
+        .iter()
+        .filter(|a| {
+            if a.as_str() == flag {
+                present = true;
+                false
+            } else {
+                true
+            }
+        })
+        .cloned()
+        .collect();
+    (rest, present)
 }
 
 /// Splits `--key value` pairs and positionals from raw args.
@@ -432,22 +459,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
             })
         }
         "train" => {
-            // `--resume` is the one valueless flag in the CLI; strip it
-            // before `split_flags`, which pairs every `--flag` with the
-            // next token.
-            let mut resume = false;
-            let rest: Vec<String> = rest
-                .iter()
-                .filter(|a| {
-                    if a.as_str() == "--resume" {
-                        resume = true;
-                        false
-                    } else {
-                        true
-                    }
-                })
-                .cloned()
-                .collect();
+            // valueless flag: strip before `split_flags`, which pairs
+            // every `--flag` with the next token
+            let (rest, resume) = strip_valueless(rest, "--resume");
             let (flags, pos) = split_flags(&rest)?;
             reject_unknown(&flags, &["task", "epochs", "seed", "checkpoint-dir"])?;
             if !pos.is_empty() {
@@ -569,7 +583,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
             Ok(Command::Validate { input_hw })
         }
         "batch" => {
-            let (flags, pos) = split_flags(rest)?;
+            let (rest, dense_only) = strip_valueless(rest, "--dense-only");
+            let (flags, pos) = split_flags(&rest)?;
             reject_unknown(&flags, &["images", "tasks", "seed", "threads", "poison"])?;
             if !pos.is_empty() {
                 return Err(err(format!("unexpected argument '{}'", pos[0])));
@@ -602,10 +617,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                 seed: get_num(&flags, "seed", 42)?,
                 threads: get_num(&flags, "threads", 0)?,
                 poison,
+                dense_only,
             })
         }
         "serve" => {
-            let (flags, pos) = split_flags(rest)?;
+            let (rest, dense_only) = strip_valueless(rest, "--dense-only");
+            let (flags, pos) = split_flags(&rest)?;
             reject_unknown(
                 &flags,
                 &["requests", "tasks", "seed", "inject", "workers", "capacity"],
@@ -649,6 +666,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                 inject,
                 workers,
                 capacity: get_num(&flags, "capacity", 0)?,
+                dense_only,
             })
         }
         other => Err(err(format!("unknown command '{other}' (try 'mime help')"))),
@@ -818,11 +836,25 @@ mod tests {
     fn batch_defaults_and_validation() {
         assert_eq!(
             p(&["batch"]).unwrap(),
-            Command::Batch { images: 6, tasks: 2, seed: 42, threads: 0, poison: None }
+            Command::Batch {
+                images: 6,
+                tasks: 2,
+                seed: 42,
+                threads: 0,
+                poison: None,
+                dense_only: false,
+            }
         );
         assert_eq!(
             p(&["batch", "--images", "4", "--tasks", "3", "--threads", "2"]).unwrap(),
-            Command::Batch { images: 4, tasks: 3, seed: 42, threads: 2, poison: None }
+            Command::Batch {
+                images: 4,
+                tasks: 3,
+                seed: 42,
+                threads: 2,
+                poison: None,
+                dense_only: false,
+            }
         );
         assert!(p(&["batch", "--images", "0"]).is_err());
         assert!(p(&["batch", "--tasks", "0"]).is_err());
@@ -833,10 +865,57 @@ mod tests {
     fn batch_poison_drill_flag() {
         assert_eq!(
             p(&["batch", "--tasks", "3", "--poison", "2"]).unwrap(),
-            Command::Batch { images: 6, tasks: 3, seed: 42, threads: 0, poison: Some(2) }
+            Command::Batch {
+                images: 6,
+                tasks: 3,
+                seed: 42,
+                threads: 0,
+                poison: Some(2),
+                dense_only: false,
+            }
         );
         assert!(p(&["batch", "--poison", "2"]).is_err(), "out of range for 2 tasks");
         assert!(p(&["batch", "--poison", "nope"]).is_err());
+    }
+
+    #[test]
+    fn dense_only_is_valueless_and_position_independent() {
+        assert_eq!(
+            p(&["batch", "--dense-only"]).unwrap(),
+            Command::Batch {
+                images: 6,
+                tasks: 2,
+                seed: 42,
+                threads: 0,
+                poison: None,
+                dense_only: true,
+            }
+        );
+        assert_eq!(
+            p(&["batch", "--dense-only", "--images", "4", "--threads", "2"]).unwrap(),
+            Command::Batch {
+                images: 4,
+                tasks: 2,
+                seed: 42,
+                threads: 2,
+                poison: None,
+                dense_only: true,
+            }
+        );
+        assert_eq!(
+            p(&["serve", "--workers", "3", "--dense-only"]).unwrap(),
+            Command::Serve {
+                requests: 16,
+                tasks: 3,
+                seed: 42,
+                inject: ServeFault::None,
+                workers: 3,
+                capacity: 0,
+                dense_only: true,
+            }
+        );
+        // only batch and serve accept it
+        assert!(p(&["simulate", "--dense-only"]).is_err());
     }
 
     #[test]
@@ -886,6 +965,7 @@ mod tests {
                 inject: ServeFault::None,
                 workers: 2,
                 capacity: 0,
+                dense_only: false,
             }
         );
         for (name, fault) in [
@@ -916,6 +996,7 @@ mod tests {
                 inject: ServeFault::None,
                 workers: 4,
                 capacity: 8,
+                dense_only: false,
             }
         );
         assert!(p(&["serve", "--requests", "0"]).is_err());

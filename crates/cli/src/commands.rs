@@ -84,11 +84,11 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
         }
         Command::Sweep { input_hw, rounds } => sweep(out, input_hw, rounds),
         Command::Validate { input_hw } => validate(out, input_hw),
-        Command::Batch { images, tasks, seed, threads, poison } => {
-            batch(out, images, tasks, seed, threads, poison)
+        Command::Batch { images, tasks, seed, threads, poison, dense_only } => {
+            batch(out, images, tasks, seed, threads, poison, dense_only)
         }
-        Command::Serve { requests, tasks, seed, inject, workers, capacity } => {
-            serve(out, requests, tasks, seed, inject, workers, capacity)
+        Command::Serve { requests, tasks, seed, inject, workers, capacity, dense_only } => {
+            serve(out, requests, tasks, seed, inject, workers, capacity, dense_only)
         }
     }
 }
@@ -112,11 +112,11 @@ fn write_help(out: &mut dyn Write) {
          \x20 sweep     [--input-hw 224] [--rounds 6]          batch/task scaling sweeps\n\
          \x20 validate  [--input-hw 32]                        analytical vs functional counters\n\
          \x20 batch     [--images 6] [--tasks 2] [--seed 42] [--threads 0] [--poison i]\n\
-         \x20           multi-task batch on the functional array, serial vs parallel\n\
-         \x20           (exit code 2 when a task degraded to the parent path)\n\
+         \x20           [--dense-only]  multi-task batch on the sparse software path,\n\
+         \x20           serial vs parallel (exit code 2 when a task degraded to parent)\n\
          \x20 serve     [--requests 16] [--tasks 3] [--seed 42] [--workers 2]\n\
-         \x20           [--capacity 0] [--inject none|nan-poison|bitflip|truncate|garble|\n\
-         \x20           panic|flaky|slow|overload]   resilient serving loop chaos drill\n\
+         \x20           [--capacity 0] [--dense-only] [--inject none|nan-poison|bitflip|\n\
+         \x20           truncate|garble|panic|flaky|slow|overload]   serving chaos drill\n\
          \x20 help                                             this message\n\n\
          global flags (any command):\n\
          \x20 --trace-out <file>    write a Chrome-trace JSON (chrome://tracing, Perfetto)\n\
@@ -507,8 +507,9 @@ fn batch(
     seed: u64,
     threads: usize,
     poison: Option<usize>,
+    dense_only: bool,
 ) -> Result<(), CliError> {
-    use mime_runtime::HardwareExecutor;
+    use mime_runtime::{ComputePath, HardwareExecutor, SparseDispatch};
 
     let arch = vgg16_arch(0.0625, 32, 3, 4, 16);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -536,7 +537,16 @@ fn batch(
             (i % tasks, image)
         })
         .collect();
-    let mut exec = HardwareExecutor::new(ArrayConfig::eyeriss_65nm());
+    // Software compute path: the sparsity-aware fast path by default,
+    // pinned to the dense packed kernels under --dense-only. Logits are
+    // bit-identical either way (the checksum below proves it).
+    let dispatch =
+        if dense_only { SparseDispatch::DenseOnly } else { SparseDispatch::Auto };
+    let mut exec = HardwareExecutor::with_options(
+        ArrayConfig::eyeriss_65nm(),
+        ComputePath::Software,
+        dispatch,
+    );
     let serial = exec.run_pipelined(&plans, &batch, true, true).map_err(io_err)?;
     let parallel = if threads == 0 {
         exec.run_batch_parallel(&plans, &batch, true, true)
@@ -555,6 +565,9 @@ fn batch(
     let _ = writeln!(out, "  task switches:      {}", serial.task_switches);
     let _ = writeln!(out, "  threshold reloads:  {} words", serial.threshold_reload_words);
     let _ = writeln!(out, "  degraded tasks:     {:?}", serial.degraded_tasks);
+    // bit-level fingerprint of every logit: identical across dispatch
+    // policies and thread counts, or something is broken
+    let _ = writeln!(out, "  logits checksum:    {:016x}", logits_checksum(&serial.logits));
     let identical = serial.counters == parallel.counters
         && serial.logits == parallel.logits
         && serial.task_switches == parallel.task_switches
@@ -574,6 +587,21 @@ fn batch(
         )));
     }
     Ok(())
+}
+
+/// FNV-1a over the raw bits of every logit — a stable fingerprint for
+/// bit-identity smoke checks across dispatch policies and thread counts.
+fn logits_checksum(logits: &[Vec<f32>]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for row in logits {
+        for v in row {
+            for b in v.to_bits().to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+    }
+    h
 }
 
 /// Deterministic probe input for `serve`, matching the batch command's
@@ -646,6 +674,7 @@ fn plans_after_image_fault(
     Ok(plans)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve(
     out: &mut dyn Write,
     requests: usize,
@@ -654,6 +683,7 @@ fn serve(
     inject: ServeFault,
     workers: usize,
     mut capacity: usize,
+    dense_only: bool,
 ) -> Result<(), CliError> {
     let mut model = small_multitask_model(seed, tasks)?;
     let mut plans = Vec::with_capacity(tasks);
@@ -686,7 +716,17 @@ fn serve(
     if capacity == 0 {
         capacity = requests;
     }
-    let cfg = ServeConfig { queue_capacity: capacity, workers, ..ServeConfig::default() };
+    let dispatch = if dense_only {
+        mime_runtime::SparseDispatch::DenseOnly
+    } else {
+        mime_runtime::SparseDispatch::Auto
+    };
+    let cfg = ServeConfig {
+        queue_capacity: capacity,
+        workers,
+        dispatch,
+        ..ServeConfig::default()
+    };
     // Virtual clock: deadlines, backoff and breaker cooldowns advance
     // with simulated per-layer cost, so drills are reproducible.
     let clock = VirtualClock::new();
@@ -914,6 +954,7 @@ mod tests {
             seed: 1,
             threads: 2,
             poison: None,
+            dense_only: false,
         });
         assert!(s.contains("parallel == serial: true"), "{s}");
         assert!(s.contains("macs executed"), "{s}");
@@ -923,7 +964,14 @@ mod tests {
     fn batch_poison_drill_degrades_with_exit_code_2() {
         let mut buf = Vec::new();
         let err = run(
-            Command::Batch { images: 4, tasks: 2, seed: 1, threads: 2, poison: Some(1) },
+            Command::Batch {
+                images: 4,
+                tasks: 2,
+                seed: 1,
+                threads: 2,
+                poison: Some(1),
+                dense_only: false,
+            },
             &mut buf,
         )
         .unwrap_err();
@@ -945,6 +993,7 @@ mod tests {
             inject: ServeFault::None,
             workers: 2,
             capacity: 0,
+            dense_only: false,
         });
         assert!(s.contains("success:            6"), "{s}");
         assert!(s.contains("shed:               0"), "{s}");
@@ -960,6 +1009,7 @@ mod tests {
             inject: ServeFault::Overload,
             workers: 2,
             capacity: 0,
+            dense_only: false,
         });
         assert!(s.contains("shed:               4"), "{s}");
         assert!(s.contains("success:            4"), "{s}");
@@ -975,6 +1025,7 @@ mod tests {
             inject: ServeFault::NanPoison,
             workers: 1,
             capacity: 0,
+            dense_only: false,
         });
         // tasks 0 and 1 serve 3 requests each; task 2's bank is
         // poisoned, so its 3 requests degrade and the breaker trips
@@ -998,6 +1049,7 @@ mod tests {
             inject: ServeFault::Panic,
             workers: 1,
             capacity: 0,
+            dense_only: false,
         });
         assert!(s.contains("success:            10"), "{s}");
         assert!(s.contains("worker restarts:    2"), "{s}");

@@ -1,6 +1,6 @@
 //! The [`Layer`] trait and the [`Parameter`] container.
 
-use mime_tensor::Tensor;
+use mime_tensor::{SparseDispatch, SparseStats, Tensor};
 
 /// A trainable parameter: its value, the gradient accumulated by the most
 /// recent backward pass, and a freeze flag.
@@ -134,6 +134,33 @@ pub trait Layer: Send + Sync {
     /// flops and matrix dimensions to spans.
     fn gemm_dims(&self, _input_dims: &[usize]) -> Option<GemmDims> {
         None
+    }
+
+    /// **Inference-only** forward through the sparse fast path.
+    ///
+    /// `active_in` is an optional per-input-channel (conv) or per-feature
+    /// (linear) activity bitmap emitted by the preceding threshold/ReLU
+    /// step: a `false` entry promises that slice of the input is exactly
+    /// zero, letting GEMM layers feed the row compactor without
+    /// re-scanning the activation. The output must be **bit-identical**
+    /// to [`forward`](Layer::forward) (skipping exact zeros is exact).
+    ///
+    /// The default ignores the bitmap and runs the dense forward,
+    /// returning `None` stats; GEMM layers override it. Implementations
+    /// need not cache intermediates for a backward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error when `input` (or a provided bitmap) has an
+    /// incompatible shape.
+    fn forward_sparse(
+        &mut self,
+        input: &Tensor,
+        active_in: Option<&[bool]>,
+        dispatch: SparseDispatch,
+    ) -> crate::Result<(Tensor, Option<SparseStats>)> {
+        let _ = (active_in, dispatch);
+        Ok((self.forward(input)?, None))
     }
 }
 

@@ -4,9 +4,36 @@
 use crate::{BoundLayer, BoundNetwork};
 use mime_core::faults::first_non_finite;
 use mime_core::MimeError;
-use mime_systolic::{AccessCounters, ArrayConfig, FunctionalArray, Mapper};
-use mime_tensor::{max_pool2d, PoolSpec, Tensor};
+use mime_systolic::{AccessCounters, ArrayConfig, FunctionalArray, LayerGeometry, Mapper};
+use mime_tensor::{
+    conv2d_sparse_with_scratch, max_pool2d, ConvScratch, ConvSpec, PoolSpec,
+    SparseDispatch, Tensor, TensorError,
+};
 use std::time::Instant;
+
+/// Which backend executes a plan's array steps.
+///
+/// Both paths produce the same logits for the same plan (the software
+/// path is bit-identical to the host [`mime_core::MimeNetwork::forward`]
+/// computation; the simulated array accumulates in a different order and
+/// agrees to floating-point tolerance), but they account differently:
+///
+/// * [`Simulate`](ComputePath::Simulate) runs the cycle-level
+///   [`FunctionalArray`] model and reports exact per-access counters.
+/// * [`Software`](ComputePath::Software) runs the host CPU GEMMs through
+///   the sparsity-aware fast path (row compaction + packed microkernels)
+///   for wall-clock speed. MAC and comparison counts are reconstructed
+///   analytically (they match the array's tap-level accounting exactly);
+///   memory-hierarchy counters stay zero, which the batch accounting
+///   tolerates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ComputePath {
+    /// Functional systolic-array simulation (exact access counters).
+    #[default]
+    Simulate,
+    /// Host CPU sparse fast path (compaction + packed GEMM dispatch).
+    Software,
+}
 
 /// Per-batch execution report.
 #[derive(Debug, Clone, Default)]
@@ -38,22 +65,76 @@ impl BatchReport {
     }
 }
 
-/// Runs bound networks on the functional array.
+/// Runs bound networks on the functional array or the host sparse path.
 #[derive(Debug)]
 pub struct HardwareExecutor {
     cfg: ArrayConfig,
     array: FunctionalArray,
+    path: ComputePath,
+    dispatch: SparseDispatch,
+    // Software-path GEMM scratch, reused across layers and images.
+    scratch: ConvScratch,
+    // Software-path analytic counters (the array owns the simulated ones).
+    sw_counters: AccessCounters,
 }
 
 impl HardwareExecutor {
-    /// Creates an executor for a hardware configuration.
+    /// Creates an executor for a hardware configuration, on the
+    /// simulated-array path with automatic sparse dispatch.
     pub fn new(cfg: ArrayConfig) -> Self {
-        HardwareExecutor { cfg, array: FunctionalArray::new(cfg) }
+        Self::with_options(cfg, ComputePath::default(), SparseDispatch::default())
+    }
+
+    /// Creates an executor with an explicit compute path and sparse
+    /// dispatch policy.
+    pub fn with_options(
+        cfg: ArrayConfig,
+        path: ComputePath,
+        dispatch: SparseDispatch,
+    ) -> Self {
+        HardwareExecutor {
+            cfg,
+            array: FunctionalArray::new(cfg),
+            path,
+            dispatch,
+            scratch: ConvScratch::new(),
+            sw_counters: AccessCounters::default(),
+        }
     }
 
     /// The hardware configuration.
     pub fn config(&self) -> &ArrayConfig {
         &self.cfg
+    }
+
+    /// The compute path array steps run on.
+    pub fn compute_path(&self) -> ComputePath {
+        self.path
+    }
+
+    /// The sparse GEMM dispatch policy (software path only).
+    pub fn sparse_dispatch(&self) -> SparseDispatch {
+        self.dispatch
+    }
+
+    /// A fresh executor with the same configuration and options but
+    /// pristine state — what parallel workers run on.
+    fn replica(&self) -> HardwareExecutor {
+        Self::with_options(self.cfg, self.path, self.dispatch)
+    }
+
+    /// Clears whichever counters the active path accumulates.
+    fn reset_batch_counters(&mut self) {
+        self.array.reset();
+        self.sw_counters = AccessCounters::default();
+    }
+
+    /// The counters the active path accumulated since the last reset.
+    fn batch_counters(&self) -> AccessCounters {
+        match self.path {
+            ComputePath::Simulate => *self.array.counters(),
+            ComputePath::Software => self.sw_counters,
+        }
     }
 
     /// Executes one image `[C, H, W]` through the plan; returns logits.
@@ -108,6 +189,12 @@ impl HardwareExecutor {
             profiling.then(|| mime_obs::trace::span_cat("run_image", "runtime.image"));
         let mapper = Mapper::new(self.cfg);
         let mut x = image.clone();
+        // Software path: per-channel activity bitmap emitted by each
+        // threshold/ReLU step; a `false` entry promises that channel is
+        // exactly zero, so the next GEMM compacts without re-scanning.
+        // Pool preserves all-zero channels; Flatten expands channels to
+        // per-feature entries for the FC steps.
+        let mut pending: Option<Vec<bool>> = None;
         for (index, step) in plan.steps().iter().enumerate() {
             guard(index)?;
             match step {
@@ -116,20 +203,38 @@ impl HardwareExecutor {
                     // FC steps expect a flat [C,1,1] activation
                     let staged =
                         if geom.r == 1 { x.reshape(&[geom.c, 1, 1])? } else { x.clone() };
-                    let mapping = mapper.best_mapping(geom, 0.5, 1.0);
-                    let mut out = self.array.run_layer(
-                        geom,
-                        &mapping,
-                        weight,
-                        bias,
-                        &staged,
-                        thresholds.as_ref(),
-                        zero_skip,
-                    )?;
-                    if thresholds.is_none() && geom.masked {
-                        // baseline activation: host-side ReLU
-                        out = out.relu();
-                    }
+                    let out = match self.path {
+                        ComputePath::Simulate => {
+                            let mapping = mapper.best_mapping(geom, 0.5, 1.0);
+                            let mut out = self.array.run_layer(
+                                geom,
+                                &mapping,
+                                weight,
+                                bias,
+                                &staged,
+                                thresholds.as_ref(),
+                                zero_skip,
+                            )?;
+                            if thresholds.is_none() && geom.masked {
+                                // baseline activation: host-side ReLU
+                                out = out.relu();
+                            }
+                            out
+                        }
+                        ComputePath::Software => {
+                            let (out, activity) = self.run_array_step_software(
+                                geom,
+                                weight,
+                                bias,
+                                thresholds.as_ref(),
+                                &staged,
+                                zero_skip,
+                                pending.as_deref(),
+                            )?;
+                            pending = Some(activity);
+                            out
+                        }
+                    };
                     if let Some(start) = start {
                         if mime_obs::metrics_enabled() {
                             mime_obs::metrics::global()
@@ -149,8 +254,20 @@ impl HardwareExecutor {
                     let pooled = max_pool2d(&x4, &PoolSpec::vgg2x2())?;
                     let dims = pooled.output.dims().to_vec();
                     x = pooled.output.reshape(&dims[1..])?;
+                    // max-pooling an all-zero channel yields all zeros,
+                    // so the channel bitmap stays valid
                 }
                 BoundLayer::Flatten => {
+                    if let Some(act) = pending.take() {
+                        // expand channel promises to the per-feature
+                        // granularity the FC steps consume
+                        let sites: usize = x.dims()[1..].iter().product();
+                        pending = Some(
+                            act.iter()
+                                .flat_map(|&a| std::iter::repeat_n(a, sites))
+                                .collect(),
+                        );
+                    }
                     let len = x.len();
                     x = x.reshape(&[len])?;
                 }
@@ -165,6 +282,113 @@ impl HardwareExecutor {
             });
         }
         Ok(x.as_slice().to_vec())
+    }
+
+    /// One array step on the host sparse fast path: lower to the
+    /// row-compacting GEMM (`[1, C, HW, HW]` conv; FC is the `R = 1`
+    /// degenerate case), apply the threshold bank (or baseline ReLU)
+    /// exactly as the simulated drain does, and report the out-channel
+    /// activity bitmap for the next step's compactor.
+    ///
+    /// Counters are reconstructed analytically so `zero_skip` accounting
+    /// matches the functional array MAC-for-MAC (the output values never
+    /// depend on `zero_skip` on either path).
+    #[allow(clippy::too_many_arguments)]
+    fn run_array_step_software(
+        &mut self,
+        geom: &LayerGeometry,
+        weight: &Tensor,
+        bias: &Tensor,
+        thresholds: Option<&Tensor>,
+        staged: &Tensor,
+        zero_skip: bool,
+        active_in: Option<&[bool]>,
+    ) -> crate::Result<(Tensor, Vec<bool>)> {
+        let sites = geom.sites();
+        if let Some(t) = thresholds {
+            if t.len() != geom.k * sites {
+                return Err(TensorError::LengthMismatch {
+                    expected: geom.k * sites,
+                    actual: t.len(),
+                }
+                .into());
+            }
+        }
+        let spec = ConvSpec::new(geom.r, 1, (geom.r - 1) / 2)?;
+        let x4 = staged.reshape(&[1, geom.c, geom.in_hw, geom.in_hw])?;
+        let (out4, stats) = conv2d_sparse_with_scratch(
+            &x4,
+            weight,
+            bias,
+            &spec,
+            &mut self.scratch,
+            active_in,
+            self.dispatch,
+        )?;
+        let mut out = out4.reshape(&[geom.k, geom.out_hw, geom.out_hw])?;
+        if let Some(t) = thresholds {
+            // same comparison the array's drain stage applies (eq. (2)):
+            // keep the accumulator iff acc - t >= 0, else exact zero
+            let tv = t.as_slice();
+            for (v, t) in out.as_mut_slice().iter_mut().zip(tv) {
+                *v = if *v - *t >= 0.0 { *v } else { 0.0 };
+            }
+            self.sw_counters.cmps += (geom.k * sites) as u64;
+        } else if geom.masked {
+            // baseline activation: host-side ReLU
+            out = out.relu();
+        }
+        // analytic MAC accounting mirroring the functional array: one MAC
+        // per in-bounds kernel tap, skipping zero activations when
+        // zero_skip is on. Each input pixel feeds span(iy)·span(ix)
+        // output sites, so the tally is O(C·HW²) instead of a tap walk.
+        let spans = tap_spans(geom.in_hw, geom.out_hw, geom.r);
+        let taps: u64 = if zero_skip {
+            let xv = staged.as_slice();
+            let hw = geom.in_hw;
+            let mut taps = 0u64;
+            for ci in 0..geom.c {
+                for (iy, &sy) in spans.iter().enumerate() {
+                    let row = &xv[(ci * hw + iy) * hw..][..hw];
+                    for (&a, &sx) in row.iter().zip(&spans) {
+                        if a != 0.0 {
+                            taps += sy * sx;
+                        }
+                    }
+                }
+            }
+            taps
+        } else {
+            let total: u64 = spans.iter().sum();
+            geom.c as u64 * total * total
+        };
+        self.sw_counters.macs += taps * geom.k as u64;
+        if mime_obs::metrics_enabled() {
+            // counters only: sums are order-independent, so serial and
+            // parallel batches publish bit-identical series
+            let r = mime_obs::metrics::global();
+            r.counter("mime_sparse_rows_total").add(stats.k_total as u64);
+            r.counter("mime_sparse_rows_skipped_total").add(stats.rows_skipped() as u64);
+            r.counter_with(
+                "mime_sparse_dispatch_total",
+                &[("path", if stats.used_sparse { "sparse" } else { "dense" })],
+            )
+            .add(1);
+        }
+        mime_obs::debug!(
+            "runtime.sparse",
+            "gemm dispatch",
+            layer = geom.name,
+            used_sparse = stats.used_sparse,
+            active_rows = stats.k_active,
+            total_rows = stats.k_total
+        );
+        let activity = (0..geom.k)
+            .map(|ki| {
+                out.as_slice()[ki * sites..(ki + 1) * sites].iter().any(|&v| v != 0.0)
+            })
+            .collect();
+        Ok((out, activity))
     }
 
     /// Executes a pipelined batch of `(plan_index, image)` pairs over a
@@ -202,7 +426,7 @@ impl HardwareExecutor {
         shared_weights: bool,
         zero_skip: bool,
     ) -> crate::Result<BatchReport> {
-        self.array.reset();
+        self.reset_batch_counters();
         let mut batch_span = mime_obs::profiling()
             .then(|| mime_obs::trace::span_cat("run_pipelined", "runtime.batch"));
         if let Some(span) = batch_span.as_mut() {
@@ -215,7 +439,7 @@ impl HardwareExecutor {
         for (task, image) in batch {
             logits.push(self.run_image(effective[*task], image, zero_skip)?);
         }
-        let report = acct.into_report(*self.array.counters(), logits);
+        let report = acct.into_report(self.batch_counters(), logits);
         publish_batch_metrics(&effective, batch, &report);
         Ok(report)
     }
@@ -224,9 +448,9 @@ impl HardwareExecutor {
     /// hardware runs fanned out across worker threads (worker count from
     /// `MIME_THREADS`, see [`mime_tensor::threads::worker_count`]).
     ///
-    /// Each worker owns a fresh [`FunctionalArray`] replica of this
-    /// executor's configuration and runs a contiguous slice of the
-    /// batch, so no hardware state is shared. The merged
+    /// Each worker owns a fresh executor replica (same configuration,
+    /// compute path and dispatch policy) and runs a contiguous slice of
+    /// the batch, so no hardware state is shared. The merged
     /// [`BatchReport`] is **bit-identical** to the serial one:
     ///
     /// * the array is stateless between images, so each image's counter
@@ -296,7 +520,7 @@ impl HardwareExecutor {
             for (ci, work) in batch.chunks(chunk).enumerate() {
                 let start = ci * chunk;
                 let effective = &effective;
-                let cfg = self.cfg;
+                let this = &*self;
                 handles.push(scope.spawn(move || -> WorkerOut {
                     let mut worker_span = mime_obs::profiling()
                         .then(|| mime_obs::trace::span_cat("worker", "runtime.worker"));
@@ -304,7 +528,7 @@ impl HardwareExecutor {
                         span.arg("chunk_start", start);
                         span.arg("chunk_len", work.len());
                     }
-                    let mut replica = HardwareExecutor::new(cfg);
+                    let mut replica = this.replica();
                     let mut logits = Vec::with_capacity(work.len());
                     for (offset, (task, image)) in work.iter().enumerate() {
                         match replica.run_image(effective[*task], image, zero_skip) {
@@ -312,7 +536,7 @@ impl HardwareExecutor {
                             Err(e) => return Err((start + offset, e)),
                         }
                     }
-                    Ok((logits, *replica.array.counters()))
+                    Ok((logits, replica.batch_counters()))
                 }));
             }
             handles
@@ -413,6 +637,22 @@ fn plan_dense_macs(plan: &BoundNetwork) -> u64 {
             BoundLayer::Pool | BoundLayer::Flatten => 0,
         })
         .sum()
+}
+
+/// For a stride-1 same-padded conv, the number of output sites along one
+/// axis that read input coordinate `i`: the overlap of
+/// `[i + pad + 1 - r, i + pad]` with `[0, out_hw)`. `Σ span(i)` over the
+/// input axis equals the in-bounds tap count per output row, so
+/// `c · (Σ span)²` reproduces [`plan_dense_macs`]'s per-channel tally.
+fn tap_spans(in_hw: usize, out_hw: usize, r: usize) -> Vec<u64> {
+    let pad = (r - 1) / 2;
+    (0..in_hw)
+        .map(|i| {
+            let lo = (i + pad + 1).saturating_sub(r);
+            let hi = (i + pad).min(out_hw.saturating_sub(1));
+            (hi + 1).saturating_sub(lo) as u64
+        })
+        .collect()
 }
 
 /// Graceful degradation: a task whose threshold bank fails validation
@@ -727,6 +967,109 @@ mod tests {
                 exec.run_batch_parallel(&plans, &batch, shared_weights, true).unwrap();
             assert_reports_identical(&serial, &parallel);
         }
+    }
+
+    #[test]
+    fn software_path_logits_are_bit_identical_to_host_forward() {
+        let (arch, parent) = mini();
+        let mut net = MimeNetwork::from_trained(&arch, &parent, 0.05).unwrap();
+        let plan = BoundNetwork::from_mime(&net).unwrap();
+        let sw = net.forward(&probe().reshape(&[1, 3, 32, 32]).unwrap()).unwrap();
+        for dispatch in
+            [SparseDispatch::Auto, SparseDispatch::SparseOnly, SparseDispatch::DenseOnly]
+        {
+            let mut exec = HardwareExecutor::with_options(
+                ArrayConfig::eyeriss_65nm(),
+                ComputePath::Software,
+                dispatch,
+            );
+            for zero_skip in [true, false] {
+                let logits = exec.run_image(&plan, &probe(), zero_skip).unwrap();
+                assert_eq!(
+                    logits,
+                    sw.as_slice(),
+                    "software path must match the host forward bitwise ({dispatch:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn software_path_baseline_matches_host_forward() {
+        let (arch, mut net) = mini();
+        let plan = BoundNetwork::from_baseline(&arch, &net).unwrap();
+        let mut exec = HardwareExecutor::with_options(
+            ArrayConfig::eyeriss_65nm(),
+            ComputePath::Software,
+            SparseDispatch::Auto,
+        );
+        let logits = exec.run_image(&plan, &probe(), true).unwrap();
+        let sw = net.forward(&probe().reshape(&[1, 3, 32, 32]).unwrap()).unwrap();
+        assert_eq!(logits, sw.as_slice());
+    }
+
+    #[test]
+    fn software_macs_match_simulated_array() {
+        let (arch, parent) = mini();
+        let net = MimeNetwork::from_trained(&arch, &parent, 0.05).unwrap();
+        let plans = [BoundNetwork::from_mime(&net).unwrap()];
+        let batch: Vec<(usize, Tensor)> = (0..2).map(|i| (0, salted_probe(i))).collect();
+        for zero_skip in [true, false] {
+            let mut sim = HardwareExecutor::new(ArrayConfig::eyeriss_65nm());
+            let sim_report = sim.run_pipelined(&plans, &batch, true, zero_skip).unwrap();
+            let mut sw = HardwareExecutor::with_options(
+                ArrayConfig::eyeriss_65nm(),
+                ComputePath::Software,
+                SparseDispatch::Auto,
+            );
+            let sw_report = sw.run_pipelined(&plans, &batch, true, zero_skip).unwrap();
+            assert_eq!(
+                sw_report.counters.macs, sim_report.counters.macs,
+                "analytic MACs must match the array tap count (zero_skip={zero_skip})"
+            );
+            assert_eq!(sw_report.counters.cmps, sim_report.counters.cmps);
+            assert_eq!(sw_report.task_switches, sim_report.task_switches);
+        }
+    }
+
+    #[test]
+    fn software_parallel_batch_report_is_bit_identical_to_serial() {
+        let plans = three_plans();
+        let batch: Vec<(usize, Tensor)> =
+            (0..7).map(|i| (i % 3, salted_probe(i))).collect();
+        for dispatch in
+            [SparseDispatch::Auto, SparseDispatch::SparseOnly, SparseDispatch::DenseOnly]
+        {
+            let mut exec = HardwareExecutor::with_options(
+                ArrayConfig::eyeriss_65nm(),
+                ComputePath::Software,
+                dispatch,
+            );
+            let serial = exec.run_pipelined(&plans, &batch, true, true).unwrap();
+            assert_eq!(serial.degraded_tasks, vec![2]);
+            for threads in [1usize, 3, 16] {
+                let parallel = exec
+                    .run_batch_parallel_with_threads(&plans, &batch, true, true, threads)
+                    .unwrap();
+                assert_reports_identical(&serial, &parallel);
+            }
+        }
+        // dispatch policy must never change the logits
+        let auto = HardwareExecutor::with_options(
+            ArrayConfig::eyeriss_65nm(),
+            ComputePath::Software,
+            SparseDispatch::Auto,
+        )
+        .run_batch_parallel(&plans, &batch, true, true)
+        .unwrap();
+        let dense = HardwareExecutor::with_options(
+            ArrayConfig::eyeriss_65nm(),
+            ComputePath::Software,
+            SparseDispatch::DenseOnly,
+        )
+        .run_batch_parallel(&plans, &batch, true, true)
+        .unwrap();
+        assert_eq!(auto.logits, dense.logits);
     }
 
     #[test]

@@ -44,7 +44,8 @@ mod bind;
 mod executor;
 
 pub use bind::{geometry_from_arch, BoundLayer, BoundNetwork};
-pub use executor::{BatchReport, HardwareExecutor};
+pub use executor::{BatchReport, ComputePath, HardwareExecutor};
+pub use mime_tensor::SparseDispatch;
 
 /// Result alias over [`mime_core::MimeError`], shared with `mime-core`.
 pub type Result<T> = mime_core::Result<T>;

@@ -14,7 +14,7 @@ use crate::{
     BoundedQueue, BreakerConfig, BreakerState, CircuitBreaker, Clock, RetryPolicy, Route,
 };
 use mime_core::MimeError;
-use mime_runtime::{BoundNetwork, HardwareExecutor};
+use mime_runtime::{BoundNetwork, ComputePath, HardwareExecutor, SparseDispatch};
 use mime_systolic::ArrayConfig;
 use mime_tensor::{Tensor, TensorError};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -43,6 +43,14 @@ pub struct ServeConfig {
     pub layer_cost: Duration,
     /// Zero-gating on the functional array (MIME's compute saving).
     pub zero_skip: bool,
+    /// Compute path worker replicas run on. Serving defaults to the
+    /// host [`ComputePath::Software`] sparse fast path (wall-clock
+    /// speed); outcomes are identical on either path.
+    pub path: ComputePath,
+    /// Sparse GEMM dispatch policy on the software path
+    /// ([`SparseDispatch::DenseOnly`] pins the packed dense kernels —
+    /// the `--dense-only` escape hatch).
+    pub dispatch: SparseDispatch,
 }
 
 impl Default for ServeConfig {
@@ -55,6 +63,8 @@ impl Default for ServeConfig {
             deadline: Duration::from_millis(5000),
             layer_cost: Duration::from_millis(1),
             zero_skip: true,
+            path: ComputePath::Software,
+            dispatch: SparseDispatch::Auto,
         }
     }
 }
@@ -279,7 +289,8 @@ impl<'a> Server<'a> {
         retries: &AtomicU64,
         restarts: &AtomicU64,
     ) {
-        let mut exec = HardwareExecutor::new(self.hw);
+        let mut exec =
+            HardwareExecutor::with_options(self.hw, self.cfg.path, self.cfg.dispatch);
         while let Some(job) = queue.pop() {
             self.process_one(
                 &mut exec,
@@ -386,7 +397,11 @@ impl<'a> Server<'a> {
             // request — it was admitted, so it still must terminate.
             Err(_payload) => {
                 restarts.fetch_add(1, Ordering::Relaxed);
-                *exec = HardwareExecutor::new(self.hw);
+                *exec = HardwareExecutor::with_options(
+                    self.hw,
+                    self.cfg.path,
+                    self.cfg.dispatch,
+                );
                 mime_obs::warn!(
                     "serve.worker",
                     "worker panicked; replica restarted, request requeued",

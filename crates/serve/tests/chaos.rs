@@ -15,7 +15,7 @@ use mime_core::deploy::{pack_model, unpack_model};
 use mime_core::faults::FaultInjector;
 use mime_core::{MimeNetwork, MultiTaskModel};
 use mime_nn::{build_network, vgg16_arch};
-use mime_runtime::{BoundNetwork, HardwareExecutor};
+use mime_runtime::{BoundNetwork, ComputePath, HardwareExecutor, SparseDispatch};
 use mime_serve::{
     BreakerConfig, BreakerState, FaultPlan, Outcome, Request, RetryPolicy, ServeConfig,
     Server, ShedReason, VirtualClock,
@@ -108,9 +108,16 @@ fn requests(n: usize, n_tasks: usize) -> Vec<Request> {
     (0..n).map(|i| Request { id: i, task: i % n_tasks, image: probe_image(i) }).collect()
 }
 
-/// Serial-path reference logits for parity assertions.
+/// Serial-path reference logits for parity assertions, on the same
+/// compute path the server's workers default to.
 fn serial_logits(plan: &BoundNetwork, image: &Tensor) -> Vec<f32> {
-    HardwareExecutor::new(ArrayConfig::eyeriss_65nm()).run_image(plan, image, true).unwrap()
+    HardwareExecutor::with_options(
+        ArrayConfig::eyeriss_65nm(),
+        ComputePath::Software,
+        SparseDispatch::Auto,
+    )
+    .run_image(plan, image, true)
+    .unwrap()
 }
 
 fn base_config() -> ServeConfig {
@@ -122,6 +129,8 @@ fn base_config() -> ServeConfig {
         deadline: Duration::from_millis(5000),
         layer_cost: Duration::from_millis(1),
         zero_skip: true,
+        path: ComputePath::Software,
+        dispatch: SparseDispatch::Auto,
     }
 }
 

@@ -12,7 +12,11 @@
 //! The single-image [`im2col`]/[`col2im`] lowering is kept as a public
 //! reference (tests and the systolic functional model use it).
 
-use crate::{matmul_into, matmul_nt_into_acc, matmul_tn_into, Result, Tensor, TensorError};
+use crate::{
+    matmul_into, matmul_nt_into_acc, matmul_sparse_dispatch_into,
+    matmul_sparse_dispatch_into_with_rows, matmul_tn_into, Result, SparseDispatch,
+    SparseStats, Tensor, TensorError,
+};
 
 /// Geometry of a 2-D convolution: kernel size, stride and zero padding
 /// (symmetric, same on both spatial axes).
@@ -90,6 +94,7 @@ pub struct ConvScratch {
     gemm: Tensor,
     gout: Tensor,
     dcols: Tensor,
+    active_rows: Vec<usize>,
 }
 
 impl ConvScratch {
@@ -428,6 +433,141 @@ pub fn conv2d_with_scratch(
     Ok(out)
 }
 
+/// [`conv2d_with_scratch`] routed through the sparse GEMM dispatcher.
+///
+/// When `active_channels` is `Some`, it is a per-input-channel activity
+/// bitmap (length `C`, typically emitted by the preceding threshold/ReLU
+/// step): a `false` channel is promised to be all zeros, and its
+/// `R·S` im2col rows are skipped without probing. A conservative bitmap
+/// (extra `true` entries) is always legal. When `None`, the dispatcher
+/// probes the lowered column matrix for all-zero rows itself. Either
+/// way the output is bit-identical to the dense [`conv2d_with_scratch`]
+/// because skipped rows contribute exact zeros.
+///
+/// Returns the output together with [`SparseStats`] aggregated over all
+/// batch chunks (`k_total`/`k_active` summed, `used_sparse` true if any
+/// chunk took the compacted path). The channel→row expansion reuses a
+/// buffer inside `scratch`, so steady-state inference stays
+/// allocation-free.
+///
+/// # Errors
+///
+/// Returns shape/rank/geometry errors for inconsistent arguments,
+/// including a bitmap whose length differs from the input channel count.
+#[allow(clippy::too_many_arguments)] // mirrors conv2d_with_scratch plus dispatch inputs
+pub fn conv2d_sparse_with_scratch(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    spec: &ConvSpec,
+    scratch: &mut ConvScratch,
+    active_channels: Option<&[bool]>,
+    dispatch: SparseDispatch,
+) -> Result<(Tensor, SparseStats)> {
+    let (n, c, h, w, kout, kr) = check_conv_args(input, weight, bias)?;
+    if kr != spec.kernel {
+        return Err(TensorError::InvalidGeometry(format!(
+            "weight kernel {kr} does not match spec kernel {}",
+            spec.kernel
+        )));
+    }
+    let ho = spec.out_extent(h)?;
+    let wo = spec.out_extent(w)?;
+    let taps = c * spec.kernel * spec.kernel;
+    let sites = ho * wo;
+    let w_mat = weight.reshape(&[kout, taps])?;
+    let mut out = Tensor::zeros(&[n, kout, ho, wo]);
+    let bias_v = bias.as_slice().to_vec();
+    // Expand the channel bitmap into im2col row indices once, outside the
+    // chunk loop: channel `ci` owns rows `ci·R·S .. (ci+1)·R·S`. The list
+    // is moved out of the scratch so it can be borrowed across the chunk
+    // loop while the column/GEMM buffers are mutated.
+    let mut rows_buf = std::mem::take(&mut scratch.active_rows);
+    let known_rows: Option<&[usize]> = match active_channels {
+        Some(act) => {
+            if act.len() != c {
+                scratch.active_rows = rows_buf;
+                return Err(TensorError::InvalidGeometry(format!(
+                    "active-channel bitmap length {} does not match input channels {c}",
+                    act.len()
+                )));
+            }
+            rows_buf.clear();
+            let kk = spec.kernel * spec.kernel;
+            for (ci, &alive) in act.iter().enumerate() {
+                if alive {
+                    rows_buf.extend(ci * kk..(ci + 1) * kk);
+                }
+            }
+            Some(&rows_buf)
+        }
+        None => None,
+    };
+    let mut agg = SparseStats::default();
+    let per_chunk = images_per_chunk(taps, sites, n);
+    let mut n0 = 0;
+    let mut result = Ok(());
+    while n0 < n {
+        let nc = per_chunk.min(n - n0);
+        ensure_shape(&mut scratch.cols, &[taps, nc * sites]);
+        scratch.cols.as_mut_slice().fill(0.0);
+        im2col_batch_into(
+            input.as_slice(),
+            n0,
+            nc,
+            c,
+            h,
+            w,
+            spec,
+            ho,
+            wo,
+            scratch.cols.as_mut_slice(),
+        );
+        ensure_shape(&mut scratch.gemm, &[kout, nc * sites]);
+        let stats = match known_rows {
+            Some(rows) => matmul_sparse_dispatch_into_with_rows(
+                &w_mat,
+                &scratch.cols,
+                &mut scratch.gemm,
+                rows,
+                dispatch,
+            ),
+            None => matmul_sparse_dispatch_into(
+                &w_mat,
+                &scratch.cols,
+                &mut scratch.gemm,
+                dispatch,
+            ),
+        };
+        let stats = match stats {
+            Ok(s) => s,
+            Err(e) => {
+                result = Err(e);
+                break;
+            }
+        };
+        agg.k_total += stats.k_total;
+        agg.k_active += stats.k_active;
+        agg.used_sparse |= stats.used_sparse;
+        let src = scratch.gemm.as_slice();
+        let dst = out.as_mut_slice();
+        for ki in 0..kout {
+            let b = bias_v[ki];
+            for ni in 0..nc {
+                let s_row = &src[ki * nc * sites + ni * sites..][..sites];
+                let d_row = &mut dst[(n0 + ni) * kout * sites + ki * sites..][..sites];
+                for (d, &v) in d_row.iter_mut().zip(s_row) {
+                    *d = v + b;
+                }
+            }
+        }
+        n0 += nc;
+    }
+    scratch.active_rows = rows_buf;
+    result?;
+    Ok((out, agg))
+}
+
 /// 2-D convolution backward pass.
 ///
 /// Given the forward inputs and `grad_output: [N, K, Ho, Wo]`, produces
@@ -692,6 +832,68 @@ mod tests {
             assert_eq!(g1.grad_input.as_slice(), g2.grad_input.as_slice());
             assert_eq!(g1.grad_bias.as_slice(), g2.grad_bias.as_slice());
         }
+    }
+
+    #[test]
+    fn sparse_conv_matches_dense_bitwise() {
+        let spec = ConvSpec::vgg3x3();
+        let c = 6;
+        let mut input =
+            Tensor::from_fn(&[2, c, 6, 6], |i| ((i * 31) % 23) as f32 * 0.1 - 1.0);
+        // zero out channels 1 and 4 of every image, as a threshold would
+        let img = c * 36;
+        for ni in 0..2 {
+            for ci in [1usize, 4] {
+                input.as_mut_slice()[ni * img + ci * 36..][..36].fill(0.0);
+            }
+        }
+        let weight =
+            Tensor::from_fn(&[4, c, 3, 3], |i| ((i * 17) % 13) as f32 * 0.05 - 0.3);
+        let bias = Tensor::from_fn(&[4], |i| i as f32 * 0.1 - 0.2);
+        let dense = conv2d(&input, &weight, &bias, &spec).unwrap();
+
+        let bitmap: Vec<bool> = (0..c).map(|ci| ci != 1 && ci != 4).collect();
+        let mut scratch = ConvScratch::new();
+        for (chans, disp) in [
+            (Some(bitmap.as_slice()), SparseDispatch::Auto),
+            (Some(bitmap.as_slice()), SparseDispatch::SparseOnly),
+            (None, SparseDispatch::SparseOnly),
+            (None, SparseDispatch::DenseOnly),
+        ] {
+            let (out, stats) = conv2d_sparse_with_scratch(
+                &input,
+                &weight,
+                &bias,
+                &spec,
+                &mut scratch,
+                chans,
+                disp,
+            )
+            .unwrap();
+            assert_eq!(out.as_slice(), dense.as_slice(), "chans={chans:?} disp={disp:?}");
+            assert_eq!(stats.k_total, c * 9, "one chunk covers the whole batch");
+            if disp == SparseDispatch::SparseOnly {
+                assert!(stats.used_sparse);
+                assert_eq!(stats.rows_skipped(), 2 * 9, "chans={chans:?}");
+            }
+            if disp == SparseDispatch::DenseOnly {
+                assert!(!stats.used_sparse);
+                assert_eq!(stats.rows_skipped(), 0);
+            }
+        }
+
+        // a bitmap of the wrong length is a geometry error
+        let short = vec![true; c - 1];
+        let err = conv2d_sparse_with_scratch(
+            &input,
+            &weight,
+            &bias,
+            &spec,
+            &mut scratch,
+            Some(&short),
+            SparseDispatch::Auto,
+        );
+        assert!(matches!(err, Err(TensorError::InvalidGeometry(_))));
     }
 
     #[test]

@@ -37,14 +37,17 @@ mod tensor;
 pub mod threads;
 
 pub use conv::{
-    col2im, conv2d, conv2d_backward, conv2d_backward_with_scratch, conv2d_with_scratch,
-    im2col, Conv2dGrads, ConvScratch, ConvSpec,
+    col2im, conv2d, conv2d_backward, conv2d_backward_with_scratch,
+    conv2d_sparse_with_scratch, conv2d_with_scratch, im2col, Conv2dGrads, ConvScratch,
+    ConvSpec,
 };
 pub use error::TensorError;
 pub use init::{kaiming_normal, kaiming_uniform, xavier_uniform};
 pub use matmul::{
     matmul_into, matmul_into_acc, matmul_into_with_threads, matmul_nt, matmul_nt_into_acc,
-    matmul_scalar_ref, matmul_sparse_into, matmul_tn, matmul_tn_into, MR, NR,
+    matmul_scalar_ref, matmul_sparse_dispatch_into, matmul_sparse_dispatch_into_with_rows,
+    matmul_sparse_dispatch_into_with_threads, matmul_sparse_into, matmul_tn,
+    matmul_tn_into, SparseDispatch, SparseStats, MR, NR, SPARSE_ACTIVE_MAX,
 };
 pub use pool::{max_pool2d, max_pool2d_backward, MaxPoolOut, PoolSpec};
 pub use shape::Shape;

@@ -20,12 +20,21 @@
 //!   `p`-order sum, so results are bit-identical at every thread count.
 //!
 //! Zero-skipping (profitable for the sparse masked activations MIME
-//! produces at inference) lives in the explicit sparse variant
-//! [`matmul_sparse_into`]; the dense kernels never branch on element
-//! values. The pre-rework scalar kernel is kept as
-//! [`matmul_scalar_ref`] — it is the committed benchmark baseline in
-//! `BENCH_kernels.json` and the reference the property tests compare
-//! against.
+//! produces at inference) lives in the sparse fast path
+//! ([`matmul_sparse_dispatch_into`] and the [`matmul_sparse_into`]
+//! wrapper): entirely-zero `k`-rows of `B` are *compacted away during
+//! packing* — the gathering packers build a dense packed operand from
+//! only the active rows, and the unmodified dense microkernels run over
+//! it. Skipped rows contribute exact `±0.0` terms, and in
+//! round-to-nearest adding `±0.0` to a `+0.0`-initialised or nonzero
+//! accumulator never changes its bits, so the compacted product is
+//! **bit-identical** to the dense packed product (see DESIGN.md §9). A
+//! measured-sparsity probe picks dense below the
+//! [`SPARSE_ACTIVE_MAX`] crossover so the dispatcher never regresses;
+//! the dense kernels themselves never branch on element values. The
+//! pre-rework scalar kernel is kept as [`matmul_scalar_ref`] — it is
+//! the committed benchmark baseline in `BENCH_kernels.json` and the
+//! reference the property tests compare against.
 
 use crate::{Result, Tensor, TensorError};
 
@@ -159,6 +168,101 @@ fn pack_a(
                 pa[p * mr..p * mr + mr]
                     .copy_from_slice(&a[(p0 + p) * m + i0..(p0 + p) * m + i0 + mr]);
             }
+        }
+    }
+}
+
+/// Like [`pack_b_chunk`], but gathers only the listed `k`-rows: packed
+/// row `p` holds `B` row `act[p]` (`act` ascending, all within the
+/// current depth window). This is the compaction step of the sparse
+/// fast path — zero rows simply never enter the packed operand, so the
+/// microkernels need no zero-branch.
+#[allow(clippy::too_many_arguments)] // flat kernel-internal plumbing
+fn pack_b_chunk_gather(
+    b: &[f32],
+    layout: BLayout,
+    k: usize,
+    n: usize,
+    act: &[usize],
+    c0: usize,
+    nb: usize,
+    packed: &mut [f32],
+) {
+    let kb = act.len();
+    let panels = nb.div_ceil(NR).max(1);
+    for jp in 0..panels {
+        let j0 = c0 + jp * NR;
+        let w = NR.min((c0 + nb).saturating_sub(j0));
+        let dst = &mut packed[jp * kb * NR..(jp + 1) * kb * NR];
+        match layout {
+            BLayout::Normal => {
+                for (p, &pp) in act.iter().enumerate() {
+                    dst[p * NR..p * NR + w]
+                        .copy_from_slice(&b[pp * n + j0..pp * n + j0 + w]);
+                }
+            }
+            BLayout::Trans => {
+                for jj in 0..w {
+                    let col = &b[(j0 + jj) * k..(j0 + jj) * k + k];
+                    for (p, &pp) in act.iter().enumerate() {
+                        dst[p * NR + jj] = col[pp];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Like [`pack_a`], but gathers only the depth indices in `act`:
+/// `pa[p·mr + ii] = A[i0+ii, act[p]]`. The strip lines up row-for-row
+/// with a [`pack_b_chunk_gather`]-packed panel.
+#[allow(clippy::too_many_arguments)] // flat kernel-internal plumbing
+fn pack_a_gather(
+    a: &[f32],
+    layout: ALayout,
+    m: usize,
+    k: usize,
+    act: &[usize],
+    i0: usize,
+    mr: usize,
+    pa: &mut [f32],
+) {
+    match layout {
+        ALayout::Normal => {
+            for ii in 0..mr {
+                let row = &a[(i0 + ii) * k..(i0 + ii) * k + k];
+                for (p, &pp) in act.iter().enumerate() {
+                    pa[p * mr + ii] = row[pp];
+                }
+            }
+        }
+        ALayout::Trans => {
+            for (p, &pp) in act.iter().enumerate() {
+                pa[p * mr..p * mr + mr].copy_from_slice(&a[pp * m + i0..pp * m + i0 + mr]);
+            }
+        }
+    }
+}
+
+/// Depth-row selection for one packed `B` chunk: either a dense
+/// `KC`-window (`p0..p0+kb`) or the compacted list of active rows
+/// inside such a window. Chunking stays keyed on the *original* `p`
+/// windows in both cases, so each output element's partial sums are
+/// grouped — and therefore rounded — exactly as in the dense path.
+#[derive(Clone, Copy)]
+enum KRows<'a> {
+    /// All rows of the window `p0..p0+kb`.
+    Dense { p0: usize, kb: usize },
+    /// Only the listed rows (ascending) of the current window.
+    Gather(&'a [usize]),
+}
+
+impl KRows<'_> {
+    /// Number of rows actually packed for this chunk.
+    fn depth(&self) -> usize {
+        match *self {
+            KRows::Dense { kb, .. } => kb,
+            KRows::Gather(act) => act.len(),
         }
     }
 }
@@ -416,9 +520,11 @@ fn tile(
 }
 
 /// Runs the packed microkernel over rows `r0..r1` of the output for one
-/// `kb×nb` block of `B` at `(p0, c0)` (`packed_b` holds that block's
-/// panels). `c` rows are full-width (`n` columns); only columns
-/// `c0..c0+nb` are touched.
+/// packed block of `B` at column `c0` (`packed_b` holds that block's
+/// panels; `rows` says which depth rows it contains). `c` rows have
+/// stride `ldc`; only columns `c0..c0+nb` are touched (`c0` is an
+/// offset into each `c` row — global for the full output, stripe-local
+/// for the column-split path).
 #[allow(clippy::too_many_arguments)] // flat kernel-internal plumbing
 fn run_rows(
     a: &[f32],
@@ -427,9 +533,8 @@ fn run_rows(
     c: &mut [f32],
     m: usize,
     k: usize,
-    n: usize,
-    p0: usize,
-    kb: usize,
+    ldc: usize,
+    rows: KRows<'_>,
     c0: usize,
     nb: usize,
     r0: usize,
@@ -437,18 +542,26 @@ fn run_rows(
     accumulate: bool,
 ) {
     let kernel_isa = isa();
+    let kb = rows.depth();
     let mut pa = vec![0.0f32; MR * kb.max(1)];
     let mut i0 = r0;
     while i0 < r1 {
         let mr = MR.min(r1 - i0);
-        pack_a(a, a_layout, m, k, p0, kb, i0, mr, &mut pa[..kb * mr]);
+        match rows {
+            KRows::Dense { p0, kb } => {
+                pack_a(a, a_layout, m, k, p0, kb, i0, mr, &mut pa[..kb * mr]);
+            }
+            KRows::Gather(act) => {
+                pack_a_gather(a, a_layout, m, k, act, i0, mr, &mut pa[..kb * mr]);
+            }
+        }
         let mut jp = 0;
         let mut j0 = 0;
         while j0 < nb {
             let nv = NR.min(nb - j0);
             let pb = &packed_b[jp * kb * NR..(jp + 1) * kb * NR];
-            let c_tile = &mut c[(i0 - r0) * n + c0 + j0..];
-            tile(kernel_isa, mr, kb, &pa[..kb * mr], pb, c_tile, n, nv, accumulate);
+            let c_tile = &mut c[(i0 - r0) * ldc + c0 + j0..];
+            tile(kernel_isa, mr, kb, &pa[..kb * mr], pb, c_tile, ldc, nv, accumulate);
             jp += 1;
             j0 += NR;
         }
@@ -456,10 +569,186 @@ fn run_rows(
     }
 }
 
+/// Resolves the depth rows of the window `p0..p0+kb`: every row when
+/// `active` is `None`, the compacted sub-list when it is `Some` (`None`
+/// result = the whole window is inactive and the chunk is skipped).
+fn window_rows<'a>(active: Option<&'a [usize]>, p0: usize, kb: usize) -> Option<KRows<'a>> {
+    match active {
+        None => Some(KRows::Dense { p0, kb }),
+        Some(act) => {
+            let lo = act.partition_point(|&p| p < p0);
+            let hi = act.partition_point(|&p| p < p0 + kb);
+            (lo < hi).then(|| KRows::Gather(&act[lo..hi]))
+        }
+    }
+}
+
+/// Single-threaded blocked driver over output columns `j_lo..j_hi`,
+/// writing into `c` with row stride `j_hi - j_lo` (pass `0..n` and the
+/// full output for the classic serial GEMM). Depth windows are always
+/// the original `p0..p0+KC` ranges — with an `active` list the window
+/// merely packs fewer rows — so every output element's partial sums are
+/// grouped and rounded exactly as in the dense serial driver.
+#[allow(clippy::too_many_arguments)] // flat kernel-internal plumbing
+fn gemm_stripe(
+    a: &[f32],
+    a_layout: ALayout,
+    b: &[f32],
+    b_layout: BLayout,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    j_lo: usize,
+    j_hi: usize,
+    accumulate: bool,
+    active: Option<&[usize]>,
+) {
+    let ldc = j_hi - j_lo;
+    let panels = NC.min(ldc).div_ceil(NR).max(1);
+    let mut packed_b = vec![0.0f32; panels * KC.min(k) * NR];
+    let mut c0 = j_lo;
+    while c0 < j_hi {
+        let nb = NC.min(j_hi - c0);
+        // The first *packed* depth chunk overwrites `c` (unless the
+        // caller asked to accumulate); subsequent chunks accumulate
+        // onto it. Fully-inactive windows are skipped — they would only
+        // add exact zeros.
+        let mut first = true;
+        let mut p0 = 0;
+        while p0 < k {
+            let kb = KC.min(k - p0);
+            if let Some(rows) = window_rows(active, p0, kb) {
+                let kbe = rows.depth();
+                let np = nb.div_ceil(NR);
+                match rows {
+                    KRows::Dense { .. } => pack_b_chunk(
+                        b,
+                        b_layout,
+                        k,
+                        n,
+                        p0,
+                        kb,
+                        c0,
+                        nb,
+                        &mut packed_b[..np * kbe * NR],
+                    ),
+                    KRows::Gather(act) => pack_b_chunk_gather(
+                        b,
+                        b_layout,
+                        k,
+                        n,
+                        act,
+                        c0,
+                        nb,
+                        &mut packed_b[..np * kbe * NR],
+                    ),
+                }
+                let acc = accumulate || !first;
+                first = false;
+                run_rows(
+                    a,
+                    a_layout,
+                    &packed_b,
+                    c,
+                    m,
+                    k,
+                    ldc,
+                    rows,
+                    c0 - j_lo,
+                    nb,
+                    0,
+                    m,
+                    acc,
+                );
+            }
+            p0 += kb;
+        }
+        c0 += nb;
+    }
+}
+
+/// Column-split threaded driver for short-`m`/wide-`n` outputs: each
+/// worker owns a contiguous, `NR`-aligned stripe of output columns and
+/// runs the whole blocked loop over it (one spawn per GEMM instead of
+/// one per depth chunk, and `B` packing is partitioned across workers
+/// instead of serialized). Stripe boundaries sit on panel boundaries,
+/// so every panel sees the same width — and thus the same microkernel —
+/// as in the serial driver, keeping results bit-identical.
+///
+/// Workers compute into private stripe buffers that the caller copies
+/// back, which keeps the split safe (no aliased `&mut` into
+/// column-interleaved memory) at the cost of one extra pass over `C`.
+/// When accumulating, the buffer is seeded from `C` first so each
+/// element sees the same add order as the serial driver.
+#[allow(clippy::too_many_arguments)] // flat kernel-internal plumbing
+fn gemm_cols(
+    a: &[f32],
+    a_layout: ALayout,
+    b: &[f32],
+    b_layout: BLayout,
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accumulate: bool,
+    threads: usize,
+    active: Option<&[usize]>,
+) {
+    let col_panels = n.div_ceil(NR);
+    let workers = threads.min(col_panels);
+    let base = col_panels / workers;
+    let extra = col_panels % workers;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        let mut panel = 0usize;
+        for w in 0..workers {
+            let npanels = base + usize::from(w < extra);
+            if npanels == 0 {
+                continue;
+            }
+            let j_lo = panel * NR;
+            panel += npanels;
+            let j_hi = n.min(panel * NR);
+            let wn = j_hi - j_lo;
+            let mut buf = vec![0.0f32; m * wn];
+            if accumulate {
+                for i in 0..m {
+                    buf[i * wn..(i + 1) * wn]
+                        .copy_from_slice(&c[i * n + j_lo..i * n + j_hi]);
+                }
+            }
+            handles.push((
+                j_lo,
+                wn,
+                scope.spawn(move || {
+                    gemm_stripe(
+                        a, a_layout, b, b_layout, &mut buf, m, k, n, j_lo, j_hi,
+                        accumulate, active,
+                    );
+                    buf
+                }),
+            ));
+        }
+        for (j_lo, wn, handle) in handles {
+            let buf = match handle.join() {
+                Ok(buf) => buf,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            for i in 0..m {
+                c[i * n + j_lo..i * n + j_lo + wn]
+                    .copy_from_slice(&buf[i * wn..(i + 1) * wn]);
+            }
+        }
+    });
+}
+
 /// Packed, blocked, threaded GEMM driver shared by every dense entry
-/// point. Threading splits `C` rows into contiguous per-worker ranges
-/// (each element is written by exactly one worker), so the result is
-/// bit-identical for every worker count.
+/// point and (via `active`) the compacted sparse path. Threading splits
+/// `C` into contiguous per-worker row ranges — or, when `m` is too
+/// short to feed the workers but `n` is wide, into `NR`-aligned column
+/// stripes ([`gemm_cols`]) — so each element is written by exactly one
+/// worker and the result is bit-identical for every worker count.
 #[allow(clippy::too_many_arguments)] // flat kernel-internal plumbing
 fn gemm_driver(
     a: &[f32],
@@ -472,63 +761,108 @@ fn gemm_driver(
     n: usize,
     accumulate: bool,
     threads: usize,
+    active: Option<&[usize]>,
 ) {
     if m == 0 || n == 0 {
         return;
     }
-    if k == 0 {
+    let k_active = active.map_or(k, <[usize]>::len);
+    if k == 0 || k_active == 0 {
+        // No surviving depth rows: the product is exactly zero.
         if !accumulate {
             c.fill(0.0);
         }
         return;
     }
-    let macs = m as u128 * k as u128 * n as u128;
+    let macs = m as u128 * k_active as u128 * n as u128;
+    let threads = threads.max(1);
     let blocks = m.div_ceil(MR);
-    let workers = threads.max(1).min(blocks);
+    if threads <= 1 || macs < THREAD_MIN_MACS {
+        gemm_stripe(a, a_layout, b, b_layout, c, m, k, n, 0, n, accumulate, active);
+        return;
+    }
+    // Short-`m`/wide-`n` outputs (the conv-lowered GEMMs with few
+    // filters but tens of thousands of sites) cannot feed the workers
+    // with row blocks; give each worker a column stripe instead.
+    if n >= m && n.div_ceil(NR) >= threads {
+        gemm_cols(a, a_layout, b, b_layout, c, m, k, n, accumulate, threads, active);
+        return;
+    }
+    let workers = threads.min(blocks);
+    if workers <= 1 {
+        gemm_stripe(a, a_layout, b, b_layout, c, m, k, n, 0, n, accumulate, active);
+        return;
+    }
     let panels = NC.min(n).div_ceil(NR).max(1);
     let mut packed_b = vec![0.0f32; panels * KC.min(k) * NR];
     let mut c0 = 0;
     while c0 < n {
         let nb = NC.min(n - c0);
+        let mut first = true;
         let mut p0 = 0;
         while p0 < k {
             let kb = KC.min(k - p0);
+            let Some(rows) = window_rows(active, p0, kb) else {
+                p0 += kb;
+                continue;
+            };
+            let kbe = rows.depth();
             let np = nb.div_ceil(NR);
-            pack_b_chunk(b, b_layout, k, n, p0, kb, c0, nb, &mut packed_b[..np * kb * NR]);
-            // The first depth chunk overwrites `c` (unless the caller
-            // asked to accumulate); subsequent chunks always accumulate
-            // onto it. Column blocks are disjoint, so each element of
-            // `c` sees its depth chunks exactly once, in order.
-            let acc = accumulate || p0 > 0;
-            if workers <= 1 || macs < THREAD_MIN_MACS {
-                run_rows(a, a_layout, &packed_b, c, m, k, n, p0, kb, c0, nb, 0, m, acc);
-            } else {
-                // Split whole MR-blocks across workers so tiles never
-                // straddle two workers' row ranges.
-                let base = blocks / workers;
-                let extra = blocks % workers;
-                std::thread::scope(|scope| {
-                    let mut rest = &mut *c;
-                    let mut row = 0usize;
-                    let pb = &packed_b;
-                    for w in 0..workers {
-                        let nblocks = base + usize::from(w < extra);
-                        if nblocks == 0 {
-                            continue;
-                        }
-                        let r0 = row;
-                        let r1 = m.min(row + nblocks * MR);
-                        row = r1;
-                        let (mine, tail) = rest.split_at_mut((r1 - r0) * n);
-                        rest = tail;
-                        scope.spawn(move || {
-                            run_rows(
-                                a, a_layout, pb, mine, m, k, n, p0, kb, c0, nb, r0, r1, acc,
-                            );
-                        });
-                    }
-                });
+            match rows {
+                KRows::Dense { .. } => {
+                    pack_b_chunk(
+                        b,
+                        b_layout,
+                        k,
+                        n,
+                        p0,
+                        kb,
+                        c0,
+                        nb,
+                        &mut packed_b[..np * kbe * NR],
+                    );
+                }
+                KRows::Gather(act) => pack_b_chunk_gather(
+                    b,
+                    b_layout,
+                    k,
+                    n,
+                    act,
+                    c0,
+                    nb,
+                    &mut packed_b[..np * kbe * NR],
+                ),
             }
+            // The first packed depth chunk overwrites `c` (unless the
+            // caller asked to accumulate); subsequent chunks always
+            // accumulate onto it. Column blocks are disjoint, so each
+            // element of `c` sees its depth chunks exactly once, in
+            // order.
+            let acc = accumulate || !first;
+            first = false;
+            // Split whole MR-blocks across workers so tiles never
+            // straddle two workers' row ranges.
+            let bbase = blocks / workers;
+            let bextra = blocks % workers;
+            std::thread::scope(|scope| {
+                let mut rest = &mut *c;
+                let mut row = 0usize;
+                let pb = &packed_b;
+                for w in 0..workers {
+                    let nblocks = bbase + usize::from(w < bextra);
+                    if nblocks == 0 {
+                        continue;
+                    }
+                    let r0 = row;
+                    let r1 = m.min(row + nblocks * MR);
+                    row = r1;
+                    let (mine, tail) = rest.split_at_mut((r1 - r0) * n);
+                    rest = tail;
+                    scope.spawn(move || {
+                        run_rows(a, a_layout, pb, mine, m, k, n, rows, c0, nb, r0, r1, acc);
+                    });
+                }
+            });
             p0 += kb;
         }
         c0 += nb;
@@ -585,6 +919,7 @@ pub fn matmul_into_with_threads(
         n,
         false,
         threads,
+        None,
     );
     Ok(())
 }
@@ -613,6 +948,7 @@ pub fn matmul_into_acc(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
         n,
         true,
         crate::threads::worker_count(),
+        None,
     );
     Ok(())
 }
@@ -685,6 +1021,7 @@ pub fn matmul_tn_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
         n,
         false,
         crate::threads::worker_count(),
+        None,
     );
     Ok(())
 }
@@ -715,6 +1052,7 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         n,
         false,
         crate::threads::worker_count(),
+        None,
     );
     Ok(out)
 }
@@ -742,33 +1080,255 @@ pub fn matmul_nt_into_acc(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()
         n,
         true,
         crate::threads::worker_count(),
+        None,
     );
     Ok(())
 }
 
 // ---------------------------------------------------------------------------
-// Sparse variant and scalar reference
+// Sparse fast path (row compaction + crossover dispatch)
 // ---------------------------------------------------------------------------
 
-/// `C = A·B` with **zero-skipping** over `A`: rows of `B` whose matching
-/// `A` element is exactly `0.0` are skipped entirely. This pays a branch
-/// per `A` element, which loses on dense operands but wins when `A` is a
-/// sparse masked activation matrix (MIME's thresholded layers regularly
-/// exceed 60 % zeros). Single-threaded; the output is overwritten.
-///
-/// This is the pre-rework kernel, split out so the dense training GEMMs
-/// ([`matmul_into`] and friends) no longer pay its branch.
-///
-/// # Errors
-///
-/// Returns a shape/rank error when operands are not conforming matrices.
-pub fn matmul_sparse_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
-    const BLOCK: usize = 64;
+/// How the sparse entry points choose between the compacted kernel and
+/// the dense packed kernel. Both produce bit-identical output; the
+/// choice is purely a performance decision.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SparseDispatch {
+    /// Probe the `k`-rows of `B` (or trust the caller's activity list)
+    /// and take the compacted path when the active fraction is at or
+    /// below [`SPARSE_ACTIVE_MAX`]; otherwise run dense.
+    #[default]
+    Auto,
+    /// Always run the dense packed kernel (the `--dense-only` pin, for
+    /// A/B runs and bisection). The probe is skipped entirely.
+    DenseOnly,
+    /// Always run the compacted kernel, even on fully dense operands.
+    /// For property tests and benchmarks; never faster than `Auto`.
+    SparseOnly,
+}
+
+/// [`SparseDispatch::Auto`] crossover: the compacted path is taken when
+/// `k_active / k_total ≤` this fraction. Below ~10 % zero rows the
+/// gather-packing overhead cancels the skipped arithmetic, so the
+/// dispatcher falls back to dense and never regresses.
+pub const SPARSE_ACTIVE_MAX: f64 = 0.9;
+
+/// What the sparse dispatcher measured and decided for one product.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SparseStats {
+    /// Depth (`k`) of the product: total `B` rows.
+    pub k_total: usize,
+    /// `B` rows with at least one nonzero element (equals `k_total`
+    /// under [`SparseDispatch::DenseOnly`], which skips the probe).
+    pub k_active: usize,
+    /// Whether the compacted kernel ran (vs. the dense packed kernel).
+    pub used_sparse: bool,
+}
+
+impl SparseStats {
+    /// Rows of work actually elided: `k_total - k_active` when the
+    /// compacted kernel ran, zero when dense ran (nothing was skipped).
+    #[must_use]
+    pub fn rows_skipped(&self) -> usize {
+        if self.used_sparse {
+            self.k_total - self.k_active
+        } else {
+            0
+        }
+    }
+
+    /// Measured active fraction (`1.0` for an empty product).
+    #[must_use]
+    pub fn active_fraction(&self) -> f64 {
+        if self.k_total == 0 {
+            1.0
+        } else {
+            self.k_active as f64 / self.k_total as f64
+        }
+    }
+}
+
+/// Lists the `k`-rows of `B` with any nonzero element. `-0.0` counts as
+/// zero (it contributes exact `±0.0` terms, which never change an
+/// accumulator's bits — see the module docs). Early-exits per row at
+/// the first nonzero, so the probe costs `O(k)` loads on dense
+/// operands vs. the `O(m·k·n)` multiply-adds it can elide.
+fn probe_active_rows(b: &[f32], k: usize, n: usize) -> Vec<usize> {
+    let mut act = Vec::with_capacity(k);
+    for p in 0..k {
+        if b[p * n..(p + 1) * n].iter().any(|&v| v != 0.0) {
+            act.push(p);
+        }
+    }
+    act
+}
+
+fn check_sparse_operands(
+    a: &Tensor,
+    b: &Tensor,
+    out: &Tensor,
+) -> Result<(usize, usize, usize)> {
     let (m, k) = check_matrix(a, "matmul")?;
     let (k2, n) = check_matrix(b, "matmul")?;
     if k != k2 || out.dims() != [m, n] {
         return Err(shape_err(a, b, "matmul"));
     }
+    Ok((m, k, n))
+}
+
+fn sparse_dispatch_driver(
+    a: &Tensor,
+    b: &Tensor,
+    out: &mut Tensor,
+    known_rows: Option<&[usize]>,
+    dispatch: SparseDispatch,
+    threads: usize,
+) -> Result<SparseStats> {
+    let (m, k, n) = check_sparse_operands(a, b, out)?;
+    if let Some(rows) = known_rows {
+        let sorted = rows.windows(2).all(|w| w[0] < w[1]);
+        if !sorted || rows.last().is_some_and(|&p| p >= k) {
+            return Err(TensorError::InvalidGeometry(format!(
+                "active-row list must be strictly ascending and < k={k}"
+            )));
+        }
+    }
+    let run = |active: Option<&[usize]>, c: &mut Tensor| {
+        gemm_driver(
+            a.as_slice(),
+            ALayout::Normal,
+            b.as_slice(),
+            BLayout::Normal,
+            c.as_mut_slice(),
+            m,
+            k,
+            n,
+            false,
+            threads,
+            active,
+        );
+    };
+    if dispatch == SparseDispatch::DenseOnly {
+        run(None, out);
+        return Ok(SparseStats { k_total: k, k_active: k, used_sparse: false });
+    }
+    let probed;
+    let active: &[usize] = match known_rows {
+        Some(rows) => rows,
+        None => {
+            probed = probe_active_rows(b.as_slice(), k, n);
+            &probed
+        }
+    };
+    let use_sparse = dispatch == SparseDispatch::SparseOnly
+        || (active.len() as f64) <= SPARSE_ACTIVE_MAX * k as f64;
+    if use_sparse {
+        run(Some(active), out);
+    } else {
+        run(None, out);
+    }
+    Ok(SparseStats { k_total: k, k_active: active.len(), used_sparse: use_sparse })
+}
+
+/// `C = A·B` through the sparse fast path: probes the `k`-rows of `B`
+/// for activity and, past the [`SPARSE_ACTIVE_MAX`] crossover, compacts
+/// the active rows into a dense packed operand and runs the ordinary
+/// packed/blocked/threaded microkernels over it (dense fallback
+/// otherwise). The output is **bit-identical** to [`matmul_into`]
+/// whichever path runs, and bit-identical at every thread count.
+///
+/// Returns the measured [`SparseStats`] so callers (the runtime
+/// executor, benchmarks) can publish sparsity and dispatch metrics
+/// without this crate depending on the observability layer.
+///
+/// # Errors
+///
+/// Returns a shape/rank error when operands are not conforming matrices.
+pub fn matmul_sparse_dispatch_into(
+    a: &Tensor,
+    b: &Tensor,
+    out: &mut Tensor,
+    dispatch: SparseDispatch,
+) -> Result<SparseStats> {
+    sparse_dispatch_driver(a, b, out, None, dispatch, crate::threads::worker_count())
+}
+
+/// [`matmul_sparse_dispatch_into`] with an explicit worker count
+/// (results are identical at every count; used by tests and benchmarks).
+///
+/// # Errors
+///
+/// Returns a shape/rank error when operands are not conforming matrices.
+pub fn matmul_sparse_dispatch_into_with_threads(
+    a: &Tensor,
+    b: &Tensor,
+    out: &mut Tensor,
+    dispatch: SparseDispatch,
+    threads: usize,
+) -> Result<SparseStats> {
+    sparse_dispatch_driver(a, b, out, None, dispatch, threads)
+}
+
+/// [`matmul_sparse_dispatch_into`] with a **caller-supplied** activity
+/// list instead of a probe: `active` lists the `k`-rows of `B` that may
+/// contain nonzeros (strictly ascending, all `< k`). Rows not listed
+/// must be entirely zero — the kernel trusts the list and skips them
+/// without looking. This is how a threshold/ReLU layer's active-neuron
+/// bitmap feeds the compactor without re-scanning the activations.
+///
+/// # Errors
+///
+/// Returns a shape/rank error when operands are not conforming
+/// matrices, or [`TensorError::InvalidGeometry`] when `active` is not
+/// strictly ascending or indexes past `k`.
+pub fn matmul_sparse_dispatch_into_with_rows(
+    a: &Tensor,
+    b: &Tensor,
+    out: &mut Tensor,
+    active: &[usize],
+    dispatch: SparseDispatch,
+) -> Result<SparseStats> {
+    sparse_dispatch_driver(
+        a,
+        b,
+        out,
+        Some(active),
+        dispatch,
+        crate::threads::worker_count(),
+    )
+}
+
+/// `C = A·B` with zero-skipping: the legacy sparse entry point, now a
+/// thin wrapper over [`matmul_sparse_dispatch_into`] (row compaction
+/// through the packed microkernels with dense-crossover fallback,
+/// replacing the old element-branching scalar loop — that loop survives
+/// only inside [`matmul_scalar_ref`] as the committed benchmark
+/// baseline). The output is bit-identical to [`matmul_into`].
+///
+/// # Errors
+///
+/// Returns a shape/rank error when operands are not conforming matrices.
+pub fn matmul_sparse_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
+    matmul_sparse_dispatch_into(a, b, out, SparseDispatch::Auto).map(|_| ())
+}
+
+/// The pre-rework scalar kernel, preserved verbatim as the committed
+/// benchmark baseline (`BENCH_kernels.json` speedups are measured
+/// against it) and as the reference the property tests compare the
+/// blocked/threaded path to. Allocates the output, like the old
+/// `Tensor::matmul` did — including its then-redundant zero-fill.
+///
+/// # Errors
+///
+/// Returns a shape/rank error when operands are not conforming matrices.
+pub fn matmul_scalar_ref(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    const BLOCK: usize = 64;
+    let (m, k) = check_matrix(a, "matmul")?;
+    let (k2, n) = check_matrix(b, "matmul")?;
+    if k != k2 {
+        return Err(shape_err(a, b, "matmul"));
+    }
+    let mut out = Tensor::zeros(&[m, n]);
     let av = a.as_slice();
     let bv = b.as_slice();
     let cv = out.as_mut_slice();
@@ -793,23 +1353,6 @@ pub fn matmul_sparse_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()
             }
         }
     }
-    Ok(())
-}
-
-/// The pre-rework scalar kernel, preserved verbatim as the committed
-/// benchmark baseline (`BENCH_kernels.json` speedups are measured
-/// against it) and as the reference the property tests compare the
-/// blocked/threaded path to. Allocates the output, like the old
-/// `Tensor::matmul` did — including its then-redundant zero-fill.
-///
-/// # Errors
-///
-/// Returns a shape/rank error when operands are not conforming matrices.
-pub fn matmul_scalar_ref(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    let (m, _) = check_matrix(a, "matmul")?;
-    let (_, n) = check_matrix(b, "matmul")?;
-    let mut out = Tensor::zeros(&[m, n]);
-    matmul_sparse_into(a, b, &mut out)?;
     Ok(out)
 }
 
@@ -897,19 +1440,209 @@ mod tests {
         }
     }
 
+    /// `B` with every third `k`-row zeroed (row-structured activation
+    /// sparsity, as thresholded im2col columns produce).
+    fn sparse_b(k: usize, n: usize) -> Tensor {
+        Tensor::from_fn(&[k, n], |i| {
+            if (i / n).is_multiple_of(3) {
+                0.0
+            } else {
+                ((i * 13) % 7) as f32 - 3.0
+            }
+        })
+    }
+
     #[test]
     fn sparse_variant_matches_dense() {
+        // The compacted path must match the dense packed path
+        // *bit-for-bit* (skipping exact zeros is exact), under every
+        // dispatch mode and thread count; the scalar reference uses
+        // unfused multiply-adds, so it only agrees within rounding.
         let a =
             Tensor::from_fn(&[9, 21], |i| if i % 3 == 0 { 0.0 } else { i as f32 * 0.1 });
-        let b = Tensor::from_fn(&[21, 14], |i| ((i * 13) % 7) as f32 - 3.0);
-        let mut sparse = Tensor::zeros(&[9, 14]);
-        matmul_sparse_into(&a, &b, &mut sparse).unwrap();
+        let b = sparse_b(21, 14);
         let dense = a.matmul(&b).unwrap();
-        for (x, y) in sparse.as_slice().iter().zip(dense.as_slice()) {
-            assert!((x - y).abs() < 1e-3);
-        }
         let scalar = matmul_scalar_ref(&a, &b).unwrap();
-        assert_eq!(scalar.as_slice(), sparse.as_slice());
+        for dispatch in
+            [SparseDispatch::Auto, SparseDispatch::SparseOnly, SparseDispatch::DenseOnly]
+        {
+            for threads in [1, 4, 32] {
+                let mut sparse = Tensor::zeros(&[9, 14]);
+                let stats = matmul_sparse_dispatch_into_with_threads(
+                    &a,
+                    &b,
+                    &mut sparse,
+                    dispatch,
+                    threads,
+                )
+                .unwrap();
+                assert_eq!(sparse.as_slice(), dense.as_slice(), "{dispatch:?} x{threads}");
+                assert_eq!(stats.k_total, 21);
+                match dispatch {
+                    SparseDispatch::DenseOnly => assert!(!stats.used_sparse),
+                    _ => {
+                        assert_eq!(stats.k_active, 14);
+                        assert!(stats.used_sparse);
+                        assert_eq!(stats.rows_skipped(), 7);
+                    }
+                }
+                for (x, y) in sparse.as_slice().iter().zip(scalar.as_slice()) {
+                    assert!((x - y).abs() <= 1e-3 * y.abs().max(1.0));
+                }
+            }
+        }
+        // The legacy wrapper rides the same dispatcher.
+        let mut wrapped = Tensor::zeros(&[9, 14]);
+        matmul_sparse_into(&a, &b, &mut wrapped).unwrap();
+        assert_eq!(wrapped.as_slice(), dense.as_slice());
+    }
+
+    #[test]
+    fn caller_supplied_rows_match_probe_and_reject_bad_lists() {
+        let a = Tensor::from_fn(&[7, 30], |i| ((i * 11) % 9) as f32 * 0.5 - 2.0);
+        let b = sparse_b(30, 19);
+        let rows: Vec<usize> = (0..30).filter(|p| p % 3 != 0).collect();
+        let mut probed = Tensor::zeros(&[7, 19]);
+        let mut listed = Tensor::zeros(&[7, 19]);
+        matmul_sparse_dispatch_into(&a, &b, &mut probed, SparseDispatch::Auto).unwrap();
+        let stats = matmul_sparse_dispatch_into_with_rows(
+            &a,
+            &b,
+            &mut listed,
+            &rows,
+            SparseDispatch::Auto,
+        )
+        .unwrap();
+        assert_eq!(listed.as_slice(), probed.as_slice());
+        assert!(stats.used_sparse);
+        // A conservative superset (listing a zero row as active) is
+        // legal and changes nothing.
+        let mut superset = Tensor::zeros(&[7, 19]);
+        let mut extra = rows.clone();
+        extra.push(0);
+        extra.sort_unstable();
+        matmul_sparse_dispatch_into_with_rows(
+            &a,
+            &b,
+            &mut superset,
+            &extra,
+            SparseDispatch::SparseOnly,
+        )
+        .unwrap();
+        assert_eq!(superset.as_slice(), probed.as_slice());
+        // Unsorted or out-of-range lists are rejected.
+        let mut out = Tensor::zeros(&[7, 19]);
+        assert!(matmul_sparse_dispatch_into_with_rows(
+            &a,
+            &b,
+            &mut out,
+            &[3, 1],
+            SparseDispatch::Auto
+        )
+        .is_err());
+        assert!(matmul_sparse_dispatch_into_with_rows(
+            &a,
+            &b,
+            &mut out,
+            &[0, 30],
+            SparseDispatch::Auto
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn all_zero_b_gives_exact_zero_output() {
+        let a = Tensor::from_fn(&[6, 40], |i| i as f32 * 0.1 - 2.0);
+        let b = Tensor::zeros(&[40, 12]);
+        let mut out = Tensor::full(&[6, 12], f32::NAN);
+        let stats =
+            matmul_sparse_dispatch_into(&a, &b, &mut out, SparseDispatch::Auto).unwrap();
+        assert_eq!(stats.k_active, 0);
+        assert!(stats.used_sparse);
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn column_split_is_bit_identical_for_short_wide_outputs() {
+        // m=24 rows cannot feed many workers, so the driver splits the
+        // n=512 columns into NR-aligned stripes; macs (24·40·512) are
+        // above THREAD_MIN_MACS, so the threaded path really runs.
+        let (m, k, n) = (24, 40, 512);
+        let a = Tensor::from_fn(&[m, k], |i| ((i * 31) % 23) as f32 * 0.25 - 2.0);
+        let b = Tensor::from_fn(&[k, n], |i| ((i * 17) % 19) as f32 * 0.5 - 4.0);
+        let mut c1 = Tensor::zeros(&[m, n]);
+        let mut c4 = Tensor::zeros(&[m, n]);
+        let mut c33 = Tensor::zeros(&[m, n]);
+        matmul_into_with_threads(&a, &b, &mut c1, 1).unwrap();
+        matmul_into_with_threads(&a, &b, &mut c4, 4).unwrap();
+        matmul_into_with_threads(&a, &b, &mut c33, 33).unwrap();
+        assert_eq!(c1.as_slice(), c4.as_slice());
+        assert_eq!(c1.as_slice(), c33.as_slice());
+        // Accumulate mode seeds the stripe buffers from C; the add
+        // order must still match the serial driver exactly.
+        let mut acc1 = Tensor::full(&[m, n], 1.5);
+        let mut acc4 = Tensor::full(&[m, n], 1.5);
+        let a2 = Tensor::from_fn(&[m, k], |i| (i % 5) as f32 - 2.0);
+        gemm_driver(
+            a2.as_slice(),
+            ALayout::Normal,
+            b.as_slice(),
+            BLayout::Normal,
+            acc1.as_mut_slice(),
+            m,
+            k,
+            n,
+            true,
+            1,
+            None,
+        );
+        gemm_driver(
+            a2.as_slice(),
+            ALayout::Normal,
+            b.as_slice(),
+            BLayout::Normal,
+            acc4.as_mut_slice(),
+            m,
+            k,
+            n,
+            true,
+            4,
+            None,
+        );
+        assert_eq!(acc1.as_slice(), acc4.as_slice());
+    }
+
+    #[test]
+    fn sparse_path_is_bit_identical_across_kc_windows() {
+        // k spans multiple KC=384 windows, including one window whose
+        // rows are *entirely* inactive: the first-write bookkeeping
+        // must still overwrite the output exactly once.
+        let (m, k, n) = (10, 3 * KC + 17, 33);
+        let a = Tensor::from_fn(&[m, k], |i| ((i * 7) % 13) as f32 * 0.3 - 1.8);
+        let b = Tensor::from_fn(&[k, n], |i| {
+            let row = i / n;
+            // Window 1 (KC..2KC) fully zero; elsewhere every 5th row zero.
+            if (KC..2 * KC).contains(&row) || row % 5 == 0 {
+                0.0
+            } else {
+                ((i * 29) % 11) as f32 - 5.0
+            }
+        });
+        let dense = a.matmul(&b).unwrap();
+        for threads in [1, 4] {
+            let mut sparse = Tensor::zeros(&[m, n]);
+            let stats = matmul_sparse_dispatch_into_with_threads(
+                &a,
+                &b,
+                &mut sparse,
+                SparseDispatch::SparseOnly,
+                threads,
+            )
+            .unwrap();
+            assert!(stats.used_sparse);
+            assert!(stats.k_active < k);
+            assert_eq!(sparse.as_slice(), dense.as_slice(), "threads={threads}");
+        }
     }
 
     #[test]

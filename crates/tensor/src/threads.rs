@@ -28,6 +28,14 @@ pub fn worker_count_from(env: Option<&str>) -> usize {
     parsed.unwrap_or_else(available_parallelism).min(MAX_THREADS)
 }
 
+/// The machine's available parallelism, ignoring `MIME_THREADS`: the
+/// worker count past which additional threads can only time-slice a
+/// core and thrash its cache. Benchmarks use this to avoid measuring
+/// oversubscription instead of the kernels.
+pub fn hardware_cap() -> usize {
+    available_parallelism()
+}
+
 fn available_parallelism() -> usize {
     std::thread::available_parallelism().map(usize::from).unwrap_or(1)
 }
@@ -59,5 +67,11 @@ mod tests {
     #[test]
     fn worker_count_is_positive() {
         assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn hardware_cap_is_positive_and_env_independent() {
+        assert!(hardware_cap() >= 1);
+        assert_eq!(hardware_cap(), available_parallelism());
     }
 }

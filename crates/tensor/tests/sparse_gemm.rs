@@ -1,0 +1,99 @@
+//! Property tests for the sparse fast path (ISSUE 5 satellite):
+//! across random shapes, row-sparsity levels in {0, 25, 50, 75, 95} %,
+//! thread counts, and dispatch modes, the compacted path must be
+//! **bit-identical** to the dense packed path (skipping exact zeros is
+//! exact) and agree with the unfused scalar reference within rounding.
+
+use mime_tensor::{
+    matmul_into_with_threads, matmul_scalar_ref, matmul_sparse_dispatch_into_with_threads,
+    matmul_sparse_into, SparseDispatch, Tensor,
+};
+use proptest::prelude::*;
+
+/// Zeroes whole `k`-rows of `b` (the row-structured sparsity a
+/// thresholded activation matrix exhibits after im2col) so that about
+/// `pct` percent of the rows are inactive, deterministically per seed.
+fn zero_rows(b: &mut Tensor, pct: u32, seed: u64) {
+    let k = b.dims()[0];
+    let n = b.dims()[1];
+    let v = b.as_mut_slice();
+    for row in 0..k {
+        // splitmix-style hash: uniform, deterministic, seed-dependent
+        let mut h = seed.wrapping_add(row as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h ^= h >> 31;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        if (h % 100) < u64::from(pct) {
+            v[row * n..(row + 1) * n].fill(0.0);
+        }
+    }
+}
+
+fn rel_close(x: f32, y: f32) -> bool {
+    (x - y).abs() <= 1e-3 * x.abs().max(y.abs()).max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compacted_gemm_is_bit_identical_to_dense_packed(
+        m in 1usize..40,
+        k in 1usize..96,
+        n in 1usize..48,
+        pct in prop::sample::select(vec![0u32, 25, 50, 75, 95]),
+        seed in 0u64..u64::MAX,
+    ) {
+        let a = Tensor::from_fn(&[m, k], |i| {
+            (((i as u64).wrapping_mul(2654435761).wrapping_add(seed) % 19) as f32) * 0.3 - 2.7
+        });
+        let mut b = Tensor::from_fn(&[k, n], |i| {
+            (((i as u64).wrapping_mul(40503).wrapping_add(seed) % 17) as f32) * 0.5 - 4.0
+        });
+        zero_rows(&mut b, pct, seed);
+
+        let mut dense = Tensor::zeros(&[m, n]);
+        matmul_into_with_threads(&a, &b, &mut dense, 1).unwrap();
+        let scalar = matmul_scalar_ref(&a, &b).unwrap();
+
+        for threads in [1usize, 2, 5, 16] {
+            for dispatch in [
+                SparseDispatch::Auto,
+                SparseDispatch::SparseOnly,
+                SparseDispatch::DenseOnly,
+            ] {
+                let mut out = Tensor::zeros(&[m, n]);
+                let stats = matmul_sparse_dispatch_into_with_threads(
+                    &a, &b, &mut out, dispatch, threads,
+                )
+                .unwrap();
+                // the hard gate: bitwise equality with the dense packed
+                // path at every thread count and dispatch mode
+                prop_assert_eq!(
+                    out.as_slice(),
+                    dense.as_slice(),
+                    "dispatch={:?} threads={} pct={}",
+                    dispatch,
+                    threads,
+                    pct
+                );
+                // the dense packed kernels use FMA where available, so
+                // the unfused scalar reference only agrees to rounding
+                for (x, y) in out.as_slice().iter().zip(scalar.as_slice()) {
+                    prop_assert!(rel_close(*x, *y), "{} vs scalar {}", x, y);
+                }
+                prop_assert_eq!(stats.k_total, k);
+                if dispatch == SparseDispatch::DenseOnly {
+                    prop_assert!(!stats.used_sparse);
+                } else {
+                    prop_assert!(stats.k_active <= k);
+                }
+            }
+        }
+
+        // the legacy wrapper must ride the same dispatcher
+        let mut wrapped = Tensor::zeros(&[m, n]);
+        matmul_sparse_into(&a, &b, &mut wrapped).unwrap();
+        prop_assert_eq!(wrapped.as_slice(), dense.as_slice());
+    }
+}

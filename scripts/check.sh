@@ -43,9 +43,9 @@ if [[ "$run_tests" == 1 ]]; then
     echo "==> mime batch --trace-out/--metrics-out smoke"
     obs_trace=target/obs_smoke.trace.json
     obs_metrics=target/obs_smoke.metrics.prom
-    cargo run --release -p mime-cli --bin mime -- batch \
+    batch_out=$(cargo run --release -p mime-cli --bin mime -- batch \
         --images 2 --tasks 2 --threads 2 \
-        --trace-out "$obs_trace" --metrics-out "$obs_metrics" >/dev/null
+        --trace-out "$obs_trace" --metrics-out "$obs_metrics")
     if command -v python3 >/dev/null 2>&1; then
         python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$obs_trace"
     else
@@ -56,8 +56,22 @@ if [[ "$run_tests" == 1 ]]; then
         grep -Ev '^[a-z_]+(\{[^}]*\})? [0-9.eE+-]+$' "$obs_metrics" | head >&2
         exit 1
     fi
-    grep -q '^mime_systolic_dram_accesses_total [1-9]' "$obs_metrics"
+    # batch runs on the sparse software path: thresholded activations
+    # must actually skip compacted GEMM rows
+    grep -q '^mime_sparse_rows_skipped_total [1-9]' "$obs_metrics"
     grep -q '^mime_runtime_layer_latency_seconds_count' "$obs_metrics"
+
+    # sparse-vs-dense smoke: pinning the dispatcher to the dense packed
+    # kernels must not change a single logit bit
+    echo "==> mime batch --dense-only bit-identity smoke"
+    dense_out=$(cargo run --release -p mime-cli --bin mime -- batch \
+        --images 2 --tasks 2 --threads 2 --dense-only \
+        --metrics-out target/obs_smoke.dense.prom)
+    grep -q '^mime_sparse_rows_skipped_total 0$' target/obs_smoke.dense.prom
+    sparse_ck=$(grep 'logits checksum' <<<"$batch_out")
+    dense_ck=$(grep 'logits checksum' <<<"$dense_out")
+    [[ -n "$sparse_ck" && "$sparse_ck" == "$dense_ck" ]] \
+        || { echo "FAIL: --dense-only changed the logits checksum" >&2; exit 1; }
 
     # serving-loop chaos smoke: every fault mode must terminate every
     # request (no hang — enforced by the wall-clock timeout; no panic —
