@@ -120,8 +120,11 @@ pub enum Command {
     /// `mime serve`: resilient serving loop over the functional array —
     /// bounded admission, deadlines, retries, per-task circuit
     /// breakers, supervised workers — with optional fault injection.
+    /// With `--listen`, becomes the multi-process TCP front door
+    /// supervising replica worker processes.
     Serve {
-        /// Number of requests to admit (default 16).
+        /// Number of requests to admit (default 16; in-process mode
+        /// only — the front door serves until stopped).
         requests: usize,
         /// Number of child tasks round-robined over the requests
         /// (default 3).
@@ -130,14 +133,65 @@ pub enum Command {
         seed: u64,
         /// Fault to inject (default none).
         inject: ServeFault,
-        /// Supervised worker count (default 2).
+        /// Supervised worker count (default 2; in-process mode).
         workers: usize,
-        /// Admission-queue capacity (default 0 = fit all requests;
-        /// `overload` injection halves it instead).
+        /// Admission-queue capacity (default 0 = fit all requests in
+        /// process / 64 at the front door; `overload` injection halves
+        /// it instead).
         capacity: usize,
         /// Pin worker replicas to the dense packed kernels
         /// (`--dense-only`), bypassing the sparsity-aware dispatcher.
         dense_only: bool,
+        /// TCP bind address (e.g. `127.0.0.1:0`); switches to the
+        /// multi-process front door.
+        listen: Option<String>,
+        /// Replica worker processes behind the front door (default 2).
+        replicas: usize,
+        /// Packed image replicas load read-only (default: pack a
+        /// temporary image from `--seed`/`--tasks`).
+        image: Option<String>,
+        /// Per-request deadline budget in milliseconds (default 5000).
+        deadline_ms: u64,
+        /// Inject the process-level fault on every n-th request per
+        /// replica (default 4).
+        inject_every: usize,
+    },
+    /// `mime replica-worker`: one replica process behind `mime serve
+    /// --listen` (spawned by the front door; not for direct use).
+    ReplicaWorker {
+        /// Packed image to load read-only.
+        image: String,
+        /// Replica slot index (logs, heartbeats).
+        replica: u32,
+        /// Process-level fault to self-inject.
+        inject: ServeFault,
+        /// Inject on every n-th request this replica serves.
+        inject_every: usize,
+        /// Heartbeat interval in milliseconds.
+        heartbeat_ms: u64,
+        /// Pin the executor to the dense packed kernels.
+        dense_only: bool,
+    },
+    /// `mime loadgen`: fixed-count client for a front door — drives
+    /// requests over TCP, prints outcome counts and latency
+    /// percentiles, optionally appends them to a bench JSON.
+    Loadgen {
+        /// Front-door address to connect to.
+        connect: String,
+        /// Requests to send (default 64).
+        requests: usize,
+        /// Concurrent connections (default 4).
+        concurrency: usize,
+        /// Task indices round-robined over requests (default 3).
+        tasks: usize,
+        /// Per-request deadline in milliseconds (default 5000).
+        deadline_ms: u64,
+        /// Merge this run's percentiles into a bench JSON file.
+        bench_out: Option<String>,
+        /// Run label recorded in the bench JSON (default `run`).
+        label: String,
+        /// Send a Shutdown frame after the run (graceful server drain).
+        drain: bool,
     },
     /// `mime help`.
     Help,
@@ -168,6 +222,21 @@ pub enum ServeFault {
     Slow,
     /// Halve the queue capacity so the overflow sheds `QueueFull`.
     Overload,
+    /// Front door only: replicas `abort()` on every n-th request
+    /// (supervisor respawn + requeue).
+    ReplicaAbort,
+    /// Front door only: replicas wedge mid-layer on every n-th request
+    /// (heartbeats stop, liveness deadline declares them dead).
+    ReplicaHang,
+    /// Front door only: replicas sleep per layer on every n-th request
+    /// (deadline enforcement across the process boundary).
+    ReplicaSlow,
+    /// Front door only: a chaos client periodically sends garbage
+    /// frames at the listener.
+    ConnGarbage,
+    /// Front door only: a chaos client periodically opens a connection,
+    /// sends a truncated header, and slams it shut.
+    ConnTruncate,
 }
 
 impl ServeFault {
@@ -183,7 +252,25 @@ impl ServeFault {
             ServeFault::Flaky => "flaky",
             ServeFault::Slow => "slow",
             ServeFault::Overload => "overload",
+            ServeFault::ReplicaAbort => "replica-abort",
+            ServeFault::ReplicaHang => "replica-hang",
+            ServeFault::ReplicaSlow => "replica-slow",
+            ServeFault::ConnGarbage => "conn-garbage",
+            ServeFault::ConnTruncate => "conn-truncate",
         }
+    }
+
+    /// True for the process/connection-level faults that only make
+    /// sense at the multi-process front door (`--listen`).
+    pub fn is_process_level(self) -> bool {
+        matches!(
+            self,
+            ServeFault::ReplicaAbort
+                | ServeFault::ReplicaHang
+                | ServeFault::ReplicaSlow
+                | ServeFault::ConnGarbage
+                | ServeFault::ConnTruncate
+        )
     }
 }
 
@@ -335,6 +422,30 @@ fn get_num<T: std::str::FromStr>(
     match flags.get(key) {
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| err(format!("flag --{key}: invalid value '{v}'"))),
+    }
+}
+
+fn parse_serve_fault(spelling: Option<&str>) -> Result<ServeFault, ArgError> {
+    match spelling {
+        None | Some("none") => Ok(ServeFault::None),
+        Some("nan-poison") => Ok(ServeFault::NanPoison),
+        Some("bitflip") => Ok(ServeFault::BitFlip),
+        Some("truncate") => Ok(ServeFault::Truncate),
+        Some("garble") => Ok(ServeFault::Garble),
+        Some("panic") => Ok(ServeFault::Panic),
+        Some("flaky") => Ok(ServeFault::Flaky),
+        Some("slow") => Ok(ServeFault::Slow),
+        Some("overload") => Ok(ServeFault::Overload),
+        Some("replica-abort") => Ok(ServeFault::ReplicaAbort),
+        Some("replica-hang") => Ok(ServeFault::ReplicaHang),
+        Some("replica-slow") => Ok(ServeFault::ReplicaSlow),
+        Some("conn-garbage") => Ok(ServeFault::ConnGarbage),
+        Some("conn-truncate") => Ok(ServeFault::ConnTruncate),
+        Some(m) => Err(err(format!(
+            "unknown fault '{m}' (expected none|nan-poison|bitflip|truncate|garble|\
+             panic|flaky|slow|overload|replica-abort|replica-hang|replica-slow|\
+             conn-garbage|conn-truncate)"
+        ))),
     }
 }
 
@@ -625,7 +736,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
             let (flags, pos) = split_flags(&rest)?;
             reject_unknown(
                 &flags,
-                &["requests", "tasks", "seed", "inject", "workers", "capacity"],
+                &[
+                    "requests",
+                    "tasks",
+                    "seed",
+                    "inject",
+                    "workers",
+                    "capacity",
+                    "listen",
+                    "replicas",
+                    "image",
+                    "deadline-ms",
+                    "inject-every",
+                ],
             )?;
             if !pos.is_empty() {
                 return Err(err(format!("unexpected argument '{}'", pos[0])));
@@ -638,26 +761,33 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
             if tasks == 0 {
                 return Err(err("--tasks must be at least 1"));
             }
-            let inject = match flags.get("inject").map(String::as_str) {
-                None | Some("none") => ServeFault::None,
-                Some("nan-poison") => ServeFault::NanPoison,
-                Some("bitflip") => ServeFault::BitFlip,
-                Some("truncate") => ServeFault::Truncate,
-                Some("garble") => ServeFault::Garble,
-                Some("panic") => ServeFault::Panic,
-                Some("flaky") => ServeFault::Flaky,
-                Some("slow") => ServeFault::Slow,
-                Some("overload") => ServeFault::Overload,
-                Some(m) => {
-                    return Err(err(format!(
-                        "unknown fault '{m}' (expected none|nan-poison|bitflip|truncate|\
-                         garble|panic|flaky|slow|overload)"
-                    )))
-                }
-            };
+            let inject = parse_serve_fault(flags.get("inject").map(String::as_str))?;
             let workers: usize = get_num(&flags, "workers", 2)?;
             if workers == 0 {
                 return Err(err("--workers must be at least 1"));
+            }
+            let listen = flags.get("listen").cloned();
+            let replicas: usize = get_num(&flags, "replicas", 2)?;
+            if replicas == 0 {
+                return Err(err("--replicas must be at least 1"));
+            }
+            let inject_every: usize = get_num(&flags, "inject-every", 4)?;
+            if inject_every == 0 {
+                return Err(err("--inject-every must be at least 1"));
+            }
+            if inject.is_process_level() && listen.is_none() {
+                return Err(err(format!(
+                    "--inject {} is a front-door fault; it requires --listen",
+                    inject.name()
+                )));
+            }
+            if listen.is_some() && inject != ServeFault::None && !inject.is_process_level()
+            {
+                return Err(err(format!(
+                    "--inject {} is an in-process fault; with --listen use \
+                     replica-abort|replica-hang|replica-slow|conn-garbage|conn-truncate",
+                    inject.name()
+                )));
             }
             Ok(Command::Serve {
                 requests,
@@ -667,6 +797,100 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                 workers,
                 capacity: get_num(&flags, "capacity", 0)?,
                 dense_only,
+                listen,
+                replicas,
+                image: flags.get("image").cloned(),
+                deadline_ms: get_num(&flags, "deadline-ms", 5000)?,
+                inject_every,
+            })
+        }
+        "replica-worker" => {
+            let (rest, dense_only) = strip_valueless(rest, "--dense-only");
+            let (flags, pos) = split_flags(&rest)?;
+            reject_unknown(
+                &flags,
+                &["image", "replica", "inject", "inject-every", "heartbeat-ms"],
+            )?;
+            if !pos.is_empty() {
+                return Err(err(format!("unexpected argument '{}'", pos[0])));
+            }
+            let image = flags
+                .get("image")
+                .cloned()
+                .ok_or_else(|| err("replica-worker requires --image <file>"))?;
+            let inject = parse_serve_fault(flags.get("inject").map(String::as_str))?;
+            match inject {
+                ServeFault::None
+                | ServeFault::ReplicaAbort
+                | ServeFault::ReplicaHang
+                | ServeFault::ReplicaSlow => {}
+                other => {
+                    return Err(err(format!(
+                        "replica-worker only self-injects replica-level faults, not '{}'",
+                        other.name()
+                    )))
+                }
+            }
+            let inject_every: usize = get_num(&flags, "inject-every", 4)?;
+            if inject_every == 0 {
+                return Err(err("--inject-every must be at least 1"));
+            }
+            let heartbeat_ms: u64 = get_num(&flags, "heartbeat-ms", 250)?;
+            if heartbeat_ms == 0 {
+                return Err(err("--heartbeat-ms must be at least 1"));
+            }
+            Ok(Command::ReplicaWorker {
+                image,
+                replica: get_num(&flags, "replica", 0)?,
+                inject,
+                inject_every,
+                heartbeat_ms,
+                dense_only,
+            })
+        }
+        "loadgen" => {
+            let (rest, drain) = strip_valueless(rest, "--drain");
+            let (flags, pos) = split_flags(&rest)?;
+            reject_unknown(
+                &flags,
+                &[
+                    "connect",
+                    "requests",
+                    "concurrency",
+                    "tasks",
+                    "deadline-ms",
+                    "bench-out",
+                    "label",
+                ],
+            )?;
+            if !pos.is_empty() {
+                return Err(err(format!("unexpected argument '{}'", pos[0])));
+            }
+            let connect = flags
+                .get("connect")
+                .cloned()
+                .ok_or_else(|| err("loadgen requires --connect <addr>"))?;
+            let requests: usize = get_num(&flags, "requests", 64)?;
+            if requests == 0 {
+                return Err(err("--requests must be at least 1"));
+            }
+            let concurrency: usize = get_num(&flags, "concurrency", 4)?;
+            if concurrency == 0 {
+                return Err(err("--concurrency must be at least 1"));
+            }
+            let tasks: usize = get_num(&flags, "tasks", 3)?;
+            if tasks == 0 {
+                return Err(err("--tasks must be at least 1"));
+            }
+            Ok(Command::Loadgen {
+                connect,
+                requests,
+                concurrency,
+                tasks,
+                deadline_ms: get_num(&flags, "deadline-ms", 5000)?,
+                bench_out: flags.get("bench-out").cloned(),
+                label: flags.get("label").cloned().unwrap_or_else(|| "run".to_string()),
+                drain,
             })
         }
         other => Err(err(format!("unknown command '{other}' (try 'mime help')"))),
@@ -912,6 +1136,11 @@ mod tests {
                 workers: 3,
                 capacity: 0,
                 dense_only: true,
+                listen: None,
+                replicas: 2,
+                image: None,
+                deadline_ms: 5000,
+                inject_every: 4,
             }
         );
         // only batch and serve accept it
@@ -966,6 +1195,11 @@ mod tests {
                 workers: 2,
                 capacity: 0,
                 dense_only: false,
+                listen: None,
+                replicas: 2,
+                image: None,
+                deadline_ms: 5000,
+                inject_every: 4,
             }
         );
         for (name, fault) in [
@@ -997,6 +1231,11 @@ mod tests {
                 workers: 4,
                 capacity: 8,
                 dense_only: false,
+                listen: None,
+                replicas: 2,
+                image: None,
+                deadline_ms: 5000,
+                inject_every: 4,
             }
         );
         assert!(p(&["serve", "--requests", "0"]).is_err());
@@ -1004,6 +1243,152 @@ mod tests {
         assert!(p(&["serve", "--workers", "0"]).is_err());
         assert!(p(&["serve", "--inject", "gremlins"]).is_err());
         assert!(p(&["serve", "extra"]).is_err());
+    }
+
+    #[test]
+    fn serve_listen_front_door_flags() {
+        match p(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--replicas",
+            "3",
+            "--inject",
+            "replica-abort",
+            "--inject-every",
+            "2",
+            "--deadline-ms",
+            "800",
+        ])
+        .unwrap()
+        {
+            Command::Serve {
+                listen,
+                replicas,
+                inject,
+                inject_every,
+                deadline_ms,
+                image,
+                ..
+            } => {
+                assert_eq!(listen.as_deref(), Some("127.0.0.1:0"));
+                assert_eq!(replicas, 3);
+                assert_eq!(inject, ServeFault::ReplicaAbort);
+                assert_eq!(inject_every, 2);
+                assert_eq!(deadline_ms, 800);
+                assert_eq!(image, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        for (name, fault) in [
+            ("replica-abort", ServeFault::ReplicaAbort),
+            ("replica-hang", ServeFault::ReplicaHang),
+            ("replica-slow", ServeFault::ReplicaSlow),
+            ("conn-garbage", ServeFault::ConnGarbage),
+            ("conn-truncate", ServeFault::ConnTruncate),
+        ] {
+            assert!(fault.is_process_level());
+            assert_eq!(fault.name(), name);
+            match p(&["serve", "--listen", "127.0.0.1:0", "--inject", name]).unwrap() {
+                Command::Serve { inject, .. } => assert_eq!(inject, fault),
+                other => panic!("{other:?}"),
+            }
+            // front-door faults are meaningless without a front door
+            assert!(p(&["serve", "--inject", name]).is_err());
+        }
+        // in-process faults are meaningless at the front door
+        assert!(p(&["serve", "--listen", "127.0.0.1:0", "--inject", "panic"]).is_err());
+        assert!(p(&["serve", "--listen", "127.0.0.1:0", "--replicas", "0"]).is_err());
+        assert!(p(&["serve", "--listen", "127.0.0.1:0", "--inject-every", "0"]).is_err());
+    }
+
+    #[test]
+    fn replica_worker_and_loadgen_parse() {
+        assert_eq!(
+            p(&["replica-worker", "--image", "fleet.mime", "--replica", "1"]).unwrap(),
+            Command::ReplicaWorker {
+                image: "fleet.mime".to_string(),
+                replica: 1,
+                inject: ServeFault::None,
+                inject_every: 4,
+                heartbeat_ms: 250,
+                dense_only: false,
+            }
+        );
+        match p(&[
+            "replica-worker",
+            "--image",
+            "a.mime",
+            "--inject",
+            "replica-hang",
+            "--inject-every",
+            "3",
+            "--heartbeat-ms",
+            "100",
+            "--dense-only",
+        ])
+        .unwrap()
+        {
+            Command::ReplicaWorker {
+                inject,
+                inject_every,
+                heartbeat_ms,
+                dense_only,
+                ..
+            } => {
+                assert_eq!(inject, ServeFault::ReplicaHang);
+                assert_eq!(inject_every, 3);
+                assert_eq!(heartbeat_ms, 100);
+                assert!(dense_only);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(p(&["replica-worker"]).is_err(), "--image is required");
+        assert!(p(&["replica-worker", "--image", "a", "--inject", "panic"]).is_err());
+        assert!(p(&["replica-worker", "--image", "a", "--inject", "conn-garbage"]).is_err());
+        assert!(p(&["replica-worker", "--image", "a", "--heartbeat-ms", "0"]).is_err());
+
+        assert_eq!(
+            p(&["loadgen", "--connect", "127.0.0.1:9000"]).unwrap(),
+            Command::Loadgen {
+                connect: "127.0.0.1:9000".to_string(),
+                requests: 64,
+                concurrency: 4,
+                tasks: 3,
+                deadline_ms: 5000,
+                bench_out: None,
+                label: "run".to_string(),
+                drain: false,
+            }
+        );
+        match p(&[
+            "loadgen",
+            "--connect",
+            "127.0.0.1:9000",
+            "--requests",
+            "128",
+            "--concurrency",
+            "8",
+            "--bench-out",
+            "BENCH_serve.json",
+            "--label",
+            "healthy",
+            "--drain",
+        ])
+        .unwrap()
+        {
+            Command::Loadgen { requests, concurrency, bench_out, label, drain, .. } => {
+                assert_eq!(requests, 128);
+                assert_eq!(concurrency, 8);
+                assert_eq!(bench_out.as_deref(), Some("BENCH_serve.json"));
+                assert_eq!(label, "healthy");
+                assert!(drain);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(p(&["loadgen"]).is_err(), "--connect is required");
+        assert!(p(&["loadgen", "--connect", "a", "--requests", "0"]).is_err());
+        assert!(p(&["loadgen", "--connect", "a", "--concurrency", "0"]).is_err());
     }
 
     fn pi(args: &[&str]) -> Result<(ObsOptions, Command), ArgError> {

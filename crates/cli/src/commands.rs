@@ -87,9 +87,67 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
         Command::Batch { images, tasks, seed, threads, poison, dense_only } => {
             batch(out, images, tasks, seed, threads, poison, dense_only)
         }
-        Command::Serve { requests, tasks, seed, inject, workers, capacity, dense_only } => {
-            serve(out, requests, tasks, seed, inject, workers, capacity, dense_only)
+        Command::Serve {
+            requests,
+            tasks,
+            seed,
+            inject,
+            workers,
+            capacity,
+            dense_only,
+            listen,
+            replicas,
+            image,
+            deadline_ms,
+            inject_every,
+        } => match listen {
+            Some(addr) => serve_listen(
+                out,
+                &addr,
+                tasks,
+                seed,
+                inject,
+                capacity,
+                dense_only,
+                replicas,
+                image.as_deref(),
+                deadline_ms,
+                inject_every,
+            ),
+            None => {
+                serve(out, requests, tasks, seed, inject, workers, capacity, dense_only)
+            }
+        },
+        Command::ReplicaWorker {
+            image,
+            replica,
+            inject,
+            inject_every,
+            heartbeat_ms,
+            dense_only,
+        } => {
+            replica_worker(&image, replica, inject, inject_every, heartbeat_ms, dense_only)
         }
+        Command::Loadgen {
+            connect,
+            requests,
+            concurrency,
+            tasks,
+            deadline_ms,
+            bench_out,
+            label,
+            drain,
+        } => loadgen(
+            out,
+            &connect,
+            requests,
+            concurrency,
+            tasks,
+            deadline_ms,
+            bench_out.as_deref(),
+            &label,
+            drain,
+        ),
     }
 }
 
@@ -117,6 +175,13 @@ fn write_help(out: &mut dyn Write) {
          \x20 serve     [--requests 16] [--tasks 3] [--seed 42] [--workers 2]\n\
          \x20           [--capacity 0] [--dense-only] [--inject none|nan-poison|bitflip|\n\
          \x20           truncate|garble|panic|flaky|slow|overload]   serving chaos drill\n\
+         \x20 serve     --listen <addr> [--replicas 2] [--image <file>] [--capacity 0]\n\
+         \x20           [--deadline-ms 5000] [--inject replica-abort|replica-hang|\n\
+         \x20           replica-slow|conn-garbage|conn-truncate] [--inject-every 4]\n\
+         \x20           multi-process TCP front door over supervised replica processes\n\
+         \x20 loadgen   --connect <addr> [--requests 64] [--concurrency 4] [--tasks 3]\n\
+         \x20           [--deadline-ms 5000] [--bench-out <file>] [--label run] [--drain]\n\
+         \x20           drive a front door, print outcome counts + latency percentiles\n\
          \x20 help                                             this message\n\n\
          global flags (any command):\n\
          \x20 --trace-out <file>    write a Chrome-trace JSON (chrome://tracing, Perfetto)\n\
@@ -712,6 +777,19 @@ fn serve(
                 capacity = (requests / 2).max(1);
             }
         }
+        // the parser rejects these without --listen; keep the error
+        // typed for direct `run(Command::Serve { .. })` callers
+        ServeFault::ReplicaAbort
+        | ServeFault::ReplicaHang
+        | ServeFault::ReplicaSlow
+        | ServeFault::ConnGarbage
+        | ServeFault::ConnTruncate => {
+            return Err(format!(
+                "error: --inject {} requires --listen (front-door mode)",
+                inject.name()
+            )
+            .into())
+        }
     }
     if capacity == 0 {
         capacity = requests;
@@ -753,12 +831,438 @@ fn serve(
         let _ = writeln!(out, "every request terminated in exactly one terminal state");
         Ok(())
     } else {
+        // The drill ran but the drain left requests without a terminal
+        // state — the run completed degraded, same contract as `mime
+        // batch`'s parent-path fallback, so scripts can distinguish it
+        // from a hard failure.
+        Err(CliError::degraded(format!(
+            "warning: {} request(s) never reached a terminal state",
+            requests - report.completions.len()
+        )))
+    }
+}
+
+/// POSIX signal → atomic flag, with no libc crate: the handler may only
+/// touch async-signal-safe state, so it sets a flag a watcher thread
+/// polls.
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static STOP: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_sig: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Routes SIGINT and SIGTERM to [`STOP`].
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+/// `mime serve --listen`: the multi-process front door. Packs a
+/// temporary image when none is given, spawns `replicas` copies of this
+/// binary as `replica-worker` processes, and serves until SIGINT /
+/// SIGTERM / a client `Shutdown` frame drains it.
+#[allow(clippy::too_many_arguments)]
+fn serve_listen(
+    out: &mut dyn Write,
+    addr: &str,
+    tasks: usize,
+    seed: u64,
+    inject: ServeFault,
+    capacity: usize,
+    dense_only: bool,
+    replicas: usize,
+    image: Option<&str>,
+    deadline_ms: u64,
+    inject_every: usize,
+) -> Result<(), CliError> {
+    use mime_serve::{ConnFault, FrontDoor, FrontDoorConfig};
+    use std::time::Duration;
+
+    // Every replica maps the same read-only packed artifact; without
+    // --image, pack one from the --seed/--tasks fleet.
+    let (image_path, temp_image) = match image {
+        Some(p) => (p.to_string(), None),
+        None => {
+            let path = std::env::temp_dir()
+                .join(format!("mime_frontdoor_{}_{seed}.mime", std::process::id()));
+            let model = small_multitask_model(seed, tasks)?;
+            let bytes = pack_model(&model).map_err(io_err)?;
+            write_file_atomic(&path, &bytes).map_err(io_err)?;
+            let s = path.to_string_lossy().into_owned();
+            (s.clone(), Some(s))
+        }
+    };
+    let exe = std::env::current_exe().map_err(io_err)?;
+    let mut replica_cmd = vec![
+        exe.to_string_lossy().into_owned(),
+        "replica-worker".to_string(),
+        "--image".to_string(),
+        image_path.clone(),
+    ];
+    if dense_only {
+        replica_cmd.push("--dense-only".to_string());
+    }
+    let mut self_inject = None;
+    match inject {
+        ServeFault::ReplicaAbort | ServeFault::ReplicaHang | ServeFault::ReplicaSlow => {
+            replica_cmd.push("--inject".to_string());
+            replica_cmd.push(inject.name().to_string());
+            replica_cmd.push("--inject-every".to_string());
+            replica_cmd.push(inject_every.to_string());
+        }
+        ServeFault::ConnGarbage => self_inject = Some(ConnFault::Garbage),
+        ServeFault::ConnTruncate => self_inject = Some(ConnFault::Truncate),
+        _ => {}
+    }
+    let cfg = FrontDoorConfig {
+        listen: addr.to_string(),
+        replicas,
+        replica_cmd,
+        tasks: tasks as u32,
+        queue_capacity: if capacity == 0 { 64 } else { capacity },
+        deadline: Duration::from_millis(deadline_ms),
+        self_inject,
+        ..FrontDoorConfig::default()
+    };
+    let door = FrontDoor::start(cfg).map_err(io_err)?;
+    // Scripts parse this line for the kernel-assigned port; flush so it
+    // is visible before the (long) serving phase.
+    let _ = writeln!(out, "listening on {} ({replicas} replica(s))", door.addr());
+    let _ = out.flush();
+    let stopper = door.stopper();
+    sig::install();
+    std::thread::spawn(move || loop {
+        if sig::STOP.load(std::sync::atomic::Ordering::SeqCst) {
+            stopper.stop();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+    let report = door.wait();
+    if let Some(p) = temp_image {
+        let _ = std::fs::remove_file(p);
+    }
+    let _ = writeln!(out, "front door drained, inject={}", inject.name());
+    let _ = writeln!(out, "  requests:           {}", report.requests);
+    let _ = writeln!(out, "  success:            {}", report.success);
+    let _ = writeln!(out, "  degraded-to-parent: {}", report.degraded);
+    let _ = writeln!(out, "  shed:               {}", report.shed);
+    let _ = writeln!(out, "  unavailable:        {}", report.unavailable);
+    let _ = writeln!(out, "  deadline-exceeded:  {}", report.deadline_exceeded);
+    let _ = writeln!(out, "  failed:             {}", report.failed);
+    let _ = writeln!(out, "  bad frames:         {}", report.bad_frames);
+    let _ = writeln!(out, "  retries:            {}", report.retries);
+    let _ = writeln!(out, "  replica restarts:   {}", report.restarts);
+    let _ = writeln!(out, "  spawn failures:     {}", report.spawn_failures);
+    let _ = writeln!(out, "  live replicas:      {}", report.live_replicas);
+    if report.drain_clean {
+        let _ = writeln!(out, "every request terminated in exactly one terminal state");
+        Ok(())
+    } else {
+        Err(CliError::degraded(
+            "warning: drain timed out with connections or requests in flight".to_string(),
+        ))
+    }
+}
+
+/// `mime replica-worker`: the child side of the front door. Loads the
+/// packed image read-only, then speaks `mime_serve::proto` frames over
+/// stdin/stdout — so nothing human-readable may be written to stdout
+/// here; diagnostics go to stderr via the logger.
+fn replica_worker(
+    image: &str,
+    replica: u32,
+    inject: ServeFault,
+    inject_every: usize,
+    heartbeat_ms: u64,
+    dense_only: bool,
+) -> Result<(), CliError> {
+    use mime_serve::replica::run_replica_worker;
+    use mime_serve::{ReplicaFault, ReplicaWorkerConfig};
+    use std::time::Duration;
+
+    let raw = std::fs::read(image).map_err(io_err)?;
+    // The receiver seed is irrelevant: the backbone and every task bank
+    // are replaced by the image's sections.
+    let mut receiver = small_multitask_model(0, 0)?;
+    let report = unpack_model(&Bytes::from(raw), &mut receiver)
+        .map_err(|e| format!("error: replica {replica}: unusable image {image}: {e}"))?;
+    if !report.is_clean() {
+        return Err(format!(
+            "error: replica {replica}: image {image} has {} rejected task section(s)",
+            report.rejected.len()
+        )
+        .into());
+    }
+    let names: Vec<String> = receiver.tasks().iter().map(|t| t.name.clone()).collect();
+    if names.is_empty() {
+        return Err(
+            format!("error: replica {replica}: image {image} carries no tasks").into()
+        );
+    }
+    let mut plans = Vec::with_capacity(names.len());
+    for name in &names {
+        receiver.activate(name).map_err(io_err)?;
+        plans.push(BoundNetwork::from_mime(receiver.network()).map_err(io_err)?);
+    }
+    let fault = match inject {
+        ServeFault::ReplicaAbort => ReplicaFault::Abort,
+        ServeFault::ReplicaHang => ReplicaFault::Hang,
+        ServeFault::ReplicaSlow => ReplicaFault::Slow,
+        _ => ReplicaFault::None,
+    };
+    let cfg = ReplicaWorkerConfig {
+        replica,
+        fault,
+        fault_every: if fault == ReplicaFault::None { 0 } else { inject_every },
+        heartbeat: Duration::from_millis(heartbeat_ms),
+        dispatch: if dense_only {
+            mime_runtime::SparseDispatch::DenseOnly
+        } else {
+            mime_runtime::SparseDispatch::Auto
+        },
+        ..ReplicaWorkerConfig::default()
+    };
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    run_replica_worker(
+        &plans,
+        ArrayConfig::eyeriss_65nm(),
+        cfg,
+        &mut stdin.lock(),
+        &mut stdout.lock(),
+    )
+    .map_err(|e| CliError::from(format!("error: replica {replica} worker loop: {e}")))
+}
+
+/// Per-thread outcome tally for `mime loadgen`.
+#[derive(Default)]
+struct LoadgenTally {
+    success: u64,
+    degraded: u64,
+    shed: u64,
+    unavailable: u64,
+    deadline_exceeded: u64,
+    failed: u64,
+    /// Requests with no terminal frame (connect/write/read failure) —
+    /// the one thing the chaos harness must never see.
+    lost: u64,
+    latencies_us: Vec<u64>,
+}
+
+impl LoadgenTally {
+    fn absorb(&mut self, other: LoadgenTally) {
+        self.success += other.success;
+        self.degraded += other.degraded;
+        self.shed += other.shed;
+        self.unavailable += other.unavailable;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.failed += other.failed;
+        self.lost += other.lost;
+        self.latencies_us.extend(other.latencies_us);
+    }
+
+    fn terminal(&self) -> u64 {
+        self.success
+            + self.degraded
+            + self.shed
+            + self.unavailable
+            + self.deadline_exceeded
+            + self.failed
+    }
+}
+
+/// `p` in [0, 1] over an ascending-sorted slice (nearest-rank).
+fn percentile_us(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// `mime loadgen`: a fixed-count client. Each of `concurrency` threads
+/// owns one connection and drives its share of the ids sequentially
+/// (one request outstanding per connection).
+#[allow(clippy::too_many_arguments)]
+fn loadgen(
+    out: &mut dyn Write,
+    connect: &str,
+    requests: usize,
+    concurrency: usize,
+    tasks: usize,
+    deadline_ms: u64,
+    bench_out: Option<&str>,
+    label: &str,
+    drain: bool,
+) -> Result<(), CliError> {
+    use mime_serve::proto::{read_frame, write_frame, ErrorCode, Frame, RequestInput};
+    use std::net::TcpStream;
+    use std::time::{Duration, Instant};
+
+    let threads = concurrency.min(requests);
+    // Comfortably beyond the front door's own worst case, so "lost"
+    // means the server really dropped the request, not client impatience.
+    let read_timeout = Duration::from_millis(deadline_ms) + Duration::from_secs(90);
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let connect = connect.to_string();
+            std::thread::spawn(move || -> LoadgenTally {
+                let mut tally = LoadgenTally::default();
+                let ids: Vec<usize> = (t..requests).step_by(threads).collect();
+                let mut stream = match TcpStream::connect(&connect) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        tally.lost = ids.len() as u64;
+                        return tally;
+                    }
+                };
+                let _ = stream.set_read_timeout(Some(read_timeout));
+                let _ = stream.set_nodelay(true);
+                for (n, i) in ids.iter().copied().enumerate() {
+                    let req = Frame::Request {
+                        id: i as u64,
+                        task: (i % tasks) as u32,
+                        deadline_ms: deadline_ms as u32,
+                        input: RequestInput::Probe(i as u32),
+                    };
+                    let started = Instant::now();
+                    if write_frame(&mut stream, &req).is_err() {
+                        tally.lost += (ids.len() - n) as u64;
+                        break;
+                    }
+                    match read_frame(&mut stream) {
+                        Ok(Frame::Reply { id, degraded, .. }) if id == i as u64 => {
+                            if degraded {
+                                tally.degraded += 1;
+                            } else {
+                                tally.success += 1;
+                            }
+                        }
+                        Ok(Frame::ErrorReply { id, code, .. }) if id == i as u64 => {
+                            match code {
+                                ErrorCode::Overloaded => tally.shed += 1,
+                                ErrorCode::Unavailable => tally.unavailable += 1,
+                                ErrorCode::DeadlineExceeded => tally.deadline_exceeded += 1,
+                                _ => tally.failed += 1,
+                            }
+                        }
+                        _ => {
+                            // Wrong frame, wrong id, or a dead socket:
+                            // this and the rest of this connection's
+                            // share are unaccounted for.
+                            tally.lost += (ids.len() - n) as u64;
+                            break;
+                        }
+                    }
+                    tally.latencies_us.push(started.elapsed().as_micros() as u64);
+                }
+                tally
+            })
+        })
+        .collect();
+    let mut tally = LoadgenTally::default();
+    for w in workers {
+        if let Ok(t) = w.join() {
+            tally.absorb(t);
+        }
+    }
+    if drain {
+        if let Ok(mut s) = TcpStream::connect(connect) {
+            let _ = write_frame(&mut s, &Frame::Shutdown);
+        }
+    }
+    tally.latencies_us.sort_unstable();
+    let (p50, p95, p99) = (
+        percentile_us(&tally.latencies_us, 0.50),
+        percentile_us(&tally.latencies_us, 0.95),
+        percentile_us(&tally.latencies_us, 0.99),
+    );
+    let _ = writeln!(
+        out,
+        "loadgen: {requests} request(s) to {connect}, {threads} connection(s), \
+         label {label}"
+    );
+    let _ = writeln!(out, "  success:            {}", tally.success);
+    let _ = writeln!(out, "  degraded-to-parent: {}", tally.degraded);
+    let _ = writeln!(out, "  shed:               {}", tally.shed);
+    let _ = writeln!(out, "  unavailable:        {}", tally.unavailable);
+    let _ = writeln!(out, "  deadline-exceeded:  {}", tally.deadline_exceeded);
+    let _ = writeln!(out, "  failed:             {}", tally.failed);
+    let _ = writeln!(out, "  lost:               {}", tally.lost);
+    let _ = writeln!(
+        out,
+        "  latency p50/p95/p99: {:.2}/{:.2}/{:.2} ms",
+        p50 as f64 / 1000.0,
+        p95 as f64 / 1000.0,
+        p99 as f64 / 1000.0
+    );
+    if let Some(path) = bench_out {
+        let run = format!(
+            "{{\"label\":\"{}\",\"requests\":{requests},\"concurrency\":{threads},\
+             \"success\":{},\"degraded\":{},\"shed\":{},\"unavailable\":{},\
+             \"deadline_exceeded\":{},\"failed\":{},\"lost\":{},\
+             \"p50_ms\":{:.3},\"p95_ms\":{:.3},\"p99_ms\":{:.3}}}",
+            label.replace(['"', '\\'], "_"),
+            tally.success,
+            tally.degraded,
+            tally.shed,
+            tally.unavailable,
+            tally.deadline_exceeded,
+            tally.failed,
+            tally.lost,
+            p50 as f64 / 1000.0,
+            p95 as f64 / 1000.0,
+            p99 as f64 / 1000.0,
+        );
+        merge_bench_serve(path, &run)?;
+        let _ = writeln!(out, "  wrote {path}");
+    }
+    if tally.terminal() as usize == requests && tally.lost == 0 {
+        let _ = writeln!(out, "every request terminated in exactly one terminal state");
+        Ok(())
+    } else {
         Err(format!(
             "error: {} request(s) never reached a terminal state",
-            requests - report.completions.len()
+            requests as u64 - tally.terminal().min(requests as u64)
         )
         .into())
     }
+}
+
+/// Appends one run object to the `runs` array of a
+/// `mime-bench-serve/v1` JSON file, creating the file if needed. Plain
+/// string surgery — the file format is ours and the writes are atomic.
+fn merge_bench_serve(path: &str, run_json: &str) -> Result<(), CliError> {
+    let text = std::fs::read_to_string(path).unwrap_or_default();
+    let merged = match text.rfind(']') {
+        Some(pos) if text.contains("\"runs\"") => {
+            let mut s = text.clone();
+            let insert = if s[..pos].trim_end().ends_with('[') {
+                run_json.to_string()
+            } else {
+                format!(",{run_json}")
+            };
+            s.insert_str(pos, &insert);
+            s
+        }
+        _ => format!("{{\"schema\":\"mime-bench-serve/v1\",\"runs\":[{run_json}]}}\n"),
+    };
+    write_file_atomic(Path::new(path), merged.as_bytes()).map_err(io_err)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -994,6 +1498,11 @@ mod tests {
             workers: 2,
             capacity: 0,
             dense_only: false,
+            listen: None,
+            replicas: 2,
+            image: None,
+            deadline_ms: 5000,
+            inject_every: 4,
         });
         assert!(s.contains("success:            6"), "{s}");
         assert!(s.contains("shed:               0"), "{s}");
@@ -1010,6 +1519,11 @@ mod tests {
             workers: 2,
             capacity: 0,
             dense_only: false,
+            listen: None,
+            replicas: 2,
+            image: None,
+            deadline_ms: 5000,
+            inject_every: 4,
         });
         assert!(s.contains("shed:               4"), "{s}");
         assert!(s.contains("success:            4"), "{s}");
@@ -1026,6 +1540,11 @@ mod tests {
             workers: 1,
             capacity: 0,
             dense_only: false,
+            listen: None,
+            replicas: 2,
+            image: None,
+            deadline_ms: 5000,
+            inject_every: 4,
         });
         // tasks 0 and 1 serve 3 requests each; task 2's bank is
         // poisoned, so its 3 requests degrade and the breaker trips
@@ -1050,6 +1569,11 @@ mod tests {
             workers: 1,
             capacity: 0,
             dense_only: false,
+            listen: None,
+            replicas: 2,
+            image: None,
+            deadline_ms: 5000,
+            inject_every: 4,
         });
         assert!(s.contains("success:            10"), "{s}");
         assert!(s.contains("worker restarts:    2"), "{s}");

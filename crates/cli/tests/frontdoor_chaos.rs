@@ -1,0 +1,170 @@
+//! Cross-process chaos: the compiled `mime` binary serving as a TCP
+//! front door with `--inject replica-abort`, driven by in-test clients
+//! over real sockets while replica processes abort under them.
+//!
+//! The acceptance invariant: **every request a client sends reaches
+//! exactly one terminal frame**, the front door itself never crashes,
+//! and the restarts metric records the kills.
+
+use mime_serve::proto::{read_frame, write_frame, ErrorCode, Frame, RequestInput};
+use std::io::{BufRead, BufReader};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+const REQUESTS: usize = 64;
+const CLIENTS: usize = 4;
+const TASKS: usize = 3;
+
+#[derive(Default)]
+struct Tally {
+    success: u64,
+    degraded: u64,
+    shed: u64,
+    unavailable: u64,
+    deadline_exceeded: u64,
+    failed: u64,
+}
+
+impl Tally {
+    fn terminal(&self) -> u64 {
+        self.success
+            + self.degraded
+            + self.shed
+            + self.unavailable
+            + self.deadline_exceeded
+            + self.failed
+    }
+}
+
+#[test]
+fn every_request_terminates_exactly_once_while_replicas_abort() {
+    let dir = std::env::temp_dir().join("mime_frontdoor_chaos_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("metrics.prom");
+    let metrics_str = metrics.to_str().unwrap().to_string();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mime"))
+        .args([
+            "--metrics-out",
+            &metrics_str,
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--replicas",
+            "2",
+            "--tasks",
+            "3",
+            "--inject",
+            "replica-abort",
+            "--inject-every",
+            "5",
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("front door starts");
+
+    // First stdout line carries the kernel-assigned port.
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("listening line");
+    let addr = line
+        .split_whitespace()
+        .nth(2)
+        .unwrap_or_else(|| panic!("unparseable listening line: {line:?}"))
+        .to_string();
+
+    // CLIENTS connections, one request outstanding each, REQUESTS total.
+    // Replicas abort on every 5th request they serve; the supervisor
+    // must requeue or fail-fast every victim — never drop one.
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            let addr = addr.clone();
+            std::thread::spawn(move || -> Tally {
+                let mut tally = Tally::default();
+                let mut s = TcpStream::connect(&addr).expect("client connects");
+                s.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+                for i in (t..REQUESTS).step_by(CLIENTS) {
+                    let req = Frame::Request {
+                        id: i as u64,
+                        task: (i % TASKS) as u32,
+                        deadline_ms: 30_000,
+                        input: RequestInput::Probe(i as u32),
+                    };
+                    write_frame(&mut s, &req).expect("request written");
+                    match read_frame(&mut s).expect("one terminal frame per request") {
+                        Frame::Reply { id, degraded, .. } => {
+                            assert_eq!(id, i as u64, "reply id matches request");
+                            if degraded {
+                                tally.degraded += 1;
+                            } else {
+                                tally.success += 1;
+                            }
+                        }
+                        Frame::ErrorReply { id, code, .. } => {
+                            assert_eq!(id, i as u64, "error id matches request");
+                            match code {
+                                ErrorCode::Overloaded => tally.shed += 1,
+                                ErrorCode::Unavailable => tally.unavailable += 1,
+                                ErrorCode::DeadlineExceeded => tally.deadline_exceeded += 1,
+                                _ => tally.failed += 1,
+                            }
+                        }
+                        other => panic!("non-terminal frame for request {i}: {other:?}"),
+                    }
+                }
+                tally
+            })
+        })
+        .collect();
+    let mut tally = Tally::default();
+    for w in workers {
+        let t = w.join().expect("client thread");
+        tally.success += t.success;
+        tally.degraded += t.degraded;
+        tally.shed += t.shed;
+        tally.unavailable += t.unavailable;
+        tally.deadline_exceeded += t.deadline_exceeded;
+        tally.failed += t.failed;
+    }
+    assert_eq!(
+        tally.terminal(),
+        REQUESTS as u64,
+        "every request reached exactly one terminal state"
+    );
+    assert!(tally.success > 0, "the fleet still served through the chaos");
+
+    // The front door survived and answers stats; the kills were counted.
+    let mut s = TcpStream::connect(&addr).expect("stats connection");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    write_frame(&mut s, &Frame::StatsRequest).unwrap();
+    let stats = match read_frame(&mut s).expect("stats reply") {
+        Frame::StatsReply { json } => json,
+        other => panic!("expected StatsReply, got {other:?}"),
+    };
+    let restarts: u64 = stats
+        .split("\"restarts\":")
+        .nth(1)
+        .and_then(|rest| rest.split(&[',', '}'][..]).next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable stats: {stats}"));
+    assert!(restarts >= 1, "abort injection must have killed at least one replica");
+
+    // Graceful drain via the wire, then a clean exit.
+    write_frame(&mut s, &Frame::Shutdown).unwrap();
+    drop(s);
+    let status = child.wait().expect("front door exits");
+    assert!(status.success(), "front door drained cleanly: {status:?}");
+
+    let text = std::fs::read_to_string(&metrics).expect("metrics file written");
+    let metric = |name: &str| -> u64 {
+        text.lines()
+            .find(|l| l.starts_with(name))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("metric {name} missing from:\n{text}"))
+    };
+    assert_eq!(metric("mime_frontdoor_requests_total"), REQUESTS as u64);
+    assert!(metric("mime_replica_restarts_total") >= restarts);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -258,9 +258,13 @@ pub fn pack_image(net: &MimeNetwork, tasks: &[TaskEntry]) -> crate::Result<Bytes
 
 /// Writes `bytes` to `path` crash-safely: the payload goes to a
 /// sibling `<path>.tmp` first, is fsynced, and only then renamed over
-/// the destination. A crash mid-write leaves either the old file or no
-/// file — never a torn image that later fails CRC for the wrong reason.
-/// The temp file is removed on any failure.
+/// the destination — after which the *parent directory* is fsynced
+/// too. The guarantee after `Ok(())`: both the file contents and the
+/// directory entry pointing at them are durable; a crash at any point
+/// leaves either the complete old file or the complete new file —
+/// never a torn image, and never a rename that silently evaporates
+/// because the directory block holding it was still only in the page
+/// cache. The temp file is removed on any failure.
 ///
 /// # Errors
 ///
@@ -277,7 +281,13 @@ pub fn write_file_atomic(path: &Path, bytes: &[u8]) -> crate::Result<()> {
         f.write_all(bytes)?;
         f.sync_all()?;
         drop(f);
-        std::fs::rename(&tmp, path)
+        std::fs::rename(&tmp, path)?;
+        // Durability of the rename itself: on POSIX the new directory
+        // entry lives in the parent directory's data, which has its own
+        // cache lifetime — without this fsync a crash after "success"
+        // can lose the whole file despite the data fsync above.
+        let parent = path.parent().filter(|p| !p.as_os_str().is_empty());
+        std::fs::File::open(parent.unwrap_or(Path::new(".")))?.sync_all()
     })();
     if let Err(e) = attempt {
         let _ = std::fs::remove_file(&tmp);

@@ -1,0 +1,908 @@
+//! The TCP front door: accept loop, per-connection protocol handlers,
+//! and the replica supervisor.
+//!
+//! One [`FrontDoor`] owns a nonblocking listener, a bounded admission
+//! queue shared with N *runner* threads (one per replica slot), and the
+//! counters the stats/metrics surfaces read. Each runner supervises one
+//! [`ReplicaProc`] through the lifecycle state machine of DESIGN.md §10
+//! (Spawning → Ready → Suspect → Dead → Cooldown): heartbeats on the
+//! control pipe refresh a liveness deadline, a wedged replica is killed
+//! and treated as dead, death consumes a restart budget and feeds a
+//! per-replica [`CircuitBreaker`] whose Open state becomes the Cooldown
+//! between respawn attempts, and the in-flight request is requeued or
+//! failed fast under the shared [`RetryPolicy`].
+//!
+//! The cross-process invariant mirrors the in-process server's: **every
+//! request a client manages to send reaches exactly one terminal
+//! frame** — a reply, `Overloaded`, `DeadlineExceeded`,
+//! `FailedAfterRetries`, `Unavailable`, or `BadFrame` — even while
+//! replicas are being killed under it.
+
+use crate::proto::{
+    write_frame, ErrorCode, Frame, FrameReader, ProtoError, RequestInput, NO_REQUEST_ID,
+};
+use crate::replica::{ReplicaProc, ReplicaState};
+use crate::{BoundedQueue, BreakerConfig, CircuitBreaker, RetryPolicy, Route};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Self-injected connection-level chaos (the `--inject conn-*` modes):
+/// a background thread abuses the front door's own listener while real
+/// traffic flows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnFault {
+    /// Frames with an unknown kind and junk payload.
+    Garbage,
+    /// Headers cut off mid-way, then an abrupt close.
+    Truncate,
+}
+
+/// Front-door configuration.
+#[derive(Debug, Clone)]
+pub struct FrontDoorConfig {
+    /// Bind address, e.g. `127.0.0.1:0` (0 = kernel-assigned port).
+    pub listen: String,
+    /// Replica slots to supervise.
+    pub replicas: usize,
+    /// argv spawned per replica (program + args).
+    pub replica_cmd: Vec<String>,
+    /// Task count for admission-time `UnknownTask` prechecks
+    /// (0 = unknown; the replica rejects instead).
+    pub tasks: u32,
+    /// Admission-queue capacity; beyond it requests shed `Overloaded`.
+    pub queue_capacity: usize,
+    /// Default per-request budget when a request carries
+    /// `deadline_ms == 0`.
+    pub deadline: Duration,
+    /// Requeue-or-fail policy for requests in flight on a dying replica.
+    pub retry: RetryPolicy,
+    /// Per-replica breaker over deaths/spawn failures; Open = Cooldown.
+    pub breaker: BreakerConfig,
+    /// Deaths + spawn failures a slot may consume before it is declared
+    /// permanently dead.
+    pub restart_budget: u32,
+    /// Exponential backoff between respawn attempts (`max_attempts` is
+    /// ignored here — the budget above is the cap).
+    pub restart_backoff: RetryPolicy,
+    /// How long a spawned replica may take to send `Ready`.
+    pub spawn_timeout: Duration,
+    /// No heartbeat for this long with a request in flight ⇒ Suspect ⇒
+    /// killed.
+    pub liveness: Duration,
+    /// Grace given to draining replicas and late connections at
+    /// shutdown before the drain is declared unclean.
+    pub drain_timeout: Duration,
+    /// Self-injected connection chaos.
+    pub self_inject: Option<ConnFault>,
+}
+
+impl Default for FrontDoorConfig {
+    fn default() -> Self {
+        FrontDoorConfig {
+            listen: "127.0.0.1:0".into(),
+            replicas: 2,
+            replica_cmd: Vec::new(),
+            tasks: 0,
+            queue_capacity: 64,
+            deadline: Duration::from_millis(5000),
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            restart_budget: 16,
+            restart_backoff: RetryPolicy {
+                max_attempts: u32::MAX,
+                base: Duration::from_millis(50),
+                multiplier: 2,
+                max_backoff: Duration::from_millis(2000),
+            },
+            spawn_timeout: Duration::from_secs(30),
+            liveness: Duration::from_millis(2000),
+            drain_timeout: Duration::from_secs(30),
+            self_inject: None,
+        }
+    }
+}
+
+/// End-of-run totals (also published as `mime_frontdoor_*` /
+/// `mime_replica_*` metrics).
+#[derive(Debug, Clone, Default)]
+pub struct FrontDoorReport {
+    /// Whether shutdown drained every connection and request in time.
+    pub drain_clean: bool,
+    /// Well-formed requests received.
+    pub requests: u64,
+    /// Terminal `Reply { degraded: false }`.
+    pub success: u64,
+    /// Terminal `Reply { degraded: true }` (parent-path fallback).
+    pub degraded: u64,
+    /// Shed `Overloaded` at admission.
+    pub shed: u64,
+    /// Terminal `Unavailable` (draining, or no live replica).
+    pub unavailable: u64,
+    /// Terminal `DeadlineExceeded`.
+    pub deadline_exceeded: u64,
+    /// Terminal `FailedAfterRetries` / `UnknownTask`.
+    pub failed: u64,
+    /// Malformed frames answered with `BadFrame`.
+    pub bad_frames: u64,
+    /// Requeues of in-flight requests after a replica death.
+    pub retries: u64,
+    /// Replica deaths the supervisor recovered from (each starts a
+    /// respawn) — `mime_replica_restarts_total`.
+    pub restarts: u64,
+    /// Spawn attempts that failed or timed out before `Ready`.
+    pub spawn_failures: u64,
+    /// Replica slots still live at the end.
+    pub live_replicas: usize,
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    success: AtomicU64,
+    degraded: AtomicU64,
+    shed: AtomicU64,
+    unavailable: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    failed: AtomicU64,
+    bad_frames: AtomicU64,
+    retries: AtomicU64,
+    restarts: AtomicU64,
+    spawn_failures: AtomicU64,
+}
+
+/// One admitted request riding the queue between a connection handler
+/// and whichever runner dequeues it.
+struct Job {
+    client_id: u64,
+    task: u32,
+    input: RequestInput,
+    /// Full budget, anchored at `admitted_at`.
+    deadline: Duration,
+    admitted_at: Instant,
+    attempts: u32,
+    resp: mpsc::Sender<Frame>,
+}
+
+struct Shared {
+    cfg: FrontDoorConfig,
+    queue: BoundedQueue<Job>,
+    shutdown: AtomicBool,
+    live_replicas: AtomicUsize,
+    ready_replicas: AtomicUsize,
+    in_flight: AtomicUsize,
+    next_dispatch_id: AtomicU64,
+    counters: Counters,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Delivers one terminal frame for an *admitted* job, bumping the
+    /// matching counter. The send can fail only if the connection
+    /// handler gave up (client gone) — the request is terminal either
+    /// way.
+    fn finish(&self, job: &Job, frame: Frame) {
+        match &frame {
+            Frame::Reply { degraded: false, .. } => &self.counters.success,
+            Frame::Reply { degraded: true, .. } => &self.counters.degraded,
+            Frame::ErrorReply { code: ErrorCode::DeadlineExceeded, .. } => {
+                &self.counters.deadline_exceeded
+            }
+            Frame::ErrorReply { code: ErrorCode::Unavailable, .. } => {
+                &self.counters.unavailable
+            }
+            Frame::ErrorReply { .. } => &self.counters.failed,
+            _ => unreachable!("terminal frames are Reply/ErrorReply"),
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        let _ = job.resp.send(frame);
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    fn stats_json(&self) -> String {
+        let c = &self.counters;
+        format!(
+            "{{\"requests\":{},\"success\":{},\"degraded\":{},\"shed\":{},\
+             \"unavailable\":{},\"deadline_exceeded\":{},\"failed\":{},\
+             \"bad_frames\":{},\"retries\":{},\"restarts\":{},\"spawn_failures\":{},\
+             \"ready_replicas\":{},\"live_replicas\":{},\"in_flight\":{}}}",
+            c.requests.load(Ordering::Relaxed),
+            c.success.load(Ordering::Relaxed),
+            c.degraded.load(Ordering::Relaxed),
+            c.shed.load(Ordering::Relaxed),
+            c.unavailable.load(Ordering::Relaxed),
+            c.deadline_exceeded.load(Ordering::Relaxed),
+            c.failed.load(Ordering::Relaxed),
+            c.bad_frames.load(Ordering::Relaxed),
+            c.retries.load(Ordering::Relaxed),
+            c.restarts.load(Ordering::Relaxed),
+            c.spawn_failures.load(Ordering::Relaxed),
+            self.ready_replicas.load(Ordering::Relaxed),
+            self.live_replicas.load(Ordering::Relaxed),
+            self.in_flight.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Cloneable shutdown trigger (for signal handlers and `Shutdown`
+/// frames).
+#[derive(Clone)]
+pub struct FrontDoorStopper {
+    shared: Arc<Shared>,
+}
+
+impl FrontDoorStopper {
+    /// Begins graceful drain: stop accepting, close admission, let
+    /// in-flight requests terminate, shut replicas down.
+    pub fn stop(&self) {
+        if !self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            mime_obs::info!("serve.frontdoor", "drain started");
+        }
+        self.shared.queue.close();
+    }
+}
+
+/// A running front door. [`wait`](Self::wait) blocks until a
+/// [`FrontDoorStopper::stop`] (or permanent death of every replica)
+/// drains it.
+pub struct FrontDoor {
+    shared: Arc<Shared>,
+    addr: std::net::SocketAddr,
+    accept_thread: JoinHandle<bool>,
+    runner_threads: Vec<JoinHandle<()>>,
+    chaos_thread: Option<JoinHandle<()>>,
+}
+
+impl FrontDoor {
+    /// Binds the listener, spawns the replica runners and the accept
+    /// loop, and returns once the socket is live (replicas keep
+    /// spawning in the background; until one is `Ready`, requests get
+    /// queued or `Unavailable`).
+    ///
+    /// # Errors
+    ///
+    /// Only bind/configuration errors; replica spawn failures are
+    /// handled by the supervisor at runtime.
+    pub fn start(cfg: FrontDoorConfig) -> std::io::Result<FrontDoor> {
+        if cfg.replica_cmd.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "replica_cmd must name the worker binary",
+            ));
+        }
+        let listener = TcpListener::bind(&cfg.listen)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let replicas = cfg.replicas.max(1);
+        let queue = BoundedQueue::new(cfg.queue_capacity);
+        let shared = Arc::new(Shared {
+            cfg,
+            queue,
+            shutdown: AtomicBool::new(false),
+            live_replicas: AtomicUsize::new(replicas),
+            ready_replicas: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            next_dispatch_id: AtomicU64::new(1),
+            counters: Counters::default(),
+        });
+
+        let runner_threads = (0..replicas)
+            .map(|slot| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || runner_loop(&shared, slot as u32))
+            })
+            .collect();
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&shared, &listener))
+        };
+        let chaos_thread = shared.cfg.self_inject.map(|fault| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || conn_chaos_loop(&shared, addr, fault))
+        });
+        mime_obs::info!("serve.frontdoor", "listening", addr = addr, replicas = replicas);
+        Ok(FrontDoor { shared, addr, accept_thread, runner_threads, chaos_thread })
+    }
+
+    /// The bound socket address (with the kernel-assigned port).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// A cloneable handle that triggers graceful drain.
+    pub fn stopper(&self) -> FrontDoorStopper {
+        FrontDoorStopper { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Blocks until the front door has drained (every runner and the
+    /// accept loop exited), then publishes metrics and returns the
+    /// totals.
+    pub fn wait(self) -> FrontDoorReport {
+        for t in self.runner_threads {
+            let _ = t.join();
+        }
+        let conns_clean = self.accept_thread.join().unwrap_or(false);
+        if let Some(t) = self.chaos_thread {
+            let _ = t.join();
+        }
+        let shared = &self.shared;
+        let c = &shared.counters;
+        let in_flight = shared.in_flight.load(Ordering::Acquire);
+        let report = FrontDoorReport {
+            drain_clean: conns_clean && in_flight == 0,
+            requests: c.requests.load(Ordering::Relaxed),
+            success: c.success.load(Ordering::Relaxed),
+            degraded: c.degraded.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            unavailable: c.unavailable.load(Ordering::Relaxed),
+            deadline_exceeded: c.deadline_exceeded.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            bad_frames: c.bad_frames.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            restarts: c.restarts.load(Ordering::Relaxed),
+            spawn_failures: c.spawn_failures.load(Ordering::Relaxed),
+            live_replicas: shared.live_replicas.load(Ordering::Relaxed),
+        };
+        publish_metrics(&report, shared.ready_replicas.load(Ordering::Relaxed));
+        report
+    }
+}
+
+/// Publishes the run's counters and gauges to the global mime-obs
+/// registry (no-op when metrics are disabled).
+fn publish_metrics(report: &FrontDoorReport, ready: usize) {
+    if !mime_obs::metrics_enabled() {
+        return;
+    }
+    let r = mime_obs::metrics::global();
+    r.counter("mime_frontdoor_requests_total").add(report.requests);
+    r.counter("mime_frontdoor_success_total").add(report.success);
+    r.counter("mime_frontdoor_degraded_total").add(report.degraded);
+    r.counter("mime_frontdoor_shed_total").add(report.shed);
+    r.counter("mime_frontdoor_unavailable_total").add(report.unavailable);
+    r.counter("mime_frontdoor_deadline_exceeded_total").add(report.deadline_exceeded);
+    r.counter("mime_frontdoor_failed_total").add(report.failed);
+    r.counter("mime_frontdoor_bad_frames_total").add(report.bad_frames);
+    r.counter("mime_frontdoor_retries_total").add(report.retries);
+    r.counter("mime_replica_restarts_total").add(report.restarts);
+    r.counter("mime_replica_spawn_failures_total").add(report.spawn_failures);
+    r.gauge("mime_frontdoor_ready_replicas").set(ready as f64);
+    r.gauge("mime_frontdoor_live_replicas").set(report.live_replicas as f64);
+}
+
+// ---------------------------------------------------------------------
+// Accept loop + connection handlers
+// ---------------------------------------------------------------------
+
+const TICK: Duration = Duration::from_millis(25);
+
+/// Returns `true` when every connection handler exited within the drain
+/// timeout.
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) -> bool {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.draining() {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                mime_obs::debug!("serve.frontdoor", "connection accepted", peer = peer);
+                let shared = Arc::clone(shared);
+                handlers.push(std::thread::spawn(move || handle_conn(&shared, stream)));
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                std::thread::sleep(TICK);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                mime_obs::error!("serve.frontdoor", "accept failed", error = e);
+                std::thread::sleep(TICK);
+            }
+        }
+        handlers.retain(|h| !h.is_finished());
+    }
+    // Drain: handlers see the shutdown flag on their next read tick and
+    // exit once their in-flight request terminates.
+    let deadline = Instant::now() + shared.cfg.drain_timeout;
+    while Instant::now() < deadline {
+        handlers.retain(|h| !h.is_finished());
+        if handlers.is_empty() {
+            return true;
+        }
+        std::thread::sleep(TICK);
+    }
+    mime_obs::warn!(
+        "serve.frontdoor",
+        "drain timeout with connections still open",
+        open = handlers.len()
+    );
+    false
+}
+
+/// One connection: poll frames (50ms read timeout so the shutdown flag
+/// is observed promptly), answer each request with exactly one terminal
+/// frame, close on the first malformed frame.
+fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_nodelay(true);
+    let mut reader = FrameReader::new();
+    let mut stream = stream;
+    loop {
+        let frame = match reader.poll_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => {
+                if shared.draining() {
+                    return;
+                }
+                continue;
+            }
+            Err(ProtoError::Closed) => return,
+            Err(ProtoError::Io(_)) => return,
+            Err(e @ (ProtoError::Malformed(_) | ProtoError::TooLarge(_))) => {
+                // Typed error frame, then hang up: after a framing
+                // error the byte stream can no longer be trusted.
+                shared.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
+                mime_obs::warn!("serve.frontdoor", "malformed frame", error = e);
+                let _ = write_frame(
+                    &mut stream,
+                    &Frame::ErrorReply {
+                        id: NO_REQUEST_ID,
+                        code: ErrorCode::BadFrame,
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        match frame {
+            Frame::Request { id, task, deadline_ms, input } => {
+                let reply = admit_and_await(shared, id, task, deadline_ms, input);
+                if write_frame(&mut stream, &reply).is_err() {
+                    return;
+                }
+            }
+            Frame::StatsRequest => {
+                let frame = Frame::StatsReply { json: shared.stats_json() };
+                if write_frame(&mut stream, &frame).is_err() {
+                    return;
+                }
+            }
+            Frame::Shutdown => {
+                FrontDoorStopper { shared: Arc::clone(shared) }.stop();
+                return;
+            }
+            other => {
+                shared.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
+                let _ = write_frame(
+                    &mut stream,
+                    &Frame::ErrorReply {
+                        id: NO_REQUEST_ID,
+                        code: ErrorCode::BadFrame,
+                        message: format!("unexpected client frame {other:?}"),
+                    },
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Admission for one request: precheck, backpressure push, then block
+/// until a runner delivers its terminal frame.
+fn admit_and_await(
+    shared: &Arc<Shared>,
+    client_id: u64,
+    task: u32,
+    deadline_ms: u32,
+    input: RequestInput,
+) -> Frame {
+    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    if shared.cfg.tasks > 0 && task >= shared.cfg.tasks {
+        shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+        return Frame::ErrorReply {
+            id: client_id,
+            code: ErrorCode::UnknownTask,
+            message: format!("task {task} of {}", shared.cfg.tasks),
+        };
+    }
+    if shared.draining() || shared.live_replicas.load(Ordering::Acquire) == 0 {
+        shared.counters.unavailable.fetch_add(1, Ordering::Relaxed);
+        return Frame::ErrorReply {
+            id: client_id,
+            code: ErrorCode::Unavailable,
+            message: "draining or no live replica".into(),
+        };
+    }
+    let deadline = if deadline_ms == 0 {
+        shared.cfg.deadline
+    } else {
+        Duration::from_millis(u64::from(deadline_ms))
+    };
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        client_id,
+        task,
+        input,
+        deadline,
+        admitted_at: Instant::now(),
+        attempts: 0,
+        resp: tx,
+    };
+    shared.in_flight.fetch_add(1, Ordering::AcqRel);
+    if shared.queue.try_push(job).is_err() {
+        shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+        // Cross-process backpressure: the §8 admission queue's
+        // QueueFull shed, surfaced on the wire as Overloaded (or
+        // Unavailable when the push lost a race with drain).
+        let (counter, code, msg) = if shared.draining() {
+            (&shared.counters.unavailable, ErrorCode::Unavailable, "draining")
+        } else {
+            (&shared.counters.shed, ErrorCode::Overloaded, "admission queue full")
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        return Frame::ErrorReply { id: client_id, code, message: msg.into() };
+    }
+    // Safety net far beyond any legitimate path (runner-side deadline +
+    // liveness + a full respawn cycle); a job can only be stuck this
+    // long if the supervisor itself is broken.
+    let cap = deadline
+        + shared.cfg.liveness
+        + shared.cfg.spawn_timeout
+        + shared.cfg.drain_timeout
+        + Duration::from_secs(5);
+    match rx.recv_timeout(cap) {
+        Ok(frame) => frame,
+        Err(_) => Frame::ErrorReply {
+            id: client_id,
+            code: ErrorCode::FailedAfterRetries,
+            message: "internal: request lost in the supervisor".into(),
+        },
+    }
+}
+
+/// A chaos thread hammering the front door's own listener with the
+/// configured connection fault until drain.
+fn conn_chaos_loop(shared: &Arc<Shared>, addr: std::net::SocketAddr, fault: ConnFault) {
+    use std::io::Write as _;
+    while !shared.draining() {
+        if let Ok(mut s) = TcpStream::connect(addr) {
+            let bytes: Vec<u8> = match fault {
+                // unknown kind 0xEE with 8 junk payload bytes
+                ConnFault::Garbage => {
+                    let mut b = vec![0xEE];
+                    b.extend_from_slice(&8u32.to_le_bytes());
+                    b.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x11, 0x22, 0x33]);
+                    b
+                }
+                // three header bytes, then a hard close
+                ConnFault::Truncate => vec![1, 0xFF, 0xFF],
+            };
+            let _ = s.write_all(&bytes);
+            if fault == ConnFault::Garbage {
+                // give the server a beat to answer with BadFrame
+                let _ = s.set_read_timeout(Some(Duration::from_millis(200)));
+                let mut sink = [0u8; 256];
+                use std::io::Read as _;
+                let _ = s.read(&mut sink);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Replica runners (the supervisor)
+// ---------------------------------------------------------------------
+
+/// Supervises one replica slot for the lifetime of the front door:
+/// spawn (gated by the slot's breaker), serve jobs from the shared
+/// queue, recover from deaths, and exit once the queue is drained or
+/// the restart budget is gone.
+fn runner_loop(shared: &Arc<Shared>, slot: u32) {
+    let epoch = Instant::now();
+    let mut breaker = CircuitBreaker::new();
+    let mut budget_used: u32 = 0;
+    let mut consecutive_faults: u32 = 0;
+
+    loop {
+        if shared.draining() && shared.queue.depth() == 0 {
+            // Nothing left to serve; no point paying another spawn.
+            runner_exit(shared, slot, "drained before respawn");
+            return;
+        }
+        // Breaker-gated spawn: Open = the Cooldown lifecycle state.
+        let route = breaker.route(epoch.elapsed(), &shared.cfg.breaker);
+        if route == Route::Parent {
+            log_state(slot, ReplicaState::Cooldown);
+            std::thread::sleep(TICK);
+            continue;
+        }
+        log_state(slot, ReplicaState::Spawning);
+        let mut proc = match ReplicaProc::spawn(
+            slot,
+            &shared.cfg.replica_cmd,
+            shared.cfg.spawn_timeout,
+        ) {
+            Ok(proc) => {
+                breaker.report_success(route);
+                consecutive_faults = 0;
+                proc
+            }
+            Err(e) => {
+                mime_obs::warn!(
+                    "serve.frontdoor",
+                    "replica spawn failed",
+                    replica = slot,
+                    error = e
+                );
+                shared.counters.spawn_failures.fetch_add(1, Ordering::Relaxed);
+                breaker.report_failure(route, epoch.elapsed(), &shared.cfg.breaker);
+                if !consume_budget(shared, slot, &mut budget_used) {
+                    return;
+                }
+                backoff_sleep(shared, &mut consecutive_faults);
+                continue;
+            }
+        };
+        log_state(slot, ReplicaState::Ready);
+        shared.ready_replicas.fetch_add(1, Ordering::AcqRel);
+
+        // Serve until the queue drains (graceful exit) or the replica
+        // dies under us.
+        let death = serve_with_replica(shared, slot, &mut proc);
+        shared.ready_replicas.fetch_sub(1, Ordering::AcqRel);
+        match death {
+            None => {
+                proc.shutdown(shared.cfg.drain_timeout);
+                runner_exit(shared, slot, "queue drained");
+                return;
+            }
+            Some(job) => {
+                log_state(slot, ReplicaState::Dead);
+                proc.kill_and_reap();
+                shared.counters.restarts.fetch_add(1, Ordering::Relaxed);
+                if let Some(job) = job {
+                    requeue_or_fail(shared, slot, job);
+                }
+                breaker.report_failure(
+                    Route::Primary,
+                    epoch.elapsed(),
+                    &shared.cfg.breaker,
+                );
+                if !consume_budget(shared, slot, &mut budget_used) {
+                    return;
+                }
+                backoff_sleep(shared, &mut consecutive_faults);
+            }
+        }
+    }
+}
+
+fn log_state(slot: u32, state: ReplicaState) {
+    mime_obs::debug!(
+        "serve.frontdoor",
+        "replica state",
+        replica = slot,
+        state = state.name()
+    );
+}
+
+/// Spends one unit of the slot's restart budget; on exhaustion the slot
+/// dies permanently (and the last live slot fails the remaining
+/// backlog). Returns `false` when the runner must exit.
+fn consume_budget(shared: &Arc<Shared>, slot: u32, used: &mut u32) -> bool {
+    *used += 1;
+    if *used <= shared.cfg.restart_budget {
+        return true;
+    }
+    mime_obs::error!(
+        "serve.frontdoor",
+        "restart budget exhausted; replica permanently dead",
+        replica = slot,
+        budget = shared.cfg.restart_budget
+    );
+    runner_exit(shared, slot, "restart budget exhausted");
+    false
+}
+
+/// Marks the slot dead and, when it was the last live one, closes the
+/// queue and fails the stranded backlog `Unavailable` so no client ever
+/// hangs on a front door with nothing behind it.
+fn runner_exit(shared: &Arc<Shared>, slot: u32, why: &str) {
+    mime_obs::info!("serve.frontdoor", "runner exiting", replica = slot, reason = why);
+    if shared.live_replicas.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // Last slot gone: nothing can serve, so the whole front door
+        // drains — otherwise `wait()` would block on the accept loop
+        // forever.
+        shared.shutdown.store(true, Ordering::Release);
+        shared.queue.close();
+        while let Some(job) = shared.queue.try_pop() {
+            let id = job.client_id;
+            shared.finish(
+                &job,
+                Frame::ErrorReply {
+                    id,
+                    code: ErrorCode::Unavailable,
+                    message: "no live replica".into(),
+                },
+            );
+        }
+    }
+}
+
+fn backoff_sleep(shared: &Arc<Shared>, consecutive_faults: &mut u32) {
+    let pause = shared.cfg.restart_backoff.backoff(*consecutive_faults);
+    *consecutive_faults = consecutive_faults.saturating_add(1);
+    let deadline = Instant::now() + pause;
+    while Instant::now() < deadline {
+        if shared.draining() && shared.queue.depth() == 0 {
+            return; // outer loop re-checks and exits
+        }
+        std::thread::sleep(TICK.min(pause));
+    }
+}
+
+/// Pumps jobs through one live replica. Returns `None` on graceful
+/// queue drain, or `Some(in_flight_job)` when the replica died
+/// (`Some(None)` if it died between requests).
+#[allow(clippy::type_complexity)]
+fn serve_with_replica(
+    shared: &Arc<Shared>,
+    slot: u32,
+    proc: &mut ReplicaProc,
+) -> Option<Option<Job>> {
+    // Terminal frames for dispatch ids we already answered for the
+    // client (its deadline fired first) still arrive; skip them.
+    let mut stale: Vec<u64> = Vec::new();
+    loop {
+        let job = shared.queue.pop()?;
+        // Deadline at dequeue: a request that blew its budget in line
+        // is not worth a dispatch.
+        let expiry = job.admitted_at + job.deadline;
+        let now = Instant::now();
+        if now > expiry {
+            let id = job.client_id;
+            shared.finish(
+                &job,
+                Frame::ErrorReply {
+                    id,
+                    code: ErrorCode::DeadlineExceeded,
+                    message: "expired waiting in the admission queue".into(),
+                },
+            );
+            continue;
+        }
+        let remaining = expiry - now;
+        let dispatch_id = shared.next_dispatch_id.fetch_add(1, Ordering::Relaxed);
+        let sent = proc.send(&Frame::Request {
+            id: dispatch_id,
+            task: job.task,
+            deadline_ms: (remaining.as_millis() as u32).max(1),
+            input: job.input.clone(),
+        });
+        if sent.is_err() {
+            return Some(Some(job));
+        }
+        match await_reply(shared, slot, proc, &job, dispatch_id, remaining, &mut stale) {
+            AwaitOutcome::Terminal => {}
+            AwaitOutcome::Died => return Some(Some(job)),
+        }
+    }
+}
+
+enum AwaitOutcome {
+    /// The job received its terminal frame (from the replica, or a
+    /// front-door-side deadline).
+    Terminal,
+    /// The replica died or wedged with the job in flight.
+    Died,
+}
+
+/// Waits for the dispatched request's terminal frame, refreshing the
+/// liveness deadline on every heartbeat. A silent replica past the
+/// liveness window is Suspect and killed (the caller handles requeue).
+fn await_reply(
+    shared: &Arc<Shared>,
+    slot: u32,
+    proc: &mut ReplicaProc,
+    job: &Job,
+    dispatch_id: u64,
+    remaining: Duration,
+    stale: &mut Vec<u64>,
+) -> AwaitOutcome {
+    let dispatched = Instant::now();
+    let mut last_seen = dispatched;
+    // Absolute cap: the replica enforces the request deadline itself
+    // between layers, so a healthy-but-slow replica answers shortly
+    // after `remaining`; this cap only fires on pathological stalls
+    // that somehow keep heartbeating.
+    let hard_cap = remaining + shared.cfg.liveness + Duration::from_secs(2);
+    loop {
+        match proc.recv_timeout(TICK) {
+            Ok(Frame::Heartbeat { .. }) => last_seen = Instant::now(),
+            Ok(Frame::Reply { id, degraded, logits }) => {
+                last_seen = Instant::now();
+                if id == dispatch_id {
+                    let frame = Frame::Reply { id: job.client_id, degraded, logits };
+                    shared.finish(job, frame);
+                    return AwaitOutcome::Terminal;
+                }
+                stale.retain(|&s| s != id);
+            }
+            Ok(Frame::ErrorReply { id, code, message }) => {
+                last_seen = Instant::now();
+                if id == dispatch_id {
+                    let frame = Frame::ErrorReply { id: job.client_id, code, message };
+                    shared.finish(job, frame);
+                    return AwaitOutcome::Terminal;
+                }
+                stale.retain(|&s| s != id);
+            }
+            Ok(other) => {
+                mime_obs::warn!(
+                    "serve.frontdoor",
+                    "unexpected replica frame",
+                    replica = slot,
+                    frame = format!("{other:?}")
+                );
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return AwaitOutcome::Died,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if last_seen.elapsed() > shared.cfg.liveness {
+                    log_state(slot, ReplicaState::Suspect);
+                    mime_obs::warn!(
+                        "serve.frontdoor",
+                        "liveness deadline missed; killing wedged replica",
+                        replica = slot,
+                        silent_ms = last_seen.elapsed().as_millis() as u64
+                    );
+                    return AwaitOutcome::Died;
+                }
+                if dispatched.elapsed() > hard_cap {
+                    mime_obs::warn!(
+                        "serve.frontdoor",
+                        "request overstayed its hard cap; killing replica",
+                        replica = slot,
+                        request = job.client_id
+                    );
+                    stale.push(dispatch_id);
+                    return AwaitOutcome::Died;
+                }
+            }
+        }
+    }
+}
+
+/// Requeue-or-fail-fast for a request in flight on a dying replica,
+/// honoring the shared retry budget.
+fn requeue_or_fail(shared: &Arc<Shared>, slot: u32, mut job: Job) {
+    job.attempts += 1;
+    if shared.cfg.retry.allows(job.attempts) {
+        shared.counters.retries.fetch_add(1, Ordering::Relaxed);
+        mime_obs::info!(
+            "serve.frontdoor",
+            "replica died mid-request; requeued",
+            replica = slot,
+            request = job.client_id,
+            attempt = job.attempts
+        );
+        shared.queue.requeue(job);
+    } else {
+        let id = job.client_id;
+        shared.finish(
+            &job,
+            Frame::ErrorReply {
+                id,
+                code: ErrorCode::FailedAfterRetries,
+                message: format!("replica died on all {} attempts", job.attempts),
+            },
+        );
+    }
+}

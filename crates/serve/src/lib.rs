@@ -21,20 +21,39 @@
 //!   deadlines checked at dequeue and between layers
 //!   (`run_image_guarded`), graceful drain shutdown, and chaos hooks
 //!   ([`FaultPlan`]).
+//! * [`proto`] — the length-framed wire protocol for multi-process
+//!   serving: typed request/reply/error frames, heartbeats, and a
+//!   fragmentation-tolerant [`proto::FrameReader`].
+//! * [`replica`] — the process-level isolation unit:
+//!   [`replica::run_replica_worker`] (the child-side serving loop with
+//!   between-layer heartbeats and `--inject replica-*` faults) and
+//!   [`replica::ReplicaProc`] (the supervisor-side child handle).
+//! * [`FrontDoor`] — the TCP front door and replica supervisor:
+//!   liveness deadlines, restart budgets with per-replica breakers,
+//!   requeue-or-fail on replica death, cross-process backpressure, and
+//!   graceful drain.
 //!
 //! The invariant everything here defends: **every admitted request
-//! terminates in exactly one terminal state** ([`Outcome`]) — never a
-//! hang, never a process abort.
+//! terminates in exactly one terminal state** ([`Outcome`] in process,
+//! one terminal [`proto::Frame`] on the wire) — never a hang, never an
+//! unanswered client.
 
 mod breaker;
 mod clock;
+mod frontdoor;
+pub mod proto;
 mod queue;
+pub mod replica;
 mod retry;
 mod server;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Route};
 pub use clock::{Clock, SystemClock, VirtualClock};
+pub use frontdoor::{
+    ConnFault, FrontDoor, FrontDoorConfig, FrontDoorReport, FrontDoorStopper,
+};
 pub use queue::BoundedQueue;
+pub use replica::{ReplicaFault, ReplicaProc, ReplicaState, ReplicaWorkerConfig};
 pub use retry::RetryPolicy;
 pub use server::{
     Completion, FaultPlan, Outcome, Request, ServeConfig, ServeReport, Server, ShedReason,

@@ -1,0 +1,736 @@
+//! The length-framed wire protocol spoken on both hops of the
+//! multi-process serving path: TCP client ↔ front door, and front door
+//! ↔ replica worker (over the child's stdin/stdout pipes).
+//!
+//! Every frame is `kind (u8) | payload-len (u32 LE) | payload`. The
+//! format is deliberately tiny — no negotiation, no compression — but
+//! hostile-input-safe: the length field is capped at
+//! [`MAX_FRAME_PAYLOAD`] *before* any allocation, unknown kinds and
+//! short payloads are typed [`ProtoError::Malformed`] errors (never
+//! panics), and [`FrameReader`] tolerates arbitrary TCP fragmentation
+//! so a slow or adversarial peer cannot desynchronize the stream.
+//!
+//! The client-visible contract: every `Request` receives exactly one
+//! terminal frame — a `Reply` (success or degraded-to-parent) or an
+//! `ErrorReply` carrying one of the typed [`ErrorCode`]s.
+
+use mime_tensor::Tensor;
+use std::io::{Read, Write};
+
+/// Hard cap on any frame payload. A length field above this is rejected
+/// before allocation, so a garbage header cannot OOM the front door.
+pub const MAX_FRAME_PAYLOAD: usize = 4 << 20;
+
+/// Cap on tensor rank in a `Request` payload.
+const MAX_NDIM: usize = 8;
+/// Cap on tensor/logit element counts in a payload.
+const MAX_ELEMS: usize = 4 << 20;
+
+/// Sentinel request id used in error replies to frames so malformed
+/// that no id could be recovered.
+pub const NO_REQUEST_ID: u64 = u64::MAX;
+
+const KIND_REQUEST: u8 = 1;
+const KIND_REPLY: u8 = 2;
+const KIND_ERROR: u8 = 3;
+const KIND_HEARTBEAT: u8 = 4;
+const KIND_READY: u8 = 5;
+const KIND_SHUTDOWN: u8 = 6;
+const KIND_STATS_REQUEST: u8 = 7;
+const KIND_STATS_REPLY: u8 = 8;
+
+/// Request input: either a raw `[C, H, W]` tensor, or a deterministic
+/// probe index the replica expands itself (keeps loadgen frames tiny).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestInput {
+    /// Deterministic probe image index (see [`probe_image`]).
+    Probe(u32),
+    /// Literal input tensor.
+    Tensor(Tensor),
+}
+
+/// Typed failure carried by an `ErrorReply` — one of the terminal
+/// states a request can reach without producing logits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Shed at admission: the cross-process backpressure queue was full.
+    Overloaded,
+    /// The per-request deadline elapsed (queueing or execution).
+    DeadlineExceeded,
+    /// The retry budget ran out (e.g. the serving replica kept dying).
+    FailedAfterRetries,
+    /// The request addressed a task index with no plan.
+    UnknownTask,
+    /// The connection sent a frame the protocol could not parse.
+    BadFrame,
+    /// No replica is available (all permanently dead, or draining).
+    Unavailable,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::Overloaded => 0,
+            ErrorCode::DeadlineExceeded => 1,
+            ErrorCode::FailedAfterRetries => 2,
+            ErrorCode::UnknownTask => 3,
+            ErrorCode::BadFrame => 4,
+            ErrorCode::Unavailable => 5,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, ProtoError> {
+        Ok(match v {
+            0 => ErrorCode::Overloaded,
+            1 => ErrorCode::DeadlineExceeded,
+            2 => ErrorCode::FailedAfterRetries,
+            3 => ErrorCode::UnknownTask,
+            4 => ErrorCode::BadFrame,
+            5 => ErrorCode::Unavailable,
+            other => return Err(malformed(format!("unknown error code {other}"))),
+        })
+    }
+
+    /// Stable lower-snake name (metrics labels, loadgen reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::FailedAfterRetries => "failed_after_retries",
+            ErrorCode::UnknownTask => "unknown_task",
+            ErrorCode::BadFrame => "bad_frame",
+            ErrorCode::Unavailable => "unavailable",
+        }
+    }
+}
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// One inference request (client → front door, front door → replica).
+    Request {
+        /// Caller-chosen id echoed on the terminal frame.
+        id: u64,
+        /// Task (threshold-set) index.
+        task: u32,
+        /// Remaining deadline budget in milliseconds (0 = use the
+        /// server's default).
+        deadline_ms: u32,
+        /// The input.
+        input: RequestInput,
+    },
+    /// Terminal: logits for `id`.
+    Reply {
+        /// The request id.
+        id: u64,
+        /// `true` when served by the exact parent path.
+        degraded: bool,
+        /// Classifier logits.
+        logits: Vec<f32>,
+    },
+    /// Terminal: typed failure for `id` ([`NO_REQUEST_ID`] when the
+    /// request was too malformed to carry one).
+    ErrorReply {
+        /// The request id.
+        id: u64,
+        /// Failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Replica → front door liveness beat, emitted between layers while
+    /// a request executes (a wedged replica stops beating).
+    Heartbeat {
+        /// Monotonic per-replica sequence number.
+        seq: u64,
+    },
+    /// Replica → front door: image loaded, plans bound, serving.
+    Ready {
+        /// Replica index (for logs).
+        replica: u32,
+        /// Number of task plans loaded.
+        tasks: u32,
+    },
+    /// Graceful drain: front door → replica on shutdown; client → front
+    /// door to request a drain-and-exit.
+    Shutdown,
+    /// Client → front door: ask for a counters snapshot.
+    StatsRequest,
+    /// Front door → client: JSON counters snapshot.
+    StatsReply {
+        /// JSON object of counters/gauges.
+        json: String,
+    },
+}
+
+/// Decode/transport failure.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The peer closed the stream at a frame boundary (clean EOF).
+    Closed,
+    /// The bytes could not be parsed as a frame (with the reason).
+    Malformed(String),
+    /// The length field exceeded [`MAX_FRAME_PAYLOAD`].
+    TooLarge(u64),
+    /// Underlying transport error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Closed => write!(f, "connection closed"),
+            ProtoError::Malformed(why) => write!(f, "malformed frame: {why}"),
+            ProtoError::TooLarge(len) => {
+                write!(f, "frame payload of {len} bytes exceeds {MAX_FRAME_PAYLOAD}")
+            }
+            ProtoError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn malformed(why: impl Into<String>) -> ProtoError {
+    ProtoError::Malformed(why.into())
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn encode_payload(frame: &Frame) -> (u8, Vec<u8>) {
+    let mut p = Vec::new();
+    let kind = match frame {
+        Frame::Request { id, task, deadline_ms, input } => {
+            put_u64(&mut p, *id);
+            put_u32(&mut p, *task);
+            put_u32(&mut p, *deadline_ms);
+            match input {
+                RequestInput::Probe(i) => {
+                    p.push(0);
+                    put_u32(&mut p, *i);
+                }
+                RequestInput::Tensor(t) => {
+                    p.push(1);
+                    p.push(t.dims().len() as u8);
+                    for &d in t.dims() {
+                        put_u32(&mut p, d as u32);
+                    }
+                    for &v in t.as_slice() {
+                        put_u32(&mut p, v.to_bits());
+                    }
+                }
+            }
+            KIND_REQUEST
+        }
+        Frame::Reply { id, degraded, logits } => {
+            put_u64(&mut p, *id);
+            p.push(u8::from(*degraded));
+            put_u32(&mut p, logits.len() as u32);
+            for &v in logits {
+                put_u32(&mut p, v.to_bits());
+            }
+            KIND_REPLY
+        }
+        Frame::ErrorReply { id, code, message } => {
+            put_u64(&mut p, *id);
+            p.push(code.to_u8());
+            let msg = message.as_bytes();
+            let n = msg.len().min(u16::MAX as usize);
+            put_u16(&mut p, n as u16);
+            p.extend_from_slice(&msg[..n]);
+            KIND_ERROR
+        }
+        Frame::Heartbeat { seq } => {
+            put_u64(&mut p, *seq);
+            KIND_HEARTBEAT
+        }
+        Frame::Ready { replica, tasks } => {
+            put_u32(&mut p, *replica);
+            put_u32(&mut p, *tasks);
+            KIND_READY
+        }
+        Frame::Shutdown => KIND_SHUTDOWN,
+        Frame::StatsRequest => KIND_STATS_REQUEST,
+        Frame::StatsReply { json } => {
+            let b = json.as_bytes();
+            put_u32(&mut p, b.len() as u32);
+            p.extend_from_slice(b);
+            KIND_STATS_REPLY
+        }
+    };
+    (kind, p)
+}
+
+/// Writes one frame (header + payload) and flushes.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error (a closed pipe/socket surfaces
+/// here, which callers treat as peer death).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
+    let (kind, payload) = encode_payload(frame);
+    debug_assert!(payload.len() <= MAX_FRAME_PAYLOAD, "oversized outbound frame");
+    let mut buf = Vec::with_capacity(5 + payload.len());
+    buf.push(kind);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&payload);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+/// A byte-slice cursor with typed shortfall errors.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], ProtoError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| malformed(format!("truncated payload reading {what}")))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, ProtoError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn done(&self, kind: &str) -> Result<(), ProtoError> {
+        if self.pos != self.buf.len() {
+            return Err(malformed(format!(
+                "{} trailing byte(s) after {kind} payload",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn decode_f32s(c: &mut Cursor<'_>, n: usize, what: &str) -> Result<Vec<f32>, ProtoError> {
+    if n > MAX_ELEMS {
+        return Err(malformed(format!("{what} count {n} exceeds {MAX_ELEMS}")));
+    }
+    let raw = c.take(n * 4, what)?;
+    Ok(raw
+        .chunks_exact(4)
+        .map(|b| f32::from_bits(u32::from_le_bytes(b.try_into().unwrap())))
+        .collect())
+}
+
+fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
+    let mut c = Cursor::new(payload);
+    let frame = match kind {
+        KIND_REQUEST => {
+            let id = c.u64("request id")?;
+            let task = c.u32("task id")?;
+            let deadline_ms = c.u32("deadline")?;
+            let input = match c.u8("input kind")? {
+                0 => RequestInput::Probe(c.u32("probe index")?),
+                1 => {
+                    let ndim = c.u8("tensor rank")? as usize;
+                    if ndim == 0 || ndim > MAX_NDIM {
+                        return Err(malformed(format!("tensor rank {ndim} out of range")));
+                    }
+                    let mut dims = Vec::with_capacity(ndim);
+                    let mut elems = 1usize;
+                    for _ in 0..ndim {
+                        let d = c.u32("tensor dim")? as usize;
+                        elems = elems
+                            .checked_mul(d)
+                            .filter(|&e| e <= MAX_ELEMS)
+                            .ok_or_else(|| malformed("tensor element count overflow"))?;
+                        dims.push(d);
+                    }
+                    let data = decode_f32s(&mut c, elems, "tensor data")?;
+                    let tensor = Tensor::from_vec(data, &dims)
+                        .map_err(|e| malformed(format!("tensor payload: {e}")))?;
+                    RequestInput::Tensor(tensor)
+                }
+                other => return Err(malformed(format!("unknown input kind {other}"))),
+            };
+            c.done("request")?;
+            Frame::Request { id, task, deadline_ms, input }
+        }
+        KIND_REPLY => {
+            let id = c.u64("reply id")?;
+            let degraded = match c.u8("degraded flag")? {
+                0 => false,
+                1 => true,
+                other => return Err(malformed(format!("bad degraded flag {other}"))),
+            };
+            let n = c.u32("logit count")? as usize;
+            let logits = decode_f32s(&mut c, n, "logits")?;
+            c.done("reply")?;
+            Frame::Reply { id, degraded, logits }
+        }
+        KIND_ERROR => {
+            let id = c.u64("error id")?;
+            let code = ErrorCode::from_u8(c.u8("error code")?)?;
+            let n = c.u16("message length")? as usize;
+            let raw = c.take(n, "error message")?;
+            let message = String::from_utf8_lossy(raw).into_owned();
+            c.done("error reply")?;
+            Frame::ErrorReply { id, code, message }
+        }
+        KIND_HEARTBEAT => {
+            let seq = c.u64("heartbeat seq")?;
+            c.done("heartbeat")?;
+            Frame::Heartbeat { seq }
+        }
+        KIND_READY => {
+            let replica = c.u32("replica index")?;
+            let tasks = c.u32("task count")?;
+            c.done("ready")?;
+            Frame::Ready { replica, tasks }
+        }
+        KIND_SHUTDOWN => {
+            c.done("shutdown")?;
+            Frame::Shutdown
+        }
+        KIND_STATS_REQUEST => {
+            c.done("stats request")?;
+            Frame::StatsRequest
+        }
+        KIND_STATS_REPLY => {
+            let n = c.u32("stats length")? as usize;
+            let raw = c.take(n, "stats json")?;
+            let json = String::from_utf8_lossy(raw).into_owned();
+            c.done("stats reply")?;
+            Frame::StatsReply { json }
+        }
+        other => return Err(malformed(format!("unknown frame kind {other}"))),
+    };
+    Ok(frame)
+}
+
+/// Incremental frame decoder for sockets with read timeouts.
+///
+/// [`poll_frame`](Self::poll_frame) buffers whatever bytes are
+/// available and returns `Ok(None)` on `WouldBlock`/`TimedOut`,
+/// preserving partial frames across polls — TCP fragmentation and slow
+/// writers can never desynchronize the stream.
+#[derive(Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Header fields once ≥ 5 bytes are buffered, with the length field
+    /// validated *before* any payload is read.
+    fn header(&self) -> Option<Result<(u8, usize), ProtoError>> {
+        if self.buf.len() < 5 {
+            return None;
+        }
+        let kind = self.buf[0];
+        let len = u32::from_le_bytes(self.buf[1..5].try_into().unwrap()) as usize;
+        if len > MAX_FRAME_PAYLOAD {
+            return Some(Err(ProtoError::TooLarge(len as u64)));
+        }
+        Some(Ok((kind, len)))
+    }
+
+    /// Reads until one full frame is buffered, the reader would block,
+    /// or the stream errors.
+    ///
+    /// Returns `Ok(Some(frame))` for a complete frame, `Ok(None)` when
+    /// the underlying reader timed out mid-frame (call again later).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Closed`] on EOF at a frame boundary,
+    /// [`ProtoError::Malformed`] on EOF mid-frame or undecodable bytes,
+    /// [`ProtoError::TooLarge`] on a hostile length field.
+    pub fn poll_frame(&mut self, r: &mut impl Read) -> Result<Option<Frame>, ProtoError> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some(h) = self.header() {
+                let (kind, len) = h?;
+                if self.buf.len() >= 5 + len {
+                    let frame = decode_payload(kind, &self.buf[5..5 + len])?;
+                    self.buf.drain(..5 + len);
+                    return Ok(Some(frame));
+                }
+            }
+            match r.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Err(ProtoError::Closed)
+                    } else {
+                        Err(malformed("connection closed mid-frame"))
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(None);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(ProtoError::Io(e)),
+            }
+        }
+    }
+}
+
+/// Blocking frame read for pipes and sockets without read timeouts.
+///
+/// Reads exactly one frame's bytes — never more — so repeated calls on
+/// the same stream see every frame (unlike a throwaway [`FrameReader`],
+/// whose internal buffer would swallow whatever followed).
+///
+/// # Errors
+///
+/// [`ProtoError::Closed`] on EOF at a frame boundary,
+/// [`ProtoError::Malformed`] on EOF mid-frame or undecodable bytes,
+/// [`ProtoError::TooLarge`] on a hostile length field,
+/// [`ProtoError::Io`] on transport errors (including a read timeout,
+/// if the caller set one).
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, ProtoError> {
+    // First byte separately: EOF here is a clean close, EOF anywhere
+    // later is a truncated frame.
+    let mut header = [0u8; 5];
+    loop {
+        match r.read(&mut header[..1]) {
+            Ok(0) => return Err(ProtoError::Closed),
+            Ok(_) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ProtoError::Io(e)),
+        }
+    }
+    read_exact_or_malformed(r, &mut header[1..])?;
+    let kind = header[0];
+    let len = u32::from_le_bytes(header[1..5].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(ProtoError::TooLarge(len as u64));
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_or_malformed(r, &mut payload)?;
+    decode_payload(kind, &payload)
+}
+
+fn read_exact_or_malformed(r: &mut impl Read, buf: &mut [u8]) -> Result<(), ProtoError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            malformed("connection closed mid-frame")
+        } else {
+            ProtoError::Io(e)
+        }
+    })
+}
+
+/// Deterministic probe input `i`: the `[3, 32, 32]` image generator the
+/// CLI batch/serve drills use, shared so replicas expand
+/// [`RequestInput::Probe`] to bit-identical tensors everywhere.
+pub fn probe_image(i: usize) -> Tensor {
+    Tensor::from_fn(&[3, 32, 32], move |j| (((j + i * 97) % 17) as f32 - 8.0) * 0.09)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).unwrap();
+        let got = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(got, frame);
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        round_trip(Frame::Request {
+            id: 7,
+            task: 2,
+            deadline_ms: 1500,
+            input: RequestInput::Probe(41),
+        });
+        round_trip(Frame::Request {
+            id: u64::MAX - 1,
+            task: 0,
+            deadline_ms: 0,
+            input: RequestInput::Tensor(probe_image(3)),
+        });
+        round_trip(Frame::Reply { id: 9, degraded: true, logits: vec![0.5, -1.25, 3.0] });
+        round_trip(Frame::ErrorReply {
+            id: NO_REQUEST_ID,
+            code: ErrorCode::BadFrame,
+            message: "nope".into(),
+        });
+        round_trip(Frame::Heartbeat { seq: 123 });
+        round_trip(Frame::Ready { replica: 1, tasks: 3 });
+        round_trip(Frame::Shutdown);
+        round_trip(Frame::StatsRequest);
+        round_trip(Frame::StatsReply { json: "{\"a\":1}".into() });
+    }
+
+    #[test]
+    fn error_codes_round_trip() {
+        for code in [
+            ErrorCode::Overloaded,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::FailedAfterRetries,
+            ErrorCode::UnknownTask,
+            ErrorCode::BadFrame,
+            ErrorCode::Unavailable,
+        ] {
+            assert_eq!(ErrorCode::from_u8(code.to_u8()).unwrap(), code);
+            assert!(!code.name().is_empty());
+        }
+        assert!(ErrorCode::from_u8(200).is_err());
+    }
+
+    #[test]
+    fn truncated_header_is_malformed_and_empty_is_closed() {
+        assert!(matches!(read_frame(&mut [].as_slice()), Err(ProtoError::Closed)));
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::Heartbeat { seq: 1 }).unwrap();
+        for cut in 1..buf.len() {
+            let err = read_frame(&mut &buf[..cut]).unwrap_err();
+            assert!(matches!(err, ProtoError::Malformed(_)), "cut={cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut buf = vec![KIND_HEARTBEAT];
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 64]);
+        assert!(matches!(read_frame(&mut buf.as_slice()), Err(ProtoError::TooLarge(_))));
+    }
+
+    #[test]
+    fn unknown_kind_and_garbage_payload_are_malformed() {
+        let mut buf = vec![99u8];
+        buf.extend_from_slice(&4u32.to_le_bytes());
+        buf.extend_from_slice(&[1, 2, 3, 4]);
+        assert!(matches!(read_frame(&mut buf.as_slice()), Err(ProtoError::Malformed(_))));
+
+        // a request whose payload is junk
+        let mut buf = vec![KIND_REQUEST];
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&[0xde, 0xad, 0xbe]);
+        assert!(matches!(read_frame(&mut buf.as_slice()), Err(ProtoError::Malformed(_))));
+
+        // trailing bytes after a valid shutdown payload
+        let mut buf = vec![KIND_SHUTDOWN];
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&[0, 0]);
+        assert!(matches!(read_frame(&mut buf.as_slice()), Err(ProtoError::Malformed(_))));
+    }
+
+    #[test]
+    fn tensor_rank_and_element_caps_enforced() {
+        // rank 0
+        let mut p = Vec::new();
+        put_u64(&mut p, 1);
+        put_u32(&mut p, 0);
+        put_u32(&mut p, 0);
+        p.push(1); // tensor input
+        p.push(0); // ndim 0
+        assert!(decode_payload(KIND_REQUEST, &p).is_err());
+
+        // dims whose product overflows the element cap
+        let mut p = Vec::new();
+        put_u64(&mut p, 1);
+        put_u32(&mut p, 0);
+        put_u32(&mut p, 0);
+        p.push(1);
+        p.push(2);
+        put_u32(&mut p, u32::MAX);
+        put_u32(&mut p, u32::MAX);
+        assert!(decode_payload(KIND_REQUEST, &p).is_err());
+    }
+
+    #[test]
+    fn frame_reader_survives_byte_at_a_time_delivery() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Reply { id: 5, degraded: false, logits: vec![1.0] })
+            .unwrap();
+        write_frame(&mut wire, &Frame::Heartbeat { seq: 2 }).unwrap();
+
+        /// Yields one byte per read, then WouldBlock forever.
+        struct Trickle {
+            data: Vec<u8>,
+            pos: usize,
+        }
+        impl Read for Trickle {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                if self.pos >= self.data.len() {
+                    return Err(std::io::ErrorKind::WouldBlock.into());
+                }
+                out[0] = self.data[self.pos];
+                self.pos += 1;
+                Ok(1)
+            }
+        }
+
+        let mut r = Trickle { data: wire, pos: 0 };
+        let mut reader = FrameReader::new();
+        let mut frames = Vec::new();
+        loop {
+            match reader.poll_frame(&mut r) {
+                Ok(Some(f)) => frames.push(f),
+                Ok(None) => break,
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert_eq!(frames.len(), 2);
+        assert!(matches!(frames[0], Frame::Reply { id: 5, .. }));
+        assert!(matches!(frames[1], Frame::Heartbeat { seq: 2 }));
+    }
+
+    #[test]
+    fn probe_image_matches_batch_generator() {
+        let t = probe_image(4);
+        assert_eq!(t.dims(), &[3, 32, 32]);
+        let j = 100usize;
+        assert_eq!(t.as_slice()[j], (((j + 4 * 97) % 17) as f32 - 8.0) * 0.09);
+    }
+}

@@ -80,6 +80,12 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Non-blocking pop for shutdown drains: returns the next item if
+    /// one is queued, `None` otherwise (regardless of the closed flag).
+    pub fn try_pop(&self) -> Option<T> {
+        self.state.lock().unwrap().items.pop_front()
+    }
+
     /// Stops admission; blocked `pop`s return `None` once the backlog
     /// is drained. Requeues still land (see [`requeue`](Self::requeue)).
     pub fn close(&self) {

@@ -1,0 +1,668 @@
+//! Replica workers: the process-level isolation unit behind the front
+//! door.
+//!
+//! Two halves live here. [`run_replica_worker`] is the *child* side — a
+//! single-threaded loop speaking [`crate::proto`] frames over
+//! stdin/stdout, executing requests against a read-only packed image
+//! and emitting [`Frame::Heartbeat`]s from the executor's between-layer
+//! guard (so a wedged request handler stops beating and the supervisor
+//! can declare it dead). [`ReplicaProc`] is the *supervisor* side — a
+//! spawned [`std::process::Command`] child with piped stdio, a reader
+//! thread turning its stdout into a frame channel (the channel closing
+//! is the death signal), and a stderr thread republishing the child's
+//! log lines through the `MIME_LOG` leveled logger under a
+//! `replica=<n>` key so chaos failures are debuggable from one stream.
+
+use crate::proto::{read_frame, write_frame, ErrorCode, Frame, ProtoError, RequestInput};
+use mime_core::MimeError;
+use mime_runtime::{BoundNetwork, ComputePath, HardwareExecutor, SparseDispatch};
+use mime_systolic::ArrayConfig;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Replica lifecycle states, as the supervisor sees them (logged on
+/// every transition; see DESIGN.md §10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaState {
+    /// Process launched, waiting for its [`Frame::Ready`].
+    Spawning,
+    /// Ready received; serving requests.
+    Ready,
+    /// In-flight request with no heartbeat inside the liveness window —
+    /// presumed wedged, about to be killed.
+    Suspect,
+    /// Process exited (or was killed); respawn pending.
+    Dead,
+    /// Respawn delayed by backoff or an open per-replica breaker.
+    Cooldown,
+}
+
+impl ReplicaState {
+    /// Lower-case name for logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplicaState::Spawning => "spawning",
+            ReplicaState::Ready => "ready",
+            ReplicaState::Suspect => "suspect",
+            ReplicaState::Dead => "dead",
+            ReplicaState::Cooldown => "cooldown",
+        }
+    }
+}
+
+/// Process-level fault injection inside the replica worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplicaFault {
+    /// No injection.
+    #[default]
+    None,
+    /// `std::process::abort()` — uncatchable death, as a segfault or
+    /// OOM-kill would look to the supervisor.
+    Abort,
+    /// Stop responding *and* stop heartbeating mid-request — the wedge
+    /// the liveness deadline exists to catch.
+    Hang,
+    /// Serve, slowly: per-layer sleeps with heartbeats still flowing,
+    /// so the replica stays "alive" while requests blow deadlines.
+    Slow,
+}
+
+/// Knobs for the child-side worker loop.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicaWorkerConfig {
+    /// This replica's index (heartbeats, Ready frame, logs).
+    pub replica: u32,
+    /// Injected fault mode.
+    pub fault: ReplicaFault,
+    /// Inject on every `fault_every`-th request this replica serves
+    /// (its local 1-based counter; 0 disables injection).
+    pub fault_every: usize,
+    /// Target heartbeat interval while a request executes.
+    pub heartbeat: Duration,
+    /// Deadline budget applied when a request arrives with
+    /// `deadline_ms == 0`.
+    pub default_deadline: Duration,
+    /// Per-layer sleep under [`ReplicaFault::Slow`].
+    pub slow_layer: Duration,
+    /// Zero-gating on the functional array.
+    pub zero_skip: bool,
+    /// Compute path for the executor replica.
+    pub path: ComputePath,
+    /// Sparse GEMM dispatch policy.
+    pub dispatch: SparseDispatch,
+}
+
+impl Default for ReplicaWorkerConfig {
+    fn default() -> Self {
+        ReplicaWorkerConfig {
+            replica: 0,
+            fault: ReplicaFault::None,
+            fault_every: 0,
+            heartbeat: Duration::from_millis(250),
+            default_deadline: Duration::from_millis(5000),
+            slow_layer: Duration::from_millis(150),
+            zero_skip: true,
+            path: ComputePath::Software,
+            dispatch: SparseDispatch::Auto,
+        }
+    }
+}
+
+/// The child-side worker loop: announce [`Frame::Ready`], then serve
+/// requests from `input` until a [`Frame::Shutdown`] or clean EOF.
+///
+/// Every request receives exactly one terminal frame. Panics are *not*
+/// caught here — in multi-process serving the process is the isolation
+/// unit, and the supervisor's requeue path is the recovery route.
+///
+/// # Errors
+///
+/// Returns an error on a malformed control stream or a broken stdout
+/// pipe; the CLI surfaces it and exits non-zero (which the supervisor
+/// sees as a death).
+pub fn run_replica_worker(
+    plans: &[BoundNetwork],
+    hw: ArrayConfig,
+    cfg: ReplicaWorkerConfig,
+    input: &mut impl Read,
+    output: &mut impl Write,
+) -> Result<(), ProtoError> {
+    let parents: Vec<BoundNetwork> = plans.iter().map(|p| p.strip_thresholds()).collect();
+    let mut exec = HardwareExecutor::with_options(hw, cfg.path, cfg.dispatch);
+    let mut served = 0usize;
+    let mut heartbeat_seq = 0u64;
+
+    write_frame(output, &Frame::Ready { replica: cfg.replica, tasks: plans.len() as u32 })
+        .map_err(ProtoError::Io)?;
+    mime_obs::info!("serve.replica", "replica ready", replica = cfg.replica);
+
+    loop {
+        let frame = match read_frame(input) {
+            Ok(frame) => frame,
+            Err(ProtoError::Closed) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let (id, task, deadline_ms, input_spec) = match frame {
+            Frame::Shutdown => {
+                mime_obs::info!(
+                    "serve.replica",
+                    "shutdown frame; draining",
+                    replica = cfg.replica
+                );
+                return Ok(());
+            }
+            Frame::Request { id, task, deadline_ms, input } => {
+                (id, task, deadline_ms, input)
+            }
+            other => {
+                return Err(ProtoError::Malformed(format!(
+                    "unexpected frame on replica control pipe: {other:?}"
+                )));
+            }
+        };
+
+        served += 1;
+        let inject = cfg.fault_every > 0 && served.is_multiple_of(cfg.fault_every);
+        if inject && cfg.fault == ReplicaFault::Abort {
+            mime_obs::warn!(
+                "serve.replica",
+                "injected abort",
+                replica = cfg.replica,
+                request = id
+            );
+            std::process::abort();
+        }
+
+        let reply = serve_one(
+            &mut exec,
+            plans,
+            &parents,
+            &cfg,
+            id,
+            task,
+            deadline_ms,
+            input_spec,
+            if inject { cfg.fault } else { ReplicaFault::None },
+            &mut heartbeat_seq,
+            output,
+        )?;
+        write_frame(output, &reply).map_err(ProtoError::Io)?;
+    }
+}
+
+/// Drives one request to its terminal frame, emitting heartbeats from
+/// the between-layer guard along the way.
+#[allow(clippy::too_many_arguments)]
+fn serve_one(
+    exec: &mut HardwareExecutor,
+    plans: &[BoundNetwork],
+    parents: &[BoundNetwork],
+    cfg: &ReplicaWorkerConfig,
+    id: u64,
+    task: u32,
+    deadline_ms: u32,
+    input: RequestInput,
+    fault: ReplicaFault,
+    heartbeat_seq: &mut u64,
+    output: &mut impl Write,
+) -> Result<Frame, ProtoError> {
+    let Some(plan) = plans.get(task as usize) else {
+        return Ok(Frame::ErrorReply {
+            id,
+            code: ErrorCode::UnknownTask,
+            message: format!("task {task} of {}", plans.len()),
+        });
+    };
+    let image = match input {
+        RequestInput::Probe(i) => crate::proto::probe_image(i as usize),
+        RequestInput::Tensor(t) => t,
+    };
+    let budget = if deadline_ms == 0 {
+        cfg.default_deadline
+    } else {
+        Duration::from_millis(u64::from(deadline_ms))
+    };
+    let started = Instant::now();
+    let mut last_beat = started;
+
+    // The guard is the liveness story: heartbeats are emitted *here*,
+    // between layers, so a hung handler (ReplicaFault::Hang below, or a
+    // real wedge) stops beating and trips the supervisor's liveness
+    // deadline instead of ticking along from a side thread.
+    macro_rules! guard {
+        () => {
+            &mut |_step: usize| {
+                match fault {
+                    ReplicaFault::Hang => loop {
+                        std::thread::sleep(Duration::from_secs(3600));
+                    },
+                    ReplicaFault::Slow => std::thread::sleep(cfg.slow_layer),
+                    _ => {}
+                }
+                if last_beat.elapsed() >= cfg.heartbeat / 2 {
+                    *heartbeat_seq += 1;
+                    write_frame(output, &Frame::Heartbeat { seq: *heartbeat_seq })
+                        .map_err(|e| MimeError::io("replica control pipe", &e))?;
+                    last_beat = Instant::now();
+                }
+                let elapsed = started.elapsed();
+                if elapsed > budget {
+                    return Err(MimeError::DeadlineExceeded {
+                        task: format!("task{task}"),
+                        over_ms: (elapsed - budget).as_millis() as u64,
+                    });
+                }
+                Ok(())
+            }
+        };
+    }
+
+    let primary = (|| {
+        plan.validate_thresholds()?;
+        exec.run_image_guarded(plan, &image, cfg.zero_skip, guard!())
+    })();
+    Ok(match primary {
+        Ok(logits) => Frame::Reply { id, degraded: false, logits },
+        Err(MimeError::DeadlineExceeded { over_ms, .. }) => Frame::ErrorReply {
+            id,
+            code: ErrorCode::DeadlineExceeded,
+            message: format!("{over_ms}ms over budget"),
+        },
+        Err(primary_err) => {
+            // Permanent primary-path failure: the exact parent path is
+            // the gentler route, exactly as the in-process server
+            // degrades (PR 1's fallback).
+            mime_obs::warn!(
+                "serve.replica",
+                "primary path failed; serving parent fallback",
+                replica = cfg.replica,
+                request = id,
+                error = primary_err
+            );
+            match exec.run_image_guarded(
+                &parents[task as usize],
+                &image,
+                cfg.zero_skip,
+                guard!(),
+            ) {
+                Ok(logits) => Frame::Reply { id, degraded: true, logits },
+                Err(MimeError::DeadlineExceeded { over_ms, .. }) => Frame::ErrorReply {
+                    id,
+                    code: ErrorCode::DeadlineExceeded,
+                    message: format!("{over_ms}ms over budget"),
+                },
+                Err(parent_err) => Frame::ErrorReply {
+                    id,
+                    code: ErrorCode::FailedAfterRetries,
+                    message: format!("primary: {primary_err}; parent: {parent_err}"),
+                },
+            }
+        }
+    })
+}
+
+/// A spawned replica process as the supervisor holds it: piped stdin
+/// for dispatch, a frame channel fed by a stdout reader thread (the
+/// channel disconnecting *is* the death signal), and a stderr thread
+/// republishing the child's log lines under `replica=<n>`.
+pub struct ReplicaProc {
+    /// Replica slot index.
+    pub index: u32,
+    child: Child,
+    stdin: ChildStdin,
+    frames: mpsc::Receiver<Frame>,
+}
+
+impl ReplicaProc {
+    /// Spawns `argv` with piped stdio and blocks until the child's
+    /// [`Frame::Ready`] arrives (at most `spawn_timeout`). On timeout
+    /// or early death the child is killed and reaped.
+    ///
+    /// # Errors
+    ///
+    /// Any spawn failure, plus ready-timeout / death-before-ready as
+    /// `io::Error`s, so the caller's restart budget sees them all the
+    /// same way.
+    pub fn spawn(
+        index: u32,
+        argv: &[String],
+        spawn_timeout: Duration,
+    ) -> std::io::Result<ReplicaProc> {
+        let (program, args) = argv.split_first().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "empty replica argv")
+        })?;
+        let mut child = Command::new(program)
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let mut stdout = child.stdout.take().expect("piped stdout");
+        let stderr = child.stderr.take().expect("piped stderr");
+
+        let (tx, frames) = mpsc::channel::<Frame>();
+        std::thread::spawn(move || {
+            // Reader exits (dropping tx) on EOF or any stream error —
+            // either way the supervisor sees a disconnected channel.
+            while let Ok(frame) = read_frame(&mut stdout) {
+                if tx.send(frame).is_err() {
+                    return;
+                }
+            }
+        });
+        std::thread::spawn(move || relog_stderr(index, stderr));
+
+        let mut proc = ReplicaProc { index, child, stdin, frames };
+        match proc.frames.recv_timeout(spawn_timeout) {
+            Ok(Frame::Ready { tasks, .. }) => {
+                mime_obs::info!(
+                    "serve.frontdoor",
+                    "replica ready",
+                    replica = index,
+                    tasks = tasks
+                );
+                Ok(proc)
+            }
+            Ok(other) => {
+                proc.kill_and_reap();
+                Err(std::io::Error::other(format!(
+                    "replica {index} sent {other:?} before Ready"
+                )))
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                proc.kill_and_reap();
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    format!("replica {index} not ready within {spawn_timeout:?}"),
+                ))
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                let status = proc.kill_and_reap();
+                Err(std::io::Error::other(format!(
+                    "replica {index} died before Ready (status {status:?})"
+                )))
+            }
+        }
+    }
+
+    /// Writes one frame to the child's stdin.
+    ///
+    /// # Errors
+    ///
+    /// A broken pipe here means the child died; the caller routes
+    /// through its death path.
+    pub fn send(&mut self, frame: &Frame) -> std::io::Result<()> {
+        write_frame(&mut self.stdin, frame)
+    }
+
+    /// Waits up to `timeout` for the next frame from the child.
+    /// `Err(Disconnected)` means the child's stdout closed — death.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the channel's timeout/disconnect verbatim.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Frame, mpsc::RecvTimeoutError> {
+        self.frames.recv_timeout(timeout)
+    }
+
+    /// Whether the process has exited (non-blocking).
+    pub fn is_alive(&mut self) -> bool {
+        matches!(self.child.try_wait(), Ok(None))
+    }
+
+    /// SIGKILLs (if still running) and reaps the child, returning its
+    /// exit status when one could be collected.
+    pub fn kill_and_reap(&mut self) -> Option<std::process::ExitStatus> {
+        let _ = self.child.kill();
+        self.child.wait().ok()
+    }
+
+    /// Graceful stop for drain: send [`Frame::Shutdown`], give the
+    /// child `grace` to exit on its own, then kill whatever is left.
+    pub fn shutdown(&mut self, grace: Duration) {
+        let _ = self.send(&Frame::Shutdown);
+        let deadline = Instant::now() + grace;
+        while Instant::now() < deadline {
+            if !self.is_alive() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.kill_and_reap();
+    }
+}
+
+impl Drop for ReplicaProc {
+    fn drop(&mut self) {
+        // Never leak a child process, whatever path dropped us.
+        self.kill_and_reap();
+    }
+}
+
+/// Republishes one replica's stderr through the `MIME_LOG` logger with
+/// a `replica=<n>` key. Lines already emitted by the child's own
+/// structured logger keep their level (matched on the `level=` token);
+/// anything else — panic messages, libc complaints — surfaces at warn.
+fn relog_stderr(index: u32, stderr: impl Read) {
+    use mime_obs::log::Level;
+    for line in BufReader::new(stderr).lines() {
+        let Ok(line) = line else { return };
+        if line.is_empty() {
+            continue;
+        }
+        let level = ["error", "warn", "info", "debug", "trace"]
+            .iter()
+            .find(|l| line.contains(&format!("level={l}")))
+            .and_then(|l| Level::parse(l).ok().flatten())
+            .unwrap_or(Level::Warn);
+        mime_obs::log::log(level, "serve.replica", &line, &[("replica", &index)]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mime_core::faults::FaultInjector;
+    use mime_core::{MimeNetwork, MultiTaskModel};
+    use mime_nn::{build_network, vgg16_arch};
+    use mime_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_plans(tasks: usize) -> (Vec<BoundNetwork>, ArrayConfig) {
+        let arch = vgg16_arch(0.0625, 32, 3, 4, 8);
+        let mut rng = StdRng::seed_from_u64(7);
+        let parent = build_network(&arch, &mut rng);
+        let net = MimeNetwork::from_trained(&arch, &parent, 0.02).unwrap();
+        let mut model = MultiTaskModel::new(net);
+        for i in 0..tasks {
+            let banks = model
+                .network()
+                .export_thresholds()
+                .into_iter()
+                .map(|t| t.map(|_| 0.02 + 0.05 * i as f32))
+                .collect();
+            model.register_task(format!("task{i}"), banks).unwrap();
+        }
+        let plans = (0..tasks)
+            .map(|i| {
+                model.activate(&format!("task{i}")).unwrap();
+                BoundNetwork::from_mime(model.network()).unwrap()
+            })
+            .collect();
+        (plans, ArrayConfig::default())
+    }
+
+    /// A plan whose threshold bank fails validation (NaN-poisoned).
+    fn poisoned_plan() -> (BoundNetwork, ArrayConfig) {
+        let arch = vgg16_arch(0.0625, 32, 3, 4, 8);
+        let mut rng = StdRng::seed_from_u64(7);
+        let parent = build_network(&arch, &mut rng);
+        let mut net = MimeNetwork::from_trained(&arch, &parent, 0.02).unwrap();
+        let mut banks = net.export_thresholds();
+        FaultInjector::new(7).poison_tensor(&mut banks[0], 2);
+        net.import_thresholds(&banks).unwrap();
+        (BoundNetwork::from_mime(&net).unwrap(), ArrayConfig::default())
+    }
+
+    fn roundtrip_worker(
+        plans: &[BoundNetwork],
+        hw: ArrayConfig,
+        cfg: ReplicaWorkerConfig,
+        inbound: &[Frame],
+    ) -> Vec<Frame> {
+        let mut input = Vec::new();
+        for f in inbound {
+            write_frame(&mut input, f).unwrap();
+        }
+        let mut output = Vec::new();
+        run_replica_worker(plans, hw, cfg, &mut input.as_slice(), &mut output).unwrap();
+        let mut frames = Vec::new();
+        let mut cursor = output.as_slice();
+        loop {
+            match read_frame(&mut cursor) {
+                Ok(f) => frames.push(f),
+                Err(ProtoError::Closed) => return frames,
+                Err(e) => panic!("{e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn worker_serves_requests_then_drains_on_shutdown() {
+        let (plans, hw) = tiny_plans(2);
+        let cfg = ReplicaWorkerConfig::default();
+        let frames = roundtrip_worker(
+            &plans,
+            hw,
+            cfg,
+            &[
+                Frame::Request {
+                    id: 1,
+                    task: 0,
+                    deadline_ms: 0,
+                    input: RequestInput::Probe(0),
+                },
+                Frame::Request {
+                    id: 2,
+                    task: 1,
+                    deadline_ms: 0,
+                    input: RequestInput::Probe(1),
+                },
+                Frame::Shutdown,
+            ],
+        );
+        assert!(matches!(frames[0], Frame::Ready { tasks: 2, .. }));
+        let replies: Vec<&Frame> = frames
+            .iter()
+            .filter(|f| matches!(f, Frame::Reply { .. } | Frame::ErrorReply { .. }))
+            .collect();
+        assert_eq!(replies.len(), 2, "one terminal frame per request: {frames:?}");
+        for (reply, want_id) in replies.iter().zip([1u64, 2]) {
+            match reply {
+                Frame::Reply { id, degraded, logits } => {
+                    assert_eq!(*id, want_id);
+                    assert!(!degraded);
+                    assert!(!logits.is_empty());
+                    assert!(logits.iter().all(|v| v.is_finite()));
+                }
+                other => panic!("expected Reply, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn worker_unknown_task_and_bad_input_are_typed_errors() {
+        let (plans, hw) = tiny_plans(1);
+        let cfg = ReplicaWorkerConfig::default();
+        let frames = roundtrip_worker(
+            &plans,
+            hw,
+            cfg,
+            &[
+                Frame::Request {
+                    id: 10,
+                    task: 9,
+                    deadline_ms: 0,
+                    input: RequestInput::Probe(0),
+                },
+                Frame::Request {
+                    id: 11,
+                    task: 0,
+                    deadline_ms: 0,
+                    input: RequestInput::Tensor(
+                        Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap(),
+                    ),
+                },
+            ],
+        );
+        assert!(matches!(
+            frames[1],
+            Frame::ErrorReply { id: 10, code: ErrorCode::UnknownTask, .. }
+        ));
+        // a shape-mismatched tensor fails both paths → FailedAfterRetries
+        assert!(matches!(
+            frames[2],
+            Frame::ErrorReply { id: 11, code: ErrorCode::FailedAfterRetries, .. }
+        ));
+    }
+
+    #[test]
+    fn worker_poisoned_bank_degrades_to_parent() {
+        let (plan, hw) = poisoned_plan();
+        let cfg = ReplicaWorkerConfig::default();
+        let frames = roundtrip_worker(
+            &[plan],
+            hw,
+            cfg,
+            &[Frame::Request {
+                id: 5,
+                task: 0,
+                deadline_ms: 0,
+                input: RequestInput::Probe(2),
+            }],
+        );
+        match &frames[1] {
+            Frame::Reply { id: 5, degraded: true, logits } => {
+                assert!(logits.iter().all(|v| v.is_finite()));
+            }
+            other => panic!("expected degraded Reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_slow_fault_blows_a_tight_deadline() {
+        let (plans, hw) = tiny_plans(1);
+        let cfg = ReplicaWorkerConfig {
+            fault: ReplicaFault::Slow,
+            fault_every: 1,
+            slow_layer: Duration::from_millis(40),
+            ..ReplicaWorkerConfig::default()
+        };
+        let frames = roundtrip_worker(
+            &plans,
+            hw,
+            cfg,
+            &[Frame::Request {
+                id: 3,
+                task: 0,
+                deadline_ms: 50,
+                input: RequestInput::Probe(0),
+            }],
+        );
+        let terminal = frames
+            .iter()
+            .find(|f| matches!(f, Frame::Reply { .. } | Frame::ErrorReply { .. }))
+            .unwrap();
+        assert!(
+            matches!(
+                terminal,
+                Frame::ErrorReply { id: 3, code: ErrorCode::DeadlineExceeded, .. }
+            ),
+            "slow injection with a 50ms budget must blow the deadline: {terminal:?}"
+        );
+    }
+}

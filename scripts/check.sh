@@ -92,6 +92,44 @@ if [[ "$run_tests" == 1 ]]; then
     grep -q '^mime_serve_worker_restarts_total [1-9]' target/serve_smoke.panic.prom
     grep -q '^mime_serve_retries_total [1-9]' target/serve_smoke.flaky.prom
     grep -q '^mime_serve_deadline_exceeded_total [1-9]' target/serve_smoke.slow.prom
+
+    # multi-process front-door smoke: a 2-replica fleet behind a TCP
+    # listener, 64 loadgen requests while one replica is kill -9'd
+    # mid-run. The supervisor must respawn it, every request must reach
+    # a terminal state (loadgen exits nonzero otherwise), and the
+    # restarts metric must record the kill.
+    echo "==> mime serve --listen front-door smoke (kill -9 one replica)"
+    fd_metrics=target/frontdoor_smoke.prom
+    fd_log=target/frontdoor_smoke.log
+    rm -f "$fd_metrics" "$fd_log"
+    timeout 120 ./target/release/mime --metrics-out "$fd_metrics" serve \
+        --listen 127.0.0.1:0 --replicas 2 --tasks 3 > "$fd_log" 2>/dev/null &
+    fd_pid=$!
+    for _ in $(seq 1 100); do
+        grep -q 'listening on' "$fd_log" 2>/dev/null && break
+        sleep 0.2
+    done
+    fd_addr=$(grep -o 'listening on [0-9.:]*' "$fd_log" | awk '{print $3}')
+    [[ -n "$fd_addr" ]] || { echo "FAIL: front door never announced its address" >&2; exit 1; }
+    # kill -9 one replica worker as soon as it exists; the supervisor
+    # must detect the death under load, requeue the victim request, and
+    # respawn the slot (another kill mid-run keeps the pressure on)
+    for _ in $(seq 1 100); do
+        pgrep -f 'mime replica-worker' >/dev/null 2>&1 && break
+        sleep 0.2
+    done
+    pgrep -f 'mime replica-worker' | head -n1 | xargs -r kill -9
+    ( sleep 0.1; pgrep -f 'mime replica-worker' | head -n1 | xargs -r kill -9 ) &
+    killer_pid=$!
+    timeout 120 ./target/release/mime loadgen --connect "$fd_addr" \
+        --requests 64 --concurrency 4 --tasks 3 \
+        --bench-out target/frontdoor_smoke_bench.json --label kill-one --drain \
+        || { echo "FAIL: loadgen saw a request with no terminal state" >&2; exit 1; }
+    wait "$killer_pid" || true
+    wait "$fd_pid" \
+        || { echo "FAIL: front door crashed or failed to drain cleanly" >&2; exit 1; }
+    grep -q '^mime_frontdoor_requests_total 64$' "$fd_metrics"
+    grep -q '^mime_replica_restarts_total [1-9]' "$fd_metrics"
 fi
 
 echo "==> all checks passed"
