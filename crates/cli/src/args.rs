@@ -116,6 +116,10 @@ pub enum Command {
         /// Pin the software compute path to the dense packed kernels
         /// (`--dense-only`), bypassing the sparsity-aware dispatcher.
         dense_only: bool,
+        /// Skip the startup weight-panel prepack (`--no-prepack`),
+        /// forcing the unfused re-scan path — the reference side of the
+        /// fused-epilogue parity checks.
+        no_prepack: bool,
     },
     /// `mime serve`: resilient serving loop over the functional array —
     /// bounded admission, deadlines, retries, per-task circuit
@@ -155,6 +159,9 @@ pub enum Command {
         /// Inject the process-level fault on every n-th request per
         /// replica (default 4).
         inject_every: usize,
+        /// Skip the startup weight-panel prepack (`--no-prepack`);
+        /// forwarded to replica workers in front-door mode.
+        no_prepack: bool,
     },
     /// `mime replica-worker`: one replica process behind `mime serve
     /// --listen` (spawned by the front door; not for direct use).
@@ -171,6 +178,8 @@ pub enum Command {
         heartbeat_ms: u64,
         /// Pin the executor to the dense packed kernels.
         dense_only: bool,
+        /// Skip the startup weight-panel prepack.
+        no_prepack: bool,
     },
     /// `mime loadgen`: fixed-count client for a front door — drives
     /// requests over TCP, prints outcome counts and latency
@@ -695,6 +704,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
         }
         "batch" => {
             let (rest, dense_only) = strip_valueless(rest, "--dense-only");
+            let (rest, no_prepack) = strip_valueless(&rest, "--no-prepack");
             let (flags, pos) = split_flags(&rest)?;
             reject_unknown(&flags, &["images", "tasks", "seed", "threads", "poison"])?;
             if !pos.is_empty() {
@@ -729,10 +739,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                 threads: get_num(&flags, "threads", 0)?,
                 poison,
                 dense_only,
+                no_prepack,
             })
         }
         "serve" => {
             let (rest, dense_only) = strip_valueless(rest, "--dense-only");
+            let (rest, no_prepack) = strip_valueless(&rest, "--no-prepack");
             let (flags, pos) = split_flags(&rest)?;
             reject_unknown(
                 &flags,
@@ -802,10 +814,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                 image: flags.get("image").cloned(),
                 deadline_ms: get_num(&flags, "deadline-ms", 5000)?,
                 inject_every,
+                no_prepack,
             })
         }
         "replica-worker" => {
             let (rest, dense_only) = strip_valueless(rest, "--dense-only");
+            let (rest, no_prepack) = strip_valueless(&rest, "--no-prepack");
             let (flags, pos) = split_flags(&rest)?;
             reject_unknown(
                 &flags,
@@ -846,6 +860,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                 inject_every,
                 heartbeat_ms,
                 dense_only,
+                no_prepack,
             })
         }
         "loadgen" => {
@@ -1067,6 +1082,7 @@ mod tests {
                 threads: 0,
                 poison: None,
                 dense_only: false,
+                no_prepack: false,
             }
         );
         assert_eq!(
@@ -1078,6 +1094,7 @@ mod tests {
                 threads: 2,
                 poison: None,
                 dense_only: false,
+                no_prepack: false,
             }
         );
         assert!(p(&["batch", "--images", "0"]).is_err());
@@ -1096,6 +1113,7 @@ mod tests {
                 threads: 0,
                 poison: Some(2),
                 dense_only: false,
+                no_prepack: false,
             }
         );
         assert!(p(&["batch", "--poison", "2"]).is_err(), "out of range for 2 tasks");
@@ -1113,6 +1131,7 @@ mod tests {
                 threads: 0,
                 poison: None,
                 dense_only: true,
+                no_prepack: false,
             }
         );
         assert_eq!(
@@ -1124,6 +1143,7 @@ mod tests {
                 threads: 2,
                 poison: None,
                 dense_only: true,
+                no_prepack: false,
             }
         );
         assert_eq!(
@@ -1141,10 +1161,39 @@ mod tests {
                 image: None,
                 deadline_ms: 5000,
                 inject_every: 4,
+                no_prepack: false,
             }
         );
         // only batch and serve accept it
         assert!(p(&["simulate", "--dense-only"]).is_err());
+    }
+
+    #[test]
+    fn no_prepack_is_valueless_and_position_independent() {
+        match p(&["batch", "--no-prepack"]).unwrap() {
+            Command::Batch { no_prepack, dense_only, .. } => {
+                assert!(no_prepack);
+                assert!(!dense_only);
+            }
+            other => panic!("{other:?}"),
+        }
+        match p(&["batch", "--no-prepack", "--dense-only", "--images", "4"]).unwrap() {
+            Command::Batch { no_prepack, dense_only, images, .. } => {
+                assert!(no_prepack);
+                assert!(dense_only);
+                assert_eq!(images, 4);
+            }
+            other => panic!("{other:?}"),
+        }
+        match p(&["serve", "--no-prepack"]).unwrap() {
+            Command::Serve { no_prepack, .. } => assert!(no_prepack),
+            other => panic!("{other:?}"),
+        }
+        match p(&["replica-worker", "--image", "a.mime", "--no-prepack"]).unwrap() {
+            Command::ReplicaWorker { no_prepack, .. } => assert!(no_prepack),
+            other => panic!("{other:?}"),
+        }
+        assert!(p(&["simulate", "--no-prepack"]).is_err());
     }
 
     #[test]
@@ -1200,6 +1249,7 @@ mod tests {
                 image: None,
                 deadline_ms: 5000,
                 inject_every: 4,
+                no_prepack: false,
             }
         );
         for (name, fault) in [
@@ -1236,6 +1286,7 @@ mod tests {
                 image: None,
                 deadline_ms: 5000,
                 inject_every: 4,
+                no_prepack: false,
             }
         );
         assert!(p(&["serve", "--requests", "0"]).is_err());
@@ -1313,6 +1364,7 @@ mod tests {
                 inject_every: 4,
                 heartbeat_ms: 250,
                 dense_only: false,
+                no_prepack: false,
             }
         );
         match p(&[

@@ -84,8 +84,8 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
         }
         Command::Sweep { input_hw, rounds } => sweep(out, input_hw, rounds),
         Command::Validate { input_hw } => validate(out, input_hw),
-        Command::Batch { images, tasks, seed, threads, poison, dense_only } => {
-            batch(out, images, tasks, seed, threads, poison, dense_only)
+        Command::Batch { images, tasks, seed, threads, poison, dense_only, no_prepack } => {
+            batch(out, images, tasks, seed, threads, poison, dense_only, no_prepack)
         }
         Command::Serve {
             requests,
@@ -100,6 +100,7 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
             image,
             deadline_ms,
             inject_every,
+            no_prepack,
         } => match listen {
             Some(addr) => serve_listen(
                 out,
@@ -113,10 +114,12 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
                 image.as_deref(),
                 deadline_ms,
                 inject_every,
+                no_prepack,
             ),
-            None => {
-                serve(out, requests, tasks, seed, inject, workers, capacity, dense_only)
-            }
+            None => serve(
+                out, requests, tasks, seed, inject, workers, capacity, dense_only,
+                no_prepack,
+            ),
         },
         Command::ReplicaWorker {
             image,
@@ -125,9 +128,16 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
             inject_every,
             heartbeat_ms,
             dense_only,
-        } => {
-            replica_worker(&image, replica, inject, inject_every, heartbeat_ms, dense_only)
-        }
+            no_prepack,
+        } => replica_worker(
+            &image,
+            replica,
+            inject,
+            inject_every,
+            heartbeat_ms,
+            dense_only,
+            no_prepack,
+        ),
         Command::Loadgen {
             connect,
             requests,
@@ -170,11 +180,13 @@ fn write_help(out: &mut dyn Write) {
          \x20 sweep     [--input-hw 224] [--rounds 6]          batch/task scaling sweeps\n\
          \x20 validate  [--input-hw 32]                        analytical vs functional counters\n\
          \x20 batch     [--images 6] [--tasks 2] [--seed 42] [--threads 0] [--poison i]\n\
-         \x20           [--dense-only]  multi-task batch on the sparse software path,\n\
-         \x20           serial vs parallel (exit code 2 when a task degraded to parent)\n\
+         \x20           [--dense-only] [--no-prepack]  multi-task batch on the sparse\n\
+         \x20           software path, serial vs parallel (exit code 2 when a task\n\
+         \x20           degraded to parent)\n\
          \x20 serve     [--requests 16] [--tasks 3] [--seed 42] [--workers 2]\n\
-         \x20           [--capacity 0] [--dense-only] [--inject none|nan-poison|bitflip|\n\
-         \x20           truncate|garble|panic|flaky|slow|overload]   serving chaos drill\n\
+         \x20           [--capacity 0] [--dense-only] [--no-prepack] [--inject none|\n\
+         \x20           nan-poison|bitflip|truncate|garble|panic|flaky|slow|overload]\n\
+         \x20           serving chaos drill\n\
          \x20 serve     --listen <addr> [--replicas 2] [--image <file>] [--capacity 0]\n\
          \x20           [--deadline-ms 5000] [--inject replica-abort|replica-hang|\n\
          \x20           replica-slow|conn-garbage|conn-truncate] [--inject-every 4]\n\
@@ -565,6 +577,7 @@ fn validate(out: &mut dyn Write, input_hw: usize) -> Result<(), CliError> {
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn batch(
     out: &mut dyn Write,
     images: usize,
@@ -573,13 +586,14 @@ fn batch(
     threads: usize,
     poison: Option<usize>,
     dense_only: bool,
+    no_prepack: bool,
 ) -> Result<(), CliError> {
     use mime_runtime::{ComputePath, HardwareExecutor, SparseDispatch};
 
     let arch = vgg16_arch(0.0625, 32, 3, 4, 16);
     let mut rng = StdRng::seed_from_u64(seed);
     let parent = build_network(&arch, &mut rng);
-    let plans: Vec<BoundNetwork> = (0..tasks)
+    let mut plans: Vec<BoundNetwork> = (0..tasks)
         .map(|i| {
             // spread thresholds so tasks prune visibly different amounts
             let mut net = MimeNetwork::from_trained(&arch, &parent, 0.03 + 0.09 * i as f32)
@@ -594,6 +608,17 @@ fn batch(
             BoundNetwork::from_mime(&net).map_err(io_err)
         })
         .collect::<Result<_, String>>()?;
+    // Pack FC weight panels once per process (shared read-only across
+    // the parallel workers) unless the run is pinned to the unfused
+    // reference path.
+    if !no_prepack {
+        let stats = mime_runtime::prepack_plans(&mut plans).map_err(io_err)?;
+        let _ = writeln!(
+            out,
+            "prepacked {} fc layer(s) ({} shared, {} bytes) in {:.2} ms",
+            stats.layers, stats.shared, stats.bytes, stats.ms
+        );
+    }
     let batch: Vec<(usize, Tensor)> = (0..images)
         .map(|i| {
             let image = Tensor::from_fn(&[3, 32, 32], move |j| {
@@ -749,6 +774,7 @@ fn serve(
     workers: usize,
     mut capacity: usize,
     dense_only: bool,
+    no_prepack: bool,
 ) -> Result<(), CliError> {
     let mut model = small_multitask_model(seed, tasks)?;
     let mut plans = Vec::with_capacity(tasks);
@@ -799,6 +825,16 @@ fn serve(
     } else {
         mime_runtime::SparseDispatch::Auto
     };
+    // One prepack pass at startup — worker threads share the panels
+    // read-only; per-request prepacking would defeat the residency win.
+    if !no_prepack {
+        let stats = mime_runtime::prepack_plans(&mut plans).map_err(io_err)?;
+        let _ = writeln!(
+            out,
+            "prepacked {} fc layer(s) ({} shared, {} bytes) in {:.2} ms",
+            stats.layers, stats.shared, stats.bytes, stats.ms
+        );
+    }
     let cfg = ServeConfig {
         queue_capacity: capacity,
         workers,
@@ -887,6 +923,7 @@ fn serve_listen(
     image: Option<&str>,
     deadline_ms: u64,
     inject_every: usize,
+    no_prepack: bool,
 ) -> Result<(), CliError> {
     use mime_serve::{ConnFault, FrontDoor, FrontDoorConfig};
     use std::time::Duration;
@@ -914,6 +951,9 @@ fn serve_listen(
     ];
     if dense_only {
         replica_cmd.push("--dense-only".to_string());
+    }
+    if no_prepack {
+        replica_cmd.push("--no-prepack".to_string());
     }
     let mut self_inject = None;
     match inject {
@@ -982,6 +1022,7 @@ fn serve_listen(
 /// packed image read-only, then speaks `mime_serve::proto` frames over
 /// stdin/stdout — so nothing human-readable may be written to stdout
 /// here; diagnostics go to stderr via the logger.
+#[allow(clippy::too_many_arguments)]
 fn replica_worker(
     image: &str,
     replica: u32,
@@ -989,6 +1030,7 @@ fn replica_worker(
     inject_every: usize,
     heartbeat_ms: u64,
     dense_only: bool,
+    no_prepack: bool,
 ) -> Result<(), CliError> {
     use mime_serve::replica::run_replica_worker;
     use mime_serve::{ReplicaFault, ReplicaWorkerConfig};
@@ -1017,6 +1059,11 @@ fn replica_worker(
     for name in &names {
         receiver.activate(name).map_err(io_err)?;
         plans.push(BoundNetwork::from_mime(receiver.network()).map_err(io_err)?);
+    }
+    // Prepack once at replica startup, never per request: the
+    // `mime_prepack_total` gauge-asserted invariant in check.sh.
+    if !no_prepack {
+        mime_runtime::prepack_plans(&mut plans).map_err(io_err)?;
     }
     let fault = match inject {
         ServeFault::ReplicaAbort => ReplicaFault::Abort,
@@ -1061,6 +1108,10 @@ struct LoadgenTally {
     /// the one thing the chaos harness must never see.
     lost: u64,
     latencies_us: Vec<u64>,
+    /// First-request latency per connection — the cold-start cost
+    /// (connection setup plus whatever the server does lazily on first
+    /// touch), reported as its own percentile row in the bench JSON.
+    cold_us: Vec<u64>,
 }
 
 impl LoadgenTally {
@@ -1073,6 +1124,7 @@ impl LoadgenTally {
         self.failed += other.failed;
         self.lost += other.lost;
         self.latencies_us.extend(other.latencies_us);
+        self.cold_us.extend(other.cold_us);
     }
 
     fn terminal(&self) -> u64 {
@@ -1168,7 +1220,12 @@ fn loadgen(
                             break;
                         }
                     }
-                    tally.latencies_us.push(started.elapsed().as_micros() as u64);
+                    let us = started.elapsed().as_micros() as u64;
+                    if n == 0 {
+                        // this connection's first round trip: cold start
+                        tally.cold_us.push(us);
+                    }
+                    tally.latencies_us.push(us);
                 }
                 tally
             })
@@ -1186,10 +1243,16 @@ fn loadgen(
         }
     }
     tally.latencies_us.sort_unstable();
+    tally.cold_us.sort_unstable();
     let (p50, p95, p99) = (
         percentile_us(&tally.latencies_us, 0.50),
         percentile_us(&tally.latencies_us, 0.95),
         percentile_us(&tally.latencies_us, 0.99),
+    );
+    let (cold_p50, cold_p95, cold_p99) = (
+        percentile_us(&tally.cold_us, 0.50),
+        percentile_us(&tally.cold_us, 0.95),
+        percentile_us(&tally.cold_us, 0.99),
     );
     let _ = writeln!(
         out,
@@ -1210,6 +1273,14 @@ fn loadgen(
         p95 as f64 / 1000.0,
         p99 as f64 / 1000.0
     );
+    let _ = writeln!(
+        out,
+        "  cold-start p50/p95/p99: {:.2}/{:.2}/{:.2} ms ({} connection(s))",
+        cold_p50 as f64 / 1000.0,
+        cold_p95 as f64 / 1000.0,
+        cold_p99 as f64 / 1000.0,
+        tally.cold_us.len()
+    );
     if let Some(path) = bench_out {
         let run = format!(
             "{{\"label\":\"{}\",\"requests\":{requests},\"concurrency\":{threads},\
@@ -1229,6 +1300,21 @@ fn loadgen(
             p99 as f64 / 1000.0,
         );
         merge_bench_serve(path, &run)?;
+        // cold-start percentiles as their own row — the first request
+        // per connection, which is what a just-(re)started replica
+        // fleet shows to its first callers
+        let safe_label = label.replace(['"', '\\'], "_");
+        let cold = format!(
+            "{{\"label\":\"{safe_label}-cold\",\"requests\":{},\"concurrency\":{threads},\
+             \"success\":0,\"degraded\":0,\"shed\":0,\"unavailable\":0,\
+             \"deadline_exceeded\":0,\"failed\":0,\"lost\":0,\
+             \"p50_ms\":{:.3},\"p95_ms\":{:.3},\"p99_ms\":{:.3}}}",
+            tally.cold_us.len(),
+            cold_p50 as f64 / 1000.0,
+            cold_p95 as f64 / 1000.0,
+            cold_p99 as f64 / 1000.0,
+        );
+        merge_bench_serve(path, &cold)?;
         let _ = writeln!(out, "  wrote {path}");
     }
     if tally.terminal() as usize == requests && tally.lost == 0 {
@@ -1459,6 +1545,7 @@ mod tests {
             threads: 2,
             poison: None,
             dense_only: false,
+            no_prepack: false,
         });
         assert!(s.contains("parallel == serial: true"), "{s}");
         assert!(s.contains("macs executed"), "{s}");
@@ -1475,6 +1562,7 @@ mod tests {
                 threads: 2,
                 poison: Some(1),
                 dense_only: false,
+                no_prepack: false,
             },
             &mut buf,
         )
@@ -1503,6 +1591,7 @@ mod tests {
             image: None,
             deadline_ms: 5000,
             inject_every: 4,
+            no_prepack: false,
         });
         assert!(s.contains("success:            6"), "{s}");
         assert!(s.contains("shed:               0"), "{s}");
@@ -1524,6 +1613,7 @@ mod tests {
             image: None,
             deadline_ms: 5000,
             inject_every: 4,
+            no_prepack: false,
         });
         assert!(s.contains("shed:               4"), "{s}");
         assert!(s.contains("success:            4"), "{s}");
@@ -1545,6 +1635,7 @@ mod tests {
             image: None,
             deadline_ms: 5000,
             inject_every: 4,
+            no_prepack: false,
         });
         // tasks 0 and 1 serve 3 requests each; task 2's bank is
         // poisoned, so its 3 requests degrade and the breaker trips
@@ -1574,6 +1665,7 @@ mod tests {
             image: None,
             deadline_ms: 5000,
             inject_every: 4,
+            no_prepack: false,
         });
         assert!(s.contains("success:            10"), "{s}");
         assert!(s.contains("worker restarts:    2"), "{s}");

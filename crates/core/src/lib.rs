@@ -44,7 +44,8 @@ pub use error::{ImageSection, MimeError};
 pub use multitask::{MultiTaskModel, TaskEntry};
 pub use network::MimeNetwork;
 pub use sparsity::{
-    measure_sparsity, measure_sparsity_baseline, LayerSparsity, SparsityReport,
+    apply_thresholds_rescan, channel_activity_rescan, measure_sparsity,
+    measure_sparsity_baseline, LayerSparsity, SparsityReport,
 };
 pub use threshold::{surrogate_gradient, ThresholdGranularity, ThresholdMask};
 pub use trainer::{Checkpointer, MimeTrainer, MimeTrainerConfig, ThresholdEpochReport};

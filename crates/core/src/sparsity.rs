@@ -123,6 +123,32 @@ pub fn measure_sparsity_baseline(
     })
 }
 
+/// Reference implementation of the eq. (2) threshold pass: keep each
+/// value iff `v - t >= 0.0`, else write exact `0.0`. This is the
+/// separate compare-and-zero sweep the runtime used to run after every
+/// FC GEMM; the fused kernel epilogue now applies the identical
+/// arithmetic in-register, and this function survives as the unfused
+/// reference the parity tests (and the non-prepacked path) run against.
+pub fn apply_thresholds_rescan(values: &mut [f32], thresholds: &[f32]) {
+    debug_assert_eq!(values.len(), thresholds.len());
+    for (v, t) in values.iter_mut().zip(thresholds) {
+        *v = if *v - *t >= 0.0 { *v } else { 0.0 };
+    }
+}
+
+/// Reference implementation of the per-channel activity re-scan: channel
+/// `ki` is active iff any of its `sites` values is nonzero (`-0.0`
+/// counts as zero — it contributes exact `±0.0` GEMM terms downstream).
+/// This full second pass over the activation tensor is what the fused
+/// epilogue retires; it is kept as the reference bitmap the fused path
+/// `debug_assert`s against and the unfused path still uses.
+pub fn channel_activity_rescan(values: &[f32], channels: usize, sites: usize) -> Vec<bool> {
+    debug_assert_eq!(values.len(), channels * sites);
+    (0..channels)
+        .map(|ki| values[ki * sites..(ki + 1) * sites].iter().any(|&v| v != 0.0))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +231,22 @@ mod tests {
         assert!(s.contains("0.2500"));
         assert!((report.mean() - 0.375).abs() < 1e-9);
         assert_eq!(report.values(), vec![0.5, 0.25]);
+    }
+
+    #[test]
+    fn rescan_reference_applies_eq2_and_reports_activity() {
+        let mut v = vec![0.5, 0.1, -0.3, 0.2, 0.0, 0.0];
+        let t = vec![0.2, 0.2, -0.5, 0.2, 0.0, 0.1];
+        apply_thresholds_rescan(&mut v, &t);
+        // kept iff v - t >= 0 (note -0.3 - (-0.5) = 0.2 >= 0 keeps -0.3,
+        // and 0.0 - 0.0 = 0.0 >= 0 keeps the zero)
+        assert_eq!(v, vec![0.5, 0.0, -0.3, 0.2, 0.0, 0.0]);
+        assert_eq!(
+            channel_activity_rescan(&v, 3, 2),
+            vec![true, true, false],
+            "a channel is active iff any site survived"
+        );
+        assert_eq!(channel_activity_rescan(&[0.0, -0.0], 2, 1), vec![false, false]);
     }
 
     #[test]

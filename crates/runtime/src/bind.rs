@@ -4,8 +4,10 @@ use mime_core::faults::first_non_finite;
 use mime_core::{MimeError, MimeNetwork};
 use mime_nn::{Sequential, VggArch, VggBlock};
 use mime_systolic::LayerGeometry;
-use mime_tensor::{Tensor, TensorError};
+use mime_tensor::{PrepackedB, Tensor, TensorError};
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// One step of a hardware execution plan.
 #[derive(Debug, Clone)]
@@ -23,6 +25,12 @@ pub enum BoundLayer {
         /// Per-neuron threshold bank (`K·sites` values) for MIME plans;
         /// `None` makes the executor apply ReLU on the host instead.
         thresholds: Option<Tensor>,
+        /// FC weights prepacked once into the blocked microkernel layout
+        /// (`Wᵀ` panels, see [`PrepackedB`]), shared read-only across
+        /// every worker thread and every plan built from the same
+        /// backbone. `None` (conv steps, or before
+        /// [`BoundNetwork::prepack`] runs) keeps the on-the-fly path.
+        packed: Option<Arc<PrepackedB>>,
     },
     /// 2×2/s2 max pooling, performed by the on-chip pooling unit (host
     /// arithmetic, negligible energy at this model's granularity).
@@ -128,12 +136,17 @@ impl BoundNetwork {
             .steps
             .iter()
             .map(|s| match s {
-                BoundLayer::Array { geom, weight, bias, .. } => BoundLayer::Array {
-                    geom: geom.clone(),
-                    weight: weight.clone(),
-                    bias: bias.clone(),
-                    thresholds: None,
-                },
+                BoundLayer::Array { geom, weight, bias, packed, .. } => {
+                    BoundLayer::Array {
+                        geom: geom.clone(),
+                        weight: weight.clone(),
+                        bias: bias.clone(),
+                        thresholds: None,
+                        // stripping thresholds never touches the weights,
+                        // so the degraded plan keeps the shared panels
+                        packed: packed.clone(),
+                    }
+                }
                 other => other.clone(),
             })
             .collect();
@@ -143,6 +156,56 @@ impl BoundNetwork {
             input_hw: self.input_hw,
             in_channels: self.in_channels,
         }
+    }
+
+    /// Prepacks this plan's FC weight panels (see [`prepack_plans`] for
+    /// the multi-plan entry that shares panels across tasks).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when an FC step's weight length disagrees with
+    /// its geometry (cannot happen for plans built by this module).
+    pub fn prepack(&mut self) -> crate::Result<PrepackStats> {
+        let mut cache = HashMap::new();
+        self.prepack_with_cache(&mut cache)
+    }
+
+    /// [`prepack`](Self::prepack) with a caller-owned dedup cache keyed
+    /// on weight content, so plans sharing a frozen backbone (every MIME
+    /// task) share one `Arc` per layer instead of packing per task.
+    fn prepack_with_cache(
+        &mut self,
+        cache: &mut HashMap<u64, Arc<PrepackedB>>,
+    ) -> crate::Result<PrepackStats> {
+        let mut stats = PrepackStats::default();
+        for step in &mut self.steps {
+            let BoundLayer::Array { geom, weight, packed, .. } = step else { continue };
+            // Only FC steps flip through the prepacked fused path: conv
+            // weights enter the GEMM as the A operand and their B-side
+            // packing is amortized over NC-wide column blocks, so
+            // prepacking them buys nothing (DESIGN.md §11).
+            if geom.r != 1 || packed.is_some() {
+                continue;
+            }
+            let key = weight_fingerprint(weight, geom);
+            let pb = match cache.get(&key) {
+                Some(pb) => {
+                    stats.shared += 1;
+                    Arc::clone(pb)
+                }
+                None => {
+                    let pb = Arc::new(PrepackedB::from_weight_transposed(
+                        weight, geom.c, geom.k,
+                    )?);
+                    stats.bytes += pb.bytes();
+                    cache.insert(key, Arc::clone(&pb));
+                    pb
+                }
+            };
+            stats.layers += 1;
+            *packed = Some(pb);
+        }
+        Ok(stats)
     }
 
     /// Binds a MIME network: frozen backbone weights plus the currently
@@ -212,6 +275,7 @@ impl BoundNetwork {
                             .clone(),
                         geom,
                         thresholds,
+                        packed: None,
                     });
                 }
                 VggBlock::Pool => steps.push(BoundLayer::Pool),
@@ -237,6 +301,7 @@ impl BoundNetwork {
                             .clone(),
                         geom,
                         thresholds,
+                        packed: None,
                     });
                 }
             }
@@ -284,6 +349,81 @@ pub fn geometry_from_arch(arch: &VggArch) -> Vec<LayerGeometry> {
         }
     }
     out
+}
+
+/// What one prepack pass built: published as `mime_prepack_*` gauges so
+/// check.sh can assert prepack happens exactly once per process.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PrepackStats {
+    /// FC steps now carrying a prepacked panel set (across all plans).
+    pub layers: usize,
+    /// Of those, steps that reused another plan's panels (shared frozen
+    /// backbone) instead of packing their own copy.
+    pub shared: usize,
+    /// Heap bytes of *unique* panel storage built (shared `Arc`s counted
+    /// once).
+    pub bytes: usize,
+    /// Wall-clock milliseconds the pass took (set by [`prepack_plans`]).
+    pub ms: f64,
+}
+
+/// Prepacks the FC weight panels of every plan, once per process:
+/// identical weight matrices (the shared MIME backbone) are packed once
+/// and shared via `Arc` across plans — and from there, read-only, across
+/// `run_batch_parallel` workers and serve worker threads. Publishes
+/// `mime_prepack_ms` / `mime_prepack_bytes` gauges and bumps the
+/// `mime_prepack_total` counter (exactly once per call, so a serve
+/// process startup shows `1` however many requests follow).
+///
+/// # Errors
+///
+/// Returns an error when an FC step's weight length disagrees with its
+/// geometry (cannot happen for plans built by this module).
+pub fn prepack_plans(plans: &mut [BoundNetwork]) -> crate::Result<PrepackStats> {
+    let start = Instant::now();
+    let mut cache = HashMap::new();
+    let mut stats = PrepackStats::default();
+    for plan in plans.iter_mut() {
+        let s = plan.prepack_with_cache(&mut cache)?;
+        stats.layers += s.layers;
+        stats.shared += s.shared;
+        stats.bytes += s.bytes;
+    }
+    stats.ms = start.elapsed().as_secs_f64() * 1e3;
+    let r = mime_obs::metrics::global();
+    r.gauge("mime_prepack_ms").set(stats.ms);
+    r.gauge("mime_prepack_bytes").set(stats.bytes as f64);
+    r.counter("mime_prepack_total").add(1);
+    mime_obs::info!(
+        "runtime.prepack",
+        "prepacked fc weight panels",
+        layers = stats.layers,
+        shared = stats.shared,
+        bytes = stats.bytes
+    );
+    Ok(stats)
+}
+
+/// Content fingerprint for the prepack dedup cache: FNV-1a over the
+/// weight bytes plus the packed geometry. Plans cloned from one trained
+/// backbone hold equal-but-separately-allocated tensors, so identity
+/// must be by value; a 64-bit collision between same-shaped FC weight
+/// matrices is vanishingly unlikely and at worst shares a wrong —
+/// but identically-shaped — panel set.
+fn weight_fingerprint(weight: &Tensor, geom: &LayerGeometry) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(&(geom.c as u64).to_le_bytes());
+    eat(&(geom.k as u64).to_le_bytes());
+    for v in weight.as_slice() {
+        eat(&v.to_bits().to_le_bytes());
+    }
+    h
 }
 
 /// Pulls the next threshold bank (if plans are MIME-bound) and normalizes

@@ -3,11 +3,11 @@
 
 use crate::{BoundLayer, BoundNetwork};
 use mime_core::faults::first_non_finite;
-use mime_core::MimeError;
+use mime_core::{channel_activity_rescan, MimeError};
 use mime_systolic::{AccessCounters, ArrayConfig, FunctionalArray, LayerGeometry, Mapper};
 use mime_tensor::{
-    conv2d_sparse_with_scratch, max_pool2d, ConvScratch, ConvSpec, PoolSpec,
-    SparseDispatch, Tensor, TensorError,
+    conv2d_sparse_with_scratch, matmul_fused_row_into, max_pool2d, ConvScratch, ConvSpec,
+    FusedMask, PoolSpec, PrepackedB, SparseDispatch, Tensor, TensorError,
 };
 use std::time::Instant;
 
@@ -198,7 +198,7 @@ impl HardwareExecutor {
         for (index, step) in plan.steps().iter().enumerate() {
             guard(index)?;
             match step {
-                BoundLayer::Array { geom, weight, bias, thresholds } => {
+                BoundLayer::Array { geom, weight, bias, thresholds, packed } => {
                     let start = profiling.then(Instant::now);
                     // FC steps expect a flat [C,1,1] activation
                     let staged =
@@ -227,6 +227,7 @@ impl HardwareExecutor {
                                 weight,
                                 bias,
                                 thresholds.as_ref(),
+                                packed.as_deref(),
                                 &staged,
                                 zero_skip,
                                 pending.as_deref(),
@@ -290,6 +291,14 @@ impl HardwareExecutor {
     /// exactly as the simulated drain does, and report the out-channel
     /// activity bitmap for the next step's compactor.
     ///
+    /// When the step carries a prepacked panel set (`packed`, built once
+    /// per process by [`crate::prepack_plans`]) the whole step runs as
+    /// one fused kernel call: the GEMM reads the cached §6 panels, and
+    /// the eq. (2) compare/ReLU plus the activity bitmap are applied in
+    /// the microkernel epilogue — retiring the separate re-scan passes.
+    /// Both routes are bit-identical; the fused bitmap is
+    /// `debug_assert`ed against the mime-core re-scan reference.
+    ///
     /// Counters are reconstructed analytically so `zero_skip` accounting
     /// matches the functional array MAC-for-MAC (the output values never
     /// depend on `zero_skip` on either path).
@@ -300,6 +309,7 @@ impl HardwareExecutor {
         weight: &Tensor,
         bias: &Tensor,
         thresholds: Option<&Tensor>,
+        packed: Option<&PrepackedB>,
         staged: &Tensor,
         zero_skip: bool,
         active_in: Option<&[bool]>,
@@ -314,30 +324,62 @@ impl HardwareExecutor {
                 .into());
             }
         }
-        let spec = ConvSpec::new(geom.r, 1, (geom.r - 1) / 2)?;
-        let x4 = staged.reshape(&[1, geom.c, geom.in_hw, geom.in_hw])?;
-        let (out4, stats) = conv2d_sparse_with_scratch(
-            &x4,
-            weight,
-            bias,
-            &spec,
-            &mut self.scratch,
-            active_in,
-            self.dispatch,
-        )?;
-        let mut out = out4.reshape(&[geom.k, geom.out_hw, geom.out_hw])?;
-        if let Some(t) = thresholds {
-            // same comparison the array's drain stage applies (eq. (2)):
-            // keep the accumulator iff acc - t >= 0, else exact zero
-            let tv = t.as_slice();
-            for (v, t) in out.as_mut_slice().iter_mut().zip(tv) {
-                *v = if *v - *t >= 0.0 { *v } else { 0.0 };
+        let (out, stats, activity) = if let (Some(pb), true) = (packed, geom.r == 1) {
+            // fused prepacked FC fast path: one kernel call produces the
+            // masked activations and the activity bitmap together
+            let mut out = Tensor::zeros(&[geom.k, geom.out_hw, geom.out_hw]);
+            let mask = match thresholds {
+                Some(t) => FusedMask::Thresholds(t.as_slice()),
+                None if geom.masked => FusedMask::Relu,
+                None => FusedMask::None,
+            };
+            let mut activity = Vec::new();
+            let stats = matmul_fused_row_into(
+                staged,
+                pb,
+                bias,
+                mask,
+                active_in,
+                self.dispatch,
+                &mut out,
+                &mut activity,
+                mime_tensor::threads::worker_count(),
+            )?;
+            if thresholds.is_some() {
+                self.sw_counters.cmps += (geom.k * sites) as u64;
             }
-            self.sw_counters.cmps += (geom.k * sites) as u64;
-        } else if geom.masked {
-            // baseline activation: host-side ReLU
-            out = out.relu();
-        }
+            debug_assert_eq!(
+                activity,
+                channel_activity_rescan(out.as_slice(), geom.k, sites),
+                "fused epilogue bitmap disagrees with the re-scan reference"
+            );
+            (out, stats, activity)
+        } else {
+            let spec = ConvSpec::new(geom.r, 1, (geom.r - 1) / 2)?;
+            let x4 = staged.reshape(&[1, geom.c, geom.in_hw, geom.in_hw])?;
+            let (out4, stats) = conv2d_sparse_with_scratch(
+                &x4,
+                weight,
+                bias,
+                &spec,
+                &mut self.scratch,
+                active_in,
+                self.dispatch,
+            )?;
+            let mut out = out4.reshape(&[geom.k, geom.out_hw, geom.out_hw])?;
+            if let Some(t) = thresholds {
+                // same comparison the array's drain stage applies
+                // (eq. (2)): keep the accumulator iff acc - t >= 0,
+                // else exact zero
+                mime_core::apply_thresholds_rescan(out.as_mut_slice(), t.as_slice());
+                self.sw_counters.cmps += (geom.k * sites) as u64;
+            } else if geom.masked {
+                // baseline activation: host-side ReLU
+                out = out.relu();
+            }
+            let activity = channel_activity_rescan(out.as_slice(), geom.k, sites);
+            (out, stats, activity)
+        };
         // analytic MAC accounting mirroring the functional array: one MAC
         // per in-bounds kernel tap, skipping zero activations when
         // zero_skip is on. Each input pixel feeds span(iy)·span(ix)
@@ -383,11 +425,6 @@ impl HardwareExecutor {
             active_rows = stats.k_active,
             total_rows = stats.k_total
         );
-        let activity = (0..geom.k)
-            .map(|ki| {
-                out.as_slice()[ki * sites..(ki + 1) * sites].iter().any(|&v| v != 0.0)
-            })
-            .collect();
         Ok((out, activity))
     }
 

@@ -43,7 +43,7 @@
 mod bind;
 mod executor;
 
-pub use bind::{geometry_from_arch, BoundLayer, BoundNetwork};
+pub use bind::{geometry_from_arch, prepack_plans, BoundLayer, BoundNetwork, PrepackStats};
 pub use executor::{BatchReport, ComputePath, HardwareExecutor};
 pub use mime_tensor::SparseDispatch;
 

@@ -1,0 +1,116 @@
+//! Serve-worker fused-epilogue parity: a server whose plans carry
+//! prepacked FC weight panels (built once at startup, shared read-only
+//! across worker threads via `Arc`) must reply with logits bit-identical
+//! to a plain serial executor running the unfused re-scan path — for
+//! healthy tasks and for requests degraded to the thresholds-stripped
+//! parent plan (whose stripped copy must keep sharing the same panels).
+
+use mime_core::faults::FaultInjector;
+use mime_core::{MimeNetwork, MultiTaskModel};
+use mime_nn::{build_network, vgg16_arch};
+use mime_runtime::{
+    prepack_plans, BoundNetwork, ComputePath, HardwareExecutor, SparseDispatch,
+};
+use mime_serve::{FaultPlan, Outcome, Request, ServeConfig, Server, VirtualClock};
+use mime_systolic::ArrayConfig;
+use mime_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 21;
+const N_TASKS: usize = 3;
+
+fn fleet_model(seed: u64, n_tasks: usize) -> MultiTaskModel {
+    let arch = vgg16_arch(0.0625, 32, 3, 4, 8);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let parent = build_network(&arch, &mut rng);
+    let net = MimeNetwork::from_trained(&arch, &parent, 0.02).unwrap();
+    let mut model = MultiTaskModel::new(net);
+    for i in 0..n_tasks {
+        let banks = model
+            .network()
+            .export_thresholds()
+            .into_iter()
+            .map(|t| t.map(|_| 0.02 + 0.05 * i as f32))
+            .collect();
+        model.register_task(format!("task{i}"), banks).unwrap();
+    }
+    model
+}
+
+fn fleet_plans() -> Vec<BoundNetwork> {
+    let mut model = fleet_model(SEED, N_TASKS);
+    let mut plans = Vec::with_capacity(N_TASKS);
+    for i in 0..N_TASKS {
+        model.activate(&format!("task{i}")).unwrap();
+        plans.push(BoundNetwork::from_mime(model.network()).unwrap());
+    }
+    // last task's bank is poisoned: its requests must degrade to the
+    // parent path, which also runs on the shared prepacked panels
+    let orig = model.network().export_thresholds();
+    let mut banks = orig.clone();
+    FaultInjector::new(7).poison_tensor(&mut banks[0], 2);
+    model.network_mut().import_thresholds(&banks).unwrap();
+    plans[N_TASKS - 1] = BoundNetwork::from_mime(model.network()).unwrap();
+    plans
+}
+
+fn probe_image(i: usize) -> Tensor {
+    Tensor::from_fn(&[3, 32, 32], move |j| (((j + i * 97) % 17) as f32 - 8.0) * 0.09)
+}
+
+#[test]
+fn serve_workers_on_prepacked_plans_match_unfused_serial_logits() {
+    // reference logits: unfused serial executor, no panels anywhere
+    let reference_plans = fleet_plans();
+    let mut reference = HardwareExecutor::with_options(
+        ArrayConfig::eyeriss_65nm(),
+        ComputePath::Software,
+        SparseDispatch::Auto,
+    );
+    let n_requests = 9usize;
+    let mut expected = Vec::with_capacity(n_requests);
+    for i in 0..n_requests {
+        let task = i % N_TASKS;
+        // the server validates banks up front (NaN thresholds produce
+        // finite-but-wrong logits, not an error) and serves the
+        // poisoned task on the thresholds-stripped parent plan
+        let plan = if task == N_TASKS - 1 {
+            reference_plans[task].strip_thresholds()
+        } else {
+            reference_plans[task].clone()
+        };
+        expected.push(reference.run_image(&plan, &probe_image(i), true).unwrap());
+    }
+
+    // the server prepacks once at startup and fans out worker threads
+    let mut plans = fleet_plans();
+    let stats = prepack_plans(&mut plans).unwrap();
+    assert!(stats.layers > 0, "fleet FC steps must be prepacked");
+    assert!(stats.shared > 0, "shared backbone panels must dedup across tasks");
+
+    let cfg =
+        ServeConfig { queue_capacity: n_requests, workers: 3, ..ServeConfig::default() };
+    let clock = VirtualClock::new();
+    let server =
+        Server::new(&plans, ArrayConfig::eyeriss_65nm(), cfg, &clock, FaultPlan::default());
+    let requests: Vec<Request> = (0..n_requests)
+        .map(|i| Request { id: i, task: i % N_TASKS, image: probe_image(i) })
+        .collect();
+    let report = server.serve(requests);
+    assert_eq!(report.completions.len(), n_requests);
+    assert_eq!(report.degraded, n_requests / N_TASKS, "poisoned task degrades");
+
+    for c in &report.completions {
+        let got = match &c.outcome {
+            Outcome::Success(l) | Outcome::DegradedToParent(l) => l,
+            other => panic!("request {} did not produce logits: {other:?}", c.id),
+        };
+        assert_eq!(
+            *got, expected[c.id],
+            "request {} (task {}): fused serve-worker logits diverge from the \
+             unfused serial reference",
+            c.id, c.task
+        );
+    }
+}

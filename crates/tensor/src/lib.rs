@@ -31,6 +31,7 @@ mod init;
 mod matmul;
 mod ops;
 mod pool;
+mod prepack;
 mod reduce;
 mod shape;
 mod tensor;
@@ -50,6 +51,10 @@ pub use matmul::{
     matmul_tn_into, SparseDispatch, SparseStats, MR, NR, SPARSE_ACTIVE_MAX,
 };
 pub use pool::{max_pool2d, max_pool2d_backward, MaxPoolOut, PoolSpec};
+pub use prepack::{
+    matmul_fused_row_into, matmul_prepacked_into, matmul_prepacked_into_with_threads,
+    FusedMask, PrepackedB,
+};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

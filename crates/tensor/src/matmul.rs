@@ -47,7 +47,7 @@ pub const NR: usize = 16;
 
 /// Below this many multiply-adds the driver stays single-threaded:
 /// thread spawn/join overhead would dominate.
-const THREAD_MIN_MACS: u128 = 1 << 18;
+pub(crate) const THREAD_MIN_MACS: u128 = 1 << 18;
 
 /// Depth (`k`) blocking factor: the packed `B` chunk (`KC × NC` floats
 /// at most) is streamed once per `MR`-row block, so keeping it
@@ -55,7 +55,7 @@ const THREAD_MIN_MACS: u128 = 1 << 18;
 /// hits. `C` is visited once per chunk (accumulating), which preserves
 /// the sequential `p`-order sum per element and therefore bit-identical
 /// results at every thread count.
-const KC: usize = 384;
+pub(crate) const KC: usize = 384;
 
 /// Column (`n`) blocking factor: bounds the packed `B` chunk at
 /// `KC × NC` floats = 1.5 MiB so it stays cache-resident however wide
@@ -83,7 +83,7 @@ fn shape_err(a: &Tensor, b: &Tensor, op: &'static str) -> TensorError {
 
 /// Layout of the `A` operand as seen by the packer.
 #[derive(Clone, Copy)]
-enum ALayout {
+pub(crate) enum ALayout {
     /// `A: [m, k]`, row-major (plain product).
     Normal,
     /// `A: [k, m]`, logically transposed (`AᵀB` product).
@@ -92,7 +92,7 @@ enum ALayout {
 
 /// Layout of the `B` operand as seen by the packer.
 #[derive(Clone, Copy)]
-enum BLayout {
+pub(crate) enum BLayout {
     /// `B: [k, n]`, row-major (plain product).
     Normal,
     /// `B: [n, k]`, logically transposed (`ABᵀ` product).
@@ -103,7 +103,7 @@ enum BLayout {
 /// of `kb×NR`, `p`-major, zero-padding the final partial panel. Panel
 /// `jp` starts at `jp·kb·NR` of `packed`.
 #[allow(clippy::too_many_arguments)] // flat kernel-internal plumbing
-fn pack_b_chunk(
+pub(crate) fn pack_b_chunk(
     b: &[f32],
     layout: BLayout,
     k: usize,
@@ -142,7 +142,7 @@ fn pack_b_chunk(
 /// `i0..i0+mr`) into a `p`-major strip with stride `mr`:
 /// `pa[p·mr + ii] = A[i0+ii, p0+p]`.
 #[allow(clippy::too_many_arguments)] // flat kernel-internal plumbing
-fn pack_a(
+pub(crate) fn pack_a(
     a: &[f32],
     layout: ALayout,
     m: usize,
@@ -327,7 +327,7 @@ fn microkernel<const M: usize>(
 /// kernels pin the layout: one vector per tile-row chunk of `B` columns,
 /// `A` elements applied by embedded broadcast.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Isa {
+pub(crate) enum Isa {
     /// AVX-512F: one 16-lane zmm accumulator per tile row.
     #[cfg(target_arch = "x86_64")]
     Avx512,
@@ -339,7 +339,7 @@ enum Isa {
 }
 
 /// Runtime CPU-feature detection, done once per process.
-fn isa() -> Isa {
+pub(crate) fn isa() -> Isa {
     #[cfg(target_arch = "x86_64")]
     {
         static ISA: std::sync::OnceLock<Isa> = std::sync::OnceLock::new();
@@ -458,7 +458,7 @@ mod ukern_x86 {
 /// Computes one output tile, dispatching to the best microkernel for the
 /// running CPU. `mr ≤ MR` rows, `nv ≤ NR` columns.
 #[allow(clippy::too_many_arguments)] // flat kernel-internal plumbing
-fn tile(
+pub(crate) fn tile(
     isa: Isa,
     mr: usize,
     k: usize,

@@ -1,0 +1,886 @@
+//! Prepacked weight residency and the fused threshold epilogue.
+//!
+//! MIME's premise is one resident weight set serving every task, yet the
+//! GEMM path in [`crate::matmul`] repacks its `B` panels on every call.
+//! For the conv-lowered GEMMs that cost is amortized over `NC`-wide
+//! column blocks, but the FC layers pay it in full: their weights are
+//! streamed — and repacked — per image. This module makes the packing a
+//! *load-time* step instead:
+//!
+//! * [`PrepackedB`] holds the §6 blocked layout for the whole matrix at
+//!   once — `⌈n/NR⌉` full-depth panels of `NR` columns, `p`-major, each
+//!   `k×NR` floats contiguous — built exactly once and shared read-only
+//!   (the runtime wraps it in an `Arc`). A `KC` depth window of a panel
+//!   is the contiguous slice at offset `p0·NR`, and its contents are
+//!   bit-for-bit what [`crate::matmul`]'s per-call packer would have
+//!   produced for that window, so the unmodified microkernels run over
+//!   it directly.
+//! * [`matmul_prepacked_into`] is the drop-in GEMM over a prepacked
+//!   operand: same `KC` depth windows, same first-window-overwrite /
+//!   later-windows-accumulate memory order, same microkernels — the
+//!   output is **bit-identical** to [`crate::matmul_into`], it just
+//!   skips the packing.
+//! * [`matmul_fused_row_into`] is the FC fast path: the layer is flipped
+//!   to `x_row[1,k] · Wᵀ[k,n]` (a `[1,n]` row and an `[n,1]` column have
+//!   the same flat layout, so no transpose is ever materialized — see
+//!   [`PrepackedB::from_weight_transposed`]) and the per-neuron
+//!   threshold compare + zero-mask + activity bitmap are fused into the
+//!   kernel's epilogue, eliminating the second full pass over the
+//!   activations. Multiplication commutes exactly in IEEE-754, and the
+//!   fused kernel reproduces the unfused path's depth-window grouping
+//!   and per-element `p`-order, so the flipped product is bit-identical
+//!   to the unflipped one.
+//!
+//! The fused kernel is the portable (autovectorized) implementation in
+//! both its dense and row-skipping forms, with the same
+//! compile-time-FMA gating as [`crate::matmul`]'s portable microkernel.
+//! Under the repo's committed build flags (`-C target-cpu=native`) the
+//! compile-time FMA feature matches the runtime CPU, so all kernel arms
+//! perform the same correctly-rounded fused multiply-adds and the
+//! fused path stays bit-identical to the dispatched unfused path.
+
+use crate::matmul::{
+    isa, pack_a, pack_b_chunk, tile, ALayout, BLayout, Isa, KC, THREAD_MIN_MACS,
+};
+use crate::{
+    Result, SparseDispatch, SparseStats, Tensor, TensorError, MR, NR, SPARSE_ACTIVE_MAX,
+};
+
+/// A `B` operand packed once into the blocked microkernel layout:
+/// `⌈n/NR⌉` panels of [`NR`] columns, `p`-major, each panel `k×NR`
+/// floats contiguous (the final partial panel is zero-padded). Panel
+/// `jp` starts at `jp·k·NR`; the `KC` depth window at `p0` is the
+/// contiguous `kb·NR` slice at offset `p0·NR` within a panel — exactly
+/// the layout [`crate::matmul`]'s per-call packer produces, so the same
+/// microkernels stream it with unit stride.
+///
+/// Build it once per weight matrix at model-load time and share it
+/// read-only (e.g. behind an `Arc`) across worker threads; the packing
+/// cost then never appears on the request path.
+#[derive(Debug, Clone)]
+pub struct PrepackedB {
+    k: usize,
+    n: usize,
+    panels: Vec<f32>,
+}
+
+impl PrepackedB {
+    fn with_layout(b: &[f32], layout: BLayout, k: usize, n: usize) -> Self {
+        let npanels = n.div_ceil(NR).max(1);
+        let mut panels = vec![0.0f32; npanels * k * NR];
+        if k > 0 && n > 0 {
+            // One full-depth pack: panel `jp` lands at `jp·k·NR`, which is
+            // exactly this struct's layout contract.
+            pack_b_chunk(b, layout, k, n, 0, k, 0, n, &mut panels);
+        }
+        PrepackedB { k, n, panels }
+    }
+
+    /// Packs `B: [k, n]` (row-major).
+    ///
+    /// # Errors
+    ///
+    /// Returns a rank error unless `b` is a rank-2 matrix.
+    pub fn from_matrix(b: &Tensor) -> Result<Self> {
+        if b.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: b.rank(),
+                op: "prepack_b",
+            });
+        }
+        let (k, n) = (b.dims()[0], b.dims()[1]);
+        Ok(Self::with_layout(b.as_slice(), BLayout::Normal, k, n))
+    }
+
+    /// Packs a weight matrix stored as `Bᵀ: [n, k]` row-major — the FC
+    /// flip. An FC layer computes `W[n,k] · x[k,1]`; prepacking `W` as
+    /// the *B* operand of `x_row[1,k] · Wᵀ[k,n]` folds the transpose
+    /// into packing, and since `[n,1]` and `[1,n]` outputs share one
+    /// flat layout, no transpose is ever materialized on either side.
+    ///
+    /// `w` may have any rank (FC weights ride along as `[n, k, 1, 1]`);
+    /// only its flat length is checked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when `w.len() != n·k`.
+    pub fn from_weight_transposed(w: &Tensor, k: usize, n: usize) -> Result<Self> {
+        if w.len() != n * k {
+            return Err(TensorError::LengthMismatch { expected: n * k, actual: w.len() });
+        }
+        Ok(Self::with_layout(w.as_slice(), BLayout::Trans, k, n))
+    }
+
+    /// Depth (`k`-rows) of the packed operand.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Width (`n`-columns) of the packed operand.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Heap bytes held by the packed panels (the prepack residency cost
+    /// published as `mime_prepack_bytes`).
+    pub fn bytes(&self) -> usize {
+        self.panels.len() * std::mem::size_of::<f32>()
+    }
+
+    /// The depth window `p0..p0+kb` of panel `jp`, contiguous `kb·NR`
+    /// floats — bit-identical to what `pack_b_chunk` would produce for
+    /// that window.
+    #[inline]
+    fn window(&self, jp: usize, p0: usize, kb: usize) -> &[f32] {
+        &self.panels[jp * self.k * NR + p0 * NR..][..kb * NR]
+    }
+}
+
+/// Serial prepacked GEMM over output rows `r0..r1`: the same `KC` depth
+/// windows, packing order and microkernels as the on-the-fly driver,
+/// minus the `B` packing. `c` holds rows `r0..r1` only (stride `n`).
+fn prepacked_rows(
+    a: &[f32],
+    pb: &PrepackedB,
+    c: &mut [f32],
+    kernel_isa: Isa,
+    m: usize,
+    r0: usize,
+    r1: usize,
+) {
+    let (k, n) = (pb.k, pb.n);
+    if k == 0 {
+        c[..(r1 - r0) * n].fill(0.0);
+        return;
+    }
+    let mut pa = vec![0.0f32; MR * KC.min(k)];
+    let mut i0 = r0;
+    while i0 < r1 {
+        let mr = MR.min(r1 - i0);
+        // The first depth window overwrites `c`, later windows accumulate
+        // onto it — the same per-element grouping (and therefore
+        // rounding) as the on-the-fly blocked driver.
+        let mut first = true;
+        let mut p0 = 0;
+        while p0 < k {
+            let kb = KC.min(k - p0);
+            pack_a(a, ALayout::Normal, m, k, p0, kb, i0, mr, &mut pa[..kb * mr]);
+            let mut jp = 0;
+            let mut j0 = 0;
+            while j0 < n {
+                let nv = NR.min(n - j0);
+                let c_tile = &mut c[(i0 - r0) * n + j0..];
+                tile(
+                    kernel_isa,
+                    mr,
+                    kb,
+                    &pa[..kb * mr],
+                    pb.window(jp, p0, kb),
+                    c_tile,
+                    n,
+                    nv,
+                    !first,
+                );
+                jp += 1;
+                j0 += NR;
+            }
+            first = false;
+            p0 += kb;
+        }
+        i0 += mr;
+    }
+}
+
+fn check_prepacked(a: &Tensor, pb: &PrepackedB, out: &Tensor) -> Result<(usize, usize)> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: a.rank(),
+            op: "matmul_prepacked",
+        });
+    }
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    if k != pb.k || out.dims() != [m, pb.n] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: vec![pb.k, pb.n],
+            op: "matmul_prepacked",
+        });
+    }
+    Ok((m, pb.n))
+}
+
+/// `C = A·B` with `B` prepacked: bit-identical to [`crate::matmul_into`]
+/// (same depth windows, same accumulation order, same microkernels), but
+/// the per-call `B` packing cost is gone. Threaded per
+/// [`crate::threads::worker_count`].
+///
+/// # Errors
+///
+/// Returns a shape/rank error when `a`/`out` do not conform to the
+/// packed operand.
+pub fn matmul_prepacked_into(a: &Tensor, pb: &PrepackedB, out: &mut Tensor) -> Result<()> {
+    matmul_prepacked_into_with_threads(a, pb, out, crate::threads::worker_count())
+}
+
+/// [`matmul_prepacked_into`] with an explicit worker count (results are
+/// identical at every count). Threading splits whole `MR` row blocks
+/// across workers, each element written by exactly one worker.
+///
+/// # Errors
+///
+/// Returns a shape/rank error when `a`/`out` do not conform to the
+/// packed operand.
+pub fn matmul_prepacked_into_with_threads(
+    a: &Tensor,
+    pb: &PrepackedB,
+    out: &mut Tensor,
+    threads: usize,
+) -> Result<()> {
+    let (m, n) = check_prepacked(a, pb, out)?;
+    matmul_prepacked_slice(a.as_slice(), pb, out.as_mut_slice(), isa(), m, n, threads);
+    Ok(())
+}
+
+fn matmul_prepacked_slice(
+    av: &[f32],
+    pb: &PrepackedB,
+    cv: &mut [f32],
+    kernel_isa: Isa,
+    m: usize,
+    n: usize,
+    threads: usize,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    let macs = m as u128 * pb.k as u128 * n as u128;
+    let blocks = m.div_ceil(MR);
+    let workers = if macs < THREAD_MIN_MACS { 1 } else { threads.max(1).min(blocks) };
+    if workers <= 1 {
+        prepacked_rows(av, pb, cv, kernel_isa, m, 0, m);
+        return;
+    }
+    let bbase = blocks / workers;
+    let bextra = blocks % workers;
+    std::thread::scope(|scope| {
+        let mut rest = &mut *cv;
+        let mut row = 0usize;
+        for w in 0..workers {
+            let nblocks = bbase + usize::from(w < bextra);
+            if nblocks == 0 {
+                continue;
+            }
+            let r0 = row;
+            let r1 = m.min(row + nblocks * MR);
+            row = r1;
+            let (mine, tail) = rest.split_at_mut((r1 - r0) * n);
+            rest = tail;
+            scope.spawn(move || prepacked_rows(av, pb, mine, kernel_isa, m, r0, r1));
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Fused row kernel (FC fast path)
+// ---------------------------------------------------------------------------
+
+/// The activation applied by the fused epilogue as the output leaves the
+/// kernel — the same arithmetic the unfused path applies in its separate
+/// pass, so fusing changes no bits.
+#[derive(Debug, Clone, Copy)]
+pub enum FusedMask<'a> {
+    /// No activation (classifier head): bias add only.
+    None,
+    /// Baseline ReLU: `v.max(0.0)`.
+    Relu,
+    /// MIME eq. (2) per-neuron compare-and-zero: keep `v` iff
+    /// `v - t[j] >= 0.0`, else exact `0.0`. One threshold per output
+    /// column.
+    Thresholds(&'a [f32]),
+}
+
+/// `p`-order-preserving fused multiply-add, gated exactly like the
+/// portable microkernel: with a hardware FMA `mul_add` lowers to
+/// `vfmadd`; without one it would be a libm call, so the unfused form is
+/// used instead.
+#[inline(always)]
+fn fmadd(a: f32, b: f32, acc: f32) -> f32 {
+    if cfg!(target_feature = "fma") {
+        a.mul_add(b, acc)
+    } else {
+        acc + a * b
+    }
+}
+
+/// The fused `1×n` compute over one contiguous panel range: columns
+/// `jp0·NR .. jp0·NR + out.len()`. Per depth window a window accumulator
+/// is summed in the same per-element `p`-order as the microkernels, then
+/// copied (first window) or added (later windows) into `out` — the exact
+/// memory-accumulation order of the blocked driver. With a row bitmap,
+/// inactive rows are skipped and fully-inactive windows never touch
+/// `out`, mirroring the compacting sparse path (skipped rows contribute
+/// exact `±0.0` terms, which never change an accumulator's bits).
+fn fused_stripe(
+    x: &[f32],
+    pb: &PrepackedB,
+    rows: Option<&[bool]>,
+    jp0: usize,
+    out: &mut [f32],
+) {
+    let k = pb.k;
+    let nb = out.len();
+    // Panel-outer order: each panel's `k·NR` floats stream sequentially
+    // (one hardware-prefetchable stream at a time), while `x` — tiny by
+    // comparison — is re-read per panel from cache. Output elements are
+    // arithmetically independent, so relative to a depth-outer loop this
+    // changes only the order *across* columns, never the bits of any one
+    // column: per element it is still active windows in increasing `p0`,
+    // `p`-ascending register accumulation within a window, first active
+    // window copied and later ones added.
+    let mut j = 0;
+    let mut jp = jp0;
+    while j < nb {
+        let nv = NR.min(nb - j);
+        let panel = &pb.panels[jp * k * NR..(jp + 1) * k * NR];
+        let o = &mut out[j..j + nv];
+        let mut first = true;
+        let mut p0 = 0;
+        while p0 < k {
+            let kb = KC.min(k - p0);
+            let window_active = rows.is_none_or(|r| r[p0..p0 + kb].iter().any(|&a| a));
+            if window_active {
+                // Full-NR accumulator even for the ragged last panel: its
+                // padding lanes multiply the panel's zero fill and are
+                // never stored.
+                let mut wacc = [0.0f32; NR];
+                for (p, &a) in x.iter().enumerate().take(p0 + kb).skip(p0) {
+                    if rows.is_some_and(|r| !r[p]) {
+                        continue;
+                    }
+                    // Fixed-size views keep the lane loop free of bounds
+                    // checks so it vectorizes cleanly.
+                    let brow: &[f32; NR] = panel[p * NR..][..NR].try_into().unwrap();
+                    for l in 0..NR {
+                        wacc[l] = fmadd(a, brow[l], wacc[l]);
+                    }
+                }
+                if first {
+                    // Copy, don't add onto a zero-initialised buffer: a
+                    // `-0.0` window sum must land as `-0.0`, exactly as
+                    // the microkernel's overwrite store does.
+                    o.copy_from_slice(&wacc[..nv]);
+                } else {
+                    for (ov, w) in o.iter_mut().zip(&wacc) {
+                        *ov += *w;
+                    }
+                }
+                first = false;
+            }
+            p0 += kb;
+        }
+        if first {
+            o.fill(0.0);
+        }
+        j += nv;
+        jp += 1;
+    }
+}
+
+/// The fused epilogue over one column range: bias add, activation mask,
+/// and the per-column activity bit, applied as the values leave the
+/// compute — this is the pass that used to be a second full sweep over
+/// the activation tensor.
+fn fused_epilogue(
+    out: &mut [f32],
+    activity: &mut [bool],
+    bias: &[f32],
+    mask: &FusedMask<'_>,
+    j0: usize,
+) {
+    for (j, (v, act)) in out.iter_mut().zip(activity.iter_mut()).enumerate() {
+        let mut y = *v + bias[j];
+        y = match mask {
+            FusedMask::None => y,
+            FusedMask::Relu => y.max(0.0),
+            FusedMask::Thresholds(t) => {
+                // same comparison the array's drain stage applies
+                // (eq. (2)): keep the accumulator iff acc - t >= 0
+                if y - t[j0 + j] >= 0.0 {
+                    y
+                } else {
+                    0.0
+                }
+            }
+        };
+        *v = y;
+        *act = y != 0.0;
+    }
+}
+
+/// `out = mask(x_row · B + bias)` with `B` prepacked — the FC fast path
+/// with the threshold epilogue fused in. `x` is the flat `[k]` input
+/// row, `out` the flat `[n]` output; the per-column activity bitmap
+/// (`out[j] != 0.0`) is written into `activity`, so the downstream
+/// sparse dispatcher needs no re-scan pass.
+///
+/// Sparsity semantics mirror [`crate::matmul_sparse_dispatch_into`]:
+/// `active` (when given) lists which input rows may be nonzero, rows not
+/// marked **must** be exactly zero; with `active = None` and a
+/// non-dense dispatch the input is probed. The
+/// [`SPARSE_ACTIVE_MAX`] crossover and [`SparseDispatch`] modes apply
+/// unchanged, and the output is bit-identical whichever arm runs.
+///
+/// # Errors
+///
+/// Returns a length error when `x`, `bias`, `out`, a threshold vector,
+/// or `active` disagree with the packed operand's `k`/`n`.
+#[allow(clippy::too_many_arguments)] // flat kernel-entry plumbing
+pub fn matmul_fused_row_into(
+    x: &Tensor,
+    pb: &PrepackedB,
+    bias: &Tensor,
+    mask: FusedMask<'_>,
+    active: Option<&[bool]>,
+    dispatch: SparseDispatch,
+    out: &mut Tensor,
+    activity: &mut Vec<bool>,
+    threads: usize,
+) -> Result<SparseStats> {
+    let (k, n) = (pb.k, pb.n);
+    if x.len() != k {
+        return Err(TensorError::LengthMismatch { expected: k, actual: x.len() });
+    }
+    if out.len() != n {
+        return Err(TensorError::LengthMismatch { expected: n, actual: out.len() });
+    }
+    if bias.len() != n {
+        return Err(TensorError::LengthMismatch { expected: n, actual: bias.len() });
+    }
+    if let FusedMask::Thresholds(t) = mask {
+        if t.len() != n {
+            return Err(TensorError::LengthMismatch { expected: n, actual: t.len() });
+        }
+    }
+    if let Some(act) = active {
+        if act.len() != k {
+            return Err(TensorError::LengthMismatch { expected: k, actual: act.len() });
+        }
+    }
+    let xv = x.as_slice();
+    let probed;
+    let (rows, stats) = if dispatch == SparseDispatch::DenseOnly {
+        (None, SparseStats { k_total: k, k_active: k, used_sparse: false })
+    } else {
+        let bitmap: &[bool] = match active {
+            Some(act) => act,
+            None => {
+                // probe the input row: `-0.0` counts as zero, exactly as
+                // the unfused probe treats B's k-rows
+                probed = xv.iter().map(|&v| v != 0.0).collect::<Vec<bool>>();
+                &probed
+            }
+        };
+        let k_active = bitmap.iter().filter(|&&a| a).count();
+        let use_sparse = dispatch == SparseDispatch::SparseOnly
+            || (k_active as f64) <= SPARSE_ACTIVE_MAX * k as f64;
+        (
+            use_sparse.then_some(bitmap),
+            SparseStats { k_total: k, k_active, used_sparse: use_sparse },
+        )
+    };
+    activity.clear();
+    activity.resize(n, false);
+    let ov = out.as_mut_slice();
+    let bv = bias.as_slice();
+    if n == 0 {
+        return Ok(stats);
+    }
+    let macs = stats.k_active as u128 * n as u128;
+    let col_panels = n.div_ceil(NR);
+    let workers = if macs < THREAD_MIN_MACS { 1 } else { threads.max(1).min(col_panels) };
+    if workers <= 1 {
+        fused_stripe(xv, pb, rows, 0, ov);
+        fused_epilogue(ov, activity, bv, &mask, 0);
+        return Ok(stats);
+    }
+    // Column-stripe split on panel boundaries: each worker owns a
+    // contiguous slice of the output row (and its activity bits), so the
+    // split is plain `split_at_mut` and every element is produced by
+    // exactly one worker with the serial arithmetic.
+    let base = col_panels / workers;
+    let extra = col_panels % workers;
+    std::thread::scope(|scope| {
+        let mut out_rest = &mut *ov;
+        let mut act_rest = &mut activity[..];
+        let mut panel = 0usize;
+        for w in 0..workers {
+            let npanels = base + usize::from(w < extra);
+            if npanels == 0 {
+                continue;
+            }
+            let jp0 = panel;
+            let j_lo = panel * NR;
+            panel += npanels;
+            let j_hi = n.min(panel * NR);
+            let (out_mine, out_tail) = out_rest.split_at_mut(j_hi - j_lo);
+            out_rest = out_tail;
+            let (act_mine, act_tail) = act_rest.split_at_mut(j_hi - j_lo);
+            act_rest = act_tail;
+            let mask = &mask;
+            scope.spawn(move || {
+                fused_stripe(xv, pb, rows, jp0, out_mine);
+                fused_epilogue(out_mine, act_mine, &bv[j_lo..j_hi], mask, j_lo);
+            });
+        }
+    });
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul_into_with_threads;
+
+    /// Every microkernel arm the running CPU can execute. The property
+    /// tests drive the prepacked driver through each of them explicitly
+    /// — the on-the-fly reference always uses the best arm, so equality
+    /// across this list is exactly the cross-arm bit-identity claim.
+    fn available_isas() -> Vec<Isa> {
+        #[allow(unused_mut)]
+        let mut isas = vec![Isa::Portable];
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+                isas.push(Isa::Avx2Fma);
+            }
+            if is_x86_feature_detected!("avx512f") {
+                isas.push(Isa::Avx512);
+            }
+        }
+        isas
+    }
+
+    fn det(seed: u64, i: usize, m: u64) -> f32 {
+        (((i as u64).wrapping_mul(2654435761).wrapping_add(seed) % m) as f32) * 0.25 - 1.5
+    }
+
+    fn mat(dims: &[usize], seed: u64, m: u64) -> Tensor {
+        Tensor::from_fn(dims, |i| det(seed, i, m))
+    }
+
+    #[test]
+    fn prepacked_matches_on_the_fly_bitwise_on_every_arm() {
+        // shapes straddle partial panels, partial MR blocks and multiple
+        // KC windows (k > 2·KC)
+        for &(m, k, n) in
+            &[(1, 7, 5), (8, 384, 16), (13, 900, 47), (33, 385, 17), (5, 64, 1)]
+        {
+            let a = mat(&[m, k], 3, 19);
+            let b = mat(&[k, n], 5, 17);
+            let mut reference = Tensor::zeros(&[m, n]);
+            matmul_into_with_threads(&a, &b, &mut reference, 1).unwrap();
+            let pb = PrepackedB::from_matrix(&b).unwrap();
+            assert_eq!(pb.k(), k);
+            assert_eq!(pb.n(), n);
+            assert!(pb.bytes() >= k * n * 4);
+            for kernel_isa in available_isas() {
+                for threads in [1usize, 2, 5] {
+                    let mut out = Tensor::zeros(&[m, n]);
+                    matmul_prepacked_slice(
+                        a.as_slice(),
+                        &pb,
+                        out.as_mut_slice(),
+                        kernel_isa,
+                        m,
+                        n,
+                        threads,
+                    );
+                    assert_eq!(
+                        out.as_slice(),
+                        reference.as_slice(),
+                        "m={m} k={k} n={n} isa={kernel_isa:?} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_weight_transposed_equals_from_matrix_of_transpose() {
+        let (k, n) = (11, 9);
+        let w = mat(&[n, k], 7, 23); // Bᵀ
+        let mut b = Tensor::zeros(&[k, n]);
+        for p in 0..k {
+            for j in 0..n {
+                b.as_mut_slice()[p * n + j] = w.as_slice()[j * k + p];
+            }
+        }
+        let via_t = PrepackedB::from_weight_transposed(&w, k, n).unwrap();
+        let direct = PrepackedB::from_matrix(&b).unwrap();
+        assert_eq!(via_t.panels, direct.panels);
+    }
+
+    #[test]
+    fn fused_row_matches_unflipped_fc_bitwise() {
+        // W[n,k]·x[k,1] computed conventionally vs the flipped fused
+        // kernel over prepacked Wᵀ — must agree bit-for-bit (commuted
+        // multiplies, same window grouping, same p-order).
+        let (k, n) = (900, 75);
+        let w = mat(&[n, k], 11, 21);
+        let x = mat(&[k], 13, 15);
+        let x_col = x.reshape(&[k, 1]).unwrap();
+        let mut reference = Tensor::zeros(&[n, 1]);
+        matmul_into_with_threads(&w, &x_col, &mut reference, 1).unwrap();
+        let pb = PrepackedB::from_weight_transposed(&w, k, n).unwrap();
+        let bias = Tensor::zeros(&[n]);
+        for threads in [1usize, 3] {
+            let mut out = Tensor::zeros(&[n]);
+            let mut act = Vec::new();
+            let stats = matmul_fused_row_into(
+                &x,
+                &pb,
+                &bias,
+                FusedMask::None,
+                None,
+                SparseDispatch::DenseOnly,
+                &mut out,
+                &mut act,
+                threads,
+            )
+            .unwrap();
+            assert!(!stats.used_sparse);
+            assert_eq!(out.as_slice(), reference.as_slice(), "threads={threads}");
+            for (v, a) in out.as_slice().iter().zip(&act) {
+                assert_eq!(*a, *v != 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_sparse_and_dense_arms_are_bit_identical() {
+        let (k, n) = (800, 40);
+        let w = mat(&[n, k], 17, 13);
+        let mut x = mat(&[k], 19, 11);
+        // zero ~60% of the input rows, including one whole KC window
+        let mut active = vec![true; k];
+        for (p, act) in active.iter_mut().enumerate() {
+            if p % 5 != 0 || (384..768).contains(&p) {
+                x.as_mut_slice()[p] = 0.0;
+                *act = false;
+            }
+        }
+        let pb = PrepackedB::from_weight_transposed(&w, k, n).unwrap();
+        let bias = mat(&[n], 23, 9);
+        let t = Tensor::from_fn(&[n], |i| det(29, i, 7).abs() * 0.2);
+        let run = |dispatch, act_in: Option<&[bool]>, threads| {
+            let mut out = Tensor::zeros(&[n]);
+            let mut act = Vec::new();
+            let stats = matmul_fused_row_into(
+                &x,
+                &pb,
+                &bias,
+                FusedMask::Thresholds(t.as_slice()),
+                act_in,
+                dispatch,
+                &mut out,
+                &mut act,
+                threads,
+            )
+            .unwrap();
+            (out, act, stats)
+        };
+        let (dense, dense_act, dstats) = run(SparseDispatch::DenseOnly, None, 1);
+        assert!(!dstats.used_sparse);
+        for dispatch in [SparseDispatch::Auto, SparseDispatch::SparseOnly] {
+            for act_in in [None, Some(&active[..])] {
+                for threads in [1usize, 4] {
+                    let (out, act, stats) = run(dispatch, act_in, threads);
+                    assert!(stats.used_sparse);
+                    assert_eq!(stats.k_total, k);
+                    assert!(stats.rows_skipped() > 0);
+                    assert_eq!(
+                        out.as_slice(),
+                        dense.as_slice(),
+                        "dispatch={dispatch:?} given={} threads={threads}",
+                        act_in.is_some()
+                    );
+                    assert_eq!(act, dense_act);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_epilogue_masks_match_the_unfused_reference() {
+        let (k, n) = (100, 33);
+        let w = mat(&[n, k], 31, 19);
+        let x = mat(&[k], 37, 17);
+        let bias = mat(&[n], 41, 5);
+        let x_col = x.reshape(&[k, 1]).unwrap();
+        let mut gemm = Tensor::zeros(&[n, 1]);
+        matmul_into_with_threads(&w, &x_col, &mut gemm, 1).unwrap();
+        let pb = PrepackedB::from_weight_transposed(&w, k, n).unwrap();
+        let t = Tensor::from_fn(&[n], |i| det(43, i, 9) * 0.1);
+        for (mask, expect) in [
+            (
+                FusedMask::Relu,
+                (0..n)
+                    .map(|j| (gemm.as_slice()[j] + bias.as_slice()[j]).max(0.0))
+                    .collect::<Vec<f32>>(),
+            ),
+            (
+                FusedMask::Thresholds(t.as_slice()),
+                (0..n)
+                    .map(|j| {
+                        let v = gemm.as_slice()[j] + bias.as_slice()[j];
+                        if v - t.as_slice()[j] >= 0.0 {
+                            v
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect::<Vec<f32>>(),
+            ),
+        ] {
+            let mut out = Tensor::zeros(&[n]);
+            let mut act = Vec::new();
+            matmul_fused_row_into(
+                &x,
+                &pb,
+                &bias,
+                mask,
+                None,
+                SparseDispatch::Auto,
+                &mut out,
+                &mut act,
+                1,
+            )
+            .unwrap();
+            assert_eq!(out.as_slice(), &expect[..]);
+            let expect_act: Vec<bool> = expect.iter().map(|&v| v != 0.0).collect();
+            assert_eq!(act, expect_act);
+        }
+    }
+
+    #[test]
+    fn fused_row_agrees_with_sparse_dispatch_reference() {
+        // the unflipped sparse path (W as A, x as single-column B) vs the
+        // flipped fused kernel with the same activity list
+        let (k, n) = (500, 24);
+        let w = mat(&[n, k], 47, 29);
+        let mut x = mat(&[k], 53, 31);
+        let mut active = vec![false; k];
+        let mut rows = Vec::new();
+        for p in (0..k).step_by(3) {
+            active[p] = true;
+            rows.push(p);
+        }
+        for (p, &act) in active.iter().enumerate() {
+            if !act {
+                x.as_mut_slice()[p] = 0.0;
+            }
+        }
+        let x_col = x.reshape(&[k, 1]).unwrap();
+        let mut reference = Tensor::zeros(&[n, 1]);
+        let ref_stats = crate::matmul_sparse_dispatch_into_with_rows(
+            &w,
+            &x_col,
+            &mut reference,
+            &rows,
+            SparseDispatch::SparseOnly,
+        )
+        .unwrap();
+        assert!(ref_stats.used_sparse);
+        let pb = PrepackedB::from_weight_transposed(&w, k, n).unwrap();
+        let bias = Tensor::zeros(&[n]);
+        let mut out = Tensor::zeros(&[n]);
+        let mut act = Vec::new();
+        let stats = matmul_fused_row_into(
+            &x,
+            &pb,
+            &bias,
+            FusedMask::None,
+            Some(&active),
+            SparseDispatch::SparseOnly,
+            &mut out,
+            &mut act,
+            1,
+        )
+        .unwrap();
+        assert_eq!(out.as_slice(), reference.as_slice());
+        assert_eq!(stats.k_active, ref_stats.k_active);
+    }
+
+    #[test]
+    fn fused_row_rejects_mismatched_operands() {
+        let pb = PrepackedB::from_matrix(&mat(&[4, 6], 1, 7)).unwrap();
+        let bias = Tensor::zeros(&[6]);
+        let mut out = Tensor::zeros(&[6]);
+        let mut act = Vec::new();
+        let bad_x = Tensor::zeros(&[5]);
+        assert!(matmul_fused_row_into(
+            &bad_x,
+            &pb,
+            &bias,
+            FusedMask::None,
+            None,
+            SparseDispatch::Auto,
+            &mut out,
+            &mut act,
+            1,
+        )
+        .is_err());
+        let x = Tensor::zeros(&[4]);
+        let bad_t = vec![0.0; 5];
+        assert!(matmul_fused_row_into(
+            &x,
+            &pb,
+            &bias,
+            FusedMask::Thresholds(&bad_t),
+            None,
+            SparseDispatch::Auto,
+            &mut out,
+            &mut act,
+            1,
+        )
+        .is_err());
+        assert!(matmul_fused_row_into(
+            &x,
+            &pb,
+            &bias,
+            FusedMask::None,
+            Some(&[true; 3]),
+            SparseDispatch::Auto,
+            &mut out,
+            &mut act,
+            1,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_depth_yields_bias_plus_mask() {
+        let pb = PrepackedB::from_matrix(&Tensor::zeros(&[0, 3]).reshape(&[0, 3]).unwrap())
+            .unwrap();
+        let x = Tensor::zeros(&[0]);
+        let bias = Tensor::from_vec(vec![1.0, -2.0, 0.0], &[3]).unwrap();
+        let mut out = Tensor::zeros(&[3]);
+        let mut act = Vec::new();
+        matmul_fused_row_into(
+            &x,
+            &pb,
+            &bias,
+            FusedMask::Relu,
+            None,
+            SparseDispatch::Auto,
+            &mut out,
+            &mut act,
+            1,
+        )
+        .unwrap();
+        assert_eq!(out.as_slice(), &[1.0, 0.0, 0.0]);
+        assert_eq!(act, vec![true, false, false]);
+    }
+}

@@ -60,6 +60,11 @@ if [[ "$run_tests" == 1 ]]; then
     # must actually skip compacted GEMM rows
     grep -q '^mime_sparse_rows_skipped_total [1-9]' "$obs_metrics"
     grep -q '^mime_runtime_layer_latency_seconds_count' "$obs_metrics"
+    # FC weight panels are prepacked exactly once per process at plan
+    # load (counter == 1 despite multiple images/tasks), and the
+    # resident-panel footprint gauge is nonzero
+    grep -q '^mime_prepack_total 1$' "$obs_metrics"
+    grep -q '^mime_prepack_bytes [1-9]' "$obs_metrics"
 
     # sparse-vs-dense smoke: pinning the dispatcher to the dense packed
     # kernels must not change a single logit bit
@@ -73,6 +78,21 @@ if [[ "$run_tests" == 1 ]]; then
     [[ -n "$sparse_ck" && "$sparse_ck" == "$dense_ck" ]] \
         || { echo "FAIL: --dense-only changed the logits checksum" >&2; exit 1; }
 
+    # fused-epilogue smoke: disabling prepacking (which also disables
+    # the fused GEMM+threshold kernel) must not change a single logit
+    # bit, and the prepack counter must stay at zero
+    echo "==> mime batch --no-prepack bit-identity smoke"
+    unfused_out=$(cargo run --release -p mime-cli --bin mime -- batch \
+        --images 2 --tasks 2 --threads 2 --no-prepack \
+        --metrics-out target/obs_smoke.noprepack.prom)
+    if grep -q '^mime_prepack_total' target/obs_smoke.noprepack.prom; then
+        echo "FAIL: --no-prepack still prepacked" >&2
+        exit 1
+    fi
+    unfused_ck=$(grep 'logits checksum' <<<"$unfused_out")
+    [[ -n "$unfused_ck" && "$unfused_ck" == "$sparse_ck" ]] \
+        || { echo "FAIL: fused epilogue changed the logits checksum" >&2; exit 1; }
+
     # serving-loop chaos smoke: every fault mode must terminate every
     # request (no hang — enforced by the wall-clock timeout; no panic —
     # enforced by the exit code) and publish its serve metrics
@@ -85,6 +105,10 @@ if [[ "$run_tests" == 1 ]]; then
             || { echo "FAIL: mime serve --inject $fault (panic, error, or hang)" >&2; exit 1; }
         grep -q '^mime_serve_requests_total 64$' "$serve_metrics"
     done
+    # panels are prepacked exactly once at serve startup — 64 requests
+    # across the worker pool must not bump the counter past 1
+    grep -q '^mime_prepack_total 1$' target/serve_smoke.none.prom
+    grep -q '^mime_prepack_bytes [1-9]' target/serve_smoke.none.prom
     # overload must shed the overflow; a poisoned bank must leave its
     # breaker open at drain time
     grep -q '^mime_serve_shed_total 32$' target/serve_smoke.overload.prom
