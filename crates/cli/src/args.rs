@@ -162,6 +162,13 @@ pub enum Command {
         /// Skip the startup weight-panel prepack (`--no-prepack`);
         /// forwarded to replica workers in front-door mode.
         no_prepack: bool,
+        /// Disable fleet observability (`--no-obs`): no trace
+        /// stitching, clock probes, flight events, or per-request
+        /// metrics — the overhead baseline for BENCH_serve.json.
+        no_obs: bool,
+        /// Directory receiving flight-recorder dumps (front door and
+        /// replicas) on death, panic, or SIGUSR1.
+        flight_dir: Option<String>,
     },
     /// `mime replica-worker`: one replica process behind `mime serve
     /// --listen` (spawned by the front door; not for direct use).
@@ -180,6 +187,14 @@ pub enum Command {
         dense_only: bool,
         /// Skip the startup weight-panel prepack.
         no_prepack: bool,
+        /// Disable observability shipping (`--no-obs`).
+        no_obs: bool,
+        /// Record spans and ship them to the front door as
+        /// `TraceChunk` frames (`--trace`; set when the front door
+        /// itself runs with `--trace-out`).
+        trace: bool,
+        /// Directory receiving flight-recorder dumps.
+        flight_dir: Option<String>,
     },
     /// `mime loadgen`: fixed-count client for a front door — drives
     /// requests over TCP, prints outcome counts and latency
@@ -201,6 +216,9 @@ pub enum Command {
         label: String,
         /// Send a Shutdown frame after the run (graceful server drain).
         drain: bool,
+        /// Print the slowest request IDs at/above this latency with a
+        /// queue/wire/compute breakdown (0 = off).
+        slow_threshold_ms: u64,
     },
     /// `mime help`.
     Help,
@@ -314,15 +332,23 @@ impl ObsOptions {
     }
 
     /// Drains the collected spans/metrics into the requested files.
-    /// Call once, after the command finishes.
+    /// Call once, after the command finishes. Writes are atomic
+    /// (tmp + rename), so a crash mid-write never leaves a scrape
+    /// target or trace viewer holding a half-written file.
     ///
     /// # Errors
     ///
     /// Returns the underlying I/O error when a file cannot be written.
     pub fn finish(&self) -> std::io::Result<()> {
+        use std::path::Path;
+        fn atomic(path: &str, bytes: &[u8]) -> std::io::Result<()> {
+            mime_core::deploy::write_file_atomic(Path::new(path), bytes)
+                .map_err(|e| std::io::Error::other(e.to_string()))
+        }
         if let Some(path) = &self.trace_out {
             let events = mime_obs::trace::drain();
-            std::fs::write(path, mime_obs::trace::chrome_trace_json(&events))?;
+            let json = mime_obs::trace::chrome_trace_json(&events);
+            atomic(path, json.as_bytes())?;
         }
         if let Some(path) = &self.metrics_out {
             let registry = mime_obs::metrics::global();
@@ -331,7 +357,7 @@ impl ObsOptions {
             } else {
                 registry.render_prometheus()
             };
-            std::fs::write(path, rendered)?;
+            atomic(path, rendered.as_bytes())?;
         }
         Ok(())
     }
@@ -745,6 +771,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
         "serve" => {
             let (rest, dense_only) = strip_valueless(rest, "--dense-only");
             let (rest, no_prepack) = strip_valueless(&rest, "--no-prepack");
+            let (rest, no_obs) = strip_valueless(&rest, "--no-obs");
             let (flags, pos) = split_flags(&rest)?;
             reject_unknown(
                 &flags,
@@ -760,6 +787,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                     "image",
                     "deadline-ms",
                     "inject-every",
+                    "flight-dir",
                 ],
             )?;
             if !pos.is_empty() {
@@ -815,15 +843,26 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                 deadline_ms: get_num(&flags, "deadline-ms", 5000)?,
                 inject_every,
                 no_prepack,
+                no_obs,
+                flight_dir: flags.get("flight-dir").cloned(),
             })
         }
         "replica-worker" => {
             let (rest, dense_only) = strip_valueless(rest, "--dense-only");
             let (rest, no_prepack) = strip_valueless(&rest, "--no-prepack");
+            let (rest, no_obs) = strip_valueless(&rest, "--no-obs");
+            let (rest, trace) = strip_valueless(&rest, "--trace");
             let (flags, pos) = split_flags(&rest)?;
             reject_unknown(
                 &flags,
-                &["image", "replica", "inject", "inject-every", "heartbeat-ms"],
+                &[
+                    "image",
+                    "replica",
+                    "inject",
+                    "inject-every",
+                    "heartbeat-ms",
+                    "flight-dir",
+                ],
             )?;
             if !pos.is_empty() {
                 return Err(err(format!("unexpected argument '{}'", pos[0])));
@@ -861,6 +900,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                 heartbeat_ms,
                 dense_only,
                 no_prepack,
+                no_obs,
+                trace,
+                flight_dir: flags.get("flight-dir").cloned(),
             })
         }
         "loadgen" => {
@@ -876,6 +918,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                     "deadline-ms",
                     "bench-out",
                     "label",
+                    "slow-threshold-ms",
                 ],
             )?;
             if !pos.is_empty() {
@@ -906,6 +949,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                 bench_out: flags.get("bench-out").cloned(),
                 label: flags.get("label").cloned().unwrap_or_else(|| "run".to_string()),
                 drain,
+                slow_threshold_ms: get_num(&flags, "slow-threshold-ms", 0)?,
             })
         }
         other => Err(err(format!("unknown command '{other}' (try 'mime help')"))),
@@ -1162,6 +1206,8 @@ mod tests {
                 deadline_ms: 5000,
                 inject_every: 4,
                 no_prepack: false,
+                no_obs: false,
+                flight_dir: None,
             }
         );
         // only batch and serve accept it
@@ -1250,6 +1296,8 @@ mod tests {
                 deadline_ms: 5000,
                 inject_every: 4,
                 no_prepack: false,
+                no_obs: false,
+                flight_dir: None,
             }
         );
         for (name, fault) in [
@@ -1287,6 +1335,8 @@ mod tests {
                 deadline_ms: 5000,
                 inject_every: 4,
                 no_prepack: false,
+                no_obs: false,
+                flight_dir: None,
             }
         );
         assert!(p(&["serve", "--requests", "0"]).is_err());
@@ -1365,6 +1415,9 @@ mod tests {
                 heartbeat_ms: 250,
                 dense_only: false,
                 no_prepack: false,
+                no_obs: false,
+                trace: false,
+                flight_dir: None,
             }
         );
         match p(&[
@@ -1411,6 +1464,7 @@ mod tests {
                 bench_out: None,
                 label: "run".to_string(),
                 drain: false,
+                slow_threshold_ms: 0,
             }
         );
         match p(&[

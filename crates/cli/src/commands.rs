@@ -101,6 +101,8 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
             deadline_ms,
             inject_every,
             no_prepack,
+            no_obs,
+            flight_dir,
         } => match listen {
             Some(addr) => serve_listen(
                 out,
@@ -115,6 +117,8 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
                 deadline_ms,
                 inject_every,
                 no_prepack,
+                no_obs,
+                flight_dir.as_deref(),
             ),
             None => serve(
                 out, requests, tasks, seed, inject, workers, capacity, dense_only,
@@ -129,6 +133,9 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
             heartbeat_ms,
             dense_only,
             no_prepack,
+            no_obs,
+            trace,
+            flight_dir,
         } => replica_worker(
             &image,
             replica,
@@ -137,6 +144,9 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
             heartbeat_ms,
             dense_only,
             no_prepack,
+            no_obs,
+            trace,
+            flight_dir.as_deref(),
         ),
         Command::Loadgen {
             connect,
@@ -147,6 +157,7 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
             bench_out,
             label,
             drain,
+            slow_threshold_ms,
         } => loadgen(
             out,
             &connect,
@@ -157,6 +168,7 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
             bench_out.as_deref(),
             &label,
             drain,
+            slow_threshold_ms,
         ),
     }
 }
@@ -190,10 +202,14 @@ fn write_help(out: &mut dyn Write) {
          \x20 serve     --listen <addr> [--replicas 2] [--image <file>] [--capacity 0]\n\
          \x20           [--deadline-ms 5000] [--inject replica-abort|replica-hang|\n\
          \x20           replica-slow|conn-garbage|conn-truncate] [--inject-every 4]\n\
-         \x20           multi-process TCP front door over supervised replica processes\n\
+         \x20           [--no-obs] [--flight-dir <dir>]\n\
+         \x20           multi-process TCP front door over supervised replica processes;\n\
+         \x20           also answers GET /metrics, /healthz, /readyz on the same port\n\
          \x20 loadgen   --connect <addr> [--requests 64] [--concurrency 4] [--tasks 3]\n\
          \x20           [--deadline-ms 5000] [--bench-out <file>] [--label run] [--drain]\n\
+         \x20           [--slow-threshold-ms 0]\n\
          \x20           drive a front door, print outcome counts + latency percentiles\n\
+         \x20           (+ queue/compute/wire breakdown for requests over the threshold)\n\
          \x20 help                                             this message\n\n\
          global flags (any command):\n\
          \x20 --trace-out <file>    write a Chrome-trace JSON (chrome://tracing, Perfetto)\n\
@@ -885,9 +901,14 @@ mod sig {
     use std::sync::atomic::{AtomicBool, Ordering};
 
     pub static STOP: AtomicBool = AtomicBool::new(false);
+    pub static DUMP: AtomicBool = AtomicBool::new(false);
 
     extern "C" fn on_signal(_sig: i32) {
         STOP.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" fn on_dump_signal(_sig: i32) {
+        DUMP.store(true, Ordering::SeqCst);
     }
 
     extern "C" {
@@ -904,6 +925,31 @@ mod sig {
             signal(SIGTERM, handler);
         }
     }
+
+    /// Routes SIGUSR1 to [`DUMP`] — a watcher thread turns the flag
+    /// into a flight-recorder dump (the handler itself may only touch
+    /// async-signal-safe state).
+    pub fn install_dump() {
+        const SIGUSR1: i32 = 10;
+        let handler = on_dump_signal as *const () as usize;
+        unsafe {
+            signal(SIGUSR1, handler);
+        }
+    }
+}
+
+/// Arms the flight recorder for this process: dump directory + label,
+/// a panic hook, and a SIGUSR1 watcher thread that dumps on demand.
+fn arm_flight_recorder(dir: &str, label: &str) {
+    mime_obs::flight::configure(dir, label);
+    mime_obs::flight::install_panic_dump();
+    sig::install_dump();
+    std::thread::spawn(|| loop {
+        if sig::DUMP.swap(false, std::sync::atomic::Ordering::SeqCst) {
+            let _ = mime_obs::flight::dump_now("sigusr1");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
 }
 
 /// `mime serve --listen`: the multi-process front door. Packs a
@@ -924,6 +970,8 @@ fn serve_listen(
     deadline_ms: u64,
     inject_every: usize,
     no_prepack: bool,
+    no_obs: bool,
+    flight_dir: Option<&str>,
 ) -> Result<(), CliError> {
     use mime_serve::{ConnFault, FrontDoor, FrontDoorConfig};
     use std::time::Duration;
@@ -955,6 +1003,24 @@ fn serve_listen(
     if no_prepack {
         replica_cmd.push("--no-prepack".to_string());
     }
+    if no_obs {
+        replica_cmd.push("--no-obs".to_string());
+    } else if mime_obs::trace::enabled() {
+        // Front door runs with --trace-out: replicas record spans too
+        // and ship them home as TraceChunk frames for stitching.
+        replica_cmd.push("--trace".to_string());
+    }
+    if let Some(dir) = flight_dir {
+        replica_cmd.push("--flight-dir".to_string());
+        replica_cmd.push(dir.to_string());
+    }
+    if !no_obs {
+        // The front door's own counters feed the live /metrics scrape.
+        mime_obs::set_metrics_enabled(true);
+    }
+    if let Some(dir) = flight_dir {
+        arm_flight_recorder(dir, "frontdoor");
+    }
     let mut self_inject = None;
     match inject {
         ServeFault::ReplicaAbort | ServeFault::ReplicaHang | ServeFault::ReplicaSlow => {
@@ -975,6 +1041,7 @@ fn serve_listen(
         queue_capacity: if capacity == 0 { 64 } else { capacity },
         deadline: Duration::from_millis(deadline_ms),
         self_inject,
+        obs: !no_obs,
         ..FrontDoorConfig::default()
     };
     let door = FrontDoor::start(cfg).map_err(io_err)?;
@@ -1031,11 +1098,23 @@ fn replica_worker(
     heartbeat_ms: u64,
     dense_only: bool,
     no_prepack: bool,
+    no_obs: bool,
+    trace: bool,
+    flight_dir: Option<&str>,
 ) -> Result<(), CliError> {
     use mime_serve::replica::run_replica_worker;
     use mime_serve::{ReplicaFault, ReplicaWorkerConfig};
     use std::time::Duration;
 
+    if !no_obs {
+        mime_obs::set_metrics_enabled(true);
+    }
+    if trace && !no_obs {
+        mime_obs::trace::set_enabled(true);
+    }
+    if let Some(dir) = flight_dir {
+        arm_flight_recorder(dir, &format!("replica{replica}"));
+    }
     let raw = std::fs::read(image).map_err(io_err)?;
     // The receiver seed is irrelevant: the backbone and every task bank
     // are replaced by the image's sections.
@@ -1081,6 +1160,7 @@ fn replica_worker(
         } else {
             mime_runtime::SparseDispatch::Auto
         },
+        obs: !no_obs,
         ..ReplicaWorkerConfig::default()
     };
     let stdin = std::io::stdin();
@@ -1112,6 +1192,12 @@ struct LoadgenTally {
     /// (connection setup plus whatever the server does lazily on first
     /// touch), reported as its own percentile row in the bench JSON.
     cold_us: Vec<u64>,
+    /// Admission-queue wait per successful reply, as stamped by the
+    /// front door (`queue_us` on the Reply frame).
+    queue_us: Vec<u64>,
+    /// Replies at/above `--slow-threshold-ms`:
+    /// `(id, trace, total_us, queue_us, compute_us)`.
+    slow: Vec<(u64, u64, u64, u32, u32)>,
 }
 
 impl LoadgenTally {
@@ -1125,6 +1211,8 @@ impl LoadgenTally {
         self.lost += other.lost;
         self.latencies_us.extend(other.latencies_us);
         self.cold_us.extend(other.cold_us);
+        self.queue_us.extend(other.queue_us);
+        self.slow.extend(other.slow);
     }
 
     fn terminal(&self) -> u64 {
@@ -1160,6 +1248,7 @@ fn loadgen(
     bench_out: Option<&str>,
     label: &str,
     drain: bool,
+    slow_threshold_ms: u64,
 ) -> Result<(), CliError> {
     use mime_serve::proto::{read_frame, write_frame, ErrorCode, Frame, RequestInput};
     use std::net::TcpStream;
@@ -1187,6 +1276,7 @@ fn loadgen(
                 for (n, i) in ids.iter().copied().enumerate() {
                     let req = Frame::Request {
                         id: i as u64,
+                        trace: 0,
                         task: (i % tasks) as u32,
                         deadline_ms: deadline_ms as u32,
                         input: RequestInput::Probe(i as u32),
@@ -1196,8 +1286,19 @@ fn loadgen(
                         tally.lost += (ids.len() - n) as u64;
                         break;
                     }
+                    // (trace, queue_us, compute_us) from a full Reply,
+                    // for the queue percentiles and slow-request report.
+                    let mut detail: Option<(u64, u32, u32)> = None;
                     match read_frame(&mut stream) {
-                        Ok(Frame::Reply { id, degraded, .. }) if id == i as u64 => {
+                        Ok(Frame::Reply {
+                            id,
+                            trace,
+                            degraded,
+                            queue_us,
+                            compute_us,
+                            ..
+                        }) if id == i as u64 => {
+                            detail = Some((trace, queue_us, compute_us));
                             if degraded {
                                 tally.degraded += 1;
                             } else {
@@ -1226,6 +1327,12 @@ fn loadgen(
                         tally.cold_us.push(us);
                     }
                     tally.latencies_us.push(us);
+                    if let Some((trace, queue_us, compute_us)) = detail {
+                        tally.queue_us.push(u64::from(queue_us));
+                        if slow_threshold_ms > 0 && us >= slow_threshold_ms * 1000 {
+                            tally.slow.push((i as u64, trace, us, queue_us, compute_us));
+                        }
+                    }
                 }
                 tally
             })
@@ -1244,6 +1351,7 @@ fn loadgen(
     }
     tally.latencies_us.sort_unstable();
     tally.cold_us.sort_unstable();
+    tally.queue_us.sort_unstable();
     let (p50, p95, p99) = (
         percentile_us(&tally.latencies_us, 0.50),
         percentile_us(&tally.latencies_us, 0.95),
@@ -1254,6 +1362,8 @@ fn loadgen(
         percentile_us(&tally.cold_us, 0.95),
         percentile_us(&tally.cold_us, 0.99),
     );
+    let (queue_p50, queue_p95) =
+        (percentile_us(&tally.queue_us, 0.50), percentile_us(&tally.queue_us, 0.95));
     let _ = writeln!(
         out,
         "loadgen: {requests} request(s) to {connect}, {threads} connection(s), \
@@ -1281,12 +1391,43 @@ fn loadgen(
         cold_p99 as f64 / 1000.0,
         tally.cold_us.len()
     );
+    if !tally.queue_us.is_empty() {
+        let _ = writeln!(
+            out,
+            "  queue-wait p50/p95: {:.2}/{:.2} ms",
+            queue_p50 as f64 / 1000.0,
+            queue_p95 as f64 / 1000.0
+        );
+    }
+    if slow_threshold_ms > 0 {
+        // Worst offenders first; the wire share is whatever the
+        // front-door-stamped queue + compute intervals don't explain.
+        tally.slow.sort_unstable_by_key(|s| std::cmp::Reverse(s.2));
+        let _ = writeln!(
+            out,
+            "  slow requests (>= {slow_threshold_ms} ms): {}",
+            tally.slow.len()
+        );
+        for (id, trace, total_us, queue_us, compute_us) in tally.slow.iter().take(10) {
+            let wire_us =
+                total_us.saturating_sub(u64::from(*queue_us) + u64::from(*compute_us));
+            let _ = writeln!(
+                out,
+                "    id {id} trace {trace}: total {:.2} ms = queue {:.2} + compute {:.2} + wire {:.2}",
+                *total_us as f64 / 1000.0,
+                f64::from(*queue_us) / 1000.0,
+                f64::from(*compute_us) / 1000.0,
+                wire_us as f64 / 1000.0
+            );
+        }
+    }
     if let Some(path) = bench_out {
         let run = format!(
             "{{\"label\":\"{}\",\"requests\":{requests},\"concurrency\":{threads},\
              \"success\":{},\"degraded\":{},\"shed\":{},\"unavailable\":{},\
              \"deadline_exceeded\":{},\"failed\":{},\"lost\":{},\
-             \"p50_ms\":{:.3},\"p95_ms\":{:.3},\"p99_ms\":{:.3}}}",
+             \"p50_ms\":{:.3},\"p95_ms\":{:.3},\"p99_ms\":{:.3},\
+             \"queue_p50_ms\":{:.3},\"queue_p95_ms\":{:.3}}}",
             label.replace(['"', '\\'], "_"),
             tally.success,
             tally.degraded,
@@ -1298,6 +1439,8 @@ fn loadgen(
             p50 as f64 / 1000.0,
             p95 as f64 / 1000.0,
             p99 as f64 / 1000.0,
+            queue_p50 as f64 / 1000.0,
+            queue_p95 as f64 / 1000.0,
         );
         merge_bench_serve(path, &run)?;
         // cold-start percentiles as their own row — the first request
@@ -1592,6 +1735,8 @@ mod tests {
             deadline_ms: 5000,
             inject_every: 4,
             no_prepack: false,
+            no_obs: false,
+            flight_dir: None,
         });
         assert!(s.contains("success:            6"), "{s}");
         assert!(s.contains("shed:               0"), "{s}");
@@ -1614,6 +1759,8 @@ mod tests {
             deadline_ms: 5000,
             inject_every: 4,
             no_prepack: false,
+            no_obs: false,
+            flight_dir: None,
         });
         assert!(s.contains("shed:               4"), "{s}");
         assert!(s.contains("success:            4"), "{s}");
@@ -1636,6 +1783,8 @@ mod tests {
             deadline_ms: 5000,
             inject_every: 4,
             no_prepack: false,
+            no_obs: false,
+            flight_dir: None,
         });
         // tasks 0 and 1 serve 3 requests each; task 2's bank is
         // poisoned, so its 3 requests degrade and the breaker trips
@@ -1666,6 +1815,8 @@ mod tests {
             deadline_ms: 5000,
             inject_every: 4,
             no_prepack: false,
+            no_obs: false,
+            flight_dir: None,
         });
         assert!(s.contains("success:            10"), "{s}");
         assert!(s.contains("worker restarts:    2"), "{s}");

@@ -4,7 +4,10 @@
 //!
 //! The acceptance invariant: **every request a client sends reaches
 //! exactly one terminal frame**, the front door itself never crashes,
-//! and the restarts metric records the kills.
+//! and the restarts metric records the kills. With observability on,
+//! two more: every admitted request's trace ID appears exactly once in
+//! the stitched cross-process trace, and each aborted replica leaves a
+//! flight-recorder dump behind.
 
 use mime_serve::proto::{read_frame, write_frame, ErrorCode, Frame, RequestInput};
 use std::io::{BufRead, BufReader};
@@ -24,6 +27,8 @@ struct Tally {
     unavailable: u64,
     deadline_exceeded: u64,
     failed: u64,
+    /// Trace IDs stamped on the terminal frames — one per request.
+    traces: Vec<u64>,
 }
 
 impl Tally {
@@ -40,14 +45,21 @@ impl Tally {
 #[test]
 fn every_request_terminates_exactly_once_while_replicas_abort() {
     let dir = std::env::temp_dir().join("mime_frontdoor_chaos_test");
+    std::fs::remove_dir_all(&dir).ok();
     std::fs::create_dir_all(&dir).unwrap();
     let metrics = dir.join("metrics.prom");
     let metrics_str = metrics.to_str().unwrap().to_string();
+    let trace = dir.join("trace.json");
+    let trace_str = trace.to_str().unwrap().to_string();
+    let flight = dir.join("flight");
+    let flight_str = flight.to_str().unwrap().to_string();
 
     let mut child = Command::new(env!("CARGO_BIN_EXE_mime"))
         .args([
             "--metrics-out",
             &metrics_str,
+            "--trace-out",
+            &trace_str,
             "serve",
             "--listen",
             "127.0.0.1:0",
@@ -55,6 +67,8 @@ fn every_request_terminates_exactly_once_while_replicas_abort() {
             "2",
             "--tasks",
             "3",
+            "--flight-dir",
+            &flight_str,
             "--inject",
             "replica-abort",
             "--inject-every",
@@ -87,22 +101,25 @@ fn every_request_terminates_exactly_once_while_replicas_abort() {
                 for i in (t..REQUESTS).step_by(CLIENTS) {
                     let req = Frame::Request {
                         id: i as u64,
+                        trace: 0,
                         task: (i % TASKS) as u32,
                         deadline_ms: 30_000,
                         input: RequestInput::Probe(i as u32),
                     };
                     write_frame(&mut s, &req).expect("request written");
                     match read_frame(&mut s).expect("one terminal frame per request") {
-                        Frame::Reply { id, degraded, .. } => {
+                        Frame::Reply { id, trace, degraded, .. } => {
                             assert_eq!(id, i as u64, "reply id matches request");
+                            tally.traces.push(trace);
                             if degraded {
                                 tally.degraded += 1;
                             } else {
                                 tally.success += 1;
                             }
                         }
-                        Frame::ErrorReply { id, code, .. } => {
+                        Frame::ErrorReply { id, trace, code, .. } => {
                             assert_eq!(id, i as u64, "error id matches request");
+                            tally.traces.push(trace);
                             match code {
                                 ErrorCode::Overloaded => tally.shed += 1,
                                 ErrorCode::Unavailable => tally.unavailable += 1,
@@ -126,6 +143,7 @@ fn every_request_terminates_exactly_once_while_replicas_abort() {
         tally.unavailable += t.unavailable;
         tally.deadline_exceeded += t.deadline_exceeded;
         tally.failed += t.failed;
+        tally.traces.extend(t.traces);
     }
     assert_eq!(
         tally.terminal(),
@@ -166,5 +184,46 @@ fn every_request_terminates_exactly_once_while_replicas_abort() {
     };
     assert_eq!(metric("mime_frontdoor_requests_total"), REQUESTS as u64);
     assert!(metric("mime_replica_restarts_total") >= restarts);
+
+    // Stitched trace: every admitted request's trace ID shows up as
+    // exactly one front-door `request` span, and at least one replica
+    // lane made it across the process boundary despite the aborts.
+    let trace_json = std::fs::read_to_string(&trace).expect("stitched trace written");
+    let mut traces = tally.traces.clone();
+    traces.sort_unstable();
+    let dups = traces.windows(2).filter(|w| w[0] == w[1]).count();
+    assert_eq!(dups, 0, "trace IDs are unique per request");
+    for t in &traces {
+        assert_ne!(*t, 0, "every terminal frame carries a minted trace ID");
+        let needle = format!("\"trace\":\"{t}\"");
+        let count = trace_json
+            .lines()
+            .filter(|l| l.contains("\"name\":\"request\"") && l.contains(&needle))
+            .count();
+        assert_eq!(count, 1, "trace {t} has exactly one front-door request span");
+    }
+    assert!(
+        trace_json.lines().any(|l| l.contains("\"name\":\"replica_request\"")),
+        "replica spans were stitched into the front door's trace"
+    );
+
+    // Each injected abort calls `flight::dump_now("abort")` on its way
+    // down: the killed replicas must have left parseable dumps behind.
+    let dumps: Vec<_> = std::fs::read_dir(&flight)
+        .expect("flight dir exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
+                n.starts_with("mime_flight_replica") && n.contains("_abort_")
+            })
+        })
+        .collect();
+    assert!(!dumps.is_empty(), "aborted replica left a flight dump");
+    for dump in &dumps {
+        let text = std::fs::read_to_string(dump).expect("flight dump readable");
+        assert!(text.contains("\"schema\":\"mime-flight/v1\""), "dump has schema: {text}");
+        assert!(text.contains("\"reason\":\"abort\""), "dump records the abort");
+    }
     std::fs::remove_dir_all(&dir).ok();
 }

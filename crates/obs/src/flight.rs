@@ -1,0 +1,300 @@
+//! A crash flight recorder: a fixed-size, lock-free ring buffer of
+//! recent request lifecycle events, dumped to a timestamped JSON file
+//! when a process dies (replica abort, panic hook, SIGUSR1).
+//!
+//! Writers reserve a slot with one `fetch_add` and publish it with a
+//! per-slot sequence word (a seqlock): the slot's `seq` is cleared to 0
+//! before the fields are written and set to `index + 1` after, so a
+//! concurrent [`snapshot`] keeps only slots it observed consistently.
+//! Recording is wait-free and allocation-free; old events are
+//! overwritten once the ring wraps.
+//!
+//! Disabled by default: [`record`] is one relaxed load when off.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of slots in the global ring (most recent events win).
+pub const RING_SLOTS: usize = 4096;
+
+/// What happened to a request at this point in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FlightKind {
+    /// Admitted at the front door (detail: task id).
+    Admit = 1,
+    /// Dequeued by a runner / received by a replica (detail: task id).
+    Dequeue = 2,
+    /// Dispatched to a replica (detail: replica slot).
+    Dispatch = 3,
+    /// Executor layer milestone (detail: layer step index).
+    Layer = 4,
+    /// Reached a terminal state (detail: outcome/error code).
+    Terminal = 5,
+    /// Shed or retried before dispatch (detail: attempt count).
+    Retry = 6,
+}
+
+impl FlightKind {
+    /// Stable lowercase name used in dump files.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlightKind::Admit => "admit",
+            FlightKind::Dequeue => "dequeue",
+            FlightKind::Dispatch => "dispatch",
+            FlightKind::Layer => "layer",
+            FlightKind::Terminal => "terminal",
+            FlightKind::Retry => "retry",
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<FlightKind> {
+        Some(match v {
+            1 => FlightKind::Admit,
+            2 => FlightKind::Dequeue,
+            3 => FlightKind::Dispatch,
+            4 => FlightKind::Layer,
+            5 => FlightKind::Terminal,
+            6 => FlightKind::Retry,
+            _ => return None,
+        })
+    }
+}
+
+/// One recorded lifecycle event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Global sequence number (monotonic across the process).
+    pub seq: u64,
+    /// Microseconds since the trace epoch ([`crate::trace::now_us`]).
+    pub ts_us: u64,
+    /// The request's trace id (`u64::MAX` for non-request events).
+    pub request: u64,
+    /// Lifecycle stage.
+    pub kind: FlightKind,
+    /// Stage-specific detail (task id, replica slot, layer index, …).
+    pub detail: u64,
+}
+
+struct Slot {
+    /// 0 = empty/being written; otherwise `global index + 1`.
+    seq: AtomicU64,
+    ts_us: AtomicU64,
+    request: AtomicU64,
+    kind: AtomicU64,
+    detail: AtomicU64,
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const EMPTY_SLOT: Slot = Slot {
+    seq: AtomicU64::new(0),
+    ts_us: AtomicU64::new(0),
+    request: AtomicU64::new(0),
+    kind: AtomicU64::new(0),
+    detail: AtomicU64::new(0),
+};
+
+static RING: [Slot; RING_SLOTS] = [EMPTY_SLOT; RING_SLOTS];
+static CURSOR: AtomicU64 = AtomicU64::new(0);
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Where [`dump_now`] writes, and the label embedded in dump filenames
+/// (e.g. `frontdoor`, `replica3`). Configured once per process.
+static DUMP_CONFIG: Mutex<Option<(PathBuf, String)>> = Mutex::new(None);
+
+/// Turns flight recording on or off. Events already in the ring stay.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether [`record`] currently stores events (one relaxed load).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Records one lifecycle event (wait-free; no-op when disabled).
+pub fn record(kind: FlightKind, request: u64, detail: u64) {
+    if !enabled() {
+        return;
+    }
+    let idx = CURSOR.fetch_add(1, Ordering::Relaxed);
+    let slot = &RING[(idx % RING_SLOTS as u64) as usize];
+    slot.seq.store(0, Ordering::Release);
+    slot.ts_us.store(crate::trace::now_us(), Ordering::Relaxed);
+    slot.request.store(request, Ordering::Relaxed);
+    slot.kind.store(kind as u8 as u64, Ordering::Relaxed);
+    slot.detail.store(detail, Ordering::Relaxed);
+    slot.seq.store(idx + 1, Ordering::Release);
+}
+
+/// Copies out every consistently-readable event, oldest first. Slots
+/// mid-write (or torn by a concurrent wrap) are skipped rather than
+/// returned corrupt.
+pub fn snapshot() -> Vec<FlightEvent> {
+    let mut events = Vec::with_capacity(RING_SLOTS);
+    for slot in RING.iter() {
+        let seq = slot.seq.load(Ordering::Acquire);
+        if seq == 0 {
+            continue;
+        }
+        let ts_us = slot.ts_us.load(Ordering::Relaxed);
+        let request = slot.request.load(Ordering::Relaxed);
+        let kind = slot.kind.load(Ordering::Relaxed);
+        let detail = slot.detail.load(Ordering::Relaxed);
+        if slot.seq.load(Ordering::Acquire) != seq {
+            continue;
+        }
+        let Some(kind) = FlightKind::from_u8(kind as u8) else { continue };
+        events.push(FlightEvent { seq: seq - 1, ts_us, request, kind, detail });
+    }
+    events.sort_by_key(|e| e.seq);
+    events
+}
+
+/// Configures where dumps land and how files are labeled; enables
+/// recording as a side effect.
+pub fn configure(dir: impl Into<PathBuf>, label: impl Into<String>) {
+    *DUMP_CONFIG.lock().unwrap_or_else(|e| e.into_inner()) =
+        Some((dir.into(), label.into()));
+    set_enabled(true);
+}
+
+/// Renders `events` as the flight-dump JSON document.
+pub fn render_json(label: &str, reason: &str, events: &[FlightEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 80 + 128);
+    out.push_str("{\"schema\":\"mime-flight/v1\",\"process\":\"");
+    out.push_str(&escape(label));
+    out.push_str("\",\"reason\":\"");
+    out.push_str(&escape(reason));
+    out.push_str("\",\"events\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n{{\"seq\":{},\"ts_us\":{},\"request\":{},\"kind\":\"{}\",\"detail\":{}}}",
+            e.seq,
+            e.ts_us,
+            e.request,
+            e.kind.name(),
+            e.detail
+        ));
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+fn escape(raw: &str) -> String {
+    raw.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Dumps the ring to `<dir>/mime_flight_<label>_<pid>_<reason>_<ts>.json`
+/// (written via temp-file + rename so a concurrent reader never sees a
+/// partial document). Returns the path, or `None` when [`configure`]
+/// was never called or the write failed — a flight dump runs on crash
+/// paths and must never panic or abort the process itself.
+pub fn dump_now(reason: &str) -> Option<PathBuf> {
+    let (dir, label) = DUMP_CONFIG.lock().unwrap_or_else(|e| e.into_inner()).clone()?;
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0);
+    let name = format!("mime_flight_{label}_{}_{reason}_{stamp}.json", std::process::id());
+    let path = dir.join(name);
+    let json = render_json(&label, reason, &snapshot());
+    write_atomic(&path, json.as_bytes()).ok()?;
+    Some(path)
+}
+
+/// Minimal atomic write (temp file in the target directory + rename);
+/// local so `mime-obs` stays dependency-free.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    std::fs::create_dir_all(dir)?;
+    let tmp = dir.join(format!(
+        ".{}.tmp{}",
+        path.file_name().and_then(|n| n.to_str()).unwrap_or("flight"),
+        std::process::id()
+    ));
+    std::fs::write(&tmp, bytes)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// Chains a panic hook that dumps the flight ring (reason `panic`)
+/// before the default hook runs, so a crashing replica leaves a
+/// post-mortem artifact.
+pub fn install_panic_dump() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let _ = dump_now("panic");
+        prev(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One test: the ring is process-global, so concurrent tests would
+    /// interleave events.
+    #[test]
+    fn record_snapshot_wrap_and_dump() {
+        assert!(!enabled(), "flight recording must be off by default");
+        record(FlightKind::Admit, 1, 0);
+        assert!(snapshot().is_empty(), "disabled record must not store");
+
+        set_enabled(true);
+        record(FlightKind::Admit, 7, 2);
+        record(FlightKind::Dispatch, 7, 0);
+        record(FlightKind::Terminal, 7, 1);
+        let events = snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, FlightKind::Admit);
+        assert_eq!(events[0].request, 7);
+        assert_eq!(events[2].kind, FlightKind::Terminal);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(events.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+
+        // concurrent writers: every slot stays internally consistent
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                s.spawn(move || {
+                    for i in 0..2 * RING_SLOTS as u64 {
+                        record(FlightKind::Layer, t, i);
+                    }
+                });
+            }
+        });
+        let events = snapshot();
+        assert!(!events.is_empty());
+        assert!(events.len() <= RING_SLOTS);
+        for e in &events {
+            assert_eq!(e.kind, FlightKind::Layer, "torn slot leaked: {e:?}");
+            assert!(e.request < 4);
+        }
+        // after wrapping, only the newest RING_SLOTS survive
+        let min_seq = events.first().unwrap().seq;
+        assert!(min_seq >= 3, "early events overwritten after wrap");
+
+        // dump produces a parseable, balanced JSON artifact
+        let dir =
+            std::env::temp_dir().join(format!("mime_flight_test_{}", std::process::id()));
+        configure(&dir, "testproc");
+        let path = dump_now("unit").expect("dump path");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("{\"schema\":\"mime-flight/v1\""));
+        assert!(text.contains("\"process\":\"testproc\""));
+        assert!(text.contains("\"reason\":\"unit\""));
+        assert!(text.contains("\"kind\":\"layer\""));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

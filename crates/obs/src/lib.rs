@@ -19,6 +19,9 @@
 //!   JSON ([`metrics::Registry::render_json`]).
 //! * [`log`] — leveled structured logging to stderr, level from
 //!   `MIME_LOG` or [`log::set_level`].
+//! * [`flight`] — a lock-free flight-recorder ring of request
+//!   lifecycle events, dumped to a timestamped JSON file on replica
+//!   death, panic, or SIGUSR1 for post-mortem debugging.
 //!
 //! ## Example
 //!
@@ -34,12 +37,13 @@
 //! mime_obs::trace::set_enabled(false);
 //! ```
 
+pub mod flight;
 pub mod log;
 pub mod metrics;
 pub mod trace;
 
 pub use log::Level;
-pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 pub use trace::SpanGuard;
 
 /// Whether any profiling sink (tracing or metrics) is active — the one

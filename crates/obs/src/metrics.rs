@@ -278,52 +278,69 @@ impl Registry {
         self.metrics.lock().unwrap_or_else(|e| e.into_inner()).clear();
     }
 
-    /// Renders the registry in the Prometheus text exposition format.
-    /// Series are sorted by name then labels, so output is deterministic.
-    pub fn render_prometheus(&self) -> String {
+    /// Takes a point-in-time copy of every metric, suitable for
+    /// shipping across a process boundary and [`MetricsSnapshot::merge`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
         let m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
-        let mut out = String::new();
+        let mut snap = MetricsSnapshot::default();
         for ((name, labels), metric) in m.iter() {
+            let key = (name.clone(), labels.clone());
             match metric {
                 Metric::Counter(c) => {
-                    out.push_str(&series_name(name, labels));
-                    out.push(' ');
-                    out.push_str(&c.get().to_string());
-                    out.push('\n');
+                    snap.counters.insert(key, c.get());
                 }
                 Metric::Gauge(g) => {
-                    out.push_str(&series_name(name, labels));
-                    out.push(' ');
-                    out.push_str(&format_f64(g.get()));
-                    out.push('\n');
+                    snap.gauges.insert(key, g.get());
                 }
                 Metric::Histogram(h) => {
-                    for (bound, cum) in h.cumulative_buckets() {
-                        let le = if bound.is_finite() {
-                            format_f64(bound)
-                        } else {
-                            "+Inf".to_string()
-                        };
-                        let mut with_le = labels.clone();
-                        with_le.push(("le".to_string(), le));
-                        with_le.sort();
-                        out.push_str(&series_name(&format!("{name}_bucket"), &with_le));
-                        out.push(' ');
-                        out.push_str(&cum.to_string());
-                        out.push('\n');
-                    }
-                    out.push_str(&series_name(&format!("{name}_sum"), labels));
-                    out.push(' ');
-                    out.push_str(&format_f64(h.sum()));
-                    out.push('\n');
-                    out.push_str(&series_name(&format!("{name}_count"), labels));
-                    out.push(' ');
-                    out.push_str(&h.count().to_string());
-                    out.push('\n');
+                    let c = &*h.0;
+                    snap.histograms.insert(
+                        key,
+                        HistogramSnapshot {
+                            bounds: c.bounds.clone(),
+                            buckets: c
+                                .buckets
+                                .iter()
+                                .map(|b| b.load(Ordering::Relaxed))
+                                .collect(),
+                            sum: h.sum(),
+                            count: h.count(),
+                        },
+                    );
                 }
             }
         }
-        out
+        snap
+    }
+
+    /// Like [`Registry::snapshot`] but copies only counters and gauges,
+    /// skipping histogram bucket arrays. This is the cheap per-request
+    /// delta a replica ships between full snapshots: cumulative scalar
+    /// series cost a handful of map inserts, while cloning every
+    /// histogram's bucket vector is what made per-request full
+    /// snapshots measurably slow the serving path.
+    pub fn snapshot_scalars(&self) -> MetricsSnapshot {
+        let m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        let mut snap = MetricsSnapshot::default();
+        for ((name, labels), metric) in m.iter() {
+            let key = (name.clone(), labels.clone());
+            match metric {
+                Metric::Counter(c) => {
+                    snap.counters.insert(key, c.get());
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges.insert(key, g.get());
+                }
+                Metric::Histogram(_) => {}
+            }
+        }
+        snap
+    }
+
+    /// Renders the registry in the Prometheus text exposition format.
+    /// Series are sorted by name then labels, so output is deterministic.
+    pub fn render_prometheus(&self) -> String {
+        self.snapshot().render_prometheus()
     }
 
     /// Renders the registry as a JSON object keyed by series name.
@@ -367,6 +384,327 @@ impl Registry {
         }
         out.push_str("\n}\n");
         out
+    }
+}
+
+/// A point-in-time copy of a histogram: per-bucket (non-cumulative)
+/// counts in bound order with the `+Inf` overflow bucket last.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds, strictly increasing (no `+Inf` entry).
+    pub bounds: Vec<f64>,
+    /// One count per bound plus the trailing `+Inf` bucket.
+    pub buckets: Vec<u64>,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Total number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Cumulative `(bound, count)` pairs ending with `+Inf`, matching
+    /// [`Histogram::cumulative_buckets`].
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut cum = 0u64;
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| {
+                cum += b;
+                (self.bounds.get(i).copied().unwrap_or(f64::INFINITY), cum)
+            })
+            .collect()
+    }
+
+    /// Estimates the `q`-quantile (0..=1) as the upper bound of the
+    /// bucket holding the rank-`ceil(q*count)` observation — the
+    /// standard conservative fixed-bucket estimate. Returns the last
+    /// finite bound for observations in the `+Inf` bucket, and 0 for an
+    /// empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 || self.bounds.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= rank {
+                return self
+                    .bounds
+                    .get(i)
+                    .copied()
+                    .unwrap_or_else(|| *self.bounds.last().unwrap());
+            }
+        }
+        *self.bounds.last().unwrap()
+    }
+
+    /// Adds `other`'s buckets into this snapshot. Histograms with
+    /// different bounds are incomparable; only `sum`/`count` accumulate
+    /// in that case (buckets keep the receiver's layout).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.bounds == other.bounds && self.buckets.len() == other.buckets.len() {
+            for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+                *mine += theirs;
+            }
+        } else if self.count == 0 {
+            *self = other.clone();
+            return;
+        } else if let Some(last) = self.buckets.last_mut() {
+            // Incompatible layouts: fold the foreign observations into
+            // +Inf so the count invariant (sum of buckets == count) holds.
+            *last += other.count;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+}
+
+/// A point-in-time copy of a whole registry, mergeable across
+/// processes: counters sum, gauges take the last write, histograms add
+/// bucket-wise. Produced by [`Registry::snapshot`], shipped over the
+/// wire via [`MetricsSnapshot::encode`]/[`MetricsSnapshot::decode`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter series.
+    pub counters: BTreeMap<(String, Labels), u64>,
+    /// Gauge series.
+    pub gauges: BTreeMap<(String, Labels), f64>,
+    /// Histogram series.
+    pub histograms: BTreeMap<(String, Labels), HistogramSnapshot>,
+}
+
+/// Caps applied by [`MetricsSnapshot::decode`] so a corrupt or hostile
+/// payload cannot trigger huge allocations.
+const SNAPSHOT_MAX_SERIES: usize = 16_384;
+const SNAPSHOT_MAX_STR: usize = 1_024;
+const SNAPSHOT_MAX_BUCKETS: usize = 4_096;
+
+impl MetricsSnapshot {
+    /// Whether the snapshot holds no series at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds `other` into `self`: counters sum, gauges last-write-wins
+    /// (`other` is the newer source), histograms add bucket-wise.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (key, v) in &other.counters {
+            *self.counters.entry(key.clone()).or_insert(0) += v;
+        }
+        for (key, v) in &other.gauges {
+            self.gauges.insert(key.clone(), *v);
+        }
+        for (key, h) in &other.histograms {
+            self.histograms.entry(key.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Overlays `other` onto `self`: every series present in `other`
+    /// replaces the one in `self`, series absent from `other` are kept.
+    /// This is the ingestion rule for a newer snapshot **from the same
+    /// cumulative source** — a scalar-only delta ([`Registry::
+    /// snapshot_scalars`]) updates the counters and gauges it carries
+    /// without wiping the histograms shipped by the last full snapshot.
+    pub fn overlay(&mut self, other: &MetricsSnapshot) {
+        for (key, v) in &other.counters {
+            self.counters.insert(key.clone(), *v);
+        }
+        for (key, v) in &other.gauges {
+            self.gauges.insert(key.clone(), *v);
+        }
+        for (key, h) in &other.histograms {
+            self.histograms.insert(key.clone(), h.clone());
+        }
+    }
+
+    /// Current value of a counter series, if present.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.counters.get(&(name.to_string(), labels_of(labels))).copied()
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (same grammar as [`Registry::render_prometheus`]).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        // Interleave the three kinds in one name-sorted stream so the
+        // output is byte-identical to rendering the live registry.
+        let mut keys: Vec<&(String, Labels)> = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .collect();
+        keys.sort();
+        for key in keys {
+            let (name, labels) = key;
+            if let Some(v) = self.counters.get(key) {
+                out.push_str(&series_name(name, labels));
+                out.push(' ');
+                out.push_str(&v.to_string());
+                out.push('\n');
+            } else if let Some(v) = self.gauges.get(key) {
+                out.push_str(&series_name(name, labels));
+                out.push(' ');
+                out.push_str(&format_f64(*v));
+                out.push('\n');
+            } else if let Some(h) = self.histograms.get(key) {
+                for (bound, cum) in h.cumulative_buckets() {
+                    let le = if bound.is_finite() {
+                        format_f64(bound)
+                    } else {
+                        "+Inf".to_string()
+                    };
+                    let mut with_le = labels.clone();
+                    with_le.push(("le".to_string(), le));
+                    with_le.sort();
+                    out.push_str(&series_name(&format!("{name}_bucket"), &with_le));
+                    out.push(' ');
+                    out.push_str(&cum.to_string());
+                    out.push('\n');
+                }
+                out.push_str(&series_name(&format!("{name}_sum"), labels));
+                out.push(' ');
+                out.push_str(&format_f64(h.sum));
+                out.push('\n');
+                out.push_str(&series_name(&format!("{name}_count"), labels));
+                out.push(' ');
+                out.push_str(&h.count.to_string());
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Serializes the snapshot to a compact little-endian binary form
+    /// for shipping over the replica wire protocol.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256);
+        let put_str = |out: &mut Vec<u8>, s: &str| {
+            out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        };
+        let put_key = |out: &mut Vec<u8>, (name, labels): &(String, Labels)| {
+            put_str(out, name);
+            out.push(labels.len() as u8);
+            for (k, v) in labels {
+                put_str(out, k);
+                put_str(out, v);
+            }
+        };
+        out.extend_from_slice(&(self.counters.len() as u32).to_le_bytes());
+        for (key, v) in &self.counters {
+            put_key(&mut out, key);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.gauges.len() as u32).to_le_bytes());
+        for (key, v) in &self.gauges {
+            put_key(&mut out, key);
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        out.extend_from_slice(&(self.histograms.len() as u32).to_le_bytes());
+        for (key, h) in &self.histograms {
+            put_key(&mut out, key);
+            out.extend_from_slice(&(h.bounds.len() as u16).to_le_bytes());
+            for b in &h.bounds {
+                out.extend_from_slice(&b.to_bits().to_le_bytes());
+            }
+            out.extend_from_slice(&(h.buckets.len() as u16).to_le_bytes());
+            for b in &h.buckets {
+                out.extend_from_slice(&b.to_le_bytes());
+            }
+            out.extend_from_slice(&h.sum.to_bits().to_le_bytes());
+            out.extend_from_slice(&h.count.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses a snapshot produced by [`MetricsSnapshot::encode`],
+    /// rejecting truncated, trailing-garbage, or oversized payloads.
+    pub fn decode(bytes: &[u8]) -> Result<MetricsSnapshot, String> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], String> {
+            let end = pos.checked_add(n).ok_or("length overflow")?;
+            let s = bytes.get(*pos..end).ok_or("truncated snapshot")?;
+            *pos = end;
+            Ok(s)
+        };
+        let get_u16 = |pos: &mut usize| -> Result<u16, String> {
+            Ok(u16::from_le_bytes(take(pos, 2)?.try_into().unwrap()))
+        };
+        let get_u32 = |pos: &mut usize| -> Result<u32, String> {
+            Ok(u32::from_le_bytes(take(pos, 4)?.try_into().unwrap()))
+        };
+        let get_u64 = |pos: &mut usize| -> Result<u64, String> {
+            Ok(u64::from_le_bytes(take(pos, 8)?.try_into().unwrap()))
+        };
+        let get_str = |pos: &mut usize| -> Result<String, String> {
+            let len = get_u16(pos)? as usize;
+            if len > SNAPSHOT_MAX_STR {
+                return Err(format!("string length {len} exceeds cap"));
+            }
+            String::from_utf8(take(pos, len)?.to_vec()).map_err(|e| e.to_string())
+        };
+        let get_key = |pos: &mut usize| -> Result<(String, Labels), String> {
+            let name = get_str(pos)?;
+            let n_labels = take(pos, 1)?[0] as usize;
+            let mut labels = Labels::with_capacity(n_labels);
+            for _ in 0..n_labels {
+                let k = get_str(pos)?;
+                let v = get_str(pos)?;
+                labels.push((k, v));
+            }
+            Ok((name, labels))
+        };
+        let checked_count = |n: u32| -> Result<usize, String> {
+            let n = n as usize;
+            if n > SNAPSHOT_MAX_SERIES {
+                return Err(format!("series count {n} exceeds cap"));
+            }
+            Ok(n)
+        };
+
+        let mut snap = MetricsSnapshot::default();
+        let n = checked_count(get_u32(&mut pos)?)?;
+        for _ in 0..n {
+            let key = get_key(&mut pos)?;
+            let v = get_u64(&mut pos)?;
+            snap.counters.insert(key, v);
+        }
+        let n = checked_count(get_u32(&mut pos)?)?;
+        for _ in 0..n {
+            let key = get_key(&mut pos)?;
+            let v = f64::from_bits(get_u64(&mut pos)?);
+            snap.gauges.insert(key, v);
+        }
+        let n = checked_count(get_u32(&mut pos)?)?;
+        for _ in 0..n {
+            let key = get_key(&mut pos)?;
+            let n_bounds = get_u16(&mut pos)? as usize;
+            if n_bounds > SNAPSHOT_MAX_BUCKETS {
+                return Err(format!("bound count {n_bounds} exceeds cap"));
+            }
+            let mut bounds = Vec::with_capacity(n_bounds);
+            for _ in 0..n_bounds {
+                bounds.push(f64::from_bits(get_u64(&mut pos)?));
+            }
+            let n_buckets = get_u16(&mut pos)? as usize;
+            if n_buckets > SNAPSHOT_MAX_BUCKETS {
+                return Err(format!("bucket count {n_buckets} exceeds cap"));
+            }
+            let mut buckets = Vec::with_capacity(n_buckets);
+            for _ in 0..n_buckets {
+                buckets.push(get_u64(&mut pos)?);
+            }
+            let sum = f64::from_bits(get_u64(&mut pos)?);
+            let count = get_u64(&mut pos)?;
+            snap.histograms.insert(key, HistogramSnapshot { bounds, buckets, sum, count });
+        }
+        if pos != bytes.len() {
+            return Err(format!("{} trailing byte(s) after snapshot", bytes.len() - pos));
+        }
+        Ok(snap)
     }
 }
 

@@ -8,11 +8,19 @@
 //! renders it in the `chrome://tracing` / Perfetto `traceEvents`
 //! format.
 //!
+//! Spans carry a `pid` lane so traces from several processes can be
+//! stitched into one timeline: a supervisor ingests spans shipped back
+//! from child processes via [`ingest`], after shifting their
+//! timestamps by a handshake-estimated clock offset and stamping the
+//! child's lane id. [`set_process_label`] names the lanes in the
+//! viewer.
+//!
 //! Tracing is **disabled by default**: [`span`] on the disabled path
 //! performs one relaxed atomic load and allocates nothing.
 
 use std::borrow::Cow;
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
@@ -20,8 +28,14 @@ use std::time::Instant;
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
 
+/// The `pid` lane locally recorded spans are stamped with.
+pub const LOCAL_PID: u32 = 1;
+
 /// Finished spans flushed from thread-local buffers.
 static COLLECTOR: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
+
+/// Viewer labels for `pid` lanes (see [`set_process_label`]).
+static PROCESS_LABELS: Mutex<BTreeMap<u32, String>> = Mutex::new(BTreeMap::new());
 
 /// Local buffers flush to the collector once they reach this many spans
 /// (they also flush on thread exit and on [`drain`]).
@@ -33,8 +47,9 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
-/// Microseconds since the trace epoch.
-fn now_us() -> u64 {
+/// Microseconds since the trace epoch. Public so cross-process clock
+/// handshakes can sample the same time base spans are stamped with.
+pub fn now_us() -> u64 {
     epoch().elapsed().as_micros() as u64
 }
 
@@ -59,17 +74,20 @@ pub struct SpanEvent {
     /// Span name (the `name` field in the trace viewer).
     pub name: Cow<'static, str>,
     /// Category (the `cat` field; e.g. `"nn.forward"`).
-    pub cat: &'static str,
+    pub cat: Cow<'static, str>,
     /// Start, in µs since the trace epoch.
     pub ts_us: u64,
     /// Duration in µs.
     pub dur_us: u64,
+    /// Process lane ([`LOCAL_PID`] for spans recorded in this process;
+    /// supervisors stamp ingested child spans with the child's lane).
+    pub pid: u32,
     /// Stable per-thread id (assigned on each thread's first span).
     pub tid: u64,
     /// Nesting depth on its thread at creation (0 = top level).
     pub depth: u32,
     /// Extra key/value annotations (rendered under `args`).
-    pub args: Vec<(&'static str, String)>,
+    pub args: Vec<(Cow<'static, str>, String)>,
 }
 
 struct LocalBuf {
@@ -116,7 +134,7 @@ struct ActiveSpan {
     start: Instant,
     ts_us: u64,
     depth: u32,
-    args: Vec<(&'static str, String)>,
+    args: Vec<(Cow<'static, str>, String)>,
 }
 
 impl SpanGuard {
@@ -124,7 +142,7 @@ impl SpanGuard {
     /// so arguments may be computed lazily via [`SpanGuard::is_active`]).
     pub fn arg(&mut self, key: &'static str, value: impl std::fmt::Display) {
         if let Some(a) = &mut self.active {
-            a.args.push((key, value.to_string()));
+            a.args.push((Cow::Borrowed(key), value.to_string()));
         }
     }
 
@@ -143,9 +161,10 @@ impl Drop for SpanGuard {
             l.depth = l.depth.saturating_sub(1);
             let event = SpanEvent {
                 name: a.name,
-                cat: a.cat,
+                cat: Cow::Borrowed(a.cat),
                 ts_us: a.ts_us,
                 dur_us,
+                pid: LOCAL_PID,
                 tid: l.tid,
                 depth: a.depth,
                 args: a.args,
@@ -190,6 +209,23 @@ pub fn span_cat(name: impl Into<Cow<'static, str>>, cat: &'static str) -> SpanGu
     }
 }
 
+/// Appends already-finished spans (e.g. shipped back from a child
+/// process, with `pid` and clock-shifted `ts_us` stamped by the caller)
+/// to the global collector so [`drain`] returns one merged timeline.
+pub fn ingest(mut events: Vec<SpanEvent>) {
+    if events.is_empty() {
+        return;
+    }
+    let mut global = COLLECTOR.lock().unwrap_or_else(|e| e.into_inner());
+    global.append(&mut events);
+}
+
+/// Names a `pid` lane in the Chrome-trace export (rendered as a
+/// `process_name` metadata event).
+pub fn set_process_label(pid: u32, label: impl Into<String>) {
+    PROCESS_LABELS.lock().unwrap_or_else(|e| e.into_inner()).insert(pid, label.into());
+}
+
 /// Flushes the calling thread's buffer and takes every span collected so
 /// far. Spans on *other threads that are still running* and have not hit
 /// the flush threshold are not included — workers that have exited
@@ -202,19 +238,42 @@ pub fn drain() -> Vec<SpanEvent> {
 
 /// Renders spans as a Chrome-trace JSON document (open in
 /// `chrome://tracing` or <https://ui.perfetto.dev>). Events are complete
-/// (`"ph":"X"`) with one `pid` and per-thread `tid`s.
+/// (`"ph":"X"`) with per-event `pid` lanes and per-thread `tid`s; lanes
+/// named via [`set_process_label`] get a `process_name` metadata event.
 pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
     let mut s = String::with_capacity(events.len() * 96 + 64);
     s.push_str("{\"traceEvents\":[");
-    for (i, e) in events.iter().enumerate() {
-        if i > 0 {
+    let mut first = true;
+    {
+        let labels = PROCESS_LABELS.lock().unwrap_or_else(|e| e.into_inner());
+        let mut pids: Vec<u32> = events.iter().map(|e| e.pid).collect();
+        pids.sort_unstable();
+        pids.dedup();
+        for pid in pids {
+            let Some(label) = labels.get(&pid) else { continue };
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str("\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":");
+            s.push_str(&pid.to_string());
+            s.push_str(",\"args\":{\"name\":\"");
+            escape_into(label, &mut s);
+            s.push_str("\"}}");
+        }
+    }
+    for e in events {
+        if !first {
             s.push(',');
         }
+        first = false;
         s.push_str("\n{\"name\":\"");
         escape_into(&e.name, &mut s);
         s.push_str("\",\"cat\":\"");
-        escape_into(e.cat, &mut s);
-        s.push_str("\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+        escape_into(&e.cat, &mut s);
+        s.push_str("\",\"ph\":\"X\",\"pid\":");
+        s.push_str(&e.pid.to_string());
+        s.push_str(",\"tid\":");
         s.push_str(&e.tid.to_string());
         s.push_str(",\"ts\":");
         s.push_str(&e.ts_us.to_string());
@@ -279,15 +338,21 @@ mod tests {
                 std::thread::sleep(std::time::Duration::from_millis(1));
             }
         }
-        // spans from worker threads flush when the thread exits
-        std::thread::scope(|s| {
-            for t in 0..3 {
-                s.spawn(move || {
+        // spans from worker threads flush when the thread exits; use
+        // JoinHandle::join (not thread::scope) — join waits for the
+        // thread's TLS destructors, which is where the flush happens,
+        // while scope returns as soon as the closure body finishes
+        let handles: Vec<_> = (0..3)
+            .map(|t| {
+                std::thread::spawn(move || {
                     let _a = span_cat("worker_outer", "test");
                     let _b = span_cat(format!("worker_inner_{t}"), "test");
-                });
-            }
-        });
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
         set_enabled(false);
         let events = drain();
         assert_eq!(events.len(), 8, "{events:?}");
@@ -297,10 +362,11 @@ mod tests {
         assert_eq!(outer.depth, 0);
         assert_eq!(inner.depth, 1, "nesting depth tracks per-thread");
         assert_eq!(outer.tid, inner.tid);
+        assert_eq!(outer.pid, LOCAL_PID);
         assert!(inner.dur_us >= 1000, "slept 1ms inside: {}", inner.dur_us);
         assert!(outer.dur_us >= inner.dur_us);
         assert!(outer.ts_us <= inner.ts_us);
-        assert_eq!(outer.args, vec![("layer", "conv1".to_string())]);
+        assert_eq!(outer.args, vec![(Cow::Borrowed("layer"), "conv1".to_string())]);
 
         // each worker thread gets its own tid; nesting is per-thread
         let mut worker_tids: Vec<u64> = events
@@ -323,18 +389,41 @@ mod tests {
         assert_eq!(json.matches("\"ph\":\"X\"").count(), events.len());
         assert!(json.contains("\"layer\":\"conv1\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+        // ingested foreign spans keep their stamped pid lane and appear
+        // in the next drain alongside local spans
+        ingest(vec![SpanEvent {
+            name: Cow::Borrowed("remote"),
+            cat: Cow::Owned("serve.replica".to_string()),
+            ts_us: 10,
+            dur_us: 5,
+            pid: 7,
+            tid: 3,
+            depth: 0,
+            args: vec![(Cow::Owned("trace".to_string()), "42".to_string())],
+        }]);
+        set_process_label(7, "replica 5");
+        let merged = drain();
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].pid, 7);
+        let json = chrome_trace_json(&merged);
+        assert!(json.contains("\"pid\":7"));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("replica 5"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]
     fn escaping_handles_specials() {
         let e = SpanEvent {
             name: Cow::Borrowed("a\"b\\c\nd\u{1}"),
-            cat: "t",
+            cat: Cow::Borrowed("t"),
             ts_us: 0,
             dur_us: 1,
+            pid: LOCAL_PID,
             tid: 9,
             depth: 0,
-            args: vec![("k", "v\"".into())],
+            args: vec![(Cow::Borrowed("k"), "v\"".into())],
         };
         let json = chrome_trace_json(std::slice::from_ref(&e));
         assert!(json.contains("a\\\"b\\\\c\\nd\\u0001"));

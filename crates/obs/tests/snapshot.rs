@@ -1,0 +1,184 @@
+//! Correctness of cross-process metrics aggregation: registry
+//! snapshots, merge semantics (counter sum, gauge last-write,
+//! bucket-wise histogram add), quantile estimates, and the wire
+//! round-trip.
+
+use mime_obs::metrics::{HistogramSnapshot, MetricsSnapshot, Registry, SECONDS_BUCKETS};
+use proptest::prelude::*;
+
+fn hist_from_observations(bounds: &[f64], obs: &[f64]) -> HistogramSnapshot {
+    let reg = Registry::new();
+    let h = reg.histogram_with("h", &[], bounds);
+    for &v in obs {
+        h.observe(v);
+    }
+    reg.snapshot().histograms.values().next().unwrap().clone()
+}
+
+#[test]
+fn snapshot_mirrors_registry_and_renders_identically() {
+    let reg = Registry::new();
+    reg.counter("mime_test_requests_total").add(41);
+    reg.counter_with("mime_test_outcomes_total", &[("outcome", "ok")]).add(3);
+    reg.gauge("mime_test_ready").set(2.0);
+    let h = reg.histogram_seconds("mime_test_latency_seconds");
+    h.observe(0.002);
+    h.observe(7.0e-6);
+    h.observe(250.0); // +Inf bucket
+
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter_value("mime_test_requests_total", &[]), Some(41));
+    assert_eq!(
+        snap.counter_value("mime_test_outcomes_total", &[("outcome", "ok")]),
+        Some(3)
+    );
+    assert_eq!(snap.render_prometheus(), reg.render_prometheus());
+
+    let hs = &snap.histograms[&("mime_test_latency_seconds".to_string(), vec![])];
+    assert_eq!(hs.count, 3);
+    assert_eq!(hs.buckets.iter().sum::<u64>(), 3);
+    assert_eq!(hs.buckets.len(), SECONDS_BUCKETS.len() + 1);
+    assert_eq!(*hs.buckets.last().unwrap(), 1, "250s lands in +Inf");
+}
+
+#[test]
+fn merge_sums_counters_lastwrites_gauges_adds_buckets() {
+    let a = {
+        let reg = Registry::new();
+        reg.counter("mime_x_total").add(10);
+        reg.counter_with("mime_y_total", &[("replica", "0")]).add(1);
+        reg.gauge("mime_ready").set(1.0);
+        let h = reg.histogram_with("mime_lat", &[], &[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        reg.snapshot()
+    };
+    let b = {
+        let reg = Registry::new();
+        reg.counter("mime_x_total").add(32);
+        reg.counter_with("mime_y_total", &[("replica", "1")]).add(2);
+        reg.gauge("mime_ready").set(2.0);
+        let h = reg.histogram_with("mime_lat", &[], &[1.0, 2.0]);
+        h.observe(1.5);
+        reg.snapshot()
+    };
+    let mut merged = a.clone();
+    merged.merge(&b);
+
+    assert_eq!(merged.counter_value("mime_x_total", &[]), Some(42));
+    // distinct label sets stay distinct series
+    assert_eq!(merged.counter_value("mime_y_total", &[("replica", "0")]), Some(1));
+    assert_eq!(merged.counter_value("mime_y_total", &[("replica", "1")]), Some(2));
+    assert_eq!(merged.gauges[&("mime_ready".to_string(), vec![])], 2.0);
+
+    let h = &merged.histograms[&("mime_lat".to_string(), vec![])];
+    assert_eq!(h.buckets, vec![1, 1, 1], "bucket-wise add");
+    assert_eq!(h.count, 3);
+    assert!((h.sum - 7.0).abs() < 1e-12);
+}
+
+#[test]
+fn merge_with_mismatched_bounds_keeps_count_invariant() {
+    let a = hist_from_observations(&[1.0, 2.0], &[0.5, 1.5]);
+    let b = hist_from_observations(&[10.0], &[3.0]);
+    let mut m = a.clone();
+    m.merge(&b);
+    assert_eq!(m.bounds, a.bounds, "receiver layout wins");
+    assert_eq!(m.count, 3);
+    assert_eq!(m.buckets.iter().sum::<u64>(), m.count, "fold into +Inf");
+
+    // merging into an empty snapshot adopts the source layout wholesale
+    let mut empty = HistogramSnapshot::default();
+    empty.merge(&b);
+    assert_eq!(empty, b);
+}
+
+#[test]
+fn quantile_is_bucket_upper_bound() {
+    let h = hist_from_observations(&[1.0, 2.0, 4.0], &[0.1, 0.2, 1.5, 3.0]);
+    assert_eq!(h.quantile(0.0), 1.0);
+    assert_eq!(h.quantile(0.5), 1.0);
+    assert_eq!(h.quantile(0.75), 2.0);
+    assert_eq!(h.quantile(1.0), 4.0);
+    // overflow observations clamp to the last finite bound
+    let h = hist_from_observations(&[1.0], &[9.0]);
+    assert_eq!(h.quantile(0.5), 1.0);
+    assert_eq!(HistogramSnapshot::default().quantile(0.5), 0.0);
+}
+
+#[test]
+fn decode_rejects_corrupt_payloads() {
+    let reg = Registry::new();
+    reg.counter("c").inc();
+    reg.histogram_with("h", &[("k", "v")], &[1.0]).observe(0.5);
+    let bytes = reg.snapshot().encode();
+    assert_eq!(MetricsSnapshot::decode(&bytes).unwrap(), reg.snapshot());
+
+    // any truncation fails cleanly rather than panicking
+    for cut in 0..bytes.len() {
+        assert!(MetricsSnapshot::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+    }
+    // trailing garbage is rejected
+    let mut long = bytes.clone();
+    long.push(0);
+    assert!(MetricsSnapshot::decode(&long).is_err());
+    // absurd series count is capped before allocation
+    let huge = u32::MAX.to_le_bytes().to_vec();
+    assert!(MetricsSnapshot::decode(&huge).is_err());
+}
+
+proptest! {
+    #[test]
+    fn merged_counters_equal_sums(vals in proptest::collection::vec(0u64..1_000_000, 1..8)) {
+        let mut merged = MetricsSnapshot::default();
+        for v in &vals {
+            let reg = Registry::new();
+            reg.counter("mime_total").add(*v);
+            merged.merge(&reg.snapshot());
+        }
+        prop_assert_eq!(
+            merged.counter_value("mime_total", &[]),
+            Some(vals.iter().sum::<u64>())
+        );
+    }
+
+    #[test]
+    fn encode_decode_round_trips(
+        counts in proptest::collection::vec(0u64..u64::MAX / 2, 0..5),
+        obs in proptest::collection::vec(0.0f64..100.0, 0..32),
+    ) {
+        let reg = Registry::new();
+        for (i, v) in counts.iter().enumerate() {
+            reg.counter_with("mime_c_total", &[("i", &i.to_string())]).add(*v);
+        }
+        reg.gauge("mime_g").set(obs.len() as f64);
+        let h = reg.histogram_with("mime_h_seconds", &[], &SECONDS_BUCKETS);
+        for &v in &obs {
+            h.observe(v);
+        }
+        let snap = reg.snapshot();
+        let back = MetricsSnapshot::decode(&snap.encode()).unwrap();
+        prop_assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn merged_quantiles_bounded_by_per_source_quantiles(
+        a in proptest::collection::vec(0.0f64..20.0, 1..64),
+        b in proptest::collection::vec(0.0f64..20.0, 1..64),
+        q in 0.0f64..1.0,
+    ) {
+        let bounds = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0];
+        let ha = hist_from_observations(&bounds, &a);
+        let hb = hist_from_observations(&bounds, &b);
+        let mut hm = ha.clone();
+        hm.merge(&hb);
+
+        prop_assert_eq!(hm.count, ha.count + hb.count);
+        prop_assert!((hm.sum - (ha.sum + hb.sum)).abs() < 1e-9);
+        let (qa, qb, qm) = (ha.quantile(q), hb.quantile(q), hm.quantile(q));
+        prop_assert!(
+            qa.min(qb) <= qm && qm <= qa.max(qb),
+            "q={} qa={} qb={} merged={}", q, qa, qb, qm
+        );
+    }
+}

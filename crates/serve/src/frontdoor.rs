@@ -20,12 +20,16 @@
 
 use crate::proto::{
     write_frame, ErrorCode, Frame, FrameReader, ProtoError, RequestInput, NO_REQUEST_ID,
+    NO_TRACE_ID,
 };
-use crate::replica::{ReplicaProc, ReplicaState};
+use crate::replica::{ReplicaProc, ReplicaState, SideChannel};
 use crate::{BoundedQueue, BreakerConfig, CircuitBreaker, RetryPolicy, Route};
+use mime_obs::flight::{self, FlightKind};
+use mime_obs::trace;
+use mime_obs::MetricsSnapshot;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -77,6 +81,11 @@ pub struct FrontDoorConfig {
     pub drain_timeout: Duration,
     /// Self-injected connection chaos.
     pub self_inject: Option<ConnFault>,
+    /// Fleet observability: trace stitching, clock probes, flight
+    /// events, and replica metrics aggregation. `false` (`--no-obs`)
+    /// strips the per-request instrumentation for overhead baselines;
+    /// the HTTP scrape endpoints stay up either way.
+    pub obs: bool,
 }
 
 impl Default for FrontDoorConfig {
@@ -101,6 +110,7 @@ impl Default for FrontDoorConfig {
             liveness: Duration::from_millis(2000),
             drain_timeout: Duration::from_secs(30),
             self_inject: None,
+            obs: true,
         }
     }
 }
@@ -157,6 +167,9 @@ struct Counters {
 /// and whichever runner dequeues it.
 struct Job {
     client_id: u64,
+    /// Fleet-wide trace ID, minted at admission (or honored from the
+    /// client when nonzero) and threaded through every hop.
+    trace: u64,
     task: u32,
     input: RequestInput,
     /// Full budget, anchored at `admitted_at`.
@@ -164,6 +177,19 @@ struct Job {
     admitted_at: Instant,
     attempts: u32,
     resp: mpsc::Sender<Frame>,
+}
+
+/// Per-slot observability state fed by the replica's side-channel
+/// frames (never the request path).
+#[derive(Default)]
+struct ReplicaMeta {
+    /// Estimated `frontdoor_clock - replica_clock` in µs (NTP midpoint
+    /// from the ClockProbe/ClockReply exchange).
+    offset_us: i64,
+    /// Metrics folded in from dead incarnations of this slot.
+    history: MetricsSnapshot,
+    /// Latest cumulative snapshot from the live incarnation.
+    current: Option<MetricsSnapshot>,
 }
 
 struct Shared {
@@ -174,7 +200,10 @@ struct Shared {
     ready_replicas: AtomicUsize,
     in_flight: AtomicUsize,
     next_dispatch_id: AtomicU64,
+    /// Trace-ID mint; starts at 1 so `NO_TRACE_ID` is never issued.
+    next_trace_id: AtomicU64,
     counters: Counters,
+    replica_meta: Vec<Mutex<ReplicaMeta>>,
 }
 
 impl Shared {
@@ -187,6 +216,12 @@ impl Shared {
     /// handler gave up (client gone) — the request is terminal either
     /// way.
     fn finish(&self, job: &Job, frame: Frame) {
+        let detail = match &frame {
+            Frame::Reply { degraded: false, .. } => 0,
+            Frame::Reply { degraded: true, .. } => 1,
+            Frame::ErrorReply { code, .. } => 2 + u64::from(code.to_u8()),
+            _ => unreachable!("terminal frames are Reply/ErrorReply"),
+        };
         match &frame {
             Frame::Reply { degraded: false, .. } => &self.counters.success,
             Frame::Reply { degraded: true, .. } => &self.counters.degraded,
@@ -200,6 +235,9 @@ impl Shared {
             _ => unreachable!("terminal frames are Reply/ErrorReply"),
         }
         .fetch_add(1, Ordering::Relaxed);
+        // Exactly one Terminal flight event per admitted request, at
+        // the single point every terminal frame funnels through.
+        flight::record(FlightKind::Terminal, job.trace, detail);
         let _ = job.resp.send(frame);
         self.in_flight.fetch_sub(1, Ordering::AcqRel);
     }
@@ -226,6 +264,130 @@ impl Shared {
             self.live_replicas.load(Ordering::Relaxed),
             self.in_flight.load(Ordering::Relaxed),
         )
+    }
+
+    fn mint_trace(&self, client_trace: u64) -> u64 {
+        if client_trace != NO_TRACE_ID {
+            return client_trace;
+        }
+        self.next_trace_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The front door's own live counters/gauges as a snapshot, built
+    /// from the same atomics `stats_json` reads — so a mid-run scrape
+    /// agrees with the terminal report.
+    fn frontdoor_snapshot(&self) -> MetricsSnapshot {
+        let c = &self.counters;
+        let mut s = MetricsSnapshot::default();
+        for (name, v) in [
+            ("mime_frontdoor_requests_total", &c.requests),
+            ("mime_frontdoor_success_total", &c.success),
+            ("mime_frontdoor_degraded_total", &c.degraded),
+            ("mime_frontdoor_shed_total", &c.shed),
+            ("mime_frontdoor_unavailable_total", &c.unavailable),
+            ("mime_frontdoor_deadline_exceeded_total", &c.deadline_exceeded),
+            ("mime_frontdoor_failed_total", &c.failed),
+            ("mime_frontdoor_bad_frames_total", &c.bad_frames),
+            ("mime_frontdoor_retries_total", &c.retries),
+            ("mime_replica_restarts_total", &c.restarts),
+            ("mime_replica_spawn_failures_total", &c.spawn_failures),
+        ] {
+            s.counters.insert((name.to_string(), Vec::new()), v.load(Ordering::Relaxed));
+        }
+        for (name, v) in [
+            ("mime_frontdoor_ready_replicas", self.ready_replicas.load(Ordering::Relaxed)),
+            ("mime_frontdoor_live_replicas", self.live_replicas.load(Ordering::Relaxed)),
+            ("mime_frontdoor_in_flight", self.in_flight.load(Ordering::Relaxed)),
+            ("mime_frontdoor_queue_depth", self.queue.depth()),
+        ] {
+            s.gauges.insert((name.to_string(), Vec::new()), v as f64);
+        }
+        s
+    }
+
+    /// One `/metrics` scrape: this process's registry, the front door's
+    /// live counters, and every replica's shipped snapshot (counters
+    /// summed, gauges last-write, histogram buckets added).
+    fn scrape_metrics(&self) -> String {
+        let mut snap = mime_obs::metrics::global().snapshot();
+        snap.merge(&self.frontdoor_snapshot());
+        for meta in &self.replica_meta {
+            let meta = meta.lock().unwrap();
+            snap.merge(&meta.history);
+            if let Some(cur) = &meta.current {
+                snap.merge(cur);
+            }
+        }
+        snap.render_prometheus()
+    }
+
+    /// Ingestion point for replica side-channel frames, called from the
+    /// replica stdout reader thread at arrival time (never queued
+    /// behind request traffic).
+    fn ingest_side_frame(&self, slot: u32, frame: Frame) {
+        let Some(meta) = self.replica_meta.get(slot as usize) else { return };
+        match frame {
+            Frame::TraceChunk { replica: _, mut spans } => {
+                if !trace::enabled() {
+                    return;
+                }
+                let offset = meta.lock().unwrap().offset_us;
+                let pid = slot + 2; // pid 1 = front door, one lane per slot
+                for span in &mut spans {
+                    span.ts_us = (span.ts_us as i64 + offset).max(0) as u64;
+                    span.pid = pid;
+                }
+                trace::ingest(spans);
+            }
+            Frame::MetricsChunk { replica: _, snapshot } => {
+                match MetricsSnapshot::decode(&snapshot) {
+                    // Overlay, don't replace: scalar-only delta chunks
+                    // must not wipe the histograms carried by the last
+                    // full snapshot from the same replica incarnation.
+                    Ok(snap) => meta
+                        .lock()
+                        .unwrap()
+                        .current
+                        .get_or_insert_with(Default::default)
+                        .overlay(&snap),
+                    Err(e) => mime_obs::warn!(
+                        "serve.frontdoor",
+                        "undecodable metrics chunk",
+                        replica = slot,
+                        error = e
+                    ),
+                }
+            }
+            Frame::ClockReply { t0_us, now_us } => {
+                // NTP midpoint: the replica read its clock roughly
+                // halfway between our send (t0) and receive (t1).
+                let t1 = trace::now_us();
+                let midpoint = ((t0_us + t1) / 2) as i64;
+                let offset = midpoint - now_us as i64;
+                meta.lock().unwrap().offset_us = offset;
+                mime_obs::debug!(
+                    "serve.frontdoor",
+                    "replica clock offset estimated",
+                    replica = slot,
+                    offset_us = offset,
+                    rtt_us = t1.saturating_sub(t0_us)
+                );
+            }
+            _ => {}
+        }
+    }
+
+    /// Folds the dying incarnation's metrics into the slot's history so
+    /// restarts never lose counts from the aggregate scrape.
+    fn fold_replica_metrics(&self, slot: u32) {
+        if let Some(meta) = self.replica_meta.get(slot as usize) {
+            let mut meta = meta.lock().unwrap();
+            if let Some(cur) = meta.current.take() {
+                let mut history = std::mem::take(&mut meta.history);
+                history.merge(&cur);
+                meta.history = history;
+            }
+        }
     }
 }
 
@@ -288,8 +450,18 @@ impl FrontDoor {
             ready_replicas: AtomicUsize::new(0),
             in_flight: AtomicUsize::new(0),
             next_dispatch_id: AtomicU64::new(1),
+            next_trace_id: AtomicU64::new(1),
             counters: Counters::default(),
+            replica_meta: (0..replicas)
+                .map(|_| Mutex::new(ReplicaMeta::default()))
+                .collect(),
         });
+        if shared.cfg.obs && trace::enabled() {
+            trace::set_process_label(trace::LOCAL_PID, "frontdoor".to_string());
+            for slot in 0..replicas {
+                trace::set_process_label(slot as u32 + 2, format!("replica {slot}"));
+            }
+        }
 
         let runner_threads = (0..replicas)
             .map(|slot| {
@@ -432,8 +604,38 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) -> bool {
 fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
     let _ = stream.set_nodelay(true);
-    let mut reader = FrameReader::new();
     let mut stream = stream;
+    // Sniff the first byte: `G` (0x47) is not a valid frame kind, so a
+    // `GET …` opener means an HTTP scrape client on the frame port.
+    let sniff_deadline = Instant::now() + Duration::from_secs(2);
+    loop {
+        let mut first = [0u8; 1];
+        match stream.peek(&mut first) {
+            Ok(0) => return, // closed before the first byte
+            Ok(_) => {
+                if first[0] == b'G' {
+                    serve_http(shared, &mut stream);
+                    return;
+                }
+                break;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Silent client: fall through to the frame loop, which
+                // already handles slow senders and drain.
+                if shared.draining() || Instant::now() > sniff_deadline {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+    let mut reader = FrameReader::new();
     loop {
         let frame = match reader.poll_frame(&mut stream) {
             Ok(Some(frame)) => frame,
@@ -454,6 +656,7 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
                     &mut stream,
                     &Frame::ErrorReply {
                         id: NO_REQUEST_ID,
+                        trace: NO_TRACE_ID,
                         code: ErrorCode::BadFrame,
                         message: e.to_string(),
                     },
@@ -462,8 +665,8 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
             }
         };
         match frame {
-            Frame::Request { id, task, deadline_ms, input } => {
-                let reply = admit_and_await(shared, id, task, deadline_ms, input);
+            Frame::Request { id, trace, task, deadline_ms, input } => {
+                let reply = admit_and_await(shared, id, trace, task, deadline_ms, input);
                 if write_frame(&mut stream, &reply).is_err() {
                     return;
                 }
@@ -484,6 +687,7 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
                     &mut stream,
                     &Frame::ErrorReply {
                         id: NO_REQUEST_ID,
+                        trace: NO_TRACE_ID,
                         code: ErrorCode::BadFrame,
                         message: format!("unexpected client frame {other:?}"),
                     },
@@ -494,20 +698,28 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
     }
 }
 
-/// Admission for one request: precheck, backpressure push, then block
-/// until a runner delivers its terminal frame.
+/// Admission for one request: mint the trace ID, precheck,
+/// backpressure push, then block until a runner delivers its terminal
+/// frame.
 fn admit_and_await(
     shared: &Arc<Shared>,
     client_id: u64,
+    client_trace: u64,
     task: u32,
     deadline_ms: u32,
     input: RequestInput,
 ) -> Frame {
+    let trace_id = shared.mint_trace(client_trace);
+    let mut span = trace::span_cat("request", "serve.frontdoor");
+    span.arg("trace", trace_id);
+    span.arg("request", client_id);
+    span.arg("task", task);
     shared.counters.requests.fetch_add(1, Ordering::Relaxed);
     if shared.cfg.tasks > 0 && task >= shared.cfg.tasks {
         shared.counters.failed.fetch_add(1, Ordering::Relaxed);
         return Frame::ErrorReply {
             id: client_id,
+            trace: trace_id,
             code: ErrorCode::UnknownTask,
             message: format!("task {task} of {}", shared.cfg.tasks),
         };
@@ -516,6 +728,7 @@ fn admit_and_await(
         shared.counters.unavailable.fetch_add(1, Ordering::Relaxed);
         return Frame::ErrorReply {
             id: client_id,
+            trace: trace_id,
             code: ErrorCode::Unavailable,
             message: "draining or no live replica".into(),
         };
@@ -525,9 +738,11 @@ fn admit_and_await(
     } else {
         Duration::from_millis(u64::from(deadline_ms))
     };
+    flight::record(FlightKind::Admit, trace_id, u64::from(task));
     let (tx, rx) = mpsc::channel();
     let job = Job {
         client_id,
+        trace: trace_id,
         task,
         input,
         deadline,
@@ -547,7 +762,13 @@ fn admit_and_await(
             (&shared.counters.shed, ErrorCode::Overloaded, "admission queue full")
         };
         counter.fetch_add(1, Ordering::Relaxed);
-        return Frame::ErrorReply { id: client_id, code, message: msg.into() };
+        flight::record(FlightKind::Terminal, trace_id, 2 + u64::from(code.to_u8()));
+        return Frame::ErrorReply {
+            id: client_id,
+            trace: trace_id,
+            code,
+            message: msg.into(),
+        };
     }
     // Safety net far beyond any legitimate path (runner-side deadline +
     // liveness + a full respawn cycle); a job can only be stuck this
@@ -561,10 +782,108 @@ fn admit_and_await(
         Ok(frame) => frame,
         Err(_) => Frame::ErrorReply {
             id: client_id,
+            trace: trace_id,
             code: ErrorCode::FailedAfterRetries,
             message: "internal: request lost in the supervisor".into(),
         },
     }
+}
+
+// ---------------------------------------------------------------------
+// HTTP scrape endpoints (GET /metrics, /healthz, /readyz)
+// ---------------------------------------------------------------------
+
+/// Minimal HTTP/1.1 responder for scrape clients that hit the frame
+/// port: reads one request (header cap 8 KiB), answers, closes.
+fn serve_http(shared: &Arc<Shared>, stream: &mut TcpStream) {
+    use std::io::Read as _;
+    let mut buf = Vec::with_capacity(512);
+    let deadline = Instant::now() + Duration::from_secs(2);
+    let mut chunk = [0u8; 512];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+        if buf.len() > 8192 || Instant::now() > deadline {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => return,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" {
+        http_respond(
+            stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            "frame protocol or GET only\n",
+        );
+        return;
+    }
+    let ready = shared.ready_replicas.load(Ordering::Relaxed);
+    let live = shared.live_replicas.load(Ordering::Relaxed);
+    match path.split('?').next().unwrap_or("") {
+        "/metrics" => {
+            let body = shared.scrape_metrics();
+            http_respond(
+                stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            );
+        }
+        "/healthz" => {
+            let body = format!(
+                "{{\"status\":\"ok\",\"live_replicas\":{live},\"ready_replicas\":{ready},\
+                 \"draining\":{}}}\n",
+                shared.draining()
+            );
+            http_respond(stream, "200 OK", "application/json", &body);
+        }
+        "/readyz" => {
+            if ready > 0 && !shared.draining() {
+                http_respond(stream, "200 OK", "text/plain", "ready\n");
+            } else {
+                http_respond(
+                    stream,
+                    "503 Service Unavailable",
+                    "text/plain",
+                    "not ready\n",
+                );
+            }
+        }
+        "/stats" => {
+            let body = shared.stats_json() + "\n";
+            http_respond(stream, "200 OK", "application/json", &body);
+        }
+        _ => http_respond(
+            stream,
+            "404 Not Found",
+            "text/plain",
+            "try /metrics /healthz /readyz\n",
+        ),
+    }
+}
+
+fn http_respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    use std::io::Write as _;
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
 }
 
 /// A chaos thread hammering the front door's own listener with the
@@ -610,6 +929,13 @@ fn runner_loop(shared: &Arc<Shared>, slot: u32) {
     let mut breaker = CircuitBreaker::new();
     let mut budget_used: u32 = 0;
     let mut consecutive_faults: u32 = 0;
+    // Trace/metrics/clock frames are routed to the supervisor straight
+    // off the reader thread, bypassing the reply channel.
+    let side: Option<SideChannel> = shared.cfg.obs.then(|| {
+        let shared = Arc::clone(shared);
+        Arc::new(move |s: u32, frame: Frame| shared.ingest_side_frame(s, frame))
+            as SideChannel
+    });
 
     loop {
         if shared.draining() && shared.queue.depth() == 0 {
@@ -625,14 +951,20 @@ fn runner_loop(shared: &Arc<Shared>, slot: u32) {
             continue;
         }
         log_state(slot, ReplicaState::Spawning);
-        let mut proc = match ReplicaProc::spawn(
+        let mut proc = match ReplicaProc::spawn_with_side_channel(
             slot,
             &shared.cfg.replica_cmd,
             shared.cfg.spawn_timeout,
+            side.clone(),
         ) {
-            Ok(proc) => {
+            Ok(mut proc) => {
                 breaker.report_success(route);
                 consecutive_faults = 0;
+                if shared.cfg.obs {
+                    // Clock-offset probe for trace stitching; the reply
+                    // arrives on the side channel.
+                    let _ = proc.send(&Frame::ClockProbe { t0_us: trace::now_us() });
+                }
                 proc
             }
             Err(e) => {
@@ -661,12 +993,14 @@ fn runner_loop(shared: &Arc<Shared>, slot: u32) {
         match death {
             None => {
                 proc.shutdown(shared.cfg.drain_timeout);
+                shared.fold_replica_metrics(slot);
                 runner_exit(shared, slot, "queue drained");
                 return;
             }
             Some(job) => {
                 log_state(slot, ReplicaState::Dead);
                 proc.kill_and_reap();
+                shared.fold_replica_metrics(slot);
                 shared.counters.restarts.fetch_add(1, Ordering::Relaxed);
                 if let Some(job) = job {
                     requeue_or_fail(shared, slot, job);
@@ -724,11 +1058,12 @@ fn runner_exit(shared: &Arc<Shared>, slot: u32, why: &str) {
         shared.shutdown.store(true, Ordering::Release);
         shared.queue.close();
         while let Some(job) = shared.queue.try_pop() {
-            let id = job.client_id;
+            let (id, trace) = (job.client_id, job.trace);
             shared.finish(
                 &job,
                 Frame::ErrorReply {
                     id,
+                    trace,
                     code: ErrorCode::Unavailable,
                     message: "no live replica".into(),
                 },
@@ -763,16 +1098,25 @@ fn serve_with_replica(
     let mut stale: Vec<u64> = Vec::new();
     loop {
         let job = shared.queue.pop()?;
+        let queue_us =
+            job.admitted_at.elapsed().as_micros().min(u128::from(u32::MAX)) as u32;
+        flight::record(FlightKind::Dequeue, job.trace, u64::from(queue_us));
+        if mime_obs::metrics_enabled() {
+            mime_obs::metrics::global()
+                .histogram_seconds("mime_frontdoor_queue_wait_seconds")
+                .observe(f64::from(queue_us) * 1e-6);
+        }
         // Deadline at dequeue: a request that blew its budget in line
         // is not worth a dispatch.
         let expiry = job.admitted_at + job.deadline;
         let now = Instant::now();
         if now > expiry {
-            let id = job.client_id;
+            let (id, trace) = (job.client_id, job.trace);
             shared.finish(
                 &job,
                 Frame::ErrorReply {
                     id,
+                    trace,
                     code: ErrorCode::DeadlineExceeded,
                     message: "expired waiting in the admission queue".into(),
                 },
@@ -781,8 +1125,13 @@ fn serve_with_replica(
         }
         let remaining = expiry - now;
         let dispatch_id = shared.next_dispatch_id.fetch_add(1, Ordering::Relaxed);
+        let mut span = trace::span_cat("dispatch", "serve.frontdoor");
+        span.arg("trace", job.trace);
+        span.arg("replica", slot);
+        flight::record(FlightKind::Dispatch, job.trace, u64::from(slot));
         let sent = proc.send(&Frame::Request {
             id: dispatch_id,
+            trace: job.trace,
             task: job.task,
             deadline_ms: (remaining.as_millis() as u32).max(1),
             input: job.input.clone(),
@@ -790,7 +1139,16 @@ fn serve_with_replica(
         if sent.is_err() {
             return Some(Some(job));
         }
-        match await_reply(shared, slot, proc, &job, dispatch_id, remaining, &mut stale) {
+        match await_reply(
+            shared,
+            slot,
+            proc,
+            &job,
+            dispatch_id,
+            remaining,
+            queue_us,
+            &mut stale,
+        ) {
             AwaitOutcome::Terminal => {}
             AwaitOutcome::Died => return Some(Some(job)),
         }
@@ -808,6 +1166,7 @@ enum AwaitOutcome {
 /// Waits for the dispatched request's terminal frame, refreshing the
 /// liveness deadline on every heartbeat. A silent replica past the
 /// liveness window is Suspect and killed (the caller handles requeue).
+#[allow(clippy::too_many_arguments)]
 fn await_reply(
     shared: &Arc<Shared>,
     slot: u32,
@@ -815,6 +1174,7 @@ fn await_reply(
     job: &Job,
     dispatch_id: u64,
     remaining: Duration,
+    queue_us: u32,
     stale: &mut Vec<u64>,
 ) -> AwaitOutcome {
     let dispatched = Instant::now();
@@ -827,19 +1187,29 @@ fn await_reply(
     loop {
         match proc.recv_timeout(TICK) {
             Ok(Frame::Heartbeat { .. }) => last_seen = Instant::now(),
-            Ok(Frame::Reply { id, degraded, logits }) => {
+            Ok(Frame::Reply { id, trace, degraded, queue_us: _, compute_us, logits }) => {
                 last_seen = Instant::now();
                 if id == dispatch_id {
-                    let frame = Frame::Reply { id: job.client_id, degraded, logits };
+                    // Stamp the queue wait the front door measured; the
+                    // replica filled in compute_us.
+                    let frame = Frame::Reply {
+                        id: job.client_id,
+                        trace,
+                        degraded,
+                        queue_us,
+                        compute_us,
+                        logits,
+                    };
                     shared.finish(job, frame);
                     return AwaitOutcome::Terminal;
                 }
                 stale.retain(|&s| s != id);
             }
-            Ok(Frame::ErrorReply { id, code, message }) => {
+            Ok(Frame::ErrorReply { id, trace, code, message }) => {
                 last_seen = Instant::now();
                 if id == dispatch_id {
-                    let frame = Frame::ErrorReply { id: job.client_id, code, message };
+                    let frame =
+                        Frame::ErrorReply { id: job.client_id, trace, code, message };
                     shared.finish(job, frame);
                     return AwaitOutcome::Terminal;
                 }
@@ -886,6 +1256,7 @@ fn requeue_or_fail(shared: &Arc<Shared>, slot: u32, mut job: Job) {
     job.attempts += 1;
     if shared.cfg.retry.allows(job.attempts) {
         shared.counters.retries.fetch_add(1, Ordering::Relaxed);
+        flight::record(FlightKind::Retry, job.trace, u64::from(job.attempts));
         mime_obs::info!(
             "serve.frontdoor",
             "replica died mid-request; requeued",
@@ -895,11 +1266,12 @@ fn requeue_or_fail(shared: &Arc<Shared>, slot: u32, mut job: Job) {
         );
         shared.queue.requeue(job);
     } else {
-        let id = job.client_id;
+        let (id, trace) = (job.client_id, job.trace);
         shared.finish(
             &job,
             Frame::ErrorReply {
                 id,
+                trace,
                 code: ErrorCode::FailedAfterRetries,
                 message: format!("replica died on all {} attempts", job.attempts),
             },

@@ -53,7 +53,9 @@ pub use frontdoor::{
     ConnFault, FrontDoor, FrontDoorConfig, FrontDoorReport, FrontDoorStopper,
 };
 pub use queue::BoundedQueue;
-pub use replica::{ReplicaFault, ReplicaProc, ReplicaState, ReplicaWorkerConfig};
+pub use replica::{
+    ReplicaFault, ReplicaProc, ReplicaState, ReplicaWorkerConfig, SideChannel,
+};
 pub use retry::RetryPolicy;
 pub use server::{
     Completion, FaultPlan, Outcome, Request, ServeConfig, ServeReport, Server, ShedReason,

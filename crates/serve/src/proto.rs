@@ -14,7 +14,9 @@
 //! terminal frame — a `Reply` (success or degraded-to-parent) or an
 //! `ErrorReply` carrying one of the typed [`ErrorCode`]s.
 
+use mime_obs::trace::SpanEvent;
 use mime_tensor::Tensor;
+use std::borrow::Cow;
 use std::io::{Read, Write};
 
 /// Hard cap on any frame payload. A length field above this is rejected
@@ -25,10 +27,22 @@ pub const MAX_FRAME_PAYLOAD: usize = 4 << 20;
 const MAX_NDIM: usize = 8;
 /// Cap on tensor/logit element counts in a payload.
 const MAX_ELEMS: usize = 4 << 20;
+/// Cap on spans per `TraceChunk` (senders split larger batches).
+pub const MAX_SPANS_PER_CHUNK: usize = 2048;
+/// Cap on any single string inside a `TraceChunk` span.
+const MAX_SPAN_STR: usize = 4096;
+/// Cap on annotations per span in a `TraceChunk`.
+const MAX_SPAN_ARGS: usize = 32;
+/// Cap on an encoded `MetricsChunk` snapshot.
+const MAX_SNAPSHOT_BYTES: usize = 1 << 20;
 
 /// Sentinel request id used in error replies to frames so malformed
 /// that no id could be recovered.
 pub const NO_REQUEST_ID: u64 = u64::MAX;
+
+/// Sentinel trace id for frames minted before admission stamps one
+/// (client-originated requests, protocol-level errors).
+pub const NO_TRACE_ID: u64 = 0;
 
 const KIND_REQUEST: u8 = 1;
 const KIND_REPLY: u8 = 2;
@@ -38,6 +52,10 @@ const KIND_READY: u8 = 5;
 const KIND_SHUTDOWN: u8 = 6;
 const KIND_STATS_REQUEST: u8 = 7;
 const KIND_STATS_REPLY: u8 = 8;
+const KIND_TRACE_CHUNK: u8 = 9;
+const KIND_CLOCK_PROBE: u8 = 10;
+const KIND_CLOCK_REPLY: u8 = 11;
+const KIND_METRICS_CHUNK: u8 = 12;
 
 /// Request input: either a raw `[C, H, W]` tensor, or a deterministic
 /// probe index the replica expands itself (keeps loadgen frames tiny).
@@ -68,7 +86,7 @@ pub enum ErrorCode {
 }
 
 impl ErrorCode {
-    fn to_u8(self) -> u8 {
+    pub(crate) fn to_u8(self) -> u8 {
         match self {
             ErrorCode::Overloaded => 0,
             ErrorCode::DeadlineExceeded => 1,
@@ -111,6 +129,10 @@ pub enum Frame {
     Request {
         /// Caller-chosen id echoed on the terminal frame.
         id: u64,
+        /// Fleet-wide trace id, minted at front-door admission and
+        /// carried through retries and replica dispatch
+        /// ([`NO_TRACE_ID`] on the client hop, before admission).
+        trace: u64,
         /// Task (threshold-set) index.
         task: u32,
         /// Remaining deadline budget in milliseconds (0 = use the
@@ -123,8 +145,15 @@ pub enum Frame {
     Reply {
         /// The request id.
         id: u64,
+        /// The trace id echoed from the request.
+        trace: u64,
         /// `true` when served by the exact parent path.
         degraded: bool,
+        /// Microseconds spent queued at the front door before dispatch
+        /// (stamped by the front door; 0 on the replica hop).
+        queue_us: u32,
+        /// Microseconds of replica compute (stamped by the replica).
+        compute_us: u32,
         /// Classifier logits.
         logits: Vec<f32>,
     },
@@ -133,6 +162,9 @@ pub enum Frame {
     ErrorReply {
         /// The request id.
         id: u64,
+        /// The trace id echoed from the request ([`NO_TRACE_ID`] when
+        /// the failure predates admission).
+        trace: u64,
         /// Failure class.
         code: ErrorCode,
         /// Human-readable detail.
@@ -143,6 +175,10 @@ pub enum Frame {
     Heartbeat {
         /// Monotonic per-replica sequence number.
         seq: u64,
+        /// Trace id of the request executing when the beat was emitted
+        /// ([`NO_TRACE_ID`] when idle) — names the wedged request when
+        /// beats stop.
+        trace: u64,
     },
     /// Replica → front door: image loaded, plans bound, serving.
     Ready {
@@ -160,6 +196,40 @@ pub enum Frame {
     StatsReply {
         /// JSON object of counters/gauges.
         json: String,
+    },
+    /// Replica → front door: a bounded batch of finished spans for
+    /// cross-process trace stitching. Timestamps are in the *replica's*
+    /// trace epoch; the front door shifts them by the handshake clock
+    /// offset and stamps the replica's `pid` lane at ingestion.
+    TraceChunk {
+        /// Replica index.
+        replica: u32,
+        /// At most [`MAX_SPANS_PER_CHUNK`] finished spans.
+        spans: Vec<SpanEvent>,
+    },
+    /// Front door → replica clock handshake: `t0_us` is the sender's
+    /// send-time on its own trace epoch, echoed back verbatim.
+    ClockProbe {
+        /// Sender's µs-since-epoch at send time.
+        t0_us: u64,
+    },
+    /// Replica → front door: the probe's `t0_us` plus the replica's own
+    /// clock, from which the front door estimates the epoch offset as
+    /// `(t0 + t1) / 2 - now_us` (NTP midpoint, t1 = receive time).
+    ClockReply {
+        /// The probe's `t0_us`, echoed.
+        t0_us: u64,
+        /// Replica's µs-since-epoch when it handled the probe.
+        now_us: u64,
+    },
+    /// Replica → front door: an encoded
+    /// [`mime_obs::MetricsSnapshot`](mime_obs::metrics::MetricsSnapshot)
+    /// of the replica's registry, merged into live `/metrics` scrapes.
+    MetricsChunk {
+        /// Replica index.
+        replica: u32,
+        /// `MetricsSnapshot::encode` bytes (decoded at ingestion).
+        snapshot: Vec<u8>,
     },
 }
 
@@ -211,11 +281,18 @@ fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    let n = s.len().min(MAX_SPAN_STR);
+    put_u16(buf, n as u16);
+    buf.extend_from_slice(&s.as_bytes()[..n]);
+}
+
 fn encode_payload(frame: &Frame) -> (u8, Vec<u8>) {
     let mut p = Vec::new();
     let kind = match frame {
-        Frame::Request { id, task, deadline_ms, input } => {
+        Frame::Request { id, trace, task, deadline_ms, input } => {
             put_u64(&mut p, *id);
+            put_u64(&mut p, *trace);
             put_u32(&mut p, *task);
             put_u32(&mut p, *deadline_ms);
             match input {
@@ -236,17 +313,21 @@ fn encode_payload(frame: &Frame) -> (u8, Vec<u8>) {
             }
             KIND_REQUEST
         }
-        Frame::Reply { id, degraded, logits } => {
+        Frame::Reply { id, trace, degraded, queue_us, compute_us, logits } => {
             put_u64(&mut p, *id);
+            put_u64(&mut p, *trace);
             p.push(u8::from(*degraded));
+            put_u32(&mut p, *queue_us);
+            put_u32(&mut p, *compute_us);
             put_u32(&mut p, logits.len() as u32);
             for &v in logits {
                 put_u32(&mut p, v.to_bits());
             }
             KIND_REPLY
         }
-        Frame::ErrorReply { id, code, message } => {
+        Frame::ErrorReply { id, trace, code, message } => {
             put_u64(&mut p, *id);
+            put_u64(&mut p, *trace);
             p.push(code.to_u8());
             let msg = message.as_bytes();
             let n = msg.len().min(u16::MAX as usize);
@@ -254,8 +335,9 @@ fn encode_payload(frame: &Frame) -> (u8, Vec<u8>) {
             p.extend_from_slice(&msg[..n]);
             KIND_ERROR
         }
-        Frame::Heartbeat { seq } => {
+        Frame::Heartbeat { seq, trace } => {
             put_u64(&mut p, *seq);
+            put_u64(&mut p, *trace);
             KIND_HEARTBEAT
         }
         Frame::Ready { replica, tasks } => {
@@ -270,6 +352,42 @@ fn encode_payload(frame: &Frame) -> (u8, Vec<u8>) {
             put_u32(&mut p, b.len() as u32);
             p.extend_from_slice(b);
             KIND_STATS_REPLY
+        }
+        Frame::TraceChunk { replica, spans } => {
+            put_u32(&mut p, *replica);
+            let n = spans.len().min(MAX_SPANS_PER_CHUNK);
+            put_u16(&mut p, n as u16);
+            for e in &spans[..n] {
+                put_str(&mut p, &e.name);
+                put_str(&mut p, &e.cat);
+                put_u64(&mut p, e.ts_us);
+                put_u64(&mut p, e.dur_us);
+                put_u64(&mut p, e.tid);
+                put_u32(&mut p, e.depth);
+                let n_args = e.args.len().min(MAX_SPAN_ARGS);
+                p.push(n_args as u8);
+                for (k, v) in &e.args[..n_args] {
+                    put_str(&mut p, k);
+                    put_str(&mut p, v);
+                }
+            }
+            KIND_TRACE_CHUNK
+        }
+        Frame::ClockProbe { t0_us } => {
+            put_u64(&mut p, *t0_us);
+            KIND_CLOCK_PROBE
+        }
+        Frame::ClockReply { t0_us, now_us } => {
+            put_u64(&mut p, *t0_us);
+            put_u64(&mut p, *now_us);
+            KIND_CLOCK_REPLY
+        }
+        Frame::MetricsChunk { replica, snapshot } => {
+            put_u32(&mut p, *replica);
+            let n = snapshot.len().min(MAX_SNAPSHOT_BYTES);
+            put_u32(&mut p, n as u32);
+            p.extend_from_slice(&snapshot[..n]);
+            KIND_METRICS_CHUNK
         }
     };
     (kind, p)
@@ -345,6 +463,14 @@ impl<'a> Cursor<'a> {
     }
 }
 
+fn decode_str(c: &mut Cursor<'_>, what: &str) -> Result<String, ProtoError> {
+    let n = c.u16(what)? as usize;
+    if n > MAX_SPAN_STR {
+        return Err(malformed(format!("{what} length {n} exceeds {MAX_SPAN_STR}")));
+    }
+    Ok(String::from_utf8_lossy(c.take(n, what)?).into_owned())
+}
+
 fn decode_f32s(c: &mut Cursor<'_>, n: usize, what: &str) -> Result<Vec<f32>, ProtoError> {
     if n > MAX_ELEMS {
         return Err(malformed(format!("{what} count {n} exceeds {MAX_ELEMS}")));
@@ -361,6 +487,7 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
     let frame = match kind {
         KIND_REQUEST => {
             let id = c.u64("request id")?;
+            let trace = c.u64("trace id")?;
             let task = c.u32("task id")?;
             let deadline_ms = c.u32("deadline")?;
             let input = match c.u8("input kind")? {
@@ -388,33 +515,38 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
                 other => return Err(malformed(format!("unknown input kind {other}"))),
             };
             c.done("request")?;
-            Frame::Request { id, task, deadline_ms, input }
+            Frame::Request { id, trace, task, deadline_ms, input }
         }
         KIND_REPLY => {
             let id = c.u64("reply id")?;
+            let trace = c.u64("reply trace id")?;
             let degraded = match c.u8("degraded flag")? {
                 0 => false,
                 1 => true,
                 other => return Err(malformed(format!("bad degraded flag {other}"))),
             };
+            let queue_us = c.u32("queue time")?;
+            let compute_us = c.u32("compute time")?;
             let n = c.u32("logit count")? as usize;
             let logits = decode_f32s(&mut c, n, "logits")?;
             c.done("reply")?;
-            Frame::Reply { id, degraded, logits }
+            Frame::Reply { id, trace, degraded, queue_us, compute_us, logits }
         }
         KIND_ERROR => {
             let id = c.u64("error id")?;
+            let trace = c.u64("error trace id")?;
             let code = ErrorCode::from_u8(c.u8("error code")?)?;
             let n = c.u16("message length")? as usize;
             let raw = c.take(n, "error message")?;
             let message = String::from_utf8_lossy(raw).into_owned();
             c.done("error reply")?;
-            Frame::ErrorReply { id, code, message }
+            Frame::ErrorReply { id, trace, code, message }
         }
         KIND_HEARTBEAT => {
             let seq = c.u64("heartbeat seq")?;
+            let trace = c.u64("heartbeat trace id")?;
             c.done("heartbeat")?;
-            Frame::Heartbeat { seq }
+            Frame::Heartbeat { seq, trace }
         }
         KIND_READY => {
             let replica = c.u32("replica index")?;
@@ -436,6 +568,65 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
             let json = String::from_utf8_lossy(raw).into_owned();
             c.done("stats reply")?;
             Frame::StatsReply { json }
+        }
+        KIND_TRACE_CHUNK => {
+            let replica = c.u32("trace chunk replica")?;
+            let n = c.u16("span count")? as usize;
+            if n > MAX_SPANS_PER_CHUNK {
+                return Err(malformed(format!("span count {n} exceeds cap")));
+            }
+            let mut spans = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = decode_str(&mut c, "span name")?;
+                let cat = decode_str(&mut c, "span cat")?;
+                let ts_us = c.u64("span ts")?;
+                let dur_us = c.u64("span dur")?;
+                let tid = c.u64("span tid")?;
+                let depth = c.u32("span depth")?;
+                let n_args = c.u8("span arg count")? as usize;
+                if n_args > MAX_SPAN_ARGS {
+                    return Err(malformed(format!("span arg count {n_args} exceeds cap")));
+                }
+                let mut args = Vec::with_capacity(n_args);
+                for _ in 0..n_args {
+                    let k = decode_str(&mut c, "span arg key")?;
+                    let v = decode_str(&mut c, "span arg value")?;
+                    args.push((Cow::Owned(k), v));
+                }
+                spans.push(SpanEvent {
+                    name: Cow::Owned(name),
+                    cat: Cow::Owned(cat),
+                    ts_us,
+                    dur_us,
+                    pid: mime_obs::trace::LOCAL_PID,
+                    tid,
+                    depth,
+                    args,
+                });
+            }
+            c.done("trace chunk")?;
+            Frame::TraceChunk { replica, spans }
+        }
+        KIND_CLOCK_PROBE => {
+            let t0_us = c.u64("probe t0")?;
+            c.done("clock probe")?;
+            Frame::ClockProbe { t0_us }
+        }
+        KIND_CLOCK_REPLY => {
+            let t0_us = c.u64("clock t0")?;
+            let now_us = c.u64("clock now")?;
+            c.done("clock reply")?;
+            Frame::ClockReply { t0_us, now_us }
+        }
+        KIND_METRICS_CHUNK => {
+            let replica = c.u32("metrics chunk replica")?;
+            let n = c.u32("snapshot length")? as usize;
+            if n > MAX_SNAPSHOT_BYTES {
+                return Err(malformed(format!("snapshot of {n} bytes exceeds cap")));
+            }
+            let snapshot = c.take(n, "snapshot bytes")?.to_vec();
+            c.done("metrics chunk")?;
+            Frame::MetricsChunk { replica, snapshot }
         }
         other => return Err(malformed(format!("unknown frame kind {other}"))),
     };
@@ -587,27 +778,76 @@ mod tests {
     fn frames_round_trip() {
         round_trip(Frame::Request {
             id: 7,
+            trace: 99,
             task: 2,
             deadline_ms: 1500,
             input: RequestInput::Probe(41),
         });
         round_trip(Frame::Request {
             id: u64::MAX - 1,
+            trace: NO_TRACE_ID,
             task: 0,
             deadline_ms: 0,
             input: RequestInput::Tensor(probe_image(3)),
         });
-        round_trip(Frame::Reply { id: 9, degraded: true, logits: vec![0.5, -1.25, 3.0] });
+        round_trip(Frame::Reply {
+            id: 9,
+            trace: 99,
+            degraded: true,
+            queue_us: 1200,
+            compute_us: 35_000,
+            logits: vec![0.5, -1.25, 3.0],
+        });
         round_trip(Frame::ErrorReply {
             id: NO_REQUEST_ID,
+            trace: NO_TRACE_ID,
             code: ErrorCode::BadFrame,
             message: "nope".into(),
         });
-        round_trip(Frame::Heartbeat { seq: 123 });
+        round_trip(Frame::Heartbeat { seq: 123, trace: 99 });
         round_trip(Frame::Ready { replica: 1, tasks: 3 });
         round_trip(Frame::Shutdown);
         round_trip(Frame::StatsRequest);
         round_trip(Frame::StatsReply { json: "{\"a\":1}".into() });
+        round_trip(Frame::TraceChunk {
+            replica: 1,
+            spans: vec![SpanEvent {
+                name: Cow::Owned("serve_request".to_string()),
+                cat: Cow::Owned("serve.replica".to_string()),
+                ts_us: 1234,
+                dur_us: 567,
+                pid: mime_obs::trace::LOCAL_PID,
+                tid: 3,
+                depth: 1,
+                args: vec![(Cow::Owned("trace".to_string()), "99".to_string())],
+            }],
+        });
+        round_trip(Frame::TraceChunk { replica: 0, spans: Vec::new() });
+        round_trip(Frame::ClockProbe { t0_us: 5_000_123 });
+        round_trip(Frame::ClockReply { t0_us: 5_000_123, now_us: 4_999_900 });
+        round_trip(Frame::MetricsChunk { replica: 1, snapshot: vec![9, 8, 7] });
+    }
+
+    #[test]
+    fn trace_chunk_caps_enforced() {
+        // span count beyond the cap is rejected before allocation
+        let mut p = Vec::new();
+        put_u32(&mut p, 0);
+        put_u16(&mut p, (MAX_SPANS_PER_CHUNK + 1) as u16);
+        assert!(decode_payload(KIND_TRACE_CHUNK, &p).is_err());
+
+        // a hostile span string length fails cleanly
+        let mut p = Vec::new();
+        put_u32(&mut p, 0);
+        put_u16(&mut p, 1);
+        put_u16(&mut p, u16::MAX); // name length > MAX_SPAN_STR
+        assert!(decode_payload(KIND_TRACE_CHUNK, &p).is_err());
+
+        // an oversized metrics snapshot length is rejected
+        let mut p = Vec::new();
+        put_u32(&mut p, 0);
+        put_u32(&mut p, (MAX_SNAPSHOT_BYTES + 1) as u32);
+        assert!(decode_payload(KIND_METRICS_CHUNK, &p).is_err());
     }
 
     #[test]
@@ -630,7 +870,7 @@ mod tests {
     fn truncated_header_is_malformed_and_empty_is_closed() {
         assert!(matches!(read_frame(&mut [].as_slice()), Err(ProtoError::Closed)));
         let mut buf = Vec::new();
-        write_frame(&mut buf, &Frame::Heartbeat { seq: 1 }).unwrap();
+        write_frame(&mut buf, &Frame::Heartbeat { seq: 1, trace: 9 }).unwrap();
         for cut in 1..buf.len() {
             let err = read_frame(&mut &buf[..cut]).unwrap_err();
             assert!(matches!(err, ProtoError::Malformed(_)), "cut={cut}: {err}");
@@ -691,9 +931,19 @@ mod tests {
     #[test]
     fn frame_reader_survives_byte_at_a_time_delivery() {
         let mut wire = Vec::new();
-        write_frame(&mut wire, &Frame::Reply { id: 5, degraded: false, logits: vec![1.0] })
-            .unwrap();
-        write_frame(&mut wire, &Frame::Heartbeat { seq: 2 }).unwrap();
+        write_frame(
+            &mut wire,
+            &Frame::Reply {
+                id: 5,
+                trace: 5,
+                degraded: false,
+                queue_us: 0,
+                compute_us: 0,
+                logits: vec![1.0],
+            },
+        )
+        .unwrap();
+        write_frame(&mut wire, &Frame::Heartbeat { seq: 2, trace: 0 }).unwrap();
 
         /// Yields one byte per read, then WouldBlock forever.
         struct Trickle {
@@ -723,7 +973,7 @@ mod tests {
         }
         assert_eq!(frames.len(), 2);
         assert!(matches!(frames[0], Frame::Reply { id: 5, .. }));
-        assert!(matches!(frames[1], Frame::Heartbeat { seq: 2 }));
+        assert!(matches!(frames[1], Frame::Heartbeat { seq: 2, .. }));
     }
 
     #[test]

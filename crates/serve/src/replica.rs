@@ -13,14 +13,26 @@
 //! log lines through the `MIME_LOG` leveled logger under a
 //! `replica=<n>` key so chaos failures are debuggable from one stream.
 
-use crate::proto::{read_frame, write_frame, ErrorCode, Frame, ProtoError, RequestInput};
+use crate::proto::{
+    read_frame, write_frame, ErrorCode, Frame, ProtoError, RequestInput,
+    MAX_SPANS_PER_CHUNK,
+};
 use mime_core::MimeError;
+use mime_obs::flight::{self, FlightKind};
 use mime_runtime::{BoundNetwork, ComputePath, HardwareExecutor, SparseDispatch};
 use mime_systolic::ArrayConfig;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Supervisor-side hook invoked by the stdout reader thread for
+/// observability frames (`TraceChunk`, `MetricsChunk`, `ClockReply`),
+/// which are consumed at arrival time — never queued behind request
+/// traffic — so clock offsets and scrape snapshots stay fresh even
+/// while the replica's runner is blocked on an empty queue.
+pub type SideChannel = Arc<dyn Fn(u32, Frame) + Send + Sync>;
 
 /// Replica lifecycle states, as the supervisor sees them (logged on
 /// every transition; see DESIGN.md §10).
@@ -92,6 +104,11 @@ pub struct ReplicaWorkerConfig {
     pub path: ComputePath,
     /// Sparse GEMM dispatch policy.
     pub dispatch: SparseDispatch,
+    /// Ship observability frames back to the supervisor: a
+    /// `MetricsChunk` per request (plus one at startup) and, when span
+    /// tracing is enabled, `TraceChunk`s for stitching. Off by default
+    /// so raw worker streams carry only protocol traffic.
+    pub obs: bool,
 }
 
 impl Default for ReplicaWorkerConfig {
@@ -106,6 +123,7 @@ impl Default for ReplicaWorkerConfig {
             zero_skip: true,
             path: ComputePath::Software,
             dispatch: SparseDispatch::Auto,
+            obs: false,
         }
     }
 }
@@ -133,10 +151,15 @@ pub fn run_replica_worker(
     let mut exec = HardwareExecutor::with_options(hw, cfg.path, cfg.dispatch);
     let mut served = 0usize;
     let mut heartbeat_seq = 0u64;
+    let mut last_full_ship = std::time::Instant::now();
 
     write_frame(output, &Frame::Ready { replica: cfg.replica, tasks: plans.len() as u32 })
         .map_err(ProtoError::Io)?;
     mime_obs::info!("serve.replica", "replica ready", replica = cfg.replica);
+    if cfg.obs {
+        // Seed the supervisor's scrape cache before the first request.
+        ship_obs_frames(cfg.replica, output, true)?;
+    }
 
     loop {
         let frame = match read_frame(input) {
@@ -144,17 +167,30 @@ pub fn run_replica_worker(
             Err(ProtoError::Closed) => return Ok(()),
             Err(e) => return Err(e),
         };
-        let (id, task, deadline_ms, input_spec) = match frame {
+        let (id, trace, task, deadline_ms, input_spec) = match frame {
             Frame::Shutdown => {
                 mime_obs::info!(
                     "serve.replica",
                     "shutdown frame; draining",
                     replica = cfg.replica
                 );
+                if cfg.obs {
+                    // Final full snapshot so the supervisor's aggregate
+                    // (histograms included) is exact at drain.
+                    ship_obs_frames(cfg.replica, output, true)?;
+                }
                 return Ok(());
             }
-            Frame::Request { id, task, deadline_ms, input } => {
-                (id, task, deadline_ms, input)
+            Frame::ClockProbe { t0_us } => {
+                write_frame(
+                    output,
+                    &Frame::ClockReply { t0_us, now_us: mime_obs::trace::now_us() },
+                )
+                .map_err(ProtoError::Io)?;
+                continue;
+            }
+            Frame::Request { id, trace, task, deadline_ms, input } => {
+                (id, trace, task, deadline_ms, input)
             }
             other => {
                 return Err(ProtoError::Malformed(format!(
@@ -163,6 +199,7 @@ pub fn run_replica_worker(
             }
         };
 
+        flight::record(FlightKind::Dequeue, trace, u64::from(task));
         served += 1;
         let inject = cfg.fault_every > 0 && served.is_multiple_of(cfg.fault_every);
         if inject && cfg.fault == ReplicaFault::Abort {
@@ -172,6 +209,10 @@ pub fn run_replica_worker(
                 replica = cfg.replica,
                 request = id
             );
+            // The flight recorder is the whole post-mortem story for an
+            // uncatchable death: dump before the process vanishes, with
+            // this request still in-flight (Dequeue without Terminal).
+            flight::dump_now("abort");
             std::process::abort();
         }
 
@@ -181,6 +222,7 @@ pub fn run_replica_worker(
             &parents,
             &cfg,
             id,
+            trace,
             task,
             deadline_ms,
             input_spec,
@@ -188,8 +230,103 @@ pub fn run_replica_worker(
             &mut heartbeat_seq,
             output,
         )?;
-        write_frame(output, &reply).map_err(ProtoError::Io)?;
+        flight::record(FlightKind::Terminal, trace, terminal_detail(&reply));
+        if cfg.obs {
+            record_replica_outcome(&reply);
+            // Ship spans/metrics *before* the terminal frame: once the
+            // supervisor sees the reply, this request's spans are
+            // already ingested — drain order is what makes the stitched
+            // trace complete for every terminated request. Scalar
+            // counters ship every request (cheap map copies, keeps the
+            // live scrape exact); full snapshots with histogram bucket
+            // arrays are throttled — cloning and re-decoding every
+            // bucket vector per request measurably slowed the serving
+            // path. The obs frames and the reply coalesce into ONE
+            // pipe write: separate writes meant separate reader-thread
+            // wakeups per request, which also showed up in p50.
+            let full = last_full_ship.elapsed() >= FULL_SNAPSHOT_INTERVAL;
+            let mut batch: Vec<u8> = Vec::with_capacity(256);
+            ship_obs_frames(cfg.replica, &mut batch, full)?;
+            if full {
+                last_full_ship = std::time::Instant::now();
+            }
+            write_frame(&mut batch, &reply).map_err(ProtoError::Io)?;
+            output.write_all(&batch).map_err(ProtoError::Io)?;
+            output.flush().map_err(ProtoError::Io)?;
+        } else {
+            write_frame(output, &reply).map_err(ProtoError::Io)?;
+        }
     }
+}
+
+/// Outcome code stored in a `Terminal` flight event: 0 = ok,
+/// 1 = degraded, `2 + ErrorCode` for typed failures.
+fn terminal_detail(reply: &Frame) -> u64 {
+    match reply {
+        Frame::Reply { degraded, .. } => u64::from(*degraded),
+        Frame::ErrorReply { code, .. } => 2 + u64::from(code.to_u8()),
+        _ => u64::MAX,
+    }
+}
+
+/// Bumps the replica-local `mime_replica_*` outcome counters that ride
+/// back to the front door inside `MetricsChunk`s. The hot handles
+/// (total + success) are resolved once — this runs per request, and a
+/// registry lookup is a lock plus string hashing.
+fn record_replica_outcome(reply: &Frame) {
+    use std::sync::OnceLock;
+    static REQUESTS: OnceLock<mime_obs::metrics::Counter> = OnceLock::new();
+    static SUCCESS: OnceLock<mime_obs::metrics::Counter> = OnceLock::new();
+    let reg = mime_obs::metrics::global();
+    REQUESTS.get_or_init(|| reg.counter("mime_replica_requests_total")).inc();
+    match reply {
+        Frame::Reply { degraded: false, .. } => SUCCESS
+            .get_or_init(|| {
+                reg.counter_with("mime_replica_outcomes_total", &[("outcome", "success")])
+            })
+            .inc(),
+        Frame::Reply { degraded: true, .. } => reg
+            .counter_with("mime_replica_outcomes_total", &[("outcome", "degraded")])
+            .inc(),
+        Frame::ErrorReply { code, .. } => reg
+            .counter_with("mime_replica_outcomes_total", &[("outcome", code.name())])
+            .inc(),
+        _ => {
+            reg.counter_with("mime_replica_outcomes_total", &[("outcome", "unknown")]).inc()
+        }
+    }
+}
+
+/// Minimum spacing between full registry snapshots (histogram bucket
+/// arrays included) on the wire; scalar deltas flow every request.
+const FULL_SNAPSHOT_INTERVAL: std::time::Duration = std::time::Duration::from_millis(25);
+
+/// Drains this process's finished spans into bounded `TraceChunk`s and
+/// appends one `MetricsChunk` registry snapshot — the whole registry
+/// when `full`, otherwise just the counters and gauges (the supervisor
+/// overlays either onto its per-replica cache). Pipe backpressure is
+/// the flow control: the supervisor's reader thread consumes these at
+/// arrival, and a stalled supervisor stalls the replica rather than
+/// growing an unbounded buffer.
+fn ship_obs_frames(
+    replica: u32,
+    output: &mut impl Write,
+    full: bool,
+) -> Result<(), ProtoError> {
+    if mime_obs::trace::enabled() {
+        let spans = mime_obs::trace::drain();
+        for chunk in spans.chunks(MAX_SPANS_PER_CHUNK) {
+            write_frame(output, &Frame::TraceChunk { replica, spans: chunk.to_vec() })
+                .map_err(ProtoError::Io)?;
+        }
+    }
+    let registry = mime_obs::metrics::global();
+    let snapshot = if full { registry.snapshot() } else { registry.snapshot_scalars() };
+    if !snapshot.is_empty() {
+        write_frame(output, &Frame::MetricsChunk { replica, snapshot: snapshot.encode() })
+            .map_err(ProtoError::Io)?;
+    }
+    Ok(())
 }
 
 /// Drives one request to its terminal frame, emitting heartbeats from
@@ -201,6 +338,7 @@ fn serve_one(
     parents: &[BoundNetwork],
     cfg: &ReplicaWorkerConfig,
     id: u64,
+    trace: u64,
     task: u32,
     deadline_ms: u32,
     input: RequestInput,
@@ -208,9 +346,17 @@ fn serve_one(
     heartbeat_seq: &mut u64,
     output: &mut impl Write,
 ) -> Result<Frame, ProtoError> {
+    let mut request_span = mime_obs::trace::span_cat("replica_request", "serve.replica");
+    if request_span.is_active() {
+        request_span.arg("trace", trace);
+        request_span.arg("request", id);
+        request_span.arg("task", task);
+        request_span.arg("replica", cfg.replica);
+    }
     let Some(plan) = plans.get(task as usize) else {
         return Ok(Frame::ErrorReply {
             id,
+            trace,
             code: ErrorCode::UnknownTask,
             message: format!("task {task} of {}", plans.len()),
         });
@@ -233,7 +379,7 @@ fn serve_one(
     // deadline instead of ticking along from a side thread.
     macro_rules! guard {
         () => {
-            &mut |_step: usize| {
+            &mut |step: usize| {
                 match fault {
                     ReplicaFault::Hang => loop {
                         std::thread::sleep(Duration::from_secs(3600));
@@ -241,9 +387,10 @@ fn serve_one(
                     ReplicaFault::Slow => std::thread::sleep(cfg.slow_layer),
                     _ => {}
                 }
+                flight::record(FlightKind::Layer, trace, step as u64);
                 if last_beat.elapsed() >= cfg.heartbeat / 2 {
                     *heartbeat_seq += 1;
-                    write_frame(output, &Frame::Heartbeat { seq: *heartbeat_seq })
+                    write_frame(output, &Frame::Heartbeat { seq: *heartbeat_seq, trace })
                         .map_err(|e| MimeError::io("replica control pipe", &e))?;
                     last_beat = Instant::now();
                 }
@@ -263,10 +410,14 @@ fn serve_one(
         plan.validate_thresholds()?;
         exec.run_image_guarded(plan, &image, cfg.zero_skip, guard!())
     })();
+    let compute_us = started.elapsed().as_micros().min(u128::from(u32::MAX)) as u32;
     Ok(match primary {
-        Ok(logits) => Frame::Reply { id, degraded: false, logits },
+        Ok(logits) => {
+            Frame::Reply { id, trace, degraded: false, queue_us: 0, compute_us, logits }
+        }
         Err(MimeError::DeadlineExceeded { over_ms, .. }) => Frame::ErrorReply {
             id,
+            trace,
             code: ErrorCode::DeadlineExceeded,
             message: format!("{over_ms}ms over budget"),
         },
@@ -287,14 +438,27 @@ fn serve_one(
                 cfg.zero_skip,
                 guard!(),
             ) {
-                Ok(logits) => Frame::Reply { id, degraded: true, logits },
+                Ok(logits) => {
+                    let compute_us =
+                        started.elapsed().as_micros().min(u128::from(u32::MAX)) as u32;
+                    Frame::Reply {
+                        id,
+                        trace,
+                        degraded: true,
+                        queue_us: 0,
+                        compute_us,
+                        logits,
+                    }
+                }
                 Err(MimeError::DeadlineExceeded { over_ms, .. }) => Frame::ErrorReply {
                     id,
+                    trace,
                     code: ErrorCode::DeadlineExceeded,
                     message: format!("{over_ms}ms over budget"),
                 },
                 Err(parent_err) => Frame::ErrorReply {
                     id,
+                    trace,
                     code: ErrorCode::FailedAfterRetries,
                     message: format!("primary: {primary_err}; parent: {parent_err}"),
                 },
@@ -330,6 +494,24 @@ impl ReplicaProc {
         argv: &[String],
         spawn_timeout: Duration,
     ) -> std::io::Result<ReplicaProc> {
+        Self::spawn_with_side_channel(index, argv, spawn_timeout, None)
+    }
+
+    /// [`ReplicaProc::spawn`], with observability frames (`TraceChunk`,
+    /// `MetricsChunk`, `ClockReply`) routed to `side` from the reader
+    /// thread instead of the frame channel, so they are ingested the
+    /// moment they arrive. With `side == None` they flow through the
+    /// channel like any other frame.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReplicaProc::spawn`].
+    pub fn spawn_with_side_channel(
+        index: u32,
+        argv: &[String],
+        spawn_timeout: Duration,
+        side: Option<SideChannel>,
+    ) -> std::io::Result<ReplicaProc> {
         let (program, args) = argv.split_first().ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::InvalidInput, "empty replica argv")
         })?;
@@ -348,6 +530,17 @@ impl ReplicaProc {
             // Reader exits (dropping tx) on EOF or any stream error —
             // either way the supervisor sees a disconnected channel.
             while let Ok(frame) = read_frame(&mut stdout) {
+                if let Some(side) = side.as_ref() {
+                    if matches!(
+                        frame,
+                        Frame::TraceChunk { .. }
+                            | Frame::MetricsChunk { .. }
+                            | Frame::ClockReply { .. }
+                    ) {
+                        side(index, frame);
+                        continue;
+                    }
+                }
                 if tx.send(frame).is_err() {
                     return;
                 }
@@ -542,12 +735,14 @@ mod tests {
             &[
                 Frame::Request {
                     id: 1,
+                    trace: 101,
                     task: 0,
                     deadline_ms: 0,
                     input: RequestInput::Probe(0),
                 },
                 Frame::Request {
                     id: 2,
+                    trace: 102,
                     task: 1,
                     deadline_ms: 0,
                     input: RequestInput::Probe(1),
@@ -563,8 +758,9 @@ mod tests {
         assert_eq!(replies.len(), 2, "one terminal frame per request: {frames:?}");
         for (reply, want_id) in replies.iter().zip([1u64, 2]) {
             match reply {
-                Frame::Reply { id, degraded, logits } => {
+                Frame::Reply { id, trace, degraded, logits, .. } => {
                     assert_eq!(*id, want_id);
+                    assert_eq!(*trace, 100 + want_id, "trace echoed");
                     assert!(!degraded);
                     assert!(!logits.is_empty());
                     assert!(logits.iter().all(|v| v.is_finite()));
@@ -585,12 +781,14 @@ mod tests {
             &[
                 Frame::Request {
                     id: 10,
+                    trace: 0,
                     task: 9,
                     deadline_ms: 0,
                     input: RequestInput::Probe(0),
                 },
                 Frame::Request {
                     id: 11,
+                    trace: 0,
                     task: 0,
                     deadline_ms: 0,
                     input: RequestInput::Tensor(
@@ -620,13 +818,14 @@ mod tests {
             cfg,
             &[Frame::Request {
                 id: 5,
+                trace: 0,
                 task: 0,
                 deadline_ms: 0,
                 input: RequestInput::Probe(2),
             }],
         );
         match &frames[1] {
-            Frame::Reply { id: 5, degraded: true, logits } => {
+            Frame::Reply { id: 5, degraded: true, logits, .. } => {
                 assert!(logits.iter().all(|v| v.is_finite()));
             }
             other => panic!("expected degraded Reply, got {other:?}"),
@@ -648,6 +847,7 @@ mod tests {
             cfg,
             &[Frame::Request {
                 id: 3,
+                trace: 0,
                 task: 0,
                 deadline_ms: 50,
                 input: RequestInput::Probe(0),

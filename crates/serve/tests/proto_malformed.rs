@@ -49,7 +49,7 @@ fn connect(door: &FrontDoor) -> TcpStream {
 /// expects the connection to close.
 fn expect_error_then_close(mut s: TcpStream, want_id: u64, want_code: ErrorCode) {
     match read_frame(&mut s).expect("typed error frame before close") {
-        Frame::ErrorReply { id, code, message } => {
+        Frame::ErrorReply { id, code, message, .. } => {
             assert_eq!(id, want_id, "error frame id");
             assert_eq!(code, want_code, "error code ({message})");
             assert!(!message.is_empty(), "error frames carry a reason");
@@ -102,6 +102,7 @@ fn malformed_frame_corpus_gets_typed_errors_and_server_survives() {
     let mut s = connect(&door);
     let req = Frame::Request {
         id: 77,
+        trace: 0,
         task: 99,
         deadline_ms: 1000,
         input: RequestInput::Probe(0),

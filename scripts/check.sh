@@ -154,6 +154,101 @@ if [[ "$run_tests" == 1 ]]; then
         || { echo "FAIL: front door crashed or failed to drain cleanly" >&2; exit 1; }
     grep -q '^mime_frontdoor_requests_total 64$' "$fd_metrics"
     grep -q '^mime_replica_restarts_total [1-9]' "$fd_metrics"
+
+    # fleet-observability smoke: live /metrics + /healthz scrapes on the
+    # frame port while the fleet is up, a SIGUSR1 flight-recorder dump
+    # from a running replica, and a stitched cross-process trace with
+    # one lane per process at drain
+    echo "==> mime serve --listen observability smoke (/metrics, /healthz, flight dump)"
+    obs_fd_metrics=target/obs_fleet_smoke.prom
+    obs_fd_trace=target/obs_fleet_smoke.trace.json
+    obs_fd_log=target/obs_fleet_smoke.log
+    obs_flight_dir=target/obs_fleet_smoke_flight
+    rm -rf "$obs_fd_metrics" "$obs_fd_trace" "$obs_fd_log" "$obs_flight_dir"
+    http_get() { # http_get <addr> <path>
+        if command -v curl >/dev/null 2>&1; then
+            curl -sf --max-time 10 "http://$1$2"
+        else
+            python3 -c "import urllib.request,sys; \
+sys.stdout.write(urllib.request.urlopen('http://$1$2', timeout=10).read().decode())"
+        fi
+    }
+    timeout 120 ./target/release/mime \
+        --metrics-out "$obs_fd_metrics" --trace-out "$obs_fd_trace" serve \
+        --listen 127.0.0.1:0 --replicas 2 --tasks 3 \
+        --flight-dir "$obs_flight_dir" > "$obs_fd_log" 2>/dev/null &
+    obs_fd_pid=$!
+    for _ in $(seq 1 100); do
+        grep -q 'listening on' "$obs_fd_log" 2>/dev/null && break
+        sleep 0.2
+    done
+    obs_fd_addr=$(grep -o 'listening on [0-9.:]*' "$obs_fd_log" | awk '{print $3}')
+    [[ -n "$obs_fd_addr" ]] || { echo "FAIL: observed front door never announced its address" >&2; exit 1; }
+    timeout 120 ./target/release/mime loadgen --connect "$obs_fd_addr" \
+        --requests 64 --concurrency 4 --tasks 3 --slow-threshold-ms 1000 >/dev/null \
+        || { echo "FAIL: loadgen against the observed front door" >&2; exit 1; }
+    # live scrape while the fleet is still up: Prometheus grammar, the
+    # front door's own counters, and the aggregated replica counters
+    # must all agree with the 64 requests loadgen just completed
+    scrape=target/obs_fleet_smoke.scrape.prom
+    http_get "$obs_fd_addr" /metrics > "$scrape" \
+        || { echo "FAIL: GET /metrics on the frame port" >&2; exit 1; }
+    if grep -Evq '^[a-z_]+(\{[^}]*\})? [0-9.eE+-]+$' "$scrape"; then
+        echo "FAIL: /metrics line(s) do not match the Prometheus grammar:" >&2
+        grep -Ev '^[a-z_]+(\{[^}]*\})? [0-9.eE+-]+$' "$scrape" | head >&2
+        exit 1
+    fi
+    grep -q '^mime_frontdoor_requests_total 64$' "$scrape"
+    grep -q '^mime_frontdoor_success_total 64$' "$scrape"
+    grep -q '^mime_replica_requests_total 64$' "$scrape"
+    grep -q '^mime_frontdoor_queue_wait_seconds_count 64$' "$scrape"
+    http_get "$obs_fd_addr" /healthz | grep -q '"status":"ok"' \
+        || { echo "FAIL: /healthz did not report ok" >&2; exit 1; }
+    http_get "$obs_fd_addr" /readyz | grep -q '^ready' \
+        || { echo "FAIL: /readyz did not report ready" >&2; exit 1; }
+    # SIGUSR1 flips a running replica's flight recorder into a dump;
+    # the file must appear and parse as mime-flight/v1 JSON
+    pgrep -f 'mime replica-worker' | head -n1 | xargs -r kill -USR1
+    flight_file=""
+    for _ in $(seq 1 50); do
+        # the glob probe must not trip set -e/pipefail while the dump
+        # is still being written, hence find + || true
+        flight_file=$(find "$obs_flight_dir" -name 'mime_flight_replica*_sigusr1_*.json' 2>/dev/null | head -n1 || true)
+        [[ -n "$flight_file" ]] && break
+        sleep 0.2
+    done
+    [[ -n "$flight_file" ]] || { echo "FAIL: SIGUSR1 produced no flight dump" >&2; exit 1; }
+    if command -v python3 >/dev/null 2>&1; then
+        python3 -c "
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d['schema'] == 'mime-flight/v1', d['schema']
+assert d['reason'] == 'sigusr1', d['reason']
+assert d['events'], 'flight ring was empty'
+" "$flight_file"
+    else
+        grep -q '"schema":"mime-flight/v1"' "$flight_file"
+        grep -q '"reason":"sigusr1"' "$flight_file"
+    fi
+    # drain; the exit-written stitched trace must hold one lane per
+    # process (front door + both replicas)
+    timeout 120 ./target/release/mime loadgen --connect "$obs_fd_addr" \
+        --requests 1 --concurrency 1 --drain >/dev/null \
+        || { echo "FAIL: drain loadgen against the observed front door" >&2; exit 1; }
+    wait "$obs_fd_pid" \
+        || { echo "FAIL: observed front door crashed or failed to drain" >&2; exit 1; }
+    if command -v python3 >/dev/null 2>&1; then
+        python3 -c "
+import json, sys
+d = json.load(open(sys.argv[1]))
+ev = d['traceEvents']
+labels = {e['args']['name'] for e in ev if e.get('ph') == 'M'}
+assert 'frontdoor' in labels and 'replica 0' in labels and 'replica 1' in labels, labels
+assert any(e['name'] == 'replica_request' for e in ev), 'no stitched replica spans'
+" "$obs_fd_trace"
+    else
+        grep -q '"name":"replica_request"' "$obs_fd_trace"
+    fi
 fi
 
 echo "==> all checks passed"
