@@ -169,6 +169,16 @@ pub enum Command {
         /// Directory receiving flight-recorder dumps (front door and
         /// replicas) on death, panic, or SIGUSR1.
         flight_dir: Option<String>,
+        /// Disable the brownout ladder (`--no-brownout`): overload is
+        /// answered by shedding alone — the control-run baseline.
+        no_brownout: bool,
+        /// Brownout ladder depth including rung 0 (default 4; front
+        /// door only, forwarded to replica workers).
+        brownout_rungs: usize,
+        /// Tasks `0..critical_tasks` are priority-class critical: they
+        /// brown out [`CRITICAL_GRACE`](mime_serve::CRITICAL_GRACE)
+        /// rungs behind the fleet (default 0).
+        critical_tasks: usize,
     },
     /// `mime replica-worker`: one replica process behind `mime serve
     /// --listen` (spawned by the front door; not for direct use).
@@ -195,6 +205,8 @@ pub enum Command {
         trace: bool,
         /// Directory receiving flight-recorder dumps.
         flight_dir: Option<String>,
+        /// Brownout ladder depth derived at startup (1 = rung 0 only).
+        brownout_rungs: usize,
     },
     /// `mime loadgen`: fixed-count client for a front door — drives
     /// requests over TCP, prints outcome counts and latency
@@ -219,6 +231,9 @@ pub enum Command {
         /// Print the slowest request IDs at/above this latency with a
         /// queue/wire/compute breakdown (0 = off).
         slow_threshold_ms: u64,
+        /// Offered load in requests/second for open-loop (Poisson
+        /// arrivals) mode; 0.0 = closed-loop (send-when-answered).
+        rate: f64,
     },
     /// `mime help`.
     Help,
@@ -772,6 +787,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
             let (rest, dense_only) = strip_valueless(rest, "--dense-only");
             let (rest, no_prepack) = strip_valueless(&rest, "--no-prepack");
             let (rest, no_obs) = strip_valueless(&rest, "--no-obs");
+            let (rest, no_brownout) = strip_valueless(&rest, "--no-brownout");
             let (flags, pos) = split_flags(&rest)?;
             reject_unknown(
                 &flags,
@@ -788,6 +804,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                     "deadline-ms",
                     "inject-every",
                     "flight-dir",
+                    "brownout-rungs",
+                    "critical-tasks",
                 ],
             )?;
             if !pos.is_empty() {
@@ -829,6 +847,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                     inject.name()
                 )));
             }
+            let brownout_rungs: usize = get_num(&flags, "brownout-rungs", 4)?;
+            if brownout_rungs == 0 {
+                return Err(err("--brownout-rungs must be at least 1 (rung 0)"));
+            }
             Ok(Command::Serve {
                 requests,
                 tasks,
@@ -845,6 +867,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                 no_prepack,
                 no_obs,
                 flight_dir: flags.get("flight-dir").cloned(),
+                no_brownout,
+                brownout_rungs,
+                critical_tasks: get_num(&flags, "critical-tasks", 0)?,
             })
         }
         "replica-worker" => {
@@ -862,6 +887,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                     "inject-every",
                     "heartbeat-ms",
                     "flight-dir",
+                    "brownout-rungs",
                 ],
             )?;
             if !pos.is_empty() {
@@ -892,6 +918,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
             if heartbeat_ms == 0 {
                 return Err(err("--heartbeat-ms must be at least 1"));
             }
+            let brownout_rungs: usize = get_num(&flags, "brownout-rungs", 4)?;
+            if brownout_rungs == 0 {
+                return Err(err("--brownout-rungs must be at least 1 (rung 0)"));
+            }
             Ok(Command::ReplicaWorker {
                 image,
                 replica: get_num(&flags, "replica", 0)?,
@@ -903,6 +933,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                 no_obs,
                 trace,
                 flight_dir: flags.get("flight-dir").cloned(),
+                brownout_rungs,
             })
         }
         "loadgen" => {
@@ -919,6 +950,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                     "bench-out",
                     "label",
                     "slow-threshold-ms",
+                    "rate",
                 ],
             )?;
             if !pos.is_empty() {
@@ -940,6 +972,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
             if tasks == 0 {
                 return Err(err("--tasks must be at least 1"));
             }
+            let rate: f64 = get_num(&flags, "rate", 0.0)?;
+            if !rate.is_finite() || rate < 0.0 {
+                return Err(err("--rate must be a finite non-negative requests/second"));
+            }
             Ok(Command::Loadgen {
                 connect,
                 requests,
@@ -950,6 +986,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                 label: flags.get("label").cloned().unwrap_or_else(|| "run".to_string()),
                 drain,
                 slow_threshold_ms: get_num(&flags, "slow-threshold-ms", 0)?,
+                rate,
             })
         }
         other => Err(err(format!("unknown command '{other}' (try 'mime help')"))),
@@ -1208,6 +1245,9 @@ mod tests {
                 no_prepack: false,
                 no_obs: false,
                 flight_dir: None,
+                no_brownout: false,
+                brownout_rungs: 4,
+                critical_tasks: 0,
             }
         );
         // only batch and serve accept it
@@ -1298,6 +1338,9 @@ mod tests {
                 no_prepack: false,
                 no_obs: false,
                 flight_dir: None,
+                no_brownout: false,
+                brownout_rungs: 4,
+                critical_tasks: 0,
             }
         );
         for (name, fault) in [
@@ -1337,6 +1380,9 @@ mod tests {
                 no_prepack: false,
                 no_obs: false,
                 flight_dir: None,
+                no_brownout: false,
+                brownout_rungs: 4,
+                critical_tasks: 0,
             }
         );
         assert!(p(&["serve", "--requests", "0"]).is_err());
@@ -1418,6 +1464,7 @@ mod tests {
                 no_obs: false,
                 trace: false,
                 flight_dir: None,
+                brownout_rungs: 4,
             }
         );
         match p(&[
@@ -1465,6 +1512,7 @@ mod tests {
                 label: "run".to_string(),
                 drain: false,
                 slow_threshold_ms: 0,
+                rate: 0.0,
             }
         );
         match p(&[
@@ -1495,6 +1543,41 @@ mod tests {
         assert!(p(&["loadgen"]).is_err(), "--connect is required");
         assert!(p(&["loadgen", "--connect", "a", "--requests", "0"]).is_err());
         assert!(p(&["loadgen", "--connect", "a", "--concurrency", "0"]).is_err());
+    }
+
+    #[test]
+    fn brownout_and_rate_flags_parse() {
+        // --no-brownout is valueless and position-independent
+        match p(&["serve", "--no-brownout", "--listen", "127.0.0.1:0"]).unwrap() {
+            Command::Serve { no_brownout, brownout_rungs, critical_tasks, .. } => {
+                assert!(no_brownout);
+                assert_eq!(brownout_rungs, 4);
+                assert_eq!(critical_tasks, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        match p(&["serve", "--brownout-rungs", "6", "--critical-tasks", "2"]).unwrap() {
+            Command::Serve { no_brownout, brownout_rungs, critical_tasks, .. } => {
+                assert!(!no_brownout);
+                assert_eq!(brownout_rungs, 6);
+                assert_eq!(critical_tasks, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(p(&["serve", "--brownout-rungs", "0"]).is_err(), "rung 0 always exists");
+        match p(&["replica-worker", "--image", "a.mime", "--brownout-rungs", "2"]).unwrap()
+        {
+            Command::ReplicaWorker { brownout_rungs, .. } => assert_eq!(brownout_rungs, 2),
+            other => panic!("{other:?}"),
+        }
+        assert!(p(&["replica-worker", "--image", "a", "--brownout-rungs", "0"]).is_err());
+
+        match p(&["loadgen", "--connect", "a", "--rate", "120.5"]).unwrap() {
+            Command::Loadgen { rate, .. } => assert_eq!(rate, 120.5),
+            other => panic!("{other:?}"),
+        }
+        assert!(p(&["loadgen", "--connect", "a", "--rate", "-1"]).is_err());
+        assert!(p(&["loadgen", "--connect", "a", "--rate", "inf"]).is_err());
     }
 
     fn pi(args: &[&str]) -> Result<(ObsOptions, Command), ArgError> {

@@ -103,6 +103,9 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
             no_prepack,
             no_obs,
             flight_dir,
+            no_brownout,
+            brownout_rungs,
+            critical_tasks,
         } => match listen {
             Some(addr) => serve_listen(
                 out,
@@ -119,6 +122,9 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
                 no_prepack,
                 no_obs,
                 flight_dir.as_deref(),
+                no_brownout,
+                brownout_rungs,
+                critical_tasks,
             ),
             None => serve(
                 out, requests, tasks, seed, inject, workers, capacity, dense_only,
@@ -136,6 +142,7 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
             no_obs,
             trace,
             flight_dir,
+            brownout_rungs,
         } => replica_worker(
             &image,
             replica,
@@ -147,6 +154,7 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
             no_obs,
             trace,
             flight_dir.as_deref(),
+            brownout_rungs,
         ),
         Command::Loadgen {
             connect,
@@ -158,6 +166,7 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
             label,
             drain,
             slow_threshold_ms,
+            rate,
         } => loadgen(
             out,
             &connect,
@@ -169,6 +178,7 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
             &label,
             drain,
             slow_threshold_ms,
+            rate,
         ),
     }
 }
@@ -202,14 +212,17 @@ fn write_help(out: &mut dyn Write) {
          \x20 serve     --listen <addr> [--replicas 2] [--image <file>] [--capacity 0]\n\
          \x20           [--deadline-ms 5000] [--inject replica-abort|replica-hang|\n\
          \x20           replica-slow|conn-garbage|conn-truncate] [--inject-every 4]\n\
-         \x20           [--no-obs] [--flight-dir <dir>]\n\
-         \x20           multi-process TCP front door over supervised replica processes;\n\
+         \x20           [--no-obs] [--flight-dir <dir>] [--no-brownout]\n\
+         \x20           [--brownout-rungs 4] [--critical-tasks 0]\n\
+         \x20           multi-process TCP front door over supervised replica processes\n\
+         \x20           with brownout overload control (DESIGN.md \u{00a7}13);\n\
          \x20           also answers GET /metrics, /healthz, /readyz on the same port\n\
          \x20 loadgen   --connect <addr> [--requests 64] [--concurrency 4] [--tasks 3]\n\
          \x20           [--deadline-ms 5000] [--bench-out <file>] [--label run] [--drain]\n\
-         \x20           [--slow-threshold-ms 0]\n\
+         \x20           [--slow-threshold-ms 0] [--rate 0]\n\
          \x20           drive a front door, print outcome counts + latency percentiles\n\
-         \x20           (+ queue/compute/wire breakdown for requests over the threshold)\n\
+         \x20           (+ queue/compute/wire breakdown for requests over the threshold);\n\
+         \x20           --rate <rps> switches to open-loop Poisson arrivals\n\
          \x20 help                                             this message\n\n\
          global flags (any command):\n\
          \x20 --trace-out <file>    write a Chrome-trace JSON (chrome://tracing, Perfetto)\n\
@@ -972,8 +985,11 @@ fn serve_listen(
     no_prepack: bool,
     no_obs: bool,
     flight_dir: Option<&str>,
+    no_brownout: bool,
+    brownout_rungs: usize,
+    critical_tasks: usize,
 ) -> Result<(), CliError> {
-    use mime_serve::{ConnFault, FrontDoor, FrontDoorConfig};
+    use mime_serve::{ConnFault, FrontDoor, FrontDoorConfig, OverloadConfig};
     use std::time::Duration;
 
     // Every replica maps the same read-only packed artifact; without
@@ -1003,6 +1019,11 @@ fn serve_listen(
     if no_prepack {
         replica_cmd.push("--no-prepack".to_string());
     }
+    // A brownout-disabled fleet only ever dispatches rung 0, so its
+    // replicas skip ladder derivation entirely (depth 1 = rung 0 only).
+    let ladder_depth = if no_brownout { 1 } else { brownout_rungs };
+    replica_cmd.push("--brownout-rungs".to_string());
+    replica_cmd.push(ladder_depth.to_string());
     if no_obs {
         replica_cmd.push("--no-obs".to_string());
     } else if mime_obs::trace::enabled() {
@@ -1042,6 +1063,12 @@ fn serve_listen(
         deadline: Duration::from_millis(deadline_ms),
         self_inject,
         obs: !no_obs,
+        overload: OverloadConfig {
+            enabled: !no_brownout,
+            max_rung: ladder_depth.saturating_sub(1).min(255) as u8,
+            critical_tasks: critical_tasks as u32,
+            ..OverloadConfig::default()
+        },
         ..FrontDoorConfig::default()
     };
     let door = FrontDoor::start(cfg).map_err(io_err)?;
@@ -1067,6 +1094,8 @@ fn serve_listen(
     let _ = writeln!(out, "  success:            {}", report.success);
     let _ = writeln!(out, "  degraded-to-parent: {}", report.degraded);
     let _ = writeln!(out, "  shed:               {}", report.shed);
+    let _ = writeln!(out, "  browned-out:        {}", report.brownout);
+    let _ = writeln!(out, "  rung transitions:   {}", report.rung_transitions);
     let _ = writeln!(out, "  unavailable:        {}", report.unavailable);
     let _ = writeln!(out, "  deadline-exceeded:  {}", report.deadline_exceeded);
     let _ = writeln!(out, "  failed:             {}", report.failed);
@@ -1101,6 +1130,7 @@ fn replica_worker(
     no_obs: bool,
     trace: bool,
     flight_dir: Option<&str>,
+    brownout_rungs: usize,
 ) -> Result<(), CliError> {
     use mime_serve::replica::run_replica_worker;
     use mime_serve::{ReplicaFault, ReplicaWorkerConfig};
@@ -1161,6 +1191,7 @@ fn replica_worker(
             mime_runtime::SparseDispatch::Auto
         },
         obs: !no_obs,
+        brownout_rungs,
         ..ReplicaWorkerConfig::default()
     };
     let stdin = std::io::stdin();
@@ -1187,6 +1218,15 @@ struct LoadgenTally {
     /// Requests with no terminal frame (connect/write/read failure) —
     /// the one thing the chaos harness must never see.
     lost: u64,
+    /// Replies per brownout rung (rungs ≥ 7 clamp into the last slot).
+    rungs: [u64; 8],
+    /// Times this client honored an `Overloaded` retry-after hint.
+    retry_waits: u64,
+    /// XOR-fold of per-reply FNV hashes over (id, logit bits) — order-
+    /// independent, so concurrent runs of the same request set against
+    /// rung-0-only fleets produce identical checksums (the bit-equality
+    /// handle check.sh uses for rung-0 parity).
+    checksum: u64,
     latencies_us: Vec<u64>,
     /// First-request latency per connection — the cold-start cost
     /// (connection setup plus whatever the server does lazily on first
@@ -1209,6 +1249,11 @@ impl LoadgenTally {
         self.deadline_exceeded += other.deadline_exceeded;
         self.failed += other.failed;
         self.lost += other.lost;
+        for (mine, theirs) in self.rungs.iter_mut().zip(other.rungs) {
+            *mine += theirs;
+        }
+        self.retry_waits += other.retry_waits;
+        self.checksum ^= other.checksum;
         self.latencies_us.extend(other.latencies_us);
         self.cold_us.extend(other.cold_us);
         self.queue_us.extend(other.queue_us);
@@ -1225,6 +1270,25 @@ impl LoadgenTally {
     }
 }
 
+/// FNV-1a over one reply's identity and logit bits, for the loadgen's
+/// XOR-combined fleet checksum.
+fn reply_checksum(id: u64, logits: &[f32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    for b in id.to_le_bytes() {
+        eat(b);
+    }
+    for v in logits {
+        for b in v.to_bits().to_le_bytes() {
+            eat(b);
+        }
+    }
+    h
+}
+
 /// `p` in [0, 1] over an ascending-sorted slice (nearest-rank).
 fn percentile_us(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
@@ -1236,7 +1300,10 @@ fn percentile_us(sorted: &[u64], p: f64) -> u64 {
 
 /// `mime loadgen`: a fixed-count client. Each of `concurrency` threads
 /// owns one connection and drives its share of the ids sequentially
-/// (one request outstanding per connection).
+/// (one request outstanding per connection). With `--rate`, sends are
+/// paced open-loop by a deterministic Poisson arrival process instead
+/// of send-when-answered, so offered load stays fixed while the server
+/// slows down — the shape that actually exercises overload control.
 #[allow(clippy::too_many_arguments)]
 fn loadgen(
     out: &mut dyn Write,
@@ -1249,6 +1316,7 @@ fn loadgen(
     label: &str,
     drain: bool,
     slow_threshold_ms: u64,
+    rate: f64,
 ) -> Result<(), CliError> {
     use mime_serve::proto::{read_frame, write_frame, ErrorCode, Frame, RequestInput};
     use std::net::TcpStream;
@@ -1258,6 +1326,7 @@ fn loadgen(
     // Comfortably beyond the front door's own worst case, so "lost"
     // means the server really dropped the request, not client impatience.
     let read_timeout = Duration::from_millis(deadline_ms) + Duration::from_secs(90);
+    let run_started = Instant::now();
     let workers: Vec<_> = (0..threads)
         .map(|t| {
             let connect = connect.to_string();
@@ -1273,12 +1342,40 @@ fn loadgen(
                 };
                 let _ = stream.set_read_timeout(Some(read_timeout));
                 let _ = stream.set_nodelay(true);
+                // Open-loop pacing: this connection's share of the
+                // offered rate, with exponential (Poisson) inter-arrival
+                // gaps from a per-thread deterministic stream. A send
+                // that falls behind schedule goes out immediately —
+                // open-loop clients don't slow down with the server.
+                let thread_rate = rate / threads as f64;
+                let mut rng = StdRng::seed_from_u64(0xC0DE + t as u64);
+                let open_loop_started = Instant::now();
+                let mut next_send = Duration::ZERO;
+                // An honored Overloaded retry-after hint delays this
+                // connection's next send (capped at 2 s).
+                let mut backoff = Duration::ZERO;
                 for (n, i) in ids.iter().copied().enumerate() {
+                    if thread_rate > 0.0 {
+                        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                        next_send += Duration::from_secs_f64(-u.ln() / thread_rate);
+                        let due = next_send.max(backoff.max(open_loop_started.elapsed()));
+                        let wait = due.saturating_sub(open_loop_started.elapsed());
+                        if !wait.is_zero() {
+                            std::thread::sleep(wait);
+                        }
+                    } else if !backoff.is_zero() {
+                        let wait = backoff.saturating_sub(open_loop_started.elapsed());
+                        if !wait.is_zero() {
+                            std::thread::sleep(wait);
+                        }
+                    }
+                    backoff = Duration::ZERO;
                     let req = Frame::Request {
                         id: i as u64,
                         trace: 0,
                         task: (i % tasks) as u32,
                         deadline_ms: deadline_ms as u32,
+                        rung: 0,
                         input: RequestInput::Probe(i as u32),
                     };
                     let started = Instant::now();
@@ -1296,18 +1393,32 @@ fn loadgen(
                             degraded,
                             queue_us,
                             compute_us,
-                            ..
+                            rung,
+                            logits,
                         }) if id == i as u64 => {
                             detail = Some((trace, queue_us, compute_us));
+                            tally.rungs[usize::from(rung).min(7)] += 1;
+                            tally.checksum ^= reply_checksum(id, &logits);
                             if degraded {
                                 tally.degraded += 1;
                             } else {
                                 tally.success += 1;
                             }
                         }
-                        Ok(Frame::ErrorReply { id, code, .. }) if id == i as u64 => {
+                        Ok(Frame::ErrorReply { id, code, retry_after_ms, .. })
+                            if id == i as u64 =>
+                        {
                             match code {
-                                ErrorCode::Overloaded => tally.shed += 1,
+                                ErrorCode::Overloaded => {
+                                    tally.shed += 1;
+                                    if retry_after_ms > 0 {
+                                        tally.retry_waits += 1;
+                                        backoff = open_loop_started.elapsed()
+                                            + Duration::from_millis(u64::from(
+                                                retry_after_ms.min(2000),
+                                            ));
+                                    }
+                                }
                                 ErrorCode::Unavailable => tally.unavailable += 1,
                                 ErrorCode::DeadlineExceeded => tally.deadline_exceeded += 1,
                                 _ => tally.failed += 1,
@@ -1344,6 +1455,15 @@ fn loadgen(
             tally.absorb(t);
         }
     }
+    let wall_secs = run_started.elapsed().as_secs_f64().max(1e-9);
+    // Offered is what the client tried to present (the configured rate
+    // in open-loop mode, the achieved rate closed-loop); goodput counts
+    // every reply that delivered logits — browned rungs included, since
+    // their quality degradation was validated and bounded at ladder
+    // derivation — while sheds, deadline misses, and errors don't.
+    let achieved_rps = tally.terminal() as f64 / wall_secs;
+    let offered_rps = if rate > 0.0 { rate } else { achieved_rps };
+    let goodput_rps = (tally.success + tally.degraded) as f64 / wall_secs;
     if drain {
         if let Ok(mut s) = TcpStream::connect(connect) {
             let _ = write_frame(&mut s, &Frame::Shutdown);
@@ -1376,6 +1496,15 @@ fn loadgen(
     let _ = writeln!(out, "  deadline-exceeded:  {}", tally.deadline_exceeded);
     let _ = writeln!(out, "  failed:             {}", tally.failed);
     let _ = writeln!(out, "  lost:               {}", tally.lost);
+    let browned: u64 = tally.rungs[1..].iter().sum();
+    let _ = writeln!(out, "  browned-out:        {browned}");
+    let _ = writeln!(out, "  replies by rung:    {:?}", tally.rungs);
+    let _ = writeln!(out, "  retry-after waits:  {}", tally.retry_waits);
+    let _ = writeln!(
+        out,
+        "  offered/achieved/goodput: {offered_rps:.1}/{achieved_rps:.1}/{goodput_rps:.1} rps"
+    );
+    let _ = writeln!(out, "  logits checksum: {:016x}", tally.checksum);
     let _ = writeln!(
         out,
         "  latency p50/p95/p99: {:.2}/{:.2}/{:.2} ms",
@@ -1422,10 +1551,13 @@ fn loadgen(
         }
     }
     if let Some(path) = bench_out {
+        let rung_counts: Vec<String> = tally.rungs.iter().map(|c| c.to_string()).collect();
         let run = format!(
             "{{\"label\":\"{}\",\"requests\":{requests},\"concurrency\":{threads},\
              \"success\":{},\"degraded\":{},\"shed\":{},\"unavailable\":{},\
              \"deadline_exceeded\":{},\"failed\":{},\"lost\":{},\
+             \"offered_rps\":{offered_rps:.1},\"achieved_rps\":{achieved_rps:.1},\
+             \"goodput_rps\":{goodput_rps:.1},\"rungs\":[{}],\"retry_waits\":{},\
              \"p50_ms\":{:.3},\"p95_ms\":{:.3},\"p99_ms\":{:.3},\
              \"queue_p50_ms\":{:.3},\"queue_p95_ms\":{:.3}}}",
             label.replace(['"', '\\'], "_"),
@@ -1436,6 +1568,8 @@ fn loadgen(
             tally.deadline_exceeded,
             tally.failed,
             tally.lost,
+            rung_counts.join(","),
+            tally.retry_waits,
             p50 as f64 / 1000.0,
             p95 as f64 / 1000.0,
             p99 as f64 / 1000.0,
@@ -1737,6 +1871,9 @@ mod tests {
             no_prepack: false,
             no_obs: false,
             flight_dir: None,
+            no_brownout: false,
+            brownout_rungs: 4,
+            critical_tasks: 0,
         });
         assert!(s.contains("success:            6"), "{s}");
         assert!(s.contains("shed:               0"), "{s}");
@@ -1761,6 +1898,9 @@ mod tests {
             no_prepack: false,
             no_obs: false,
             flight_dir: None,
+            no_brownout: false,
+            brownout_rungs: 4,
+            critical_tasks: 0,
         });
         assert!(s.contains("shed:               4"), "{s}");
         assert!(s.contains("success:            4"), "{s}");
@@ -1785,6 +1925,9 @@ mod tests {
             no_prepack: false,
             no_obs: false,
             flight_dir: None,
+            no_brownout: false,
+            brownout_rungs: 4,
+            critical_tasks: 0,
         });
         // tasks 0 and 1 serve 3 requests each; task 2's bank is
         // poisoned, so its 3 requests degrade and the breaker trips
@@ -1817,6 +1960,9 @@ mod tests {
             no_prepack: false,
             no_obs: false,
             flight_dir: None,
+            no_brownout: false,
+            brownout_rungs: 4,
+            critical_tasks: 0,
         });
         assert!(s.contains("success:            10"), "{s}");
         assert!(s.contains("worker restarts:    2"), "{s}");

@@ -104,6 +104,7 @@ fn every_request_terminates_exactly_once_while_replicas_abort() {
                         trace: 0,
                         task: (i % TASKS) as u32,
                         deadline_ms: 30_000,
+                        rung: 0,
                         input: RequestInput::Probe(i as u32),
                     };
                     write_frame(&mut s, &req).expect("request written");

@@ -34,6 +34,9 @@ pub enum FlightKind {
     Terminal = 5,
     /// Shed or retried before dispatch (detail: attempt count).
     Retry = 6,
+    /// Fleet-wide brownout rung transition by the overload controller
+    /// (request: sentinel u64::MAX, detail: the new rung).
+    Rung = 7,
 }
 
 impl FlightKind {
@@ -46,6 +49,7 @@ impl FlightKind {
             FlightKind::Layer => "layer",
             FlightKind::Terminal => "terminal",
             FlightKind::Retry => "retry",
+            FlightKind::Rung => "rung",
         }
     }
 
@@ -57,6 +61,7 @@ impl FlightKind {
             4 => FlightKind::Layer,
             5 => FlightKind::Terminal,
             6 => FlightKind::Retry,
+            7 => FlightKind::Rung,
             _ => return None,
         })
     }

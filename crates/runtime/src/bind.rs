@@ -158,6 +158,52 @@ impl BoundNetwork {
         }
     }
 
+    /// A copy of this plan with every threshold bank scaled by
+    /// `factor`: the eq.(2) compare `y - t >= 0` fails for more neurons
+    /// as thresholds grow, so larger factors zero progressively more
+    /// channels and the §9 sparse fast path skips more GEMM rows. This
+    /// is a brownout rung — a cheaper, lower-fidelity variant of the
+    /// same task sharing the frozen weights (and their prepacked
+    /// panels) with the original plan.
+    ///
+    /// `factor == 1.0` reproduces the original plan exactly; factors
+    /// below 1.0 are clamped to 1.0 because a rung must never be *more*
+    /// permissive than the fidelity it browns out from.
+    pub fn brownout_rung(&self, factor: f32) -> BoundNetwork {
+        let factor = factor.max(1.0);
+        let steps = self
+            .steps
+            .iter()
+            .map(|s| match s {
+                BoundLayer::Array { geom, weight, bias, thresholds, packed } => {
+                    BoundLayer::Array {
+                        geom: geom.clone(),
+                        weight: weight.clone(),
+                        bias: bias.clone(),
+                        // raise every threshold monotonically in
+                        // `factor`, whatever its sign: positive values
+                        // scale up, negative values shrink toward zero
+                        // (scaling a negative threshold up would *admit*
+                        // more neurons, the opposite of a brownout)
+                        thresholds: thresholds.as_ref().map(|t| {
+                            t.map(|v| if v >= 0.0 { v * factor } else { v / factor })
+                        }),
+                        // thresholds never touch the weights, so every
+                        // rung keeps the shared prepacked panels
+                        packed: packed.clone(),
+                    }
+                }
+                other => other.clone(),
+            })
+            .collect();
+        BoundNetwork {
+            steps,
+            classes: self.classes,
+            input_hw: self.input_hw,
+            in_channels: self.in_channels,
+        }
+    }
+
     /// Prepacks this plan's FC weight panels (see [`prepack_plans`] for
     /// the multi-plan entry that shares panels across tasks).
     ///

@@ -41,9 +41,11 @@
 //! ```
 
 mod bind;
+mod brownout;
 mod executor;
 
 pub use bind::{geometry_from_arch, prepack_plans, BoundLayer, BoundNetwork, PrepackStats};
+pub use brownout::{derive_ladders, BrownoutLadder, LadderConfig, RungInfo};
 pub use executor::{BatchReport, ComputePath, HardwareExecutor};
 pub use mime_tensor::SparseDispatch;
 

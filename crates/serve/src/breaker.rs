@@ -214,6 +214,52 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_half_open_probes_yield_exactly_one_primary_probe() {
+        use std::sync::{Arc, Barrier, Mutex};
+
+        let cfg = cfg();
+        let breaker = Arc::new(Mutex::new(CircuitBreaker::new()));
+        {
+            let mut b = breaker.lock().unwrap();
+            for i in 0..3 {
+                let r = b.route(MS * i, &cfg);
+                b.report_failure(r, MS * i, &cfg);
+            }
+            assert_eq!(b.state(), BreakerState::Open);
+        }
+        // Every worker hits the breaker at the same post-cooldown
+        // instant, exactly like the server's workers racing `route()`
+        // on a shared `Mutex<CircuitBreaker>` after a cooldown expires:
+        // precisely one of them may carry the HalfOpen probe.
+        let threads = 8;
+        let barrier = Arc::new(Barrier::new(threads));
+        let routes: Vec<Route> = (0..threads)
+            .map(|_| {
+                let breaker = Arc::clone(&breaker);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let cfg = BreakerConfig {
+                        failure_threshold: 3,
+                        cooldown: Duration::from_millis(10),
+                    };
+                    barrier.wait();
+                    breaker.lock().unwrap().route(MS * 20, &cfg)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect();
+        let probes = routes.iter().filter(|r| **r == Route::PrimaryProbe).count();
+        let parents = routes.iter().filter(|r| **r == Route::Parent).count();
+        assert_eq!(probes, 1, "exactly one probe across racing workers: {routes:?}");
+        assert_eq!(parents, threads - 1, "everyone else keeps degrading");
+        // The racing probe's success closes the breaker for everyone.
+        breaker.lock().unwrap().report_success(Route::PrimaryProbe);
+        assert_eq!(breaker.lock().unwrap().route(MS * 21, &cfg), Route::Primary);
+    }
+
+    #[test]
     fn parent_success_does_not_close_an_open_breaker() {
         let cfg = cfg();
         let mut b = CircuitBreaker::new();

@@ -23,7 +23,10 @@ use crate::proto::{
     NO_TRACE_ID,
 };
 use crate::replica::{ReplicaProc, ReplicaState, SideChannel};
-use crate::{BoundedQueue, BreakerConfig, CircuitBreaker, RetryPolicy, Route};
+use crate::{
+    BoundedQueue, BreakerConfig, CircuitBreaker, OverloadConfig, OverloadController,
+    RetryPolicy, Route,
+};
 use mime_obs::flight::{self, FlightKind};
 use mime_obs::trace;
 use mime_obs::MetricsSnapshot;
@@ -81,6 +84,9 @@ pub struct FrontDoorConfig {
     pub drain_timeout: Duration,
     /// Self-injected connection chaos.
     pub self_inject: Option<ConnFault>,
+    /// Overload controller knobs (brownout ladder selection); see
+    /// [`OverloadConfig`]. `enabled: false` is the shed-only baseline.
+    pub overload: OverloadConfig,
     /// Fleet observability: trace stitching, clock probes, flight
     /// events, and replica metrics aggregation. `false` (`--no-obs`)
     /// strips the per-request instrumentation for overhead baselines;
@@ -110,6 +116,7 @@ impl Default for FrontDoorConfig {
             liveness: Duration::from_millis(2000),
             drain_timeout: Duration::from_secs(30),
             self_inject: None,
+            overload: OverloadConfig::default(),
             obs: true,
         }
     }
@@ -137,6 +144,11 @@ pub struct FrontDoorReport {
     pub failed: u64,
     /// Malformed frames answered with `BadFrame`.
     pub bad_frames: u64,
+    /// Replies served at a brownout rung above 0 (subset of
+    /// success + degraded).
+    pub brownout: u64,
+    /// Brownout rung transitions the overload controller made.
+    pub rung_transitions: u64,
     /// Requeues of in-flight requests after a replica death.
     pub retries: u64,
     /// Replica deaths the supervisor recovered from (each starts a
@@ -158,6 +170,7 @@ struct Counters {
     deadline_exceeded: AtomicU64,
     failed: AtomicU64,
     bad_frames: AtomicU64,
+    brownout: AtomicU64,
     retries: AtomicU64,
     restarts: AtomicU64,
     spawn_failures: AtomicU64,
@@ -203,6 +216,8 @@ struct Shared {
     /// Trace-ID mint; starts at 1 so `NO_TRACE_ID` is never issued.
     next_trace_id: AtomicU64,
     counters: Counters,
+    /// Fleet-wide brownout rung selection (DESIGN.md §13).
+    overload: OverloadController,
     replica_meta: Vec<Mutex<ReplicaMeta>>,
 }
 
@@ -231,10 +246,14 @@ impl Shared {
             Frame::ErrorReply { code: ErrorCode::Unavailable, .. } => {
                 &self.counters.unavailable
             }
+            Frame::ErrorReply { code: ErrorCode::Overloaded, .. } => &self.counters.shed,
             Frame::ErrorReply { .. } => &self.counters.failed,
             _ => unreachable!("terminal frames are Reply/ErrorReply"),
         }
         .fetch_add(1, Ordering::Relaxed);
+        if matches!(&frame, Frame::Reply { rung, .. } if *rung > 0) {
+            self.counters.brownout.fetch_add(1, Ordering::Relaxed);
+        }
         // Exactly one Terminal flight event per admitted request, at
         // the single point every terminal frame funnels through.
         flight::record(FlightKind::Terminal, job.trace, detail);
@@ -247,7 +266,8 @@ impl Shared {
         format!(
             "{{\"requests\":{},\"success\":{},\"degraded\":{},\"shed\":{},\
              \"unavailable\":{},\"deadline_exceeded\":{},\"failed\":{},\
-             \"bad_frames\":{},\"retries\":{},\"restarts\":{},\"spawn_failures\":{},\
+             \"bad_frames\":{},\"brownout\":{},\"rung\":{},\"rung_transitions\":{},\
+             \"retries\":{},\"restarts\":{},\"spawn_failures\":{},\
              \"ready_replicas\":{},\"live_replicas\":{},\"in_flight\":{}}}",
             c.requests.load(Ordering::Relaxed),
             c.success.load(Ordering::Relaxed),
@@ -257,6 +277,9 @@ impl Shared {
             c.deadline_exceeded.load(Ordering::Relaxed),
             c.failed.load(Ordering::Relaxed),
             c.bad_frames.load(Ordering::Relaxed),
+            c.brownout.load(Ordering::Relaxed),
+            self.overload.current_rung(),
+            self.overload.transitions(),
             c.retries.load(Ordering::Relaxed),
             c.restarts.load(Ordering::Relaxed),
             c.spawn_failures.load(Ordering::Relaxed),
@@ -288,17 +311,23 @@ impl Shared {
             ("mime_frontdoor_deadline_exceeded_total", &c.deadline_exceeded),
             ("mime_frontdoor_failed_total", &c.failed),
             ("mime_frontdoor_bad_frames_total", &c.bad_frames),
+            ("mime_frontdoor_brownout_total", &c.brownout),
             ("mime_frontdoor_retries_total", &c.retries),
             ("mime_replica_restarts_total", &c.restarts),
             ("mime_replica_spawn_failures_total", &c.spawn_failures),
         ] {
             s.counters.insert((name.to_string(), Vec::new()), v.load(Ordering::Relaxed));
         }
+        s.counters.insert(
+            ("mime_brownout_rung_transitions_total".to_string(), Vec::new()),
+            self.overload.transitions(),
+        );
         for (name, v) in [
             ("mime_frontdoor_ready_replicas", self.ready_replicas.load(Ordering::Relaxed)),
             ("mime_frontdoor_live_replicas", self.live_replicas.load(Ordering::Relaxed)),
             ("mime_frontdoor_in_flight", self.in_flight.load(Ordering::Relaxed)),
             ("mime_frontdoor_queue_depth", self.queue.depth()),
+            ("mime_brownout_rung", usize::from(self.overload.current_rung())),
         ] {
             s.gauges.insert((name.to_string(), Vec::new()), v as f64);
         }
@@ -399,13 +428,36 @@ pub struct FrontDoorStopper {
 }
 
 impl FrontDoorStopper {
-    /// Begins graceful drain: stop accepting, close admission, let
+    /// Begins graceful drain: stop accepting, close admission, answer
+    /// every request still *queued* with a terminal `Overloaded` (it
+    /// was admitted but will not be served — silently closing its
+    /// connection would violate the one-terminal-frame contract), let
     /// in-flight requests terminate, shut replicas down.
     pub fn stop(&self) {
         if !self.shared.shutdown.swap(true, Ordering::AcqRel) {
             mime_obs::info!("serve.frontdoor", "drain started");
         }
         self.shared.queue.close();
+        // Flush the backlog: jobs a runner already popped still get
+        // their replica-served terminal frame; everything left in line
+        // terminates here instead of hanging until the process exits.
+        let retry_after_ms = self.shared.overload.retry_after_ms();
+        let rung = self.shared.overload.current_rung();
+        while let Some(job) = self.shared.queue.try_pop() {
+            let (id, trace) = (job.client_id, job.trace);
+            self.shared.finish(
+                &job,
+                Frame::ErrorReply {
+                    id,
+                    trace,
+                    code: ErrorCode::Overloaded,
+                    rung,
+                    retry_after_ms,
+                    message: "shut down while queued; retry against another instance"
+                        .into(),
+                },
+            );
+        }
     }
 }
 
@@ -442,9 +494,11 @@ impl FrontDoor {
         let addr = listener.local_addr()?;
         let replicas = cfg.replicas.max(1);
         let queue = BoundedQueue::new(cfg.queue_capacity);
+        let overload = OverloadController::new(cfg.overload, Instant::now());
         let shared = Arc::new(Shared {
             cfg,
             queue,
+            overload,
             shutdown: AtomicBool::new(false),
             live_replicas: AtomicUsize::new(replicas),
             ready_replicas: AtomicUsize::new(0),
@@ -515,13 +569,45 @@ impl FrontDoor {
             deadline_exceeded: c.deadline_exceeded.load(Ordering::Relaxed),
             failed: c.failed.load(Ordering::Relaxed),
             bad_frames: c.bad_frames.load(Ordering::Relaxed),
+            brownout: c.brownout.load(Ordering::Relaxed),
+            rung_transitions: shared.overload.transitions(),
             retries: c.retries.load(Ordering::Relaxed),
             restarts: c.restarts.load(Ordering::Relaxed),
             spawn_failures: c.spawn_failures.load(Ordering::Relaxed),
             live_replicas: shared.live_replicas.load(Ordering::Relaxed),
         };
         publish_metrics(&report, shared.ready_replicas.load(Ordering::Relaxed));
+        publish_replica_metrics(shared);
         report
+    }
+}
+
+/// Folds every replica's shipped counters and gauges into the global
+/// registry at drain, so the exit-written metrics file carries the same
+/// fleet-wide series (`mime_replica_rung_total`, `mime_brownout_rungs`,
+/// …) a live `/metrics` scrape shows. Histograms stay scrape-only.
+fn publish_replica_metrics(shared: &Shared) {
+    if !mime_obs::metrics_enabled() {
+        return;
+    }
+    let mut merged = MetricsSnapshot::default();
+    for meta in &shared.replica_meta {
+        let meta = meta.lock().unwrap();
+        merged.merge(&meta.history);
+        if let Some(cur) = &meta.current {
+            merged.merge(cur);
+        }
+    }
+    let r = mime_obs::metrics::global();
+    for ((name, labels), v) in &merged.counters {
+        let labels: Vec<(&str, &str)> =
+            labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        r.counter_with(name, &labels).add(*v);
+    }
+    for ((name, labels), v) in &merged.gauges {
+        let labels: Vec<(&str, &str)> =
+            labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        r.gauge_with(name, &labels).set(*v);
     }
 }
 
@@ -540,6 +626,8 @@ fn publish_metrics(report: &FrontDoorReport, ready: usize) {
     r.counter("mime_frontdoor_deadline_exceeded_total").add(report.deadline_exceeded);
     r.counter("mime_frontdoor_failed_total").add(report.failed);
     r.counter("mime_frontdoor_bad_frames_total").add(report.bad_frames);
+    r.counter("mime_frontdoor_brownout_total").add(report.brownout);
+    r.counter("mime_brownout_rung_transitions_total").add(report.rung_transitions);
     r.counter("mime_frontdoor_retries_total").add(report.retries);
     r.counter("mime_replica_restarts_total").add(report.restarts);
     r.counter("mime_replica_spawn_failures_total").add(report.spawn_failures);
@@ -658,6 +746,8 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
                         id: NO_REQUEST_ID,
                         trace: NO_TRACE_ID,
                         code: ErrorCode::BadFrame,
+                        rung: 0,
+                        retry_after_ms: 0,
                         message: e.to_string(),
                     },
                 );
@@ -665,7 +755,9 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
             }
         };
         match frame {
-            Frame::Request { id, trace, task, deadline_ms, input } => {
+            // The client's rung field is ignored on admission — the
+            // fleet's controller, not the client, picks the rung.
+            Frame::Request { id, trace, task, deadline_ms, rung: _, input } => {
                 let reply = admit_and_await(shared, id, trace, task, deadline_ms, input);
                 if write_frame(&mut stream, &reply).is_err() {
                     return;
@@ -689,6 +781,8 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
                         id: NO_REQUEST_ID,
                         trace: NO_TRACE_ID,
                         code: ErrorCode::BadFrame,
+                        rung: 0,
+                        retry_after_ms: 0,
                         message: format!("unexpected client frame {other:?}"),
                     },
                 );
@@ -721,6 +815,8 @@ fn admit_and_await(
             id: client_id,
             trace: trace_id,
             code: ErrorCode::UnknownTask,
+            rung: 0,
+            retry_after_ms: 0,
             message: format!("task {task} of {}", shared.cfg.tasks),
         };
     }
@@ -730,6 +826,8 @@ fn admit_and_await(
             id: client_id,
             trace: trace_id,
             code: ErrorCode::Unavailable,
+            rung: 0,
+            retry_after_ms: 0,
             message: "draining or no live replica".into(),
         };
     }
@@ -755,11 +853,19 @@ fn admit_and_await(
         shared.in_flight.fetch_sub(1, Ordering::AcqRel);
         // Cross-process backpressure: the §8 admission queue's
         // QueueFull shed, surfaced on the wire as Overloaded (or
-        // Unavailable when the push lost a race with drain).
-        let (counter, code, msg) = if shared.draining() {
-            (&shared.counters.unavailable, ErrorCode::Unavailable, "draining")
+        // Unavailable when the push lost a race with drain). A shed is
+        // the strongest overload signal the controller sees, and the
+        // client gets a back-off hint derived from controller state.
+        let (counter, code, msg, retry_after_ms) = if shared.draining() {
+            (&shared.counters.unavailable, ErrorCode::Unavailable, "draining", 0)
         } else {
-            (&shared.counters.shed, ErrorCode::Overloaded, "admission queue full")
+            shared.overload.observe_shed(Instant::now());
+            (
+                &shared.counters.shed,
+                ErrorCode::Overloaded,
+                "admission queue full",
+                shared.overload.retry_after_ms(),
+            )
         };
         counter.fetch_add(1, Ordering::Relaxed);
         flight::record(FlightKind::Terminal, trace_id, 2 + u64::from(code.to_u8()));
@@ -767,6 +873,8 @@ fn admit_and_await(
             id: client_id,
             trace: trace_id,
             code,
+            rung: shared.overload.current_rung(),
+            retry_after_ms,
             message: msg.into(),
         };
     }
@@ -784,6 +892,8 @@ fn admit_and_await(
             id: client_id,
             trace: trace_id,
             code: ErrorCode::FailedAfterRetries,
+            rung: 0,
+            retry_after_ms: 0,
             message: "internal: request lost in the supervisor".into(),
         },
     }
@@ -1065,6 +1175,8 @@ fn runner_exit(shared: &Arc<Shared>, slot: u32, why: &str) {
                     id,
                     trace,
                     code: ErrorCode::Unavailable,
+                    rung: 0,
+                    retry_after_ms: 0,
                     message: "no live replica".into(),
                 },
             );
@@ -1098,8 +1210,12 @@ fn serve_with_replica(
     let mut stale: Vec<u64> = Vec::new();
     loop {
         let job = shared.queue.pop()?;
-        let queue_us =
-            job.admitted_at.elapsed().as_micros().min(u128::from(u32::MAX)) as u32;
+        let now = Instant::now();
+        let sojourn = now.duration_since(job.admitted_at);
+        let queue_us = sojourn.as_micros().min(u128::from(u32::MAX)) as u32;
+        // The controller's CoDel signal: queue delay measured at
+        // dequeue, i.e. sojourn through the admission queue.
+        shared.overload.observe_sojourn(now, sojourn);
         flight::record(FlightKind::Dequeue, job.trace, u64::from(queue_us));
         if mime_obs::metrics_enabled() {
             mime_obs::metrics::global()
@@ -1109,8 +1225,8 @@ fn serve_with_replica(
         // Deadline at dequeue: a request that blew its budget in line
         // is not worth a dispatch.
         let expiry = job.admitted_at + job.deadline;
-        let now = Instant::now();
         if now > expiry {
+            shared.overload.observe_deadline_miss(now);
             let (id, trace) = (job.client_id, job.trace);
             shared.finish(
                 &job,
@@ -1118,6 +1234,8 @@ fn serve_with_replica(
                     id,
                     trace,
                     code: ErrorCode::DeadlineExceeded,
+                    rung: shared.overload.current_rung(),
+                    retry_after_ms: 0,
                     message: "expired waiting in the admission queue".into(),
                 },
             );
@@ -1125,15 +1243,23 @@ fn serve_with_replica(
         }
         let remaining = expiry - now;
         let dispatch_id = shared.next_dispatch_id.fetch_add(1, Ordering::Relaxed);
+        // The rung this request is served at: fleet rung, minus the
+        // critical-class grace for pinned tasks. Replicas clamp to
+        // their validated ladder depth.
+        let rung = shared.overload.rung_for(job.task);
         let mut span = trace::span_cat("dispatch", "serve.frontdoor");
         span.arg("trace", job.trace);
         span.arg("replica", slot);
+        if rung > 0 {
+            span.arg("rung", rung);
+        }
         flight::record(FlightKind::Dispatch, job.trace, u64::from(slot));
         let sent = proc.send(&Frame::Request {
             id: dispatch_id,
             trace: job.trace,
             task: job.task,
             deadline_ms: (remaining.as_millis() as u32).max(1),
+            rung,
             input: job.input.clone(),
         });
         if sent.is_err() {
@@ -1187,17 +1313,27 @@ fn await_reply(
     loop {
         match proc.recv_timeout(TICK) {
             Ok(Frame::Heartbeat { .. }) => last_seen = Instant::now(),
-            Ok(Frame::Reply { id, trace, degraded, queue_us: _, compute_us, logits }) => {
+            Ok(Frame::Reply {
+                id,
+                trace,
+                degraded,
+                queue_us: _,
+                compute_us,
+                rung,
+                logits,
+            }) => {
                 last_seen = Instant::now();
                 if id == dispatch_id {
                     // Stamp the queue wait the front door measured; the
-                    // replica filled in compute_us.
+                    // replica filled in compute_us and echoed the rung
+                    // it actually served at.
                     let frame = Frame::Reply {
                         id: job.client_id,
                         trace,
                         degraded,
                         queue_us,
                         compute_us,
+                        rung,
                         logits,
                     };
                     shared.finish(job, frame);
@@ -1205,11 +1341,20 @@ fn await_reply(
                 }
                 stale.retain(|&s| s != id);
             }
-            Ok(Frame::ErrorReply { id, trace, code, message }) => {
+            Ok(Frame::ErrorReply { id, trace, code, rung, retry_after_ms, message }) => {
                 last_seen = Instant::now();
                 if id == dispatch_id {
-                    let frame =
-                        Frame::ErrorReply { id: job.client_id, trace, code, message };
+                    if code == ErrorCode::DeadlineExceeded {
+                        shared.overload.observe_deadline_miss(Instant::now());
+                    }
+                    let frame = Frame::ErrorReply {
+                        id: job.client_id,
+                        trace,
+                        code,
+                        rung,
+                        retry_after_ms,
+                        message,
+                    };
                     shared.finish(job, frame);
                     return AwaitOutcome::Terminal;
                 }
@@ -1273,6 +1418,8 @@ fn requeue_or_fail(shared: &Arc<Shared>, slot: u32, mut job: Job) {
                 id,
                 trace,
                 code: ErrorCode::FailedAfterRetries,
+                rung: 0,
+                retry_after_ms: 0,
                 message: format!("replica died on all {} attempts", job.attempts),
             },
         );

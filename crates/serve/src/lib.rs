@@ -41,6 +41,7 @@
 mod breaker;
 mod clock;
 mod frontdoor;
+mod overload;
 pub mod proto;
 mod queue;
 pub mod replica;
@@ -52,6 +53,7 @@ pub use clock::{Clock, SystemClock, VirtualClock};
 pub use frontdoor::{
     ConnFault, FrontDoor, FrontDoorConfig, FrontDoorReport, FrontDoorStopper,
 };
+pub use overload::{OverloadConfig, OverloadController, CRITICAL_GRACE};
 pub use queue::BoundedQueue;
 pub use replica::{
     ReplicaFault, ReplicaProc, ReplicaState, ReplicaWorkerConfig, SideChannel,

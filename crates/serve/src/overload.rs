@@ -1,0 +1,383 @@
+//! The front door's overload controller: picks the fleet-wide brownout
+//! rung from observed queue sojourn, deadline misses, and sheds.
+//!
+//! The controller is CoDel-shaped: it watches the *minimum* queue
+//! sojourn (delay from admission to dequeue) inside a fixed evaluation
+//! interval. A standing queue — every request in a whole interval
+//! waiting longer than the target — is the overload signal; a single
+//! slow request is not. Sheds and deadline misses inside the window
+//! count as pressure too, so a queue that is full (and therefore not
+//! growing its sojourn) still escalates.
+//!
+//! Transitions are deliberately asymmetric and rate-bounded:
+//!
+//! * **Escalate** (+1 rung) after one pressured interval, at most one
+//!   step per interval.
+//! * **De-escalate** (−1 rung) only after a full
+//!   [`OverloadConfig::deescalate_dwell`] of clean intervals — several
+//!   times the escalate horizon.
+//!
+//! Both moves are ±1 only, so the rung trace is monotone-hysteretic:
+//! for the rung to flap (up then immediately down), an interval must be
+//! pressured and then the *same* dwell-length stretch must be clean —
+//! but the dwell clock restarts on every pressured interval, so a load
+//! oscillating faster than the dwell period holds the rung steady
+//! instead of chattering (the no-flap argument in DESIGN.md §13).
+//!
+//! The dispatch-path read ([`OverloadController::rung_for`]) is one
+//! relaxed atomic load — the controller never adds a lock to the
+//! request path; only the per-interval bookkeeping takes a mutex.
+
+use mime_obs::flight::{self, FlightKind};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How many rungs of grace a critical task gets: its effective rung
+/// lags the fleet rung by this much, so critical tasks are pinned to
+/// rung 0 longest and browned out last.
+pub const CRITICAL_GRACE: u8 = 2;
+
+/// Controller knobs (see module docs for the algorithm).
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadConfig {
+    /// Master switch: disabled (`--no-brownout`) means every request is
+    /// served at rung 0 and the only overload response is shedding —
+    /// the control-run baseline the chaos test compares goodput against.
+    pub enabled: bool,
+    /// Deepest rung the controller will ask for (replicas clamp to
+    /// their validated ladder depth anyway).
+    pub max_rung: u8,
+    /// CoDel target: the queue sojourn every request should stay under
+    /// in a healthy fleet.
+    pub target_sojourn: Duration,
+    /// Evaluation window; also the minimum spacing between escalation
+    /// steps.
+    pub interval: Duration,
+    /// Clean time required before stepping back down one rung. Must be
+    /// well above `interval` for the hysteresis argument to hold.
+    pub deescalate_dwell: Duration,
+    /// Tasks `0..critical_tasks` are priority class *critical*: their
+    /// effective rung lags the fleet rung by [`CRITICAL_GRACE`].
+    pub critical_tasks: u32,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            enabled: true,
+            max_rung: 3,
+            target_sojourn: Duration::from_millis(25),
+            interval: Duration::from_millis(100),
+            deescalate_dwell: Duration::from_millis(600),
+            critical_tasks: 0,
+        }
+    }
+}
+
+/// Per-interval bookkeeping behind the mutex.
+struct Inner {
+    /// Start of the current evaluation window.
+    window_start: Instant,
+    /// Minimum sojourn observed this window (`None` until one arrives).
+    min_sojourn: Option<Duration>,
+    /// Sheds observed this window.
+    sheds: u32,
+    /// Deadline misses observed this window.
+    misses: u32,
+    /// Last time the rung moved (either direction); escalations are
+    /// spaced by `interval` from here, de-escalations by the dwell.
+    last_change: Instant,
+    /// Start of the current clean streak (reset by every pressured
+    /// window) — the de-escalation clock.
+    clean_since: Instant,
+    /// EWMA of observed sojourns in microseconds (retry-after hints).
+    ewma_sojourn_us: f64,
+}
+
+/// Fleet-wide brownout rung selection. See module docs.
+pub struct OverloadController {
+    cfg: OverloadConfig,
+    rung: AtomicU8,
+    transitions: AtomicU64,
+    inner: Mutex<Inner>,
+}
+
+impl OverloadController {
+    /// A controller starting at rung 0 with its windows anchored at
+    /// `now`.
+    pub fn new(cfg: OverloadConfig, now: Instant) -> OverloadController {
+        OverloadController {
+            cfg,
+            rung: AtomicU8::new(0),
+            transitions: AtomicU64::new(0),
+            inner: Mutex::new(Inner {
+                window_start: now,
+                min_sojourn: None,
+                sheds: 0,
+                misses: 0,
+                last_change: now,
+                clean_since: now,
+                ewma_sojourn_us: 0.0,
+            }),
+        }
+    }
+
+    /// The current fleet-wide rung (one relaxed load).
+    pub fn current_rung(&self) -> u8 {
+        self.rung.load(Ordering::Relaxed)
+    }
+
+    /// The rung `task` should be served at right now: the fleet rung,
+    /// minus [`CRITICAL_GRACE`] for critical tasks, and always 0 when
+    /// the controller is disabled.
+    pub fn rung_for(&self, task: u32) -> u8 {
+        if !self.cfg.enabled {
+            return 0;
+        }
+        let rung = self.rung.load(Ordering::Relaxed);
+        if task < self.cfg.critical_tasks {
+            rung.saturating_sub(CRITICAL_GRACE)
+        } else {
+            rung
+        }
+    }
+
+    /// Total rung transitions (both directions) so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions.load(Ordering::Relaxed)
+    }
+
+    /// Record one request's queue sojourn, measured at dequeue.
+    pub fn observe_sojourn(&self, now: Instant, sojourn: Duration) {
+        if !self.cfg.enabled {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.min_sojourn = Some(match inner.min_sojourn {
+            Some(cur) => cur.min(sojourn),
+            None => sojourn,
+        });
+        let us = sojourn.as_micros().min(u128::from(u32::MAX)) as f64;
+        inner.ewma_sojourn_us = if inner.ewma_sojourn_us == 0.0 {
+            us
+        } else {
+            0.9 * inner.ewma_sojourn_us + 0.1 * us
+        };
+        self.evaluate(&mut inner, now);
+    }
+
+    /// Record an admission shed (queue full).
+    pub fn observe_shed(&self, now: Instant) {
+        if !self.cfg.enabled {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.sheds += 1;
+        self.evaluate(&mut inner, now);
+    }
+
+    /// Record a deadline miss (expired in queue or at a replica).
+    pub fn observe_deadline_miss(&self, now: Instant) {
+        if !self.cfg.enabled {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.misses += 1;
+        self.evaluate(&mut inner, now);
+    }
+
+    /// Back-off hint for `Overloaded` errors: roughly how long until
+    /// the controller could have shed load — the smoothed sojourn plus
+    /// one evaluation interval per rung still available to climb —
+    /// clamped to [interval, 5 s]. 0 is never returned while enabled,
+    /// so clients always get *some* hint.
+    pub fn retry_after_ms(&self) -> u32 {
+        if !self.cfg.enabled {
+            return 0;
+        }
+        let rung = self.rung.load(Ordering::Relaxed);
+        let headroom = u64::from(self.cfg.max_rung.saturating_sub(rung)) + 1;
+        let interval_ms = self.cfg.interval.as_millis() as u64;
+        let ewma_ms = (self.inner.lock().unwrap().ewma_sojourn_us / 1000.0) as u64;
+        (ewma_ms + headroom * interval_ms).clamp(interval_ms.max(1), 5000) as u32
+    }
+
+    /// Close the evaluation window if `now` is past it, moving the rung
+    /// by at most one step.
+    fn evaluate(&self, inner: &mut Inner, now: Instant) {
+        if now.duration_since(inner.window_start) < self.cfg.interval {
+            return;
+        }
+        let pressured = inner.sheds > 0
+            || inner.misses > 0
+            || inner.min_sojourn.is_some_and(|min| min > self.cfg.target_sojourn);
+        let rung = self.rung.load(Ordering::Relaxed);
+        if pressured {
+            // every pressured window restarts the de-escalation clock —
+            // this reset is what makes fast load oscillation hold the
+            // rung steady instead of flapping it
+            inner.clean_since = now;
+            if rung < self.cfg.max_rung
+                && now.duration_since(inner.last_change) >= self.cfg.interval
+            {
+                self.shift(inner, now, rung, rung + 1);
+            }
+        } else if rung > 0
+            && now.duration_since(inner.clean_since) >= self.cfg.deescalate_dwell
+            && now.duration_since(inner.last_change) >= self.cfg.deescalate_dwell
+        {
+            self.shift(inner, now, rung, rung - 1);
+        }
+        inner.window_start = now;
+        inner.min_sojourn = None;
+        inner.sheds = 0;
+        inner.misses = 0;
+    }
+
+    fn shift(&self, inner: &mut Inner, now: Instant, from: u8, to: u8) {
+        self.rung.store(to, Ordering::Relaxed);
+        inner.last_change = now;
+        self.transitions.fetch_add(1, Ordering::Relaxed);
+        flight::record(FlightKind::Rung, u64::MAX, u64::from(to));
+        let reg = mime_obs::metrics::global();
+        reg.gauge("mime_brownout_rung").set(f64::from(to));
+        let dir = if to > from { "up" } else { "down" };
+        reg.counter_with("mime_brownout_transitions_total", &[("direction", dir)]).inc();
+        mime_obs::info!(
+            "serve.overload",
+            "brownout rung transition",
+            from = from,
+            to = to,
+            direction = dir
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn controller(critical: u32) -> (OverloadController, Instant) {
+        let base = Instant::now();
+        let cfg = OverloadConfig { critical_tasks: critical, ..Default::default() };
+        (OverloadController::new(cfg, base), base)
+    }
+
+    #[test]
+    fn sustained_pressure_escalates_one_rung_per_interval() {
+        let (c, base) = controller(0);
+        // sojourns far above the 25ms target, one observation per 10ms
+        for i in 0..200u64 {
+            c.observe_sojourn(base + ms(i * 10), ms(200));
+        }
+        assert_eq!(c.current_rung(), 3, "climbs to max under sustained pressure");
+        // rate bound: 2s of pressure, one window per 100ms → at most
+        // one transition per window, and exactly max_rung of them
+        assert_eq!(c.transitions(), 3);
+    }
+
+    #[test]
+    fn single_slow_request_is_not_pressure() {
+        let (c, base) = controller(0);
+        // every window sees at least one fast request → min sojourn is
+        // below target → no standing queue, no escalation
+        for i in 0..100u64 {
+            c.observe_sojourn(base + ms(i * 10), if i % 2 == 0 { ms(300) } else { ms(1) });
+        }
+        assert_eq!(c.current_rung(), 0);
+        assert_eq!(c.transitions(), 0);
+    }
+
+    #[test]
+    fn sheds_count_as_pressure_even_with_no_sojourns() {
+        let (c, base) = controller(0);
+        for i in 0..50u64 {
+            c.observe_shed(base + ms(i * 10));
+        }
+        assert!(c.current_rung() >= 1, "a full queue must escalate");
+    }
+
+    #[test]
+    fn deescalation_requires_a_full_clean_dwell() {
+        let (c, base) = controller(0);
+        for i in 0..30u64 {
+            c.observe_sojourn(base + ms(i * 10), ms(200));
+        }
+        // flush the trailing pressured window with one clean sample so
+        // `climbed` reads the settled rung
+        c.observe_sojourn(base + ms(300), ms(1));
+        let climbed = c.current_rung();
+        assert!(climbed >= 2);
+
+        // clean traffic, but each pressured *burst* arrives before the
+        // 600ms dwell elapses: every burst restarts the de-escalation
+        // clock, so the rung may climb (bursts are real pressure) but
+        // must never step down — that's the no-flap property
+        let mut t = 310u64;
+        for _ in 0..5 {
+            for i in 0..40u64 {
+                c.observe_sojourn(base + ms(t + i * 10), ms(1));
+            }
+            t += 400; // 400ms clean < 600ms dwell
+            c.observe_sojourn(base + ms(t), ms(200));
+            c.observe_sojourn(base + ms(t + 101), ms(200)); // close the window as pressured
+            t += 110;
+        }
+        assert!(
+            c.current_rung() >= climbed,
+            "sub-dwell oscillation must never step down: {} < {climbed}",
+            c.current_rung()
+        );
+
+        // a genuinely clean dwell steps down exactly one rung at a time
+        let before = c.current_rung();
+        for i in 0..70u64 {
+            c.observe_sojourn(base + ms(t + i * 10), ms(1));
+        }
+        assert_eq!(c.current_rung(), before - 1, "one step down after one dwell");
+    }
+
+    #[test]
+    fn critical_tasks_lag_the_fleet_rung() {
+        let (c, base) = controller(2);
+        for i in 0..200u64 {
+            c.observe_sojourn(base + ms(i * 10), ms(200));
+        }
+        assert_eq!(c.current_rung(), 3);
+        assert_eq!(c.rung_for(0), 1, "critical task lags by CRITICAL_GRACE");
+        assert_eq!(c.rung_for(1), 1);
+        assert_eq!(c.rung_for(2), 3, "non-critical tasks take the fleet rung");
+    }
+
+    #[test]
+    fn disabled_controller_never_leaves_rung_zero() {
+        let base = Instant::now();
+        let cfg = OverloadConfig { enabled: false, ..Default::default() };
+        let c = OverloadController::new(cfg, base);
+        for i in 0..100u64 {
+            c.observe_sojourn(base + ms(i * 10), ms(500));
+            c.observe_shed(base + ms(i * 10));
+        }
+        assert_eq!(c.rung_for(0), 0);
+        assert_eq!(c.transitions(), 0);
+        assert_eq!(c.retry_after_ms(), 0);
+    }
+
+    #[test]
+    fn retry_after_tracks_rung_and_sojourn() {
+        let (c, base) = controller(0);
+        let idle = c.retry_after_ms();
+        assert!(idle >= 100, "at least one interval: {idle}");
+        for i in 0..200u64 {
+            c.observe_sojourn(base + ms(i * 10), ms(200));
+        }
+        let loaded = c.retry_after_ms();
+        assert!(loaded >= 200, "sojourn EWMA shows up in the hint: {loaded}");
+        assert!(loaded <= 5000, "clamped: {loaded}");
+    }
+}

@@ -56,6 +56,15 @@ const KIND_TRACE_CHUNK: u8 = 9;
 const KIND_CLOCK_PROBE: u8 = 10;
 const KIND_CLOCK_REPLY: u8 = 11;
 const KIND_METRICS_CHUNK: u8 = 12;
+// v2 request/reply/error frames append brownout fields (`rung`, and
+// `retry_after_ms` on errors) after the v1 payload. Encoders emit the
+// v1 kind whenever every appended field is zero, so healthy rung-0
+// traffic stays byte-identical to older peers and older decoders never
+// see a kind they don't know; decoders accept both and default the
+// missing fields to zero.
+const KIND_REQUEST_V2: u8 = 13;
+const KIND_REPLY_V2: u8 = 14;
+const KIND_ERROR_V2: u8 = 15;
 
 /// Request input: either a raw `[C, H, W]` tensor, or a deterministic
 /// probe index the replica expands itself (keeps loadgen frames tiny).
@@ -138,6 +147,11 @@ pub enum Frame {
         /// Remaining deadline budget in milliseconds (0 = use the
         /// server's default).
         deadline_ms: u32,
+        /// Brownout rung to serve at (0 = the full-fidelity threshold
+        /// set, today's path; higher rungs select progressively more
+        /// aggressive threshold variants). Stamped by the front door's
+        /// overload controller on the replica hop.
+        rung: u8,
         /// The input.
         input: RequestInput,
     },
@@ -154,6 +168,9 @@ pub enum Frame {
         queue_us: u32,
         /// Microseconds of replica compute (stamped by the replica).
         compute_us: u32,
+        /// Brownout rung this reply was actually served at (0 = full
+        /// fidelity), so clients can attribute quality.
+        rung: u8,
         /// Classifier logits.
         logits: Vec<f32>,
     },
@@ -167,6 +184,12 @@ pub enum Frame {
         trace: u64,
         /// Failure class.
         code: ErrorCode,
+        /// Brownout rung in force when the failure was produced.
+        rung: u8,
+        /// For [`ErrorCode::Overloaded`]: a controller-derived hint of
+        /// how long the client should back off before retrying
+        /// (0 = no hint).
+        retry_after_ms: u32,
         /// Human-readable detail.
         message: String,
     },
@@ -290,7 +313,7 @@ fn put_str(buf: &mut Vec<u8>, s: &str) {
 fn encode_payload(frame: &Frame) -> (u8, Vec<u8>) {
     let mut p = Vec::new();
     let kind = match frame {
-        Frame::Request { id, trace, task, deadline_ms, input } => {
+        Frame::Request { id, trace, task, deadline_ms, rung, input } => {
             put_u64(&mut p, *id);
             put_u64(&mut p, *trace);
             put_u32(&mut p, *task);
@@ -311,9 +334,14 @@ fn encode_payload(frame: &Frame) -> (u8, Vec<u8>) {
                     }
                 }
             }
-            KIND_REQUEST
+            if *rung == 0 {
+                KIND_REQUEST
+            } else {
+                p.push(*rung);
+                KIND_REQUEST_V2
+            }
         }
-        Frame::Reply { id, trace, degraded, queue_us, compute_us, logits } => {
+        Frame::Reply { id, trace, degraded, queue_us, compute_us, rung, logits } => {
             put_u64(&mut p, *id);
             put_u64(&mut p, *trace);
             p.push(u8::from(*degraded));
@@ -323,9 +351,14 @@ fn encode_payload(frame: &Frame) -> (u8, Vec<u8>) {
             for &v in logits {
                 put_u32(&mut p, v.to_bits());
             }
-            KIND_REPLY
+            if *rung == 0 {
+                KIND_REPLY
+            } else {
+                p.push(*rung);
+                KIND_REPLY_V2
+            }
         }
-        Frame::ErrorReply { id, trace, code, message } => {
+        Frame::ErrorReply { id, trace, code, rung, retry_after_ms, message } => {
             put_u64(&mut p, *id);
             put_u64(&mut p, *trace);
             p.push(code.to_u8());
@@ -333,7 +366,13 @@ fn encode_payload(frame: &Frame) -> (u8, Vec<u8>) {
             let n = msg.len().min(u16::MAX as usize);
             put_u16(&mut p, n as u16);
             p.extend_from_slice(&msg[..n]);
-            KIND_ERROR
+            if *rung == 0 && *retry_after_ms == 0 {
+                KIND_ERROR
+            } else {
+                p.push(*rung);
+                put_u32(&mut p, *retry_after_ms);
+                KIND_ERROR_V2
+            }
         }
         Frame::Heartbeat { seq, trace } => {
             put_u64(&mut p, *seq);
@@ -485,7 +524,7 @@ fn decode_f32s(c: &mut Cursor<'_>, n: usize, what: &str) -> Result<Vec<f32>, Pro
 fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
     let mut c = Cursor::new(payload);
     let frame = match kind {
-        KIND_REQUEST => {
+        KIND_REQUEST | KIND_REQUEST_V2 => {
             let id = c.u64("request id")?;
             let trace = c.u64("trace id")?;
             let task = c.u32("task id")?;
@@ -514,10 +553,11 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
                 }
                 other => return Err(malformed(format!("unknown input kind {other}"))),
             };
+            let rung = if kind == KIND_REQUEST_V2 { c.u8("request rung")? } else { 0 };
             c.done("request")?;
-            Frame::Request { id, trace, task, deadline_ms, input }
+            Frame::Request { id, trace, task, deadline_ms, rung, input }
         }
-        KIND_REPLY => {
+        KIND_REPLY | KIND_REPLY_V2 => {
             let id = c.u64("reply id")?;
             let trace = c.u64("reply trace id")?;
             let degraded = match c.u8("degraded flag")? {
@@ -529,18 +569,24 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
             let compute_us = c.u32("compute time")?;
             let n = c.u32("logit count")? as usize;
             let logits = decode_f32s(&mut c, n, "logits")?;
+            let rung = if kind == KIND_REPLY_V2 { c.u8("reply rung")? } else { 0 };
             c.done("reply")?;
-            Frame::Reply { id, trace, degraded, queue_us, compute_us, logits }
+            Frame::Reply { id, trace, degraded, queue_us, compute_us, rung, logits }
         }
-        KIND_ERROR => {
+        KIND_ERROR | KIND_ERROR_V2 => {
             let id = c.u64("error id")?;
             let trace = c.u64("error trace id")?;
             let code = ErrorCode::from_u8(c.u8("error code")?)?;
             let n = c.u16("message length")? as usize;
             let raw = c.take(n, "error message")?;
             let message = String::from_utf8_lossy(raw).into_owned();
+            let (rung, retry_after_ms) = if kind == KIND_ERROR_V2 {
+                (c.u8("error rung")?, c.u32("retry-after hint")?)
+            } else {
+                (0, 0)
+            };
             c.done("error reply")?;
-            Frame::ErrorReply { id, trace, code, message }
+            Frame::ErrorReply { id, trace, code, rung, retry_after_ms, message }
         }
         KIND_HEARTBEAT => {
             let seq = c.u64("heartbeat seq")?;
@@ -781,6 +827,7 @@ mod tests {
             trace: 99,
             task: 2,
             deadline_ms: 1500,
+            rung: 0,
             input: RequestInput::Probe(41),
         });
         round_trip(Frame::Request {
@@ -788,6 +835,7 @@ mod tests {
             trace: NO_TRACE_ID,
             task: 0,
             deadline_ms: 0,
+            rung: 3,
             input: RequestInput::Tensor(probe_image(3)),
         });
         round_trip(Frame::Reply {
@@ -796,13 +844,33 @@ mod tests {
             degraded: true,
             queue_us: 1200,
             compute_us: 35_000,
+            rung: 0,
             logits: vec![0.5, -1.25, 3.0],
+        });
+        round_trip(Frame::Reply {
+            id: 10,
+            trace: 99,
+            degraded: false,
+            queue_us: 0,
+            compute_us: 12,
+            rung: 2,
+            logits: vec![1.0],
         });
         round_trip(Frame::ErrorReply {
             id: NO_REQUEST_ID,
             trace: NO_TRACE_ID,
             code: ErrorCode::BadFrame,
+            rung: 0,
+            retry_after_ms: 0,
             message: "nope".into(),
+        });
+        round_trip(Frame::ErrorReply {
+            id: 4,
+            trace: 77,
+            code: ErrorCode::Overloaded,
+            rung: 1,
+            retry_after_ms: 250,
+            message: "admission queue full".into(),
         });
         round_trip(Frame::Heartbeat { seq: 123, trace: 99 });
         round_trip(Frame::Ready { replica: 1, tasks: 3 });
@@ -826,6 +894,116 @@ mod tests {
         round_trip(Frame::ClockProbe { t0_us: 5_000_123 });
         round_trip(Frame::ClockReply { t0_us: 5_000_123, now_us: 4_999_900 });
         round_trip(Frame::MetricsChunk { replica: 1, snapshot: vec![9, 8, 7] });
+    }
+
+    /// Zeroed brownout fields must encode as the v1 kinds — the
+    /// rung-0 wire bytes are the backward-compatibility contract (an
+    /// older peer never sees kinds 13..15 from a healthy fleet).
+    #[test]
+    fn zero_brownout_fields_encode_as_v1_kinds() {
+        let (kind, _) = encode_payload(&Frame::Request {
+            id: 1,
+            trace: 2,
+            task: 0,
+            deadline_ms: 0,
+            rung: 0,
+            input: RequestInput::Probe(0),
+        });
+        assert_eq!(kind, KIND_REQUEST);
+        let (kind, _) = encode_payload(&Frame::Reply {
+            id: 1,
+            trace: 2,
+            degraded: false,
+            queue_us: 0,
+            compute_us: 0,
+            rung: 0,
+            logits: vec![1.0],
+        });
+        assert_eq!(kind, KIND_REPLY);
+        let (kind, _) = encode_payload(&Frame::ErrorReply {
+            id: 1,
+            trace: 2,
+            code: ErrorCode::Overloaded,
+            rung: 0,
+            retry_after_ms: 0,
+            message: "full".into(),
+        });
+        assert_eq!(kind, KIND_ERROR);
+
+        // and nonzero fields select the v2 kinds
+        let (kind, _) = encode_payload(&Frame::Request {
+            id: 1,
+            trace: 2,
+            task: 0,
+            deadline_ms: 0,
+            rung: 1,
+            input: RequestInput::Probe(0),
+        });
+        assert_eq!(kind, KIND_REQUEST_V2);
+        let (kind, _) = encode_payload(&Frame::ErrorReply {
+            id: 1,
+            trace: 2,
+            code: ErrorCode::Overloaded,
+            rung: 0,
+            retry_after_ms: 100,
+            message: "full".into(),
+        });
+        assert_eq!(kind, KIND_ERROR_V2);
+    }
+
+    /// Hand-built v1 byte streams (no rung fields on the wire) decode
+    /// with the brownout fields defaulted to zero.
+    #[test]
+    fn legacy_v1_bytes_decode_with_zero_rung() {
+        let mut p = Vec::new();
+        put_u64(&mut p, 7); // id
+        put_u64(&mut p, 99); // trace
+        put_u32(&mut p, 2); // task
+        put_u32(&mut p, 1500); // deadline
+        p.push(0); // probe input
+        put_u32(&mut p, 41);
+        let frame = decode_payload(KIND_REQUEST, &p).unwrap();
+        assert_eq!(
+            frame,
+            Frame::Request {
+                id: 7,
+                trace: 99,
+                task: 2,
+                deadline_ms: 1500,
+                rung: 0,
+                input: RequestInput::Probe(41),
+            }
+        );
+
+        let mut p = Vec::new();
+        put_u64(&mut p, 9); // id
+        put_u64(&mut p, 99); // trace
+        p.push(1); // degraded
+        put_u32(&mut p, 1200); // queue_us
+        put_u32(&mut p, 35_000); // compute_us
+        put_u32(&mut p, 1); // logit count
+        put_u32(&mut p, 0.5f32.to_bits());
+        let frame = decode_payload(KIND_REPLY, &p).unwrap();
+        assert!(matches!(frame, Frame::Reply { rung: 0, .. }));
+
+        let mut p = Vec::new();
+        put_u64(&mut p, 4); // id
+        put_u64(&mut p, 0); // trace
+        p.push(0); // code: Overloaded
+        put_u16(&mut p, 4);
+        p.extend_from_slice(b"full");
+        let frame = decode_payload(KIND_ERROR, &p).unwrap();
+        assert!(matches!(frame, Frame::ErrorReply { rung: 0, retry_after_ms: 0, .. }));
+
+        // v1 kinds with trailing rung bytes are still rejected: the
+        // appended fields belong to the v2 kinds only.
+        let mut p = Vec::new();
+        put_u64(&mut p, 4);
+        put_u64(&mut p, 0);
+        p.push(0);
+        put_u16(&mut p, 0);
+        p.push(1); // stray rung byte on a v1 error frame
+        assert!(decode_payload(KIND_ERROR, &p).is_err());
     }
 
     #[test]
@@ -939,6 +1117,7 @@ mod tests {
                 degraded: false,
                 queue_us: 0,
                 compute_us: 0,
+                rung: 0,
                 logits: vec![1.0],
             },
         )

@@ -19,7 +19,10 @@ use crate::proto::{
 };
 use mime_core::MimeError;
 use mime_obs::flight::{self, FlightKind};
-use mime_runtime::{BoundNetwork, ComputePath, HardwareExecutor, SparseDispatch};
+use mime_runtime::{
+    derive_ladders, BoundNetwork, BrownoutLadder, ComputePath, HardwareExecutor,
+    LadderConfig, SparseDispatch,
+};
 use mime_systolic::ArrayConfig;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::process::{Child, ChildStdin, Command, Stdio};
@@ -109,6 +112,10 @@ pub struct ReplicaWorkerConfig {
     /// tracing is enabled, `TraceChunk`s for stitching. Off by default
     /// so raw worker streams carry only protocol traffic.
     pub obs: bool,
+    /// Brownout ladder depth derived at startup (rung 0 included; see
+    /// [`mime_runtime::BrownoutLadder`]). 1 disables brownout serving —
+    /// every rung request falls through to the parent path.
+    pub brownout_rungs: usize,
 }
 
 impl Default for ReplicaWorkerConfig {
@@ -124,6 +131,7 @@ impl Default for ReplicaWorkerConfig {
             path: ComputePath::Software,
             dispatch: SparseDispatch::Auto,
             obs: false,
+            brownout_rungs: 4,
         }
     }
 }
@@ -148,6 +156,21 @@ pub fn run_replica_worker(
     output: &mut impl Write,
 ) -> Result<(), ProtoError> {
     let parents: Vec<BoundNetwork> = plans.iter().map(|p| p.strip_thresholds()).collect();
+    // Brownout ladders are derived and validated once, before Ready —
+    // the supervisor never dispatches to a replica whose browned
+    // variants haven't passed the rank-degradation probes.
+    let ladders: Vec<BrownoutLadder> = derive_ladders(
+        plans,
+        hw,
+        cfg.path,
+        cfg.dispatch,
+        &LadderConfig {
+            rungs: cfg.brownout_rungs.max(1),
+            zero_skip: cfg.zero_skip,
+            ..LadderConfig::default()
+        },
+    )
+    .map_err(|e| ProtoError::Malformed(format!("brownout ladder derivation: {e}")))?;
     let mut exec = HardwareExecutor::with_options(hw, cfg.path, cfg.dispatch);
     let mut served = 0usize;
     let mut heartbeat_seq = 0u64;
@@ -167,7 +190,7 @@ pub fn run_replica_worker(
             Err(ProtoError::Closed) => return Ok(()),
             Err(e) => return Err(e),
         };
-        let (id, trace, task, deadline_ms, input_spec) = match frame {
+        let (id, trace, task, deadline_ms, rung, input_spec) = match frame {
             Frame::Shutdown => {
                 mime_obs::info!(
                     "serve.replica",
@@ -189,8 +212,8 @@ pub fn run_replica_worker(
                 .map_err(ProtoError::Io)?;
                 continue;
             }
-            Frame::Request { id, trace, task, deadline_ms, input } => {
-                (id, trace, task, deadline_ms, input)
+            Frame::Request { id, trace, task, deadline_ms, rung, input } => {
+                (id, trace, task, deadline_ms, rung, input)
             }
             other => {
                 return Err(ProtoError::Malformed(format!(
@@ -220,11 +243,13 @@ pub fn run_replica_worker(
             &mut exec,
             plans,
             &parents,
+            &ladders,
             &cfg,
             id,
             trace,
             task,
             deadline_ms,
+            rung,
             input_spec,
             if inject { cfg.fault } else { ReplicaFault::None },
             &mut heartbeat_seq,
@@ -277,8 +302,20 @@ fn record_replica_outcome(reply: &Frame) {
     use std::sync::OnceLock;
     static REQUESTS: OnceLock<mime_obs::metrics::Counter> = OnceLock::new();
     static SUCCESS: OnceLock<mime_obs::metrics::Counter> = OnceLock::new();
+    // One handle per rung, resolved lazily: the brownout rung a reply
+    // was served at rides in the reply itself, and rungs above the
+    // array bound (protocol allows u8) clamp into the last bucket.
+    static RUNGS: OnceLock<[mime_obs::metrics::Counter; 8]> = OnceLock::new();
     let reg = mime_obs::metrics::global();
     REQUESTS.get_or_init(|| reg.counter("mime_replica_requests_total")).inc();
+    if let Frame::Reply { rung, .. } | Frame::ErrorReply { rung, .. } = reply {
+        RUNGS.get_or_init(|| {
+            std::array::from_fn(|r| {
+                reg.counter_with("mime_replica_rung_total", &[("rung", &r.to_string())])
+            })
+        })[(*rung as usize).min(7)]
+        .inc();
+    }
     match reply {
         Frame::Reply { degraded: false, .. } => SUCCESS
             .get_or_init(|| {
@@ -336,11 +373,13 @@ fn serve_one(
     exec: &mut HardwareExecutor,
     plans: &[BoundNetwork],
     parents: &[BoundNetwork],
+    ladders: &[BrownoutLadder],
     cfg: &ReplicaWorkerConfig,
     id: u64,
     trace: u64,
     task: u32,
     deadline_ms: u32,
+    rung: u8,
     input: RequestInput,
     fault: ReplicaFault,
     heartbeat_seq: &mut u64,
@@ -352,14 +391,29 @@ fn serve_one(
         request_span.arg("request", id);
         request_span.arg("task", task);
         request_span.arg("replica", cfg.replica);
+        if rung > 0 {
+            request_span.arg("rung", rung);
+        }
     }
-    let Some(plan) = plans.get(task as usize) else {
+    let Some(ladder) = ladders.get(task as usize) else {
         return Ok(Frame::ErrorReply {
             id,
             trace,
             code: ErrorCode::UnknownTask,
+            rung,
+            retry_after_ms: 0,
             message: format!("task {task} of {}", plans.len()),
         });
+    };
+    // Degradation order (DESIGN.md §13): rungs validated at startup
+    // serve their browned threshold banks; a rung beyond the validated
+    // ladder depth serves the thresholds-stripped parent path and is
+    // marked degraded — quality-unknown territory the ladder refused to
+    // certify. Rung 0 is the ladder's bit-identical clone of the plan.
+    let (plan, beyond_ladder) = if (rung as usize) < ladder.len() {
+        (ladder.plan(rung as usize), false)
+    } else {
+        (&parents[task as usize], true)
     };
     let image = match input {
         RequestInput::Probe(i) => crate::proto::probe_image(i as usize),
@@ -412,13 +466,21 @@ fn serve_one(
     })();
     let compute_us = started.elapsed().as_micros().min(u128::from(u32::MAX)) as u32;
     Ok(match primary {
-        Ok(logits) => {
-            Frame::Reply { id, trace, degraded: false, queue_us: 0, compute_us, logits }
-        }
+        Ok(logits) => Frame::Reply {
+            id,
+            trace,
+            degraded: beyond_ladder,
+            queue_us: 0,
+            compute_us,
+            rung,
+            logits,
+        },
         Err(MimeError::DeadlineExceeded { over_ms, .. }) => Frame::ErrorReply {
             id,
             trace,
             code: ErrorCode::DeadlineExceeded,
+            rung,
+            retry_after_ms: 0,
             message: format!("{over_ms}ms over budget"),
         },
         Err(primary_err) => {
@@ -447,6 +509,7 @@ fn serve_one(
                         degraded: true,
                         queue_us: 0,
                         compute_us,
+                        rung,
                         logits,
                     }
                 }
@@ -454,12 +517,16 @@ fn serve_one(
                     id,
                     trace,
                     code: ErrorCode::DeadlineExceeded,
+                    rung,
+                    retry_after_ms: 0,
                     message: format!("{over_ms}ms over budget"),
                 },
                 Err(parent_err) => Frame::ErrorReply {
                     id,
                     trace,
                     code: ErrorCode::FailedAfterRetries,
+                    rung,
+                    retry_after_ms: 0,
                     message: format!("primary: {primary_err}; parent: {parent_err}"),
                 },
             }
@@ -738,6 +805,7 @@ mod tests {
                     trace: 101,
                     task: 0,
                     deadline_ms: 0,
+                    rung: 0,
                     input: RequestInput::Probe(0),
                 },
                 Frame::Request {
@@ -745,6 +813,7 @@ mod tests {
                     trace: 102,
                     task: 1,
                     deadline_ms: 0,
+                    rung: 0,
                     input: RequestInput::Probe(1),
                 },
                 Frame::Shutdown,
@@ -784,6 +853,7 @@ mod tests {
                     trace: 0,
                     task: 9,
                     deadline_ms: 0,
+                    rung: 0,
                     input: RequestInput::Probe(0),
                 },
                 Frame::Request {
@@ -791,6 +861,7 @@ mod tests {
                     trace: 0,
                     task: 0,
                     deadline_ms: 0,
+                    rung: 0,
                     input: RequestInput::Tensor(
                         Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap(),
                     ),
@@ -821,6 +892,7 @@ mod tests {
                 trace: 0,
                 task: 0,
                 deadline_ms: 0,
+                rung: 0,
                 input: RequestInput::Probe(2),
             }],
         );
@@ -850,6 +922,7 @@ mod tests {
                 trace: 0,
                 task: 0,
                 deadline_ms: 50,
+                rung: 0,
                 input: RequestInput::Probe(0),
             }],
         );

@@ -302,6 +302,73 @@ fn deadlines_fire_between_layers_and_at_dequeue() {
     }
 }
 
+/// The sharper dequeue case: a deadline that comfortably covers one
+/// inference still expires for requests whose budget is eaten by
+/// *queue wait* alone. The head-of-line request succeeds; the one
+/// behind it starts computing but dies between layers once the queue
+/// time it already paid leaves too little budget; everything further
+/// back expires at dequeue having never consumed an attempt.
+#[test]
+fn deadline_expires_during_queue_wait_at_dequeue() {
+    use mime_serve::Clock;
+    let mut model = fleet_model(SEED, 1);
+    let plans = vec![plan_for(&mut model, "task0")];
+
+    // Calibrate: one inference's virtual cost at 1ms/layer, measured
+    // with a deadline far too generous to interfere.
+    let probe_clock = VirtualClock::new();
+    let cfg = ServeConfig {
+        workers: 1,
+        layer_cost: Duration::from_millis(1),
+        deadline: Duration::from_secs(3600),
+        ..base_config()
+    };
+    let server = Server::new(
+        &plans,
+        ArrayConfig::eyeriss_65nm(),
+        cfg,
+        &probe_clock,
+        FaultPlan::default(),
+    );
+    let report = server.serve(requests(1, 1));
+    assert_eq!(report.success, 1, "calibration request must succeed");
+    let one_inference = probe_clock.now();
+    assert!(one_inference >= Duration::from_millis(2), "virtual layer charges accrued");
+
+    // Deadline = 1.5 inferences: plenty for the head-of-line request,
+    // fatal for anything queued behind it on a single worker.
+    let clock = VirtualClock::new();
+    let cfg = ServeConfig {
+        workers: 1,
+        layer_cost: Duration::from_millis(1),
+        deadline: one_inference + one_inference / 2,
+        ..base_config()
+    };
+    let server =
+        Server::new(&plans, ArrayConfig::eyeriss_65nm(), cfg, &clock, FaultPlan::default());
+    let total = 4;
+    let report = server.serve(requests(total, 1));
+    assert_terminal_invariant(&report, total);
+    assert_eq!(report.success, 1, "head-of-line request finishes inside its budget");
+    assert_eq!(report.deadline_exceeded, total - 1, "queued requests expire");
+    assert!(
+        matches!(report.completions[0].outcome, Outcome::Success(_)),
+        "id 0 never waited, so its untouched budget covers the inference"
+    );
+    // id 1 was dequeued mid-budget (after ~1 inference of queue wait
+    // against a 1.5-inference budget): it passes the dequeue check,
+    // burns an attempt, and dies between layers.
+    assert_eq!(report.completions[1].outcome, Outcome::DeadlineExceeded);
+    assert!(report.completions[1].attempts >= 1, "id 1 started computing");
+    // ids 2.. expired purely from queue wait: by the time a worker
+    // popped them the budget was already gone, so the dequeue check
+    // fails them without a single attempt.
+    for c in &report.completions[2..] {
+        assert_eq!(c.outcome, Outcome::DeadlineExceeded, "id {} expired in queue", c.id);
+        assert_eq!(c.attempts, 0, "id {} must not consume an attempt", c.id);
+    }
+}
+
 #[test]
 fn breaker_trips_to_parent_and_recovers_deterministically() {
     let mut model = fleet_model(SEED, 1);

@@ -105,6 +105,7 @@ fn malformed_frame_corpus_gets_typed_errors_and_server_survives() {
         trace: 0,
         task: 99,
         deadline_ms: 1000,
+        rung: 0,
         input: RequestInput::Probe(0),
     };
     write_frame(&mut s, &req).unwrap();

@@ -249,6 +249,65 @@ assert any(e['name'] == 'replica_request' for e in ev), 'no stitched replica spa
     else
         grep -q '"name":"replica_request"' "$obs_fd_trace"
     fi
+    # brownout overload smoke (DESIGN.md §13): under sustained load far
+    # above one replica's capacity the fleet must climb the threshold
+    # ladder — rung metrics move, replies brown out — while every
+    # request still reaches a terminal state; and rung 0 must stay
+    # bit-identical, so an unloaded brownout fleet and a --no-brownout
+    # fleet must print the same loadgen logits checksum
+    echo "==> mime serve --listen brownout overload smoke"
+    bo_metrics=target/brownout_smoke.prom
+    bo_log=target/brownout_smoke.log
+    rm -f "$bo_metrics" "$bo_log"
+    timeout 180 ./target/release/mime --metrics-out "$bo_metrics" serve \
+        --listen 127.0.0.1:0 --replicas 1 --tasks 2 > "$bo_log" 2>/dev/null &
+    bo_pid=$!
+    for _ in $(seq 1 100); do
+        grep -q 'listening on' "$bo_log" 2>/dev/null && break
+        sleep 0.2
+    done
+    bo_addr=$(grep -o 'listening on [0-9.:]*' "$bo_log" | awk '{print $3}')
+    [[ -n "$bo_addr" ]] || { echo "FAIL: brownout front door never announced its address" >&2; exit 1; }
+    # parity leg first: unloaded, the controller must hold rung 0
+    bo_quiet=$(timeout 120 ./target/release/mime loadgen --connect "$bo_addr" \
+        --requests 64 --concurrency 1 --tasks 2) \
+        || { echo "FAIL: unloaded loadgen against the brownout fleet" >&2; exit 1; }
+    grep -qF '[64, 0, 0, 0, 0, 0, 0, 0]' <<<"$bo_quiet" \
+        || { echo "FAIL: unloaded brownout fleet left rung 0" >&2; exit 1; }
+    # overload leg: open-loop Poisson arrivals far above one replica's
+    # capacity, enough connections to keep the queue deep
+    timeout 120 ./target/release/mime loadgen --connect "$bo_addr" \
+        --requests 3000 --concurrency 64 --tasks 2 --rate 4000 \
+        --deadline-ms 200 --label brownout-2x --drain >/dev/null \
+        || { echo "FAIL: overload loadgen saw a request with no terminal state" >&2; exit 1; }
+    wait "$bo_pid" || { echo "FAIL: brownout front door crashed or failed to drain" >&2; exit 1; }
+    grep -Eq '^mime_brownout_rung_transitions_total [1-9]' "$bo_metrics" \
+        || { echo "FAIL: overload never moved the brownout rung" >&2; exit 1; }
+    grep -Eq '^mime_replica_rung_total\{rung="[1-7]"\} [1-9]' "$bo_metrics" \
+        || { echo "FAIL: no replica served a browned-out rung" >&2; exit 1; }
+    grep -Eq '^mime_frontdoor_brownout_total [1-9]' "$bo_metrics" \
+        || { echo "FAIL: front door counted no browned-out replies" >&2; exit 1; }
+    # control fleet: --no-brownout serves the identical rung-0 bits
+    nb_metrics=target/brownout_smoke.nobrownout.prom
+    nb_log=target/brownout_smoke.nobrownout.log
+    rm -f "$nb_metrics" "$nb_log"
+    timeout 180 ./target/release/mime --metrics-out "$nb_metrics" serve \
+        --listen 127.0.0.1:0 --replicas 1 --tasks 2 --no-brownout > "$nb_log" 2>/dev/null &
+    nb_pid=$!
+    for _ in $(seq 1 100); do
+        grep -q 'listening on' "$nb_log" 2>/dev/null && break
+        sleep 0.2
+    done
+    nb_addr=$(grep -o 'listening on [0-9.:]*' "$nb_log" | awk '{print $3}')
+    [[ -n "$nb_addr" ]] || { echo "FAIL: control front door never announced its address" >&2; exit 1; }
+    nb_quiet=$(timeout 120 ./target/release/mime loadgen --connect "$nb_addr" \
+        --requests 64 --concurrency 1 --tasks 2 --drain) \
+        || { echo "FAIL: loadgen against the control fleet" >&2; exit 1; }
+    wait "$nb_pid" || { echo "FAIL: control front door crashed or failed to drain" >&2; exit 1; }
+    bo_ck=$(grep 'logits checksum' <<<"$bo_quiet")
+    nb_ck=$(grep 'logits checksum' <<<"$nb_quiet")
+    [[ -n "$bo_ck" && "$bo_ck" == "$nb_ck" ]] \
+        || { echo "FAIL: rung 0 is not bit-identical to --no-brownout ($bo_ck vs $nb_ck)" >&2; exit 1; }
 fi
 
 echo "==> all checks passed"
