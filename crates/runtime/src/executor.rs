@@ -6,9 +6,11 @@ use mime_core::faults::first_non_finite;
 use mime_core::{channel_activity_rescan, MimeError};
 use mime_systolic::{AccessCounters, ArrayConfig, FunctionalArray, LayerGeometry, Mapper};
 use mime_tensor::{
-    conv2d_sparse_with_scratch, matmul_fused_row_into, max_pool2d, ConvScratch, ConvSpec,
-    FusedMask, PoolSpec, PrepackedB, SparseDispatch, Tensor, TensorError,
+    conv2d_sparse_with_scratch, matmul_fused_batch_into, matmul_fused_row_into, max_pool2d,
+    ConvScratch, ConvSpec, FusedMask, PoolSpec, PrepackedB, SparseDispatch, Tensor,
+    TensorError,
 };
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which backend executes a plan's array steps.
@@ -380,52 +382,332 @@ impl HardwareExecutor {
             let activity = channel_activity_rescan(out.as_slice(), geom.k, sites);
             (out, stats, activity)
         };
-        // analytic MAC accounting mirroring the functional array: one MAC
-        // per in-bounds kernel tap, skipping zero activations when
-        // zero_skip is on. Each input pixel feeds span(iy)·span(ix)
-        // output sites, so the tally is O(C·HW²) instead of a tap walk.
-        let spans = tap_spans(geom.in_hw, geom.out_hw, geom.r);
-        let taps: u64 = if zero_skip {
-            let xv = staged.as_slice();
-            let hw = geom.in_hw;
-            let mut taps = 0u64;
-            for ci in 0..geom.c {
-                for (iy, &sy) in spans.iter().enumerate() {
-                    let row = &xv[(ci * hw + iy) * hw..][..hw];
-                    for (&a, &sx) in row.iter().zip(&spans) {
-                        if a != 0.0 {
-                            taps += sy * sx;
+        self.sw_counters.macs +=
+            analytic_taps(staged.as_slice(), geom, zero_skip) * geom.k as u64;
+        publish_sparse_step(&stats, geom);
+        Ok((out, activity))
+    }
+
+    /// Executes a coalesced batch — one image per plan reference — as a
+    /// *single* pass over the shared backbone, hot-swapping only the
+    /// per-sample threshold banks between samples. This is the paper's
+    /// Pipelined batch mode on the real serving path: tasks are
+    /// interleaved inside one batch, the weights stream once, and the
+    /// per-task state swapped per sample is just eq. (2)'s thresholds
+    /// (plus whichever brownout-rung plan variant each request resolved
+    /// to).
+    ///
+    /// See [`run_coalesced_guarded`](Self::run_coalesced_guarded).
+    ///
+    /// # Errors
+    ///
+    /// As [`run_coalesced_guarded`](Self::run_coalesced_guarded).
+    pub fn run_coalesced(
+        &mut self,
+        plans: &[&BoundNetwork],
+        images: &[&Tensor],
+        zero_skip: bool,
+    ) -> crate::Result<Vec<Vec<f32>>> {
+        self.run_coalesced_guarded(plans, images, zero_skip, &mut |_| Ok(()))
+    }
+
+    /// [`run_coalesced`](Self::run_coalesced) with a `guard` hook invoked
+    /// before every backbone step (and once more before the final logits
+    /// check), exactly like [`run_image_guarded`](Self::run_image_guarded)
+    /// — the serving loop uses it for between-layer deadline checks over
+    /// the whole batch.
+    ///
+    /// ## Contract: one backbone, many views
+    ///
+    /// Every plan must be a view over the same frozen backbone: identical
+    /// step structure and layer geometry (checked here), and bit-identical
+    /// weights/biases (`debug_assert`ed; guaranteed by construction for
+    /// MIME plan variants — per-task banks, brownout rungs and stripped
+    /// parents all derive from one parent network, and the serving layer
+    /// verifies weight equality once at image-load time). Per-sample
+    /// thresholds may differ arbitrarily, including being absent entirely
+    /// (degraded or baseline samples).
+    ///
+    /// ## Bit-identity
+    ///
+    /// Each sample's logits are bit-identical to running that sample
+    /// alone through [`run_image_guarded`](Self::run_image_guarded):
+    ///
+    /// * conv steps stack the batch as `[B, C, H, W]` and lower through
+    ///   the same im2col GEMM; each sample's output columns depend only
+    ///   on its own im2col columns, and the depth-window accumulation
+    ///   order per column is independent of how many columns ride along;
+    /// * the channel compactor runs on the *union* of the per-sample
+    ///   activity bitmaps — a channel skipped for the batch is exactly
+    ///   zero in every sample, and the sparse row-compacted GEMM is
+    ///   bit-identical to dense for any valid promise list;
+    /// * threshold/ReLU epilogues and activity rescans run per sample
+    ///   with that sample's own bank, on that sample's output slice;
+    /// * FC steps with the Arc-shared panel set use the batched fused
+    ///   kernel, which computes each sample's row exactly as the
+    ///   single-row kernel does (gated by its own bitwise test) while
+    ///   streaming each weight panel once per batch;
+    /// * pooling is per-sample independent, and the analytic MAC/compare
+    ///   counters are tallied per sample with the serial formula.
+    ///
+    /// A batch of one (nothing to amortize) and the simulated-array path
+    /// (which models one image at a time) delegate to the serial
+    /// reference path.
+    ///
+    /// # Errors
+    ///
+    /// [`MimeError::PlanMismatch`] when the batch is malformed (length
+    /// mismatch, divergent plan structure, wrong image shape);
+    /// otherwise as [`run_image_guarded`](Self::run_image_guarded), with
+    /// the earliest failing sample reported.
+    pub fn run_coalesced_guarded(
+        &mut self,
+        plans: &[&BoundNetwork],
+        images: &[&Tensor],
+        zero_skip: bool,
+        guard: &mut dyn FnMut(usize) -> crate::Result<()>,
+    ) -> crate::Result<Vec<Vec<f32>>> {
+        self.run_coalesced_guarded_with_threads(
+            plans,
+            images,
+            zero_skip,
+            guard,
+            mime_tensor::threads::worker_count(),
+        )
+    }
+
+    /// [`run_coalesced_guarded`](Self::run_coalesced_guarded) with an
+    /// explicit worker count for the batched FC kernel (primarily for
+    /// tests asserting thread-count invariance).
+    ///
+    /// # Errors
+    ///
+    /// As [`run_coalesced_guarded`](Self::run_coalesced_guarded).
+    pub fn run_coalesced_guarded_with_threads(
+        &mut self,
+        plans: &[&BoundNetwork],
+        images: &[&Tensor],
+        zero_skip: bool,
+        guard: &mut dyn FnMut(usize) -> crate::Result<()>,
+        threads: usize,
+    ) -> crate::Result<Vec<Vec<f32>>> {
+        if plans.len() != images.len() {
+            return Err(MimeError::PlanMismatch {
+                what: "coalesced batch",
+                expected: vec![plans.len()],
+                actual: vec![images.len()],
+            });
+        }
+        let b = plans.len();
+        if b == 0 {
+            return Ok(Vec::new());
+        }
+        if b == 1 || self.path == ComputePath::Simulate {
+            let mut logits = Vec::with_capacity(b);
+            for (plan, image) in plans.iter().zip(images) {
+                logits.push(self.run_image_guarded(plan, image, zero_skip, guard)?);
+            }
+            return Ok(logits);
+        }
+        coalescible(plans)?;
+        let lead = plans[0];
+        let expected = vec![lead.in_channels(), lead.input_hw(), lead.input_hw()];
+        for image in images {
+            if *image.dims() != expected[..] {
+                return Err(MimeError::PlanMismatch {
+                    what: "input image",
+                    expected,
+                    actual: image.dims().to_vec(),
+                });
+            }
+        }
+        let profiling = mime_obs::profiling();
+        let mut batch_span =
+            profiling.then(|| mime_obs::trace::span_cat("run_coalesced", "runtime.batch"));
+        if let Some(span) = batch_span.as_mut() {
+            span.arg("batch", b);
+        }
+        let (in_c, hw) = (lead.in_channels(), lead.input_hw());
+        let per_image = in_c * hw * hw;
+        let mut stacked = vec![0.0f32; b * per_image];
+        for (s, image) in images.iter().enumerate() {
+            stacked[s * per_image..][..per_image].copy_from_slice(image.as_slice());
+        }
+        let mut x = Tensor::from_vec(stacked, &[b, in_c, hw, hw])?;
+        // Per-sample activity bitmaps — same promise the serial path
+        // threads between steps, one lane per sample.
+        let mut pending: Vec<Option<Vec<bool>>> = vec![None; b];
+        let steps = lead.steps().len();
+        for index in 0..steps {
+            guard(index)?;
+            match &lead.steps()[index] {
+                BoundLayer::Array { geom, weight, bias, .. } => {
+                    let start = profiling.then(Instant::now);
+                    let sites = geom.sites();
+                    // each sample swaps in its own plan's threshold bank
+                    let mut banks: Vec<Option<&Tensor>> = Vec::with_capacity(b);
+                    for plan in plans {
+                        let BoundLayer::Array { thresholds, .. } = &plan.steps()[index]
+                        else {
+                            unreachable!("coalescible() checked step kinds");
+                        };
+                        if let Some(t) = thresholds {
+                            if t.len() != geom.k * sites {
+                                return Err(TensorError::LengthMismatch {
+                                    expected: geom.k * sites,
+                                    actual: t.len(),
+                                }
+                                .into());
+                            }
+                        }
+                        banks.push(thresholds.as_ref());
+                    }
+                    // analytic MACs per sample, on the pre-GEMM input
+                    // (identical tally to the serial path)
+                    let per_in = geom.c * geom.in_hw * geom.in_hw;
+                    for s in 0..b {
+                        let staged = &x.as_slice()[s * per_in..][..per_in];
+                        self.sw_counters.macs +=
+                            analytic_taps(staged, geom, zero_skip) * geom.k as u64;
+                    }
+                    let out = if let Some(pb) = shared_packed(plans, index) {
+                        // fused prepacked FC fast path: all samples share
+                        // one Arc'd panel set, so each weight panel
+                        // streams exactly once for the whole batch
+                        let xs = x.reshape(&[b, geom.c])?;
+                        let masks: Vec<FusedMask> = banks
+                            .iter()
+                            .map(|t| match t {
+                                Some(t) => FusedMask::Thresholds(t.as_slice()),
+                                None if geom.masked => FusedMask::Relu,
+                                None => FusedMask::None,
+                            })
+                            .collect();
+                        let actives: Vec<Option<&[bool]>> =
+                            pending.iter().map(|p| p.as_deref()).collect();
+                        let n = geom.k * sites;
+                        let mut out = Tensor::zeros(&[b, n]);
+                        let mut activity = Vec::new();
+                        let stats = matmul_fused_batch_into(
+                            &xs,
+                            pb,
+                            bias,
+                            &masks,
+                            &actives,
+                            self.dispatch,
+                            &mut out,
+                            &mut activity,
+                            threads,
+                        )?;
+                        for (s, st) in stats.iter().enumerate() {
+                            if banks[s].is_some() {
+                                self.sw_counters.cmps += n as u64;
+                            }
+                            pending[s] = Some(activity[s * n..][..n].to_vec());
+                            publish_sparse_step(st, geom);
+                        }
+                        out
+                    } else {
+                        // batched conv lowering (or unshared/absent FC
+                        // panels): one im2col + GEMM over [B, C, H, W],
+                        // compacting on the union of the sample bitmaps
+                        let spec = ConvSpec::new(geom.r, 1, (geom.r - 1) / 2)?;
+                        let reshaped;
+                        let x4: &Tensor = if geom.r == 1 {
+                            reshaped = x.reshape(&[b, geom.c, 1, 1])?;
+                            &reshaped
+                        } else {
+                            &x
+                        };
+                        // a channel may only be skipped for the batch if
+                        // it is promised zero in every sample
+                        let union: Option<Vec<bool>> =
+                            pending.iter().all(Option::is_some).then(|| {
+                                let mut u = vec![false; geom.c];
+                                for p in pending.iter().flatten() {
+                                    for (uc, &a) in u.iter_mut().zip(p) {
+                                        *uc |= a;
+                                    }
+                                }
+                                u
+                            });
+                        let (mut out4, stats) = conv2d_sparse_with_scratch(
+                            x4,
+                            weight,
+                            bias,
+                            &spec,
+                            &mut self.scratch,
+                            union.as_deref(),
+                            self.dispatch,
+                        )?;
+                        publish_sparse_step(&stats, geom);
+                        let per_out = geom.k * sites;
+                        let ov = out4.as_mut_slice();
+                        for s in 0..b {
+                            let slice = &mut ov[s * per_out..][..per_out];
+                            if let Some(t) = banks[s] {
+                                // eq. (2): keep iff acc - t >= 0, else
+                                // exact zero — per-sample bank hot-swap
+                                mime_core::apply_thresholds_rescan(slice, t.as_slice());
+                                self.sw_counters.cmps += per_out as u64;
+                            } else if geom.masked {
+                                for v in slice.iter_mut() {
+                                    *v = v.max(0.0);
+                                }
+                            }
+                            pending[s] =
+                                Some(channel_activity_rescan(slice, geom.k, sites));
+                        }
+                        out4
+                    };
+                    if let Some(start) = start {
+                        if mime_obs::metrics_enabled() {
+                            mime_obs::metrics::global()
+                                .histogram_with(
+                                    "mime_runtime_layer_latency_seconds",
+                                    &[("layer", &geom.name)],
+                                    &mime_obs::metrics::SECONDS_BUCKETS,
+                                )
+                                .observe(start.elapsed().as_secs_f64());
                         }
                     }
+                    x = if geom.r == 1 { out.reshape(&[b, geom.k * sites])? } else { out };
+                }
+                BoundLayer::Pool => {
+                    // [B, C, H, W] pools natively; per-sample channel
+                    // bitmaps stay valid (all-zero channels pool to zero)
+                    let pooled = max_pool2d(&x, &PoolSpec::vgg2x2())?;
+                    x = pooled.output;
+                }
+                BoundLayer::Flatten => {
+                    let dims = x.dims().to_vec();
+                    let sites: usize = dims[2..].iter().product();
+                    for p in pending.iter_mut() {
+                        if let Some(act) = p.take() {
+                            *p = Some(
+                                act.iter()
+                                    .flat_map(|&a| std::iter::repeat_n(a, sites))
+                                    .collect(),
+                            );
+                        }
+                    }
+                    x = x.reshape(&[b, dims[1] * sites])?;
                 }
             }
-            taps
-        } else {
-            let total: u64 = spans.iter().sum();
-            geom.c as u64 * total * total
-        };
-        self.sw_counters.macs += taps * geom.k as u64;
-        if mime_obs::metrics_enabled() {
-            // counters only: sums are order-independent, so serial and
-            // parallel batches publish bit-identical series
-            let r = mime_obs::metrics::global();
-            r.counter("mime_sparse_rows_total").add(stats.k_total as u64);
-            r.counter("mime_sparse_rows_skipped_total").add(stats.rows_skipped() as u64);
-            r.counter_with(
-                "mime_sparse_dispatch_total",
-                &[("path", if stats.used_sparse { "sparse" } else { "dense" })],
-            )
-            .add(1);
         }
-        mime_obs::debug!(
-            "runtime.sparse",
-            "gemm dispatch",
-            layer = geom.name,
-            used_sparse = stats.used_sparse,
-            active_rows = stats.k_active,
-            total_rows = stats.k_total
-        );
-        Ok((out, activity))
+        guard(steps)?;
+        let per = x.len() / b;
+        debug_assert_eq!(per, lead.classes());
+        let xv = x.as_slice();
+        let mut logits = Vec::with_capacity(b);
+        for s in 0..b {
+            let slice = &xv[s * per..][..per];
+            if let Some(index) = first_non_finite(slice) {
+                return Err(MimeError::NonFinite { stage: "logits", layer: steps, index });
+            }
+            logits.push(slice.to_vec());
+        }
+        Ok(logits)
     }
 
     /// Executes a pipelined batch of `(plan_index, image)` pairs over a
@@ -690,6 +972,124 @@ fn tap_spans(in_hw: usize, out_hw: usize, r: usize) -> Vec<u64> {
             (hi + 1).saturating_sub(lo) as u64
         })
         .collect()
+}
+
+/// Analytic MAC accounting mirroring the functional array: one MAC per
+/// in-bounds kernel tap, skipping zero activations when `zero_skip` is
+/// on. Each input pixel feeds `span(iy)·span(ix)` output sites, so the
+/// tally is O(C·HW²) instead of a tap walk. Returns taps for one output
+/// channel; multiply by `geom.k`.
+fn analytic_taps(staged: &[f32], geom: &LayerGeometry, zero_skip: bool) -> u64 {
+    let spans = tap_spans(geom.in_hw, geom.out_hw, geom.r);
+    if zero_skip {
+        let hw = geom.in_hw;
+        let mut taps = 0u64;
+        for ci in 0..geom.c {
+            for (iy, &sy) in spans.iter().enumerate() {
+                let row = &staged[(ci * hw + iy) * hw..][..hw];
+                for (&a, &sx) in row.iter().zip(&spans) {
+                    if a != 0.0 {
+                        taps += sy * sx;
+                    }
+                }
+            }
+        }
+        taps
+    } else {
+        let total: u64 = spans.iter().sum();
+        geom.c as u64 * total * total
+    }
+}
+
+/// Sparse-dispatch observability for one GEMM call. Counters only: sums
+/// are order-independent, so serial and parallel batches publish
+/// bit-identical series.
+fn publish_sparse_step(stats: &mime_tensor::SparseStats, geom: &LayerGeometry) {
+    if mime_obs::metrics_enabled() {
+        let r = mime_obs::metrics::global();
+        r.counter("mime_sparse_rows_total").add(stats.k_total as u64);
+        r.counter("mime_sparse_rows_skipped_total").add(stats.rows_skipped() as u64);
+        r.counter_with(
+            "mime_sparse_dispatch_total",
+            &[("path", if stats.used_sparse { "sparse" } else { "dense" })],
+        )
+        .add(1);
+    }
+    mime_obs::debug!(
+        "runtime.sparse",
+        "gemm dispatch",
+        layer = geom.name,
+        used_sparse = stats.used_sparse,
+        active_rows = stats.k_active,
+        total_rows = stats.k_total
+    );
+}
+
+/// Checks that every plan in a coalesced batch is a view over the same
+/// backbone: equal step count/kinds and per-step layer geometry. Weight
+/// equality is not re-verified per batch — it holds by construction for
+/// MIME plan variants (per-task banks, brownout rungs, and stripped
+/// parents all clone one frozen parent) and the serving layer checks it
+/// once at image-load time — but debug builds assert it bit-for-bit.
+fn coalescible(plans: &[&BoundNetwork]) -> crate::Result<()> {
+    let lead = plans[0];
+    for plan in &plans[1..] {
+        let same = plan.classes() == lead.classes()
+            && plan.input_hw() == lead.input_hw()
+            && plan.in_channels() == lead.in_channels()
+            && plan.steps().len() == lead.steps().len()
+            && lead.steps().iter().zip(plan.steps()).all(|(a, b)| match (a, b) {
+                (
+                    BoundLayer::Array { geom: ga, weight: wa, bias: ba, .. },
+                    BoundLayer::Array { geom: gb, weight: wb, bias: bb, .. },
+                ) => {
+                    debug_assert!(
+                        wa.as_slice()
+                            .iter()
+                            .zip(wb.as_slice())
+                            .all(|(x, y)| x.to_bits() == y.to_bits())
+                            && ba
+                                .as_slice()
+                                .iter()
+                                .zip(bb.as_slice())
+                                .all(|(x, y)| x.to_bits() == y.to_bits()),
+                        "coalesced plans must share backbone weights ({})",
+                        ga.name
+                    );
+                    ga == gb
+                }
+                (BoundLayer::Pool, BoundLayer::Pool) => true,
+                (BoundLayer::Flatten, BoundLayer::Flatten) => true,
+                _ => false,
+            });
+        if !same {
+            return Err(MimeError::PlanMismatch {
+                what: "coalesced batch plans",
+                expected: vec![lead.steps().len(), lead.classes()],
+                actual: vec![plan.steps().len(), plan.classes()],
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The panel set shared by every sample's step `index`, if all are
+/// present and literally the same `Arc` (plan variants share panels by
+/// construction; `--no-prepack` leaves them absent). `None` sends the
+/// step down the batched conv lowering instead.
+fn shared_packed<'a>(plans: &[&'a BoundNetwork], index: usize) -> Option<&'a PrepackedB> {
+    let mut first: Option<&'a Arc<PrepackedB>> = None;
+    for plan in plans {
+        let BoundLayer::Array { packed: Some(p), .. } = &plan.steps()[index] else {
+            return None;
+        };
+        match first {
+            None => first = Some(p),
+            Some(f) if Arc::ptr_eq(f, p) => {}
+            Some(_) => return None,
+        }
+    }
+    first.map(|a| a.as_ref())
 }
 
 /// Graceful degradation: a task whose threshold bank fails validation
@@ -1107,6 +1507,123 @@ mod tests {
         .run_batch_parallel(&plans, &batch, true, true)
         .unwrap();
         assert_eq!(auto.logits, dense.logits);
+    }
+
+    #[test]
+    fn coalesced_batch_is_bit_identical_to_serial_per_sample() {
+        let mut plans = three_plans();
+        crate::prepack_plans(&mut plans).unwrap();
+        // resolve plan views the way the replica does: the poisoned task
+        // runs on the stripped parent (graceful degradation), and some
+        // requests arrive with a nonzero brownout rung
+        let parent2 = plans[2].strip_thresholds();
+        let rung_a = plans[0].brownout_rung(4.0);
+        let rung_b = plans[1].brownout_rung(16.0);
+        let views: Vec<&BoundNetwork> = vec![
+            &plans[0], &plans[1], &parent2, &rung_a, &plans[1], &rung_b, &parent2,
+            &plans[0],
+        ];
+        let images: Vec<Tensor> = (0..views.len()).map(salted_probe).collect();
+        let image_refs: Vec<&Tensor> = images.iter().collect();
+        for dispatch in
+            [SparseDispatch::Auto, SparseDispatch::SparseOnly, SparseDispatch::DenseOnly]
+        {
+            let mut exec = HardwareExecutor::with_options(
+                ArrayConfig::eyeriss_65nm(),
+                ComputePath::Software,
+                dispatch,
+            );
+            // serial reference: one run_image per sample
+            let serial: Vec<Vec<f32>> = views
+                .iter()
+                .zip(&images)
+                .map(|(plan, image)| exec.run_image(plan, image, true).unwrap())
+                .collect();
+            let serial_counters = exec.batch_counters();
+            for threads in [1usize, 2, 5] {
+                exec.reset_batch_counters();
+                let coalesced = exec
+                    .run_coalesced_guarded_with_threads(
+                        &views,
+                        &image_refs,
+                        true,
+                        &mut |_| Ok(()),
+                        threads,
+                    )
+                    .unwrap();
+                assert_eq!(coalesced.len(), serial.len());
+                for (s, (a, b)) in coalesced.iter().zip(&serial).enumerate() {
+                    assert_eq!(a.len(), b.len());
+                    let max_abs_diff =
+                        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max);
+                    assert_eq!(
+                        max_abs_diff, 0.0,
+                        "sample {s} diverged ({dispatch:?}, {threads} threads)"
+                    );
+                    // bit-identical, not merely equal-within-epsilon
+                    assert!(a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()));
+                }
+                // analytic MAC/compare tallies match the serial walk
+                assert_eq!(exec.batch_counters().macs, serial_counters.macs);
+                assert_eq!(exec.batch_counters().cmps, serial_counters.cmps);
+            }
+        }
+    }
+
+    #[test]
+    fn coalesced_without_prepacked_panels_matches_serial() {
+        // --no-prepack serving: FC steps fall back to the batched conv
+        // lowering; still bit-identical per sample
+        let plans = three_plans();
+        let views: Vec<&BoundNetwork> = vec![&plans[0], &plans[1], &plans[0], &plans[1]];
+        let images: Vec<Tensor> = (0..views.len()).map(salted_probe).collect();
+        let image_refs: Vec<&Tensor> = images.iter().collect();
+        let mut exec = HardwareExecutor::with_options(
+            ArrayConfig::eyeriss_65nm(),
+            ComputePath::Software,
+            SparseDispatch::Auto,
+        );
+        let serial: Vec<Vec<f32>> = views
+            .iter()
+            .zip(&images)
+            .map(|(plan, image)| exec.run_image(plan, image, true).unwrap())
+            .collect();
+        let coalesced = exec.run_coalesced(&views, &image_refs, true).unwrap();
+        for (a, b) in coalesced.iter().zip(&serial) {
+            assert!(a.iter().zip(b.iter()).all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
+    }
+
+    #[test]
+    fn coalesced_rejects_malformed_batches() {
+        let plans = three_plans();
+        let images: Vec<Tensor> = (0..2).map(salted_probe).collect();
+        let mut exec = HardwareExecutor::with_options(
+            ArrayConfig::eyeriss_65nm(),
+            ComputePath::Software,
+            SparseDispatch::Auto,
+        );
+        // plan/image count mismatch
+        let err =
+            exec.run_coalesced(&[&plans[0]], &[&images[0], &images[1]], true).unwrap_err();
+        assert!(matches!(err, MimeError::PlanMismatch { .. }), "{err}");
+        // wrong image shape
+        let bad = Tensor::zeros(&[3, 16, 16]);
+        let err = exec
+            .run_coalesced(&[&plans[0], &plans[1]], &[&images[0], &bad], true)
+            .unwrap_err();
+        assert!(matches!(err, MimeError::PlanMismatch { .. }), "{err}");
+        // structurally divergent plans (different class count)
+        let arch = vgg16_arch(0.0625, 32, 3, 7, 16);
+        let mut rng = StdRng::seed_from_u64(9);
+        let other = build_network(&arch, &mut rng);
+        let other_plan = BoundNetwork::from_baseline(&arch, &other).unwrap();
+        let err = exec
+            .run_coalesced(&[&plans[0], &other_plan], &[&images[0], &images[1]], true)
+            .unwrap_err();
+        assert!(matches!(err, MimeError::PlanMismatch { .. }), "{err}");
+        // empty batch is fine
+        assert!(exec.run_coalesced(&[], &[], true).unwrap().is_empty());
     }
 
     #[test]

@@ -19,8 +19,8 @@
 //! replicas are being killed under it.
 
 use crate::proto::{
-    write_frame, ErrorCode, Frame, FrameReader, ProtoError, RequestInput, NO_REQUEST_ID,
-    NO_TRACE_ID,
+    write_frame, ErrorCode, Frame, FrameReader, ProtoError, RequestInput, MAX_BATCH_ITEMS,
+    NO_REQUEST_ID, NO_TRACE_ID,
 };
 use crate::replica::{ReplicaProc, ReplicaState, SideChannel};
 use crate::{
@@ -64,6 +64,15 @@ pub struct FrontDoorConfig {
     /// Default per-request budget when a request carries
     /// `deadline_ms == 0`.
     pub deadline: Duration,
+    /// Most requests one dispatch may coalesce into a `BatchRequest`
+    /// (DESIGN.md §15). `1` disables batching; the wire then stays
+    /// byte-identical to the pre-batching protocol.
+    pub max_batch: usize,
+    /// How long a runner holding a partial batch waits for a ride-along
+    /// request once the backlog is empty. Zero (the default) means
+    /// batches form from existing backlog only — an idle fleet adds no
+    /// latency.
+    pub linger: Duration,
     /// Requeue-or-fail policy for requests in flight on a dying replica.
     pub retry: RetryPolicy,
     /// Per-replica breaker over deaths/spawn failures; Open = Cooldown.
@@ -103,6 +112,8 @@ impl Default for FrontDoorConfig {
             tasks: 0,
             queue_capacity: 64,
             deadline: Duration::from_millis(5000),
+            max_batch: 8,
+            linger: Duration::ZERO,
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
             restart_budget: 16,
@@ -219,6 +230,11 @@ struct Shared {
     /// Fleet-wide brownout rung selection (DESIGN.md §13).
     overload: OverloadController,
     replica_meta: Vec<Mutex<ReplicaMeta>>,
+    /// Requests currently dispatched to each slot (batch size while a
+    /// batch is in flight, 0 while the runner waits on the queue).
+    /// Feeds the fair-share batch cap — the pull-model equivalent of
+    /// least-loaded routing — and the `/stats` + metrics surfaces.
+    replica_outstanding: Vec<AtomicUsize>,
 }
 
 impl Shared {
@@ -263,12 +279,18 @@ impl Shared {
 
     fn stats_json(&self) -> String {
         let c = &self.counters;
+        let outstanding: Vec<String> = self
+            .replica_outstanding
+            .iter()
+            .map(|o| o.load(Ordering::Relaxed).to_string())
+            .collect();
         format!(
             "{{\"requests\":{},\"success\":{},\"degraded\":{},\"shed\":{},\
              \"unavailable\":{},\"deadline_exceeded\":{},\"failed\":{},\
              \"bad_frames\":{},\"brownout\":{},\"rung\":{},\"rung_transitions\":{},\
              \"retries\":{},\"restarts\":{},\"spawn_failures\":{},\
-             \"ready_replicas\":{},\"live_replicas\":{},\"in_flight\":{}}}",
+             \"ready_replicas\":{},\"live_replicas\":{},\"in_flight\":{},\
+             \"replica_outstanding\":[{}]}}",
             c.requests.load(Ordering::Relaxed),
             c.success.load(Ordering::Relaxed),
             c.degraded.load(Ordering::Relaxed),
@@ -286,6 +308,7 @@ impl Shared {
             self.ready_replicas.load(Ordering::Relaxed),
             self.live_replicas.load(Ordering::Relaxed),
             self.in_flight.load(Ordering::Relaxed),
+            outstanding.join(","),
         )
     }
 
@@ -330,6 +353,15 @@ impl Shared {
             ("mime_brownout_rung", usize::from(self.overload.current_rung())),
         ] {
             s.gauges.insert((name.to_string(), Vec::new()), v as f64);
+        }
+        for (slot, o) in self.replica_outstanding.iter().enumerate() {
+            s.gauges.insert(
+                (
+                    "mime_frontdoor_replica_outstanding".to_string(),
+                    vec![("replica".to_string(), slot.to_string())],
+                ),
+                o.load(Ordering::Relaxed) as f64,
+            );
         }
         s
     }
@@ -509,6 +541,7 @@ impl FrontDoor {
             replica_meta: (0..replicas)
                 .map(|_| Mutex::new(ReplicaMeta::default()))
                 .collect(),
+            replica_outstanding: (0..replicas).map(|_| AtomicUsize::new(0)).collect(),
         });
         if shared.cfg.obs && trace::enabled() {
             trace::set_process_label(trace::LOCAL_PID, "frontdoor".to_string());
@@ -1107,12 +1140,12 @@ fn runner_loop(shared: &Arc<Shared>, slot: u32) {
                 runner_exit(shared, slot, "queue drained");
                 return;
             }
-            Some(job) => {
+            Some(jobs) => {
                 log_state(slot, ReplicaState::Dead);
                 proc.kill_and_reap();
                 shared.fold_replica_metrics(slot);
                 shared.counters.restarts.fetch_add(1, Ordering::Relaxed);
-                if let Some(job) = job {
+                for job in jobs {
                     requeue_or_fail(shared, slot, job);
                 }
                 breaker.report_failure(
@@ -1196,52 +1229,174 @@ fn backoff_sleep(shared: &Arc<Shared>, consecutive_faults: &mut u32) {
     }
 }
 
-/// Pumps jobs through one live replica. Returns `None` on graceful
-/// queue drain, or `Some(in_flight_job)` when the replica died
-/// (`Some(None)` if it died between requests).
-#[allow(clippy::type_complexity)]
+/// `mime_frontdoor_batch_size` histogram bounds.
+const BATCH_SIZE_BUCKETS: [f64; 6] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+
+/// One admitted job riding a formed batch, with the queue wait the
+/// front door measured at its dequeue (stamped onto its reply).
+struct BatchItem {
+    job: Job,
+    queue_us: u32,
+}
+
+/// Pumps jobs through one live replica, coalescing the backlog into
+/// deadline-aware batches (DESIGN.md §15). Returns `None` on graceful
+/// queue drain, or `Some(jobs)` when the replica died with those jobs
+/// still unanswered (empty if it died between dispatches).
 fn serve_with_replica(
     shared: &Arc<Shared>,
     slot: u32,
     proc: &mut ReplicaProc,
-) -> Option<Option<Job>> {
+) -> Option<Vec<Job>> {
     // Terminal frames for dispatch ids we already answered for the
     // client (its deadline fired first) still arrive; skip them.
     let mut stale: Vec<u64> = Vec::new();
+    // Per-item compute EWMA (µs) feeding the batch-close deadline
+    // check, seeded pessimistically so batches stay small until real
+    // compute numbers arrive.
+    let mut ewma_compute_us: f64 = 5_000.0;
     loop {
-        let job = shared.queue.pop()?;
-        let now = Instant::now();
-        let sojourn = now.duration_since(job.admitted_at);
-        let queue_us = sojourn.as_micros().min(u128::from(u32::MAX)) as u32;
-        // The controller's CoDel signal: queue delay measured at
-        // dequeue, i.e. sojourn through the admission queue.
-        shared.overload.observe_sojourn(now, sojourn);
-        flight::record(FlightKind::Dequeue, job.trace, u64::from(queue_us));
+        let first = shared.queue.pop()?;
+        let Some(first) = dequeue_live(shared, first) else { continue };
+        let mut batch = vec![first];
+        grow_batch(shared, slot, &mut batch, ewma_compute_us);
+        shared.replica_outstanding[slot as usize].store(batch.len(), Ordering::Release);
         if mime_obs::metrics_enabled() {
             mime_obs::metrics::global()
-                .histogram_seconds("mime_frontdoor_queue_wait_seconds")
-                .observe(f64::from(queue_us) * 1e-6);
+                .histogram_with("mime_frontdoor_batch_size", &[], &BATCH_SIZE_BUCKETS)
+                .observe(batch.len() as f64);
         }
-        // Deadline at dequeue: a request that blew its budget in line
-        // is not worth a dispatch.
-        let expiry = job.admitted_at + job.deadline;
-        if now > expiry {
-            shared.overload.observe_deadline_miss(now);
-            let (id, trace) = (job.client_id, job.trace);
-            shared.finish(
-                &job,
-                Frame::ErrorReply {
-                    id,
-                    trace,
-                    code: ErrorCode::DeadlineExceeded,
-                    rung: shared.overload.current_rung(),
-                    retry_after_ms: 0,
-                    message: "expired waiting in the admission queue".into(),
-                },
-            );
-            continue;
+        let outcome =
+            dispatch_batch(shared, slot, proc, batch, &mut stale, &mut ewma_compute_us);
+        shared.replica_outstanding[slot as usize].store(0, Ordering::Release);
+        if let Err(unanswered) = outcome {
+            return Some(unanswered);
         }
-        let remaining = expiry - now;
+    }
+}
+
+/// At-dequeue bookkeeping for one job: sojourn into the overload
+/// controller (the CoDel signal), flight event, queue-wait histogram,
+/// and the deadline check — a request that blew its budget in line is
+/// not worth a dispatch. Returns `None` (job already answered) when it
+/// expired waiting.
+fn dequeue_live(shared: &Arc<Shared>, job: Job) -> Option<BatchItem> {
+    let now = Instant::now();
+    let sojourn = now.duration_since(job.admitted_at);
+    let queue_us = sojourn.as_micros().min(u128::from(u32::MAX)) as u32;
+    shared.overload.observe_sojourn(now, sojourn);
+    flight::record(FlightKind::Dequeue, job.trace, u64::from(queue_us));
+    if mime_obs::metrics_enabled() {
+        mime_obs::metrics::global()
+            .histogram_seconds("mime_frontdoor_queue_wait_seconds")
+            .observe(f64::from(queue_us) * 1e-6);
+    }
+    if now > job.admitted_at + job.deadline {
+        shared.overload.observe_deadline_miss(now);
+        let (id, trace) = (job.client_id, job.trace);
+        shared.finish(
+            &job,
+            Frame::ErrorReply {
+                id,
+                trace,
+                code: ErrorCode::DeadlineExceeded,
+                rung: shared.overload.current_rung(),
+                retry_after_ms: 0,
+                message: "expired waiting in the admission queue".into(),
+            },
+        );
+        return None;
+    }
+    Some(BatchItem { job, queue_us })
+}
+
+/// Grows a freshly started batch from the backlog. Close conditions
+/// (DESIGN.md §15):
+///
+/// * **size** — `cfg.max_batch`, further fair-share capped at
+///   `ceil(backlog / idle_slots)` so one runner never strip-mines a
+///   backlog that other idle replicas could be draining in parallel —
+///   the pull-model form of least-loaded routing;
+/// * **deadline** — one more rider is admitted only while the tightest
+///   in-batch expiry still clears the predicted batch compute time
+///   (`ewma_per_item · (len + 1)` plus a dispatch margin);
+/// * **linger** — with a partial batch and an empty backlog, wait at
+///   most `cfg.linger` for a ride-along (zero: backlog-only batching).
+fn grow_batch(
+    shared: &Arc<Shared>,
+    slot: u32,
+    batch: &mut Vec<BatchItem>,
+    ewma_compute_us: f64,
+) {
+    let max_batch = shared.cfg.max_batch.clamp(1, MAX_BATCH_ITEMS);
+    if max_batch == 1 {
+        return;
+    }
+    let idle_slots = shared
+        .replica_outstanding
+        .iter()
+        .enumerate()
+        .filter(|&(s, o)| s == slot as usize || o.load(Ordering::Acquire) == 0)
+        .count()
+        .max(1);
+    let backlog = shared.queue.depth() + batch.len();
+    let fair_share = backlog.div_ceil(idle_slots);
+    let cap = max_batch.min(fair_share.max(1));
+    let margin = Duration::from_millis(2);
+    let mut tightest = batch
+        .iter()
+        .map(|i| i.job.admitted_at + i.job.deadline)
+        .min()
+        .expect("batch starts non-empty");
+    while batch.len() < cap {
+        let now = Instant::now();
+        let predicted =
+            Duration::from_micros((ewma_compute_us * (batch.len() + 1) as f64) as u64);
+        if now + predicted + margin > tightest {
+            break; // one more rider would endanger the tightest deadline
+        }
+        let next = match shared.queue.try_pop() {
+            Some(job) => job,
+            None if shared.cfg.linger > Duration::ZERO => {
+                let linger = shared
+                    .cfg
+                    .linger
+                    .min((tightest - margin - predicted).saturating_duration_since(now));
+                match shared.queue.pop_timeout(linger) {
+                    Some(job) => job,
+                    None => break,
+                }
+            }
+            None => break,
+        };
+        if let Some(item) = dequeue_live(shared, next) {
+            tightest = tightest.min(item.job.admitted_at + item.job.deadline);
+            batch.push(item);
+        }
+    }
+}
+
+/// Dispatches one formed batch and waits for every item's terminal
+/// frame. A single-item batch encodes as the bare request frame —
+/// byte-identical to the pre-batching wire protocol. On `Err` the
+/// replica died or wedged; the returned jobs are still unanswered and
+/// the caller requeues them.
+fn dispatch_batch(
+    shared: &Arc<Shared>,
+    slot: u32,
+    proc: &mut ReplicaProc,
+    batch: Vec<BatchItem>,
+    stale: &mut Vec<u64>,
+    ewma_compute_us: &mut f64,
+) -> Result<(), Vec<Job>> {
+    let now = Instant::now();
+    let mut items = Vec::with_capacity(batch.len());
+    let mut pending: Vec<(u64, BatchItem)> = Vec::with_capacity(batch.len());
+    let mut max_remaining = Duration::ZERO;
+    for item in batch {
+        let job = &item.job;
+        let remaining = (job.admitted_at + job.deadline).saturating_duration_since(now);
+        max_remaining = max_remaining.max(remaining);
         let dispatch_id = shared.next_dispatch_id.fetch_add(1, Ordering::Relaxed);
         // The rung this request is served at: fleet rung, minus the
         // critical-class grace for pinned tasks. Replicas clamp to
@@ -1254,7 +1409,7 @@ fn serve_with_replica(
             span.arg("rung", rung);
         }
         flight::record(FlightKind::Dispatch, job.trace, u64::from(slot));
-        let sent = proc.send(&Frame::Request {
+        items.push(Frame::Request {
             id: dispatch_id,
             trace: job.trace,
             task: job.task,
@@ -1262,103 +1417,55 @@ fn serve_with_replica(
             rung,
             input: job.input.clone(),
         });
-        if sent.is_err() {
-            return Some(Some(job));
-        }
-        match await_reply(
-            shared,
-            slot,
-            proc,
-            &job,
-            dispatch_id,
-            remaining,
-            queue_us,
-            &mut stale,
-        ) {
-            AwaitOutcome::Terminal => {}
-            AwaitOutcome::Died => return Some(Some(job)),
-        }
+        pending.push((dispatch_id, item));
     }
+    if proc.send(&Frame::BatchRequest { items }).is_err() {
+        return Err(pending.into_iter().map(|(_, i)| i.job).collect());
+    }
+    await_batch_replies(shared, slot, proc, pending, max_remaining, stale, ewma_compute_us)
 }
 
-enum AwaitOutcome {
-    /// The job received its terminal frame (from the replica, or a
-    /// front-door-side deadline).
-    Terminal,
-    /// The replica died or wedged with the job in flight.
-    Died,
-}
-
-/// Waits for the dispatched request's terminal frame, refreshing the
-/// liveness deadline on every heartbeat. A silent replica past the
-/// liveness window is Suspect and killed (the caller handles requeue).
+/// Waits until every dispatched item has its terminal frame, refreshing
+/// the liveness deadline on heartbeats. Accepts both a coalesced
+/// `BatchReply` and bare per-item frames (the 1-item wire form, and
+/// stale singles from before a death). A silent replica past the
+/// liveness window is Suspect and killed; the unanswered jobs ride the
+/// `Err` back for requeue.
 #[allow(clippy::too_many_arguments)]
-fn await_reply(
+fn await_batch_replies(
     shared: &Arc<Shared>,
     slot: u32,
     proc: &mut ReplicaProc,
-    job: &Job,
-    dispatch_id: u64,
-    remaining: Duration,
-    queue_us: u32,
+    mut pending: Vec<(u64, BatchItem)>,
+    max_remaining: Duration,
     stale: &mut Vec<u64>,
-) -> AwaitOutcome {
+    ewma_compute_us: &mut f64,
+) -> Result<(), Vec<Job>> {
     let dispatched = Instant::now();
     let mut last_seen = dispatched;
-    // Absolute cap: the replica enforces the request deadline itself
+    // Absolute cap: the replica enforces each request's deadline itself
     // between layers, so a healthy-but-slow replica answers shortly
-    // after `remaining`; this cap only fires on pathological stalls
-    // that somehow keep heartbeating.
-    let hard_cap = remaining + shared.cfg.liveness + Duration::from_secs(2);
+    // after the longest in-batch budget; this cap only fires on
+    // pathological stalls that somehow keep heartbeating.
+    let hard_cap = max_remaining + shared.cfg.liveness + Duration::from_secs(2);
     loop {
         match proc.recv_timeout(TICK) {
             Ok(Frame::Heartbeat { .. }) => last_seen = Instant::now(),
-            Ok(Frame::Reply {
-                id,
-                trace,
-                degraded,
-                queue_us: _,
-                compute_us,
-                rung,
-                logits,
-            }) => {
+            Ok(Frame::BatchReply { items }) => {
                 last_seen = Instant::now();
-                if id == dispatch_id {
-                    // Stamp the queue wait the front door measured; the
-                    // replica filled in compute_us and echoed the rung
-                    // it actually served at.
-                    let frame = Frame::Reply {
-                        id: job.client_id,
-                        trace,
-                        degraded,
-                        queue_us,
-                        compute_us,
-                        rung,
-                        logits,
-                    };
-                    shared.finish(job, frame);
-                    return AwaitOutcome::Terminal;
+                for frame in items {
+                    settle_one(shared, frame, &mut pending, stale, ewma_compute_us);
                 }
-                stale.retain(|&s| s != id);
+                if pending.is_empty() {
+                    return Ok(());
+                }
             }
-            Ok(Frame::ErrorReply { id, trace, code, rung, retry_after_ms, message }) => {
+            Ok(frame @ (Frame::Reply { .. } | Frame::ErrorReply { .. })) => {
                 last_seen = Instant::now();
-                if id == dispatch_id {
-                    if code == ErrorCode::DeadlineExceeded {
-                        shared.overload.observe_deadline_miss(Instant::now());
-                    }
-                    let frame = Frame::ErrorReply {
-                        id: job.client_id,
-                        trace,
-                        code,
-                        rung,
-                        retry_after_ms,
-                        message,
-                    };
-                    shared.finish(job, frame);
-                    return AwaitOutcome::Terminal;
+                settle_one(shared, frame, &mut pending, stale, ewma_compute_us);
+                if pending.is_empty() {
+                    return Ok(());
                 }
-                stale.retain(|&s| s != id);
             }
             Ok(other) => {
                 mime_obs::warn!(
@@ -1368,7 +1475,9 @@ fn await_reply(
                     frame = format!("{other:?}")
                 );
             }
-            Err(mpsc::RecvTimeoutError::Disconnected) => return AwaitOutcome::Died,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Err(pending.into_iter().map(|(_, i)| i.job).collect());
+            }
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 if last_seen.elapsed() > shared.cfg.liveness {
                     log_state(slot, ReplicaState::Suspect);
@@ -1378,20 +1487,74 @@ fn await_reply(
                         replica = slot,
                         silent_ms = last_seen.elapsed().as_millis() as u64
                     );
-                    return AwaitOutcome::Died;
+                    return Err(pending.into_iter().map(|(_, i)| i.job).collect());
                 }
                 if dispatched.elapsed() > hard_cap {
                     mime_obs::warn!(
                         "serve.frontdoor",
-                        "request overstayed its hard cap; killing replica",
+                        "batch overstayed its hard cap; killing replica",
                         replica = slot,
-                        request = job.client_id
+                        outstanding = pending.len()
                     );
-                    stale.push(dispatch_id);
-                    return AwaitOutcome::Died;
+                    stale.extend(pending.iter().map(|(id, _)| *id));
+                    return Err(pending.into_iter().map(|(_, i)| i.job).collect());
                 }
             }
         }
+    }
+}
+
+/// Routes one replica terminal frame: a dispatch id we are waiting on
+/// is rewritten to the client's request id (with the front door's
+/// measured queue wait stamped in) and finished; anything else clears a
+/// stale entry. Replies also feed the per-item compute EWMA the batch
+/// former predicts with.
+fn settle_one(
+    shared: &Arc<Shared>,
+    frame: Frame,
+    pending: &mut Vec<(u64, BatchItem)>,
+    stale: &mut Vec<u64>,
+    ewma_compute_us: &mut f64,
+) {
+    match frame {
+        Frame::Reply { id, trace, degraded, queue_us: _, compute_us, rung, logits } => {
+            let Some(pos) = pending.iter().position(|(d, _)| *d == id) else {
+                stale.retain(|&s| s != id);
+                return;
+            };
+            let (_, item) = pending.swap_remove(pos);
+            *ewma_compute_us = 0.8 * *ewma_compute_us + 0.2 * f64::from(compute_us);
+            let frame = Frame::Reply {
+                id: item.job.client_id,
+                trace,
+                degraded,
+                queue_us: item.queue_us,
+                compute_us,
+                rung,
+                logits,
+            };
+            shared.finish(&item.job, frame);
+        }
+        Frame::ErrorReply { id, trace, code, rung, retry_after_ms, message } => {
+            let Some(pos) = pending.iter().position(|(d, _)| *d == id) else {
+                stale.retain(|&s| s != id);
+                return;
+            };
+            let (_, item) = pending.swap_remove(pos);
+            if code == ErrorCode::DeadlineExceeded {
+                shared.overload.observe_deadline_miss(Instant::now());
+            }
+            let frame = Frame::ErrorReply {
+                id: item.job.client_id,
+                trace,
+                code,
+                rung,
+                retry_after_ms,
+                message,
+            };
+            shared.finish(&item.job, frame);
+        }
+        _ => unreachable!("settle_one only receives terminal frames"),
     }
 }
 

@@ -65,6 +65,17 @@ const KIND_METRICS_CHUNK: u8 = 12;
 const KIND_REQUEST_V2: u8 = 13;
 const KIND_REPLY_V2: u8 = 14;
 const KIND_ERROR_V2: u8 = 15;
+// v3 batch frames carry several requests (or their terminal replies) in
+// one frame as nested `kind|len|payload` subframes. A batch of exactly
+// one encodes as the bare v1/v2 kind — single-request traffic stays
+// byte-identical to the v2 protocol and older peers never see kinds
+// 16/17 unless real coalescing happened.
+const KIND_BATCH_REQUEST: u8 = 16;
+const KIND_BATCH_REPLY: u8 = 17;
+
+/// Cap on requests coalesced into one `BatchRequest` (and replies in a
+/// `BatchReply`); a hostile count field is rejected before allocation.
+pub const MAX_BATCH_ITEMS: usize = 256;
 
 /// Request input: either a raw `[C, H, W]` tensor, or a deterministic
 /// probe index the replica expands itself (keeps loadgen frames tiny).
@@ -254,6 +265,23 @@ pub enum Frame {
         /// `MetricsSnapshot::encode` bytes (decoded at ingestion).
         snapshot: Vec<u8>,
     },
+    /// Front door → replica: several coalesced [`Frame::Request`]s
+    /// (mixed tasks, mixed rungs) to execute as one batched pass over
+    /// the shared backbone. A batch of one encodes as the bare request
+    /// kind, so batch=1 wire bytes stay identical to the v2 protocol.
+    BatchRequest {
+        /// The coalesced requests, each a [`Frame::Request`], in
+        /// dispatch order (at most [`MAX_BATCH_ITEMS`]).
+        items: Vec<Frame>,
+    },
+    /// Replica → front door: one terminal frame per `BatchRequest`
+    /// item, in the same order — each a [`Frame::Reply`] or
+    /// [`Frame::ErrorReply`]. A batch of one encodes as the bare
+    /// terminal kind.
+    BatchReply {
+        /// Per-item terminal frames, request order.
+        items: Vec<Frame>,
+    },
 }
 
 /// Decode/transport failure.
@@ -428,8 +456,47 @@ fn encode_payload(frame: &Frame) -> (u8, Vec<u8>) {
             p.extend_from_slice(&snapshot[..n]);
             KIND_METRICS_CHUNK
         }
+        Frame::BatchRequest { items } => {
+            // A 1-item batch is the bare request — byte-identical to
+            // the v2 protocol, so uncoalesced traffic never changes.
+            if items.len() == 1 {
+                return encode_payload(&items[0]);
+            }
+            debug_assert!(
+                items.iter().all(|f| matches!(f, Frame::Request { .. })),
+                "batch request items must be Request frames"
+            );
+            put_subframes(&mut p, items);
+            KIND_BATCH_REQUEST
+        }
+        Frame::BatchReply { items } => {
+            if items.len() == 1 {
+                return encode_payload(&items[0]);
+            }
+            debug_assert!(
+                items
+                    .iter()
+                    .all(|f| matches!(f, Frame::Reply { .. } | Frame::ErrorReply { .. })),
+                "batch reply items must be terminal frames"
+            );
+            put_subframes(&mut p, items);
+            KIND_BATCH_REPLY
+        }
     };
     (kind, p)
+}
+
+/// Encodes `items` as nested `kind|len|payload` subframes, preceded by
+/// a u16 count (capped at [`MAX_BATCH_ITEMS`]).
+fn put_subframes(p: &mut Vec<u8>, items: &[Frame]) {
+    let n = items.len().min(MAX_BATCH_ITEMS);
+    put_u16(p, n as u16);
+    for item in &items[..n] {
+        let (kind, payload) = encode_payload(item);
+        p.push(kind);
+        put_u32(p, payload.len() as u32);
+        p.extend_from_slice(&payload);
+    }
 }
 
 /// Writes one frame (header + payload) and flushes.
@@ -508,6 +575,35 @@ fn decode_str(c: &mut Cursor<'_>, what: &str) -> Result<String, ProtoError> {
         return Err(malformed(format!("{what} length {n} exceeds {MAX_SPAN_STR}")));
     }
     Ok(String::from_utf8_lossy(c.take(n, what)?).into_owned())
+}
+
+/// Decodes the nested subframes of a batch frame: a u16 count, then
+/// `count` inner `kind|len|payload` records whose kinds must satisfy
+/// `kind_ok` (nesting batch frames inside batch frames is rejected, so
+/// decode recursion is bounded at depth two).
+fn take_subframes(
+    c: &mut Cursor<'_>,
+    what: &str,
+    kind_ok: impl Fn(u8) -> bool,
+) -> Result<Vec<Frame>, ProtoError> {
+    let n = c.u16(what)? as usize;
+    if !(2..=MAX_BATCH_ITEMS).contains(&n) {
+        return Err(malformed(format!(
+            "{what} item count {n} out of range (2..={MAX_BATCH_ITEMS}; \
+             single items use the bare frame kind)"
+        )));
+    }
+    let mut items = Vec::with_capacity(n);
+    for _ in 0..n {
+        let kind = c.u8("subframe kind")?;
+        if !kind_ok(kind) {
+            return Err(malformed(format!("kind {kind} not allowed in a {what}")));
+        }
+        let len = c.u32("subframe length")? as usize;
+        let raw = c.take(len, "subframe payload")?;
+        items.push(decode_payload(kind, raw)?);
+    }
+    Ok(items)
 }
 
 fn decode_f32s(c: &mut Cursor<'_>, n: usize, what: &str) -> Result<Vec<f32>, ProtoError> {
@@ -673,6 +769,20 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
             let snapshot = c.take(n, "snapshot bytes")?.to_vec();
             c.done("metrics chunk")?;
             Frame::MetricsChunk { replica, snapshot }
+        }
+        KIND_BATCH_REQUEST => {
+            let items = take_subframes(&mut c, "batch request", |k| {
+                matches!(k, KIND_REQUEST | KIND_REQUEST_V2)
+            })?;
+            c.done("batch request")?;
+            Frame::BatchRequest { items }
+        }
+        KIND_BATCH_REPLY => {
+            let items = take_subframes(&mut c, "batch reply", |k| {
+                matches!(k, KIND_REPLY | KIND_REPLY_V2 | KIND_ERROR | KIND_ERROR_V2)
+            })?;
+            c.done("batch reply")?;
+            Frame::BatchReply { items }
         }
         other => return Err(malformed(format!("unknown frame kind {other}"))),
     };
@@ -1153,6 +1263,130 @@ mod tests {
         assert_eq!(frames.len(), 2);
         assert!(matches!(frames[0], Frame::Reply { id: 5, .. }));
         assert!(matches!(frames[1], Frame::Heartbeat { seq: 2, .. }));
+    }
+
+    fn req(id: u64, task: u32, rung: u8) -> Frame {
+        Frame::Request {
+            id,
+            trace: id + 100,
+            task,
+            deadline_ms: 900,
+            rung,
+            input: RequestInput::Probe(id as u32),
+        }
+    }
+
+    #[test]
+    fn batch_frames_round_trip_mixed_tasks_and_rungs() {
+        round_trip(Frame::BatchRequest {
+            items: vec![req(1, 0, 0), req(2, 1, 3), req(3, 2, 0)],
+        });
+        round_trip(Frame::BatchReply {
+            items: vec![
+                Frame::Reply {
+                    id: 1,
+                    trace: 101,
+                    degraded: false,
+                    queue_us: 5,
+                    compute_us: 9,
+                    rung: 0,
+                    logits: vec![1.0, -2.0],
+                },
+                Frame::ErrorReply {
+                    id: 2,
+                    trace: 102,
+                    code: ErrorCode::DeadlineExceeded,
+                    rung: 1,
+                    retry_after_ms: 0,
+                    message: "late".into(),
+                },
+                Frame::Reply {
+                    id: 3,
+                    trace: 103,
+                    degraded: true,
+                    queue_us: 0,
+                    compute_us: 2,
+                    rung: 2,
+                    logits: vec![0.5],
+                },
+            ],
+        });
+    }
+
+    /// A batch of exactly one must encode as the bare v1/v2 kind with
+    /// byte-identical payload — uncoalesced traffic never changes on
+    /// the wire, which is the v2 compatibility contract.
+    #[test]
+    fn single_item_batch_encodes_as_bare_v2_frame() {
+        for single in [req(7, 2, 0), req(8, 1, 3)] {
+            let (bare_kind, bare_payload) = encode_payload(&single);
+            let (kind, payload) =
+                encode_payload(&Frame::BatchRequest { items: vec![single.clone()] });
+            assert_eq!(kind, bare_kind);
+            assert_eq!(payload, bare_payload);
+            assert!(kind != KIND_BATCH_REQUEST);
+        }
+        let reply = Frame::Reply {
+            id: 7,
+            trace: 9,
+            degraded: false,
+            queue_us: 1,
+            compute_us: 2,
+            rung: 0,
+            logits: vec![1.0],
+        };
+        let (bare_kind, bare_payload) = encode_payload(&reply);
+        let (kind, payload) =
+            encode_payload(&Frame::BatchReply { items: vec![reply.clone()] });
+        assert_eq!((kind, &payload), (bare_kind, &bare_payload));
+        assert_eq!(bare_kind, KIND_REPLY);
+    }
+
+    #[test]
+    fn batch_decode_rejects_hostile_payloads() {
+        // count 0 / 1 / over the cap
+        for n in [0u16, 1, (MAX_BATCH_ITEMS + 1) as u16] {
+            let mut p = Vec::new();
+            put_u16(&mut p, n);
+            assert!(decode_payload(KIND_BATCH_REQUEST, &p).is_err(), "count {n}");
+        }
+        // a nested batch frame (recursion is bounded at depth two)
+        let inner = encode_payload(&req(1, 0, 0));
+        let mut p = Vec::new();
+        put_u16(&mut p, 2);
+        p.push(KIND_BATCH_REQUEST);
+        put_u32(&mut p, 0);
+        p.push(inner.0);
+        put_u32(&mut p, inner.1.len() as u32);
+        p.extend_from_slice(&inner.1);
+        assert!(decode_payload(KIND_BATCH_REQUEST, &p).is_err());
+        // a reply kind inside a batch request
+        let reply = Frame::Reply {
+            id: 1,
+            trace: 0,
+            degraded: false,
+            queue_us: 0,
+            compute_us: 0,
+            rung: 0,
+            logits: vec![1.0],
+        };
+        let (rk, rp) = encode_payload(&reply);
+        let mut p = Vec::new();
+        put_u16(&mut p, 2);
+        for _ in 0..2 {
+            p.push(rk);
+            put_u32(&mut p, rp.len() as u32);
+            p.extend_from_slice(&rp);
+        }
+        assert!(decode_payload(KIND_BATCH_REQUEST, &p).is_err());
+        // truncated subframe payload
+        let (k, payload) = encode_payload(&req(1, 0, 0));
+        let mut p = Vec::new();
+        put_u16(&mut p, 2);
+        p.push(k);
+        put_u32(&mut p, payload.len() as u32 + 8); // lies about length
+        p.extend_from_slice(&payload);
+        assert!(decode_payload(KIND_BATCH_REQUEST, &p).is_err());
     }
 
     #[test]

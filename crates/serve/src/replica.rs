@@ -20,10 +20,11 @@ use crate::proto::{
 use mime_core::MimeError;
 use mime_obs::flight::{self, FlightKind};
 use mime_runtime::{
-    derive_ladders, BoundNetwork, BrownoutLadder, ComputePath, HardwareExecutor,
-    LadderConfig, SparseDispatch,
+    derive_ladders, BoundLayer, BoundNetwork, BrownoutLadder, ComputePath,
+    HardwareExecutor, LadderConfig, SparseDispatch,
 };
 use mime_systolic::ArrayConfig;
+use mime_tensor::Tensor;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::mpsc;
@@ -172,6 +173,19 @@ pub fn run_replica_worker(
     )
     .map_err(|e| ProtoError::Malformed(format!("brownout ladder derivation: {e}")))?;
     let mut exec = HardwareExecutor::with_options(hw, cfg.path, cfg.dispatch);
+    // Verified once, off the request path: batch coalescing requires
+    // every task plan to be a view over ONE backbone (the MIME
+    // invariant). A mixed-weight image — e.g. conventional per-task
+    // baselines packed together — serves batches through the serial
+    // per-item path instead.
+    let coalesce = shares_backbone(plans);
+    if !coalesce && plans.len() > 1 {
+        mime_obs::warn!(
+            "serve.replica",
+            "plans do not share one backbone; batch coalescing disabled",
+            replica = cfg.replica
+        );
+    }
     let mut served = 0usize;
     let mut heartbeat_seq = 0u64;
     let mut last_full_ship = std::time::Instant::now();
@@ -215,6 +229,44 @@ pub fn run_replica_worker(
             Frame::Request { id, trace, task, deadline_ms, rung, input } => {
                 (id, trace, task, deadline_ms, rung, input)
             }
+            Frame::BatchRequest { items } => {
+                served += 1;
+                let inject = cfg.fault_every > 0 && served.is_multiple_of(cfg.fault_every);
+                if inject && cfg.fault == ReplicaFault::Abort {
+                    mime_obs::warn!(
+                        "serve.replica",
+                        "injected abort",
+                        replica = cfg.replica,
+                        batch = items.len()
+                    );
+                    flight::dump_now("abort");
+                    std::process::abort();
+                }
+                let reply = serve_batch(
+                    &mut exec,
+                    plans,
+                    &parents,
+                    &ladders,
+                    coalesce,
+                    &cfg,
+                    items,
+                    if inject { cfg.fault } else { ReplicaFault::None },
+                    &mut heartbeat_seq,
+                    output,
+                )?;
+                if let Frame::BatchReply { items } = &reply {
+                    for item in items {
+                        let trace = match item {
+                            Frame::Reply { trace, .. }
+                            | Frame::ErrorReply { trace, .. } => *trace,
+                            _ => 0,
+                        };
+                        flight::record(FlightKind::Terminal, trace, terminal_detail(item));
+                    }
+                }
+                emit_terminal(&cfg, output, &mut last_full_ship, &reply)?;
+                continue;
+            }
             other => {
                 return Err(ProtoError::Malformed(format!(
                     "unexpected frame on replica control pipe: {other:?}"
@@ -256,32 +308,45 @@ pub fn run_replica_worker(
             output,
         )?;
         flight::record(FlightKind::Terminal, trace, terminal_detail(&reply));
-        if cfg.obs {
-            record_replica_outcome(&reply);
-            // Ship spans/metrics *before* the terminal frame: once the
-            // supervisor sees the reply, this request's spans are
-            // already ingested — drain order is what makes the stitched
-            // trace complete for every terminated request. Scalar
-            // counters ship every request (cheap map copies, keeps the
-            // live scrape exact); full snapshots with histogram bucket
-            // arrays are throttled — cloning and re-decoding every
-            // bucket vector per request measurably slowed the serving
-            // path. The obs frames and the reply coalesce into ONE
-            // pipe write: separate writes meant separate reader-thread
-            // wakeups per request, which also showed up in p50.
-            let full = last_full_ship.elapsed() >= FULL_SNAPSHOT_INTERVAL;
-            let mut batch: Vec<u8> = Vec::with_capacity(256);
-            ship_obs_frames(cfg.replica, &mut batch, full)?;
-            if full {
-                last_full_ship = std::time::Instant::now();
-            }
-            write_frame(&mut batch, &reply).map_err(ProtoError::Io)?;
-            output.write_all(&batch).map_err(ProtoError::Io)?;
-            output.flush().map_err(ProtoError::Io)?;
-        } else {
-            write_frame(output, &reply).map_err(ProtoError::Io)?;
-        }
+        emit_terminal(&cfg, output, &mut last_full_ship, &reply)?;
     }
+}
+
+/// Writes a terminal frame, with observability shipped first when
+/// enabled. Ship spans/metrics *before* the terminal frame: once the
+/// supervisor sees the reply, this request's spans are already ingested
+/// — drain order is what makes the stitched trace complete for every
+/// terminated request. Scalar counters ship every request (cheap map
+/// copies, keeps the live scrape exact); full snapshots with histogram
+/// bucket arrays are throttled — cloning and re-decoding every bucket
+/// vector per request measurably slowed the serving path. The obs
+/// frames and the reply coalesce into ONE pipe write: separate writes
+/// meant separate reader-thread wakeups per request, which also showed
+/// up in p50.
+fn emit_terminal(
+    cfg: &ReplicaWorkerConfig,
+    output: &mut impl Write,
+    last_full_ship: &mut Instant,
+    reply: &Frame,
+) -> Result<(), ProtoError> {
+    if cfg.obs {
+        match reply {
+            Frame::BatchReply { items } => items.iter().for_each(record_replica_outcome),
+            _ => record_replica_outcome(reply),
+        }
+        let full = last_full_ship.elapsed() >= FULL_SNAPSHOT_INTERVAL;
+        let mut batch: Vec<u8> = Vec::with_capacity(256);
+        ship_obs_frames(cfg.replica, &mut batch, full)?;
+        if full {
+            *last_full_ship = Instant::now();
+        }
+        write_frame(&mut batch, reply).map_err(ProtoError::Io)?;
+        output.write_all(&batch).map_err(ProtoError::Io)?;
+        output.flush().map_err(ProtoError::Io)?;
+    } else {
+        write_frame(output, reply).map_err(ProtoError::Io)?;
+    }
+    Ok(())
 }
 
 /// Outcome code stored in a `Terminal` flight event: 0 = ok,
@@ -531,6 +596,254 @@ fn serve_one(
                 },
             }
         }
+    })
+}
+
+/// Drives one coalesced batch to its [`Frame::BatchReply`] (one
+/// terminal sub-frame per item, in request order).
+///
+/// Each item resolves its plan view exactly as [`serve_one`] would:
+/// unknown task → typed error; a rung beyond the validated ladder or an
+/// invalid threshold bank → the thresholds-stripped parent, marked
+/// degraded. All runnable items then execute as ONE pass over the
+/// shared backbone ([`HardwareExecutor::run_coalesced_guarded`]) — the
+/// weights stream once for the whole batch and only per-sample
+/// threshold banks are swapped between samples — so per-item logits are
+/// bit-identical to serial serving.
+///
+/// The batch runs under the loosest in-batch deadline budget (the front
+/// door already closed the batch window against the *tightest* one);
+/// items whose own budget lapsed by the end fail individually with
+/// `DeadlineExceeded`. A whole-batch failure (deadline, malformed
+/// input, non-finite logits, or a mixed-weight image with coalescing
+/// disabled) falls back to the serial per-item path, preserving
+/// single-request semantics — parent fallback included.
+#[allow(clippy::too_many_arguments)]
+fn serve_batch(
+    exec: &mut HardwareExecutor,
+    plans: &[BoundNetwork],
+    parents: &[BoundNetwork],
+    ladders: &[BrownoutLadder],
+    coalesce: bool,
+    cfg: &ReplicaWorkerConfig,
+    items: Vec<Frame>,
+    fault: ReplicaFault,
+    heartbeat_seq: &mut u64,
+    output: &mut impl Write,
+) -> Result<Frame, ProtoError> {
+    struct Req {
+        id: u64,
+        trace: u64,
+        task: u32,
+        deadline_ms: u32,
+        rung: u8,
+    }
+    let mut reqs = Vec::with_capacity(items.len());
+    let mut inputs = Vec::with_capacity(items.len());
+    for item in items {
+        match item {
+            Frame::Request { id, trace, task, deadline_ms, rung, input } => {
+                flight::record(FlightKind::Dequeue, trace, u64::from(task));
+                reqs.push(Req { id, trace, task, deadline_ms, rung });
+                inputs.push(input);
+            }
+            other => {
+                // the decoder already rejects these on the wire; guard
+                // against in-process construction too
+                return Err(ProtoError::Malformed(format!(
+                    "unexpected frame inside BatchRequest: {other:?}"
+                )));
+            }
+        }
+    }
+    let mut span = mime_obs::trace::span_cat("replica_batch", "serve.replica");
+    if span.is_active() {
+        span.arg("batch", reqs.len());
+        span.arg("replica", cfg.replica);
+    }
+    let mut replies: Vec<Option<Frame>> = (0..reqs.len()).map(|_| None).collect();
+    // (item index, plan view, degraded, image, budget)
+    let mut run: Vec<(usize, &BoundNetwork, bool, Tensor, Duration)> =
+        Vec::with_capacity(reqs.len());
+    for (i, r) in reqs.iter().enumerate() {
+        let Some(ladder) = ladders.get(r.task as usize) else {
+            replies[i] = Some(Frame::ErrorReply {
+                id: r.id,
+                trace: r.trace,
+                code: ErrorCode::UnknownTask,
+                rung: r.rung,
+                retry_after_ms: 0,
+                message: format!("task {} of {}", r.task, plans.len()),
+            });
+            continue;
+        };
+        let (plan, beyond_ladder) = if (r.rung as usize) < ladder.len() {
+            (ladder.plan(r.rung as usize), false)
+        } else {
+            (&parents[r.task as usize], true)
+        };
+        // pre-substitute the degradation serial serving reaches: an
+        // invalid bank never runs the primary path
+        let (plan, degraded) = if plan.validate_thresholds().is_ok() {
+            (plan, beyond_ladder)
+        } else {
+            (&parents[r.task as usize], true)
+        };
+        let image = match &inputs[i] {
+            RequestInput::Probe(p) => crate::proto::probe_image(*p as usize),
+            RequestInput::Tensor(t) => t.clone(),
+        };
+        let budget = if r.deadline_ms == 0 {
+            cfg.default_deadline
+        } else {
+            Duration::from_millis(u64::from(r.deadline_ms))
+        };
+        run.push((i, plan, degraded, image, budget));
+    }
+    if !run.is_empty() {
+        let started = Instant::now();
+        let mut last_beat = started;
+        let max_budget = run.iter().map(|(.., b)| *b).max().unwrap();
+        let lead_trace = reqs[run[0].0].trace;
+        let views: Vec<&BoundNetwork> = run.iter().map(|&(_, p, ..)| p).collect();
+        let images: Vec<&Tensor> = run.iter().map(|(_, _, _, img, _)| img).collect();
+        let mut coalesced: Option<Vec<Vec<f32>>> = None;
+        if coalesce {
+            match exec.run_coalesced_guarded(&views, &images, cfg.zero_skip, &mut |step| {
+                match fault {
+                    ReplicaFault::Hang => loop {
+                        std::thread::sleep(Duration::from_secs(3600));
+                    },
+                    ReplicaFault::Slow => std::thread::sleep(cfg.slow_layer),
+                    _ => {}
+                }
+                flight::record(FlightKind::Layer, lead_trace, step as u64);
+                if last_beat.elapsed() >= cfg.heartbeat / 2 {
+                    *heartbeat_seq += 1;
+                    write_frame(
+                        output,
+                        &Frame::Heartbeat { seq: *heartbeat_seq, trace: lead_trace },
+                    )
+                    .map_err(|e| MimeError::io("replica control pipe", &e))?;
+                    last_beat = Instant::now();
+                }
+                let elapsed = started.elapsed();
+                if elapsed > max_budget {
+                    return Err(MimeError::DeadlineExceeded {
+                        task: "batch".to_string(),
+                        over_ms: (elapsed - max_budget).as_millis() as u64,
+                    });
+                }
+                Ok(())
+            }) {
+                Ok(logits) => coalesced = Some(logits),
+                Err(e) => {
+                    mime_obs::warn!(
+                        "serve.replica",
+                        "coalesced batch failed; serving items serially",
+                        replica = cfg.replica,
+                        batch = views.len(),
+                        error = e
+                    );
+                }
+            }
+        }
+        match coalesced {
+            Some(all_logits) => {
+                let elapsed = started.elapsed();
+                // per-item compute attribution: an equal share of the
+                // one backbone pass (what the front door's batch-close
+                // EWMA consumes)
+                let share_us = (elapsed.as_micros() / run.len().max(1) as u128)
+                    .min(u128::from(u32::MAX)) as u32;
+                for ((i, _, degraded, _, budget), logits) in run.iter().zip(all_logits) {
+                    let r = &reqs[*i];
+                    replies[*i] = Some(if elapsed > *budget {
+                        Frame::ErrorReply {
+                            id: r.id,
+                            trace: r.trace,
+                            code: ErrorCode::DeadlineExceeded,
+                            rung: r.rung,
+                            retry_after_ms: 0,
+                            message: format!(
+                                "{}ms over budget (batched)",
+                                (elapsed - *budget).as_millis()
+                            ),
+                        }
+                    } else {
+                        Frame::Reply {
+                            id: r.id,
+                            trace: r.trace,
+                            degraded: *degraded,
+                            queue_us: 0,
+                            compute_us: share_us,
+                            rung: r.rung,
+                            logits,
+                        }
+                    });
+                }
+            }
+            None => {
+                for (i, _, _, image, _) in &run {
+                    let r = &reqs[*i];
+                    replies[*i] = Some(serve_one(
+                        exec,
+                        plans,
+                        parents,
+                        ladders,
+                        cfg,
+                        r.id,
+                        r.trace,
+                        r.task,
+                        r.deadline_ms,
+                        r.rung,
+                        RequestInput::Tensor(image.clone()),
+                        fault,
+                        heartbeat_seq,
+                        output,
+                    )?);
+                }
+            }
+        }
+    }
+    Ok(Frame::BatchReply {
+        items: replies
+            .into_iter()
+            .map(|r| r.expect("every batch item resolves to a terminal frame"))
+            .collect(),
+    })
+}
+
+/// Whether every plan is a view over ONE backbone, bit-for-bit (weights
+/// and biases). Checked once at startup — this is what licenses running
+/// a mixed-task batch through a single coalesced pass using the lead
+/// plan's weights.
+fn shares_backbone(plans: &[BoundNetwork]) -> bool {
+    let Some((lead, rest)) = plans.split_first() else { return true };
+    rest.iter().all(|p| {
+        p.steps().len() == lead.steps().len()
+            && lead.steps().iter().zip(p.steps()).all(|(a, b)| match (a, b) {
+                (
+                    BoundLayer::Array { weight: wa, bias: ba, .. },
+                    BoundLayer::Array { weight: wb, bias: bb, .. },
+                ) => {
+                    wa.len() == wb.len()
+                        && ba.len() == bb.len()
+                        && wa
+                            .as_slice()
+                            .iter()
+                            .zip(wb.as_slice())
+                            .all(|(x, y)| x.to_bits() == y.to_bits())
+                        && ba
+                            .as_slice()
+                            .iter()
+                            .zip(bb.as_slice())
+                            .all(|(x, y)| x.to_bits() == y.to_bits())
+                }
+                (BoundLayer::Pool, BoundLayer::Pool) => true,
+                (BoundLayer::Flatten, BoundLayer::Flatten) => true,
+                _ => false,
+            })
     })
 }
 
@@ -902,6 +1215,74 @@ mod tests {
             }
             other => panic!("expected degraded Reply, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn worker_batch_reply_is_bit_identical_to_serial_requests() {
+        let (plans, hw) = tiny_plans(3);
+        let cfg = ReplicaWorkerConfig::default();
+        let mk = |id: u64, task: u32, rung: u8| Frame::Request {
+            id,
+            trace: 200 + id,
+            task,
+            deadline_ms: 0,
+            rung,
+            input: RequestInput::Probe(id as u32),
+        };
+        // mixed tasks, mixed rungs, one unknown task in the middle
+        let items = vec![mk(1, 0, 0), mk(2, 1, 1), mk(3, 9, 0), mk(4, 2, 0), mk(5, 0, 3)];
+        let mut serial_in: Vec<Frame> = items.clone();
+        serial_in.push(Frame::Shutdown);
+        let serial = roundtrip_worker(&plans, hw, cfg, &serial_in);
+        let batched = roundtrip_worker(
+            &plans,
+            hw,
+            cfg,
+            &[Frame::BatchRequest { items: items.clone() }, Frame::Shutdown],
+        );
+        let batch_reply = batched
+            .iter()
+            .find_map(|f| match f {
+                Frame::BatchReply { items } => Some(items),
+                _ => None,
+            })
+            .expect("one BatchReply");
+        assert_eq!(batch_reply.len(), items.len());
+        let serial_terminals: Vec<&Frame> = serial
+            .iter()
+            .filter(|f| matches!(f, Frame::Reply { .. } | Frame::ErrorReply { .. }))
+            .collect();
+        assert_eq!(serial_terminals.len(), items.len());
+        for (got, want) in batch_reply.iter().zip(serial_terminals) {
+            match (got, want) {
+                (
+                    Frame::Reply { id: ga, degraded: da, rung: ra, logits: la, .. },
+                    Frame::Reply { id: gb, degraded: db, rung: rb, logits: lb, .. },
+                ) => {
+                    assert_eq!(ga, gb);
+                    assert_eq!(da, db);
+                    assert_eq!(ra, rb);
+                    assert_eq!(la.len(), lb.len());
+                    assert!(
+                        la.iter().zip(lb).all(|(x, y)| x.to_bits() == y.to_bits()),
+                        "batched logits diverged from serial for id {ga}"
+                    );
+                }
+                (
+                    Frame::ErrorReply { id: ga, code: ca, .. },
+                    Frame::ErrorReply { id: gb, code: cb, .. },
+                ) => {
+                    assert_eq!(ga, gb);
+                    assert_eq!(ca, cb);
+                }
+                other => panic!("terminal kind diverged: {other:?}"),
+            }
+        }
+        // the unknown task surfaced as a typed error in position
+        assert!(matches!(
+            batch_reply[2],
+            Frame::ErrorReply { id: 3, code: ErrorCode::UnknownTask, .. }
+        ));
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub(crate) const KC: usize = 384;
 /// L2 and every `MR`-row block streams it from DRAM). Each output
 /// element still belongs to exactly one column block and sees depth
 /// chunks in ascending order, so blocking changes no result bits.
-const NC: usize = 1024;
+pub(crate) const NC: usize = 1024;
 
 fn check_matrix(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     if t.rank() != 2 {

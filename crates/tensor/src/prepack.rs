@@ -40,19 +40,31 @@
 //! fused path stays bit-identical to the dispatched unfused path.
 
 use crate::matmul::{
-    isa, pack_a, pack_b_chunk, tile, ALayout, BLayout, Isa, KC, THREAD_MIN_MACS,
+    isa, pack_a, pack_b_chunk, tile, ALayout, BLayout, Isa, KC, NC, THREAD_MIN_MACS,
 };
 use crate::{
     Result, SparseDispatch, SparseStats, Tensor, TensorError, MR, NR, SPARSE_ACTIVE_MAX,
 };
 
-/// A `B` operand packed once into the blocked microkernel layout:
-/// `⌈n/NR⌉` panels of [`NR`] columns, `p`-major, each panel `k×NR`
-/// floats contiguous (the final partial panel is zero-padded). Panel
-/// `jp` starts at `jp·k·NR`; the `KC` depth window at `p0` is the
-/// contiguous `kb·NR` slice at offset `p0·NR` within a panel — exactly
-/// the layout [`crate::matmul`]'s per-call packer produces, so the same
-/// microkernels stream it with unit stride.
+/// A `B` operand packed once into the blocked microkernel layout,
+/// stored **`KC`-window-major**: for each depth window `p0..p0+kb` (the
+/// same `KC` windows the GEMM drivers iterate), the `⌈n/NR⌉` panels'
+/// `kb×NR` window slices sit contiguously — window `p0` starts at
+/// `p0·⌈n/NR⌉·NR`, and panel `jp`'s slice within it at `jp·kb·NR`. Each
+/// window region is therefore byte-for-byte the packed block
+/// [`crate::matmul`]'s per-call packer builds for that window (column
+/// range `0..n`), so the unmodified microkernels stream it with unit
+/// stride.
+///
+/// Window-major beats the earlier panel-major (full-depth `k×NR` panels
+/// side by side) on wide-`k` operands: panel-major put one window's
+/// slices at stride `k·NR` floats apart — for the conv-lowered shapes
+/// (`k` ≥ 1152) that stride is a near power-of-two byte multiple, so
+/// the ~50 slices of one resident window collided on a handful of L2
+/// cache colors and the row sweeps conflict-missed on every pass,
+/// losing 20–30 % to pack-per-call dense. Window-major keeps the
+/// resident window one contiguous block, exactly as cache-friendly as
+/// the dense driver's scratch block.
 ///
 /// Build it once per weight matrix at model-load time and share it
 /// read-only (e.g. behind an `Arc`) across worker threads; the packing
@@ -69,9 +81,25 @@ impl PrepackedB {
         let npanels = n.div_ceil(NR).max(1);
         let mut panels = vec![0.0f32; npanels * k * NR];
         if k > 0 && n > 0 {
-            // One full-depth pack: panel `jp` lands at `jp·k·NR`, which is
-            // exactly this struct's layout contract.
-            pack_b_chunk(b, layout, k, n, 0, k, 0, n, &mut panels);
+            // One pack per KC window: `pack_b_chunk` over the full column
+            // range lays the window's panels contiguously, which is
+            // exactly this struct's window-major contract.
+            let mut p0 = 0;
+            while p0 < k {
+                let kb = KC.min(k - p0);
+                pack_b_chunk(
+                    b,
+                    layout,
+                    k,
+                    n,
+                    p0,
+                    kb,
+                    0,
+                    n,
+                    &mut panels[p0 * npanels * NR..][..npanels * kb * NR],
+                );
+                p0 += kb;
+            }
         }
         PrepackedB { k, n, panels }
     }
@@ -130,16 +158,30 @@ impl PrepackedB {
 
     /// The depth window `p0..p0+kb` of panel `jp`, contiguous `kb·NR`
     /// floats — bit-identical to what `pack_b_chunk` would produce for
-    /// that window.
+    /// that window. `p0`/`kb` must name a whole `KC` window (`p0` a
+    /// multiple of [`KC`], `kb = KC.min(k - p0)`), which is the only
+    /// granularity the drivers iterate at.
     #[inline]
     fn window(&self, jp: usize, p0: usize, kb: usize) -> &[f32] {
-        &self.panels[jp * self.k * NR + p0 * NR..][..kb * NR]
+        let npanels = self.n.div_ceil(NR).max(1);
+        &self.panels[p0 * npanels * NR + jp * kb * NR..][..kb * NR]
     }
 }
 
 /// Serial prepacked GEMM over output rows `r0..r1`: the same `KC` depth
-/// windows, packing order and microkernels as the on-the-fly driver,
-/// minus the `B` packing. `c` holds rows `r0..r1` only (stride `n`).
+/// windows and microkernels as the on-the-fly driver, minus the `B`
+/// packing. `c` holds rows `r0..r1` only (stride `n`).
+///
+/// Loop order is `NC` column block → `KC` depth window → `MR` row block,
+/// mirroring [`crate::matmul`]'s streaming order: the resident `KC×NC`
+/// window of packed panels is re-read from cache for every row block and
+/// the full packed operand streams from memory exactly once per call. (A
+/// row-block-outer order re-streams all `k·n` panel floats per `MR`
+/// rows, which for the wide-`k` conv GEMMs — `m` in the hundreds, `k`
+/// ≥ 1152 — is memory-bound enough to lose to pack-per-call dense.)
+/// Per output element the arithmetic order is unchanged — depth windows
+/// ascending, first window overwrites, later windows accumulate — so the
+/// result stays bit-identical to [`crate::matmul_into`].
 fn prepacked_rows(
     a: &[f32],
     pb: &PrepackedB,
@@ -155,40 +197,43 @@ fn prepacked_rows(
         return;
     }
     let mut pa = vec![0.0f32; MR * KC.min(k)];
-    let mut i0 = r0;
-    while i0 < r1 {
-        let mr = MR.min(r1 - i0);
-        // The first depth window overwrites `c`, later windows accumulate
-        // onto it — the same per-element grouping (and therefore
-        // rounding) as the on-the-fly blocked driver.
+    let mut c0 = 0;
+    while c0 < n {
+        let nc = NC.min(n - c0);
+        let jp_base = c0 / NR; // NC is a multiple of NR, so blocks align
         let mut first = true;
         let mut p0 = 0;
         while p0 < k {
             let kb = KC.min(k - p0);
-            pack_a(a, ALayout::Normal, m, k, p0, kb, i0, mr, &mut pa[..kb * mr]);
-            let mut jp = 0;
-            let mut j0 = 0;
-            while j0 < n {
-                let nv = NR.min(n - j0);
-                let c_tile = &mut c[(i0 - r0) * n + j0..];
-                tile(
-                    kernel_isa,
-                    mr,
-                    kb,
-                    &pa[..kb * mr],
-                    pb.window(jp, p0, kb),
-                    c_tile,
-                    n,
-                    nv,
-                    !first,
-                );
-                jp += 1;
-                j0 += NR;
+            let mut i0 = r0;
+            while i0 < r1 {
+                let mr = MR.min(r1 - i0);
+                pack_a(a, ALayout::Normal, m, k, p0, kb, i0, mr, &mut pa[..kb * mr]);
+                let mut jp = jp_base;
+                let mut j0 = 0;
+                while j0 < nc {
+                    let nv = NR.min(nc - j0);
+                    let c_tile = &mut c[(i0 - r0) * n + c0 + j0..];
+                    tile(
+                        kernel_isa,
+                        mr,
+                        kb,
+                        &pa[..kb * mr],
+                        pb.window(jp, p0, kb),
+                        c_tile,
+                        n,
+                        nv,
+                        !first,
+                    );
+                    jp += 1;
+                    j0 += NR;
+                }
+                i0 += mr;
             }
             first = false;
             p0 += kb;
         }
-        i0 += mr;
+        c0 += nc;
     }
 }
 
@@ -343,7 +388,6 @@ fn fused_stripe(
     let mut jp = jp0;
     while j < nb {
         let nv = NR.min(nb - j);
-        let panel = &pb.panels[jp * k * NR..(jp + 1) * k * NR];
         let o = &mut out[j..j + nv];
         let mut first = true;
         let mut p0 = 0;
@@ -351,6 +395,7 @@ fn fused_stripe(
             let kb = KC.min(k - p0);
             let window_active = rows.is_none_or(|r| r[p0..p0 + kb].iter().any(|&a| a));
             if window_active {
+                let wslice = pb.window(jp, p0, kb);
                 // Full-NR accumulator even for the ragged last panel: its
                 // padding lanes multiply the panel's zero fill and are
                 // never stored.
@@ -361,7 +406,8 @@ fn fused_stripe(
                     }
                     // Fixed-size views keep the lane loop free of bounds
                     // checks so it vectorizes cleanly.
-                    let brow: &[f32; NR] = panel[p * NR..][..NR].try_into().unwrap();
+                    let brow: &[f32; NR] =
+                        wslice[(p - p0) * NR..][..NR].try_into().unwrap();
                     for l in 0..NR {
                         wacc[l] = fmadd(a, brow[l], wacc[l]);
                     }
@@ -532,6 +578,233 @@ pub fn matmul_fused_row_into(
             scope.spawn(move || {
                 fused_stripe(xv, pb, rows, jp0, out_mine);
                 fused_epilogue(out_mine, act_mine, &bv[j_lo..j_hi], mask, j_lo);
+            });
+        }
+    });
+    Ok(stats)
+}
+
+// ---------------------------------------------------------------------------
+// Batched fused row kernel (Pipelined FC fast path)
+// ---------------------------------------------------------------------------
+
+/// Per-sample row selection for the batched fused kernel: the resolved
+/// outcome of the same probe-or-given dispatch the single-row kernel
+/// makes, held per sample so borrowed and probed bitmaps coexist.
+enum RowSel<'a> {
+    Dense,
+    Given(&'a [bool]),
+    Probed(Vec<bool>),
+}
+
+impl RowSel<'_> {
+    fn rows(&self) -> Option<&[bool]> {
+        match self {
+            RowSel::Dense => None,
+            RowSel::Given(r) => Some(r),
+            RowSel::Probed(r) => Some(r),
+        }
+    }
+}
+
+/// Batched [`matmul_fused_row_into`]: `B` stacked input rows against one
+/// prepacked operand, each sample with its *own* activation mask (the
+/// per-task threshold bank — MIME's Pipelined mode) and its own input
+/// activity bitmap. Each packed weight panel is streamed from memory
+/// once per **batch** instead of once per request — inside a column
+/// stripe the loop is panel-outer, sample-inner, so the `k·NR` panel
+/// stays cache-hot while every sample consumes it.
+///
+/// Per sample the arithmetic is exactly the single-row kernel's: same
+/// per-panel window grouping, same `p`-ascending accumulation, same
+/// probe/crossover dispatch decision, same fused epilogue. Sample `s`'s
+/// output row and activity bits are therefore **bit-identical** to
+/// calling [`matmul_fused_row_into`] on it alone, at every thread count.
+///
+/// `xs` is `[B, k]`, `out` is `[B, n]`, `activity` is resized to `B·n`
+/// (row-major like `out`); `masks` and `actives` give one entry per
+/// sample. Returns per-sample [`SparseStats`].
+///
+/// # Errors
+///
+/// Returns a shape/length error when any operand disagrees with the
+/// packed `k`/`n` or the batch size.
+#[allow(clippy::too_many_arguments)] // flat kernel-entry plumbing
+pub fn matmul_fused_batch_into(
+    xs: &Tensor,
+    pb: &PrepackedB,
+    bias: &Tensor,
+    masks: &[FusedMask<'_>],
+    actives: &[Option<&[bool]>],
+    dispatch: SparseDispatch,
+    out: &mut Tensor,
+    activity: &mut Vec<bool>,
+    threads: usize,
+) -> Result<Vec<SparseStats>> {
+    let (k, n) = (pb.k, pb.n);
+    if xs.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: xs.rank(),
+            op: "matmul_fused_batch",
+        });
+    }
+    let b = xs.dims()[0];
+    if xs.dims()[1] != k {
+        return Err(TensorError::LengthMismatch { expected: k, actual: xs.dims()[1] });
+    }
+    if out.dims() != [b, n] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: out.dims().to_vec(),
+            rhs: vec![b, n],
+            op: "matmul_fused_batch",
+        });
+    }
+    if bias.len() != n {
+        return Err(TensorError::LengthMismatch { expected: n, actual: bias.len() });
+    }
+    if masks.len() != b {
+        return Err(TensorError::LengthMismatch { expected: b, actual: masks.len() });
+    }
+    if actives.len() != b {
+        return Err(TensorError::LengthMismatch { expected: b, actual: actives.len() });
+    }
+    for mask in masks {
+        if let FusedMask::Thresholds(t) = mask {
+            if t.len() != n {
+                return Err(TensorError::LengthMismatch { expected: n, actual: t.len() });
+            }
+        }
+    }
+    for act in actives.iter().flatten() {
+        if act.len() != k {
+            return Err(TensorError::LengthMismatch { expected: k, actual: act.len() });
+        }
+    }
+    let xv = xs.as_slice();
+    // Per-sample dispatch: identical decision to the single-row kernel
+    // run on that sample alone.
+    let mut sels = Vec::with_capacity(b);
+    let mut stats = Vec::with_capacity(b);
+    for s in 0..b {
+        let row = &xv[s * k..(s + 1) * k];
+        if dispatch == SparseDispatch::DenseOnly {
+            sels.push(RowSel::Dense);
+            stats.push(SparseStats { k_total: k, k_active: k, used_sparse: false });
+            continue;
+        }
+        // probe the input row when no activity list was given: `-0.0`
+        // counts as zero, exactly as the single-row kernel probes
+        let probed: Option<Vec<bool>> = match actives[s] {
+            Some(_) => None,
+            None => Some(row.iter().map(|&v| v != 0.0).collect()),
+        };
+        let bitmap: &[bool] = actives[s].unwrap_or_else(|| probed.as_deref().unwrap());
+        let k_active = bitmap.iter().filter(|&&a| a).count();
+        let use_sparse = dispatch == SparseDispatch::SparseOnly
+            || (k_active as f64) <= SPARSE_ACTIVE_MAX * k as f64;
+        sels.push(match (use_sparse, probed, actives[s]) {
+            (false, ..) => RowSel::Dense,
+            (true, Some(p), _) => RowSel::Probed(p),
+            (true, None, Some(act)) => RowSel::Given(act),
+            (true, None, None) => unreachable!("probed iff no given activity"),
+        });
+        stats.push(SparseStats { k_total: k, k_active, used_sparse: use_sparse });
+    }
+    activity.clear();
+    activity.resize(b * n, false);
+    if b == 0 || n == 0 {
+        return Ok(stats);
+    }
+    let ov = out.as_mut_slice();
+    let bv = bias.as_slice();
+    let macs: u128 = stats.iter().map(|s| s.k_active as u128 * n as u128).sum();
+    let col_panels = n.div_ceil(NR);
+    let workers = if macs < THREAD_MIN_MACS { 1 } else { threads.max(1).min(col_panels) };
+
+    // Panel-outer, sample-inner compute over one worker's column stripe.
+    // `outs[s]` is sample `s`'s chunk of columns `j_lo..j_lo+width`.
+    let run_stripe = |outs: &mut [&mut [f32]],
+                      acts: &mut [&mut [bool]],
+                      jp0: usize,
+                      j_lo: usize,
+                      width: usize| {
+        let mut j = 0;
+        let mut jp = jp0;
+        while j < width {
+            let nv = NR.min(width - j);
+            for (s, o) in outs.iter_mut().enumerate() {
+                fused_stripe(
+                    &xv[s * k..(s + 1) * k],
+                    pb,
+                    sels[s].rows(),
+                    jp,
+                    &mut o[j..j + nv],
+                );
+            }
+            j += nv;
+            jp += 1;
+        }
+        for (s, (o, a)) in outs.iter_mut().zip(acts.iter_mut()).enumerate() {
+            fused_epilogue(o, a, &bv[j_lo..j_lo + width], &masks[s], j_lo);
+        }
+    };
+
+    if workers <= 1 {
+        let mut outs: Vec<&mut [f32]> = ov.chunks_mut(n).collect();
+        let mut acts: Vec<&mut [bool]> = activity.chunks_mut(n).collect();
+        run_stripe(&mut outs, &mut acts, 0, 0, n);
+        return Ok(stats);
+    }
+    // Column-stripe split on panel boundaries, the same partition as the
+    // single-row kernel; each worker owns its column range of every
+    // sample's output row and activity bits.
+    let base = col_panels / workers;
+    let extra = col_panels % workers;
+    // (first panel index, first column, per-sample output slices,
+    // per-sample activity slices) for one worker's column stripe.
+    type StripeSlot<'a> = (usize, usize, Vec<&'a mut [f32]>, Vec<&'a mut [bool]>);
+    let mut per_worker: Vec<StripeSlot<'_>> = Vec::new();
+    {
+        let mut bounds = Vec::new(); // (jp0, j_lo, j_hi) per worker
+        let mut panel = 0usize;
+        for w in 0..workers {
+            let npanels = base + usize::from(w < extra);
+            if npanels == 0 {
+                continue;
+            }
+            let j_lo = panel * NR;
+            panel += npanels;
+            bounds.push((j_lo / NR, j_lo, n.min(panel * NR)));
+        }
+        for &(jp0, j_lo, _) in &bounds {
+            per_worker.push((jp0, j_lo, Vec::with_capacity(b), Vec::with_capacity(b)));
+        }
+        let mut ov_rest = &mut *ov;
+        let mut act_rest = &mut activity[..];
+        for _s in 0..b {
+            let (row, tail) = ov_rest.split_at_mut(n);
+            ov_rest = tail;
+            let (arow, atail) = act_rest.split_at_mut(n);
+            act_rest = atail;
+            let mut row_rest = row;
+            let mut arow_rest = arow;
+            for (w, &(_, j_lo, j_hi)) in bounds.iter().enumerate() {
+                let (chunk, t) = row_rest.split_at_mut(j_hi - j_lo);
+                row_rest = t;
+                per_worker[w].2.push(chunk);
+                let (achunk, at) = arow_rest.split_at_mut(j_hi - j_lo);
+                arow_rest = at;
+                per_worker[w].3.push(achunk);
+            }
+        }
+    }
+    std::thread::scope(|scope| {
+        for (jp0, j_lo, mut outs, mut acts) in per_worker {
+            let run_stripe = &run_stripe;
+            scope.spawn(move || {
+                let width = outs[0].len();
+                run_stripe(&mut outs, &mut acts, jp0, j_lo, width);
             });
         }
     });
@@ -811,6 +1084,125 @@ mod tests {
         .unwrap();
         assert_eq!(out.as_slice(), reference.as_slice());
         assert_eq!(stats.k_active, ref_stats.k_active);
+    }
+
+    #[test]
+    fn fused_batch_matches_per_sample_single_calls_bitwise() {
+        // Mixed per-sample masks (two different threshold banks, a ReLU,
+        // a bare head), mixed activity handling (given list, probe,
+        // dense), shapes straddling partial panels and multiple KC
+        // windows — the batch kernel must reproduce every sample's
+        // single-call bits at every thread count.
+        let (k, n, b) = (900, 75, 4);
+        let w = mat(&[n, k], 11, 21);
+        let pb = PrepackedB::from_weight_transposed(&w, k, n).unwrap();
+        let bias = mat(&[n], 23, 9);
+        let t0 = Tensor::from_fn(&[n], |i| det(29, i, 7).abs() * 0.2);
+        let t1 = Tensor::from_fn(&[n], |i| det(31, i, 5).abs() * 0.4);
+        let mut xs = mat(&[b, k], 13, 15);
+        // sample 2 gets ~70% zero rows plus a matching activity list
+        let mut active2 = vec![true; k];
+        for (p, a) in active2.iter_mut().enumerate() {
+            if p % 3 != 0 {
+                xs.as_mut_slice()[2 * k + p] = 0.0;
+                *a = false;
+            }
+        }
+        let masks = [
+            FusedMask::Thresholds(t0.as_slice()),
+            FusedMask::Relu,
+            FusedMask::Thresholds(t1.as_slice()),
+            FusedMask::None,
+        ];
+        let actives: [Option<&[bool]>; 4] = [None, None, Some(&active2), None];
+        for dispatch in [SparseDispatch::Auto, SparseDispatch::DenseOnly] {
+            // per-sample single-call reference
+            let mut want = Vec::new();
+            let mut want_act = Vec::new();
+            let mut want_stats = Vec::new();
+            for s in 0..b {
+                let x = Tensor::from_vec(xs.as_slice()[s * k..(s + 1) * k].to_vec(), &[k])
+                    .unwrap();
+                let mut out = Tensor::zeros(&[n]);
+                let mut act = Vec::new();
+                let stats = matmul_fused_row_into(
+                    &x, &pb, &bias, masks[s], actives[s], dispatch, &mut out, &mut act, 1,
+                )
+                .unwrap();
+                want.extend_from_slice(out.as_slice());
+                want_act.extend_from_slice(&act);
+                want_stats.push(stats);
+            }
+            for threads in [1usize, 2, 5] {
+                let mut out = Tensor::zeros(&[b, n]);
+                let mut act = Vec::new();
+                let stats = matmul_fused_batch_into(
+                    &xs, &pb, &bias, &masks, &actives, dispatch, &mut out, &mut act,
+                    threads,
+                )
+                .unwrap();
+                assert_eq!(
+                    out.as_slice(),
+                    &want[..],
+                    "dispatch={dispatch:?} threads={threads}"
+                );
+                assert_eq!(act, want_act);
+                for (got, want) in stats.iter().zip(&want_stats) {
+                    assert_eq!(got.k_active, want.k_active);
+                    assert_eq!(got.used_sparse, want.used_sparse);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_batch_rejects_mismatched_operands() {
+        let pb = PrepackedB::from_matrix(&mat(&[4, 6], 1, 7)).unwrap();
+        let bias = Tensor::zeros(&[6]);
+        let xs = Tensor::zeros(&[2, 4]);
+        let mut act = Vec::new();
+        // wrong output shape
+        let mut bad_out = Tensor::zeros(&[2, 5]);
+        assert!(matmul_fused_batch_into(
+            &xs,
+            &pb,
+            &bias,
+            &[FusedMask::None, FusedMask::None],
+            &[None, None],
+            SparseDispatch::Auto,
+            &mut bad_out,
+            &mut act,
+            1,
+        )
+        .is_err());
+        // masks count != batch
+        let mut out = Tensor::zeros(&[2, 6]);
+        assert!(matmul_fused_batch_into(
+            &xs,
+            &pb,
+            &bias,
+            &[FusedMask::None],
+            &[None, None],
+            SparseDispatch::Auto,
+            &mut out,
+            &mut act,
+            1,
+        )
+        .is_err());
+        // activity list with the wrong depth
+        let short = [true; 3];
+        assert!(matmul_fused_batch_into(
+            &xs,
+            &pb,
+            &bias,
+            &[FusedMask::None, FusedMask::None],
+            &[Some(&short[..]), None],
+            SparseDispatch::Auto,
+            &mut out,
+            &mut act,
+            1,
+        )
+        .is_err());
     }
 
     #[test]

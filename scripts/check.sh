@@ -254,13 +254,17 @@ assert any(e['name'] == 'replica_request' for e in ev), 'no stitched replica spa
     # ladder — rung metrics move, replies brown out — while every
     # request still reaches a terminal state; and rung 0 must stay
     # bit-identical, so an unloaded brownout fleet and a --no-brownout
-    # fleet must print the same loadgen logits checksum
+    # fleet must print the same loadgen logits checksum. Both fleets
+    # pin --no-batch: pipelined batching raises one replica's capacity
+    # enough that this workload no longer overloads it (the batching
+    # smoke below covers that path), and the ladder only climbs under
+    # real pressure.
     echo "==> mime serve --listen brownout overload smoke"
     bo_metrics=target/brownout_smoke.prom
     bo_log=target/brownout_smoke.log
     rm -f "$bo_metrics" "$bo_log"
     timeout 180 ./target/release/mime --metrics-out "$bo_metrics" serve \
-        --listen 127.0.0.1:0 --replicas 1 --tasks 2 > "$bo_log" 2>/dev/null &
+        --listen 127.0.0.1:0 --replicas 1 --tasks 2 --no-batch > "$bo_log" 2>/dev/null &
     bo_pid=$!
     for _ in $(seq 1 100); do
         grep -q 'listening on' "$bo_log" 2>/dev/null && break
@@ -292,7 +296,7 @@ assert any(e['name'] == 'replica_request' for e in ev), 'no stitched replica spa
     nb_log=target/brownout_smoke.nobrownout.log
     rm -f "$nb_metrics" "$nb_log"
     timeout 180 ./target/release/mime --metrics-out "$nb_metrics" serve \
-        --listen 127.0.0.1:0 --replicas 1 --tasks 2 --no-brownout > "$nb_log" 2>/dev/null &
+        --listen 127.0.0.1:0 --replicas 1 --tasks 2 --no-brownout --no-batch > "$nb_log" 2>/dev/null &
     nb_pid=$!
     for _ in $(seq 1 100); do
         grep -q 'listening on' "$nb_log" 2>/dev/null && break
@@ -308,6 +312,62 @@ assert any(e['name'] == 'replica_request' for e in ev), 'no stitched replica spa
     nb_ck=$(grep 'logits checksum' <<<"$nb_quiet")
     [[ -n "$bo_ck" && "$bo_ck" == "$nb_ck" ]] \
         || { echo "FAIL: rung 0 is not bit-identical to --no-brownout ($bo_ck vs $nb_ck)" >&2; exit 1; }
+
+    # pipelined-batching smoke (DESIGN.md §15): a --max-batch 8 fleet
+    # and a --no-batch control serve the same mixed-task workload under
+    # enough backlog to form real batches. The loadgen logits checksum
+    # is order-independent, so the two runs must print the same value
+    # (batched execution is bit-identical), the batch-size histogram
+    # must record dispatches, and at least one dispatch must coalesce
+    # more than one request. Both fleets run --no-brownout so the rung
+    # controller can't fork the logits under load.
+    echo "==> mime serve --listen pipelined-batching smoke"
+    pb_metrics=target/batch_smoke.prom
+    pb_log=target/batch_smoke.log
+    rm -f "$pb_metrics" "$pb_log"
+    timeout 180 ./target/release/mime --metrics-out "$pb_metrics" serve \
+        --listen 127.0.0.1:0 --replicas 1 --tasks 4 --no-brownout \
+        --capacity 512 --deadline-ms 10000 --max-batch 8 > "$pb_log" 2>/dev/null &
+    pb_pid=$!
+    for _ in $(seq 1 100); do
+        grep -q 'listening on' "$pb_log" 2>/dev/null && break
+        sleep 0.2
+    done
+    pb_addr=$(grep -o 'listening on [0-9.:]*' "$pb_log" | awk '{print $3}')
+    [[ -n "$pb_addr" ]] || { echo "FAIL: batching front door never announced its address" >&2; exit 1; }
+    pb_out=$(timeout 120 ./target/release/mime loadgen --connect "$pb_addr" \
+        --requests 256 --concurrency 16 --tasks 4 --rate 2000 \
+        --deadline-ms 10000 --drain) \
+        || { echo "FAIL: loadgen against the batching fleet" >&2; exit 1; }
+    wait "$pb_pid" || { echo "FAIL: batching front door crashed or failed to drain" >&2; exit 1; }
+    grep -Eq '^mime_frontdoor_batch_size_count [1-9]' "$pb_metrics" \
+        || { echo "FAIL: batch-size histogram recorded no dispatches" >&2; exit 1; }
+    pb_b1=$(awk '/^mime_frontdoor_batch_size_bucket\{le="1"\}/ {print $2}' "$pb_metrics")
+    pb_bc=$(awk '/^mime_frontdoor_batch_size_count/ {print $2}' "$pb_metrics")
+    [[ -n "$pb_b1" && -n "$pb_bc" && "$pb_b1" -lt "$pb_bc" ]] \
+        || { echo "FAIL: no dispatch coalesced more than one request ($pb_b1 of $pb_bc single)" >&2; exit 1; }
+    # control fleet: --no-batch serves the identical bits one at a time
+    nbat_log=target/batch_smoke.nobatch.log
+    rm -f "$nbat_log"
+    timeout 180 ./target/release/mime serve \
+        --listen 127.0.0.1:0 --replicas 1 --tasks 4 --no-brownout \
+        --capacity 512 --deadline-ms 10000 --no-batch > "$nbat_log" 2>/dev/null &
+    nbat_pid=$!
+    for _ in $(seq 1 100); do
+        grep -q 'listening on' "$nbat_log" 2>/dev/null && break
+        sleep 0.2
+    done
+    nbat_addr=$(grep -o 'listening on [0-9.:]*' "$nbat_log" | awk '{print $3}')
+    [[ -n "$nbat_addr" ]] || { echo "FAIL: no-batch front door never announced its address" >&2; exit 1; }
+    nbat_out=$(timeout 120 ./target/release/mime loadgen --connect "$nbat_addr" \
+        --requests 256 --concurrency 16 --tasks 4 --rate 2000 \
+        --deadline-ms 10000 --drain) \
+        || { echo "FAIL: loadgen against the no-batch fleet" >&2; exit 1; }
+    wait "$nbat_pid" || { echo "FAIL: no-batch front door crashed or failed to drain" >&2; exit 1; }
+    pb_ck=$(grep 'logits checksum' <<<"$pb_out")
+    nbat_ck=$(grep 'logits checksum' <<<"$nbat_out")
+    [[ -n "$pb_ck" && "$pb_ck" == "$nbat_ck" ]] \
+        || { echo "FAIL: batched logits are not bit-identical to --no-batch ($pb_ck vs $nbat_ck)" >&2; exit 1; }
 fi
 
 echo "==> all checks passed"
